@@ -1,0 +1,373 @@
+// Command deptool is the command-line interface to the deptree library:
+// it regenerates the paper's tables and figures, profiles CSV data with
+// the discovery algorithms, validates declared dependencies, repairs
+// violations and deduplicates records.
+//
+// Usage:
+//
+//	deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
+//	deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr ε]
+//	deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
+//	deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
+//	deptool gen      -rows N [-errors ε] [-variety v] [-dups d] [-seed s] [-out hotels.csv]
+//	deptool profile  -in data.csv
+//
+// All input CSVs are read with string columns unless a column parses
+// entirely as numeric.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deptree/internal/apps/detect"
+	"deptree/internal/apps/repair"
+	"deptree/internal/core"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/discovery/cfddisc"
+	"deptree/internal/discovery/cords"
+	"deptree/internal/discovery/fastdc"
+	"deptree/internal/discovery/fastfd"
+	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/tane"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
+	case "validate":
+		err = cmdValidate(os.Args[2:])
+	case "repair":
+		err = cmdRepair(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deptool:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
+  deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e]
+  deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
+  deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
+  deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]
+  deptool profile  -in data.csv`)
+}
+
+func cmdReport(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("report needs exactly one artifact name")
+	}
+	switch args[0] {
+	case "table2":
+		fmt.Print(core.RenderTable2())
+	case "table3":
+		fmt.Print(core.RenderTable3())
+	case "tree":
+		fmt.Print(core.RenderTree())
+	case "pubs":
+		fmt.Print(core.RenderImpact())
+	case "timeline":
+		fmt.Print(core.RenderTimeline())
+	case "fig3":
+		fmt.Print(core.RenderDifficulty())
+	case "dot":
+		fmt.Print(core.DOT())
+	case "verify":
+		fails := core.VerifyAll(42)
+		if len(fails) == 0 {
+			fmt.Printf("all %d family-tree edges verified\n", len(core.FamilyTree()))
+			return nil
+		}
+		for edge, err := range fails {
+			fmt.Printf("FAIL %s: %v\n", edge, err)
+		}
+		return fmt.Errorf("%d edge(s) failed", len(fails))
+	default:
+		return fmt.Errorf("unknown artifact %q", args[0])
+	}
+	return nil
+}
+
+// loadCSV reads a CSV, inferring numeric columns.
+func loadCSV(path string) (*relation.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// First pass: read all as strings, then re-type numeric columns.
+	raw, err := relation.ReadCSV(path, f, nil)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]relation.Kind, raw.Cols())
+	for c := 0; c < raw.Cols(); c++ {
+		kinds[c] = relation.KindFloat
+		for row := 0; row < raw.Rows(); row++ {
+			v := raw.Value(row, c)
+			if v.IsNull() {
+				continue
+			}
+			if _, err := relation.Parse(v.Str(), relation.KindFloat); err != nil {
+				kinds[c] = relation.KindString
+				break
+			}
+		}
+	}
+	f2, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f2.Close()
+	return relation.ReadCSV(path, f2, kinds)
+}
+
+func cmdDiscover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV")
+	algo := fs.String("algo", "tane", "tane|fastfd|cords|fastdc|od")
+	maxErr := fs.Float64("maxerr", 0, "g3 budget for approximate FDs (tane)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in required")
+	}
+	r, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	switch *algo {
+	case "tane":
+		for _, f := range tane.Discover(r, tane.Options{MaxError: *maxErr}) {
+			fmt.Println(f)
+		}
+	case "fastfd":
+		for _, f := range fastfd.Discover(r) {
+			fmt.Println(f)
+		}
+	case "cords":
+		res := cords.Discover(r, cords.Options{})
+		for _, s := range res.SFDs {
+			fmt.Println(s)
+		}
+	case "fastdc":
+		for _, d := range fastdc.Discover(r, fastdc.Options{MaxPredicates: 2}) {
+			fmt.Println(d)
+		}
+	case "od":
+		for _, o := range oddisc.Minimal(oddisc.Discover(r, oddisc.Options{})) {
+			fmt.Println(o)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+// parseFD parses "a,b->c" against a schema.
+func parseFD(schema *relation.Schema, spec string) (fd.FD, error) {
+	parts := strings.SplitN(spec, "->", 2)
+	if len(parts) != 2 {
+		return fd.FD{}, fmt.Errorf("FD spec %q must be lhs->rhs", spec)
+	}
+	split := func(s string) []string {
+		var out []string
+		for _, x := range strings.Split(s, ",") {
+			if x = strings.TrimSpace(x); x != "" {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	return fd.New(schema, split(parts[0]), split(parts[1]))
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV")
+	fdSpec := fs.String("fd", "", "FD as lhs1,lhs2->rhs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *fdSpec == "" {
+		return fmt.Errorf("-in and -fd required")
+	}
+	r, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	f, err := parseFD(r.Schema(), *fdSpec)
+	if err != nil {
+		return err
+	}
+	reports := detect.Run(r, []deps.Dependency{f}, detect.Options{PerRuleLimit: 20})
+	fmt.Print(detect.Format(reports))
+	fmt.Printf("g3 error: %.4f\n", f.G3(r))
+	return nil
+}
+
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV")
+	out := fs.String("out", "", "output CSV (default stdout)")
+	fdSpec := fs.String("fd", "", "FD as lhs->rhs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *fdSpec == "" {
+		return fmt.Errorf("-in and -fd required")
+	}
+	r, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	f, err := parseFD(r.Schema(), *fdSpec)
+	if err != nil {
+		return err
+	}
+	res := repair.FDRepair(r, []fd.FD{f})
+	for _, ch := range res.Changes {
+		fmt.Fprintln(os.Stderr, "  ", ch)
+	}
+	fmt.Fprintf(os.Stderr, "%d cell(s) changed\n", len(res.Changes))
+	dst := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		dst = file
+	}
+	return relation.WriteCSV(res.Repaired, dst)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	rows := fs.Int("rows", 100, "tuples to generate")
+	errRate := fs.Float64("errors", 0, "veracity error rate")
+	variety := fs.Float64("variety", 0, "format-variety rate")
+	dups := fs.Float64("dups", 0, "near-duplicate rate")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output CSV (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := gen.Hotels(gen.HotelConfig{
+		Rows: *rows, Seed: *seed,
+		ErrorRate: *errRate, VarietyRate: *variety, DuplicateRate: *dups,
+	})
+	dst := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		dst = file
+	}
+	return relation.WriteCSV(r, dst)
+}
+
+// cmdProfile runs the §1.4.2 profiling pipeline on a CSV: exact and
+// approximate FDs, soft FDs, constant CFDs, order dependencies and denial
+// constraints, with a per-section summary.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in required")
+	}
+	r, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d tuples x %d attributes\n\n", r.Name(), r.Rows(), r.Cols())
+
+	fmt.Println("column statistics:")
+	for _, st := range relation.Stats(r, 1) {
+		marker := ""
+		if st.Uniqueness() == 1 && st.Rows > 1 {
+			marker = "  [key candidate]"
+		}
+		fmt.Printf("  %s%s\n", st, marker)
+	}
+	fmt.Println()
+
+	exact := tane.Discover(r, tane.Options{MaxLHS: 2})
+	fmt.Printf("exact minimal FDs (LHS <= 2): %d\n", len(exact))
+	for i, f := range exact {
+		if i == 10 {
+			fmt.Printf("  ... and %d more\n", len(exact)-10)
+			break
+		}
+		fmt.Printf("  %s\n", f)
+	}
+
+	approx := tane.Discover(r, tane.Options{MaxError: 0.05, MaxLHS: 1})
+	fmt.Printf("\napproximate FDs (g3 <= 0.05, LHS = 1): %d\n", len(approx))
+
+	soft := cords.Discover(r, cords.Options{MinStrength: 0.9})
+	flagged := 0
+	for _, c := range soft.Correlations {
+		if c.Correlated {
+			flagged++
+		}
+	}
+	fmt.Printf("soft FDs (CORDS, s >= 0.9): %d; chi-square-correlated pairs: %d\n", len(soft.SFDs), flagged)
+
+	consts := cfddisc.ConstantCFDs(r, cfddisc.Options{MinSupport: max(2, r.Rows()/20), MaxLHS: 1})
+	fmt.Printf("constant CFDs (support >= %d): %d\n", max(2, r.Rows()/20), len(consts))
+
+	ods := oddisc.Minimal(oddisc.Discover(r, oddisc.Options{}))
+	fmt.Printf("minimal order dependencies: %d\n", len(ods))
+	for i, o := range ods {
+		if i == 6 {
+			fmt.Printf("  ... and %d more\n", len(ods)-6)
+			break
+		}
+		fmt.Printf("  %s\n", o)
+	}
+
+	sample := r
+	if r.Rows() > 80 {
+		sample = r.Select(func(row int) bool { return row < 80 })
+	}
+	dcs := fastdc.Discover(sample, fastdc.Options{MaxPredicates: 2})
+	fmt.Printf("denial constraints (FASTDC on %d rows, <= 2 predicates): %d\n", sample.Rows(), len(dcs))
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), ferr
+}
+
+func TestCmdReportArtifacts(t *testing.T) {
+	cases := map[string]string{
+		"table2":   "Conditional Sequential",
+		"table3":   "Violation detection",
+		"tree":     "FD (root)",
+		"pubs":     "FFD",
+		"timeline": "1971",
+		"fig3":     "NP-complete",
+		"dot":      "digraph familytree",
+		"verify":   "all 24 family-tree edges verified",
+	}
+	for artifact, want := range cases {
+		out, err := capture(t, func() error { return cmdReport([]string{artifact}) })
+		if err != nil {
+			t.Errorf("report %s: %v", artifact, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("report %s missing %q:\n%.200s", artifact, want, out)
+		}
+	}
+	if err := cmdReport([]string{"nope"}); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+	if err := cmdReport(nil); err == nil {
+		t.Error("missing artifact accepted")
+	}
+}
+
+func writeHotelsCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hotels.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := gen.Hotels(gen.HotelConfig{Rows: 40, Seed: 5, ErrorRate: 0.1})
+	if err := relation.WriteCSV(r, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSVInfersKinds(t *testing.T) {
+	path := writeHotelsCSV(t)
+	r, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 40 {
+		t.Errorf("rows = %d", r.Rows())
+	}
+	if r.Schema().Attr(r.Schema().MustIndex("price")).Kind != relation.KindFloat {
+		t.Error("price should infer numeric")
+	}
+	if r.Schema().Attr(r.Schema().MustIndex("name")).Kind != relation.KindString {
+		t.Error("name should stay string")
+	}
+	if _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseFD(t *testing.T) {
+	r := gen.Table1()
+	f, err := parseFD(r.Schema(), "address, name -> region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LHS.Len() != 2 || f.RHS.Len() != 1 {
+		t.Errorf("parsed %v", f)
+	}
+	if _, err := parseFD(r.Schema(), "no arrow"); err == nil {
+		t.Error("missing arrow accepted")
+	}
+	if _, err := parseFD(r.Schema(), "bogus->region"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestCmdDiscoverValidateRepair(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdDiscover([]string{"-in", path, "-algo", "tane"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "->") {
+		t.Errorf("discover output:\n%s", out)
+	}
+	for _, algo := range []string{"fastfd", "cords", "od"} {
+		if _, err := capture(t, func() error {
+			return cmdDiscover([]string{"-in", path, "-algo", algo})
+		}); err != nil {
+			t.Errorf("discover %s: %v", algo, err)
+		}
+	}
+	if err := cmdDiscover([]string{"-in", path, "-algo", "bogus"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := cmdDiscover([]string{"-algo", "tane"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+
+	out, err = capture(t, func() error {
+		return cmdValidate([]string{"-in", path, "-fd", "address->region"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "g3 error:") {
+		t.Errorf("validate output:\n%s", out)
+	}
+
+	repaired := filepath.Join(t.TempDir(), "repaired.csv")
+	if _, err := capture(t, func() error {
+		return cmdRepair([]string{"-in", path, "-fd", "address->region", "-out", repaired})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return cmdValidate([]string{"-in", repaired, "-fd", "address->region"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "g3 error: 0.0000") {
+		t.Errorf("repaired file still dirty:\n%s", out)
+	}
+}
+
+func TestCmdProfile(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error { return cmdProfile([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exact minimal FDs", "soft FDs", "denial constraints"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdProfile(nil); err == nil {
+		t.Error("missing -in accepted")
+	}
+}
+
+func TestCmdGen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen.csv")
+	if _, err := capture(t, func() error {
+		return cmdGen([]string{"-rows", "25", "-errors", "0.1", "-out", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 25 {
+		t.Errorf("generated %d rows", r.Rows())
+	}
+}

@@ -1,0 +1,89 @@
+package deptree
+
+import (
+	"strings"
+	"testing"
+
+	"deptree/internal/core"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	// The README quickstart: load Table 1, declare fd1, detect, repair.
+	r := Table1()
+	fd1 := MustFD(r.Schema(), []string{"address"}, []string{"region"})
+	reports := Detect(r, []Dependency{fd1})
+	if len(reports) != 1 || len(reports[0].Violations) != 2 {
+		t.Fatalf("detect: %v", reports)
+	}
+	res := RepairFDs(r, []FD{fd1})
+	if !fd1.Holds(res.Repaired) {
+		t.Fatal("repair failed")
+	}
+}
+
+func TestFacadeDiscovery(t *testing.T) {
+	r := Table5()
+	fds := DiscoverFDs(r)
+	fds2 := DiscoverFDsFastFD(r)
+	if len(fds) != len(fds2) {
+		t.Errorf("TANE %d vs FastFD %d", len(fds), len(fds2))
+	}
+	afds := DiscoverAFDs(r, 0.25)
+	if len(afds) < len(fds) {
+		t.Error("AFDs must include at least the exact FDs")
+	}
+}
+
+func TestFacadeProfile(t *testing.T) {
+	p := ProfileRelation(Table7())
+	if len(p.FDs) == 0 {
+		t.Error("profile found no FDs on Table 7")
+	}
+	if p.DCs == 0 {
+		t.Error("profile found no DCs on Table 7")
+	}
+	if DiscoverODs(Table7()) == 0 {
+		t.Error("no ODs on the monotone Table 7")
+	}
+}
+
+func TestFacadeFamilyTree(t *testing.T) {
+	if len(FamilyTree()) != 24 || len(Registry()) != 24 {
+		t.Error("family tree or registry size wrong")
+	}
+	if fails := VerifyAllEdges(7); len(fails) != 0 {
+		t.Errorf("edge failures: %v", fails)
+	}
+	got := Suggest("Data repairing", core.Categorical, core.Numerical)
+	joined := strings.Join(got, ",")
+	if !strings.Contains(joined, "DC") {
+		t.Errorf("Suggest = %v", got)
+	}
+}
+
+func TestFacadeCSV(t *testing.T) {
+	r, err := ReadCSV("t", strings.NewReader("a,b\nx,y\n"), nil)
+	if err != nil || r.Rows() != 1 {
+		t.Fatalf("ReadCSV: %v %v", r, err)
+	}
+	s := NewSchema(Attribute{Name: "n", Kind: 0})
+	rr := NewRelation("x", s)
+	if err := rr.Append([]Value{String("v")}); err != nil {
+		t.Fatal(err)
+	}
+	_ = Int(1)
+	_ = Float(1.5)
+}
+
+func TestFacadeArmstrongAndInteractive(t *testing.T) {
+	r := Table1()
+	fd1 := MustFD(r.Schema(), []string{"address"}, []string{"region"})
+	arm, err := ArmstrongRelation(3, nil)
+	if err != nil || arm.Rows() == 0 {
+		t.Fatalf("ArmstrongRelation: %v %v", arm, err)
+	}
+	res := CleanInteractively(r, nil, []FD{fd1}, 0)
+	if !fd1.Holds(res.Repaired) {
+		t.Error("interactive clean without MDs must still repair FDs")
+	}
+}

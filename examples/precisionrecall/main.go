@@ -1,0 +1,58 @@
+// Precisionrecall: the paper's §2.7 trade-off, measured — strict FDs lose
+// precision on heterogeneous data (variety flagged as error), metric rules
+// recover it; adding more (approximate) rules raises recall and can cost
+// precision. Ground truth comes from the synthetic generator's injected
+// veracity errors.
+//
+//	go run ./examples/precisionrecall
+package main
+
+import (
+	"fmt"
+
+	"deptree/internal/apps/detect"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/gen"
+)
+
+func main() {
+	fmt.Println("detection quality vs variety rate (error rate fixed at 5%)")
+	fmt.Println("rule set          variety  precision  recall   f1")
+	for _, variety := range []float64{0, 0.1, 0.2, 0.4} {
+		r, truth := gen.HotelsWithTruth(gen.HotelConfig{
+			Rows: 600, Seed: 99, ErrorRate: 0.05, VarietyRate: variety,
+		})
+		s := r.Schema()
+		f := fd.Must(s, []string{"address"}, []string{"region"})
+		m := mfd.Must(s, []string{"address"}, []string{"region"}, 6)
+
+		for _, set := range []struct {
+			name  string
+			rules []deps.Dependency
+		}{
+			{"FD (strict)", []deps.Dependency{f}},
+			{"MFD (δ=6)", []deps.Dependency{m}},
+		} {
+			q := detect.Evaluate(detect.Run(r, set.rules, detect.Options{}), truth, r.Rows())
+			fmt.Printf("%-17s %5.0f%%   %8.3f  %6.3f  %5.3f\n",
+				set.name, variety*100, q.Precision(), q.Recall(), q.F1())
+		}
+	}
+
+	fmt.Println("\nrecall vs rule count (no variety, error rate 8%)")
+	r, truth := gen.HotelsWithTruth(gen.HotelConfig{Rows: 600, Seed: 101, ErrorRate: 0.08})
+	s := r.Schema()
+	rules := []deps.Dependency{
+		fd.Must(s, []string{"address"}, []string{"region"}),
+		fd.Must(s, []string{"address"}, []string{"price"}),
+		fd.Must(s, []string{"star"}, []string{"price"}),
+	}
+	for k := 1; k <= len(rules); k++ {
+		q := detect.Evaluate(detect.Run(r, rules[:k], detect.Options{}), truth, r.Rows())
+		fmt.Printf("%d rule(s): %s\n", k, q)
+	}
+	fmt.Println("\nThe shape matches §2.7: approximate/extra rules raise recall;")
+	fmt.Println("strictness on heterogeneous data costs precision.")
+}

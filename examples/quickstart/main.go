@@ -1,0 +1,50 @@
+// Quickstart: the paper's §1.1 motivating scenario as a program.
+//
+// Load the hotel relation of Table 1, declare fd1: address → region,
+// detect its violations (including the false positive on representation
+// variety), and repair the instance.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"deptree"
+)
+
+func main() {
+	r := deptree.Table1()
+	fmt.Println(r)
+
+	// fd1: address → region (paper §1.1).
+	fd1 := deptree.MustFD(r.Schema(), []string{"address"}, []string{"region"})
+	fmt.Printf("declared %s: %s\n\n", fd1.Kind(), fd1)
+
+	// Violation detection: fd1 flags (t3,t4) — a true error — and (t5,t6),
+	// where "Chicago" vs "Chicago, IL" is mere representation variety.
+	reports := deptree.Detect(r, []deptree.Dependency{fd1})
+	for _, rep := range reports {
+		fmt.Printf("%s is violated:\n", rep.Dep)
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+	}
+
+	// g3 error: the fraction of tuples to delete for fd1 to hold.
+	fmt.Printf("\ng3(fd1, r1) = %.3f\n", fd1.G3(r))
+
+	// Repair by in-group majority (ties keep the first value).
+	res := deptree.RepairFDs(r, []deptree.FD{fd1})
+	fmt.Printf("\nrepaired with %d change(s):\n", len(res.Changes))
+	for _, ch := range res.Changes {
+		fmt.Printf("  %s\n", ch)
+	}
+	fmt.Printf("fd1 holds after repair: %v\n", fd1.Holds(res.Repaired))
+
+	// Discovery: which exact FDs hold on the dirty instance?
+	fmt.Println("\nminimal FDs discovered by TANE on r1:")
+	for _, f := range deptree.DiscoverFDs(r) {
+		fmt.Printf("  %s\n", f)
+	}
+}

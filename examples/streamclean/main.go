@@ -1,0 +1,96 @@
+// Streamclean: the paper's §5 future directions, exercised — speed
+// constraints on temporal data (SCREEN-style stream repair), functional
+// dependencies over uncertain relations (horizontal vs vertical), and
+// neighborhood constraints on a vertex-labeled workflow graph.
+//
+//	go run ./examples/streamclean
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"deptree/internal/ext/graphdep"
+	"deptree/internal/ext/speed"
+	"deptree/internal/ext/uncertain"
+	"deptree/internal/relation"
+)
+
+func main() {
+	temporal()
+	uncertainData()
+	graphData()
+}
+
+func temporal() {
+	fmt.Println("== §5.3 temporal data: speed constraints (SCREEN) ==")
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "t", Kind: relation.KindInt},
+		relation.Attribute{Name: "value", Kind: relation.KindFloat},
+	)
+	r := relation.New("stream", schema)
+	rng := rand.New(rand.NewSource(1))
+	v := 20.0
+	for i := 0; i < 30; i++ {
+		reading := v
+		if i == 10 || i == 20 {
+			reading += 80 // sensor spike
+		}
+		_ = r.Append([]relation.Value{relation.Int(i), relation.Float(reading)})
+		v += rng.Float64()*2 - 1
+	}
+	c := speed.Constraint{Smin: -5, Smax: 5, TimeCol: 0, ValueCol: 1, Schema: schema}
+	fmt.Printf("constraint: %s\n", c)
+	fmt.Printf("violations before repair: %d\n", len(c.Violations(r, 0)))
+	repaired, changed := c.Repair(r)
+	fmt.Printf("greedy repair changed %d point(s); constraint holds: %v\n",
+		len(changed), c.Holds(repaired))
+	median, changedM := c.RepairMedian(r)
+	fmt.Printf("median repair changed %d point(s); constraint holds: %v\n\n",
+		len(changedM), c.Holds(median))
+}
+
+func uncertainData() {
+	fmt.Println("== §5.1 uncertain data: horizontal vs vertical FDs ==")
+	schema := relation.Strings("sensor", "room", "reading")
+	u := uncertain.New(schema)
+	s := relation.String
+	_ = u.Add(
+		[]relation.Value{s("A"), s("r1"), s("20")},
+		[]relation.Value{s("A"), s("r1"), s("21")},
+	)
+	_ = u.Add(
+		[]relation.Value{s("B"), s("r1"), s("30")},
+		[]relation.Value{s("B"), s("r2"), s("30")},
+	)
+	fmt.Printf("uncertain relation with %d x-tuples, %d possible worlds\n",
+		len(u.XTuples), u.Worlds(1000))
+	f := uncertain.Must(schema, []string{"room"}, []string{"sensor"})
+	fmt.Printf("%s horizontal: %v  vertical: %v\n", f, f.HoldsHorizontal(u), f.HoldsVertical(u))
+	if w := f.ViolatingWorld(u); w != nil {
+		fmt.Println("a violating possible world:")
+		fmt.Println(w)
+	}
+}
+
+func graphData() {
+	fmt.Println("== §5.2 graph data: neighborhood constraints on a workflow ==")
+	c := graphdep.NewConstraint(
+		[2]string{"start", "task"},
+		[2]string{"task", "task"},
+		[2]string{"task", "end"},
+	)
+	g := graphdep.NewGraph(6)
+	// Position 3 carries a misspelled event name — the §5.2 workflow-log
+	// error: "tsak" is compatible with nothing.
+	labels := []string{"start", "task", "task", "tsak", "task", "end"}
+	copy(g.Labels, labels)
+	for i := 1; i < 6; i++ {
+		g.AddEdge(i-1, i)
+	}
+	fmt.Printf("workflow chain labels: %v\n", g.Labels)
+	fmt.Printf("violations (misspelled event at position 4): %v\n", graphdep.Violations(g, c))
+	changed := graphdep.Repair(g, c)
+	fmt.Printf("repair relabeled %d vertex(es): %v; violations now: %v\n",
+		changed, g.Labels, graphdep.Violations(g, c))
+}

@@ -1,0 +1,3 @@
+module deptree
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package cqa implements consistent query answering over inconsistent
+// databases (paper Table 3, Arenas, Bertossi & Chomicki [3]): an answer is
+// *certain* when it appears in every minimal repair of the instance under
+// the given FDs.
+//
+// For FD violations, minimal repairs are the maximal consistent subsets
+// obtained by keeping exactly one Y-variant per conflicting group; rather
+// than enumerating the exponentially many repairs, the implementation uses
+// the standard observation that a tuple is in every repair iff it
+// participates in no violation, and a selection query's certain answers
+// are computed over the violation-free core plus per-group certain values.
+package cqa
+
+import (
+	"deptree/internal/deps/fd"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// ConsistentRows returns the rows that participate in no FD violation —
+// the tuples present in every minimal repair (the "core").
+func ConsistentRows(r *relation.Relation, fds []fd.FD) []int {
+	dirty := make([]bool, r.Rows())
+	for _, f := range fds {
+		px := partition.Build(r, f.LHS)
+		codes, _ := r.GroupCodes(f.RHS.Cols())
+		for _, pair := range px.ViolatingPairs(codes, 0) {
+			dirty[pair[0]] = true
+			dirty[pair[1]] = true
+		}
+	}
+	var out []int
+	for i, d := range dirty {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CertainAnswers evaluates a selection predicate and returns the rows that
+// satisfy it in EVERY minimal repair: consistent rows satisfying the
+// predicate, plus dirty rows whose whole conflict group satisfies it (any
+// repair keeps at least one member of each group, so a fact supported by
+// every member is certain; facts depending on which member survives are
+// only possible, not certain).
+func CertainAnswers(r *relation.Relation, fds []fd.FD, pred func(row int) bool) []int {
+	dirty := make([]bool, r.Rows())
+	groupOf := make([]int, r.Rows())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	groups := [][]int{}
+	for _, f := range fds {
+		px := partition.Build(r, f.LHS)
+		codes, _ := r.GroupCodes(f.RHS.Cols())
+		for _, class := range px.Classes() {
+			conflict := false
+			for i := 1; i < len(class); i++ {
+				if codes[class[i]] != codes[class[0]] {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				continue
+			}
+			gid := len(groups)
+			groups = append(groups, class)
+			for _, row := range class {
+				dirty[row] = true
+				if groupOf[row] == -1 {
+					groupOf[row] = gid
+				}
+			}
+		}
+	}
+	var out []int
+	seenGroup := map[int]bool{}
+	for i := 0; i < r.Rows(); i++ {
+		if !dirty[i] {
+			if pred(i) {
+				out = append(out, i)
+			}
+			continue
+		}
+		gid := groupOf[i]
+		if seenGroup[gid] {
+			continue
+		}
+		seenGroup[gid] = true
+		// Certain iff every member of the group satisfies the predicate.
+		all := true
+		for _, row := range groups[gid] {
+			if !pred(row) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, groups[gid][0])
+		}
+	}
+	return out
+}
+
+// PossibleAnswers returns rows satisfying the predicate in AT LEAST one
+// minimal repair: consistent matches plus any dirty row matching the
+// predicate.
+func PossibleAnswers(r *relation.Relation, fds []fd.FD, pred func(row int) bool) []int {
+	var out []int
+	for i := 0; i < r.Rows(); i++ {
+		if pred(i) {
+			out = append(out, i)
+		}
+	}
+	_ = fds
+	return out
+}

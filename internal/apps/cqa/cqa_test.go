@@ -1,0 +1,86 @@
+package cqa
+
+import (
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestConsistentRows(t *testing.T) {
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	rows := ConsistentRows(r, []fd.FD{f})
+	// Dirty: t3,t4 (rows 2,3) and t5,t6 (rows 4,5). Clean: 0,1,6,7.
+	want := []int{0, 1, 6, 7}
+	if len(rows) != len(want) {
+		t.Fatalf("consistent rows = %v, want %v", rows, want)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("consistent rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestCertainAnswers(t *testing.T) {
+	r := gen.Table1()
+	s := r.Schema()
+	f := fd.Must(s, []string{"address"}, []string{"region"})
+	star := s.MustIndex("star")
+	// Query: hotels with star = 3. Rows 0..3 have star 3; rows 2,3 are
+	// dirty but BOTH satisfy the predicate, so the fact is certain.
+	got := CertainAnswers(r, []fd.FD{f}, func(row int) bool {
+		return r.Value(row, star).Equal(relation.Int(3))
+	})
+	// Expect rows 0, 1 (consistent) and one group representative (row 2).
+	if len(got) != 3 {
+		t.Fatalf("certain answers = %v, want 3 entries", got)
+	}
+	// Query on region = Boston: row 2 says Boston, row 3 says Chicago —
+	// not certain (some repair keeps only t4).
+	region := s.MustIndex("region")
+	got2 := CertainAnswers(r, []fd.FD{f}, func(row int) bool {
+		return r.Value(row, region).Equal(relation.String("Boston"))
+	})
+	if len(got2) != 0 {
+		t.Errorf("Boston is not a certain answer: %v", got2)
+	}
+	// But it is a possible answer.
+	got3 := PossibleAnswers(r, []fd.FD{f}, func(row int) bool {
+		return r.Value(row, region).Equal(relation.String("Boston"))
+	})
+	if len(got3) != 1 || got3[0] != 2 {
+		t.Errorf("possible answers = %v, want [t3]", got3)
+	}
+}
+
+func TestCertainOnCleanInstance(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 50, Seed: 41})
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	star := r.Schema().MustIndex("star")
+	pred := func(row int) bool { return r.Value(row, star).Num() >= 4 }
+	certain := CertainAnswers(r, []fd.FD{f}, pred)
+	possible := PossibleAnswers(r, []fd.FD{f}, pred)
+	if len(certain) != len(possible) {
+		t.Errorf("clean instance: certain (%d) must equal possible (%d)", len(certain), len(possible))
+	}
+}
+
+func TestCertainSubsetOfPossible(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 120, Seed: 42, ErrorRate: 0.2})
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	price := r.Schema().MustIndex("price")
+	pred := func(row int) bool { return r.Value(row, price).Num() > 300 }
+	certain := CertainAnswers(r, []fd.FD{f}, pred)
+	possible := map[int]bool{}
+	for _, row := range PossibleAnswers(r, []fd.FD{f}, pred) {
+		possible[row] = true
+	}
+	for _, row := range certain {
+		if !possible[row] {
+			t.Errorf("certain row %d not possible", row)
+		}
+	}
+}

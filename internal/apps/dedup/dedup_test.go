@@ -1,0 +1,132 @@
+package dedup
+
+import (
+	"testing"
+
+	"deptree/internal/deps/md"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func nameMD(r *relation.Relation, maxDist float64) md.MD {
+	s := r.Schema()
+	return md.MD{
+		LHS:    []md.SimAttr{md.Sim(s, "name", maxDist), md.Sim(s, "address", maxDist+4)},
+		RHS:    []int{s.MustIndex("region")},
+		Schema: s,
+	}
+}
+
+func TestClustersOnTable1(t *testing.T) {
+	// Table 1 holds four hotels, each present twice with name variants
+	// ("New Center" / "New Center Hotel"). An MD on similar name+address
+	// should cluster the pairs.
+	r := gen.Table1()
+	m := nameMD(r, 6)
+	clusters := Clusters(r, []md.MD{m}, Options{BlockingCol: -1})
+	if len(clusters) < 3 {
+		t.Fatalf("clusters = %v, want the duplicate hotel pairs", clusters)
+	}
+	// t1/t2 must share a cluster.
+	foundT1T2 := false
+	for _, c := range clusters {
+		has1, has2 := false, false
+		for _, row := range c {
+			if row == 0 {
+				has1 = true
+			}
+			if row == 1 {
+				has2 = true
+			}
+		}
+		if has1 && has2 {
+			foundT1T2 = true
+		}
+	}
+	if !foundT1T2 {
+		t.Errorf("t1/t2 not clustered: %v", clusters)
+	}
+}
+
+func TestBlockingReducesPairs(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 200, Seed: 22, DuplicateRate: 0.3})
+	all := CandidatePairs(r, Options{BlockingCol: -1})
+	blocked := CandidatePairs(r, Options{BlockingCol: r.Schema().MustIndex("region"), KeyPrefix: 0})
+	if len(blocked) >= len(all) {
+		t.Errorf("blocking did not reduce pairs: %d vs %d", len(blocked), len(all))
+	}
+	if len(blocked) == 0 {
+		t.Error("blocking removed everything")
+	}
+}
+
+func TestBlockingKeepsTrueDuplicates(t *testing.T) {
+	// Duplicates share the region value, so region-blocking must not lose
+	// clusters relative to all-pairs for a region-preserving MD.
+	r := gen.Hotels(gen.HotelConfig{Rows: 120, Seed: 23, DuplicateRate: 0.3})
+	s := r.Schema()
+	m := md.MD{
+		LHS:    []md.SimAttr{md.Sim(s, "address", 4)},
+		RHS:    []int{s.MustIndex("price")},
+		Schema: s,
+	}
+	allClusters := Clusters(r, []md.MD{m}, Options{BlockingCol: -1})
+	blockedClusters := Clusters(r, []md.MD{m}, Options{BlockingCol: s.MustIndex("region")})
+	countRows := func(cs [][]int) int {
+		n := 0
+		for _, c := range cs {
+			n += len(c)
+		}
+		return n
+	}
+	if countRows(blockedClusters) < countRows(allClusters)*9/10 {
+		t.Errorf("blocking lost clusters: %d vs %d rows", countRows(blockedClusters), countRows(allClusters))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	s := relation.Strings("name", "city")
+	r := relation.MustFromRows("m", s, [][]relation.Value{
+		{relation.String("Alice"), relation.String("NY")},
+		{relation.String("Alice"), relation.String("NY C")},
+		{relation.String("Alice"), relation.String("NY")},
+		{relation.String("Bob"), relation.String("LA")},
+	})
+	merged := Merge(r, [][]int{{0, 1, 2}})
+	if merged.Rows() != 2 {
+		t.Fatalf("merged rows = %d, want 2", merged.Rows())
+	}
+	// Majority city NY survives.
+	if !merged.Value(0, 1).Equal(relation.String("NY")) {
+		t.Errorf("merged city = %v", merged.Value(0, 1))
+	}
+	if !merged.Value(1, 0).Equal(relation.String("Bob")) {
+		t.Error("unclustered tuple lost")
+	}
+}
+
+func TestMergeSkipsNulls(t *testing.T) {
+	s := relation.Strings("name", "city")
+	n := relation.Null(relation.KindString)
+	r := relation.MustFromRows("m", s, [][]relation.Value{
+		{relation.String("Alice"), n},
+		{relation.String("Alice"), relation.String("NY")},
+	})
+	merged := Merge(r, [][]int{{0, 1}})
+	if !merged.Value(0, 1).Equal(relation.String("NY")) {
+		t.Errorf("null beat non-null: %v", merged.Value(0, 1))
+	}
+}
+
+func TestKeyPrefix(t *testing.T) {
+	s := relation.Strings("name")
+	r := relation.MustFromRows("p", s, [][]relation.Value{
+		{relation.String("Chicago")},
+		{relation.String("Chicago, IL")},
+		{relation.String("Boston")},
+	})
+	pairs := CandidatePairs(r, Options{BlockingCol: 0, KeyPrefix: 4})
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Errorf("prefix blocking pairs = %v", pairs)
+	}
+}

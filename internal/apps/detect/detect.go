@@ -1,0 +1,103 @@
+// Package detect implements violation detection (paper Table 3, §1.1): run
+// any set of dependencies against an instance and collect per-rule and
+// per-tuple violation reports. This is the application the paper motivates
+// first — fd1 flagging t3/t4 in Table 1 — and every dependency class in
+// the library plugs in through the deps.Dependency interface.
+package detect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// Report is the outcome of checking one dependency.
+type Report struct {
+	// Dep is the checked dependency.
+	Dep deps.Dependency
+	// Violations holds the witnesses (possibly truncated by the limit).
+	Violations []deps.Violation
+	// Truncated marks reports cut off by the per-rule limit.
+	Truncated bool
+}
+
+// Options configures a detection run.
+type Options struct {
+	// PerRuleLimit caps witnesses per dependency (0 = unlimited).
+	PerRuleLimit int
+}
+
+// Run checks every dependency and returns one report per violated rule.
+func Run(r *relation.Relation, rules []deps.Dependency, opts Options) []Report {
+	var out []Report
+	for _, rule := range rules {
+		limit := opts.PerRuleLimit
+		probe := limit
+		if probe > 0 {
+			probe++ // detect truncation
+		}
+		vs := rule.Violations(r, probe)
+		if len(vs) == 0 {
+			continue
+		}
+		rep := Report{Dep: rule, Violations: vs}
+		if limit > 0 && len(vs) > limit {
+			rep.Violations = vs[:limit]
+			rep.Truncated = true
+		}
+		out = append(out, rep)
+	}
+	return out
+}
+
+// TupleScores aggregates violations into per-tuple counts — the standard
+// ranking heuristic for error localization: tuples implicated by more
+// rules are more likely erroneous.
+func TupleScores(reports []Report) map[int]int {
+	scores := map[int]int{}
+	for _, rep := range reports {
+		for _, v := range rep.Violations {
+			for _, row := range v.Rows {
+				scores[row]++
+			}
+		}
+	}
+	return scores
+}
+
+// RankTuples returns row indices ordered by descending violation count.
+func RankTuples(reports []Report) []int {
+	scores := TupleScores(reports)
+	rows := make([]int, 0, len(scores))
+	for row := range scores {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if scores[rows[i]] != scores[rows[j]] {
+			return scores[rows[i]] > scores[rows[j]]
+		}
+		return rows[i] < rows[j]
+	})
+	return rows
+}
+
+// Format renders the reports for CLI output.
+func Format(reports []Report) string {
+	if len(reports) == 0 {
+		return "no violations\n"
+	}
+	var b strings.Builder
+	for _, rep := range reports {
+		fmt.Fprintf(&b, "%s: %s\n", rep.Dep.Kind(), rep.Dep)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		if rep.Truncated {
+			b.WriteString("  ...\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/gen"
+)
+
+func TestRunOnTable1(t *testing.T) {
+	// The paper's §1.1 scenario: fd1 flags (t3,t4) — and also the
+	// false-positive (t5,t6); the MFD variant flags only the true error.
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	m := mfd.Must(r.Schema(), []string{"address"}, []string{"region"}, 4)
+	reports := Run(r, []deps.Dependency{f, m}, Options{})
+	if len(reports) != 2 {
+		t.Fatalf("reports = %d, want 2", len(reports))
+	}
+	if len(reports[0].Violations) != 2 {
+		t.Errorf("FD violations = %d, want 2", len(reports[0].Violations))
+	}
+	if len(reports[1].Violations) != 1 {
+		t.Errorf("MFD violations = %d, want 1 (variety tolerated)", len(reports[1].Violations))
+	}
+}
+
+func TestRunSkipsSatisfied(t *testing.T) {
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"star"})
+	if reports := Run(r, []deps.Dependency{f}, Options{}); len(reports) != 0 {
+		t.Errorf("satisfied rule reported: %v", reports)
+	}
+}
+
+func TestPerRuleLimit(t *testing.T) {
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	reports := Run(r, []deps.Dependency{f}, Options{PerRuleLimit: 1})
+	if len(reports) != 1 || len(reports[0].Violations) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if !reports[0].Truncated {
+		t.Error("truncation not flagged")
+	}
+}
+
+func TestTupleScoresAndRanking(t *testing.T) {
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	m := mfd.Must(r.Schema(), []string{"address"}, []string{"region"}, 4)
+	reports := Run(r, []deps.Dependency{f, m}, Options{})
+	scores := TupleScores(reports)
+	// t3 and t4 (rows 2,3) are hit by both rules; t5/t6 only by the FD.
+	if scores[2] != 2 || scores[3] != 2 {
+		t.Errorf("t3/t4 scores = %d/%d, want 2/2", scores[2], scores[3])
+	}
+	if scores[4] != 1 || scores[5] != 1 {
+		t.Errorf("t5/t6 scores = %d/%d, want 1/1", scores[4], scores[5])
+	}
+	ranked := RankTuples(reports)
+	if ranked[0] != 2 || ranked[1] != 3 {
+		t.Errorf("ranking = %v, want t3,t4 first", ranked)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	s := Format(Run(r, []deps.Dependency{f}, Options{}))
+	if !strings.Contains(s, "FD: address -> region") || !strings.Contains(s, "t3") {
+		t.Errorf("Format output:\n%s", s)
+	}
+	if got := Format(nil); got != "no violations\n" {
+		t.Errorf("empty Format = %q", got)
+	}
+}

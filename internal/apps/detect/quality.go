@@ -1,0 +1,70 @@
+package detect
+
+import "fmt"
+
+// Quality measures violation-detection performance against ground truth —
+// the evaluation behind the paper's §2.7 discussion: statistical
+// extensions (AFDs & co.) raise recall but can drag down precision, while
+// accurately declared conditional rules keep precision high at limited
+// coverage.
+type Quality struct {
+	// TP counts truly erroneous tuples implicated by some rule; FP clean
+	// tuples implicated; FN erroneous tuples missed.
+	TP, FP, FN int
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was flagged.
+func (q Quality) Precision() float64 {
+	if q.TP+q.FP == 0 {
+		return 1
+	}
+	return float64(q.TP) / float64(q.TP+q.FP)
+}
+
+// Recall returns TP / (TP + FN); 1 when there is nothing to find.
+func (q Quality) Recall() float64 {
+	if q.TP+q.FN == 0 {
+		return 1
+	}
+	return float64(q.TP) / float64(q.TP+q.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (q Quality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the quality triple.
+func (q Quality) String() string {
+	return fmt.Sprintf("precision=%.3f recall=%.3f f1=%.3f (tp=%d fp=%d fn=%d)",
+		q.Precision(), q.Recall(), q.F1(), q.TP, q.FP, q.FN)
+}
+
+// Evaluate scores detection reports against ground truth: a tuple counts
+// as flagged when any violation of any rule references it.
+func Evaluate(reports []Report, truth map[int]bool, rows int) Quality {
+	flagged := map[int]bool{}
+	for _, rep := range reports {
+		for _, v := range rep.Violations {
+			for _, row := range v.Rows {
+				flagged[row] = true
+			}
+		}
+	}
+	var q Quality
+	for row := 0; row < rows; row++ {
+		switch {
+		case flagged[row] && truth[row]:
+			q.TP++
+		case flagged[row] && !truth[row]:
+			q.FP++
+		case !flagged[row] && truth[row]:
+			q.FN++
+		}
+	}
+	return q
+}

@@ -1,0 +1,120 @@
+// Package fairness implements the MVD-based interventional-fairness check
+// and repair of Salimi et al. [80] (paper §2.6.4): a classifier's training
+// data is interventionally fair w.r.t. a protected attribute S, admissible
+// attributes A and outcome O when S and O are conditionally independent
+// given A — which over the empirical distribution is the saturated
+// conditional-independence statement captured by the MVD A ↠ S (with O in
+// the complement). The repair reduces unfairness to a database-repair
+// problem: insert the missing swap tuples so the MVD holds.
+package fairness
+
+import (
+	"deptree/internal/attrset"
+	"deptree/internal/deps/mvd"
+	"deptree/internal/relation"
+)
+
+// CheckCI reports whether the saturated conditional independence
+// S ⫫ O | A holds empirically on the instance, via the MVD A ↠ S over
+// the projection onto A ∪ S ∪ O (a multiset check on value combinations).
+func CheckCI(r *relation.Relation, protected, outcome int, admissible []int) bool {
+	cols := append(append([]int{}, admissible...), protected, outcome)
+	proj := r.Project(cols)
+	a := attrset.Full(len(admissible))
+	s := attrset.Single(len(admissible)) // protected's position in proj
+	m := mvd.MVD{LHS: a, RHS: s, NumAttrs: proj.Cols(), Schema: proj.Schema()}
+	return m.Holds(proj)
+}
+
+// Repair inserts the minimal swap tuples making the MVD A ↠ S hold on the
+// projection — the tuple-generating repair of [80] that removes the causal
+// path from the protected attribute to the outcome. It returns a new
+// relation with appended tuples (values outside A ∪ S ∪ O are copied from
+// the donor tuple providing the outcome).
+func Repair(r *relation.Relation, protected, outcome int, admissible []int) *relation.Relation {
+	out := r.Clone()
+	// Group rows by admissible values.
+	groups := map[string][]int{}
+	keyOf := func(row int) string {
+		k := ""
+		for _, c := range admissible {
+			k += r.Value(row, c).Key() + "\x1f"
+		}
+		return k
+	}
+	for i := 0; i < r.Rows(); i++ {
+		groups[keyOf(i)] = append(groups[keyOf(i)], i)
+	}
+	for _, rows := range groups {
+		// Existing (S, O) combos and representative rows per S and per O.
+		type so struct{ s, o string }
+		combos := map[so]bool{}
+		sRep := map[string]int{}
+		oRep := map[string]int{}
+		for _, row := range rows {
+			sv := r.Value(row, protected).Key()
+			ov := r.Value(row, outcome).Key()
+			combos[so{sv, ov}] = true
+			if _, ok := sRep[sv]; !ok {
+				sRep[sv] = row
+			}
+			if _, ok := oRep[ov]; !ok {
+				oRep[ov] = row
+			}
+		}
+		for sv, sRow := range sRep {
+			for ov, oRow := range oRep {
+				if combos[so{sv, ov}] {
+					continue
+				}
+				// Insert the swap tuple: donor oRow with protected value
+				// from sRow.
+				t := make([]relation.Value, r.Cols())
+				for c := 0; c < r.Cols(); c++ {
+					t[c] = r.Value(oRow, c)
+				}
+				t[protected] = r.Value(sRow, protected)
+				if err := out.Append(t); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DisparityRatio measures outcome disparity: the maximum over protected
+// groups of |P(O=o | S=s) − P(O=o)| for the most favorable outcome value
+// o — a simple demographic-parity diagnostic used to show the repair's
+// effect in the examples.
+func DisparityRatio(r *relation.Relation, protected, outcome int) float64 {
+	total := map[string]int{}
+	joint := map[[2]string]int{}
+	n := r.Rows()
+	if n == 0 {
+		return 0
+	}
+	outcomeCount := map[string]int{}
+	for i := 0; i < n; i++ {
+		s := r.Value(i, protected).Key()
+		o := r.Value(i, outcome).Key()
+		total[s]++
+		outcomeCount[o]++
+		joint[[2]string{s, o}]++
+	}
+	worst := 0.0
+	for o, oc := range outcomeCount {
+		base := float64(oc) / float64(n)
+		for s, sc := range total {
+			cond := float64(joint[[2]string{s, o}]) / float64(sc)
+			d := cond - base
+			if d < 0 {
+				d = -d
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,82 @@
+package fairness
+
+import (
+	"testing"
+
+	"deptree/internal/relation"
+)
+
+// admissionsData builds a biased admissions table: outcome depends on the
+// protected attribute within each admissible group.
+func admissionsData(biased bool) *relation.Relation {
+	s := relation.Strings("gender", "dept", "admit")
+	r := relation.New("admissions", s)
+	add := func(g, d, a string, n int) {
+		for i := 0; i < n; i++ {
+			_ = r.Append([]relation.Value{relation.String(g), relation.String(d), relation.String(a)})
+		}
+	}
+	if biased {
+		// Within dept A, males admitted, females rejected.
+		add("m", "A", "yes", 10)
+		add("f", "A", "no", 10)
+		add("m", "B", "no", 5)
+		add("f", "B", "no", 5)
+	} else {
+		// Admission depends only on dept.
+		add("m", "A", "yes", 10)
+		add("f", "A", "yes", 10)
+		add("m", "B", "no", 5)
+		add("f", "B", "no", 5)
+	}
+	return r
+}
+
+func TestCheckCI(t *testing.T) {
+	fair := admissionsData(false)
+	if !CheckCI(fair, 0, 2, []int{1}) {
+		t.Error("fair data must satisfy gender ⫫ admit | dept")
+	}
+	biased := admissionsData(true)
+	if CheckCI(biased, 0, 2, []int{1}) {
+		t.Error("biased data must violate the conditional independence")
+	}
+}
+
+func TestRepairRestoresCI(t *testing.T) {
+	biased := admissionsData(true)
+	repaired := Repair(biased, 0, 2, []int{1})
+	if repaired.Rows() <= biased.Rows() {
+		t.Fatal("repair must insert swap tuples")
+	}
+	if !CheckCI(repaired, 0, 2, []int{1}) {
+		t.Error("repair failed to restore conditional independence")
+	}
+}
+
+func TestRepairNoopOnFairData(t *testing.T) {
+	fair := admissionsData(false)
+	repaired := Repair(fair, 0, 2, []int{1})
+	if repaired.Rows() != fair.Rows() {
+		t.Errorf("fair data gained %d tuples", repaired.Rows()-fair.Rows())
+	}
+}
+
+func TestDisparityRatio(t *testing.T) {
+	biased := admissionsData(true)
+	fair := admissionsData(false)
+	db := DisparityRatio(biased, 0, 2)
+	df := DisparityRatio(fair, 0, 2)
+	if db <= df {
+		t.Errorf("biased disparity %v must exceed fair disparity %v", db, df)
+	}
+	repaired := Repair(biased, 0, 2, []int{1})
+	dr := DisparityRatio(repaired, 0, 2)
+	if dr >= db {
+		t.Errorf("repair must reduce disparity: %v -> %v", db, dr)
+	}
+	empty := relation.New("e", relation.Strings("g", "d", "a"))
+	if DisparityRatio(empty, 0, 2) != 0 {
+		t.Error("empty disparity must be 0")
+	}
+}

@@ -1,0 +1,314 @@
+// Package normalize implements schema normalization (paper Table 3, §1.1,
+// §2.6.4): testing for 3NF/BCNF under FDs and 4NF under MVDs, 3NF
+// synthesis from a minimal cover, and lossless BCNF/4NF decomposition —
+// the original use of the dependency family before its data-quality
+// revival.
+package normalize
+
+import (
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/mvd"
+	"deptree/internal/relation"
+)
+
+// IsBCNF reports whether a scheme with n attributes is in Boyce-Codd
+// normal form under the FDs: every non-trivial FD's LHS is a superkey.
+func IsBCNF(n int, fds []fd.FD) bool {
+	_, ok := bcnfViolator(n, fds)
+	return !ok
+}
+
+func bcnfViolator(n int, fds []fd.FD) (fd.FD, bool) {
+	for _, f := range fds {
+		if f.RHS.SubsetOf(f.LHS) {
+			continue
+		}
+		if !fd.IsSuperkey(f.LHS, n, fds) {
+			return f, true
+		}
+	}
+	return fd.FD{}, false
+}
+
+// Is3NF reports whether the scheme is in third normal form: for every
+// non-trivial FD, the LHS is a superkey or every RHS attribute is prime
+// (member of some candidate key).
+func Is3NF(n int, fds []fd.FD) bool {
+	keys := fd.CandidateKeys(n, fds)
+	var prime attrset.Set
+	for _, k := range keys {
+		prime = prime.Union(k)
+	}
+	for _, f := range fds {
+		extra := f.RHS.Minus(f.LHS)
+		if extra.IsEmpty() {
+			continue
+		}
+		if fd.IsSuperkey(f.LHS, n, fds) {
+			continue
+		}
+		if !extra.SubsetOf(prime) {
+			return false
+		}
+	}
+	return true
+}
+
+// Synthesize3NF runs the classical 3NF synthesis algorithm: one scheme per
+// minimal-cover FD (grouped by LHS), plus a key scheme if no scheme
+// contains a candidate key. The result is dependency preserving and
+// lossless.
+func Synthesize3NF(n int, fds []fd.FD) []attrset.Set {
+	cover := fd.MinimalCover(fds)
+	// Group by LHS.
+	byLHS := map[attrset.Set]attrset.Set{}
+	for _, f := range cover {
+		byLHS[f.LHS] = byLHS[f.LHS].Union(f.LHS).Union(f.RHS)
+	}
+	var schemes []attrset.Set
+	for _, s := range byLHS {
+		schemes = append(schemes, s)
+	}
+	// Drop schemes contained in others.
+	sort.Slice(schemes, func(i, j int) bool { return schemes[i].Len() > schemes[j].Len() })
+	var kept []attrset.Set
+	for _, s := range schemes {
+		redundant := false
+		for _, k := range kept {
+			if s.SubsetOf(k) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, s)
+		}
+	}
+	// Ensure some scheme contains a candidate key.
+	keys := fd.CandidateKeys(n, fds)
+	hasKey := false
+	for _, s := range kept {
+		for _, k := range keys {
+			if k.SubsetOf(s) {
+				hasKey = true
+				break
+			}
+		}
+	}
+	if !hasKey && len(keys) > 0 {
+		kept = append(kept, keys[0])
+	}
+	// Cover attributes not mentioned by any FD.
+	var covered attrset.Set
+	for _, s := range kept {
+		covered = covered.Union(s)
+	}
+	if rest := attrset.Full(n).Minus(covered); !rest.IsEmpty() {
+		kept = append(kept, rest)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i] < kept[j] })
+	return kept
+}
+
+// DecomposeBCNF performs the classical BCNF decomposition: repeatedly
+// split a scheme on a violating FD X → Y into (X ∪ Y) and (R − Y + X).
+// The decomposition is lossless; dependency preservation is not guaranteed
+// (the known BCNF trade-off).
+func DecomposeBCNF(n int, fds []fd.FD) []attrset.Set {
+	var result []attrset.Set
+	var recurse func(scheme attrset.Set)
+	recurse = func(scheme attrset.Set) {
+		local := projectFDs(scheme, fds)
+		for _, f := range local {
+			rhs := f.RHS.Minus(f.LHS).Intersect(scheme)
+			if rhs.IsEmpty() {
+				continue
+			}
+			// Violates BCNF within the scheme?
+			if closureWithin(f.LHS, scheme, local) != scheme {
+				left := f.LHS.Union(rhs)
+				right := scheme.Minus(rhs)
+				recurse(left)
+				recurse(right)
+				return
+			}
+		}
+		result = append(result, scheme)
+	}
+	recurse(attrset.Full(n))
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	// Dedup.
+	var out []attrset.Set
+	for i, s := range result {
+		if i == 0 || s != result[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// projectFDs computes the FDs of the full set that apply within a
+// sub-scheme: X → A for X, A ⊆ scheme with A ∈ X+ (restricted projection
+// via closures; exponential in |scheme| in the worst case, as the problem
+// demands).
+func projectFDs(scheme attrset.Set, fds []fd.FD) []fd.FD {
+	var out []fd.FD
+	scheme.Subsets(func(x attrset.Set) {
+		if x.IsEmpty() || x == scheme {
+			return
+		}
+		closure := fd.Closure(x, fds).Intersect(scheme).Minus(x)
+		if !closure.IsEmpty() {
+			out = append(out, fd.FD{LHS: x, RHS: closure})
+		}
+	})
+	return out
+}
+
+// closureWithin computes X+ restricted to the scheme under local FDs.
+func closureWithin(x, scheme attrset.Set, local []fd.FD) attrset.Set {
+	return fd.Closure(x, local).Intersect(scheme)
+}
+
+// Is4NF reports whether the scheme is in fourth normal form with respect
+// to the given MVDs and FDs: every non-trivial MVD's LHS is a superkey.
+// (Trivial MVDs: Y ⊆ X or X ∪ Y = R.)
+func Is4NF(n int, mvds []mvd.MVD, fds []fd.FD) bool {
+	full := attrset.Full(n)
+	for _, m := range mvds {
+		if m.RHS.SubsetOf(m.LHS) || m.LHS.Union(m.RHS) == full {
+			continue
+		}
+		if !fd.IsSuperkey(m.LHS, n, fds) {
+			return false
+		}
+	}
+	return true
+}
+
+// Decompose4NF splits the scheme on non-trivial MVDs whose LHS is not a
+// superkey: R becomes (X ∪ Y) and (R − Y). Only the given MVDs are
+// considered (full MVD inference is undecidable to axiomatize finitely
+// with FDs alone in the general dependency setting; the provided set is
+// treated as the discovered/declared constraints, as in practice).
+func Decompose4NF(n int, mvds []mvd.MVD, fds []fd.FD) []attrset.Set {
+	var result []attrset.Set
+	var recurse func(scheme attrset.Set)
+	recurse = func(scheme attrset.Set) {
+		for _, m := range mvds {
+			if !m.LHS.SubsetOf(scheme) {
+				continue
+			}
+			y := m.RHS.Intersect(scheme).Minus(m.LHS)
+			if y.IsEmpty() || m.LHS.Union(y) == scheme {
+				continue
+			}
+			if !fd.IsSuperkey(m.LHS, n, fds) {
+				recurse(m.LHS.Union(y))
+				recurse(scheme.Minus(y))
+				return
+			}
+		}
+		result = append(result, scheme)
+	}
+	recurse(attrset.Full(n))
+	sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	var out []attrset.Set
+	for i, s := range result {
+		if i == 0 || s != result[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// LosslessJoin verifies a decomposition empirically on an instance: the
+// natural join of the projections must reproduce exactly the original
+// tuple set (no spurious tuples) — the correctness criterion of MVD-based
+// decomposition (§2.6.1).
+func LosslessJoin(r *relation.Relation, schemes []attrset.Set) bool {
+	// Join all projections over distinct tuples.
+	type row map[int]relation.Value
+	current := []row{{}}
+	for _, scheme := range schemes {
+		cols := scheme.Cols()
+		// Distinct projected tuples.
+		seen := map[string]bool{}
+		var proj []row
+		for i := 0; i < r.Rows(); i++ {
+			key := ""
+			rw := row{}
+			for _, c := range cols {
+				v := r.Value(i, c)
+				rw[c] = v
+				key += v.Key() + "\x1f"
+			}
+			if !seen[key] {
+				seen[key] = true
+				proj = append(proj, rw)
+			}
+		}
+		var next []row
+		for _, a := range current {
+			for _, b := range proj {
+				if joinable(a, b) {
+					merged := row{}
+					for k, v := range a {
+						merged[k] = v
+					}
+					for k, v := range b {
+						merged[k] = v
+					}
+					next = append(next, merged)
+				}
+			}
+		}
+		current = next
+	}
+	// Compare against the original distinct tuples.
+	orig := map[string]bool{}
+	for i := 0; i < r.Rows(); i++ {
+		key := ""
+		for c := 0; c < r.Cols(); c++ {
+			key += r.Value(i, c).Key() + "\x1f"
+		}
+		orig[key] = true
+	}
+	joined := map[string]bool{}
+	for _, rw := range current {
+		key := ""
+		complete := true
+		for c := 0; c < r.Cols(); c++ {
+			v, ok := rw[c]
+			if !ok {
+				complete = false
+				break
+			}
+			key += v.Key() + "\x1f"
+		}
+		if complete {
+			joined[key] = true
+		}
+	}
+	if len(joined) != len(orig) {
+		return false
+	}
+	for k := range orig {
+		if !joined[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinable(a, b map[int]relation.Value) bool {
+	for k, v := range b {
+		if av, ok := a[k]; ok && !av.Equal(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package normalize
+
+import (
+	"deptree/internal/attrset"
+	"deptree/internal/deps/fd"
+)
+
+// PreservesDependencies reports whether a decomposition preserves the FD
+// set: every FD of the input must be derivable from the union of the FDs
+// projected onto the individual schemes. This is the property 3NF
+// synthesis guarantees and BCNF decomposition may sacrifice — the classic
+// example being R(city, street, zip) with (city,street) → zip and
+// zip → city, whose BCNF decomposition loses the first FD.
+//
+// The check uses the standard closure-iteration algorithm, avoiding the
+// exponential materialization of projected covers: for each FD X → Y,
+// grow Z := X by repeatedly setting Z := Z ∪ (closure(Z ∩ S) ∩ S) for
+// every scheme S until fixpoint; the FD is preserved iff Y ⊆ Z.
+func PreservesDependencies(fds []fd.FD, schemes []attrset.Set) bool {
+	for _, f := range fds {
+		if !preserved(f, fds, schemes) {
+			return false
+		}
+	}
+	return true
+}
+
+// LostDependencies returns the input FDs that are NOT derivable from the
+// decomposition's projections.
+func LostDependencies(fds []fd.FD, schemes []attrset.Set) []fd.FD {
+	var lost []fd.FD
+	for _, f := range fds {
+		if !preserved(f, fds, schemes) {
+			lost = append(lost, f)
+		}
+	}
+	return lost
+}
+
+func preserved(f fd.FD, fds []fd.FD, schemes []attrset.Set) bool {
+	z := f.LHS
+	for changed := true; changed; {
+		changed = false
+		for _, s := range schemes {
+			add := fd.Closure(z.Intersect(s), fds).Intersect(s)
+			if !add.SubsetOf(z) {
+				z = z.Union(add)
+				changed = true
+			}
+		}
+	}
+	return f.RHS.SubsetOf(z)
+}

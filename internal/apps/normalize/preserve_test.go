@@ -1,0 +1,61 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/fd"
+)
+
+func TestBCNFMayLoseDependencies(t *testing.T) {
+	// R(city, street, zip): (city,street)→zip, zip→city.
+	fds := []fd.FD{
+		{LHS: attrset.Of(0, 1), RHS: attrset.Of(2)},
+		{LHS: attrset.Of(2), RHS: attrset.Of(0)},
+	}
+	schemes := DecomposeBCNF(3, fds)
+	if PreservesDependencies(fds, schemes) {
+		t.Errorf("the classic city/street/zip BCNF decomposition %v should lose (city,street)→zip", schemes)
+	}
+	lost := LostDependencies(fds, schemes)
+	if len(lost) != 1 || lost[0].LHS != attrset.Of(0, 1) {
+		t.Errorf("lost = %v, want exactly (city,street)→zip", lost)
+	}
+}
+
+func Test3NFSynthesisPreservesDependencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		n := 5
+		var fds []fd.FD
+		for k := 0; k < 4; k++ {
+			lhs := attrset.Set(rng.Intn(1<<n) | (1 << rng.Intn(n)))
+			rhs := attrset.Single(rng.Intn(n))
+			if rhs.SubsetOf(lhs) {
+				continue
+			}
+			fds = append(fds, fd.FD{LHS: lhs, RHS: rhs})
+		}
+		schemes := Synthesize3NF(n, fds)
+		if !PreservesDependencies(fds, schemes) {
+			t.Fatalf("trial %d: 3NF synthesis lost dependencies: fds=%v schemes=%v lost=%v",
+				trial, fds, schemes, LostDependencies(fds, schemes))
+		}
+	}
+}
+
+func TestPreservationTrivialCases(t *testing.T) {
+	fds := []fd.FD{{LHS: attrset.Of(0), RHS: attrset.Of(1)}}
+	// The undecomposed scheme preserves everything.
+	if !PreservesDependencies(fds, []attrset.Set{attrset.Full(3)}) {
+		t.Error("identity decomposition must preserve")
+	}
+	// A decomposition separating the FD's attributes loses it.
+	if PreservesDependencies(fds, []attrset.Set{attrset.Of(0, 2), attrset.Of(1, 2)}) {
+		t.Error("separated attributes cannot preserve the FD")
+	}
+	if PreservesDependencies(nil, nil) != true {
+		t.Error("no FDs: vacuously preserved")
+	}
+}

@@ -1,0 +1,121 @@
+// Package qopt implements the query-optimization applications of the
+// statistical dependency family (paper Table 3):
+//
+//   - SFD-driven selectivity estimation and correlation maps after CORDS
+//     [55] and Kimura et al. [60] (§2.1.4): joint statistics for
+//     correlated column pairs correct the independence assumption, and a
+//     correlation map routes predicates on one column through an index on
+//     its determining column.
+//   - NUD-based projection/aggregate cardinality bounds after Ciaccia et
+//     al. [22] (§2.4.3): X →_k Y bounds |π_{X∪Y}| ≤ k·|π_X|.
+package qopt
+
+import (
+	"deptree/internal/deps/nud"
+	"deptree/internal/relation"
+)
+
+// Selectivity estimates the fraction of rows matching an equality
+// predicate on one column, under the uniform assumption |r|/|dom(A)| used
+// by textbook optimizers.
+func Selectivity(r *relation.Relation, col int) float64 {
+	if r.Rows() == 0 {
+		return 0
+	}
+	return 1 / float64(r.DistinctCount([]int{col}))
+}
+
+// JointSelectivity estimates the fraction of rows matching equality
+// predicates on two columns.
+//
+// Independent multiplies the per-column selectivities — the assumption
+// CORDS exists to correct; Correlated uses the joint distinct count
+// 1/|dom(A,B)|, exact for uniform value combinations.
+func JointSelectivity(r *relation.Relation, c1, c2 int) (independent, correlated float64) {
+	if r.Rows() == 0 {
+		return 0, 0
+	}
+	independent = Selectivity(r, c1) * Selectivity(r, c2)
+	correlated = 1 / float64(r.DistinctCount([]int{c1, c2}))
+	return independent, correlated
+}
+
+// EstimationError returns the multiplicative error of the independence
+// assumption for a column pair: how many times the independent estimate
+// undershoots the correlated one. Soft FDs flag exactly the pairs where
+// this error is large (§2.1.4).
+func EstimationError(r *relation.Relation, c1, c2 int) float64 {
+	ind, corr := JointSelectivity(r, c1, c2)
+	if ind == 0 {
+		return 1
+	}
+	return corr / ind
+}
+
+// CorrelationMap is the compressed access method of Kimura et al. [60]: a
+// bucketed mapping from values of a determining column to the set of
+// buckets of a dependent column, answering "which target buckets can hold
+// rows with A = a" without a secondary index.
+type CorrelationMap struct {
+	// Buckets maps determinant value keys to dependent bucket ids.
+	Buckets map[string][]int
+	// BucketOf assigns each dependent value key a bucket id.
+	BucketOf map[string]int
+}
+
+// BuildCorrelationMap buckets the dependent column into at most maxBuckets
+// groups (by first appearance) and records, per determinant value, the
+// dependent buckets it co-occurs with. Strongly correlated pairs yield few
+// buckets per value — the compression the SFD predicts.
+func BuildCorrelationMap(r *relation.Relation, det, dep int, maxBuckets int) *CorrelationMap {
+	if maxBuckets <= 0 {
+		maxBuckets = 16
+	}
+	cm := &CorrelationMap{Buckets: map[string][]int{}, BucketOf: map[string]int{}}
+	next := 0
+	for i := 0; i < r.Rows(); i++ {
+		dk := r.Value(i, dep).Key()
+		b, ok := cm.BucketOf[dk]
+		if !ok {
+			b = next % maxBuckets
+			next++
+			cm.BucketOf[dk] = b
+		}
+		vk := r.Value(i, det).Key()
+		found := false
+		for _, eb := range cm.Buckets[vk] {
+			if eb == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cm.Buckets[vk] = append(cm.Buckets[vk], b)
+		}
+	}
+	return cm
+}
+
+// AvgBucketsPerValue reports the map's compression quality: the mean
+// number of dependent buckets per determinant value (1.0 = perfect
+// functional correlation).
+func (cm *CorrelationMap) AvgBucketsPerValue() float64 {
+	if len(cm.Buckets) == 0 {
+		return 0
+	}
+	total := 0
+	for _, bs := range cm.Buckets {
+		total += len(bs)
+	}
+	return float64(total) / float64(len(cm.Buckets))
+}
+
+// ProjectionBound returns the NUD-derived upper bound on the projection
+// cardinality |π_{X∪Y}(r)| ≤ k·|π_X(r)| (§2.4.3), together with the
+// actual cardinality for comparison.
+func ProjectionBound(r *relation.Relation, n nud.NUD) (bound, actual int) {
+	k := n.MaxFanout(r)
+	domX := r.DistinctCount(n.LHS.Cols())
+	actual = r.DistinctCount(n.LHS.Union(n.RHS).Cols())
+	return k * domX, actual
+}

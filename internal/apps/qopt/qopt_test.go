@@ -1,0 +1,90 @@
+package qopt
+
+import (
+	"testing"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/nud"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestSelectivity(t *testing.T) {
+	r := gen.Table1()
+	star := r.Schema().MustIndex("star")
+	// 3 distinct star values.
+	if got := Selectivity(r, star); got != 1.0/3 {
+		t.Errorf("selectivity = %v, want 1/3", got)
+	}
+	empty := relation.New("e", relation.Strings("a"))
+	if Selectivity(empty, 0) != 0 {
+		t.Error("empty selectivity")
+	}
+}
+
+func TestCorrelatedJointSelectivity(t *testing.T) {
+	// address determines region on clean hotels: correlated estimate far
+	// exceeds the independence estimate.
+	r := gen.Hotels(gen.HotelConfig{Rows: 400, Seed: 51})
+	addr := r.Schema().MustIndex("address")
+	region := r.Schema().MustIndex("region")
+	ind, corr := JointSelectivity(r, addr, region)
+	if corr <= ind {
+		t.Errorf("correlated %v should exceed independent %v for a functional pair", corr, ind)
+	}
+	if err := EstimationError(r, addr, region); err <= 1 {
+		t.Errorf("estimation error %v should exceed 1", err)
+	}
+	// Independent columns: the two estimates are close.
+	nights := r.Schema().MustIndex("nights")
+	star := r.Schema().MustIndex("star")
+	errInd := EstimationError(r, nights, star)
+	errDep := EstimationError(r, addr, region)
+	if errInd >= errDep {
+		t.Errorf("independent pair error %v should be below functional pair error %v", errInd, errDep)
+	}
+}
+
+func TestCorrelationMap(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 300, Seed: 52})
+	addr := r.Schema().MustIndex("address")
+	region := r.Schema().MustIndex("region")
+	nights := r.Schema().MustIndex("nights")
+	functional := BuildCorrelationMap(r, addr, region, 16)
+	random := BuildCorrelationMap(r, nights, region, 16)
+	if functional.AvgBucketsPerValue() >= random.AvgBucketsPerValue() {
+		t.Errorf("functional map %v should compress better than random %v",
+			functional.AvgBucketsPerValue(), random.AvgBucketsPerValue())
+	}
+	empty := &CorrelationMap{Buckets: map[string][]int{}}
+	if empty.AvgBucketsPerValue() != 0 {
+		t.Error("empty map average")
+	}
+}
+
+func TestProjectionBound(t *testing.T) {
+	r := gen.Table5()
+	s := r.Schema()
+	n := nud.NUD{
+		LHS:    attrset.Single(s.MustIndex("address")),
+		RHS:    attrset.Single(s.MustIndex("region")),
+		K:      2,
+		Schema: s,
+	}
+	bound, actual := ProjectionBound(r, n)
+	// |dom(address)| = 2, fanout 2 → bound 4; actual |dom(addr,region)| = 3.
+	if bound != 4 || actual != 3 {
+		t.Errorf("bound=%d actual=%d, want 4 and 3", bound, actual)
+	}
+	if actual > bound {
+		t.Error("bound violated")
+	}
+}
+
+func TestCorrelationMapDefaultBuckets(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 50, Seed: 55})
+	cm := BuildCorrelationMap(r, 0, 1, 0) // maxBuckets <= 0 defaults to 16
+	if cm.AvgBucketsPerValue() <= 0 {
+		t.Error("default-bucket map empty")
+	}
+}

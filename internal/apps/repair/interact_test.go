@@ -1,0 +1,101 @@
+package repair
+
+import (
+	"testing"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/md"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// interactFixture builds the [38],[41]-style scenario: matching enables
+// repairing. t1/t2 are the same person with a typo'd name and a wrong zip
+// on t2; t3 shares t1's zip but has a differently-formatted city.
+func interactFixture() (*relation.Relation, md.MD, fd.FD) {
+	s := relation.Strings("name", "zip", "city")
+	r := relation.MustFromRows("people", s, [][]relation.Value{
+		{relation.String("Robert Smith"), relation.String("10001"), relation.String("New York")},
+		{relation.String("Robert Smith."), relation.String("99999"), relation.String("New York")},
+		{relation.String("Alice Jones"), relation.String("10001"), relation.String("NYC")},
+	})
+	m := md.MD{
+		LHS:    []md.SimAttr{md.Sim(s, "name", 2)},
+		RHS:    []int{s.MustIndex("zip")},
+		Schema: s,
+	}
+	f := fd.Must(s, []string{"zip"}, []string{"city"})
+	return r, m, f
+}
+
+func TestInteractiveCleanFixesBoth(t *testing.T) {
+	r, m, f := interactFixture()
+	// Sanity: each rule alone leaves the other violated.
+	alone := FDRepair(r, []fd.FD{f})
+	if m.Holds(alone.Repaired) {
+		t.Fatal("fixture: FD repair alone should not satisfy the MD")
+	}
+	res := InteractiveClean(r, []md.MD{m}, []fd.FD{f}, 0)
+	if !Verify(res.Repaired, []deps.Dependency{m, f}) {
+		t.Fatalf("interaction failed; changes %v\n%v", res.Changes, res.Repaired)
+	}
+	// The zip identification picked the globally frequent 10001.
+	zip := r.Schema().MustIndex("zip")
+	if !res.Repaired.Value(1, zip).Equal(relation.String("10001")) {
+		t.Errorf("t2 zip = %v, want 10001", res.Repaired.Value(1, zip))
+	}
+	// The city repair propagated through the new equivalence class.
+	city := r.Schema().MustIndex("city")
+	if !res.Repaired.Value(2, city).Equal(relation.String("New York")) {
+		t.Errorf("t3 city = %v, want New York", res.Repaired.Value(2, city))
+	}
+	// Original untouched.
+	if f.Holds(r) && m.Holds(r) {
+		t.Error("original mutated")
+	}
+}
+
+func TestInteractiveCleanNoopOnCleanData(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 40, Seed: 61})
+	s := r.Schema()
+	f := fd.Must(s, []string{"address"}, []string{"region"})
+	m := md.MD{
+		LHS:    []md.SimAttr{md.Sim(s, "address", 0)},
+		RHS:    []int{s.MustIndex("region")},
+		Schema: s,
+	}
+	res := InteractiveClean(r, []md.MD{m}, []fd.FD{f}, 0)
+	if len(res.Changes) != 0 {
+		t.Errorf("clean data changed: %v", res.Changes)
+	}
+}
+
+func TestInteractiveCleanRoundBudget(t *testing.T) {
+	r, m, f := interactFixture()
+	res := InteractiveClean(r, []md.MD{m}, []fd.FD{f}, 1)
+	// One round may or may not converge, but must not exceed its budget's
+	// work and must never return a worse instance than the input.
+	before := len(f.Violations(r, 0)) + len(m.Violations(r, 0))
+	after := len(f.Violations(res.Repaired, 0)) + len(m.Violations(res.Repaired, 0))
+	if after > before {
+		t.Errorf("one round made things worse: %d -> %d violations", before, after)
+	}
+}
+
+func TestPreferredValueTieBreaks(t *testing.T) {
+	s := relation.Strings("v")
+	r := relation.MustFromRows("p", s, [][]relation.Value{
+		{relation.String("a")}, {relation.String("b")},
+	})
+	v, ok := preferredValue(r, []int{0, 1}, 0)
+	if !ok || !v.Equal(relation.String("a")) {
+		t.Errorf("tie must break to first occurrence, got %v", v)
+	}
+	n := relation.MustFromRows("n", s, [][]relation.Value{
+		{relation.Null(relation.KindString)}, {relation.Null(relation.KindString)},
+	})
+	if _, ok := preferredValue(n, []int{0, 1}, 0); ok {
+		t.Error("all-null cluster must have no preferred value")
+	}
+}

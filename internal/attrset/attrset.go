@@ -1,0 +1,205 @@
+// Package attrset provides compact attribute sets (X, Y ⊆ R in the paper's
+// notation, Table 4) and the lattice enumeration primitives used by
+// level-wise discovery algorithms such as TANE, CTANE and the MVD search.
+//
+// Sets are 64-bit bitmasks, so relations are limited to 64 attributes. That
+// comfortably covers the profiling workloads in the dependency-discovery
+// literature (the widest common benchmark tables have ~60 columns), and the
+// limit is enforced at construction.
+package attrset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// MaxAttrs is the maximum number of attributes an AttrSet can address.
+const MaxAttrs = 64
+
+// Set is an immutable attribute set over column indices 0..63.
+type Set uint64
+
+// Empty is the empty attribute set.
+const Empty Set = 0
+
+// Of builds a set from the given column indices. It panics on an index
+// outside [0, MaxAttrs): attribute indices come from a Schema, so an
+// out-of-range index is a programming error.
+func Of(cols ...int) Set {
+	var s Set
+	for _, c := range cols {
+		s = s.Add(c)
+	}
+	return s
+}
+
+// Single returns the singleton set {c}.
+func Single(c int) Set { return Of(c) }
+
+// Full returns the set {0, 1, ..., n-1}.
+func Full(n int) Set {
+	if n < 0 || n > MaxAttrs {
+		panic("attrset: size out of range")
+	}
+	if n == MaxAttrs {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Add returns s ∪ {c}.
+func (s Set) Add(c int) Set {
+	if c < 0 || c >= MaxAttrs {
+		panic("attrset: column index out of range")
+	}
+	return s | Set(1)<<uint(c)
+}
+
+// Remove returns s \ {c}.
+func (s Set) Remove(c int) Set {
+	if c < 0 || c >= MaxAttrs {
+		panic("attrset: column index out of range")
+	}
+	return s &^ (Set(1) << uint(c))
+}
+
+// Has reports whether c ∈ s.
+func (s Set) Has(c int) bool {
+	return c >= 0 && c < MaxAttrs && s&(Set(1)<<uint(c)) != 0
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// Intersects reports whether s ∩ t ≠ ∅.
+func (s Set) Intersects(t Set) bool { return s&t != 0 }
+
+// IsEmpty reports whether s = ∅.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns |s|.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Cols returns the member column indices in ascending order.
+func (s Set) Cols() []int {
+	out := make([]int, 0, s.Len())
+	for t := uint64(s); t != 0; t &= t - 1 {
+		out = append(out, bits.TrailingZeros64(t))
+	}
+	return out
+}
+
+// First returns the smallest member, or -1 if empty.
+func (s Set) First() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Each calls f for every member in ascending order.
+func (s Set) Each(f func(c int)) {
+	for t := uint64(s); t != 0; t &= t - 1 {
+		f(bits.TrailingZeros64(t))
+	}
+}
+
+// Subsets calls f for every subset of s, including ∅ and s itself. The
+// enumeration order is not specified. Use with care: there are 2^|s| calls.
+func (s Set) Subsets(f func(sub Set)) {
+	u := uint64(s)
+	sub := uint64(0)
+	for {
+		f(Set(sub))
+		if sub == u {
+			return
+		}
+		sub = (sub - u) & u
+	}
+}
+
+// ProperNonemptySubsets calls f for every T with ∅ ⊂ T ⊂ s.
+func (s Set) ProperNonemptySubsets(f func(sub Set)) {
+	s.Subsets(func(sub Set) {
+		if sub != 0 && sub != s {
+			f(sub)
+		}
+	})
+}
+
+// ImmediateSubsets calls f for each subset of s with one member removed
+// (the lower covers of s in the lattice).
+func (s Set) ImmediateSubsets(f func(sub Set)) {
+	s.Each(func(c int) { f(s.Remove(c)) })
+}
+
+// Names renders the set using the given attribute names, joined by commas.
+func (s Set) Names(names []string) string {
+	var b strings.Builder
+	first := true
+	s.Each(func(c int) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		if c < len(names) {
+			b.WriteString(names[c])
+		} else {
+			b.WriteString("?")
+		}
+	})
+	if first {
+		return "∅"
+	}
+	return b.String()
+}
+
+// NextLevel generates the apriori candidate sets of size k+1 from the given
+// size-k level: a set of size k+1 is emitted iff all of its size-k subsets
+// are present in the level. This is the candidate generation step shared by
+// TANE, CTANE and the MVD level-wise search.
+func NextLevel(level []Set) []Set {
+	present := make(map[Set]bool, len(level))
+	for _, s := range level {
+		present[s] = true
+	}
+	seen := make(map[Set]bool)
+	var out []Set
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			u := level[i].Union(level[j])
+			if u.Len() != level[i].Len()+1 || seen[u] {
+				continue
+			}
+			seen[u] = true
+			ok := true
+			u.ImmediateSubsets(func(sub Set) {
+				if !present[sub] {
+					ok = false
+				}
+			})
+			if ok {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// Singletons returns the n singleton sets {0}, ..., {n-1}.
+func Singletons(n int) []Set {
+	out := make([]Set, n)
+	for i := range out {
+		out[i] = Single(i)
+	}
+	return out
+}

@@ -1,0 +1,230 @@
+package attrset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := Of(0, 3, 5)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(3) || s.Has(1) {
+		t.Error("Has wrong")
+	}
+	if got := s.Add(1).Len(); got != 4 {
+		t.Errorf("Add: %d", got)
+	}
+	if got := s.Remove(3).Len(); got != 2 {
+		t.Errorf("Remove: %d", got)
+	}
+	if got := s.Remove(1); got != s {
+		t.Errorf("Remove absent changed set")
+	}
+	cols := s.Cols()
+	want := []int{0, 3, 5}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Fatalf("Cols = %v", cols)
+		}
+	}
+	if s.First() != 0 || Empty.First() != -1 {
+		t.Error("First wrong")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := Of(0, 1, 2), Of(2, 3)
+	if a.Union(b) != Of(0, 1, 2, 3) {
+		t.Error("Union")
+	}
+	if a.Intersect(b) != Of(2) {
+		t.Error("Intersect")
+	}
+	if a.Minus(b) != Of(0, 1) {
+		t.Error("Minus")
+	}
+	if !Of(1, 2).SubsetOf(a) || a.SubsetOf(b) {
+		t.Error("SubsetOf")
+	}
+	if !a.Intersects(b) || Of(0).Intersects(Of(1)) {
+		t.Error("Intersects")
+	}
+	if !Empty.IsEmpty() || a.IsEmpty() {
+		t.Error("IsEmpty")
+	}
+}
+
+func TestFull(t *testing.T) {
+	if Full(0) != Empty {
+		t.Error("Full(0)")
+	}
+	if Full(3) != Of(0, 1, 2) {
+		t.Error("Full(3)")
+	}
+	if Full(64).Len() != 64 {
+		t.Error("Full(64)")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Empty.Add(64) },
+		func() { Empty.Add(-1) },
+		func() { Empty.Remove(64) },
+		func() { Full(65) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSubsetsEnumeratesAll(t *testing.T) {
+	s := Of(1, 3, 4)
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) {
+		if !sub.SubsetOf(s) {
+			t.Errorf("non-subset %v emitted", sub)
+		}
+		if seen[sub] {
+			t.Errorf("duplicate subset %v", sub)
+		}
+		seen[sub] = true
+	})
+	if len(seen) != 8 {
+		t.Errorf("got %d subsets, want 8", len(seen))
+	}
+	n := 0
+	s.ProperNonemptySubsets(func(Set) { n++ })
+	if n != 6 {
+		t.Errorf("proper nonempty subsets = %d, want 6", n)
+	}
+}
+
+func TestImmediateSubsets(t *testing.T) {
+	s := Of(0, 2)
+	var subs []Set
+	s.ImmediateSubsets(func(sub Set) { subs = append(subs, sub) })
+	if len(subs) != 2 || subs[0] != Of(2) || subs[1] != Of(0) {
+		t.Errorf("ImmediateSubsets = %v", subs)
+	}
+}
+
+func TestSubsetsCountProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		s := Set(raw)
+		n := 0
+		s.Subsets(func(Set) { n++ })
+		return n == 1<<s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutativeAssociative(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := Set(a), Set(b), Set(c)
+		return x.Union(y) == y.Union(x) && x.Union(y.Union(z)) == x.Union(y).Union(z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		u := Full(64)
+		x, y := Set(a), Set(b)
+		return u.Minus(x.Union(y)) == u.Minus(x).Intersect(u.Minus(y))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	if got := Of(0, 2).Names(names); got != "a,c" {
+		t.Errorf("Names = %q", got)
+	}
+	if got := Empty.Names(names); got != "∅" {
+		t.Errorf("empty Names = %q", got)
+	}
+	if got := Of(5).Names(names); got != "?" {
+		t.Errorf("out-of-range Names = %q", got)
+	}
+}
+
+func TestNextLevel(t *testing.T) {
+	// Level 1 over 3 attributes -> all 3 pairs.
+	l2 := NextLevel(Singletons(3))
+	if len(l2) != 3 {
+		t.Fatalf("level 2 size = %d, want 3", len(l2))
+	}
+	// Drop {0,1}: then {0,1,2} lacks a subset and level 3 is empty.
+	var pruned []Set
+	for _, s := range l2 {
+		if s != Of(0, 1) {
+			pruned = append(pruned, s)
+		}
+	}
+	if l3 := NextLevel(pruned); len(l3) != 0 {
+		t.Errorf("pruned level 3 = %v, want empty", l3)
+	}
+	if l3 := NextLevel(l2); len(l3) != 1 || l3[0] != Of(0, 1, 2) {
+		t.Errorf("level 3 = %v", l3)
+	}
+}
+
+func TestNextLevelMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 5
+		k := 2
+		// Random subset of the size-k level.
+		var level []Set
+		var all []Set
+		Full(n).Subsets(func(s Set) {
+			if s.Len() == k && rng.Intn(2) == 0 {
+				level = append(level, s)
+			}
+			if s.Len() == k+1 {
+				all = append(all, s)
+			}
+		})
+		present := map[Set]bool{}
+		for _, s := range level {
+			present[s] = true
+		}
+		want := map[Set]bool{}
+		for _, s := range all {
+			ok := true
+			s.ImmediateSubsets(func(sub Set) {
+				if !present[sub] {
+					ok = false
+				}
+			})
+			if ok {
+				want[s] = true
+			}
+		}
+		got := NextLevel(level)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d candidates, want %d", trial, len(got), len(want))
+		}
+		for _, s := range got {
+			if !want[s] {
+				t.Fatalf("trial %d: unexpected candidate %v", trial, s)
+			}
+		}
+	}
+}

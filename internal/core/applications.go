@@ -1,0 +1,100 @@
+package core
+
+import "sort"
+
+// Application is one row of Table 3: a data-quality or schema task and the
+// dependency classes supporting it per data-type branch.
+type Application struct {
+	// Name of the application task.
+	Name string
+	// Supported maps each data type to the supporting acronyms.
+	Supported map[DataType][]string
+	// Package is the implementing package in this library (empty for
+	// documentation-only rows).
+	Package string
+}
+
+// Applications returns the application matrix of Table 3.
+func Applications() []Application {
+	return []Application{
+		{Name: "Violation detection", Package: "internal/apps/detect", Supported: map[DataType][]string{
+			Categorical:   {"FD", "PFD", "CFD", "eCFD"},
+			Heterogeneous: {"MFD", "CD", "CDD", "PAC"},
+			Numerical:     {"OD", "DC", "SD", "CSD"},
+		}},
+		{Name: "Data repairing", Package: "internal/apps/repair", Supported: map[DataType][]string{
+			Categorical:   {"FD", "CFD", "eCFD", "MVD"},
+			Heterogeneous: {"NED", "DD", "CDD", "MD", "CMD"},
+			Numerical:     {"DC", "OD"},
+		}},
+		{Name: "Query optimization", Package: "internal/apps/qopt", Supported: map[DataType][]string{
+			Categorical:   {"SFD", "AFD", "NUD", "AMVD"},
+			Heterogeneous: {"DD", "CD", "PAC", "FFD"},
+			Numerical:     {"OD"},
+		}},
+		{Name: "Consistent query answering", Package: "internal/apps/cqa", Supported: map[DataType][]string{
+			Categorical:   {"FD"},
+			Heterogeneous: {"OFD", "DC"}, // as printed in Table 3
+		}},
+		{Name: "Data deduplication", Package: "internal/apps/dedup", Supported: map[DataType][]string{
+			Categorical:   {"CFD"},
+			Heterogeneous: {"DD", "CD", "FFD", "MD", "CMD"},
+		}},
+		{Name: "Data partition", Package: "internal/apps/dedup", Supported: map[DataType][]string{
+			Heterogeneous: {"DD", "MD"},
+		}},
+		{Name: "Schema normalization", Package: "internal/apps/normalize", Supported: map[DataType][]string{
+			Categorical: {"FD", "PFD", "MVD", "FHD"},
+		}},
+		{Name: "Model fairness", Package: "internal/apps/fairness", Supported: map[DataType][]string{
+			Categorical: {"MVD"},
+		}},
+	}
+}
+
+// SuggestFor returns the dependency classes Table 3 recommends for a task
+// over given data types — the §1 usage ("data repairing over categorical
+// and numerical values → DCs").
+func SuggestFor(task string, types ...DataType) []string {
+	for _, app := range Applications() {
+		if app.Name != task {
+			continue
+		}
+		if len(types) == 0 {
+			types = []DataType{Categorical, Heterogeneous, Numerical}
+		}
+		// A class can serve a data type if Table 3 lists it for that type,
+		// or if it generalizes (is a family-tree descendant of) a listed
+		// class — that is how DCs, which extend eCFDs and ODs, serve
+		// repairing over categorical AND numerical data (§1, §1.6).
+		capable := make([]map[string]bool, len(types))
+		for i, dt := range types {
+			capable[i] = map[string]bool{}
+			for _, a := range app.Supported[dt] {
+				capable[i][a] = true
+				for _, d := range Descendants(a) {
+					capable[i][d] = true
+				}
+			}
+		}
+		count := map[string]int{}
+		var order []string
+		for i := range types {
+			for a := range capable[i] {
+				if count[a] == 0 {
+					order = append(order, a)
+				}
+				count[a]++
+			}
+		}
+		sort.Strings(order)
+		var out []string
+		for _, a := range order {
+			if count[a] == len(types) {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package core
+
+// Difficulty is a complexity classification from Fig 3 (assuming P ≠ NP
+// and NP ≠ co-NP).
+type Difficulty string
+
+// The classes appearing in Fig 3.
+const (
+	Polynomial   Difficulty = "PTIME"
+	NPComplete   Difficulty = "NP-complete"
+	NPHard       Difficulty = "NP-hard"
+	CoNPComplete Difficulty = "co-NP-complete"
+	Exponential  Difficulty = "output-exponential"
+	Open         Difficulty = "open/unreported"
+)
+
+// Problem is one entry of the difficulty map.
+type Problem struct {
+	// Acronym of the dependency class.
+	Acronym string
+	// Task is the analyzed problem ("discovery", "implication",
+	// "tableau generation", "validation").
+	Task string
+	// Class is the difficulty.
+	Class Difficulty
+	// Note cites the paper's statement.
+	Note string
+}
+
+// DifficultyMap returns the discovery/implication difficulty entries the
+// paper collects in Fig 3 and §1.4.2.
+func DifficultyMap() []Problem {
+	return []Problem{
+		{Acronym: "FD", Task: "discovery", Class: Exponential,
+			Note: "minimal cover can be exponential in the number of attributes [72],[73],[83]"},
+		{Acronym: "FD", Task: "key-size decision", Class: NPComplete,
+			Note: "key of size < k is NP-complete [5]"},
+		{Acronym: "SFD", Task: "discovery", Class: Polynomial,
+			Note: "CORDS sampling, sample size independent of |r| [55]"},
+		{Acronym: "AFD", Task: "discovery", Class: Exponential,
+			Note: "TANE adaptation, level-wise lattice [53],[54]"},
+		{Acronym: "CFD", Task: "tableau generation", Class: NPComplete,
+			Note: "optimal tableau for a given FD is NP-complete [49]"},
+		{Acronym: "CFD", Task: "implication", Class: CoNPComplete,
+			Note: "implication for CFDs is co-NP-complete [11]"},
+		{Acronym: "eCFD", Task: "implication", Class: CoNPComplete,
+			Note: "unchanged from CFDs [14]"},
+		{Acronym: "NED", Task: "discovery", Class: NPHard,
+			Note: "NP-hard in the number of attributes [4]"},
+		{Acronym: "DD", Task: "discovery", Class: Exponential,
+			Note: "minimal DDs can be exponentially many [86]"},
+		{Acronym: "DD", Task: "implication", Class: CoNPComplete,
+			Note: "implication for DDs is co-NP-complete [86]"},
+		{Acronym: "CDD", Task: "discovery", Class: NPComplete,
+			Note: "no easier than CFD discovery (CDDs subsume CFDs) [66]"},
+		{Acronym: "CD", Task: "validation (g3 ≤ e)", Class: NPComplete,
+			Note: "error validation NP-complete [91]"},
+		{Acronym: "CD", Task: "validation (conf ≥ c)", Class: NPComplete,
+			Note: "confidence validation NP-complete [91]"},
+		{Acronym: "MD", Task: "matching-key set decision", Class: NPComplete,
+			Note: "concise matching-key set of size ≤ k NP-complete [90]"},
+		{Acronym: "CMD", Task: "validation (g3 ≤ e)", Class: NPComplete,
+			Note: "error-rate decision NP-complete [110]"},
+		{Acronym: "OD", Task: "implication", Class: CoNPComplete,
+			Note: "implication for ODs is co-NP-complete [101]"},
+		{Acronym: "DC", Task: "discovery", Class: NPComplete,
+			Note: "no easier than CFD discovery (DCs subsume eCFDs) [19]"},
+		{Acronym: "SD", Task: "discovery (confidence)", Class: Polynomial,
+			Note: "efficient confidence computation [48]"},
+		{Acronym: "CSD", Task: "tableau discovery", Class: Polynomial,
+			Note: "exact DP, quadratic in candidate intervals [48]"},
+	}
+}
+
+// DifficultyFor returns the entries for one dependency class.
+func DifficultyFor(acronym string) []Problem {
+	var out []Problem
+	for _, p := range DifficultyMap() {
+		if p.Acronym == acronym {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+// Package core is the executable form of the paper's primary contribution:
+// the family tree of data-dependency extensions (Fig 1A), the dependency
+// index with publication impact (Table 2, Fig 1B), the proposal timeline
+// (Fig 2), the discovery-difficulty map (Fig 3) and the application matrix
+// (Table 3) — all as queryable data with renderers, plus executable
+// verification of every extension edge.
+package core
+
+import "sort"
+
+// DataType is the paper's top-level categorization (§1.3).
+type DataType int
+
+// The three data-type branches of the survey.
+const (
+	Categorical DataType = iota
+	Heterogeneous
+	Numerical
+)
+
+// String renders the data type.
+func (d DataType) String() string {
+	return [...]string{"categorical", "heterogeneous", "numerical"}[d]
+}
+
+// Entry is one dependency class of Table 2.
+type Entry struct {
+	// Acronym is the class tag used throughout ("FD", "CFD", ...).
+	Acronym string
+	// Name is the full name.
+	Name string
+	// Type is the data-type branch.
+	Type DataType
+	// Year of the defining proposal (Table 2 / Fig 2).
+	Year int
+	// Publications is the Google-Scholar usage count reported in Table 2 /
+	// Fig 1B (0 = not reported).
+	Publications int
+	// DefinitionRefs, DiscoveryRefs, ApplicationRefs are the paper's
+	// bracketed reference numbers.
+	DefinitionRefs, DiscoveryRefs, ApplicationRefs []int
+	// Package is the implementing package in this library.
+	Package string
+}
+
+// Registry returns the dependency index of Table 2, extended with the root
+// FD entry. Order follows the paper's table (categorical, heterogeneous,
+// numerical).
+func Registry() []Entry {
+	return []Entry{
+		{Acronym: "FD", Name: "Functional Dependencies", Type: Categorical, Year: 1971,
+			DefinitionRefs: []int{24}, DiscoveryRefs: []int{53, 54, 112}, ApplicationRefs: []int{7, 24},
+			Package: "internal/deps/fd"},
+		{Acronym: "SFD", Name: "Soft Functional Dependencies", Type: Categorical, Year: 2004, Publications: 327,
+			DefinitionRefs: []int{55}, DiscoveryRefs: []int{55, 60}, ApplicationRefs: []int{55, 60},
+			Package: "internal/deps/sfd"},
+		{Acronym: "PFD", Name: "Probabilistic Functional Dependencies", Type: Categorical, Year: 2009, Publications: 55,
+			DefinitionRefs: []int{104}, DiscoveryRefs: []int{104}, ApplicationRefs: []int{104},
+			Package: "internal/deps/pfd"},
+		{Acronym: "AFD", Name: "Approximate Functional Dependencies", Type: Categorical, Year: 1995, Publications: 248,
+			DefinitionRefs: []int{61}, DiscoveryRefs: []int{53, 54}, ApplicationRefs: []int{111},
+			Package: "internal/deps/afd"},
+		{Acronym: "NUD", Name: "Numerical Dependencies", Type: Categorical, Year: 1981,
+			DefinitionRefs: []int{50}, ApplicationRefs: []int{22},
+			Package: "internal/deps/nud"},
+		{Acronym: "CFD", Name: "Conditional Functional Dependencies", Type: Categorical, Year: 2007, Publications: 404,
+			DefinitionRefs: []int{11, 34}, DiscoveryRefs: []int{18, 35, 36, 49, 113}, ApplicationRefs: []int{25, 40},
+			Package: "internal/deps/cfd"},
+		{Acronym: "eCFD", Name: "Extended Conditional Functional Dependencies", Type: Categorical, Year: 2008, Publications: 76,
+			DefinitionRefs: []int{14}, DiscoveryRefs: []int{114}, ApplicationRefs: []int{14},
+			Package: "internal/deps/cfd"},
+		{Acronym: "MVD", Name: "Multivalued Dependencies", Type: Categorical, Year: 1977, Publications: 471,
+			DefinitionRefs: []int{30}, DiscoveryRefs: []int{82}, ApplicationRefs: []int{80, 30},
+			Package: "internal/deps/mvd"},
+		{Acronym: "FHD", Name: "Full Hierarchical Dependencies", Type: Categorical, Year: 1978, Publications: 191,
+			DefinitionRefs: []int{27, 52},
+			Package:        "internal/deps/mvd"},
+		{Acronym: "AMVD", Name: "Approximate Multivalued Dependencies", Type: Categorical, Year: 2020, Publications: 1,
+			DefinitionRefs: []int{59}, DiscoveryRefs: []int{59},
+			Package: "internal/deps/mvd"},
+
+		{Acronym: "MFD", Name: "Metric Functional Dependencies", Type: Heterogeneous, Year: 2009, Publications: 86,
+			DefinitionRefs: []int{64}, DiscoveryRefs: []int{64}, ApplicationRefs: []int{64},
+			Package: "internal/deps/mfd"},
+		{Acronym: "NED", Name: "Neighborhood Dependencies", Type: Heterogeneous, Year: 2001, Publications: 15,
+			DefinitionRefs: []int{4}, DiscoveryRefs: []int{4}, ApplicationRefs: []int{4},
+			Package: "internal/deps/ned"},
+		{Acronym: "DD", Name: "Differential Dependencies", Type: Heterogeneous, Year: 2011, Publications: 109,
+			DefinitionRefs: []int{86}, DiscoveryRefs: []int{65, 86, 88, 89}, ApplicationRefs: []int{86, 93, 94, 95, 96},
+			Package: "internal/deps/dd"},
+		{Acronym: "CDD", Name: "Conditional Differential Dependencies", Type: Heterogeneous, Year: 2015, Publications: 3,
+			DefinitionRefs: []int{66}, DiscoveryRefs: []int{66}, ApplicationRefs: []int{66},
+			Package: "internal/deps/dd"},
+		{Acronym: "CD", Name: "Comparable Dependencies", Type: Heterogeneous, Year: 2011, Publications: 18,
+			DefinitionRefs: []int{91, 92}, DiscoveryRefs: []int{92}, ApplicationRefs: []int{92},
+			Package: "internal/deps/cd"},
+		{Acronym: "PAC", Name: "Probabilistic Approximate Constraints", Type: Heterogeneous, Year: 2003, Publications: 39,
+			DefinitionRefs: []int{63}, DiscoveryRefs: []int{63}, ApplicationRefs: []int{63},
+			Package: "internal/deps/pac"},
+		{Acronym: "FFD", Name: "Fuzzy Functional Dependencies", Type: Heterogeneous, Year: 1988, Publications: 496,
+			DefinitionRefs: []int{79}, DiscoveryRefs: []int{109, 108}, ApplicationRefs: []int{13, 56, 71},
+			Package: "internal/deps/ffd"},
+		{Acronym: "MD", Name: "Matching Dependencies", Type: Heterogeneous, Year: 2009, Publications: 197,
+			DefinitionRefs: []int{33, 37}, DiscoveryRefs: []int{85, 87, 90}, ApplicationRefs: []int{37, 38, 41},
+			Package: "internal/deps/md"},
+		{Acronym: "CMD", Name: "Conditional Matching Dependencies", Type: Heterogeneous, Year: 2017, Publications: 15,
+			DefinitionRefs: []int{110}, DiscoveryRefs: []int{110}, ApplicationRefs: []int{110},
+			Package: "internal/deps/md"},
+
+		{Acronym: "OFD", Name: "Ordered Functional Dependencies", Type: Numerical, Year: 1999, Publications: 27,
+			DefinitionRefs: []int{76, 77}, ApplicationRefs: []int{75},
+			Package: "internal/deps/ofd"},
+		{Acronym: "OD", Name: "Order Dependencies", Type: Numerical, Year: 1982, Publications: 27,
+			DefinitionRefs: []int{28}, DiscoveryRefs: []int{67, 99}, ApplicationRefs: []int{28, 100},
+			Package: "internal/deps/od"},
+		{Acronym: "DC", Name: "Denial Constraints", Type: Numerical, Year: 2005, Publications: 52,
+			DefinitionRefs: []int{8, 9}, DiscoveryRefs: []int{10, 19, 21, 78}, ApplicationRefs: []int{8, 9, 20, 70, 98},
+			Package: "internal/deps/dc"},
+		{Acronym: "SD", Name: "Sequential Dependencies", Type: Numerical, Year: 2009, Publications: 97,
+			DefinitionRefs: []int{48}, DiscoveryRefs: []int{48}, ApplicationRefs: []int{48},
+			Package: "internal/deps/sd"},
+		{Acronym: "CSD", Name: "Conditional Sequential Dependencies", Type: Numerical, Year: 2009, Publications: 97,
+			DefinitionRefs: []int{48}, DiscoveryRefs: []int{48}, ApplicationRefs: []int{48},
+			Package: "internal/deps/sd"},
+	}
+}
+
+// Lookup finds an entry by acronym.
+func Lookup(acronym string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.Acronym == acronym {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ByImpact returns the registry entries sorted by publication count
+// descending — the ranking of Fig 1B.
+func ByImpact() []Entry {
+	es := Registry()
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Publications > es[j].Publications })
+	return es
+}
+
+// Timeline returns the entries sorted by proposal year — Fig 2.
+func Timeline() []Entry {
+	es := Registry()
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Year < es[j].Year })
+	return es
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// refs renders a reference list as "[11],[34]".
+func refs(ns []int) string {
+	if len(ns) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = fmt.Sprintf("[%d]", n)
+	}
+	return strings.Join(parts, ",")
+}
+
+// RenderTable2 regenerates Table 2 (the dependency index) as a Markdown
+// table.
+func RenderTable2() string {
+	var b strings.Builder
+	b.WriteString("| Type | Acronym | Dependency | Definition | Discovery | Application | Year | #Pubs |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, e := range Registry() {
+		pubs := "-"
+		if e.Publications > 0 {
+			pubs = fmt.Sprintf("%d", e.Publications)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %d | %s |\n",
+			e.Type, e.Acronym, e.Name, refs(e.DefinitionRefs), refs(e.DiscoveryRefs),
+			refs(e.ApplicationRefs), e.Year, pubs)
+	}
+	return b.String()
+}
+
+// RenderTable3 regenerates Table 3 (the application matrix) as a Markdown
+// table.
+func RenderTable3() string {
+	var b strings.Builder
+	b.WriteString("| Application | Categorical | Heterogeneous | Numerical |\n")
+	b.WriteString("|---|---|---|---|\n")
+	cell := func(app Application, dt DataType) string {
+		if len(app.Supported[dt]) == 0 {
+			return "-"
+		}
+		return strings.Join(app.Supported[dt], ", ")
+	}
+	for _, app := range Applications() {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n",
+			app.Name, cell(app, Categorical), cell(app, Heterogeneous), cell(app, Numerical))
+	}
+	return b.String()
+}
+
+// RenderImpact regenerates Fig 1B (publication counts) as a text bar chart
+// sorted by impact.
+func RenderImpact() string {
+	var b strings.Builder
+	b.WriteString("Fig 1B — publications using each dependency (Google Scholar counts from Table 2)\n")
+	max := 0
+	for _, e := range Registry() {
+		if e.Publications > max {
+			max = e.Publications
+		}
+	}
+	for _, e := range ByImpact() {
+		if e.Publications == 0 {
+			continue
+		}
+		width := e.Publications * 50 / max
+		fmt.Fprintf(&b, "%6s %4d %s\n", e.Acronym, e.Publications, strings.Repeat("#", width))
+	}
+	return b.String()
+}
+
+// RenderTimeline regenerates Fig 2 (the proposal timeline) as text.
+func RenderTimeline() string {
+	var b strings.Builder
+	b.WriteString("Fig 2 — timeline of data dependencies\n")
+	lastYear := 0
+	for _, e := range Timeline() {
+		if e.Year != lastYear {
+			fmt.Fprintf(&b, "%d:", e.Year)
+			lastYear = e.Year
+		} else {
+			b.WriteString("     ")
+		}
+		fmt.Fprintf(&b, " %s (%s)\n", e.Acronym, e.Type)
+	}
+	return b.String()
+}
+
+// RenderDifficulty regenerates Fig 3 (the discovery-difficulty map) as a
+// Markdown table.
+func RenderDifficulty() string {
+	var b strings.Builder
+	b.WriteString("| Dependency | Problem | Difficulty | Source |\n|---|---|---|---|\n")
+	for _, p := range DifficultyMap() {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", p.Acronym, p.Task, p.Class, p.Note)
+	}
+	return b.String()
+}
+
+// RenderTree renders Fig 1A as an indented text tree from each root, with
+// the witness annotations.
+func RenderTree() string {
+	adj := map[string][]Edge{}
+	for _, e := range FamilyTree() {
+		adj[e.From] = append(adj[e.From], e)
+	}
+	var b strings.Builder
+	b.WriteString("Fig 1A — family tree of extensions (child generalizes parent)\n")
+	var walk func(node string, depth int, seen map[string]bool)
+	walk = func(node string, depth int, seen map[string]bool) {
+		for _, e := range adj[node] {
+			fmt.Fprintf(&b, "%s%s -> %s  (%s, §%s)\n",
+				strings.Repeat("  ", depth), e.From, e.To, e.Witness, e.Section)
+			if !seen[e.To] {
+				seen[e.To] = true
+				walk(e.To, depth+1, seen)
+			}
+		}
+	}
+	for _, root := range Roots() {
+		fmt.Fprintf(&b, "%s (root)\n", root)
+		walk(root, 1, map[string]bool{})
+	}
+	return b.String()
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"deptree/internal/deps/afd"
+	"deptree/internal/deps/cd"
+	"deptree/internal/deps/cfd"
+	"deptree/internal/deps/dc"
+	"deptree/internal/deps/dd"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/ffd"
+	"deptree/internal/deps/md"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/deps/mvd"
+	"deptree/internal/deps/ned"
+	"deptree/internal/deps/nud"
+	"deptree/internal/deps/od"
+	"deptree/internal/deps/ofd"
+	"deptree/internal/deps/pac"
+	"deptree/internal/deps/pfd"
+	"deptree/internal/deps/sd"
+	"deptree/internal/deps/sfd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// Edge is one extension arrow of Fig 1A: To generalizes/subsumes From.
+type Edge struct {
+	// From and To are acronyms of Registry entries.
+	From, To string
+	// Section is the paper section explaining the edge.
+	Section string
+	// Witness describes the special-case embedding.
+	Witness string
+	// Equivalence marks edges whose embedding is an exact semantic
+	// equivalence (special.Holds ⟺ embedded.Holds on every instance);
+	// otherwise the edge is a one-directional implication (e.g. every FD
+	// is an MVD, but not vice versa).
+	Equivalence bool
+	// check empirically verifies the edge on a seeded random instance,
+	// returning a non-nil error on any disagreement.
+	check func(seed int64) error
+}
+
+// FamilyTree returns the extension edges of Fig 1A, each with an
+// executable verification.
+func FamilyTree() []Edge {
+	return []Edge{
+		{From: "FD", To: "SFD", Section: "2.1.2", Witness: "FD ≡ SFD with strength s=1", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), sfd.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "FD", To: "PFD", Section: "2.2.2", Witness: "FD ≡ PFD with probability p=1", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), pfd.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "FD", To: "AFD", Section: "2.3.2", Witness: "FD ≡ AFD with error ε=0", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), afd.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "FD", To: "NUD", Section: "2.4.2", Witness: "FD ≡ NUD with weight k=1", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), nud.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "FD", To: "CFD", Section: "2.5.2", Witness: "FD ≡ CFD with all-wildcard pattern tuple", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), cfd.FromFD(f.LHS.Cols(), f.RHS.Cols(), r.Schema()).Holds(r)
+				})
+			}},
+		{From: "CFD", To: "eCFD", Section: "2.5.5", Witness: "CFD ≡ eCFD restricted to '=' predicates", Equivalence: true,
+			check: func(seed int64) error {
+				// Syntactic inclusion: a classic CFD is literally an eCFD
+				// with equality cells; evaluate one constant CFD both ways.
+				r := gen.Table5()
+				c := cfd.Must(r.Schema(), []string{"region", "name"}, []string{"address"},
+					[]cfd.Cell{cfd.Const(relation.String("Jackson")), cfd.Wildcard(), cfd.Wildcard()})
+				if c.Extended() {
+					return fmt.Errorf("classic CFD misclassified as extended")
+				}
+				e := cfd.Must(r.Schema(), []string{"region", "name"}, []string{"address"},
+					[]cfd.Cell{cfd.Pred(cfd.OpEq, relation.String("Jackson")), cfd.Wildcard(), cfd.Wildcard()})
+				if c.Holds(r) != e.Holds(r) {
+					return fmt.Errorf("CFD and '='-eCFD disagree")
+				}
+				return nil
+			}},
+		{From: "FD", To: "MVD", Section: "2.6.2", Witness: "every FD X→Y is the MVD X↠Y (Y-set size 1)",
+			check: func(seed int64) error {
+				rng := rand.New(rand.NewSource(seed))
+				for trial := 0; trial < 20; trial++ {
+					r := gen.Categorical(12, []int{2, 2, 2}, rng.Int63())
+					f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+					m := mvd.FromFD(f.LHS, f.RHS, r.Cols(), r.Schema())
+					if f.Holds(r) && !m.Holds(r) {
+						return fmt.Errorf("FD holds but MVD embedding fails")
+					}
+				}
+				return nil
+			}},
+		{From: "MVD", To: "FHD", Section: "2.6.5", Witness: "MVD ≡ FHD with a single block (k=1)", Equivalence: true,
+			check: func(seed int64) error {
+				rng := rand.New(rand.NewSource(seed))
+				for trial := 0; trial < 20; trial++ {
+					r := gen.Categorical(12, []int{2, 2, 2}, rng.Int63())
+					m := mvd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+					if m.Holds(r) != mvd.FromMVD(m).Holds(r) {
+						return fmt.Errorf("MVD and single-block FHD disagree")
+					}
+				}
+				return nil
+			}},
+		{From: "MVD", To: "AMVD", Section: "2.6.6", Witness: "MVD ≡ AMVD with accuracy ε=0", Equivalence: true,
+			check: func(seed int64) error {
+				rng := rand.New(rand.NewSource(seed))
+				for trial := 0; trial < 20; trial++ {
+					r := gen.Categorical(12, []int{2, 2, 2}, rng.Int63())
+					m := mvd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+					if m.Holds(r) != mvd.FromMVDExact(m).Holds(r) {
+						return fmt.Errorf("MVD and ε=0 AMVD disagree")
+					}
+				}
+				return nil
+			}},
+		{From: "CFD", To: "CDD", Section: "3.3.5", Witness: "constant-condition CFD ≡ CDD with distance-0 functions", Equivalence: true,
+			check: func(seed int64) error {
+				r := mutateTable5(seed)
+				c := cfd.Must(r.Schema(), []string{"region", "name"}, []string{"address"},
+					[]cfd.Cell{cfd.Const(relation.String("Jackson")), cfd.Wildcard(), cfd.Wildcard()})
+				conv, err := dd.FromCFD(c)
+				if err != nil {
+					return err
+				}
+				if c.Holds(r) != conv.Holds(r) {
+					return fmt.Errorf("CFD and CDD embedding disagree")
+				}
+				return nil
+			}},
+		{From: "DD", To: "CDD", Section: "3.3.5", Witness: "DD ≡ CDD with empty condition", Equivalence: true,
+			check: func(seed int64) error {
+				return checkHet(seed, func(r *relation.Relation, n ned.NED) (bool, bool) {
+					d := dd.FromNED(n)
+					return d.Holds(r), dd.FromDD(d).Holds(r)
+				})
+			}},
+		{From: "FD", To: "MFD", Section: "3.1.2", Witness: "FD ≡ MFD with distance threshold δ=0", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), mfd.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "MFD", To: "NED", Section: "3.2.2", Witness: "MFD ≡ NED with LHS thresholds α=0", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					m := mfd.FromFD(f)
+					return m.Holds(r), ned.FromMFD(m).Holds(r)
+				})
+			}},
+		{From: "NED", To: "DD", Section: "3.3.2", Witness: "NED ≡ DD with all-'similar' (≤) differential functions", Equivalence: true,
+			check: func(seed int64) error {
+				return checkHet(seed, func(r *relation.Relation, n ned.NED) (bool, bool) {
+					return n.Holds(r), dd.FromNED(n).Holds(r)
+				})
+			}},
+		{From: "NED", To: "CD", Section: "3.4.2", Witness: "NED ≡ CD with single-attribute similarity functions", Equivalence: true,
+			check: func(seed int64) error {
+				return checkHet(seed, func(r *relation.Relation, n ned.NED) (bool, bool) {
+					c, err := cd.FromNED(n)
+					if err != nil {
+						panic(err)
+					}
+					return n.Holds(r), c.Holds(r)
+				})
+			}},
+		{From: "NED", To: "PAC", Section: "3.5.2", Witness: "NED ≡ PAC with confidence δ=1", Equivalence: true,
+			check: func(seed int64) error {
+				return checkHet(seed, func(r *relation.Relation, n ned.NED) (bool, bool) {
+					return n.Holds(r), pac.FromNED(n).Holds(r)
+				})
+			}},
+		{From: "FD", To: "FFD", Section: "3.6.2", Witness: "FD ≡ FFD with crisp {0,1} resemblance", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), ffd.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "FD", To: "MD", Section: "3.7.2", Witness: "FD ≡ MD with equality similarity operators", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					return f.Holds(r), md.FromFD(f).Holds(r)
+				})
+			}},
+		{From: "MD", To: "CMD", Section: "3.7.5", Witness: "MD ≡ CMD with empty condition", Equivalence: true,
+			check: func(seed int64) error {
+				return checkCat(seed, func(r *relation.Relation, f fd.FD) (bool, bool) {
+					m := md.FromFD(f)
+					return m.Holds(r), md.FromMD(m).Holds(r)
+				})
+			}},
+		{From: "OFD", To: "OD", Section: "4.2.2", Witness: "pointwise OFD ≡ OD with all marks A≤", Equivalence: true,
+			check: func(seed int64) error {
+				return checkNum(seed, func(r *relation.Relation) (bool, bool) {
+					o := ofd.Must(r.Schema(), []string{"seq"}, []string{"value"}, ofd.Pointwise)
+					return o.Holds(r), od.FromOFD(o).Holds(r)
+				})
+			}},
+		{From: "OD", To: "DC", Section: "4.3.2", Witness: "OD ≡ DC set ¬(X ordered ∧ Y disordered)", Equivalence: true,
+			check: func(seed int64) error {
+				return checkNum(seed, func(r *relation.Relation) (bool, bool) {
+					o := od.OD{
+						LHS:    []od.Marked{od.Asc(r.Schema(), "seq")},
+						RHS:    []od.Marked{od.Asc(r.Schema(), "value")},
+						Schema: r.Schema(),
+					}
+					return o.Holds(r), dc.HoldAll(dc.FromOD(o), r)
+				})
+			}},
+		{From: "eCFD", To: "DC", Section: "4.3.3", Witness: "eCFD ≡ DC set with pattern predicates on t_α", Equivalence: true,
+			check: func(seed int64) error {
+				r := mutateTable5(seed)
+				e := cfd.Must(r.Schema(), []string{"rate", "name"}, []string{"address"},
+					[]cfd.Cell{cfd.Pred(cfd.OpLe, relation.Int(200)), cfd.Wildcard(), cfd.Wildcard()})
+				if e.Holds(r) != dc.HoldAll(dc.FromECFD(e), r) {
+					return fmt.Errorf("eCFD and DC embedding disagree")
+				}
+				return nil
+			}},
+		{From: "OD", To: "SD", Section: "4.4.2", Witness: "OD ≡ SD with gap [0,∞) or (−∞,0] on duplicate-free X", Equivalence: true,
+			check: func(seed int64) error {
+				return checkNum(seed, func(r *relation.Relation) (bool, bool) {
+					o := od.OD{
+						LHS:    []od.Marked{od.Asc(r.Schema(), "seq")},
+						RHS:    []od.Marked{od.Asc(r.Schema(), "value")},
+						Schema: r.Schema(),
+					}
+					s := sd.Must(r.Schema(), []string{"seq"}, "value", sd.Increasing())
+					return o.Holds(r), s.Holds(r)
+				})
+			}},
+		{From: "SD", To: "CSD", Section: "4.4.5", Witness: "SD ≡ CSD with empty tableau", Equivalence: true,
+			check: func(seed int64) error {
+				return checkNum(seed, func(r *relation.Relation) (bool, bool) {
+					s := sd.Must(r.Schema(), []string{"seq"}, "value", sd.Interval{Lo: 9, Hi: 11})
+					return s.Holds(r), sd.FromSD(s).Holds(r)
+				})
+			}},
+	}
+}
+
+// checkCat verifies an equivalence on random categorical instances: the
+// special dependency and its embedding must agree on Holds.
+func checkCat(seed int64, pair func(r *relation.Relation, f fd.FD) (bool, bool)) error {
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 20; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		a, b := pair(r, f)
+		if a != b {
+			return fmt.Errorf("trial %d: special=%v embedded=%v", trial, a, b)
+		}
+	}
+	return nil
+}
+
+// checkHet verifies an equivalence on heterogeneous hotel instances via a
+// representative NED.
+func checkHet(seed int64, pair func(r *relation.Relation, n ned.NED) (bool, bool)) error {
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 15; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 15, Seed: rng.Int63(), VarietyRate: 0.3, ErrorRate: 0.2})
+		s := r.Schema()
+		n := ned.NED{
+			LHS:    ned.Predicate{ned.T(s, "address", 2)},
+			RHS:    ned.Predicate{ned.T(s, "region", 5)},
+			Schema: s,
+		}
+		a, b := pair(r, n)
+		if a != b {
+			return fmt.Errorf("trial %d: special=%v embedded=%v", trial, a, b)
+		}
+	}
+	return nil
+}
+
+// checkNum verifies an equivalence on numerical series instances.
+func checkNum(seed int64, pair func(r *relation.Relation) (bool, bool)) error {
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 15; trial++ {
+		r := gen.Series(12, 9, 11, 0.4, rng.Int63())
+		a, b := pair(r)
+		if a != b {
+			return fmt.Errorf("trial %d: special=%v embedded=%v", trial, a, b)
+		}
+	}
+	return nil
+}
+
+// mutateTable5 returns Table 5, randomly corrupted half the time so edge
+// checks see both satisfying and violating instances.
+func mutateTable5(seed int64) *relation.Relation {
+	r := gen.Table5().Clone()
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Intn(2) == 1 {
+		col := r.Schema().MustIndex("address")
+		r.SetValue(rng.Intn(r.Rows()), col, relation.String(fmt.Sprintf("corrupted %d", rng.Intn(10))))
+	}
+	return r
+}
+
+// VerifyEdge runs the edge's empirical check.
+func VerifyEdge(e Edge, seed int64) error {
+	if e.check == nil {
+		return fmt.Errorf("edge %s→%s has no check", e.From, e.To)
+	}
+	return e.check(seed)
+}
+
+// VerifyAll checks every edge and returns the failures.
+func VerifyAll(seed int64) map[string]error {
+	out := map[string]error{}
+	for _, e := range FamilyTree() {
+		if err := VerifyEdge(e, seed); err != nil {
+			out[e.From+"→"+e.To] = err
+		}
+	}
+	return out
+}
+
+// Roots returns the acronyms with no inbound edge — the tree's roots
+// ("mostly rooted in FDs": FD plus the order-branch root OFD).
+func Roots() []string {
+	hasIn := map[string]bool{}
+	nodes := map[string]bool{}
+	for _, e := range FamilyTree() {
+		hasIn[e.To] = true
+		nodes[e.From] = true
+		nodes[e.To] = true
+	}
+	var out []string
+	for n := range nodes {
+		if !hasIn[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Descendants returns every acronym reachable from the given one.
+func Descendants(acronym string) []string {
+	adj := map[string][]string{}
+	for _, e := range FamilyTree() {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	visited := map[string]bool{}
+	var stack []string
+	stack = append(stack, acronym)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[cur] {
+			if !visited[next] {
+				visited[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	var out []string
+	for n := range visited {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DOT renders the family tree in Graphviz format, clustered by data type.
+func DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph familytree {\n  rankdir=BT;\n")
+	byType := map[DataType][]Entry{}
+	for _, e := range Registry() {
+		byType[e.Type] = append(byType[e.Type], e)
+	}
+	for _, dt := range []DataType{Categorical, Heterogeneous, Numerical} {
+		fmt.Fprintf(&b, "  subgraph cluster_%s {\n    label=%q;\n", dt, dt.String())
+		for _, e := range byType[dt] {
+			fmt.Fprintf(&b, "    %s [label=\"%s\\n%d\"];\n", e.Acronym, e.Acronym, e.Year)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range FamilyTree() {
+		fmt.Fprintf(&b, "  %s -> %s [label=%q];\n", e.From, e.To, e.Section)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+// Package afd implements approximate functional dependencies X →_ε Y
+// (paper §2.3, Kivinen & Mannila [61]): FDs that almost hold, with the g3
+// error measure — the minimum fraction of tuples to remove so that X → Y
+// holds exactly. An AFD holds when g3 ≤ ε. FDs are exactly the AFDs with
+// ε = 0, witnessing the FD → AFD edge of the family tree.
+package afd
+
+import (
+	"fmt"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// AFD is an approximate functional dependency X →_ε Y.
+type AFD struct {
+	// LHS and RHS are the attribute sets X and Y.
+	LHS, RHS attrset.Set
+	// MaxError is the threshold ε ∈ [0, 1).
+	MaxError float64
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromFD embeds an FD as the special-case AFD with ε = 0 (Fig 1: FD → AFD).
+func FromFD(f fd.FD) AFD {
+	return AFD{LHS: f.LHS, RHS: f.RHS, MaxError: 0, Schema: f.Schema}
+}
+
+// Kind implements deps.Dependency.
+func (a AFD) Kind() string { return "AFD" }
+
+// String renders the AFD in the paper's notation.
+func (a AFD) String() string {
+	var names []string
+	if a.Schema != nil {
+		names = a.Schema.Names()
+	}
+	return fmt.Sprintf("%s ->_{ε=%.3g} %s", a.LHS.Names(names), a.MaxError, a.RHS.Names(names))
+}
+
+// G3 computes the error measure g3(X → Y, r) (paper §2.3.1).
+func (a AFD) G3(r *relation.Relation) float64 {
+	px := partition.Build(r, a.LHS)
+	codes, _ := r.GroupCodes(a.RHS.Cols())
+	return px.G3(codes)
+}
+
+// Holds implements deps.Dependency: g3(X → Y, r) ≤ ε.
+func (a AFD) Holds(r *relation.Relation) bool {
+	return a.G3(r) <= a.MaxError
+}
+
+// Violations implements deps.Dependency. When g3 exceeds ε, the witnesses
+// are the minimum tuples whose removal would make the FD hold — the
+// non-majority tuples of each X-group.
+func (a AFD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	g3 := a.G3(r)
+	if g3 <= a.MaxError {
+		return nil
+	}
+	px := partition.Build(r, a.LHS)
+	codes, _ := r.GroupCodes(a.RHS.Cols())
+	var out []deps.Violation
+	for _, class := range px.Classes() {
+		counts := make(map[int]int)
+		for _, row := range class {
+			counts[codes[row]]++
+		}
+		majority, best := -1, -1
+		for y, c := range counts {
+			if c > best {
+				majority, best = y, c
+			}
+		}
+		for _, row := range class {
+			if codes[row] != majority {
+				out = append(out, deps.Violation{
+					Rows: []int{row},
+					Msg:  fmt.Sprintf("removal candidate (g3=%.3f > ε=%.3g)", g3, a.MaxError),
+				})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package afd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+)
+
+func mk(t *testing.T, lhs, rhs string) AFD {
+	t.Helper()
+	r := gen.Table5()
+	a := AFD{Schema: r.Schema()}
+	a.LHS = a.LHS.Add(r.Schema().MustIndex(lhs))
+	a.RHS = a.RHS.Add(r.Schema().MustIndex(rhs))
+	return a
+}
+
+func TestG3OnTable5(t *testing.T) {
+	r := gen.Table5()
+	// Paper §2.3.1: g3(address→region) = 1/4, g3(name→address) = 1/2.
+	if got := mk(t, "address", "region").G3(r); got != 0.25 {
+		t.Errorf("g3(address→region) = %v, want 1/4", got)
+	}
+	if got := mk(t, "name", "address").G3(r); got != 0.5 {
+		t.Errorf("g3(name→address) = %v, want 1/2", got)
+	}
+}
+
+func TestHoldsThreshold(t *testing.T) {
+	r := gen.Table5()
+	a := mk(t, "address", "region")
+	a.MaxError = 0.25
+	if !a.Holds(r) {
+		t.Error("g3 1/4 ≤ 0.25 should hold")
+	}
+	a.MaxError = 0.2
+	if a.Holds(r) {
+		t.Error("g3 1/4 > 0.2 should not hold")
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → AFD: FD holds iff the ε=0 embedding holds.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(25, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		a := FromFD(f)
+		if f.Holds(r) != a.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but AFD(ε=0).Holds=%v",
+				trial, f.Holds(r), a.Holds(r))
+		}
+	}
+}
+
+func TestViolationsCountMatchesG3(t *testing.T) {
+	// The number of removal-candidate violations equals g3 · n.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		r := gen.Categorical(40, []int{4, 3}, rng.Int63())
+		a := AFD{Schema: r.Schema()}
+		a.LHS = a.LHS.Add(0)
+		a.RHS = a.RHS.Add(1)
+		g3 := a.G3(r)
+		vs := a.Violations(r, 0)
+		if got, want := len(vs), int(g3*float64(r.Rows())+0.5); got != want {
+			t.Fatalf("trial %d: %d violations, g3·n = %d", trial, got, want)
+		}
+	}
+}
+
+func TestViolationLimit(t *testing.T) {
+	r := gen.Table5()
+	a := mk(t, "name", "address")
+	if vs := a.Violations(r, 1); len(vs) != 1 {
+		t.Errorf("limit 1: got %d", len(vs))
+	}
+}
+
+func TestNoViolationsWhenHolds(t *testing.T) {
+	r := gen.Table5()
+	a := mk(t, "address", "region")
+	a.MaxError = 0.5
+	if vs := a.Violations(r, 0); vs != nil {
+		t.Errorf("holds ⇒ no violations, got %v", vs)
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table5()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	a := FromFD(f)
+	if a.Kind() != "AFD" {
+		t.Error("Kind")
+	}
+	if got := a.String(); got != "address ->_{ε=0} region" {
+		t.Errorf("String = %q", got)
+	}
+}

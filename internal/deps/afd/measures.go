@@ -1,0 +1,71 @@
+package afd
+
+import (
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// Kivinen & Mannila [61] define three error measures for approximate FDs;
+// the paper presents g3 (§2.3.1), and g1/g2 complete the family:
+//
+//	g1 — the fraction of tuple PAIRS violating the FD,
+//	g2 — the fraction of TUPLES involved in at least one violation,
+//	g3 — the minimum fraction of tuples to remove (the default measure).
+//
+// The measures are ordered g1 ≤ g3 ≤ g2 on every instance, a relationship
+// the property tests verify.
+
+// G1 returns the fraction of unordered tuple pairs that violate X → Y.
+func (a AFD) G1(r *relation.Relation) float64 {
+	n := r.Rows()
+	if n < 2 {
+		return 0
+	}
+	px := partition.Build(r, a.LHS)
+	codes, _ := r.GroupCodes(a.RHS.Cols())
+	violating := 0
+	counts := map[int]int{}
+	for _, class := range px.Classes() {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, row := range class {
+			counts[codes[row]]++
+		}
+		// Pairs within the class disagreeing on Y: total pairs − same-Y
+		// pairs.
+		total := len(class) * (len(class) - 1) / 2
+		same := 0
+		for _, c := range counts {
+			same += c * (c - 1) / 2
+		}
+		violating += total - same
+	}
+	return float64(violating) / float64(n*(n-1)/2)
+}
+
+// G2 returns the fraction of tuples participating in at least one
+// violating pair.
+func (a AFD) G2(r *relation.Relation) float64 {
+	n := r.Rows()
+	if n == 0 {
+		return 0
+	}
+	px := partition.Build(r, a.LHS)
+	codes, _ := r.GroupCodes(a.RHS.Cols())
+	involved := 0
+	counts := map[int]int{}
+	for _, class := range px.Classes() {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, row := range class {
+			counts[codes[row]]++
+		}
+		if len(counts) > 1 {
+			// Every tuple of a mixed class has a disagreeing partner.
+			involved += len(class)
+		}
+	}
+	return float64(involved) / float64(n)
+}

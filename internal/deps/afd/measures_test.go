@@ -1,0 +1,65 @@
+package afd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/gen"
+)
+
+func TestG1G2OnTable5(t *testing.T) {
+	r := gen.Table5()
+	a := mk(t, "address", "region")
+	// One violating pair (t3,t4) of 6 pairs; 2 involved tuples of 4.
+	if got := a.G1(r); got != 1.0/6 {
+		t.Errorf("g1 = %v, want 1/6", got)
+	}
+	if got := a.G2(r); got != 0.5 {
+		t.Errorf("g2 = %v, want 1/2", got)
+	}
+	// name → address: name groups all 4 tuples; pairs violating: pairs
+	// across the two addresses = 2·2 = 4 of 6; all 4 tuples involved.
+	b := mk(t, "name", "address")
+	if got := b.G1(r); got != 4.0/6 {
+		t.Errorf("g1(name→address) = %v, want 2/3", got)
+	}
+	if got := b.G2(r); got != 1 {
+		t.Errorf("g2(name→address) = %v, want 1", got)
+	}
+}
+
+func TestMeasureOrderingG1G3G2(t *testing.T) {
+	// Kivinen & Mannila: g1 ≤ g3 ≤ g2 on every instance.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		a := AFD{Schema: r.Schema()}
+		a.LHS = a.LHS.Add(0)
+		a.RHS = a.RHS.Add(1)
+		g1, g3, g2 := a.G1(r), a.G3(r), a.G2(r)
+		if g1 > g3+1e-12 || g3 > g2+1e-12 {
+			t.Fatalf("trial %d: ordering broken g1=%v g3=%v g2=%v", trial, g1, g3, g2)
+		}
+		if (g1 == 0) != (g3 == 0) || (g3 == 0) != (g2 == 0) {
+			t.Fatalf("trial %d: zero-sets differ g1=%v g3=%v g2=%v", trial, g1, g3, g2)
+		}
+	}
+}
+
+func TestMeasuresOnCleanAndTiny(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 30, Seed: 43})
+	a := AFD{Schema: r.Schema()}
+	a.LHS = a.LHS.Add(r.Schema().MustIndex("address"))
+	a.RHS = a.RHS.Add(r.Schema().MustIndex("region"))
+	if a.G1(r) != 0 || a.G2(r) != 0 {
+		t.Error("clean data must have zero error")
+	}
+	empty := r.Select(func(int) bool { return false })
+	if a.G1(empty) != 0 || a.G2(empty) != 0 {
+		t.Error("empty relation must have zero error")
+	}
+	one := r.Select(func(i int) bool { return i == 0 })
+	if a.G1(one) != 0 || a.G2(one) != 0 {
+		t.Error("singleton relation must have zero error")
+	}
+}

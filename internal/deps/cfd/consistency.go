@@ -1,0 +1,129 @@
+package cfd
+
+import (
+	"fmt"
+
+	"deptree/internal/relation"
+)
+
+// Consistency analysis for CFDs (paper §2.5.3): unlike FDs, a set of CFDs
+// can be *unsatisfiable* — no nonempty instance satisfies all of them —
+// because constant patterns can force contradictory values (Bohannon et
+// al. [11] study the satisfiability problem; for CFDs without finite-
+// domain attributes a chase-style test suffices).
+//
+// The implemented test chases a single symbolic tuple: wildcards denote
+// unconstrained values drawn from an infinite domain, constants pin a
+// cell. Starting from each rule's LHS pattern as a hypothesis, applying
+// constant-RHS rules to fixpoint either converges or derives two distinct
+// constants for one attribute — a witness of inconsistency. The test is
+// sound and complete for constant-pattern CFDs over infinite domains, the
+// fragment where the published conflicts arise; variable (wildcard-RHS)
+// CFDs alone are always satisfiable.
+
+// cellState is the chased knowledge about one attribute.
+type cellState struct {
+	known bool
+	value relation.Value
+}
+
+// Conflict describes an inconsistency witness: the hypothesis tuple and
+// the two rules forcing different constants on one attribute.
+type Conflict struct {
+	// Attr is the contested column.
+	Attr int
+	// A and B are the clashing constants.
+	A, B relation.Value
+}
+
+// String renders the conflict.
+func (c Conflict) String() string {
+	return fmt.Sprintf("attribute %d forced to both %v and %v", c.Attr, c.A, c.B)
+}
+
+// Consistent reports whether the CFD set is satisfiable by some nonempty
+// instance, returning a conflict witness when it is not. Only classic
+// cells (constants, wildcards) participate in chasing; predicate cells
+// (eCFD inequalities) are treated as unconstrained hypotheses, keeping the
+// test sound (it may miss eCFD-only conflicts, never inventing one).
+func Consistent(cfds []CFD, schema *relation.Schema) (bool, *Conflict) {
+	// For each rule, hypothesize a tuple matching its LHS constants, then
+	// chase all rules to fixpoint.
+	for _, seed := range cfds {
+		state := make([]cellState, schema.Len())
+		ok := true
+		for k, col := range seed.X {
+			cell := seed.Pattern[k]
+			if cell.IsClassic() && !cell.IsWildcard() {
+				if conflictAssign(state, col, cell.Conds[0].Const) != nil {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue // seed self-contradictory LHS (duplicate column); skip
+		}
+		if conflict := chase(state, cfds); conflict != nil {
+			return false, conflict
+		}
+	}
+	return true, nil
+}
+
+// chase applies constant-RHS rules whose LHS is entailed by the current
+// state until fixpoint or conflict.
+func chase(state []cellState, cfds []CFD) *Conflict {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range cfds {
+			if !lhsEntailed(state, c) {
+				continue
+			}
+			for k, col := range c.Y {
+				cell := c.Pattern[len(c.X)+k]
+				if cell.IsWildcard() || !cell.IsClassic() {
+					continue
+				}
+				v := cell.Conds[0].Const
+				switch {
+				case !state[col].known:
+					state[col] = cellState{known: true, value: v}
+					changed = true
+				case !state[col].value.Equal(v):
+					return &Conflict{Attr: col, A: state[col].value, B: v}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// lhsEntailed reports whether the symbolic tuple necessarily matches the
+// rule's LHS pattern: every constant cell must equal a KNOWN state value.
+// Wildcard cells always match; unknown cells do not entail constants
+// (the tuple could take any other value).
+func lhsEntailed(state []cellState, c CFD) bool {
+	for k, col := range c.X {
+		cell := c.Pattern[k]
+		if cell.IsWildcard() {
+			continue
+		}
+		if !cell.IsClassic() {
+			return false // predicate cells: not chased
+		}
+		if !state[col].known || !state[col].value.Equal(cell.Conds[0].Const) {
+			return false
+		}
+	}
+	return true
+}
+
+// conflictAssign sets a state cell, reporting a conflict when it is
+// already pinned to a different constant.
+func conflictAssign(state []cellState, col int, v relation.Value) *Conflict {
+	if state[col].known && !state[col].value.Equal(v) {
+		return &Conflict{Attr: col, A: state[col].value, B: v}
+	}
+	state[col] = cellState{known: true, value: v}
+	return nil
+}

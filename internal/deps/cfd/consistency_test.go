@@ -1,0 +1,94 @@
+package cfd
+
+import (
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestInconsistentConstantCFDs(t *testing.T) {
+	// country=UK → capital=London vs country=UK → capital=Edinburgh: no
+	// tuple with country UK can exist, so the set is unsatisfiable (for
+	// nonempty instances containing such a tuple — the standard CFD
+	// satisfiability notion).
+	s := relation.Strings("country", "capital")
+	c1 := Must(s, []string{"country"}, []string{"capital"},
+		[]Cell{Const(relation.String("UK")), Const(relation.String("London"))})
+	c2 := Must(s, []string{"country"}, []string{"capital"},
+		[]Cell{Const(relation.String("UK")), Const(relation.String("Edinburgh"))})
+	ok, conflict := Consistent([]CFD{c1, c2}, s)
+	if ok {
+		t.Fatal("contradictory constants must be inconsistent")
+	}
+	if conflict == nil || conflict.Attr != s.MustIndex("capital") {
+		t.Errorf("conflict = %v", conflict)
+	}
+	if conflict.String() == "" {
+		t.Error("empty conflict string")
+	}
+}
+
+func TestChainedInconsistency(t *testing.T) {
+	// a=1 → b=2; b=2 → c=3; a=1 → c=4: conflict derived transitively.
+	s := relation.Strings("a", "b", "c")
+	r1 := Must(s, []string{"a"}, []string{"b"},
+		[]Cell{Const(relation.String("1")), Const(relation.String("2"))})
+	r2 := Must(s, []string{"b"}, []string{"c"},
+		[]Cell{Const(relation.String("2")), Const(relation.String("3"))})
+	r3 := Must(s, []string{"a"}, []string{"c"},
+		[]Cell{Const(relation.String("1")), Const(relation.String("4"))})
+	if ok, _ := Consistent([]CFD{r1, r2, r3}, s); ok {
+		t.Error("transitive conflict not detected")
+	}
+	// Without the contradicting rule the chain is fine.
+	if ok, _ := Consistent([]CFD{r1, r2}, s); !ok {
+		t.Error("consistent chain rejected")
+	}
+}
+
+func TestConsistentSets(t *testing.T) {
+	s := gen.Table5().Schema()
+	c1 := Must(s, []string{"region", "name"}, []string{"address"},
+		[]Cell{Const(relation.String("Jackson")), Wildcard(), Wildcard()})
+	c2 := Must(s, []string{"region"}, []string{"rate"},
+		[]Cell{Const(relation.String("El Paso")), Const(relation.Int(189))})
+	if ok, conflict := Consistent([]CFD{c1, c2}, s); !ok {
+		t.Errorf("compatible rules flagged: %v", conflict)
+	}
+	// Variable CFDs alone are always satisfiable.
+	v := FromFD([]int{0}, []int{1}, s)
+	if ok, _ := Consistent([]CFD{v}, s); !ok {
+		t.Error("variable CFD flagged")
+	}
+	// Empty set.
+	if ok, _ := Consistent(nil, s); !ok {
+		t.Error("empty set flagged")
+	}
+}
+
+func TestDifferentConditionsNoConflict(t *testing.T) {
+	// country=UK → capital=London and country=FR → capital=Paris touch the
+	// same attribute under disjoint conditions: consistent.
+	s := relation.Strings("country", "capital")
+	c1 := Must(s, []string{"country"}, []string{"capital"},
+		[]Cell{Const(relation.String("UK")), Const(relation.String("London"))})
+	c2 := Must(s, []string{"country"}, []string{"capital"},
+		[]Cell{Const(relation.String("FR")), Const(relation.String("Paris"))})
+	if ok, conflict := Consistent([]CFD{c1, c2}, s); !ok {
+		t.Errorf("disjoint conditions flagged: %v", conflict)
+	}
+}
+
+func TestECFDCellsAreNotChased(t *testing.T) {
+	// Predicate cells are hypothesis-only: the test stays sound (no false
+	// inconsistency) even with inequality conditions present.
+	s := gen.Table5().Schema()
+	e := Must(s, []string{"rate"}, []string{"region"},
+		[]Cell{Pred(OpLe, relation.Int(200)), Const(relation.String("El Paso"))})
+	c := Must(s, []string{"rate"}, []string{"region"},
+		[]Cell{Pred(OpGt, relation.Int(200)), Const(relation.String("Jackson"))})
+	if ok, conflict := Consistent([]CFD{e, c}, s); !ok {
+		t.Errorf("eCFD rules with disjoint ranges flagged: %v", conflict)
+	}
+}

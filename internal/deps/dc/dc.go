@@ -1,0 +1,366 @@
+// Package dc implements denial constraints (paper §4.3, Bertossi et al.
+// [8],[9]): universally quantified negations of predicate conjunctions,
+//
+//	∀ t_α, t_β ∈ R : ¬(P_1 ∧ ... ∧ P_m),
+//
+// where each P_i compares a tuple attribute against another tuple attribute
+// or a constant with an operator from {=, ≠, <, ≤, >, ≥}. DCs subsume ODs
+// (§4.3.2) and eCFDs (§4.3.3), the two inbound edges of Fig 1; both
+// embeddings are provided.
+package dc
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/cfd"
+	"deptree/internal/deps/od"
+	"deptree/internal/relation"
+)
+
+// Op is a comparison operator of the negation-closed set.
+type Op int
+
+// Comparison operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o Op) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">="}[o]
+}
+
+// Negate returns the complementary operator (the set is negation closed).
+func (o Op) Negate() Op {
+	switch o {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	default:
+		return OpLt
+	}
+}
+
+// Eval applies the operator to two values.
+func (o Op) Eval(a, b relation.Value) bool {
+	switch o {
+	case OpEq:
+		return a.Equal(b)
+	case OpNe:
+		return !a.Equal(b)
+	}
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	cmp := a.Compare(b)
+	switch o {
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// TupleVar identifies which quantified tuple an operand refers to.
+type TupleVar int
+
+// The two tuple variables of a (binary) denial constraint.
+const (
+	Alpha TupleVar = iota
+	Beta
+)
+
+// Operand is either a tuple attribute t.A or a constant.
+type Operand struct {
+	// IsConst selects the constant interpretation.
+	IsConst bool
+	// Tuple and Col identify t.A when IsConst is false.
+	Tuple TupleVar
+	Col   int
+	// Const is the constant when IsConst is true.
+	Const relation.Value
+}
+
+// Attr builds a tuple-attribute operand.
+func Attr(t TupleVar, col int) Operand { return Operand{Tuple: t, Col: col} }
+
+// Const builds a constant operand.
+func Const(v relation.Value) Operand { return Operand{IsConst: true, Const: v} }
+
+// value resolves the operand against a concrete pair of rows.
+func (o Operand) value(r *relation.Relation, a, b int) relation.Value {
+	if o.IsConst {
+		return o.Const
+	}
+	if o.Tuple == Alpha {
+		return r.Value(a, o.Col)
+	}
+	return r.Value(b, o.Col)
+}
+
+// String renders the operand.
+func (o Operand) String(names []string) string {
+	if o.IsConst {
+		return fmt.Sprint(o.Const)
+	}
+	t := "tα"
+	if o.Tuple == Beta {
+		t = "tβ"
+	}
+	n := fmt.Sprintf("a%d", o.Col)
+	if names != nil && o.Col < len(names) {
+		n = names[o.Col]
+	}
+	return t + "." + n
+}
+
+// Predicate is one atom P_i = left op right.
+type Predicate struct {
+	Left  Operand
+	Op    Op
+	Right Operand
+}
+
+// P is shorthand for building a predicate.
+func P(left Operand, op Op, right Operand) Predicate {
+	return Predicate{Left: left, Op: op, Right: right}
+}
+
+// Eval evaluates the predicate for rows (a, b) bound to (t_α, t_β).
+func (p Predicate) Eval(r *relation.Relation, a, b int) bool {
+	return p.Op.Eval(p.Left.value(r, a, b), p.Right.value(r, a, b))
+}
+
+// String renders the predicate.
+func (p Predicate) String(names []string) string {
+	return fmt.Sprintf("%s%s%s", p.Left.String(names), p.Op, p.Right.String(names))
+}
+
+// DC is a denial constraint ¬(P_1 ∧ ... ∧ P_m).
+type DC struct {
+	Predicates []Predicate
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// Kind implements deps.Dependency.
+func (d DC) Kind() string { return "DC" }
+
+// String renders the DC in the paper's notation.
+func (d DC) String() string {
+	var names []string
+	if d.Schema != nil {
+		names = d.Schema.Names()
+	}
+	parts := make([]string, len(d.Predicates))
+	for i, p := range d.Predicates {
+		parts[i] = p.String(names)
+	}
+	return "¬(" + strings.Join(parts, " ∧ ") + ")"
+}
+
+// SingleTuple reports whether the DC mentions only t_α, in which case it is
+// evaluated per row rather than per pair.
+func (d DC) SingleTuple() bool {
+	for _, p := range d.Predicates {
+		if (!p.Left.IsConst && p.Left.Tuple == Beta) || (!p.Right.IsConst && p.Right.Tuple == Beta) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds implements deps.Dependency.
+func (d DC) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(d, r)
+}
+
+// Violations implements deps.Dependency: rows (single-tuple DCs) or ordered
+// row pairs (binary DCs) on which every predicate holds simultaneously.
+func (d DC) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	if d.SingleTuple() {
+		for i := 0; i < r.Rows(); i++ {
+			if d.allTrue(r, i, i) {
+				out = append(out, deps.Violation{Rows: []int{i}, Msg: "tuple satisfies all denied predicates"})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+		return out
+	}
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Rows(); j++ {
+			if i == j {
+				continue
+			}
+			if d.allTrue(r, i, j) {
+				out = append(out, deps.Pair(i, j, "pair satisfies all denied predicates"))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (d DC) allTrue(r *relation.Relation, a, b int) bool {
+	for _, p := range d.Predicates {
+		if !p.Eval(r, a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromOD embeds an order dependency as denial constraints (Fig 1: OD → DC):
+// one DC per RHS marked attribute,
+//
+//	¬( t_α.X ordered ∧ t_α.B strictly-violates-order t_β.B ).
+func FromOD(o od.OD) []DC {
+	var lhs []Predicate
+	for _, m := range o.LHS {
+		op := OpLe
+		if m.Desc {
+			op = OpGe
+		}
+		lhs = append(lhs, P(Attr(Alpha, m.Col), op, Attr(Beta, m.Col)))
+	}
+	var out []DC
+	for _, m := range o.RHS {
+		bad := OpGt // ascending RHS violated when t_α.B > t_β.B
+		if m.Desc {
+			bad = OpLt
+		}
+		preds := append(append([]Predicate{}, lhs...), P(Attr(Alpha, m.Col), bad, Attr(Beta, m.Col)))
+		out = append(out, DC{Predicates: preds, Schema: o.Schema})
+	}
+	return out
+}
+
+// FromECFD embeds a CFD or eCFD as denial constraints (Fig 1: eCFD → DC,
+// and transitively FD → CFD → eCFD → DC). For each X attribute the pair
+// must agree (t_α.A = t_β.A) and t_α must satisfy the pattern condition;
+// for each Y attribute, one DC denies disagreement (wildcard cells) or a
+// failed RHS condition (predicate cells — the condition appears negated,
+// so disjunctive RHS cells expand into one conjunct per disjunct).
+// Disjunctive LHS cells expand into the cross product of their disjuncts,
+// one DC per combination.
+func FromECFD(c cfd.CFD) []DC {
+	// Build the common LHS predicate alternatives: agreement plus per-cell
+	// conditions (cross product over disjunctive cells).
+	lhsAlternatives := [][]Predicate{{}}
+	for k, col := range c.X {
+		// Pair agreement on X.
+		for i := range lhsAlternatives {
+			lhsAlternatives[i] = append(lhsAlternatives[i], P(Attr(Alpha, col), OpEq, Attr(Beta, col)))
+		}
+		cell := c.Pattern[k]
+		if cell.IsWildcard() {
+			continue
+		}
+		var expanded [][]Predicate
+		for _, alt := range lhsAlternatives {
+			for _, cond := range cell.Conds {
+				withCond := append(append([]Predicate{}, alt...),
+					P(Attr(Alpha, col), cfdOpToDC(cond.Op), Const(cond.Const)))
+				expanded = append(expanded, withCond)
+			}
+		}
+		lhsAlternatives = expanded
+	}
+	var out []DC
+	for k, col := range c.Y {
+		cell := c.Pattern[len(c.X)+k]
+		// Pair component: matching tuples that agree on X must agree on Y.
+		for _, alt := range lhsAlternatives {
+			preds := append(append([]Predicate{}, alt...), P(Attr(Alpha, col), OpNe, Attr(Beta, col)))
+			out = append(out, DC{Predicates: preds, Schema: c.Schema})
+		}
+		if cell.IsWildcard() {
+			continue
+		}
+		// Single-tuple component: a matching tuple must satisfy the RHS
+		// condition. ¬cell is the conjunction of negated disjuncts — all on
+		// t_α, yielding single-tuple DCs (cross product over disjunctive
+		// LHS cells, conditions only, no pair agreement).
+		for _, alt := range singleTupleLHS(c) {
+			preds := append([]Predicate{}, alt...)
+			for _, cond := range cell.Conds {
+				preds = append(preds, P(Attr(Alpha, col), cfdOpToDC(cond.Op).Negate(), Const(cond.Const)))
+			}
+			out = append(out, DC{Predicates: preds, Schema: c.Schema})
+		}
+	}
+	return out
+}
+
+// singleTupleLHS expands the X pattern cells into per-disjunct condition
+// lists on t_α only (no pair-agreement predicates).
+func singleTupleLHS(c cfd.CFD) [][]Predicate {
+	alts := [][]Predicate{{}}
+	for k, col := range c.X {
+		cell := c.Pattern[k]
+		if cell.IsWildcard() {
+			continue
+		}
+		var expanded [][]Predicate
+		for _, alt := range alts {
+			for _, cond := range cell.Conds {
+				withCond := append(append([]Predicate{}, alt...),
+					P(Attr(Alpha, col), cfdOpToDC(cond.Op), Const(cond.Const)))
+				expanded = append(expanded, withCond)
+			}
+		}
+		alts = expanded
+	}
+	return alts
+}
+
+func cfdOpToDC(o cfd.Op) Op {
+	switch o {
+	case cfd.OpEq:
+		return OpEq
+	case cfd.OpNe:
+		return OpNe
+	case cfd.OpLt:
+		return OpLt
+	case cfd.OpLe:
+		return OpLe
+	case cfd.OpGt:
+		return OpGt
+	default:
+		return OpGe
+	}
+}
+
+// HoldAll reports whether every DC in the set holds — embeddings map one
+// dependency to a set of DCs.
+func HoldAll(dcs []DC, r *relation.Relation) bool {
+	for _, d := range dcs {
+		if !d.Holds(r) {
+			return false
+		}
+	}
+	return true
+}

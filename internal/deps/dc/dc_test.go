@@ -1,0 +1,196 @@
+package dc
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/cfd"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/od"
+	"deptree/internal/deps/ofd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// dc1 is the paper's §4.3.1 example on r7:
+// ¬(tα.subtotal < tβ.subtotal ∧ tα.taxes > tβ.taxes).
+func dc1(r *relation.Relation) DC {
+	s := r.Schema()
+	sub, tax := s.MustIndex("subtotal"), s.MustIndex("taxes")
+	return DC{
+		Predicates: []Predicate{
+			P(Attr(Alpha, sub), OpLt, Attr(Beta, sub)),
+			P(Attr(Alpha, tax), OpGt, Attr(Beta, tax)),
+		},
+		Schema: s,
+	}
+}
+
+func TestDC1OnTable7(t *testing.T) {
+	r := gen.Table7()
+	d := dc1(r)
+	if !d.Holds(r) {
+		t.Errorf("dc1 must hold on r7; violations: %v", d.Violations(r, 0))
+	}
+	// Corrupt: t1 pays more taxes than t2 despite a lower subtotal.
+	r2 := r.Clone()
+	r2.SetValue(0, r.Schema().MustIndex("taxes"), relation.Int(100))
+	vs := d.Violations(r2, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 0 || vs[0].Rows[1] != 1 {
+		t.Fatalf("violations = %v, want (t1,t2)", vs)
+	}
+}
+
+func TestConstantDC(t *testing.T) {
+	// The §1.6 example: price must not be below 200 in region Chicago.
+	r := gen.Table1()
+	s := r.Schema()
+	d := DC{
+		Predicates: []Predicate{
+			P(Attr(Alpha, s.MustIndex("region")), OpEq, Const(relation.String("Chicago"))),
+			P(Attr(Alpha, s.MustIndex("price")), OpLt, Const(relation.Int(200))),
+		},
+		Schema: s,
+	}
+	if !d.SingleTuple() {
+		t.Fatal("constant DC must be single-tuple")
+	}
+	if !d.Holds(r) {
+		t.Errorf("no Chicago hotel under 200 in Table 1; violations: %v", d.Violations(r, 0))
+	}
+	r2 := r.Clone()
+	r2.SetValue(4, s.MustIndex("price"), relation.Int(100))
+	vs := d.Violations(r2, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 4 {
+		t.Fatalf("violations = %v, want t5", vs)
+	}
+	if got := d.Violations(r2, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestODEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge OD → DC (dc2 in §4.3.2): the OD holds iff all its DCs do.
+	r := gen.Table7()
+	o := od.OD{
+		LHS:    []od.Marked{od.Asc(r.Schema(), "nights")},
+		RHS:    []od.Marked{od.Desc(r.Schema(), "avg/night")},
+		Schema: r.Schema(),
+	}
+	dcs := FromOD(o)
+	if len(dcs) != 1 {
+		t.Fatalf("FromOD produced %d DCs, want 1", len(dcs))
+	}
+	if o.Holds(r) != HoldAll(dcs, r) {
+		t.Error("OD and its DC embedding disagree on r7")
+	}
+	rng := rand.New(rand.NewSource(241))
+	for trial := 0; trial < 50; trial++ {
+		rr := gen.Series(12, -5, 5, 0.5, rng.Int63())
+		o2 := od.FromOFD(ofd.Must(rr.Schema(), []string{"seq"}, []string{"value"}, ofd.Pointwise))
+		if got := HoldAll(FromOD(o2), rr); got != o2.Holds(rr) {
+			t.Fatalf("trial %d: OD.Holds=%v but DC embedding=%v", trial, o2.Holds(rr), got)
+		}
+	}
+}
+
+func TestECFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge eCFD → DC (dc3 in §4.3.3): rate≤200, name=_ → address=_.
+	r := gen.Table5()
+	e := cfd.Must(r.Schema(), []string{"rate", "name"}, []string{"address"},
+		[]cfd.Cell{cfd.Pred(cfd.OpLe, relation.Int(200)), cfd.Wildcard(), cfd.Wildcard()})
+	dcs := FromECFD(e)
+	if e.Holds(r) != HoldAll(dcs, r) {
+		t.Error("eCFD and its DC embedding disagree on r5")
+	}
+	// Corrupt so the eCFD fails; the DCs must fail identically.
+	r2 := r.Clone()
+	r2.SetValue(3, r.Schema().MustIndex("rate"), relation.Int(189))
+	r2.SetValue(3, r.Schema().MustIndex("address"), relation.String("elsewhere"))
+	if e.Holds(r2) != HoldAll(dcs, r2) {
+		t.Error("eCFD and DC embedding disagree on corrupted r5")
+	}
+}
+
+func TestCFDEmbeddingRandomized(t *testing.T) {
+	// Transitive FD → CFD → eCFD → DC on random instances, exercising
+	// wildcard and constant patterns.
+	rng := rand.New(rand.NewSource(251))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		c := cfd.FromFD(f.LHS.Cols(), f.RHS.Cols(), r.Schema())
+		if got := HoldAll(FromECFD(c), r); got != c.Holds(r) {
+			t.Fatalf("trial %d: CFD.Holds=%v but DC embedding=%v", trial, c.Holds(r), got)
+		}
+	}
+}
+
+func TestConstantRHSCFDEmbedding(t *testing.T) {
+	// CFD with a constant RHS cell: single-tuple DC component required.
+	r := gen.Table5()
+	c := cfd.Must(r.Schema(), []string{"region"}, []string{"rate"},
+		[]cfd.Cell{cfd.Const(relation.String("Jackson")), cfd.Const(relation.Int(230))})
+	dcs := FromECFD(c)
+	if c.Holds(r) != HoldAll(dcs, r) {
+		t.Error("constant-RHS CFD and DC embedding disagree (both should fail: t2 rate 250)")
+	}
+	if c.Holds(r) {
+		t.Error("fixture expectation: the CFD should fail on r5")
+	}
+}
+
+func TestDisjunctiveLHSEmbedding(t *testing.T) {
+	r := gen.Table5()
+	cell := cfd.AnyOf(
+		cfd.Cond{Op: cfd.OpEq, Const: relation.String("Jackson")},
+		cfd.Cond{Op: cfd.OpEq, Const: relation.String("El Paso")},
+	)
+	c := cfd.Must(r.Schema(), []string{"region"}, []string{"name"},
+		[]cfd.Cell{cell, cfd.Wildcard()})
+	dcs := FromECFD(c)
+	if len(dcs) != 2 {
+		t.Fatalf("disjunctive LHS should expand to 2 DCs, got %d", len(dcs))
+	}
+	if c.Holds(r) != HoldAll(dcs, r) {
+		t.Error("disjunctive eCFD and DC embedding disagree")
+	}
+}
+
+func TestOpNegation(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	vals := []relation.Value{relation.Int(1), relation.Int(2), relation.Int(3)}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negation of %s", op)
+		}
+		for _, a := range vals {
+			for _, b := range vals {
+				if op.Eval(a, b) == op.Negate().Eval(a, b) {
+					t.Errorf("%v %s %v and its negation agree", a, op, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNullComparisons(t *testing.T) {
+	null := relation.Null(relation.KindInt)
+	if OpLt.Eval(null, relation.Int(1)) || OpGe.Eval(relation.Int(1), null) {
+		t.Error("order comparisons with null must be false")
+	}
+	if !OpEq.Eval(null, null) {
+		t.Error("null = null")
+	}
+}
+
+func TestString(t *testing.T) {
+	r := gen.Table7()
+	d := dc1(r)
+	if d.Kind() != "DC" {
+		t.Error("Kind")
+	}
+	if got := d.String(); got != "¬(tα.subtotal<tβ.subtotal ∧ tα.taxes>tβ.taxes)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,128 @@
+package dd
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/cfd"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Condition is a categorical equality condition A = a restricting a CDD to
+// a subset of tuples.
+type Condition struct {
+	Col   int
+	Value relation.Value
+}
+
+// CDD is a conditional differential dependency (paper §3.3.5): a DD that
+// holds only among tuples matching all categorical conditions. CDDs extend
+// both DDs (conditions added) and CFDs (equality relaxed to differential
+// functions), the two inbound edges of Fig 1.
+type CDD struct {
+	// Conditions select the tuple subset (conjunction of constants).
+	Conditions []Condition
+	// DD is the embedded differential dependency.
+	DD DD
+}
+
+// FromDD embeds a DD as the condition-free CDD (Fig 1: DD → CDD).
+func FromDD(d DD) CDD { return CDD{DD: d} }
+
+// FromCFD embeds a constant-conditioned CFD as a CDD (Fig 1: CFD → CDD):
+// constant X cells become conditions, wildcard X cells become distance-0
+// differential functions, and Y attributes become distance-0 functions.
+// CFDs with constant Y cells additionally condition on the Y constant,
+// which CDDs cannot express pairwise; such CFDs are rejected.
+func FromCFD(c cfd.CFD) (CDD, error) {
+	out := CDD{DD: DD{Schema: c.Schema}}
+	for k, col := range c.X {
+		cell := c.Pattern[k]
+		switch {
+		case cell.IsWildcard():
+			out.DD.LHS = append(out.DD.LHS, DiffFunc{Col: col, Metric: metric.Equality{}, Op: OpLe, Threshold: 0})
+		case cell.IsClassic():
+			out.Conditions = append(out.Conditions, Condition{Col: col, Value: cell.Conds[0].Const})
+		default:
+			return CDD{}, fmt.Errorf("cdd: eCFD cell %s not expressible as a CDD condition", cell)
+		}
+	}
+	for k, col := range c.Y {
+		cell := c.Pattern[len(c.X)+k]
+		if !cell.IsWildcard() {
+			return CDD{}, fmt.Errorf("cdd: constant RHS cell %s not expressible in a pairwise CDD", cell)
+		}
+		out.DD.RHS = append(out.DD.RHS, DiffFunc{Col: col, Metric: metric.Equality{}, Op: OpLe, Threshold: 0})
+	}
+	return out, nil
+}
+
+// Kind implements deps.Dependency.
+func (c CDD) Kind() string { return "CDD" }
+
+// String renders the CDD.
+func (c CDD) String() string {
+	var names []string
+	if c.DD.Schema != nil {
+		names = c.DD.Schema.Names()
+	}
+	conds := make([]string, len(c.Conditions))
+	for i, cond := range c.Conditions {
+		n := fmt.Sprintf("a%d", cond.Col)
+		if names != nil && cond.Col < len(names) {
+			n = names[cond.Col]
+		}
+		conds[i] = fmt.Sprintf("%s=%v", n, cond.Value)
+	}
+	if len(conds) == 0 {
+		return c.DD.String()
+	}
+	return fmt.Sprintf("[%s] %s", strings.Join(conds, ", "), c.DD.String())
+}
+
+// matches reports whether row i satisfies every condition.
+func (c CDD) matches(r *relation.Relation, i int) bool {
+	for _, cond := range c.Conditions {
+		if !r.Value(i, cond.Col).Equal(cond.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds implements deps.Dependency.
+func (c CDD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(c, r)
+}
+
+// Violations implements deps.Dependency: DD violations restricted to pairs
+// where both tuples match the conditions.
+func (c CDD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	var names []string
+	if c.DD.Schema != nil {
+		names = c.DD.Schema.Names()
+	}
+	var matching []int
+	for i := 0; i < r.Rows(); i++ {
+		if c.matches(r, i) {
+			matching = append(matching, i)
+		}
+	}
+	for a := 0; a < len(matching); a++ {
+		for b := a + 1; b < len(matching); b++ {
+			i, j := matching[a], matching[b]
+			if c.DD.LHS.Compatible(r, i, j) && !c.DD.RHS.Compatible(r, i, j) {
+				out = append(out, deps.Pair(i, j,
+					"conditioned pair satisfies %s but not %s",
+					c.DD.LHS.String(names), c.DD.RHS.String(names)))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

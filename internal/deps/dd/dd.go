@@ -1,0 +1,204 @@
+// Package dd implements differential dependencies (paper §3.3, Song & Chen
+// [86]) and their conditional extension CDDs (§3.3.5, Kwashie et al. [66]).
+//
+// A DD φ[X] → φ[Y] constrains pairs of tuples by differential functions:
+// ranges of metric distances specified with {=, <, >, ≤, ≥}. Unlike NEDs,
+// differential functions express "dissimilar" semantics too (e.g.
+// street(≥10)). NEDs are the DDs whose differential functions are all
+// upper bounds, witnessing the NED → DD edge of the family tree.
+package dd
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/ned"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// RangeOp is the comparison of a differential function.
+type RangeOp int
+
+// Differential function operators over metric distances.
+const (
+	OpEq RangeOp = iota // distance = t
+	OpLt                // distance < t
+	OpLe                // distance ≤ t
+	OpGt                // distance > t
+	OpGe                // distance ≥ t
+)
+
+// String renders the operator.
+func (o RangeOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("RangeOp(%d)", int(o))
+	}
+}
+
+// Eval applies the operator.
+func (o RangeOp) Eval(d, t float64) bool {
+	if d != d { // NaN distance: incomparable values never satisfy
+		return false
+	}
+	switch o {
+	case OpEq:
+		return d == t
+	case OpLt:
+		return d < t
+	case OpLe:
+		return d <= t
+	case OpGt:
+		return d > t
+	case OpGe:
+		return d >= t
+	default:
+		return false
+	}
+}
+
+// DiffFunc is a differential function φ[A]: a restriction on the metric
+// distance of two tuples on attribute A.
+type DiffFunc struct {
+	Col       int
+	Metric    metric.Metric
+	Op        RangeOp
+	Threshold float64
+}
+
+// Compatible reports whether rows i and j satisfy the distance restriction,
+// (t1, t2) ≍ φ[A] in the paper's notation.
+func (f DiffFunc) Compatible(r *relation.Relation, i, j int) bool {
+	return f.Op.Eval(f.Metric.Distance(r.Value(i, f.Col), r.Value(j, f.Col)), f.Threshold)
+}
+
+// String renders the differential function as "street(<=5)".
+func (f DiffFunc) String(names []string) string {
+	n := fmt.Sprintf("a%d", f.Col)
+	if names != nil && f.Col < len(names) {
+		n = names[f.Col]
+	}
+	return fmt.Sprintf("%s(%s%.3g)", n, f.Op, f.Threshold)
+}
+
+// Pattern is a differential function over a set of attributes φ[X]: a
+// conjunction of single-attribute differential functions.
+type Pattern []DiffFunc
+
+// Compatible reports whether rows i and j satisfy every restriction.
+func (p Pattern) Compatible(r *relation.Relation, i, j int) bool {
+	for _, f := range p {
+		if !f.Compatible(r, i, j) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the pattern.
+func (p Pattern) String(names []string) string {
+	parts := make([]string, len(p))
+	for i, f := range p {
+		parts[i] = f.String(names)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// F builds a differential function with the default metric for the
+// attribute's kind.
+func F(schema *relation.Schema, name string, op RangeOp, threshold float64) DiffFunc {
+	i := schema.MustIndex(name)
+	return DiffFunc{Col: i, Metric: metric.ForKind(schema.Attr(i).Kind), Op: op, Threshold: threshold}
+}
+
+// DD is a differential dependency φ[X] → φ[Y].
+type DD struct {
+	LHS, RHS Pattern
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromNED embeds an NED as the special-case DD whose differential functions
+// all express "similar" (≤) semantics (Fig 1: NED → DD).
+func FromNED(n ned.NED) DD {
+	d := DD{Schema: n.Schema}
+	for _, t := range n.LHS {
+		d.LHS = append(d.LHS, DiffFunc{Col: t.Col, Metric: t.Metric, Op: OpLe, Threshold: t.Threshold})
+	}
+	for _, t := range n.RHS {
+		d.RHS = append(d.RHS, DiffFunc{Col: t.Col, Metric: t.Metric, Op: OpLe, Threshold: t.Threshold})
+	}
+	return d
+}
+
+// Kind implements deps.Dependency.
+func (d DD) Kind() string { return "DD" }
+
+// String renders the DD in the paper's notation.
+func (d DD) String() string {
+	var names []string
+	if d.Schema != nil {
+		names = d.Schema.Names()
+	}
+	return fmt.Sprintf("%s -> %s", d.LHS.String(names), d.RHS.String(names))
+}
+
+// Holds implements deps.Dependency.
+func (d DD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(d, r)
+}
+
+// Violations implements deps.Dependency: pairs compatible with φ[X] but not
+// with φ[Y]. DD semantics quantify over ordered pairs, but all metrics are
+// symmetric, so unordered enumeration suffices.
+func (d DD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	var names []string
+	if d.Schema != nil {
+		names = d.Schema.Names()
+	}
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if d.LHS.Compatible(r, i, j) && !d.RHS.Compatible(r, i, j) {
+				out = append(out, deps.Pair(i, j,
+					"satisfy %s but not %s", d.LHS.String(names), d.RHS.String(names)))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SupportConfidence returns the pair support of φ[X] and the fraction of
+// supporting pairs that satisfy φ[Y], the measures used by DD discovery.
+func (d DD) SupportConfidence(r *relation.Relation) (support int, confidence float64) {
+	good := 0
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if d.LHS.Compatible(r, i, j) {
+				support++
+				if d.RHS.Compatible(r, i, j) {
+					good++
+				}
+			}
+		}
+	}
+	if support == 0 {
+		return 0, 1
+	}
+	return support, float64(good) / float64(support)
+}

@@ -1,0 +1,240 @@
+package dd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deptree/internal/deps/cfd"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/deps/ned"
+	"deptree/internal/gen"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+func TestDD1OnTable6(t *testing.T) {
+	// dd1: name(≤1), street(≤5) → address(≤5) (paper §3.3.1).
+	r := gen.Table6()
+	s := r.Schema()
+	d := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 1), F(s, "street", OpLe, 5)},
+		RHS:    Pattern{F(s, "address", OpLe, 5)},
+		Schema: s,
+	}
+	if !d.Holds(r) {
+		t.Errorf("dd1 must hold on r6; violations: %v", d.Violations(r, 0))
+	}
+	// The paper's worked pair: t2 and t6 satisfy both sides.
+	if !d.LHS.Compatible(r, 1, 5) || !d.RHS.Compatible(r, 1, 5) {
+		t.Error("t2/t6 must be compatible with both patterns")
+	}
+}
+
+func TestDD2DissimilarSemantics(t *testing.T) {
+	// dd2: street(≥10) → address(≥5) (paper §3.3.1): dissimilar streets
+	// must have dissimilar addresses.
+	r := gen.Table6()
+	s := r.Schema()
+	d := DD{
+		LHS:    Pattern{F(s, "street", OpGe, 10)},
+		RHS:    Pattern{F(s, "address", OpGe, 5)},
+		Schema: s,
+	}
+	if !d.Holds(r) {
+		t.Errorf("dd2 must hold on r6; violations: %v", d.Violations(r, 0))
+	}
+	// Corrupt: make one tuple's street very distant from t2's while the
+	// two share an address — dissimilar streets, similar addresses.
+	r2 := r.Clone()
+	r2.SetValue(0, s.MustIndex("street"), relation.String("Zxqwvutsrqponm Boulevard"))
+	r2.SetValue(0, s.MustIndex("address"), r.Value(1, s.MustIndex("address")))
+	if d.Holds(r2) {
+		t.Error("dd2 must fail once dissimilar streets share an address")
+	}
+}
+
+func TestNEDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge NED → DD: all-≤ differential functions reproduce the NED.
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 20, Seed: rng.Int63(), VarietyRate: 0.4})
+		s := r.Schema()
+		n := ned.NED{
+			LHS:    ned.Predicate{ned.T(s, "name", 2)},
+			RHS:    ned.Predicate{ned.T(s, "region", 6)},
+			Schema: s,
+		}
+		d := FromNED(n)
+		if n.Holds(r) != d.Holds(r) {
+			t.Fatalf("trial %d: NED.Holds=%v but DD.Holds=%v", trial, n.Holds(r), d.Holds(r))
+		}
+	}
+}
+
+func TestFDThroughFullChain(t *testing.T) {
+	// Transitive chain FD → MFD → NED → DD.
+	rng := rand.New(rand.NewSource(161))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		d := FromNED(ned.FromMFD(mfd.FromFD(f)))
+		if f.Holds(r) != d.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but DD.Holds=%v", trial, f.Holds(r), d.Holds(r))
+		}
+	}
+}
+
+func TestRangeOpEval(t *testing.T) {
+	cases := []struct {
+		op   RangeOp
+		d, t float64
+		want bool
+	}{
+		{OpEq, 5, 5, true},
+		{OpEq, 5, 4, false},
+		{OpLt, 3, 5, true},
+		{OpLe, 5, 5, true},
+		{OpGt, 6, 5, true},
+		{OpGe, 5, 5, true},
+		{OpGe, 4, 5, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.d, c.t); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.d, c.op, c.t, got, c.want)
+		}
+	}
+	nan := metric.Absolute{}.Distance(relation.String("x"), relation.Int(1))
+	if OpGe.Eval(nan, 0) || OpLe.Eval(nan, 1e18) {
+		t.Error("NaN distances must satisfy no differential function")
+	}
+}
+
+func TestSupportConfidence(t *testing.T) {
+	r := gen.Table6()
+	s := r.Schema()
+	d := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 1)},
+		RHS:    Pattern{F(s, "price", OpLe, 1)},
+		Schema: s,
+	}
+	support, conf := d.SupportConfidence(r)
+	if support == 0 {
+		t.Fatal("identical names must support the LHS")
+	}
+	if conf <= 0 || conf > 1 {
+		t.Errorf("confidence = %v", conf)
+	}
+}
+
+func TestCDDConditionsRestrict(t *testing.T) {
+	// The paper's §3.3.5 example: in region "San Jose", tuples with similar
+	// names must have similar addresses.
+	r := gen.Table6()
+	s := r.Schema()
+	c := CDD{
+		Conditions: []Condition{{Col: s.MustIndex("region"), Value: relation.String("San Jose")}},
+		DD: DD{
+			LHS:    Pattern{F(s, "name", OpLe, 1)},
+			RHS:    Pattern{F(s, "address", OpLe, 5)},
+			Schema: s,
+		},
+	}
+	if !c.Holds(r) {
+		t.Errorf("CDD must hold; violations: %v", c.Violations(r, 0))
+	}
+	// Corrupt a San Jose tuple's address: violation appears.
+	r2 := r.Clone()
+	r2.SetValue(5, s.MustIndex("address"), relation.String("Absolutely Elsewhere 123456"))
+	vs := c.Violations(r2, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 1 || vs[0].Rows[1] != 5 {
+		t.Fatalf("violations = %v, want (t2,t6)", vs)
+	}
+	// The same corruption outside the condition is ignored.
+	r3 := r.Clone()
+	r3.SetValue(5, s.MustIndex("region"), relation.String("Nowhere"))
+	r3.SetValue(5, s.MustIndex("address"), relation.String("Absolutely Elsewhere 123456"))
+	if !c.Holds(r3) {
+		t.Error("tuples outside the condition must not violate")
+	}
+}
+
+func TestDDEmbeddingIntoCDD(t *testing.T) {
+	// Fig 1 edge DD → CDD: condition-free CDD ≡ DD.
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 40; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 15, Seed: rng.Int63(), ErrorRate: 0.3})
+		s := r.Schema()
+		d := DD{
+			LHS:    Pattern{F(s, "address", OpLe, 0)},
+			RHS:    Pattern{F(s, "region", OpLe, 0)},
+			Schema: s,
+		}
+		c := FromDD(d)
+		if d.Holds(r) != c.Holds(r) {
+			t.Fatalf("trial %d: DD.Holds=%v but CDD.Holds=%v", trial, d.Holds(r), c.Holds(r))
+		}
+	}
+}
+
+func TestCFDEmbeddingIntoCDD(t *testing.T) {
+	// Fig 1 edge CFD → CDD: constant-condition CFDs translate exactly.
+	r := gen.Table5()
+	c := cfd.Must(r.Schema(), []string{"region", "name"}, []string{"address"},
+		[]cfd.Cell{cfd.Const(relation.String("Jackson")), cfd.Wildcard(), cfd.Wildcard()})
+	conv, err := FromCFD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Holds(r) != conv.Holds(r) {
+		t.Error("CFD and its CDD embedding disagree on r5")
+	}
+	// Corrupt so the CFD fails; the CDD must fail identically.
+	r2 := r.Clone()
+	r2.SetValue(1, r.Schema().MustIndex("address"), relation.String("999 Elsewhere"))
+	if c.Holds(r2) != conv.Holds(r2) {
+		t.Error("CFD and CDD embedding disagree on corrupted r5")
+	}
+	// RHS constants are not expressible.
+	bad := cfd.Must(r.Schema(), []string{"region"}, []string{"rate"},
+		[]cfd.Cell{cfd.Const(relation.String("Jackson")), cfd.Const(relation.Int(230))})
+	if _, err := FromCFD(bad); err == nil {
+		t.Error("constant RHS must be rejected")
+	}
+	// eCFD cells are not expressible.
+	ext := cfd.Must(r.Schema(), []string{"rate"}, []string{"address"},
+		[]cfd.Cell{cfd.Pred(cfd.OpLe, relation.Int(200)), cfd.Wildcard()})
+	if _, err := FromCFD(ext); err == nil {
+		t.Error("eCFD cells must be rejected")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := gen.Table6()
+	s := r.Schema()
+	d := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 1), F(s, "street", OpLe, 5)},
+		RHS:    Pattern{F(s, "address", OpLe, 5)},
+		Schema: s,
+	}
+	if d.Kind() != "DD" {
+		t.Error("Kind")
+	}
+	if got := d.String(); got != "name(<=1), street(<=5) -> address(<=5)" {
+		t.Errorf("String = %q", got)
+	}
+	c := CDD{
+		Conditions: []Condition{{Col: s.MustIndex("region"), Value: relation.String("San Jose")}},
+		DD:         d,
+	}
+	if c.Kind() != "CDD" {
+		t.Error("CDD Kind")
+	}
+	if !strings.HasPrefix(c.String(), "[region=San Jose] ") {
+		t.Errorf("CDD String = %q", c.String())
+	}
+	if FromDD(d).String() != d.String() {
+		t.Error("condition-free CDD renders as the DD")
+	}
+}

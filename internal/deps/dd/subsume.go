@@ -1,0 +1,96 @@
+package dd
+
+// Subsumption reasoning for differential dependencies (paper §3.3.3): full
+// DD implication is co-NP-complete [86], but the syntactic subsumption
+// order — looser LHS and tighter RHS — is a sound, cheap fragment that
+// powers the minimality notion of DD discovery ("minimal DDs" are the
+// subsumption-maximal valid ones) and lets rule sets be reduced.
+
+// impliesFunc reports whether satisfying differential function a implies
+// satisfying b, for constraints over the same column and metric. It is the
+// containment of distance ranges: e.g. (≤3) implies (≤5), (≥10) implies
+// (≥7), (=4) implies (≤5).
+func impliesFunc(a, b DiffFunc) bool {
+	if a.Col != b.Col || a.Metric.Name() != b.Metric.Name() {
+		return false
+	}
+	switch a.Op {
+	case OpEq: // d = t_a
+		return b.Op.Eval(a.Threshold, b.Threshold)
+	case OpLe: // d ≤ t_a
+		switch b.Op {
+		case OpLe:
+			return b.Threshold >= a.Threshold
+		case OpLt:
+			return b.Threshold > a.Threshold
+		}
+	case OpLt: // d < t_a
+		switch b.Op {
+		case OpLe, OpLt:
+			return b.Threshold >= a.Threshold
+		}
+	case OpGe: // d ≥ t_a
+		switch b.Op {
+		case OpGe:
+			return b.Threshold <= a.Threshold
+		case OpGt:
+			return b.Threshold < a.Threshold
+		}
+	case OpGt: // d > t_a
+		switch b.Op {
+		case OpGe, OpGt:
+			return b.Threshold <= a.Threshold
+		}
+	}
+	return false
+}
+
+// ImpliesPattern reports whether every tuple pair compatible with pattern
+// p is compatible with pattern q (sound syntactic check: each constraint
+// of q is implied by some constraint of p).
+func ImpliesPattern(p, q Pattern) bool {
+	for _, qf := range q {
+		ok := false
+		for _, pf := range p {
+			if impliesFunc(pf, qf) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether d1 logically entails d2 by subsumption: any
+// pair satisfying d2's LHS satisfies d1's LHS (d2 conditions are tighter),
+// and any pair satisfying d1's RHS satisfies d2's RHS (d2 conclusions are
+// looser). If d1 holds on an instance, so does d2 — a property the test
+// suite verifies on random data.
+func Subsumes(d1, d2 DD) bool {
+	return ImpliesPattern(d2.LHS, d1.LHS) && ImpliesPattern(d1.RHS, d2.RHS)
+}
+
+// Reduce drops the DDs subsumed by another DD in the set, returning the
+// subsumption-maximal core (order preserved; ties keep the earlier rule).
+func Reduce(dds []DD) []DD {
+	var out []DD
+	for i, d := range dds {
+		redundant := false
+		for j, e := range dds {
+			if i == j {
+				continue
+			}
+			if Subsumes(e, d) && !(Subsumes(d, e) && j > i) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package dd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/metric"
+)
+
+func f(col int, op RangeOp, t float64) DiffFunc {
+	return DiffFunc{Col: col, Metric: metric.Levenshtein{}, Op: op, Threshold: t}
+}
+
+func TestImpliesFunc(t *testing.T) {
+	cases := []struct {
+		a, b DiffFunc
+		want bool
+	}{
+		{f(0, OpLe, 3), f(0, OpLe, 5), true},
+		{f(0, OpLe, 5), f(0, OpLe, 3), false},
+		{f(0, OpLe, 3), f(0, OpLt, 4), true},
+		{f(0, OpLe, 3), f(0, OpLt, 3), false},
+		{f(0, OpLt, 3), f(0, OpLe, 3), true},
+		{f(0, OpGe, 10), f(0, OpGe, 7), true},
+		{f(0, OpGe, 7), f(0, OpGe, 10), false},
+		{f(0, OpGt, 7), f(0, OpGe, 7), true},
+		{f(0, OpGe, 7), f(0, OpGt, 7), false},
+		{f(0, OpEq, 4), f(0, OpLe, 5), true},
+		{f(0, OpEq, 6), f(0, OpLe, 5), false},
+		{f(0, OpEq, 6), f(0, OpGe, 5), true},
+		{f(0, OpLe, 3), f(1, OpLe, 5), false}, // different column
+		{f(0, OpLe, 3), f(0, OpGe, 1), false}, // direction flip unsound
+	}
+	for _, c := range cases {
+		if got := impliesFunc(c.a, c.b); got != c.want {
+			t.Errorf("implies(%v, %v) = %v, want %v",
+				c.a.String(nil), c.b.String(nil), got, c.want)
+		}
+	}
+}
+
+func TestImpliesFuncSemanticSoundness(t *testing.T) {
+	// Whenever impliesFunc says yes, every distance satisfying a satisfies
+	// b — checked over a grid of distances and random constraints.
+	rng := rand.New(rand.NewSource(15))
+	ops := []RangeOp{OpEq, OpLt, OpLe, OpGt, OpGe}
+	for trial := 0; trial < 500; trial++ {
+		a := f(0, ops[rng.Intn(len(ops))], float64(rng.Intn(8)))
+		b := f(0, ops[rng.Intn(len(ops))], float64(rng.Intn(8)))
+		if !impliesFunc(a, b) {
+			continue
+		}
+		for d := 0.0; d <= 10; d += 0.5 {
+			if a.Op.Eval(d, a.Threshold) && !b.Op.Eval(d, b.Threshold) {
+				t.Fatalf("unsound: %v implies %v but d=%v separates them",
+					a.String(nil), b.String(nil), d)
+			}
+		}
+	}
+}
+
+func TestSubsumesSemanticSoundness(t *testing.T) {
+	// Subsumes(d1, d2) and d1 holds ⇒ d2 holds, on random instances.
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for trial := 0; trial < 300 && checked < 40; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 12, Seed: rng.Int63(), VarietyRate: 0.4, ErrorRate: 0.3})
+		s := r.Schema()
+		t1 := float64(rng.Intn(5))
+		t2 := float64(rng.Intn(8))
+		d1 := DD{
+			LHS:    Pattern{F(s, "name", OpLe, t1+2)},
+			RHS:    Pattern{F(s, "region", OpLe, t2)},
+			Schema: s,
+		}
+		d2 := DD{
+			LHS:    Pattern{F(s, "name", OpLe, t1)},
+			RHS:    Pattern{F(s, "region", OpLe, t2+3)},
+			Schema: s,
+		}
+		if !Subsumes(d1, d2) {
+			t.Fatal("constructed subsumption should hold syntactically")
+		}
+		if d1.Holds(r) {
+			checked++
+			if !d2.Holds(r) {
+				t.Fatalf("trial %d: d1 holds but subsumed d2 fails", trial)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no instance satisfied d1; adjust generator")
+	}
+}
+
+func TestSubsumesDirection(t *testing.T) {
+	// The stronger rule covers more pairs (looser LHS) and promises more
+	// (tighter RHS); it entails the weaker rule with tighter LHS and
+	// looser RHS — never the other way around.
+	s := gen.Table6().Schema()
+	strong := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 5)},
+		RHS:    Pattern{F(s, "address", OpLe, 5)},
+		Schema: s,
+	}
+	weak := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 1)},
+		RHS:    Pattern{F(s, "address", OpLe, 10)},
+		Schema: s,
+	}
+	if !Subsumes(strong, weak) {
+		t.Error("strong rule must subsume the weak one")
+	}
+	if Subsumes(weak, strong) {
+		t.Error("subsumption is not symmetric here")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	s := gen.Table6().Schema()
+	strong := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 5)},
+		RHS:    Pattern{F(s, "address", OpLe, 5)},
+		Schema: s,
+	}
+	weak := DD{
+		LHS:    Pattern{F(s, "name", OpLe, 1)},
+		RHS:    Pattern{F(s, "address", OpLe, 9)},
+		Schema: s,
+	}
+	unrelated := DD{
+		LHS:    Pattern{F(s, "street", OpLe, 2)},
+		RHS:    Pattern{F(s, "zip", OpLe, 0)},
+		Schema: s,
+	}
+	got := Reduce([]DD{weak, strong, unrelated})
+	if len(got) != 2 {
+		t.Fatalf("Reduce kept %d rules, want 2: %v", len(got), got)
+	}
+	if got[0].String() != strong.String() && got[1].String() != strong.String() {
+		t.Error("strong rule lost")
+	}
+	// Duplicates: exactly one survives.
+	dup := Reduce([]DD{strong, strong})
+	if len(dup) != 1 {
+		t.Errorf("duplicate reduction kept %d", len(dup))
+	}
+}

@@ -1,0 +1,71 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/relation"
+)
+
+// ArmstrongRelation constructs an Armstrong relation for the FD set: an
+// instance that satisfies exactly the FDs implied by the set (Beeri et al.
+// [5] establish existence; this is the classical closed-set construction).
+// The instance has one base row plus one row per distinct closed set C ⊂ R,
+// agreeing with the base row exactly on C.
+//
+// Armstrong relations tie inference and discovery together: running TANE
+// or FastFD on ArmstrongRelation(n, Σ) recovers a cover equivalent to Σ —
+// a property the test suite checks. The construction enumerates all 2^n
+// subsets; n is capped at 16.
+func ArmstrongRelation(n int, fds []FD) (*relation.Relation, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("fd: Armstrong construction supports 1..16 attributes, got %d", n)
+	}
+	full := attrset.Full(n)
+	// Distinct closed sets X+ over all X ⊆ R, excluding R itself (a row
+	// agreeing with the base everywhere would be a duplicate).
+	closedSet := map[attrset.Set]bool{}
+	full.Subsets(func(x attrset.Set) {
+		c := Closure(x, fds)
+		if c != full {
+			closedSet[c] = true
+		}
+	})
+	closed := make([]attrset.Set, 0, len(closedSet))
+	for c := range closedSet {
+		closed = append(closed, c)
+	}
+	sort.Slice(closed, func(i, j int) bool { return closed[i] < closed[j] })
+
+	attrs := make([]relation.Attribute, n)
+	for i := range attrs {
+		attrs[i] = relation.Attribute{Name: fmt.Sprintf("a%d", i), Kind: relation.KindInt}
+	}
+	r := relation.New("armstrong", relation.NewSchema(attrs...))
+	// Base row: all zeros.
+	base := make([]relation.Value, n)
+	for i := range base {
+		base[i] = relation.Int(0)
+	}
+	if err := r.Append(base); err != nil {
+		return nil, err
+	}
+	// One row per closed set: agree with base on C, fresh values elsewhere.
+	fresh := 1
+	for _, c := range closed {
+		row := make([]relation.Value, n)
+		for i := 0; i < n; i++ {
+			if c.Has(i) {
+				row[i] = relation.Int(0)
+			} else {
+				row[i] = relation.Int(fresh)
+				fresh++
+			}
+		}
+		if err := r.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,90 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/attrset"
+)
+
+func TestArmstrongSatisfiesExactlyImpliedFDs(t *testing.T) {
+	fds := []FD{
+		{LHS: attrset.Of(0), RHS: attrset.Of(1)},
+		{LHS: attrset.Of(1, 2), RHS: attrset.Of(3)},
+	}
+	n := 4
+	r, err := ArmstrongRelation(n, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every FD X→A: holds on r iff implied by the set.
+	attrset.Full(n).Subsets(func(x attrset.Set) {
+		for a := 0; a < n; a++ {
+			if x.Has(a) {
+				continue
+			}
+			f := FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()}
+			implied := Implies(fds, f)
+			holds := f.Holds(r)
+			if implied != holds {
+				t.Errorf("FD %v: implied=%v but holds=%v", f, implied, holds)
+			}
+		}
+	})
+}
+
+func TestArmstrongRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(2)
+		var fds []FD
+		for k := 0; k < 4; k++ {
+			lhs := attrset.Set(rng.Intn(1<<n) | (1 << rng.Intn(n)))
+			rhs := attrset.Single(rng.Intn(n))
+			fds = append(fds, FD{LHS: lhs, RHS: rhs})
+		}
+		r, err := ArmstrongRelation(n, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		attrset.Full(n).Subsets(func(x attrset.Set) {
+			for a := 0; a < n; a++ {
+				if x.Has(a) {
+					continue
+				}
+				f := FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()}
+				if Implies(fds, f) != f.Holds(r) {
+					t.Fatalf("trial %d: FD %v disagreement", trial, f)
+				}
+			}
+		})
+	}
+}
+
+func TestArmstrongEmptyFDSet(t *testing.T) {
+	r, err := ArmstrongRelation(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No non-trivial FD should hold.
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if a == b {
+				continue
+			}
+			f := FD{LHS: attrset.Single(a), RHS: attrset.Single(b), Schema: r.Schema()}
+			if f.Holds(r) {
+				t.Errorf("spurious FD %v on FD-free Armstrong relation", f)
+			}
+		}
+	}
+}
+
+func TestArmstrongBounds(t *testing.T) {
+	if _, err := ArmstrongRelation(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ArmstrongRelation(17, nil); err == nil {
+		t.Error("n=17 accepted")
+	}
+}

@@ -1,0 +1,253 @@
+// Package fd implements classical functional dependencies X → Y
+// (paper §1.1), the root of the family tree: if two tuples agree on X they
+// must agree on Y.
+//
+// Beyond satisfaction and violation enumeration, the package provides the
+// classical inference machinery (attribute closure under Armstrong's
+// axioms, implication, minimal cover, candidate keys) that schema
+// normalization (§2.6.4, 3NF/BCNF) builds on.
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// FD is a functional dependency X → Y over column indices of a schema.
+type FD struct {
+	// LHS is the determinant attribute set X.
+	LHS attrset.Set
+	// RHS is the dependent attribute set Y.
+	RHS attrset.Set
+	// Schema names the attributes for rendering; validation only needs the
+	// column indices.
+	Schema *relation.Schema
+}
+
+// New builds an FD from attribute names, resolving them against the schema.
+func New(schema *relation.Schema, lhs []string, rhs []string) (FD, error) {
+	l, err := schema.Indices(lhs...)
+	if err != nil {
+		return FD{}, fmt.Errorf("fd: %w", err)
+	}
+	r, err := schema.Indices(rhs...)
+	if err != nil {
+		return FD{}, fmt.Errorf("fd: %w", err)
+	}
+	return FD{LHS: attrset.Of(l...), RHS: attrset.Of(r...), Schema: schema}, nil
+}
+
+// Must is New for statically-known dependencies; it panics on error.
+func Must(schema *relation.Schema, lhs []string, rhs []string) FD {
+	f, err := New(schema, lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Kind implements deps.Dependency.
+func (f FD) Kind() string { return "FD" }
+
+// String renders the FD as "X -> Y".
+func (f FD) String() string {
+	names := f.names()
+	return fmt.Sprintf("%s -> %s", f.LHS.Names(names), f.RHS.Names(names))
+}
+
+func (f FD) names() []string {
+	if f.Schema != nil {
+		return f.Schema.Names()
+	}
+	return nil
+}
+
+// Holds implements deps.Dependency using stripped partitions: X → Y holds
+// iff |π_X| = |π_{X∪Y}| (TANE's criterion), which is O(n) after encoding.
+func (f FD) Holds(r *relation.Relation) bool {
+	px := partition.Build(r, f.LHS)
+	pxy := partition.Build(r, f.LHS.Union(f.RHS))
+	return partition.Refines(px, pxy)
+}
+
+// Violations implements deps.Dependency: pairs of tuples equal on X but
+// unequal on Y.
+func (f FD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	px := partition.Build(r, f.LHS)
+	codes, _ := r.GroupCodes(f.RHS.Cols())
+	pairs := px.ViolatingPairs(codes, limit)
+	out := make([]deps.Violation, len(pairs))
+	names := f.names()
+	for i, p := range pairs {
+		out[i] = deps.Pair(p[0], p[1],
+			"agree on %s but differ on %s", f.LHS.Names(names), f.RHS.Names(names))
+	}
+	return out
+}
+
+// G3 returns the g3 error of the FD on r: the minimum fraction of tuples to
+// remove so the FD holds (shared with AFDs, §2.3.1).
+func (f FD) G3(r *relation.Relation) float64 {
+	px := partition.Build(r, f.LHS)
+	codes, _ := r.GroupCodes(f.RHS.Cols())
+	return px.G3(codes)
+}
+
+// Trivial reports whether the FD is trivial (Y ⊆ X).
+func (f FD) Trivial() bool { return f.RHS.SubsetOf(f.LHS) }
+
+// ---- Inference: Armstrong machinery over sets of FDs ----
+
+// Closure computes X+ under the given FDs: the set of attributes
+// functionally determined by X.
+func Closure(x attrset.Set, fds []FD) attrset.Set {
+	closure := x
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.LHS.SubsetOf(closure) && !f.RHS.SubsetOf(closure) {
+				closure = closure.Union(f.RHS)
+				changed = true
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether the FD set logically implies f (f ∈ F+), via the
+// closure test RHS ⊆ LHS+.
+func Implies(fds []FD, f FD) bool {
+	return f.RHS.SubsetOf(Closure(f.LHS, fds))
+}
+
+// Equivalent reports whether two FD sets imply each other.
+func Equivalent(a, b []FD) bool {
+	for _, f := range a {
+		if !Implies(b, f) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !Implies(a, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover computes a canonical cover of the FD set: singleton RHS, no
+// extraneous LHS attributes, no redundant FDs. The result is equivalent to
+// the input.
+func MinimalCover(fds []FD) []FD {
+	// 1. Split RHS into singletons.
+	var work []FD
+	for _, f := range fds {
+		f.RHS.Minus(f.LHS).Each(func(a int) {
+			work = append(work, FD{LHS: f.LHS, RHS: attrset.Single(a), Schema: f.Schema})
+		})
+	}
+	// 2. Remove extraneous LHS attributes: A is extraneous in X→B if
+	// B ∈ (X−A)+ under the current set.
+	for i := range work {
+		for {
+			reduced := false
+			lhs := work[i].LHS
+			done := false
+			lhs.Each(func(a int) {
+				if done {
+					return
+				}
+				smaller := lhs.Remove(a)
+				if work[i].RHS.SubsetOf(Closure(smaller, work)) {
+					work[i].LHS = smaller
+					reduced = true
+					done = true
+				}
+			})
+			if !reduced {
+				break
+			}
+		}
+	}
+	// 3. Remove redundant FDs.
+	var out []FD
+	for i := range work {
+		rest := make([]FD, 0, len(work)-1)
+		rest = append(rest, out...)
+		rest = append(rest, work[i+1:]...)
+		if !Implies(rest, work[i]) {
+			out = append(out, work[i])
+		}
+	}
+	// Deduplicate identical FDs (splitting can create duplicates).
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LHS != out[j].LHS {
+			return out[i].LHS < out[j].LHS
+		}
+		return out[i].RHS < out[j].RHS
+	})
+	dedup := out[:0]
+	for i, f := range out {
+		if i == 0 || f.LHS != out[i-1].LHS || f.RHS != out[i-1].RHS {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
+}
+
+// CandidateKeys enumerates the candidate keys of a scheme with n attributes
+// under the FD set: minimal X with X+ = R. Deciding whether a key smaller
+// than k exists is NP-complete [5]; this exhaustive search is exponential in
+// n and intended for the schema sizes of normalization workloads.
+func CandidateKeys(n int, fds []FD) []attrset.Set {
+	full := attrset.Full(n)
+	// Attributes not on any RHS must be in every key; attributes on some
+	// RHS but no LHS never help. Seed with the mandatory core.
+	var inRHS, inLHS attrset.Set
+	for _, f := range fds {
+		inRHS = inRHS.Union(f.RHS.Minus(f.LHS))
+		inLHS = inLHS.Union(f.LHS)
+	}
+	_ = inLHS
+	core := full.Minus(inRHS)
+	if Closure(core, fds) == full {
+		return []attrset.Set{core}
+	}
+	// Enumerate supersets of the core in increasing size; a candidate that
+	// contains an already-found key is not minimal and is skipped.
+	rest := full.Minus(core)
+	var subs []attrset.Set
+	rest.Subsets(func(s attrset.Set) { subs = append(subs, s) })
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].Len() != subs[j].Len() {
+			return subs[i].Len() < subs[j].Len()
+		}
+		return subs[i] < subs[j]
+	})
+	var keys []attrset.Set
+	for _, sub := range subs {
+		x := core.Union(sub)
+		minimal := true
+		for _, k := range keys {
+			if k.SubsetOf(x) {
+				minimal = false
+				break
+			}
+		}
+		if minimal && Closure(x, fds) == full {
+			keys = append(keys, x)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// IsSuperkey reports whether x determines all n attributes under fds.
+func IsSuperkey(x attrset.Set, n int, fds []FD) bool {
+	return Closure(x, fds) == attrset.Full(n)
+}

@@ -1,0 +1,110 @@
+// Package ffd implements fuzzy functional dependencies X ⇝ Y (paper §3.6,
+// Raju & Majumdar [79]): equality is replaced by a fuzzy resemblance
+// relation EQUAL, and the FFD holds when, for every tuple pair,
+//
+//	µ_EQ(t1[X], t2[X]) ≤ µ_EQ(t1[Y], t2[Y]),
+//
+// i.e. Y values are at least as "equal" as X values. The tuple-level
+// resemblance over an attribute set is the minimum of the per-attribute
+// resemblances. With crisp {0,1} resemblances an FFD is exactly an FD,
+// witnessing the FD → FFD edge of the family tree.
+package ffd
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Attr is one attribute with its resemblance relation.
+type Attr struct {
+	Col int
+	Eq  metric.Resemblance
+}
+
+// A builds an attribute term.
+func A(schema *relation.Schema, name string, eq metric.Resemblance) Attr {
+	return Attr{Col: schema.MustIndex(name), Eq: eq}
+}
+
+// FFD is a fuzzy functional dependency X ⇝ Y.
+type FFD struct {
+	LHS, RHS []Attr
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromFD embeds an FD as the crisp-resemblance FFD (Fig 1: FD → FFD).
+func FromFD(f fd.FD) FFD {
+	out := FFD{Schema: f.Schema}
+	f.LHS.Each(func(c int) { out.LHS = append(out.LHS, Attr{Col: c, Eq: metric.CrispEqual{}}) })
+	f.RHS.Each(func(c int) { out.RHS = append(out.RHS, Attr{Col: c, Eq: metric.CrispEqual{}}) })
+	return out
+}
+
+// Kind implements deps.Dependency.
+func (f FFD) Kind() string { return "FFD" }
+
+// String renders the FFD.
+func (f FFD) String() string {
+	var names []string
+	if f.Schema != nil {
+		names = f.Schema.Names()
+	}
+	render := func(as []Attr) string {
+		parts := make([]string, len(as))
+		for i, a := range as {
+			n := fmt.Sprintf("a%d", a.Col)
+			if names != nil && a.Col < len(names) {
+				n = names[a.Col]
+			}
+			parts[i] = n
+		}
+		return strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("%s ~> %s", render(f.LHS), render(f.RHS))
+}
+
+// mu computes µ_EQ(t_i[attrs], t_j[attrs]) = min over the attributes.
+func mu(r *relation.Relation, i, j int, attrs []Attr) float64 {
+	m := 1.0
+	for _, a := range attrs {
+		if v := a.Eq.Eq(r.Value(i, a.Col), r.Value(j, a.Col)); v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MuLHS returns µ_EQ on the determinant attributes for a tuple pair.
+func (f FFD) MuLHS(r *relation.Relation, i, j int) float64 { return mu(r, i, j, f.LHS) }
+
+// MuRHS returns µ_EQ on the dependent attributes for a tuple pair.
+func (f FFD) MuRHS(r *relation.Relation, i, j int) float64 { return mu(r, i, j, f.RHS) }
+
+// Holds implements deps.Dependency.
+func (f FFD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(f, r)
+}
+
+// Violations implements deps.Dependency: pairs with
+// µ_EQ(X) > µ_EQ(Y) — X values more "equal" than Y values.
+func (f FFD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			mx, my := f.MuLHS(r, i, j), f.MuRHS(r, i, j)
+			if mx > my {
+				out = append(out, deps.Pair(i, j, "µ_EQ(X)=%.4f > µ_EQ(Y)=%.4f", mx, my))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

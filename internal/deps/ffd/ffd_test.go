@@ -1,0 +1,105 @@
+package ffd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// ffd1 is the paper's §3.6.1 example: name, price ⇝ tax with crisp EQUAL on
+// name, µ = 1/(1+|a−b|) on price and µ = 1/(1+10|a−b|) on tax.
+func ffd1(r *relation.Relation) FFD {
+	s := r.Schema()
+	return FFD{
+		LHS: []Attr{
+			A(s, "name", metric.CrispEqual{}),
+			A(s, "price", metric.InverseNumeric{Beta: 1}),
+		},
+		RHS:    []Attr{A(s, "tax", metric.InverseNumeric{Beta: 10})},
+		Schema: s,
+	}
+}
+
+func TestFFD1OnTable6(t *testing.T) {
+	r := gen.Table6()
+	f := ffd1(r)
+	// The paper's worked pair t1/t2: µ(name)=1, µ(price)=1/2, µ(tax)=1/91,
+	// so min(1, 1/2) > 1/91 — a conflict.
+	if got := f.MuLHS(r, 0, 1); got != 0.5 {
+		t.Errorf("µ_EQ(t1[X], t2[X]) = %v, want 1/2", got)
+	}
+	if got := f.MuRHS(r, 0, 1); got > 0.012 || got < 0.0109 {
+		t.Errorf("µ_EQ(t1[Y], t2[Y]) = %v, want 1/91", got)
+	}
+	if f.Holds(r) {
+		t.Error("ffd1 must fail on r6 (paper: t1/t2 conflict)")
+	}
+	vs := f.Violations(r, 0)
+	found := false
+	for _, v := range vs {
+		if v.Rows[0] == 0 && v.Rows[1] == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations %v must include (t1,t2)", vs)
+	}
+	if got := f.Violations(r, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → FFD: crisp resemblances reproduce the FD.
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		ff := FromFD(f)
+		if f.Holds(r) != ff.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but FFD(crisp).Holds=%v",
+				trial, f.Holds(r), ff.Holds(r))
+		}
+	}
+}
+
+func TestFFD2CrispOnTable1(t *testing.T) {
+	// ffd2: address ⇝ region with crisp EQUAL behaves exactly like fd1
+	// (paper §3.6.2): fails on Table 1.
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	ff := FromFD(f)
+	if ff.Holds(r) {
+		t.Error("ffd2 must fail on Table 1, like fd1")
+	}
+	sub := r.Select(func(row int) bool { return row < 2 })
+	if !ff.Holds(sub) {
+		t.Error("ffd2 must hold on {t1,t2}")
+	}
+}
+
+func TestMonotoneResemblance(t *testing.T) {
+	// A more tolerant RHS resemblance (smaller β) turns the conflict into
+	// satisfaction: with β=0 on tax, µ(tax) = 1 always.
+	r := gen.Table6()
+	f := ffd1(r)
+	f.RHS[0].Eq = metric.InverseNumeric{Beta: 0}
+	if !f.Holds(r) {
+		t.Errorf("β=0 RHS must always hold; violations: %v", f.Violations(r, 0))
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table6()
+	f := ffd1(r)
+	if f.Kind() != "FFD" {
+		t.Error("Kind")
+	}
+	if got := f.String(); got != "name,price ~> tax" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,255 @@
+// Cross-class contract tests: every one of the 24 dependency classes is
+// exercised through the shared deps.Dependency interface on randomized
+// instances, checking the invariants the rest of the library relies on:
+//
+//  1. Holds(r) ⟺ len(Violations(r, 1)) == 0
+//  2. Violations(r, k) returns at most k witnesses, a prefix of the full
+//     list
+//  3. every violation references valid row indices
+//  4. String() and Kind() are non-empty
+//
+// plus the measure⟺exactness equivalences tying the statistical
+// extensions back to the FD root.
+package deps_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/afd"
+	"deptree/internal/deps/cd"
+	"deptree/internal/deps/cfd"
+	"deptree/internal/deps/dc"
+	"deptree/internal/deps/dd"
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/ffd"
+	"deptree/internal/deps/md"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/deps/mvd"
+	"deptree/internal/deps/ned"
+	"deptree/internal/deps/nud"
+	"deptree/internal/deps/od"
+	"deptree/internal/deps/ofd"
+	"deptree/internal/deps/pac"
+	"deptree/internal/deps/pfd"
+	"deptree/internal/deps/sd"
+	"deptree/internal/deps/sfd"
+	"deptree/internal/ext/speed"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// roster builds one representative dependency per class over the hotel
+// schema (numerical classes use the series columns nights/subtotal).
+func roster(r *relation.Relation) []deps.Dependency {
+	s := r.Schema()
+	f := fd.Must(s, []string{"address"}, []string{"region"})
+	base := []deps.Dependency{
+		f,
+		sfd.SFD{LHS: f.LHS, RHS: f.RHS, MinStrength: 0.9, Schema: s},
+		pfd.PFD{LHS: f.LHS, RHS: f.RHS, MinProb: 0.9, Schema: s},
+		afd.AFD{LHS: f.LHS, RHS: f.RHS, MaxError: 0.05, Schema: s},
+		nud.NUD{LHS: f.LHS, RHS: f.RHS, K: 1, Schema: s},
+		cfd.Must(s, []string{"region"}, []string{"star"},
+			[]cfd.Cell{cfd.Const(relation.String("Region01")), cfd.Wildcard()}),
+		cfd.Must(s, []string{"price"}, []string{"star"},
+			[]cfd.Cell{cfd.Pred(cfd.OpGe, relation.Int(400)), cfd.Wildcard()}),
+		mvd.Must(s, []string{"address"}, []string{"region"}),
+		mvd.FromMVD(mvd.Must(s, []string{"address"}, []string{"region"})),
+		mvd.AMVD{MVD: mvd.Must(s, []string{"address"}, []string{"region"}), MaxSpurious: 0.1},
+		mfd.Must(s, []string{"address"}, []string{"region"}, 4),
+		ned.NED{
+			LHS:    ned.Predicate{ned.T(s, "address", 1)},
+			RHS:    ned.Predicate{ned.T(s, "region", 5)},
+			Schema: s,
+		},
+		dd.DD{
+			LHS:    dd.Pattern{dd.F(s, "address", dd.OpLe, 1)},
+			RHS:    dd.Pattern{dd.F(s, "region", dd.OpLe, 5)},
+			Schema: s,
+		},
+		dd.CDD{
+			Conditions: []dd.Condition{{Col: s.MustIndex("source"), Value: relation.String("s1")}},
+			DD: dd.DD{
+				LHS:    dd.Pattern{dd.F(s, "address", dd.OpLe, 1)},
+				RHS:    dd.Pattern{dd.F(s, "region", dd.OpLe, 5)},
+				Schema: s,
+			},
+		},
+		cd.CD{
+			LHS:    []cd.SimilarityFunc{cd.Single(s, "address", 1)},
+			RHS:    cd.Single(s, "region", 5),
+			Schema: s,
+		},
+		pac.PAC{
+			LHS:        []pac.Tolerance{pac.T(s, "price", 50)},
+			RHS:        []pac.Tolerance{pac.T(s, "tax", 20)},
+			Confidence: 0.8,
+			Schema:     s,
+		},
+		ffd.FromFD(f),
+		md.MD{
+			LHS:    []md.SimAttr{md.Sim(s, "address", 1)},
+			RHS:    []int{s.MustIndex("region")},
+			Schema: s,
+		},
+		md.CMD{
+			MD: md.MD{
+				LHS:    []md.SimAttr{md.Sim(s, "address", 1)},
+				RHS:    []int{s.MustIndex("region")},
+				Schema: s,
+			},
+			Conditions: []md.Condition{{Col: s.MustIndex("source"), Value: relation.String("s1")}},
+		},
+		ofd.Must(s, []string{"nights"}, []string{"subtotal"}, ofd.Pointwise),
+		od.OD{
+			LHS:    []od.Marked{od.Asc(s, "nights")},
+			RHS:    []od.Marked{od.Asc(s, "subtotal")},
+			Schema: s,
+		},
+		od.LexOD{
+			LHS:    []od.Marked{od.Asc(s, "nights")},
+			RHS:    []od.Marked{od.Asc(s, "subtotal")},
+			Schema: s,
+		},
+		dc.DC{
+			Predicates: []dc.Predicate{
+				dc.P(dc.Attr(dc.Alpha, s.MustIndex("price")), dc.OpLt, dc.Attr(dc.Beta, s.MustIndex("price"))),
+				dc.P(dc.Attr(dc.Alpha, s.MustIndex("tax")), dc.OpGt, dc.Attr(dc.Beta, s.MustIndex("tax"))),
+			},
+			Schema: s,
+		},
+		sd.Must(s, []string{"nights"}, "subtotal", sd.Increasing()),
+		sd.FromSD(sd.Must(s, []string{"nights"}, "subtotal", sd.Increasing())),
+		speed.Constraint{Smin: -1000, Smax: 1000, TimeCol: s.MustIndex("nights"), ValueCol: s.MustIndex("subtotal"), Schema: s},
+	}
+	return base
+}
+
+func TestContractInvariantsAcrossAllClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	kinds := map[string]bool{}
+	for trial := 0; trial < 12; trial++ {
+		r := gen.Hotels(gen.HotelConfig{
+			Rows: 20, Seed: rng.Int63(),
+			ErrorRate: 0.3, VarietyRate: 0.3, DuplicateRate: 0.2,
+		})
+		for _, dep := range roster(r) {
+			kinds[dep.Kind()] = true
+			if dep.Kind() == "" || dep.String() == "" {
+				t.Fatalf("%T: empty Kind/String", dep)
+			}
+			all := dep.Violations(r, 0)
+			holds := dep.Holds(r)
+			if holds != (len(all) == 0) {
+				t.Fatalf("%s %s: Holds=%v but %d violations", dep.Kind(), dep, holds, len(all))
+			}
+			probe := dep.Violations(r, 1)
+			if (len(probe) == 0) != (len(all) == 0) {
+				t.Fatalf("%s: limit-1 probe disagrees with full enumeration", dep.Kind())
+			}
+			if len(all) >= 2 {
+				two := dep.Violations(r, 2)
+				if len(two) != 2 {
+					t.Fatalf("%s: limit 2 returned %d", dep.Kind(), len(two))
+				}
+			}
+			for _, v := range all {
+				if len(v.Rows) == 0 {
+					t.Fatalf("%s: violation without rows", dep.Kind())
+				}
+				for _, row := range v.Rows {
+					if row < 0 || row >= r.Rows() {
+						t.Fatalf("%s: row %d out of range", dep.Kind(), row)
+					}
+				}
+				if v.String() == "" {
+					t.Fatalf("%s: empty violation string", dep.Kind())
+				}
+			}
+		}
+	}
+	// The roster really spans the classes.
+	for _, want := range []string{"FD", "SFD", "PFD", "AFD", "NUD", "CFD", "eCFD",
+		"MVD", "FHD", "AMVD", "MFD", "NED", "DD", "CDD", "CD", "PAC", "FFD",
+		"MD", "CMD", "OFD", "OD", "DC", "SD", "CSD", "SC"} {
+		if !kinds[want] {
+			t.Errorf("roster missing class %s", want)
+		}
+	}
+}
+
+func TestMeasureExactnessEquivalences(t *testing.T) {
+	// The statistical measures agree on what "exact" means: strength 1 ⟺
+	// probability 1 ⟺ g3 0 ⟺ fanout ≤ 1 ⟺ the FD holds.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(25, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		holds := f.Holds(r)
+		s := sfd.SFD{LHS: f.LHS, RHS: f.RHS, Schema: r.Schema()}
+		p := pfd.PFD{LHS: f.LHS, RHS: f.RHS, Schema: r.Schema()}
+		a := afd.AFD{LHS: f.LHS, RHS: f.RHS, Schema: r.Schema()}
+		n := nud.NUD{LHS: f.LHS, RHS: f.RHS, K: 1, Schema: r.Schema()}
+		if (s.Strength(r) == 1) != holds {
+			t.Fatalf("trial %d: strength mismatch", trial)
+		}
+		if (p.Probability(r) == 1) != holds {
+			t.Fatalf("trial %d: probability mismatch", trial)
+		}
+		if (a.G3(r) == 0) != holds {
+			t.Fatalf("trial %d: g3 mismatch", trial)
+		}
+		if (n.MaxFanout(r) <= 1) != holds {
+			t.Fatalf("trial %d: fanout mismatch", trial)
+		}
+	}
+}
+
+func TestMeasureMonotonicityUnderCleaning(t *testing.T) {
+	// Removing a violating tuple never makes the g3 violation count grow.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		r := gen.Categorical(20, []int{3, 2}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		a := afd.AFD{LHS: f.LHS, RHS: f.RHS, Schema: r.Schema()}
+		vs := a.Violations(r, 1)
+		if len(vs) == 0 {
+			continue
+		}
+		bad := vs[0].Rows[0]
+		before := a.G3(r) * float64(r.Rows())
+		smaller := r.Select(func(row int) bool { return row != bad })
+		after := a.G3(smaller) * float64(smaller.Rows())
+		if after > before+1e-9 {
+			t.Fatalf("trial %d: removing a violating tuple raised the count %v -> %v",
+				trial, before, after)
+		}
+	}
+}
+
+func TestThresholdMonotonicityAcrossClasses(t *testing.T) {
+	// Loosening the threshold never turns a holding dependency into a
+	// violated one: AFD in ε, SFD in s, PFD in p, NUD in k, PAC in δ.
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 15, Seed: rng.Int63(), ErrorRate: 0.3})
+		s := r.Schema()
+		f := fd.Must(s, []string{"address"}, []string{"region"})
+		for eps := 0.0; eps <= 1.0; eps += 0.25 {
+			tight := afd.AFD{LHS: f.LHS, RHS: f.RHS, MaxError: eps, Schema: s}
+			loose := afd.AFD{LHS: f.LHS, RHS: f.RHS, MaxError: eps + 0.25, Schema: s}
+			if tight.Holds(r) && !loose.Holds(r) {
+				t.Fatalf("AFD monotonicity broken at ε=%v", eps)
+			}
+		}
+		for k := 1; k < 5; k++ {
+			tight := nud.NUD{LHS: f.LHS, RHS: f.RHS, K: k, Schema: s}
+			loose := nud.NUD{LHS: f.LHS, RHS: f.RHS, K: k + 1, Schema: s}
+			if tight.Holds(r) && !loose.Holds(r) {
+				t.Fatalf("NUD monotonicity broken at k=%d", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package md implements matching dependencies (paper §3.7, Fan et al.
+// [33],[37]) and their conditional extension CMDs (§3.7.5, Wang et al.
+// [110]).
+//
+// An MD X≈ → Y⇌ states that tuples similar on the X attributes (per
+// per-attribute similarity operators) should be *identified* on the Y
+// attributes. As a declarative matching rule it is judged by support and
+// confidence; as an integrity constraint, a violation is a similar pair
+// whose Y values are not identical.
+package md
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// SimAttr is one determinant attribute with its similarity operator ≈:
+// metric distance within MaxDist (0 meaning strict equality).
+type SimAttr struct {
+	Col     int
+	Metric  metric.Metric
+	MaxDist float64
+}
+
+// Sim builds a similarity attribute with the default metric.
+func Sim(schema *relation.Schema, name string, maxDist float64) SimAttr {
+	i := schema.MustIndex(name)
+	return SimAttr{Col: i, Metric: metric.ForKind(schema.Attr(i).Kind), MaxDist: maxDist}
+}
+
+// MD is a matching dependency X≈ → Y⇌. Y attributes use the matching
+// operator ⇌: values must be identified (equal after matching).
+type MD struct {
+	// LHS are the similarity-compared determinant attributes.
+	LHS []SimAttr
+	// RHS are the columns to identify.
+	RHS []int
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromFD embeds an FD as the MD whose similarity operators are strict
+// equality (Fig 1: FD → MD).
+func FromFD(f fd.FD) MD {
+	m := MD{Schema: f.Schema}
+	f.LHS.Each(func(c int) {
+		m.LHS = append(m.LHS, SimAttr{Col: c, Metric: metric.Equality{}, MaxDist: 0})
+	})
+	m.RHS = f.RHS.Cols()
+	return m
+}
+
+// Kind implements deps.Dependency.
+func (m MD) Kind() string { return "MD" }
+
+// String renders the MD in the paper's notation.
+func (m MD) String() string {
+	var names []string
+	if m.Schema != nil {
+		names = m.Schema.Names()
+	}
+	n := func(c int) string {
+		if names != nil && c < len(names) {
+			return names[c]
+		}
+		return fmt.Sprintf("a%d", c)
+	}
+	lhs := make([]string, len(m.LHS))
+	for i, a := range m.LHS {
+		lhs[i] = fmt.Sprintf("%s≈(%.3g)", n(a.Col), a.MaxDist)
+	}
+	rhs := make([]string, len(m.RHS))
+	for i, c := range m.RHS {
+		rhs[i] = n(c) + "⇌"
+	}
+	return fmt.Sprintf("%s -> %s", strings.Join(lhs, ","), strings.Join(rhs, ","))
+}
+
+// SimilarLHS reports whether rows i and j are similar on every determinant
+// attribute.
+func (m MD) SimilarLHS(r *relation.Relation, i, j int) bool {
+	for _, a := range m.LHS {
+		d := a.Metric.Distance(r.Value(i, a.Col), r.Value(j, a.Col))
+		if !(d <= a.MaxDist) { // NaN fails
+			return false
+		}
+	}
+	return true
+}
+
+// identified reports whether rows i and j agree on all RHS columns.
+func (m MD) identified(r *relation.Relation, i, j int) bool {
+	for _, c := range m.RHS {
+		if !r.Value(i, c).Equal(r.Value(j, c)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds implements deps.Dependency.
+func (m MD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(m, r)
+}
+
+// Violations implements deps.Dependency: similar pairs not identified on Y.
+func (m MD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if m.SimilarLHS(r, i, j) && !m.identified(r, i, j) {
+				out = append(out, deps.Pair(i, j, "similar on X but not identified on Y"))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Matches enumerates the pairs the MD identifies as referring to the same
+// entity — the record-matching application of §3.7.4.
+func (m MD) Matches(r *relation.Relation) [][2]int {
+	var out [][2]int
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if m.SimilarLHS(r, i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// SupportConfidence returns the discovery measures of §3.7.3: support is
+// the fraction of tuple pairs similar on X, confidence the fraction of
+// those already identified on Y.
+func (m MD) SupportConfidence(r *relation.Relation) (support, confidence float64) {
+	n := r.Rows()
+	if n < 2 {
+		return 0, 1
+	}
+	total := n * (n - 1) / 2
+	sim, good := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if m.SimilarLHS(r, i, j) {
+				sim++
+				if m.identified(r, i, j) {
+					good++
+				}
+			}
+		}
+	}
+	if sim == 0 {
+		return 0, 1
+	}
+	return float64(sim) / float64(total), float64(good) / float64(sim)
+}
+
+// CMD is a conditional matching dependency (§3.7.5): an MD restricted by
+// equality conditions to a part of the relation, analogous to CFDs
+// extending FDs. MDs are the condition-free CMDs (Fig 1: MD → CMD).
+type CMD struct {
+	MD
+	// Conditions restrict the rule to tuples matching all constants.
+	Conditions []Condition
+}
+
+// Condition is an equality condition A = a.
+type Condition struct {
+	Col   int
+	Value relation.Value
+}
+
+// FromMD embeds an MD as the condition-free CMD (Fig 1: MD → CMD).
+func FromMD(m MD) CMD { return CMD{MD: m} }
+
+// Kind implements deps.Dependency.
+func (c CMD) Kind() string { return "CMD" }
+
+// String renders the CMD.
+func (c CMD) String() string {
+	if len(c.Conditions) == 0 {
+		return c.MD.String()
+	}
+	var names []string
+	if c.Schema != nil {
+		names = c.Schema.Names()
+	}
+	conds := make([]string, len(c.Conditions))
+	for i, cond := range c.Conditions {
+		n := fmt.Sprintf("a%d", cond.Col)
+		if names != nil && cond.Col < len(names) {
+			n = names[cond.Col]
+		}
+		conds[i] = fmt.Sprintf("%s=%v", n, cond.Value)
+	}
+	return fmt.Sprintf("[%s] %s", strings.Join(conds, ", "), c.MD.String())
+}
+
+// matches reports whether row i satisfies all conditions.
+func (c CMD) matches(r *relation.Relation, i int) bool {
+	for _, cond := range c.Conditions {
+		if !r.Value(i, cond.Col).Equal(cond.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds implements deps.Dependency.
+func (c CMD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(c, r)
+}
+
+// Violations implements deps.Dependency: MD violations among tuples
+// matching the conditions.
+func (c CMD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	for i := 0; i < r.Rows(); i++ {
+		if !c.matches(r, i) {
+			continue
+		}
+		for j := i + 1; j < r.Rows(); j++ {
+			if !c.matches(r, j) {
+				continue
+			}
+			if c.SimilarLHS(r, i, j) && !c.identified(r, i, j) {
+				out = append(out, deps.Pair(i, j, "conditioned pair similar on X but not identified on Y"))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// G3 is the CMD error rate of [110]: the minimum fraction of tuples to
+// remove so the CMD holds. Exact computation is NP-complete; a greedy
+// vertex-cover approximation is used, mirroring cd.CD.G3.
+func (c CMD) G3(r *relation.Relation) float64 {
+	if r.Rows() == 0 {
+		return 0
+	}
+	adj := make(map[int]map[int]bool)
+	for _, v := range c.Violations(r, 0) {
+		i, j := v.Rows[0], v.Rows[1]
+		if adj[i] == nil {
+			adj[i] = map[int]bool{}
+		}
+		if adj[j] == nil {
+			adj[j] = map[int]bool{}
+		}
+		adj[i][j] = true
+		adj[j][i] = true
+	}
+	removed := 0
+	for {
+		best, deg := -1, 0
+		for v, ns := range adj {
+			if len(ns) > deg {
+				best, deg = v, len(ns)
+			}
+		}
+		if best < 0 {
+			break
+		}
+		removed++
+		for n := range adj[best] {
+			delete(adj[n], best)
+			if len(adj[n]) == 0 {
+				delete(adj, n)
+			}
+		}
+		delete(adj, best)
+	}
+	return float64(removed) / float64(r.Rows())
+}

@@ -1,0 +1,176 @@
+package md
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// md1 is the paper's §3.7.1 example: street≈(5), region≈(2) → zip⇌.
+func md1(r *relation.Relation) MD {
+	s := r.Schema()
+	return MD{
+		LHS:    []SimAttr{Sim(s, "street", 5), Sim(s, "region", 2)},
+		RHS:    []int{s.MustIndex("zip")},
+		Schema: s,
+	}
+}
+
+func TestMD1OnTable6(t *testing.T) {
+	r := gen.Table6()
+	m := md1(r)
+	// The paper's worked pair: t5 and t6 have similar streets and regions,
+	// and their zips are identified.
+	if !m.SimilarLHS(r, 4, 5) {
+		t.Error("t5/t6 must be similar on street and region")
+	}
+	if !m.Holds(r) {
+		t.Errorf("md1 must hold on r6; violations: %v", m.Violations(r, 0))
+	}
+	matches := m.Matches(r)
+	found := false
+	for _, p := range matches {
+		if p[0] == 4 && p[1] == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Matches %v must include (t5,t6)", matches)
+	}
+}
+
+func TestMDViolation(t *testing.T) {
+	r := gen.Table6().Clone()
+	r.SetValue(5, r.Schema().MustIndex("zip"), relation.String("00000"))
+	m := md1(r)
+	vs := m.Violations(r, 0)
+	// Pairs (t2,t6) and (t5,t6) are similar; both now fail on zip.
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2", vs)
+	}
+	if vs := m.Violations(r, 1); len(vs) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → MD: equality similarity reproduces the FD.
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		m := FromFD(f)
+		if f.Holds(r) != m.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but MD(=).Holds=%v",
+				trial, f.Holds(r), m.Holds(r))
+		}
+	}
+}
+
+func TestSupportConfidence(t *testing.T) {
+	r := gen.Table6()
+	m := md1(r)
+	support, conf := m.SupportConfidence(r)
+	if support <= 0 || support > 1 {
+		t.Errorf("support = %v", support)
+	}
+	if conf != 1 {
+		t.Errorf("confidence = %v, want 1 (md1 holds)", conf)
+	}
+	// Empty relation.
+	empty := r.Select(func(int) bool { return false })
+	s0, c0 := m.SupportConfidence(empty)
+	if s0 != 0 || c0 != 1 {
+		t.Errorf("empty: %v, %v", s0, c0)
+	}
+}
+
+func TestCMDConditionsRestrict(t *testing.T) {
+	r := gen.Table6().Clone()
+	r.SetValue(5, r.Schema().MustIndex("zip"), relation.String("00000"))
+	m := md1(r)
+	// Condition source = s2: only pairs within source s2 are checked, so
+	// the (t2, t6) violation (t6 is s1) disappears; (t5, t6) also involves
+	// t6, leaving no violation among s2 tuples... t5 is s2 and t6 is s1, so
+	// the only remaining candidate pair is within {t2, t4, t5}.
+	c := CMD{
+		MD:         m,
+		Conditions: []Condition{{Col: r.Schema().MustIndex("source"), Value: relation.String("s2")}},
+	}
+	if !c.Holds(r) {
+		t.Errorf("CMD restricted to s2 must hold; violations: %v", c.Violations(r, 0))
+	}
+	// Condition source = s1 with a corrupted s1 pair.
+	r2 := gen.Table6().Clone()
+	r2.SetValue(2, r2.Schema().MustIndex("street"), r2.Value(0, r2.Schema().MustIndex("street")))
+	r2.SetValue(2, r2.Schema().MustIndex("zip"), relation.String("99999"))
+	c2 := CMD{
+		MD:         md1(r2),
+		Conditions: []Condition{{Col: r2.Schema().MustIndex("source"), Value: relation.String("s1")}},
+	}
+	vs := c2.Violations(r2, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 0 || vs[0].Rows[1] != 2 {
+		t.Fatalf("violations = %v, want (t1,t3)", vs)
+	}
+}
+
+func TestMDEmbeddingIntoCMD(t *testing.T) {
+	// Fig 1 edge MD → CMD: condition-free CMD ≡ MD.
+	rng := rand.New(rand.NewSource(221))
+	for trial := 0; trial < 40; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 15, Seed: rng.Int63(), DuplicateRate: 0.4, ErrorRate: 0.2})
+		s := r.Schema()
+		m := MD{
+			LHS:    []SimAttr{Sim(s, "name", 2)},
+			RHS:    []int{s.MustIndex("region")},
+			Schema: s,
+		}
+		c := FromMD(m)
+		if m.Holds(r) != c.Holds(r) {
+			t.Fatalf("trial %d: MD.Holds=%v but CMD.Holds=%v", trial, m.Holds(r), c.Holds(r))
+		}
+	}
+}
+
+func TestCMDG3(t *testing.T) {
+	r := gen.Table6().Clone()
+	r.SetValue(5, r.Schema().MustIndex("zip"), relation.String("00000"))
+	c := FromMD(md1(r))
+	// Violating pairs (t2,t6), (t5,t6) share t6: removing it fixes both.
+	if got := c.G3(r); got != 1.0/6 {
+		t.Errorf("g3 = %v, want 1/6", got)
+	}
+	clean := gen.Table6()
+	if got := FromMD(md1(clean)).G3(clean); got != 0 {
+		t.Errorf("clean g3 = %v", got)
+	}
+	empty := clean.Select(func(int) bool { return false })
+	if got := FromMD(md1(empty)).G3(empty); got != 0 {
+		t.Errorf("empty g3 = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := gen.Table6()
+	m := md1(r)
+	if m.Kind() != "MD" {
+		t.Error("Kind")
+	}
+	if got := m.String(); got != "street≈(5),region≈(2) -> zip⇌" {
+		t.Errorf("String = %q", got)
+	}
+	c := CMD{MD: m, Conditions: []Condition{{Col: 0, Value: relation.String("s2")}}}
+	if c.Kind() != "CMD" {
+		t.Error("CMD Kind")
+	}
+	if !strings.HasPrefix(c.String(), "[source=s2] ") {
+		t.Errorf("CMD String = %q", c.String())
+	}
+	if FromMD(m).String() != m.String() {
+		t.Error("condition-free CMD renders as the MD")
+	}
+}

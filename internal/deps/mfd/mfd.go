@@ -1,0 +1,153 @@
+// Package mfd implements metric functional dependencies X →^δ Y (paper
+// §3.1, Koudas et al. [64]): tuples that agree exactly on X must be within
+// metric distance δ on Y. With δ = 0 an MFD is exactly an FD, witnessing
+// the FD → MFD edge of the family tree.
+package mfd
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/metric"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// MFD is a metric functional dependency X →^δ Y. The metric applies
+// per-attribute on Y; the dependency is violated when any Y attribute
+// exceeds δ.
+type MFD struct {
+	// LHS is the determinant set X (compared by strict equality).
+	LHS attrset.Set
+	// RHS lists the dependent columns Y with their metrics.
+	RHS []Dependent
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// Dependent is one Y attribute with its metric and threshold δ.
+type Dependent struct {
+	Col    int
+	Metric metric.Metric
+	Delta  float64
+}
+
+// New builds an MFD with the library default metric per attribute kind.
+func New(schema *relation.Schema, lhs []string, rhs []string, delta float64) (MFD, error) {
+	l, err := schema.Indices(lhs...)
+	if err != nil {
+		return MFD{}, fmt.Errorf("mfd: %w", err)
+	}
+	m := MFD{LHS: attrset.Of(l...), Schema: schema}
+	for _, name := range rhs {
+		i := schema.Index(name)
+		if i < 0 {
+			return MFD{}, fmt.Errorf("mfd: no attribute %q", name)
+		}
+		m.RHS = append(m.RHS, Dependent{Col: i, Metric: metric.ForKind(schema.Attr(i).Kind), Delta: delta})
+	}
+	return m, nil
+}
+
+// Must is New for statically-known dependencies; it panics on error.
+func Must(schema *relation.Schema, lhs []string, rhs []string, delta float64) MFD {
+	m, err := New(schema, lhs, rhs, delta)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromFD embeds an FD as the δ=0 MFD under the discrete equality metric
+// (Fig 1: FD → MFD).
+func FromFD(f fd.FD) MFD {
+	m := MFD{LHS: f.LHS, Schema: f.Schema}
+	f.RHS.Each(func(c int) {
+		m.RHS = append(m.RHS, Dependent{Col: c, Metric: metric.Equality{}, Delta: 0})
+	})
+	return m
+}
+
+// Kind implements deps.Dependency.
+func (m MFD) Kind() string { return "MFD" }
+
+// String renders the MFD.
+func (m MFD) String() string {
+	var names []string
+	if m.Schema != nil {
+		names = m.Schema.Names()
+	}
+	parts := make([]string, len(m.RHS))
+	for i, d := range m.RHS {
+		n := fmt.Sprintf("a%d", d.Col)
+		if names != nil && d.Col < len(names) {
+			n = names[d.Col]
+		}
+		parts[i] = fmt.Sprintf("%s(δ=%.3g)", n, d.Delta)
+	}
+	return fmt.Sprintf("%s ->^δ %s", m.LHS.Names(names), strings.Join(parts, ","))
+}
+
+// Holds implements deps.Dependency. Verification follows §3.1.3: group by
+// X, then check that every group's diameter on each Y attribute is ≤ δ —
+// O(n²) pairwise within groups.
+func (m MFD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(m, r)
+}
+
+// Violations implements deps.Dependency: pairs equal on X whose Y distance
+// exceeds δ.
+func (m MFD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	px := partition.Build(r, m.LHS)
+	var out []deps.Violation
+	var names []string
+	if m.Schema != nil {
+		names = m.Schema.Names()
+	}
+	for _, class := range px.Classes() {
+		for a := 0; a < len(class); a++ {
+			for b := a + 1; b < len(class); b++ {
+				for _, d := range m.RHS {
+					dist := d.Metric.Distance(r.Value(class[a], d.Col), r.Value(class[b], d.Col))
+					if dist != dist || dist > d.Delta { // NaN counts as violation
+						n := fmt.Sprintf("a%d", d.Col)
+						if names != nil && d.Col < len(names) {
+							n = names[d.Col]
+						}
+						out = append(out, deps.Pair(class[a], class[b],
+							"equal on %s but %s distance %.3g > δ=%.3g",
+							m.LHS.Names(names), n, dist, d.Delta))
+						if limit > 0 && len(out) >= limit {
+							return out
+						}
+						break // one violation per pair
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Diameter returns, for diagnostic use, the maximum Y-distance within any
+// X-group for the i-th dependent attribute — the quantity the §3.1.3
+// verification compares against δ.
+func (m MFD) Diameter(r *relation.Relation, i int) float64 {
+	px := partition.Build(r, m.LHS)
+	d := m.RHS[i]
+	max := 0.0
+	for _, class := range px.Classes() {
+		for a := 0; a < len(class); a++ {
+			for b := a + 1; b < len(class); b++ {
+				dist := d.Metric.Distance(r.Value(class[a], d.Col), r.Value(class[b], d.Col))
+				if dist == dist && dist > max {
+					max = dist
+				}
+			}
+		}
+	}
+	return max
+}

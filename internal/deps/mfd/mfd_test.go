@@ -1,0 +1,110 @@
+package mfd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestMFD1OnTable6(t *testing.T) {
+	// mfd1: name, region →^500 price (paper §3.1.1): t2 and t6 agree on
+	// name and region; their price distance 0 ≤ 500.
+	r := gen.Table6()
+	m := Must(r.Schema(), []string{"name", "region"}, []string{"price"}, 500)
+	if !m.Holds(r) {
+		t.Error("mfd1 must hold on r6")
+	}
+	// Tighten δ to 0 on a corrupted copy to force a violation.
+	r2 := r.Clone()
+	r2.SetValue(5, r.Schema().MustIndex("price"), relation.Int(900))
+	tight := Must(r.Schema(), []string{"name", "region"}, []string{"price"}, 500)
+	if tight.Holds(r2) {
+		t.Error("price distance 600 > 500 must violate")
+	}
+	vs := tight.Violations(r2, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 1 || vs[0].Rows[1] != 5 {
+		t.Fatalf("violations = %v, want pair (t2,t6)", vs)
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → MFD: δ=0 with the equality metric behaves as the FD.
+	rng := rand.New(rand.NewSource(121))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(25, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		m := FromFD(f)
+		if f.Holds(r) != m.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but MFD(δ=0).Holds=%v",
+				trial, f.Holds(r), m.Holds(r))
+		}
+	}
+}
+
+func TestStringMetricRHS(t *testing.T) {
+	// address → region with a string metric: "Chicago" vs "Chicago, IL" are
+	// within edit distance 4, so the MFD with δ=4 accepts what the FD
+	// rejects — the paper's variety argument (§1.2).
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	if f.Holds(r) {
+		t.Fatal("FD must fail on Table 1")
+	}
+	m := Must(r.Schema(), []string{"address"}, []string{"region"}, 4)
+	vs := m.Violations(r, 0)
+	// t5/t6 ("Chicago"/"Chicago, IL", distance 4) are now fine; t3/t4
+	// ("Boston"/"Chicago, MA", distance > 4) remain a true violation.
+	if len(vs) != 1 || vs[0].Rows[0] != 2 || vs[0].Rows[1] != 3 {
+		t.Fatalf("violations = %v, want only (t3,t4)", vs)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	r := gen.Table1()
+	m := Must(r.Schema(), []string{"address"}, []string{"price"}, 0)
+	// Prices agree within every address group except none — all equal.
+	if d := m.Diameter(r, 0); d != 0 {
+		t.Errorf("price diameter = %v, want 0", d)
+	}
+	m2 := Must(r.Schema(), []string{"star"}, []string{"price"}, 0)
+	// star=5 group: prices 599 and 0 → diameter 599.
+	if d := m2.Diameter(r, 0); d != 599 {
+		t.Errorf("price diameter by star = %v, want 599", d)
+	}
+}
+
+func TestViolationLimit(t *testing.T) {
+	r := gen.Table1()
+	m := Must(r.Schema(), []string{"address"}, []string{"region"}, 0)
+	all := m.Violations(r, 0)
+	if len(all) != 2 {
+		t.Fatalf("violations = %d, want 2", len(all))
+	}
+	if vs := m.Violations(r, 1); len(vs) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	s := relation.Strings("a", "b")
+	if _, err := New(s, []string{"zzz"}, []string{"b"}, 1); err == nil {
+		t.Error("unknown LHS should fail")
+	}
+	if _, err := New(s, []string{"a"}, []string{"zzz"}, 1); err == nil {
+		t.Error("unknown RHS should fail")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table6()
+	m := Must(r.Schema(), []string{"name", "region"}, []string{"price"}, 500)
+	if m.Kind() != "MFD" {
+		t.Error("Kind")
+	}
+	if got := m.String(); got != "name,region ->^δ price(δ=500)" {
+		t.Errorf("String = %q", got)
+	}
+}

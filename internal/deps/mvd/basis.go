@@ -1,0 +1,69 @@
+package mvd
+
+import (
+	"sort"
+
+	"deptree/internal/attrset"
+)
+
+// DependencyBasis computes the dependency basis of X with respect to a set
+// of MVDs over n attributes, by Beeri's refinement algorithm: start from
+// the single block R − X and repeatedly split blocks using each MVD
+// W ↠ Z whose LHS misses the block — the classical fixpoint underlying
+// MVD implication (§2.6; Beeri, Fagin & Howard [6] axiomatize the logic).
+// The result is the unique partition of R − X such that the MVDs implied
+// by Σ with LHS X are exactly X ↠ (union of blocks).
+func DependencyBasis(x attrset.Set, mvds []MVD, n int) []attrset.Set {
+	full := attrset.Full(n)
+	basis := []attrset.Set{full.Minus(x)}
+	if basis[0].IsEmpty() {
+		return nil
+	}
+	// Σ acts through both Y and its complement; materialize both forms.
+	type rule struct{ w, z attrset.Set }
+	var rules []rule
+	for _, m := range mvds {
+		z1 := m.RHS.Minus(m.LHS)
+		z2 := full.Minus(m.LHS).Minus(m.RHS)
+		rules = append(rules, rule{w: m.LHS, z: z1}, rule{w: m.LHS, z: z2})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, rl := range rules {
+			for i := 0; i < len(basis); i++ {
+				b := basis[i]
+				// Split b by Z when the rule's LHS is disjoint from b and
+				// Z cuts b properly.
+				if b.Intersects(rl.w) {
+					continue
+				}
+				inter := b.Intersect(rl.z)
+				if inter.IsEmpty() || inter == b {
+					continue
+				}
+				basis[i] = inter
+				basis = append(basis, b.Minus(inter))
+				changed = true
+			}
+		}
+	}
+	sort.Slice(basis, func(i, j int) bool { return basis[i] < basis[j] })
+	return basis
+}
+
+// Implies reports whether the MVD set logically implies X ↠ Y over n
+// attributes (pure MVD implication, no FDs): Y − X must be a union of
+// dependency-basis blocks of X.
+func Implies(mvds []MVD, m MVD) bool {
+	target := m.RHS.Minus(m.LHS)
+	if target.IsEmpty() {
+		return true // trivial MVD
+	}
+	rest := target
+	for _, b := range DependencyBasis(m.LHS, mvds, m.NumAttrs) {
+		if b.SubsetOf(target) {
+			rest = rest.Minus(b)
+		}
+	}
+	return rest.IsEmpty()
+}

@@ -1,0 +1,106 @@
+package mvd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/attrset"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestDependencyBasisTextbook(t *testing.T) {
+	// R(A,B,C,D) with A ↠ B: basis of {A} is {B}, {C,D}.
+	mvds := []MVD{{LHS: attrset.Of(0), RHS: attrset.Of(1), NumAttrs: 4}}
+	basis := DependencyBasis(attrset.Of(0), mvds, 4)
+	if len(basis) != 2 || basis[0] != attrset.Of(1) || basis[1] != attrset.Of(2, 3) {
+		t.Errorf("basis = %v, want [{B} {C,D}]", basis)
+	}
+	// With A ↠ B and A ↠ C the basis splits to {B}, {C}, {D}.
+	mvds2 := append(mvds, MVD{LHS: attrset.Of(0), RHS: attrset.Of(2), NumAttrs: 4})
+	basis2 := DependencyBasis(attrset.Of(0), mvds2, 4)
+	if len(basis2) != 3 {
+		t.Errorf("basis = %v, want three singleton-ish blocks", basis2)
+	}
+	// Basis of the full set is empty.
+	if got := DependencyBasis(attrset.Full(4), mvds, 4); got != nil {
+		t.Errorf("basis of R = %v", got)
+	}
+}
+
+func TestImpliesComplementationAndAugmentation(t *testing.T) {
+	// Complementation: A ↠ B implies A ↠ CD over R(A,B,C,D).
+	sigma := []MVD{{LHS: attrset.Of(0), RHS: attrset.Of(1), NumAttrs: 4}}
+	if !Implies(sigma, MVD{LHS: attrset.Of(0), RHS: attrset.Of(2, 3), NumAttrs: 4}) {
+		t.Error("complementation failed")
+	}
+	// Reflexivity / trivial: A ↠ A.
+	if !Implies(sigma, MVD{LHS: attrset.Of(0), RHS: attrset.Of(0), NumAttrs: 4}) {
+		t.Error("trivial MVD not implied")
+	}
+	// Union: A ↠ B and A ↠ C imply A ↠ BC.
+	sigma2 := append(sigma, MVD{LHS: attrset.Of(0), RHS: attrset.Of(2), NumAttrs: 4})
+	if !Implies(sigma2, MVD{LHS: attrset.Of(0), RHS: attrset.Of(1, 2), NumAttrs: 4}) {
+		t.Error("union failed")
+	}
+	// A ↠ B alone does not imply A ↠ C.
+	if Implies(sigma, MVD{LHS: attrset.Of(0), RHS: attrset.Of(2), NumAttrs: 4}) {
+		t.Error("unsound implication")
+	}
+}
+
+// TestImplicationSoundOnModels: for random instances r, take Σ = some MVDs
+// valid in r; every MVD implied by Σ must also be valid in r (soundness of
+// the inference against arbitrary models).
+func TestImplicationSoundOnModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	n := 4
+	full := attrset.Full(n)
+	for trial := 0; trial < 25; trial++ {
+		r := gen.Categorical(10, []int{2, 2, 2, 2}, rng.Int63())
+		// Collect all valid single-LHS MVDs as Σ.
+		var sigma []MVD
+		for a := 0; a < n; a++ {
+			x := attrset.Single(a)
+			full.Minus(x).ProperNonemptySubsets(func(y attrset.Set) {
+				m := MVD{LHS: x, RHS: y, NumAttrs: n, Schema: r.Schema()}
+				if m.Holds(r) {
+					sigma = append(sigma, m)
+				}
+			})
+		}
+		// Every implied MVD with any LHS must hold in r.
+		full.Subsets(func(x attrset.Set) {
+			if x.Len() > 2 {
+				return
+			}
+			full.Minus(x).ProperNonemptySubsets(func(y attrset.Set) {
+				m := MVD{LHS: x, RHS: y, NumAttrs: n, Schema: r.Schema()}
+				if Implies(sigma, m) && !m.Holds(r) {
+					t.Fatalf("trial %d: implied MVD %v fails on the model", trial, m)
+				}
+			})
+		})
+	}
+}
+
+func TestImpliesMatchesFHDIntuition(t *testing.T) {
+	// On the textbook course/book/lecturer instance, course ↠ book is in
+	// Σ; implication gives course ↠ lecturer by complementation, and the
+	// instance satisfies it.
+	s := relation.Strings("course", "book", "lecturer")
+	r := relation.New("c", s)
+	for _, b := range []string{"S", "N"} {
+		for _, l := range []string{"J", "W"} {
+			_ = r.Append([]relation.Value{relation.String("AHA"), relation.String(b), relation.String(l)})
+		}
+	}
+	sigma := []MVD{Must(s, []string{"course"}, []string{"book"})}
+	implied := MVD{LHS: attrset.Of(0), RHS: attrset.Of(2), NumAttrs: 3, Schema: s}
+	if !Implies(sigma, implied) {
+		t.Error("complement not implied")
+	}
+	if !implied.Holds(r) {
+		t.Error("model check failed")
+	}
+}

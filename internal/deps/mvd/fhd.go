@@ -1,0 +1,180 @@
+package mvd
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// FHD is a full hierarchical dependency X : {Y_1, ..., Y_k} (paper §2.6.5,
+// Delobel [27]): the relation decomposes losslessly into π_XY1, ..., π_XYk
+// and π_X(R−XY1...Yk). With k = 1 an FHD is exactly the MVD X ↠ Y_1,
+// witnessing the MVD → FHD edge of the family tree.
+type FHD struct {
+	// LHS is X.
+	LHS attrset.Set
+	// Blocks are the Y_i, pairwise disjoint and disjoint from X.
+	Blocks []attrset.Set
+	// NumAttrs is |R|.
+	NumAttrs int
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromMVD embeds an MVD as the single-block FHD (Fig 1: MVD → FHD).
+func FromMVD(m MVD) FHD {
+	return FHD{LHS: m.LHS, Blocks: []attrset.Set{m.RHS}, NumAttrs: m.NumAttrs, Schema: m.Schema}
+}
+
+// Kind implements deps.Dependency.
+func (f FHD) Kind() string { return "FHD" }
+
+// String renders the FHD.
+func (f FHD) String() string {
+	var names []string
+	if f.Schema != nil {
+		names = f.Schema.Names()
+	}
+	blocks := make([]string, len(f.Blocks))
+	for i, b := range f.Blocks {
+		blocks[i] = b.Names(names)
+	}
+	return fmt.Sprintf("%s : {%s}", f.LHS.Names(names), strings.Join(blocks, "; "))
+}
+
+// Rest returns R − X − Y1 − ... − Yk.
+func (f FHD) Rest() attrset.Set {
+	rest := attrset.Full(f.NumAttrs).Minus(f.LHS)
+	for _, b := range f.Blocks {
+		rest = rest.Minus(b)
+	}
+	return rest
+}
+
+// Holds implements deps.Dependency: within every X-group, the distinct
+// combinations over (Y_1, ..., Y_k, Rest) must equal the product of the
+// per-block distinct counts — i.e. the hierarchical join is lossless.
+func (f FHD) Holds(r *relation.Relation) bool {
+	distinct, product := f.countCombos(r)
+	return distinct == product
+}
+
+func (f FHD) countCombos(r *relation.Relation) (distinct, product int) {
+	xCodes, xCard := r.GroupCodes(f.LHS.Cols())
+	blocks := make([][]int, 0, len(f.Blocks)+1)
+	for _, b := range f.Blocks {
+		codes, _ := r.GroupCodes(b.Cols())
+		blocks = append(blocks, codes)
+	}
+	if rest := f.Rest(); !rest.IsEmpty() {
+		codes, _ := r.GroupCodes(rest.Cols())
+		blocks = append(blocks, codes)
+	}
+	perGroupSets := make([]map[int]map[int]bool, len(blocks)) // block -> group -> set
+	for i := range perGroupSets {
+		perGroupSets[i] = map[int]map[int]bool{}
+	}
+	comboSet := make(map[string]bool)
+	var key strings.Builder
+	for row, g := range xCodes {
+		key.Reset()
+		fmt.Fprintf(&key, "%d", g)
+		for i, codes := range blocks {
+			fmt.Fprintf(&key, ",%d", codes[row])
+			set := perGroupSets[i][g]
+			if set == nil {
+				set = map[int]bool{}
+				perGroupSets[i][g] = set
+			}
+			set[codes[row]] = true
+		}
+		comboSet[key.String()] = true
+	}
+	distinct = len(comboSet)
+	for g := 0; g < xCard; g++ {
+		p := 1
+		for i := range blocks {
+			p *= len(perGroupSets[i][g])
+		}
+		product += p
+	}
+	return distinct, product
+}
+
+// Violations implements deps.Dependency. FHD violations are groups whose
+// combination count falls short of the product; the group's rows witness
+// the missing join tuples.
+func (f FHD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	if f.Holds(r) {
+		return nil
+	}
+	// Report per-X-group shortfalls.
+	xCodes, xCard := r.GroupCodes(f.LHS.Cols())
+	groups := make([][]int, xCard)
+	for row, g := range xCodes {
+		groups[g] = append(groups[g], row)
+	}
+	var out []deps.Violation
+	for _, rows := range groups {
+		if len(rows) < 2 {
+			continue
+		}
+		sub := r.Select(func(row int) bool {
+			for _, x := range rows {
+				if x == row {
+					return true
+				}
+			}
+			return false
+		})
+		d, p := f.countCombos(sub)
+		if d != p {
+			out = append(out, deps.Violation{
+				Rows: rows,
+				Msg:  fmt.Sprintf("X-group decomposes with %d of %d required combinations", d, p),
+			})
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// AMVD is an approximate multivalued dependency ε-MVD (paper §2.6.6, Kenig
+// et al. [59]): the MVD holds up to a bounded fraction of spurious tuples
+// introduced by the decomposition join. With ε = 0 it is the exact MVD,
+// witnessing the MVD → AMVD edge of the family tree.
+type AMVD struct {
+	MVD
+	// MaxSpurious is the accuracy threshold ε ≥ 0.
+	MaxSpurious float64
+}
+
+// FromMVDExact embeds an MVD as the ε=0 AMVD (Fig 1: MVD → AMVD).
+func FromMVDExact(m MVD) AMVD { return AMVD{MVD: m} }
+
+// Kind implements deps.Dependency.
+func (a AMVD) Kind() string { return "AMVD" }
+
+// String renders the AMVD.
+func (a AMVD) String() string {
+	return fmt.Sprintf("%s (ε=%.3g)", a.MVD.String(), a.MaxSpurious)
+}
+
+// Holds implements deps.Dependency: SpuriousRatio ≤ ε.
+func (a AMVD) Holds(r *relation.Relation) bool {
+	return a.SpuriousRatio(r) <= a.MaxSpurious
+}
+
+// Violations implements deps.Dependency, delegating to the exact MVD when
+// the ratio exceeds the threshold.
+func (a AMVD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	if a.Holds(r) {
+		return nil
+	}
+	return a.MVD.Violations(r, limit)
+}

@@ -1,0 +1,175 @@
+// Package mvd implements multivalued dependencies X ↠ Y (paper §2.6, Fagin
+// [30]) together with their hierarchical generalization FHDs (§2.6.5) and
+// statistical relaxation AMVDs (§2.6.6).
+//
+// An MVD X ↠ Y with Z = R − X − Y holds iff r = π_XY(r) ⋈ π_XZ(r):
+// within every X-group the Y-values and Z-values combine freely. MVDs are
+// tuple-generating dependencies — they require the presence of tuples —
+// in contrast to the equality-generating FDs.
+package mvd
+
+import (
+	"fmt"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// MVD is a multivalued dependency X ↠ Y over a scheme with NumAttrs
+// attributes; Z is implicitly R − X − Y.
+type MVD struct {
+	// LHS is X; RHS is Y. They must be disjoint.
+	LHS, RHS attrset.Set
+	// NumAttrs is |R|, needed to derive Z.
+	NumAttrs int
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// New builds an MVD from attribute names.
+func New(schema *relation.Schema, lhs, rhs []string) (MVD, error) {
+	l, err := schema.Indices(lhs...)
+	if err != nil {
+		return MVD{}, fmt.Errorf("mvd: %w", err)
+	}
+	r, err := schema.Indices(rhs...)
+	if err != nil {
+		return MVD{}, fmt.Errorf("mvd: %w", err)
+	}
+	m := MVD{LHS: attrset.Of(l...), RHS: attrset.Of(r...).Minus(attrset.Of(l...)), NumAttrs: schema.Len(), Schema: schema}
+	return m, nil
+}
+
+// Must is New for statically-known dependencies; it panics on error.
+func Must(schema *relation.Schema, lhs, rhs []string) MVD {
+	m, err := New(schema, lhs, rhs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FromFD embeds an FD X → Y as the MVD X ↠ Y (Fig 1: FD → MVD — every FD
+// is an MVD whose Y-value set per (X, Z) has size 1).
+func FromFD(lhs, rhs attrset.Set, numAttrs int, schema *relation.Schema) MVD {
+	return MVD{LHS: lhs, RHS: rhs.Minus(lhs), NumAttrs: numAttrs, Schema: schema}
+}
+
+// Z returns the complement attribute set R − X − Y.
+func (m MVD) Z() attrset.Set {
+	return attrset.Full(m.NumAttrs).Minus(m.LHS).Minus(m.RHS)
+}
+
+// Kind implements deps.Dependency.
+func (m MVD) Kind() string { return "MVD" }
+
+// String renders the MVD.
+func (m MVD) String() string {
+	var names []string
+	if m.Schema != nil {
+		names = m.Schema.Names()
+	}
+	return fmt.Sprintf("%s ->> %s", m.LHS.Names(names), m.RHS.Names(names))
+}
+
+// Holds implements deps.Dependency: r = π_XY(r) ⋈ π_XZ(r), checked
+// group-wise by comparing distinct (Y,Z) combinations against
+// |Y-set| × |Z-set| per X-group.
+func (m MVD) Holds(r *relation.Relation) bool {
+	distinct, product := m.countCombos(r)
+	return distinct == product
+}
+
+// SpuriousRatio returns the AMVD accuracy measure: the fraction of spurious
+// tuples introduced by joining the two projections,
+// (|π_XY ⋈ π_XZ| − |r|) / |π_XY ⋈ π_XZ| over distinct tuples (§2.6.6).
+func (m MVD) SpuriousRatio(r *relation.Relation) float64 {
+	distinct, product := m.countCombos(r)
+	if product == 0 {
+		return 0
+	}
+	return float64(product-distinct) / float64(product)
+}
+
+// countCombos returns, summed over X-groups, the number of distinct (Y,Z)
+// combinations present and the size |Y-set| × |Z-set| of the join.
+func (m MVD) countCombos(r *relation.Relation) (distinct, product int) {
+	xCodes, xCard := r.GroupCodes(m.LHS.Cols())
+	yCodes, _ := r.GroupCodes(m.RHS.Cols())
+	zCodes, _ := r.GroupCodes(m.Z().Cols())
+	type pair struct{ a, b int }
+	ySets := make([]map[int]bool, xCard)
+	zSets := make([]map[int]bool, xCard)
+	combos := make([]map[pair]bool, xCard)
+	for g := 0; g < xCard; g++ {
+		ySets[g] = map[int]bool{}
+		zSets[g] = map[int]bool{}
+		combos[g] = map[pair]bool{}
+	}
+	for row, g := range xCodes {
+		ySets[g][yCodes[row]] = true
+		zSets[g][zCodes[row]] = true
+		combos[g][pair{yCodes[row], zCodes[row]}] = true
+	}
+	for g := 0; g < xCard; g++ {
+		distinct += len(combos[g])
+		product += len(ySets[g]) * len(zSets[g])
+	}
+	return distinct, product
+}
+
+// Violations implements deps.Dependency: for each missing (Y, Z)
+// combination in an X-group, report the witness pair (t1, t2) whose swap
+// tuple is absent.
+func (m MVD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	xCodes, _ := r.GroupCodes(m.LHS.Cols())
+	yCodes, _ := r.GroupCodes(m.RHS.Cols())
+	zCodes, _ := r.GroupCodes(m.Z().Cols())
+	type pair struct{ y, z int }
+	// Group rows by X; record existing (y,z) combos and a representative row
+	// per (x,y) and (x,z).
+	groups := make(map[int][]int)
+	for row, g := range xCodes {
+		groups[g] = append(groups[g], row)
+	}
+	var out []deps.Violation
+	var names []string
+	if m.Schema != nil {
+		names = m.Schema.Names()
+	}
+	// Deterministic group order: by smallest row.
+	order := make([]int, 0, len(groups))
+	for g := range groups {
+		order = append(order, g)
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && groups[order[j]][0] < groups[order[j-1]][0]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, g := range order {
+		rows := groups[g]
+		combos := map[pair]bool{}
+		for _, row := range rows {
+			combos[pair{yCodes[row], zCodes[row]}] = true
+		}
+		for a := 0; a < len(rows); a++ {
+			for b := 0; b < len(rows); b++ {
+				if a == b {
+					continue
+				}
+				t1, t2 := rows[a], rows[b]
+				if !combos[pair{yCodes[t1], zCodes[t2]}] {
+					out = append(out, deps.Pair(t1, t2,
+						"missing swap tuple: %s of t%d with %s of t%d",
+						m.RHS.Names(names), t1+1, m.Z().Names(names), t2+1))
+					if limit > 0 && len(out) >= limit {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package mvd
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestMVD1OnTable5(t *testing.T) {
+	// mvd1: address, rate ->> region (paper §2.6.1) holds on r5.
+	r := gen.Table5()
+	m := Must(r.Schema(), []string{"address", "rate"}, []string{"region"})
+	if !m.Holds(r) {
+		t.Error("mvd1 must hold on r5")
+	}
+	if m.SpuriousRatio(r) != 0 {
+		t.Error("exact MVD has spurious ratio 0")
+	}
+}
+
+func TestMVDTextbookCase(t *testing.T) {
+	// course ->> book, independent of lecturer. Classic 4NF example.
+	s := relation.Strings("course", "book", "lecturer")
+	rows := [][]relation.Value{
+		{relation.String("AHA"), relation.String("Silberschatz"), relation.String("John")},
+		{relation.String("AHA"), relation.String("Nederpelt"), relation.String("John")},
+		{relation.String("AHA"), relation.String("Silberschatz"), relation.String("William")},
+		{relation.String("AHA"), relation.String("Nederpelt"), relation.String("William")},
+		{relation.String("OSO"), relation.String("Silberschatz"), relation.String("Bob")},
+	}
+	r := relation.MustFromRows("courses", s, rows)
+	m := Must(s, []string{"course"}, []string{"book"})
+	if !m.Holds(r) {
+		t.Error("course ->> book must hold on the complete product")
+	}
+	// Remove one combination: now the product is incomplete.
+	broken := r.Select(func(i int) bool { return i != 3 })
+	if m.Holds(broken) {
+		t.Error("course ->> book must fail with a missing combination")
+	}
+	vs := m.Violations(broken, 0)
+	if len(vs) == 0 {
+		t.Fatal("expected violations on broken instance")
+	}
+	// The violation involves rows of the AHA group.
+	for _, v := range vs {
+		for _, row := range v.Rows {
+			if !broken.Value(row, 0).Equal(relation.String("AHA")) {
+				t.Errorf("violation row t%d outside the AHA group", row+1)
+			}
+		}
+	}
+	if got := m.Violations(broken, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → MVD: if the FD holds, the MVD holds (one Y per X).
+	// The converse is false in general, so only implication is checked.
+	rng := rand.New(rand.NewSource(91))
+	holdCount := 0
+	for trial := 0; trial < 80; trial++ {
+		r := gen.Categorical(15, []int{3, 2, 2}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		m := FromFD(f.LHS, f.RHS, r.Cols(), r.Schema())
+		if f.Holds(r) {
+			holdCount++
+			if !m.Holds(r) {
+				t.Fatalf("trial %d: FD holds but MVD fails — FD ⊆ MVD broken", trial)
+			}
+		}
+	}
+	if holdCount == 0 {
+		t.Skip("no FD-holding instance generated; adjust generator")
+	}
+}
+
+func TestMVDNotImpliedByFDViolation(t *testing.T) {
+	// An instance where the MVD holds but the FD does not: two Y values per
+	// X combined freely with Z.
+	s := relation.Strings("x", "y", "z")
+	r := relation.MustFromRows("m", s, [][]relation.Value{
+		{relation.String("a"), relation.String("1"), relation.String("p")},
+		{relation.String("a"), relation.String("2"), relation.String("p")},
+		{relation.String("a"), relation.String("1"), relation.String("q")},
+		{relation.String("a"), relation.String("2"), relation.String("q")},
+	})
+	f := fd.Must(s, []string{"x"}, []string{"y"})
+	m := Must(s, []string{"x"}, []string{"y"})
+	if f.Holds(r) {
+		t.Error("FD should fail")
+	}
+	if !m.Holds(r) {
+		t.Error("MVD should hold (free combination)")
+	}
+}
+
+func TestFHDSingleBlockEqualsMVD(t *testing.T) {
+	// Fig 1 edge MVD → FHD: with k=1, FHD ≡ MVD.
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Categorical(12, []int{2, 2, 2}, rng.Int63())
+		m := Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		h := FromMVD(m)
+		if m.Holds(r) != h.Holds(r) {
+			t.Fatalf("trial %d: MVD.Holds=%v but FHD(k=1).Holds=%v",
+				trial, m.Holds(r), h.Holds(r))
+		}
+	}
+}
+
+func TestFHDMultiBlock(t *testing.T) {
+	// X : {Y1; Y2} on a relation where all three blocks combine freely.
+	s := relation.Strings("x", "y1", "y2", "z")
+	r := relation.New("h", s)
+	for _, y1 := range []string{"a", "b"} {
+		for _, y2 := range []string{"c", "d"} {
+			for _, z := range []string{"e", "f"} {
+				_ = r.Append([]relation.Value{
+					relation.String("k"), relation.String(y1), relation.String(y2), relation.String(z),
+				})
+			}
+		}
+	}
+	h := FHD{LHS: attrset.Of(0), Blocks: []attrset.Set{attrset.Of(1), attrset.Of(2)}, NumAttrs: 4, Schema: s}
+	if !h.Holds(r) {
+		t.Error("complete product must satisfy the FHD")
+	}
+	broken := r.Select(func(i int) bool { return i != 5 })
+	if h.Holds(broken) {
+		t.Error("FHD must fail with a missing combination")
+	}
+	if vs := h.Violations(broken, 0); len(vs) != 1 {
+		t.Errorf("violations = %v, want 1 group", vs)
+	}
+	if vs := h.Violations(r, 0); vs != nil {
+		t.Errorf("no violations expected on complete product, got %v", vs)
+	}
+}
+
+func TestAMVD(t *testing.T) {
+	s := relation.Strings("x", "y", "z")
+	r := relation.MustFromRows("a", s, [][]relation.Value{
+		{relation.String("a"), relation.String("1"), relation.String("p")},
+		{relation.String("a"), relation.String("2"), relation.String("p")},
+		{relation.String("a"), relation.String("1"), relation.String("q")},
+		// missing (a, 2, q): join introduces 1 spurious tuple out of 4.
+	})
+	m := Must(s, []string{"x"}, []string{"y"})
+	if got := m.SpuriousRatio(r); got != 0.25 {
+		t.Errorf("spurious ratio = %v, want 1/4", got)
+	}
+	a := AMVD{MVD: m, MaxSpurious: 0.25}
+	if !a.Holds(r) {
+		t.Error("ε=0.25 should tolerate one spurious tuple")
+	}
+	exact := FromMVDExact(m)
+	if exact.Holds(r) {
+		t.Error("ε=0 must reject the incomplete product")
+	}
+	if vs := exact.Violations(r, 0); len(vs) == 0 {
+		t.Error("expected violations")
+	}
+	if vs := a.Violations(r, 0); vs != nil {
+		t.Error("holding AMVD must report no violations")
+	}
+}
+
+func TestAMVDExactEqualsMVDEdge(t *testing.T) {
+	// Fig 1 edge MVD → AMVD: ε=0 AMVD ≡ MVD.
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Categorical(12, []int{2, 2, 2}, rng.Int63())
+		m := Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		a := FromMVDExact(m)
+		if m.Holds(r) != a.Holds(r) {
+			t.Fatalf("trial %d: MVD.Holds=%v but AMVD(ε=0).Holds=%v",
+				trial, m.Holds(r), a.Holds(r))
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := gen.Table5()
+	m := Must(r.Schema(), []string{"address", "rate"}, []string{"region"})
+	if m.Kind() != "MVD" {
+		t.Error("Kind")
+	}
+	if got := m.String(); got != "address,rate ->> region" {
+		t.Errorf("String = %q", got)
+	}
+	h := FromMVD(m)
+	if h.Kind() != "FHD" {
+		t.Error("FHD Kind")
+	}
+	if got := h.String(); got != "address,rate : {region}" {
+		t.Errorf("FHD String = %q", got)
+	}
+	a := FromMVDExact(m)
+	if a.Kind() != "AMVD" {
+		t.Error("AMVD Kind")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	s := relation.Strings("a", "b")
+	if _, err := New(s, []string{"zzz"}, []string{"b"}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}

@@ -1,0 +1,142 @@
+// Package ned implements neighborhood dependencies (paper §3.2, Bassée &
+// Wijsen [4]): constraints between neighborhood predicates — per-attribute
+// distance thresholds on both sides. If two tuples are within α_i on every
+// LHS attribute, they must be within β_j on every RHS attribute.
+//
+// MFDs are the NEDs whose LHS thresholds are all 0 (equality), witnessing
+// the MFD → NED edge of the family tree.
+package ned
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Predicate is a neighborhood predicate A_1^{α_1} ... A_n^{α_n}: a
+// conjunction of per-attribute distance thresholds.
+type Predicate []Term
+
+// Term is one attribute with its closeness function and threshold.
+type Term struct {
+	Col       int
+	Metric    metric.Metric
+	Threshold float64
+}
+
+// Agree reports whether rows i and j agree on the predicate: distance ≤
+// threshold on every term. NaN distances (incomparable values) never agree.
+func (p Predicate) Agree(r *relation.Relation, i, j int) bool {
+	for _, t := range p {
+		d := t.Metric.Distance(r.Value(i, t.Col), r.Value(j, t.Col))
+		if !(d <= t.Threshold) { // NaN fails
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the predicate as "name^1 address^5".
+func (p Predicate) String(names []string) string {
+	parts := make([]string, len(p))
+	for i, t := range p {
+		n := fmt.Sprintf("a%d", t.Col)
+		if names != nil && t.Col < len(names) {
+			n = names[t.Col]
+		}
+		parts[i] = fmt.Sprintf("%s^%.3g", n, t.Threshold)
+	}
+	return strings.Join(parts, " ")
+}
+
+// NED is a neighborhood dependency LHS → RHS between two predicates.
+type NED struct {
+	LHS, RHS Predicate
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// T builds a term with the default metric for the attribute's kind.
+func T(schema *relation.Schema, name string, threshold float64) Term {
+	i := schema.MustIndex(name)
+	return Term{Col: i, Metric: metric.ForKind(schema.Attr(i).Kind), Threshold: threshold}
+}
+
+// FromMFD embeds an MFD as the special-case NED with LHS thresholds 0
+// (Fig 1: MFD → NED).
+func FromMFD(m mfd.MFD) NED {
+	n := NED{Schema: m.Schema}
+	m.LHS.Each(func(c int) {
+		n.LHS = append(n.LHS, Term{Col: c, Metric: metric.Equality{}, Threshold: 0})
+	})
+	for _, d := range m.RHS {
+		n.RHS = append(n.RHS, Term{Col: d.Col, Metric: d.Metric, Threshold: d.Delta})
+	}
+	return n
+}
+
+// Kind implements deps.Dependency.
+func (n NED) Kind() string { return "NED" }
+
+// String renders the NED in the paper's superscript notation.
+func (n NED) String() string {
+	var names []string
+	if n.Schema != nil {
+		names = n.Schema.Names()
+	}
+	return fmt.Sprintf("%s -> %s", n.LHS.String(names), n.RHS.String(names))
+}
+
+// Holds implements deps.Dependency.
+func (n NED) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(n, r)
+}
+
+// Violations implements deps.Dependency: pairs agreeing on the LHS
+// predicate but not the RHS predicate. Validation is inherently pairwise
+// (O(n²)): neighborhoods are not equivalence classes, so partitions do not
+// apply.
+func (n NED) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	var names []string
+	if n.Schema != nil {
+		names = n.Schema.Names()
+	}
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if n.LHS.Agree(r, i, j) && !n.RHS.Agree(r, i, j) {
+				out = append(out, deps.Pair(i, j,
+					"agree on %s but not on %s", n.LHS.String(names), n.RHS.String(names)))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SupportConfidence returns the number of pairs agreeing on the LHS
+// predicate (support) and the fraction of those also agreeing on the RHS
+// (confidence) — the discovery objectives of §3.2.3.
+func (n NED) SupportConfidence(r *relation.Relation) (support int, confidence float64) {
+	good := 0
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if n.LHS.Agree(r, i, j) {
+				support++
+				if n.RHS.Agree(r, i, j) {
+					good++
+				}
+			}
+		}
+	}
+	if support == 0 {
+		return 0, 1
+	}
+	return support, float64(good) / float64(support)
+}

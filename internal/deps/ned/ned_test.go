@@ -1,0 +1,126 @@
+package ned
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/deps/mfd"
+	"deptree/internal/gen"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+func ned1(r *relation.Relation) NED {
+	// ned1: name^1 address^5 → street^5 (paper §3.2.1).
+	s := r.Schema()
+	return NED{
+		LHS:    Predicate{T(s, "name", 1), T(s, "address", 5)},
+		RHS:    Predicate{T(s, "street", 5)},
+		Schema: s,
+	}
+}
+
+func TestNED1OnTable6(t *testing.T) {
+	r := gen.Table6()
+	n := ned1(r)
+	if !n.Holds(r) {
+		t.Errorf("ned1 must hold on r6; violations: %v", n.Violations(r, 0))
+	}
+	// t2 and t6 agree on the LHS predicate (paper's worked example).
+	if !n.LHS.Agree(r, 1, 5) {
+		t.Error("t2 and t6 must agree on name^1 address^5")
+	}
+	if !n.RHS.Agree(r, 1, 5) {
+		t.Error("t2 and t6 must agree on street^5")
+	}
+}
+
+func TestNEDViolation(t *testing.T) {
+	r := gen.Table6().Clone()
+	// Corrupt t6's street far away: the (t2, t6) pair now violates.
+	r.SetValue(5, r.Schema().MustIndex("street"), relation.String("Completely Different Blvd 99"))
+	n := ned1(r)
+	vs := n.Violations(r, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 1 || vs[0].Rows[1] != 5 {
+		t.Fatalf("violations = %v, want pair (t2,t6)", vs)
+	}
+	if vs := n.Violations(r, 1); len(vs) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestMFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge MFD → NED: LHS thresholds 0 reproduce the MFD exactly.
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Categorical(20, []int{3, 4}, rng.Int63())
+		m := mfd.Must(r.Schema(), []string{"c0"}, []string{"c1"}, 1)
+		// Swap the default string metric for equality so distances are 0/1.
+		m.RHS[0].Metric = metric.Equality{}
+		n := FromMFD(m)
+		if m.Holds(r) != n.Holds(r) {
+			t.Fatalf("trial %d: MFD.Holds=%v but NED.Holds=%v", trial, m.Holds(r), n.Holds(r))
+		}
+	}
+}
+
+func TestFDThroughMFDEmbedding(t *testing.T) {
+	// Transitive edge FD → MFD → NED.
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Categorical(20, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		n := FromMFD(mfd.FromFD(f))
+		if f.Holds(r) != n.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but NED.Holds=%v", trial, f.Holds(r), n.Holds(r))
+		}
+	}
+}
+
+func TestSupportConfidence(t *testing.T) {
+	r := gen.Table6()
+	n := ned1(r)
+	support, conf := n.SupportConfidence(r)
+	if support == 0 {
+		t.Fatal("t2/t6 should support the LHS predicate")
+	}
+	if conf != 1 {
+		t.Errorf("confidence = %v, want 1 (ned1 holds)", conf)
+	}
+	// A predicate nothing satisfies.
+	strict := NED{
+		LHS:    Predicate{T(r.Schema(), "name", -1)},
+		RHS:    Predicate{T(r.Schema(), "street", 0)},
+		Schema: r.Schema(),
+	}
+	s0, c0 := strict.SupportConfidence(r)
+	if s0 != 0 || c0 != 1 {
+		t.Errorf("empty support: %d, %v", s0, c0)
+	}
+}
+
+func TestNullsNeverAgree(t *testing.T) {
+	s := relation.Strings("a", "b")
+	r := relation.MustFromRows("n", s, [][]relation.Value{
+		{relation.Null(relation.KindString), relation.String("x")},
+		{relation.Null(relation.KindString), relation.String("y")},
+	})
+	n := NED{LHS: Predicate{T(s, "a", 5)}, RHS: Predicate{T(s, "b", 0)}, Schema: s}
+	// Null distances are NaN: the pair does not agree on the LHS, so there
+	// is no violation.
+	if !n.Holds(r) {
+		t.Error("null LHS values must not produce violations")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table6()
+	n := ned1(r)
+	if n.Kind() != "NED" {
+		t.Error("Kind")
+	}
+	if got := n.String(); got != "name^1 address^5 -> street^5" {
+		t.Errorf("String = %q", got)
+	}
+}

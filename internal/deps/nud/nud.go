@@ -1,0 +1,118 @@
+// Package nud implements numerical dependencies X →_k Y (paper §2.4, Grant
+// & Minker [50]): each X-value may be associated with at most k distinct
+// Y-values. FDs are exactly the NUDs with k = 1, witnessing the FD → NUD
+// edge of the family tree.
+//
+// Despite the name, NUDs constrain *cardinalities*, not numeric domains;
+// the paper files them under categorical data.
+package nud
+
+import (
+	"fmt"
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/relation"
+)
+
+// NUD is a numerical dependency X →_k Y.
+type NUD struct {
+	// LHS and RHS are the attribute sets X and Y.
+	LHS, RHS attrset.Set
+	// K is the weight: the maximum number of distinct Y-values per X-value
+	// (k ≥ 1).
+	K int
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromFD embeds an FD as the special-case NUD with k = 1 (Fig 1: FD → NUD).
+func FromFD(f fd.FD) NUD {
+	return NUD{LHS: f.LHS, RHS: f.RHS, K: 1, Schema: f.Schema}
+}
+
+// Kind implements deps.Dependency.
+func (n NUD) Kind() string { return "NUD" }
+
+// String renders the NUD in the paper's notation.
+func (n NUD) String() string {
+	var names []string
+	if n.Schema != nil {
+		names = n.Schema.Names()
+	}
+	return fmt.Sprintf("%s ->_{k=%d} %s", n.LHS.Names(names), n.K, n.RHS.Names(names))
+}
+
+// MaxFanout returns the largest number of distinct Y-values associated with
+// a single X-value in r — the smallest k for which the NUD holds.
+func (n NUD) MaxFanout(r *relation.Relation) int {
+	if r.Rows() == 0 {
+		return 0
+	}
+	xCodes, _ := r.GroupCodes(n.LHS.Cols())
+	yCodes, _ := r.GroupCodes(n.RHS.Cols())
+	type key struct{ x, y int }
+	seen := make(map[key]bool)
+	fanout := make(map[int]int)
+	max := 0
+	for row := range xCodes {
+		k := key{xCodes[row], yCodes[row]}
+		if !seen[k] {
+			seen[k] = true
+			fanout[k.x]++
+			if fanout[k.x] > max {
+				max = fanout[k.x]
+			}
+		}
+	}
+	return max
+}
+
+// Holds implements deps.Dependency: every X-value has at most K distinct
+// Y-values.
+func (n NUD) Holds(r *relation.Relation) bool {
+	return n.MaxFanout(r) <= n.K
+}
+
+// Violations implements deps.Dependency: for each over-full X-group, one
+// violation listing the rows carrying more than K distinct Y-values.
+func (n NUD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	xCodes, xCard := r.GroupCodes(n.LHS.Cols())
+	yCodes, _ := r.GroupCodes(n.RHS.Cols())
+	groups := make([][]int, xCard)
+	for row, x := range xCodes {
+		groups[x] = append(groups[x], row)
+	}
+	var out []deps.Violation
+	var names []string
+	if n.Schema != nil {
+		names = n.Schema.Names()
+	}
+	for _, rows := range groups {
+		distinct := make(map[int][]int) // y-code -> representative rows
+		for _, row := range rows {
+			distinct[yCodes[row]] = append(distinct[yCodes[row]], row)
+		}
+		if len(distinct) <= n.K {
+			continue
+		}
+		// One representative row per distinct Y-value, sorted for
+		// deterministic output.
+		var reps []int
+		for _, rr := range distinct {
+			reps = append(reps, rr[0])
+		}
+		sort.Ints(reps)
+		out = append(out, deps.Violation{
+			Rows: reps,
+			Msg: fmt.Sprintf("%d distinct %s values for one %s value (k=%d)",
+				len(distinct), n.RHS.Names(names), n.LHS.Names(names), n.K),
+		})
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package nud
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+)
+
+func mk(t *testing.T, k int) NUD {
+	t.Helper()
+	r := gen.Table5()
+	n := NUD{K: k, Schema: r.Schema()}
+	n.LHS = n.LHS.Add(r.Schema().MustIndex("address"))
+	n.RHS = n.RHS.Add(r.Schema().MustIndex("region"))
+	return n
+}
+
+func TestNUD1OnTable5(t *testing.T) {
+	// Paper §2.4.1: nud1: address →_2 region holds on r5 ("El Paso" has two
+	// representation formats).
+	r := gen.Table5()
+	if !mk(t, 2).Holds(r) {
+		t.Error("address →_2 region must hold on r5")
+	}
+	if mk(t, 1).Holds(r) {
+		t.Error("address →_1 region must fail on r5")
+	}
+	if got := mk(t, 1).MaxFanout(r); got != 2 {
+		t.Errorf("MaxFanout = %d, want 2", got)
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → NUD: FD holds iff the k=1 embedding holds.
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(25, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		n := FromFD(f)
+		if f.Holds(r) != n.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but NUD(k=1).Holds=%v",
+				trial, f.Holds(r), n.Holds(r))
+		}
+	}
+}
+
+func TestViolations(t *testing.T) {
+	r := gen.Table5()
+	vs := mk(t, 1).Violations(r, 0)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v, want 1 group", vs)
+	}
+	// The violating group must contain representatives of rows t3 and t4.
+	if len(vs[0].Rows) != 2 || vs[0].Rows[0] != 2 || vs[0].Rows[1] != 3 {
+		t.Errorf("violating rows = %v, want [2 3]", vs[0].Rows)
+	}
+	if vs := mk(t, 2).Violations(r, 0); vs != nil {
+		t.Errorf("k=2 holds, got violations %v", vs)
+	}
+	if vs := mk(t, 1).Violations(r, 1); len(vs) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	r := gen.Table5().Select(func(int) bool { return false })
+	if !mk(t, 1).Holds(r) {
+		t.Error("empty relation satisfies every NUD")
+	}
+	if got := mk(t, 1).MaxFanout(r); got != 0 {
+		t.Errorf("MaxFanout on empty = %d", got)
+	}
+}
+
+func TestMaxFanoutMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 30; trial++ {
+		r := gen.Categorical(40, []int{3, 6}, rng.Int63())
+		n := NUD{K: 1, Schema: r.Schema()}
+		n.LHS = n.LHS.Add(0)
+		n.RHS = n.RHS.Add(1)
+		fanout := n.MaxFanout(r)
+		for k := 1; k <= 7; k++ {
+			n.K = k
+			if got, want := n.Holds(r), k >= fanout; got != want {
+				t.Fatalf("trial %d: k=%d fanout=%d Holds=%v", trial, k, fanout, got)
+			}
+		}
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table5()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	n := FromFD(f)
+	if n.Kind() != "NUD" {
+		t.Error("Kind")
+	}
+	if got := n.String(); got != "address ->_{k=1} region" {
+		t.Errorf("String = %q", got)
+	}
+}

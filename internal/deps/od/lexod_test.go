@@ -1,0 +1,117 @@
+package od
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestLexODOnTable7(t *testing.T) {
+	r := gen.Table7()
+	// [nights≤] ~> [subtotal≤, taxes≤]: sorting by nights sorts by the
+	// (subtotal, taxes) list.
+	o := LexOD{
+		LHS:    []Marked{Asc(r.Schema(), "nights")},
+		RHS:    []Marked{Asc(r.Schema(), "subtotal"), Asc(r.Schema(), "taxes")},
+		Schema: r.Schema(),
+	}
+	if !o.Holds(r) {
+		t.Errorf("LexOD must hold on r7; violations: %v", o.Violations(r, 0))
+	}
+}
+
+func TestLexODSingleAttrCoincidesWithPointwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Series(12, -5, 5, 0.5, rng.Int63())
+		for _, desc := range []bool{false, true} {
+			lex := LexOD{
+				LHS:    []Marked{{Col: 0}},
+				RHS:    []Marked{{Col: 1, Desc: desc}},
+				Schema: r.Schema(),
+			}
+			point := OD{
+				LHS:    []Marked{{Col: 0}},
+				RHS:    []Marked{{Col: 1, Desc: desc}},
+				Schema: r.Schema(),
+			}
+			if lex.Holds(r) != point.Holds(r) {
+				t.Fatalf("trial %d desc=%v: LexOD=%v pointwise=%v",
+					trial, desc, lex.Holds(r), point.Holds(r))
+			}
+		}
+	}
+}
+
+func TestLexODDiffersFromPointwiseOnLists(t *testing.T) {
+	// (a, b) lexicographic vs pointwise diverge when a ties break on b.
+	s := relation.NewSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindInt},
+		relation.Attribute{Name: "b", Kind: relation.KindInt},
+		relation.Attribute{Name: "y", Kind: relation.KindInt},
+	)
+	r := relation.MustFromRows("lx", s, [][]relation.Value{
+		{relation.Int(1), relation.Int(9), relation.Int(10)},
+		{relation.Int(2), relation.Int(1), relation.Int(20)},
+	})
+	lex := LexOD{
+		LHS:    []Marked{Asc(s, "a"), Asc(s, "b")},
+		RHS:    []Marked{Asc(s, "y")},
+		Schema: s,
+	}
+	point := OD{
+		LHS:    []Marked{Asc(s, "a"), Asc(s, "b")},
+		RHS:    []Marked{Asc(s, "y")},
+		Schema: s,
+	}
+	// Lexicographically t1 < t2 (a decides) and y increases: holds.
+	if !lex.Holds(r) {
+		t.Error("LexOD must hold: a decides the order")
+	}
+	// Pointwise the pair is incomparable (a up, b down): also holds but
+	// vacuously — flip y to witness the difference.
+	r2 := r.Clone()
+	r2.SetValue(1, s.MustIndex("y"), relation.Int(5))
+	if lex.Holds(r2) {
+		t.Error("LexOD must fail once y inverts against the lex order")
+	}
+	if !point.Holds(r2) {
+		t.Error("pointwise OD must hold vacuously on the incomparable pair")
+	}
+}
+
+func TestLexODTiesForceRHSTies(t *testing.T) {
+	s := relation.NewSchema(
+		relation.Attribute{Name: "x", Kind: relation.KindInt},
+		relation.Attribute{Name: "y", Kind: relation.KindInt},
+	)
+	r := relation.MustFromRows("tie", s, [][]relation.Value{
+		{relation.Int(1), relation.Int(10)},
+		{relation.Int(1), relation.Int(20)},
+	})
+	o := LexOD{LHS: []Marked{Asc(s, "x")}, RHS: []Marked{Asc(s, "y")}, Schema: s}
+	// X̄ tie with strict Ȳ order: the (t2,t1) direction violates.
+	if o.Holds(r) {
+		t.Error("X̄-tied pair with differing Ȳ must violate (FD embedding)")
+	}
+	if vs := o.Violations(r, 1); len(vs) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestLexODString(t *testing.T) {
+	r := gen.Table7()
+	o := LexOD{
+		LHS:    []Marked{Asc(r.Schema(), "nights")},
+		RHS:    []Marked{Desc(r.Schema(), "avg/night")},
+		Schema: r.Schema(),
+	}
+	if o.Kind() != "OD" {
+		t.Error("Kind")
+	}
+	if got := o.String(); got != "[nights≤] ~> [avg/night≥]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,134 @@
+// Package od implements order dependencies X → Y over *marked attributes*
+// (paper §4.2, Dong & Hull [28]): each attribute carries an ordering mark
+// (A≤ ascending or A≥ descending), and whenever two tuples are ordered on
+// all marked X attributes they must be ordered on all marked Y attributes.
+//
+// OFDs are the ODs whose marks are all ≤, witnessing the OFD → OD edge of
+// the family tree.
+package od
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/ofd"
+	"deptree/internal/relation"
+)
+
+// Marked is a marked attribute A≤ or A≥.
+type Marked struct {
+	Col int
+	// Desc marks descending order (A≥): t1[A] ≥ t2[A].
+	Desc bool
+}
+
+// Asc builds an ascending marked attribute.
+func Asc(schema *relation.Schema, name string) Marked {
+	return Marked{Col: schema.MustIndex(name)}
+}
+
+// Desc builds a descending marked attribute.
+func Desc(schema *relation.Schema, name string) Marked {
+	return Marked{Col: schema.MustIndex(name), Desc: true}
+}
+
+// String renders the marked attribute.
+func (m Marked) String(names []string) string {
+	n := fmt.Sprintf("a%d", m.Col)
+	if names != nil && m.Col < len(names) {
+		n = names[m.Col]
+	}
+	if m.Desc {
+		return n + "≥"
+	}
+	return n + "≤"
+}
+
+// OD is an order dependency over marked attribute lists.
+type OD struct {
+	LHS, RHS []Marked
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromOFD embeds a pointwise OFD as the all-ascending OD (Fig 1: OFD → OD).
+func FromOFD(o ofd.OFD) OD {
+	out := OD{Schema: o.Schema}
+	o.LHS.Each(func(c int) { out.LHS = append(out.LHS, Marked{Col: c}) })
+	o.RHS.Each(func(c int) { out.RHS = append(out.RHS, Marked{Col: c}) })
+	return out
+}
+
+// Kind implements deps.Dependency.
+func (o OD) Kind() string { return "OD" }
+
+// String renders the OD.
+func (o OD) String() string {
+	var names []string
+	if o.Schema != nil {
+		names = o.Schema.Names()
+	}
+	render := func(ms []Marked) string {
+		parts := make([]string, len(ms))
+		for i, m := range ms {
+			parts[i] = m.String(names)
+		}
+		return strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("%s -> %s", render(o.LHS), render(o.RHS))
+}
+
+// ordered reports whether t_i [marked] t_j: every marked attribute is
+// ordered in its marked direction.
+func ordered(r *relation.Relation, i, j int, ms []Marked) bool {
+	for _, m := range ms {
+		cmp := r.Value(i, m.Col).Compare(r.Value(j, m.Col))
+		if m.Desc {
+			if cmp < 0 {
+				return false
+			}
+		} else if cmp > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Holds implements deps.Dependency.
+func (o OD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(o, r)
+}
+
+// Violations implements deps.Dependency: ordered pairs satisfying the
+// marked LHS ordering but not the RHS ordering.
+func (o OD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	var names []string
+	if o.Schema != nil {
+		names = o.Schema.Names()
+	}
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Rows(); j++ {
+			if i == j {
+				continue
+			}
+			if ordered(r, i, j, o.LHS) && !ordered(r, i, j, o.RHS) {
+				lhs := make([]string, len(o.LHS))
+				for k, m := range o.LHS {
+					lhs[k] = m.String(names)
+				}
+				rhs := make([]string, len(o.RHS))
+				for k, m := range o.RHS {
+					rhs[k] = m.String(names)
+				}
+				out = append(out, deps.Pair(i, j, "%s ordered but %s not",
+					strings.Join(lhs, ","), strings.Join(rhs, ",")))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package od
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/ofd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestOD1OnTable7(t *testing.T) {
+	// od1: nights≤ → avg/night≥ (paper §4.2.1): more nights, lower rate.
+	r := gen.Table7()
+	o := OD{
+		LHS:    []Marked{Asc(r.Schema(), "nights")},
+		RHS:    []Marked{Desc(r.Schema(), "avg/night")},
+		Schema: r.Schema(),
+	}
+	if !o.Holds(r) {
+		t.Errorf("od1 must hold on r7; violations: %v", o.Violations(r, 0))
+	}
+}
+
+func TestODViolation(t *testing.T) {
+	r := gen.Table7().Clone()
+	// Raise t3's avg/night above t2's: descending order broken.
+	r.SetValue(2, r.Schema().MustIndex("avg/night"), relation.Int(200))
+	o := OD{
+		LHS:    []Marked{Asc(r.Schema(), "nights")},
+		RHS:    []Marked{Desc(r.Schema(), "avg/night")},
+		Schema: r.Schema(),
+	}
+	vs := o.Violations(r, 0)
+	if len(vs) == 0 {
+		t.Fatal("expected violations")
+	}
+	// Pair (t2,t3): nights 2≤3 but 185 < 200.
+	found := false
+	for _, v := range vs {
+		if v.Rows[0] == 1 && v.Rows[1] == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations %v must include (t2,t3)", vs)
+	}
+	if got := o.Violations(r, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestOFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge OFD → OD: all-ascending marks reproduce the pointwise OFD.
+	r := gen.Table7()
+	f := ofd.Must(r.Schema(), []string{"subtotal"}, []string{"taxes"}, ofd.Pointwise)
+	o := FromOFD(f)
+	if f.Holds(r) != o.Holds(r) {
+		t.Error("OFD and its OD embedding disagree on r7")
+	}
+	rng := rand.New(rand.NewSource(231))
+	for trial := 0; trial < 50; trial++ {
+		rr := gen.Series(12, -5, 5, 0.5, rng.Int63())
+		f2 := ofd.Must(rr.Schema(), []string{"seq"}, []string{"value"}, ofd.Pointwise)
+		o2 := FromOFD(f2)
+		if f2.Holds(rr) != o2.Holds(rr) {
+			t.Fatalf("trial %d: OFD.Holds=%v but OD.Holds=%v", trial, f2.Holds(rr), o2.Holds(rr))
+		}
+	}
+}
+
+func TestRankSalaryApplication(t *testing.T) {
+	// §4.2.4: rank → salary lets an index on rank serve salary queries.
+	s := relation.NewSchema(
+		relation.Attribute{Name: "rank", Kind: relation.KindInt},
+		relation.Attribute{Name: "salary", Kind: relation.KindInt},
+	)
+	r := relation.MustFromRows("emp", s, [][]relation.Value{
+		{relation.Int(1), relation.Int(50)},
+		{relation.Int(2), relation.Int(60)},
+		{relation.Int(3), relation.Int(60)},
+		{relation.Int(4), relation.Int(90)},
+	})
+	o := OD{LHS: []Marked{Asc(s, "rank")}, RHS: []Marked{Asc(s, "salary")}, Schema: s}
+	if !o.Holds(r) {
+		t.Error("rank → salary must hold (ties allowed)")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table7()
+	o := OD{
+		LHS:    []Marked{Asc(r.Schema(), "nights")},
+		RHS:    []Marked{Desc(r.Schema(), "avg/night")},
+		Schema: r.Schema(),
+	}
+	if o.Kind() != "OD" {
+		t.Error("Kind")
+	}
+	if got := o.String(); got != "nights≤ -> avg/night≥" {
+		t.Errorf("String = %q", got)
+	}
+}

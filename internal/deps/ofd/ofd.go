@@ -1,0 +1,122 @@
+// Package ofd implements ordered functional dependencies X →^P Y (paper
+// §4.1, Ng [76],[77]): attributes must be ordered consistently. Under the
+// pointwise ordering, whenever t1[X] ≤ t2[X] on every X attribute,
+// t1[Y] ≤ t2[Y] must hold on every Y attribute. The lexicographical
+// variant of [76],[77] is provided as an option.
+package ofd
+
+import (
+	"fmt"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// Ordering selects how tuples are compared on an attribute list.
+type Ordering int
+
+const (
+	// Pointwise requires ≤ on every attribute simultaneously.
+	Pointwise Ordering = iota
+	// Lexicographic compares attribute lists left to right.
+	Lexicographic
+)
+
+// OFD is an ordered functional dependency X →^P Y.
+type OFD struct {
+	// LHS and RHS are the attribute sets X and Y (order matters for the
+	// lexicographic variant; sets are used in ascending column order).
+	LHS, RHS attrset.Set
+	// Ordering is the comparison mode on both sides.
+	Ordering Ordering
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// Must builds an OFD from attribute names, panicking on unknown names.
+func Must(schema *relation.Schema, lhs, rhs []string, ord Ordering) OFD {
+	l, err := schema.Indices(lhs...)
+	if err != nil {
+		panic(err)
+	}
+	r, err := schema.Indices(rhs...)
+	if err != nil {
+		panic(err)
+	}
+	return OFD{LHS: attrset.Of(l...), RHS: attrset.Of(r...), Ordering: ord, Schema: schema}
+}
+
+// Kind implements deps.Dependency.
+func (o OFD) Kind() string { return "OFD" }
+
+// String renders the OFD.
+func (o OFD) String() string {
+	var names []string
+	if o.Schema != nil {
+		names = o.Schema.Names()
+	}
+	mode := "P"
+	if o.Ordering == Lexicographic {
+		mode = "L"
+	}
+	return fmt.Sprintf("%s ->^%s %s", o.LHS.Names(names), mode, o.RHS.Names(names))
+}
+
+// le reports whether row i ≤ row j on the columns under the ordering.
+// For pointwise ordering the result is a partial order: ok is false when
+// the rows are incomparable.
+func le(r *relation.Relation, i, j int, cols []int, ord Ordering) (leq, ok bool) {
+	switch ord {
+	case Pointwise:
+		for _, c := range cols {
+			if r.Value(i, c).Compare(r.Value(j, c)) > 0 {
+				return false, true
+			}
+		}
+		return true, true
+	default: // Lexicographic: total order.
+		for _, c := range cols {
+			if cmp := r.Value(i, c).Compare(r.Value(j, c)); cmp != 0 {
+				return cmp < 0, true
+			}
+		}
+		return true, true
+	}
+}
+
+// Holds implements deps.Dependency.
+func (o OFD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(o, r)
+}
+
+// Violations implements deps.Dependency: ordered pairs with
+// t_i[X] ≤ t_j[X] but t_i[Y] ≰ t_j[Y].
+func (o OFD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	var out []deps.Violation
+	var names []string
+	if o.Schema != nil {
+		names = o.Schema.Names()
+	}
+	lhs, rhs := o.LHS.Cols(), o.RHS.Cols()
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Rows(); j++ {
+			if i == j {
+				continue
+			}
+			xle, _ := le(r, i, j, lhs, o.Ordering)
+			if !xle {
+				continue
+			}
+			yle, _ := le(r, i, j, rhs, o.Ordering)
+			if !yle {
+				out = append(out, deps.Pair(i, j,
+					"%s ordered but %s not", o.LHS.Names(names), o.RHS.Names(names)))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

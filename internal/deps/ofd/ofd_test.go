@@ -1,0 +1,94 @@
+package ofd
+
+import (
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestOFD1OnTable7(t *testing.T) {
+	// ofd1: subtotal →^P taxes (paper §4.1.1): higher subtotal, higher taxes.
+	r := gen.Table7()
+	o := Must(r.Schema(), []string{"subtotal"}, []string{"taxes"}, Pointwise)
+	if !o.Holds(r) {
+		t.Errorf("ofd1 must hold on r7; violations: %v", o.Violations(r, 0))
+	}
+}
+
+func TestOFDViolation(t *testing.T) {
+	r := gen.Table7().Clone()
+	// Lower t4's taxes below t3's: order broken.
+	r.SetValue(3, r.Schema().MustIndex("taxes"), relation.Int(100))
+	o := Must(r.Schema(), []string{"subtotal"}, []string{"taxes"}, Pointwise)
+	vs := o.Violations(r, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 2 || vs[0].Rows[1] != 3 {
+		t.Fatalf("violations = %v, want (t3,t4)", vs)
+	}
+	if got := o.Violations(r, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestPointwiseIncomparablePairsIgnored(t *testing.T) {
+	// Pointwise ordering is partial: incomparable X pairs impose nothing.
+	s := relation.NewSchema(
+		relation.Attribute{Name: "a", Kind: relation.KindInt},
+		relation.Attribute{Name: "b", Kind: relation.KindInt},
+		relation.Attribute{Name: "y", Kind: relation.KindInt},
+	)
+	r := relation.MustFromRows("p", s, [][]relation.Value{
+		{relation.Int(1), relation.Int(9), relation.Int(5)},
+		{relation.Int(2), relation.Int(1), relation.Int(3)},
+	})
+	o := Must(s, []string{"a", "b"}, []string{"y"}, Pointwise)
+	// (t1,t2) incomparable on (a,b): no constraint despite y decreasing.
+	if !o.Holds(r) {
+		t.Error("incomparable pairs must not violate a pointwise OFD")
+	}
+	lex := Must(s, []string{"a", "b"}, []string{"y"}, Lexicographic)
+	// Lexicographically t1 < t2, y decreases: violation.
+	if lex.Holds(r) {
+		t.Error("lexicographic OFD must fail")
+	}
+}
+
+func TestLexicographicOFD(t *testing.T) {
+	r := gen.Table7()
+	o := Must(r.Schema(), []string{"nights", "subtotal"}, []string{"subtotal", "taxes"}, Lexicographic)
+	if !o.Holds(r) {
+		t.Errorf("lexicographic OFD must hold on r7; violations: %v", o.Violations(r, 0))
+	}
+}
+
+func TestTemporalApplication(t *testing.T) {
+	// §4.1.2: experience increases with time.
+	s := relation.NewSchema(
+		relation.Attribute{Name: "year", Kind: relation.KindInt},
+		relation.Attribute{Name: "experience", Kind: relation.KindInt},
+	)
+	r := relation.MustFromRows("emp", s, [][]relation.Value{
+		{relation.Int(2019), relation.Int(1)},
+		{relation.Int(2020), relation.Int(2)},
+		{relation.Int(2021), relation.Int(3)},
+	})
+	o := Must(s, []string{"year"}, []string{"experience"}, Pointwise)
+	if !o.Holds(r) {
+		t.Error("experience must increase with time")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table7()
+	o := Must(r.Schema(), []string{"subtotal"}, []string{"taxes"}, Pointwise)
+	if o.Kind() != "OFD" {
+		t.Error("Kind")
+	}
+	if got := o.String(); got != "subtotal ->^P taxes" {
+		t.Errorf("String = %q", got)
+	}
+	l := Must(r.Schema(), []string{"subtotal"}, []string{"taxes"}, Lexicographic)
+	if got := l.String(); got != "subtotal ->^L taxes" {
+		t.Errorf("String = %q", got)
+	}
+}

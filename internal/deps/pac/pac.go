@@ -1,0 +1,136 @@
+// Package pac implements probabilistic approximate constraints (paper §3.5,
+// Korn, Muthukrishnan & Zhu [63]): distance tolerances combined with a
+// confidence factor. A PAC X_Δ →^δ Y_ε requires that among tuple pairs
+// within Δ on every X attribute, at least a δ fraction are within ε on each
+// Y attribute. NEDs are the PACs with δ = 1, witnessing the NED → PAC edge
+// of the family tree.
+package pac
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/deps/ned"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Tolerance is one attribute with its distance tolerance (Δ on the LHS,
+// ε on the RHS).
+type Tolerance struct {
+	Col       int
+	Metric    metric.Metric
+	Tolerance float64
+}
+
+// T builds a tolerance with the default metric for the attribute's kind.
+func T(schema *relation.Schema, name string, tol float64) Tolerance {
+	i := schema.MustIndex(name)
+	return Tolerance{Col: i, Metric: metric.ForKind(schema.Attr(i).Kind), Tolerance: tol}
+}
+
+// PAC is a probabilistic approximate constraint X_Δ →^δ Y_ε.
+type PAC struct {
+	// LHS carries the Δ tolerances; RHS the ε tolerances.
+	LHS, RHS []Tolerance
+	// Confidence is the requirement δ ∈ (0, 1].
+	Confidence float64
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromNED embeds an NED as the δ=1 PAC (Fig 1: NED → PAC).
+func FromNED(n ned.NED) PAC {
+	p := PAC{Confidence: 1, Schema: n.Schema}
+	for _, t := range n.LHS {
+		p.LHS = append(p.LHS, Tolerance{Col: t.Col, Metric: t.Metric, Tolerance: t.Threshold})
+	}
+	for _, t := range n.RHS {
+		p.RHS = append(p.RHS, Tolerance{Col: t.Col, Metric: t.Metric, Tolerance: t.Threshold})
+	}
+	return p
+}
+
+// Kind implements deps.Dependency.
+func (p PAC) Kind() string { return "PAC" }
+
+// String renders the PAC in the paper's subscript notation, e.g.
+// "price_100 ->^0.9 tax_10".
+func (p PAC) String() string {
+	var names []string
+	if p.Schema != nil {
+		names = p.Schema.Names()
+	}
+	render := func(ts []Tolerance) string {
+		parts := make([]string, len(ts))
+		for i, t := range ts {
+			n := fmt.Sprintf("a%d", t.Col)
+			if names != nil && t.Col < len(names) {
+				n = names[t.Col]
+			}
+			parts[i] = fmt.Sprintf("%s_%.3g", n, t.Tolerance)
+		}
+		return strings.Join(parts, " ")
+	}
+	return fmt.Sprintf("%s ->^%.3g %s", render(p.LHS), p.Confidence, render(p.RHS))
+}
+
+// within reports whether rows i, j are within tolerance on every listed
+// attribute.
+func within(r *relation.Relation, i, j int, ts []Tolerance) bool {
+	for _, t := range ts {
+		d := t.Metric.Distance(r.Value(i, t.Col), r.Value(j, t.Col))
+		if !(d <= t.Tolerance) { // NaN fails
+			return false
+		}
+	}
+	return true
+}
+
+// Probability computes Pr(|t_i[B]−t_j[B]| ≤ ε ∀B | LHS within Δ): the
+// fraction of Δ-close pairs that are also ε-close. No supporting pairs
+// yields probability 1 (vacuous constraint).
+func (p PAC) Probability(r *relation.Relation) float64 {
+	support, good := 0, 0
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if within(r, i, j, p.LHS) {
+				support++
+				if within(r, i, j, p.RHS) {
+					good++
+				}
+			}
+		}
+	}
+	if support == 0 {
+		return 1
+	}
+	return float64(good) / float64(support)
+}
+
+// Holds implements deps.Dependency: Probability ≥ δ.
+func (p PAC) Holds(r *relation.Relation) bool {
+	return p.Probability(r) >= p.Confidence
+}
+
+// Violations implements deps.Dependency: when the probability falls below
+// δ, witnesses are the Δ-close pairs that miss the ε tolerances.
+func (p PAC) Violations(r *relation.Relation, limit int) []deps.Violation {
+	prob := p.Probability(r)
+	if prob >= p.Confidence {
+		return nil
+	}
+	var out []deps.Violation
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if within(r, i, j, p.LHS) && !within(r, i, j, p.RHS) {
+				out = append(out, deps.Pair(i, j, "Δ-close pair outside ε (Pr=%.3f < δ=%.3g)", prob, p.Confidence))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package pac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/ned"
+	"deptree/internal/gen"
+)
+
+func pac1(t *testing.T) (PAC, *testing.T) {
+	t.Helper()
+	r := gen.Table6()
+	s := r.Schema()
+	return PAC{
+		LHS:        []Tolerance{T(s, "price", 100)},
+		RHS:        []Tolerance{T(s, "tax", 10)},
+		Confidence: 0.9,
+		Schema:     s,
+	}, t
+}
+
+func TestPAC1OnTable6(t *testing.T) {
+	// pac1: price_100 →^0.9 tax_10 (paper §3.5.1): 11 pairs within price
+	// distance 100, 3 of them exceed tax distance 10 → Pr = 8/11 < 0.9.
+	r := gen.Table6()
+	p, _ := pac1(t)
+	if got := p.Probability(r); math.Abs(got-8.0/11) > 1e-12 {
+		t.Errorf("Pr = %v, want 8/11", got)
+	}
+	if p.Holds(r) {
+		t.Error("pac1 must fail on r6 (paper: 0.727 < 0.9)")
+	}
+	vs := p.Violations(r, 0)
+	if len(vs) != 3 {
+		t.Fatalf("violations = %d, want 3 pairs", len(vs))
+	}
+	if got := p.Violations(r, 2); len(got) != 2 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestSupportCount(t *testing.T) {
+	// Sanity-check the paper's "11 tuple pairs within price ≤ 100" claim.
+	r := gen.Table6()
+	p, _ := pac1(t)
+	support := 0
+	for i := 0; i < r.Rows(); i++ {
+		for j := i + 1; j < r.Rows(); j++ {
+			if within(r, i, j, p.LHS) {
+				support++
+			}
+		}
+	}
+	if support != 11 {
+		t.Errorf("support = %d, want 11 (paper §3.5.1)", support)
+	}
+}
+
+func TestLowerConfidenceHolds(t *testing.T) {
+	r := gen.Table6()
+	p, _ := pac1(t)
+	p.Confidence = 0.7
+	if !p.Holds(r) {
+		t.Error("Pr=8/11 ≥ 0.7 must hold")
+	}
+	if vs := p.Violations(r, 0); vs != nil {
+		t.Errorf("holding PAC reports no violations, got %v", vs)
+	}
+}
+
+func TestNEDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge NED → PAC: δ=1 reproduces the NED exactly.
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 50; trial++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 15, Seed: rng.Int63(), ErrorRate: 0.3})
+		s := r.Schema()
+		n := ned.NED{
+			LHS:    ned.Predicate{ned.T(s, "price", 50)},
+			RHS:    ned.Predicate{ned.T(s, "tax", 5)},
+			Schema: s,
+		}
+		p := FromNED(n)
+		if n.Holds(r) != p.Holds(r) {
+			t.Fatalf("trial %d: NED.Holds=%v but PAC(δ=1).Holds=%v", trial, n.Holds(r), p.Holds(r))
+		}
+	}
+}
+
+func TestVacuousPAC(t *testing.T) {
+	r := gen.Table6()
+	s := r.Schema()
+	p := PAC{
+		LHS:        []Tolerance{T(s, "price", -1)}, // nothing is within negative tolerance
+		RHS:        []Tolerance{T(s, "tax", 0)},
+		Confidence: 1,
+		Schema:     s,
+	}
+	if got := p.Probability(r); got != 1 {
+		t.Errorf("vacuous Pr = %v, want 1", got)
+	}
+	if !p.Holds(r) {
+		t.Error("vacuous PAC holds")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	p, _ := pac1(t)
+	if p.Kind() != "PAC" {
+		t.Error("Kind")
+	}
+	if got := p.String(); got != "price_100 ->^0.9 tax_10" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package pfd implements probabilistic functional dependencies X →_p Y
+// (paper §2.2, [104]): per distinct X-value V_X, the probability that a
+// tuple carries the majority Y-value,
+//
+//	P(X → Y, V_X) = |V_Y, V_X| / |V_X|,
+//
+// averaged over all distinct X-values,
+//
+//	P(X → Y, r) = Σ P(X → Y, V_X) / |D_X|.
+//
+// A PFD holds when P ≥ p. FDs are exactly the PFDs with p = 1, witnessing
+// the FD → PFD edge of the family tree.
+package pfd
+
+import (
+	"fmt"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// PFD is a probabilistic functional dependency X →_p Y.
+type PFD struct {
+	// LHS and RHS are the attribute sets X and Y.
+	LHS, RHS attrset.Set
+	// MinProb is the threshold p ∈ (0, 1].
+	MinProb float64
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromFD embeds an FD as the special-case PFD with p = 1 (Fig 1: FD → PFD).
+func FromFD(f fd.FD) PFD {
+	return PFD{LHS: f.LHS, RHS: f.RHS, MinProb: 1, Schema: f.Schema}
+}
+
+// Kind implements deps.Dependency.
+func (p PFD) Kind() string { return "PFD" }
+
+// String renders the PFD in the paper's notation.
+func (p PFD) String() string {
+	var names []string
+	if p.Schema != nil {
+		names = p.Schema.Names()
+	}
+	return fmt.Sprintf("%s ->_{p=%.3g} %s", p.LHS.Names(names), p.MinProb, p.RHS.Names(names))
+}
+
+// Probability computes P(X → Y, r): the mean over distinct X-values of the
+// per-value majority fraction. An empty relation has probability 1.
+func (p PFD) Probability(r *relation.Relation) float64 {
+	if r.Rows() == 0 {
+		return 1
+	}
+	xCodes, xCard := r.GroupCodes(p.LHS.Cols())
+	yCodes, _ := r.GroupCodes(p.RHS.Cols())
+	// For each X-value: count per Y-value, track group size and max.
+	type key struct{ x, y int }
+	counts := make(map[key]int)
+	sizes := make(map[int]int)
+	for row := range xCodes {
+		counts[key{xCodes[row], yCodes[row]}]++
+		sizes[xCodes[row]]++
+	}
+	maxes := make(map[int]int)
+	for k, c := range counts {
+		if c > maxes[k.x] {
+			maxes[k.x] = c
+		}
+	}
+	sum := 0.0
+	for x, size := range sizes {
+		sum += float64(maxes[x]) / float64(size)
+	}
+	return sum / float64(xCard)
+}
+
+// PerValue computes P(X → Y, V_X) for the X-value of the given row.
+func (p PFD) PerValue(r *relation.Relation, row int) float64 {
+	xCodes, _ := r.GroupCodes(p.LHS.Cols())
+	yCodes, _ := r.GroupCodes(p.RHS.Cols())
+	target := xCodes[row]
+	counts := make(map[int]int)
+	size, max := 0, 0
+	for i := range xCodes {
+		if xCodes[i] != target {
+			continue
+		}
+		size++
+		counts[yCodes[i]]++
+		if counts[yCodes[i]] > max {
+			max = counts[yCodes[i]]
+		}
+	}
+	return float64(max) / float64(size)
+}
+
+// Holds implements deps.Dependency: P(X → Y, r) ≥ p.
+func (p PFD) Holds(r *relation.Relation) bool {
+	return p.Probability(r) >= p.MinProb
+}
+
+// Violations implements deps.Dependency: when P < p, witnesses are the
+// minority tuples — tuples whose Y-value is not the majority for their
+// X-value.
+func (p PFD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	if p.Holds(r) {
+		return nil
+	}
+	px := partition.Build(r, p.LHS)
+	yCodes, _ := r.GroupCodes(p.RHS.Cols())
+	prob := p.Probability(r)
+	var out []deps.Violation
+	for _, class := range px.Classes() {
+		counts := make(map[int]int)
+		for _, row := range class {
+			counts[yCodes[row]]++
+		}
+		majority, best := -1, -1
+		for y, c := range counts {
+			if c > best {
+				majority, best = y, c
+			}
+		}
+		for _, row := range class {
+			if yCodes[row] != majority {
+				out = append(out, deps.Violation{
+					Rows: []int{row},
+					Msg:  fmt.Sprintf("minority Y-value for its X-group (P=%.3f < %.3f)", prob, p.MinProb),
+				})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

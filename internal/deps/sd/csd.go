@@ -1,0 +1,92 @@
+package sd
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// Span is a closed interval of X values conditioning a CSD tableau row.
+type Span struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether x ∈ [Lo, Hi].
+func (s Span) Contains(x float64) bool { return x >= s.Lo && x <= s.Hi }
+
+// String renders the span.
+func (s Span) String() string { return fmt.Sprintf("[%g,%g]", s.Lo, s.Hi) }
+
+// CSD is a conditional sequential dependency (paper §4.4.5): an embedded SD
+// plus a tableau of X-intervals; the gap constraint applies only to
+// consecutive tuple pairs whose X values both fall inside one tableau span.
+// The tableau mirrors the pattern tableau of CFDs, with intervals in place
+// of constants. An empty tableau means the SD applies everywhere (the
+// SD → CSD embedding).
+type CSD struct {
+	SD SD
+	// Tableau is the list of conditioning spans over the first X column.
+	Tableau []Span
+}
+
+// FromSD embeds an SD as the unconditional CSD (SD → CSD).
+func FromSD(s SD) CSD { return CSD{SD: s} }
+
+// Kind implements deps.Dependency.
+func (c CSD) Kind() string { return "CSD" }
+
+// String renders the CSD.
+func (c CSD) String() string {
+	if len(c.Tableau) == 0 {
+		return c.SD.String()
+	}
+	spans := make([]string, len(c.Tableau))
+	for i, s := range c.Tableau {
+		spans[i] = s.String()
+	}
+	return fmt.Sprintf("%s on %s", c.SD.String(), strings.Join(spans, "∪"))
+}
+
+// inTableau reports whether the X value of a row falls inside some span
+// (always true for the empty tableau).
+func (c CSD) inTableau(r *relation.Relation, row int) (int, bool) {
+	if len(c.Tableau) == 0 {
+		return -1, true
+	}
+	x := r.Value(row, c.SD.X[0]).Num()
+	for i, s := range c.Tableau {
+		if s.Contains(x) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Holds implements deps.Dependency.
+func (c CSD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(c, r)
+}
+
+// Violations implements deps.Dependency: consecutive pairs inside a common
+// tableau span whose delta escapes the gap interval.
+func (c CSD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	idx, d := c.SD.deltas(r)
+	var out []deps.Violation
+	for k, delta := range d {
+		si, ok1 := c.inTableau(r, idx[k])
+		sj, ok2 := c.inTableau(r, idx[k+1])
+		if !ok1 || !ok2 || (len(c.Tableau) > 0 && si != sj) {
+			continue
+		}
+		if !c.SD.G.Contains(delta) {
+			out = append(out, deps.Pair(idx[k], idx[k+1],
+				"conditioned consecutive delta %g outside %s", delta, c.SD.G))
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package sd implements sequential dependencies X →_g Y (paper §4.4, Golab
+// et al. [48]) and their conditional variant CSDs (§4.4.5): when tuples are
+// sorted on X, the distance between Y values of consecutive tuples must lie
+// in the interval g. ODs are the SDs with g = [0, ∞) or (−∞, 0],
+// witnessing the OD → SD edge of the family tree.
+package sd
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// Interval is the gap interval g = [Lo, Hi] (use ±Inf for open ends).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether d ∈ g.
+func (g Interval) Contains(d float64) bool { return d >= g.Lo && d <= g.Hi }
+
+// String renders the interval.
+func (g Interval) String() string {
+	lo := "-∞"
+	if !math.IsInf(g.Lo, -1) {
+		lo = fmt.Sprintf("%g", g.Lo)
+	}
+	hi := "+∞"
+	if !math.IsInf(g.Hi, 1) {
+		hi = fmt.Sprintf("%g", g.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+// Increasing is the OD-style gap [0, ∞).
+func Increasing() Interval { return Interval{Lo: 0, Hi: math.Inf(1)} }
+
+// Decreasing is the OD-style gap (−∞, 0].
+func Decreasing() Interval { return Interval{Lo: math.Inf(-1), Hi: 0} }
+
+// SD is a sequential dependency X →_g Y. X orders the tuples; Y is the
+// measured attribute; consecutive Y deltas (in X order, later minus
+// earlier) must lie in G.
+type SD struct {
+	// X are the ordering columns (lexicographic sort).
+	X []int
+	// Y is the measured column.
+	Y int
+	// G is the gap interval.
+	G Interval
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// Must builds an SD from attribute names, panicking on unknown names.
+func Must(schema *relation.Schema, x []string, y string, g Interval) SD {
+	xi, err := schema.Indices(x...)
+	if err != nil {
+		panic(err)
+	}
+	return SD{X: xi, Y: schema.MustIndex(y), G: g, Schema: schema}
+}
+
+// Kind implements deps.Dependency.
+func (s SD) Kind() string { return "SD" }
+
+// String renders the SD in the paper's notation.
+func (s SD) String() string {
+	var names []string
+	if s.Schema != nil {
+		names = s.Schema.Names()
+	}
+	n := func(c int) string {
+		if names != nil && c < len(names) {
+			return names[c]
+		}
+		return fmt.Sprintf("a%d", c)
+	}
+	xs := make([]string, len(s.X))
+	for i, c := range s.X {
+		xs[i] = n(c)
+	}
+	return fmt.Sprintf("%s ->_%s %s", strings.Join(xs, ","), s.G, n(s.Y))
+}
+
+// deltas returns the consecutive (rowEarlier, rowLater, delta) triples in X
+// order.
+func (s SD) deltas(r *relation.Relation) (idx []int, d []float64) {
+	idx = r.SortedIndex(s.X)
+	if len(idx) < 2 {
+		return idx, nil
+	}
+	d = make([]float64, len(idx)-1)
+	for k := 1; k < len(idx); k++ {
+		d[k-1] = r.Value(idx[k], s.Y).Num() - r.Value(idx[k-1], s.Y).Num()
+	}
+	return idx, d
+}
+
+// Holds implements deps.Dependency.
+func (s SD) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(s, r)
+}
+
+// Violations implements deps.Dependency: consecutive pairs (in X order)
+// whose Y delta falls outside g.
+func (s SD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	idx, d := s.deltas(r)
+	var out []deps.Violation
+	for k, delta := range d {
+		if !s.G.Contains(delta) {
+			out = append(out, deps.Pair(idx[k], idx[k+1], "consecutive delta %g outside %s", delta, s.G))
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Confidence computes the SD confidence of [48]: the fraction of tuples in
+// the largest subset that can be completed into a satisfying sequence using
+// deletions *and insertions* — an out-of-range delta between two kept
+// tuples is repairable when some number of inserted tuples splits it into
+// in-range steps (t_j reachable from t_i iff ∃k ≥ 1 with
+// k·Lo ≤ y_j − y_i ≤ k·Hi). Computed by an O(n²) longest-chain dynamic
+// program over the X-sorted tuples.
+func (s SD) Confidence(r *relation.Relation) float64 {
+	n := r.Rows()
+	if n == 0 {
+		return 1
+	}
+	idx, _ := s.deltas(r)
+	y := make([]float64, n)
+	for k, row := range idx {
+		y[k] = r.Value(row, s.Y).Num()
+	}
+	best := make([]int, n)
+	overall := 0
+	for i := 0; i < n; i++ {
+		best[i] = 1
+		for j := 0; j < i; j++ {
+			if s.G.Reachable(y[i]-y[j]) && best[j]+1 > best[i] {
+				best[i] = best[j] + 1
+			}
+		}
+		if best[i] > overall {
+			overall = best[i]
+		}
+	}
+	return float64(overall) / float64(n)
+}
+
+// Reachable reports whether a total delta can be decomposed into k ≥ 1
+// consecutive steps that each lie in the interval, i.e. ∃k ≥ 1 with
+// k·Lo ≤ d ≤ k·Hi. The search is bounded at k = 1024 splits, far beyond
+// any realistic repair.
+func (g Interval) Reachable(d float64) bool {
+	for k := 1.0; k <= 1024; k++ {
+		lo, hi := k*g.Lo, k*g.Hi
+		if d >= lo && d <= hi {
+			return true
+		}
+		// Once the window has moved past d on both monotone ends, stop.
+		if g.Lo > 0 && lo > d {
+			return false
+		}
+		if g.Hi < 0 && hi < d {
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package sd
+
+import (
+	"math"
+	"testing"
+
+	"deptree/internal/deps/od"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestSD1OnTable7(t *testing.T) {
+	// sd1: nights →_[100,200] subtotal (paper §4.4.1): deltas 180, 170, 160.
+	r := gen.Table7()
+	s := Must(r.Schema(), []string{"nights"}, "subtotal", Interval{Lo: 100, Hi: 200})
+	if !s.Holds(r) {
+		t.Errorf("sd1 must hold on r7; violations: %v", s.Violations(r, 0))
+	}
+	if got := s.Confidence(r); got != 1 {
+		t.Errorf("confidence = %v, want 1", got)
+	}
+}
+
+func TestSDViolation(t *testing.T) {
+	r := gen.Table7().Clone()
+	// Make the t3→t4 subtotal delta −140: outside [100,200] and not
+	// repairable by insertions (negative delta, positive gap).
+	r.SetValue(3, r.Schema().MustIndex("subtotal"), relation.Int(400))
+	s := Must(r.Schema(), []string{"nights"}, "subtotal", Interval{Lo: 100, Hi: 200})
+	vs := s.Violations(r, 0)
+	if len(vs) != 1 || vs[0].Rows[0] != 2 || vs[0].Rows[1] != 3 {
+		t.Fatalf("violations = %v, want (t3,t4)", vs)
+	}
+	if s.Confidence(r) >= 1 {
+		t.Error("confidence must drop below 1")
+	}
+	if got := s.Violations(r, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestSD2DecreasingEqualsOD(t *testing.T) {
+	// sd2: nights →_(−∞,0] avg/night expresses od1 (paper §4.4.2).
+	r := gen.Table7()
+	s := Must(r.Schema(), []string{"nights"}, "avg/night", Decreasing())
+	if !s.Holds(r) {
+		t.Errorf("sd2 must hold on r7; violations: %v", s.Violations(r, 0))
+	}
+	o := od.OD{
+		LHS:    []od.Marked{od.Asc(r.Schema(), "nights")},
+		RHS:    []od.Marked{od.Desc(r.Schema(), "avg/night")},
+		Schema: r.Schema(),
+	}
+	if s.Holds(r) != o.Holds(r) {
+		t.Error("SD with (−∞,0] and OD disagree on r7")
+	}
+}
+
+func TestODEmbeddingEdgeOnSeries(t *testing.T) {
+	// Fig 1 edge OD → SD: on strictly increasing X (no ties), the SD with
+	// g = [0, ∞) equals the ascending OD. (With ties on X the two notations
+	// diverge: ODs constrain all pairs, SDs only consecutive sorted tuples.)
+	for seed := int64(0); seed < 30; seed++ {
+		r := gen.Series(15, -5, 5, 0.5, seed)
+		s := Must(r.Schema(), []string{"seq"}, "value", Increasing())
+		o := od.OD{
+			LHS:    []od.Marked{od.Asc(r.Schema(), "seq")},
+			RHS:    []od.Marked{od.Asc(r.Schema(), "value")},
+			Schema: r.Schema(),
+		}
+		if s.Holds(r) != o.Holds(r) {
+			t.Fatalf("seed %d: SD[0,∞).Holds=%v but OD.Holds=%v", seed, s.Holds(r), o.Holds(r))
+		}
+	}
+}
+
+func TestPollingAudit(t *testing.T) {
+	// §4.4.4: pollnum →_[9,11] time detects too-frequent polls and gaps.
+	r := gen.Series(100, 9, 11, 0, 99)
+	s := Must(r.Schema(), []string{"seq"}, "value", Interval{Lo: 9, Hi: 11})
+	if !s.Holds(r) {
+		t.Error("clean polling series must satisfy the SD")
+	}
+	noisy := gen.Series(100, 9, 11, 0.15, 100)
+	if s.Holds(noisy) {
+		t.Error("noisy polling series must violate the SD")
+	}
+	conf := s.Confidence(noisy)
+	if conf <= 0.5 || conf >= 1 {
+		t.Errorf("confidence = %v, want in (0.5, 1)", conf)
+	}
+}
+
+func TestConfidenceEdgeCases(t *testing.T) {
+	r := gen.Table7().Select(func(int) bool { return false })
+	s := Must(gen.Table7().Schema(), []string{"nights"}, "subtotal", Increasing())
+	if got := s.Confidence(r); got != 1 {
+		t.Errorf("empty confidence = %v", got)
+	}
+	one := gen.Table7().Select(func(i int) bool { return i == 0 })
+	if got := s.Confidence(one); got != 1 {
+		t.Errorf("singleton confidence = %v", got)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{Lo: 100, Hi: 200}).String(); got != "[100,200]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Increasing().String(); got != "[0,+∞]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Decreasing().String(); got != "[-∞,0]" {
+		t.Errorf("String = %q", got)
+	}
+	if !Increasing().Contains(math.Inf(1)) || Increasing().Contains(-1) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestCSDConditional(t *testing.T) {
+	// A series whose step changes regime: [9,11] for seq < 50, [18,22]
+	// afterwards. The unconditional SD fails; the CSD with two tableau
+	// spans and per-regime check on the first span holds.
+	s := relation.NewSchema(
+		relation.Attribute{Name: "seq", Kind: relation.KindInt},
+		relation.Attribute{Name: "value", Kind: relation.KindFloat},
+	)
+	r := relation.New("regime", s)
+	v := 0.0
+	for i := 0; i < 100; i++ {
+		_ = r.Append([]relation.Value{relation.Int(i), relation.Float(v)})
+		if i < 50 {
+			v += 10
+		} else {
+			v += 20
+		}
+	}
+	plain := Must(s, []string{"seq"}, "value", Interval{Lo: 9, Hi: 11})
+	if plain.Holds(r) {
+		t.Fatal("unconditional SD must fail across regimes")
+	}
+	c := CSD{SD: plain.withGap(Interval{Lo: 9, Hi: 11}), Tableau: []Span{{Lo: 0, Hi: 50}}}
+	if !c.Holds(r) {
+		t.Errorf("CSD restricted to the first regime must hold; violations: %v", c.Violations(r, 0))
+	}
+	c2 := CSD{SD: plain.withGap(Interval{Lo: 18, Hi: 22}), Tableau: []Span{{Lo: 51, Hi: 99}}}
+	if !c2.Holds(r) {
+		t.Errorf("CSD restricted to the second regime must hold; violations: %v", c2.Violations(r, 0))
+	}
+}
+
+// withGap returns a copy of the SD with a different gap interval.
+func (s SD) withGap(g Interval) SD {
+	s.G = g
+	return s
+}
+
+func TestSDEmbeddingIntoCSD(t *testing.T) {
+	// SD → CSD: the empty tableau reproduces the SD.
+	for seed := int64(0); seed < 20; seed++ {
+		r := gen.Series(20, 9, 11, 0.3, seed)
+		s := Must(r.Schema(), []string{"seq"}, "value", Interval{Lo: 9, Hi: 11})
+		c := FromSD(s)
+		if s.Holds(r) != c.Holds(r) {
+			t.Fatalf("seed %d: SD.Holds=%v but CSD.Holds=%v", seed, s.Holds(r), c.Holds(r))
+		}
+	}
+}
+
+func TestCSDSpanBoundary(t *testing.T) {
+	// Pairs straddling two different spans are unconstrained.
+	r := gen.Series(10, 100, 100, 0, 1) // step 100
+	s := Must(r.Schema(), []string{"seq"}, "value", Interval{Lo: 9, Hi: 11})
+	c := CSD{SD: s, Tableau: []Span{{Lo: 0, Hi: 4}, {Lo: 5, Hi: 9}}}
+	// Every within-span delta is 100, outside [9,11]: violations everywhere
+	// except across the boundary.
+	vs := c.Violations(r, 0)
+	if len(vs) != 8 {
+		t.Errorf("violations = %d, want 8 (9 consecutive pairs minus the straddle)", len(vs))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	r := gen.Table7()
+	s := Must(r.Schema(), []string{"nights"}, "subtotal", Interval{Lo: 100, Hi: 200})
+	if s.Kind() != "SD" {
+		t.Error("Kind")
+	}
+	if got := s.String(); got != "nights ->_[100,200] subtotal" {
+		t.Errorf("String = %q", got)
+	}
+	c := CSD{SD: s, Tableau: []Span{{Lo: 0, Hi: 10}}}
+	if c.Kind() != "CSD" {
+		t.Error("CSD Kind")
+	}
+	if got := c.String(); got != "nights ->_[100,200] subtotal on [0,10]" {
+		t.Errorf("CSD String = %q", got)
+	}
+	if FromSD(s).String() != s.String() {
+		t.Error("unconditional CSD renders as the SD")
+	}
+}

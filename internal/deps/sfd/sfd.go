@@ -1,0 +1,80 @@
+// Package sfd implements soft functional dependencies X →_s Y (paper §2.1,
+// CORDS [55]): X determines Y not with certainty but with high probability,
+// measured by counting domain values,
+//
+//	S(X → Y, r) = |dom(X)|_r / |dom(X,Y)|_r.
+//
+// An SFD holds when S ≥ s. FDs are exactly the SFDs with strength 1,
+// witnessing the FD → SFD edge of the family tree.
+package sfd
+
+import (
+	"fmt"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// SFD is a soft functional dependency X →_s Y.
+type SFD struct {
+	// LHS and RHS are the attribute sets X and Y.
+	LHS, RHS attrset.Set
+	// MinStrength is the threshold s ∈ (0, 1].
+	MinStrength float64
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// FromFD embeds an FD as the special-case SFD with strength 1 (Fig 1:
+// FD → SFD).
+func FromFD(f fd.FD) SFD {
+	return SFD{LHS: f.LHS, RHS: f.RHS, MinStrength: 1, Schema: f.Schema}
+}
+
+// Kind implements deps.Dependency.
+func (s SFD) Kind() string { return "SFD" }
+
+// String renders the SFD in the paper's notation.
+func (s SFD) String() string {
+	var names []string
+	if s.Schema != nil {
+		names = s.Schema.Names()
+	}
+	return fmt.Sprintf("%s ->_{s=%.3g} %s", s.LHS.Names(names), s.MinStrength, s.RHS.Names(names))
+}
+
+// Strength computes S(X → Y, r) = |dom(X)| / |dom(X,Y)|. An empty relation
+// has strength 1 by convention (no evidence against the dependency).
+func (s SFD) Strength(r *relation.Relation) float64 {
+	if r.Rows() == 0 {
+		return 1
+	}
+	domX := r.DistinctCount(s.LHS.Cols())
+	domXY := r.DistinctCount(s.LHS.Union(s.RHS).Cols())
+	return float64(domX) / float64(domXY)
+}
+
+// Holds implements deps.Dependency: S(X → Y, r) ≥ s.
+func (s SFD) Holds(r *relation.Relation) bool {
+	return s.Strength(r) >= s.MinStrength
+}
+
+// Violations implements deps.Dependency. When the strength is below the
+// threshold, the witnesses are FD-violating pairs — the tuple pairs that
+// inflate |dom(X,Y)| above |dom(X)|.
+func (s SFD) Violations(r *relation.Relation, limit int) []deps.Violation {
+	if s.Holds(r) {
+		return nil
+	}
+	px := partition.Build(r, s.LHS)
+	codes, _ := r.GroupCodes(s.RHS.Cols())
+	pairs := px.ViolatingPairs(codes, limit)
+	out := make([]deps.Violation, len(pairs))
+	for i, p := range pairs {
+		out[i] = deps.Pair(p[0], p[1], "strength %.3f < %.3f", s.Strength(r), s.MinStrength)
+	}
+	return out
+}

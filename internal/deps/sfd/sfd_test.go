@@ -1,0 +1,101 @@
+package sfd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+)
+
+func TestStrengthOnTable5(t *testing.T) {
+	r := gen.Table5()
+	addrRegion := SFD{Schema: r.Schema()}
+	addrRegion.LHS = addrRegion.LHS.Add(r.Schema().MustIndex("address"))
+	addrRegion.RHS = addrRegion.RHS.Add(r.Schema().MustIndex("region"))
+	if got := addrRegion.Strength(r); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("S(address→region, r5) = %v, want 2/3 (paper §2.1.1)", got)
+	}
+	nameAddr := SFD{Schema: r.Schema()}
+	nameAddr.LHS = nameAddr.LHS.Add(r.Schema().MustIndex("name"))
+	nameAddr.RHS = nameAddr.RHS.Add(r.Schema().MustIndex("address"))
+	if got := nameAddr.Strength(r); got != 0.5 {
+		t.Errorf("S(name→address, r5) = %v, want 1/2 (paper §2.1.1)", got)
+	}
+}
+
+func TestHoldsThreshold(t *testing.T) {
+	r := gen.Table5()
+	s := SFD{MinStrength: 0.6, Schema: r.Schema()}
+	s.LHS = s.LHS.Add(r.Schema().MustIndex("address"))
+	s.RHS = s.RHS.Add(r.Schema().MustIndex("region"))
+	if !s.Holds(r) {
+		t.Error("strength 2/3 ≥ 0.6 should hold")
+	}
+	s.MinStrength = 0.7
+	if s.Holds(r) {
+		t.Error("strength 2/3 < 0.7 should not hold")
+	}
+}
+
+func TestFDEmbeddingEdge(t *testing.T) {
+	// Fig 1 edge FD → SFD: for random instances, the FD holds iff its
+	// strength-1 SFD embedding holds.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		r := gen.Categorical(25, []int{3, 3}, rng.Int63())
+		f := fd.Must(r.Schema(), []string{"c0"}, []string{"c1"})
+		s := FromFD(f)
+		if f.Holds(r) != s.Holds(r) {
+			t.Fatalf("trial %d: FD.Holds=%v but SFD(s=1).Holds=%v",
+				trial, f.Holds(r), s.Holds(r))
+		}
+	}
+}
+
+func TestSFD1OnTable1(t *testing.T) {
+	// sfd1: address →_1 region on r1. Strength < 1 because of t3/t4, t5/t6.
+	r := gen.Table1()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	s := FromFD(f)
+	if s.Holds(r) {
+		t.Error("sfd1 with strength 1 must fail on Table 1")
+	}
+	if vs := s.Violations(r, 0); len(vs) != 2 {
+		t.Errorf("violations = %d, want 2 pairs", len(vs))
+	}
+	if vs := s.Violations(r, 1); len(vs) != 1 {
+		t.Error("limit not respected")
+	}
+	// On {t1, t2} strength is 1.
+	sub := r.Select(func(row int) bool { return row < 2 })
+	if !s.Holds(sub) {
+		t.Error("sfd1 must hold on {t1,t2}")
+	}
+	if vs := s.Violations(sub, 0); vs != nil {
+		t.Errorf("no violations expected, got %v", vs)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	r := gen.Table5().Select(func(int) bool { return false })
+	s := SFD{MinStrength: 1, Schema: r.Schema()}
+	s.LHS = s.LHS.Add(0)
+	s.RHS = s.RHS.Add(1)
+	if !s.Holds(r) {
+		t.Error("empty relation satisfies every SFD")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	r := gen.Table5()
+	f := fd.Must(r.Schema(), []string{"address"}, []string{"region"})
+	s := FromFD(f)
+	if s.Kind() != "SFD" {
+		t.Error("Kind")
+	}
+	if got := s.String(); got != "address ->_{s=1} region" {
+		t.Errorf("String = %q", got)
+	}
+}

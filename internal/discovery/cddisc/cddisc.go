@@ -1,0 +1,116 @@
+// Package cddisc implements the pay-as-you-go discovery of comparable
+// dependencies (Song, Chen & Yu [92], paper §3.4.3): comparison functions
+// over synonym attribute pairs are identified incrementally (in dataspaces
+// they surface as users map sources), and each newly identified function
+// θ generates new candidate CDs against the already-known functions —
+// without re-evaluating the dependencies discovered so far.
+package cddisc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/cd"
+	"deptree/internal/relation"
+)
+
+// Options configures CD discovery.
+type Options struct {
+	// MinSupport is the minimum number of LHS-similar tuple pairs
+	// (default 1).
+	MinSupport int
+	// MaxError is the g3 budget e: a CD is kept when the (greedy) g3 error
+	// is ≤ e (default 0: exact CDs only). Exact validation is NP-complete
+	// [91]; the greedy vertex-cover approximation of cd.CD.G3 is used.
+	MaxError float64
+	// MaxLHS bounds the number of LHS similarity functions (default 2).
+	MaxLHS int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 1
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 2
+	}
+	return o
+}
+
+// Session is a pay-as-you-go discovery session: comparison functions are
+// added over time and the discovered CD set grows monotonically.
+type Session struct {
+	r      *relation.Relation
+	opts   Options
+	thetas []cd.SimilarityFunc
+	found  []cd.CD
+}
+
+// NewSession starts a session over a dataspace relation.
+func NewSession(r *relation.Relation, opts Options) *Session {
+	return &Session{r: r, opts: opts.withDefaults()}
+}
+
+// Found returns the CDs discovered so far.
+func (s *Session) Found() []cd.CD { return s.found }
+
+// Functions returns the comparison functions identified so far.
+func (s *Session) Functions() []cd.SimilarityFunc { return s.thetas }
+
+// AddFunction registers a newly identified comparison function θ and
+// generates the new dependencies involving it: θ as the RHS of known-LHS
+// combinations, and θ as an LHS member for known RHS functions — exactly
+// the incremental step of [92]. It returns the CDs added by this call.
+func (s *Session) AddFunction(theta cd.SimilarityFunc) []cd.CD {
+	var added []cd.CD
+	try := func(lhs []cd.SimilarityFunc, rhs cd.SimilarityFunc) {
+		cand := cd.CD{LHS: lhs, RHS: rhs, Schema: s.r.Schema()}
+		support := s.lhsSupport(lhs)
+		if support < s.opts.MinSupport {
+			return
+		}
+		if cand.G3(s.r) <= s.opts.MaxError {
+			added = append(added, cand)
+		}
+	}
+	// New function as RHS of every known single- and two-function LHS.
+	for i, a := range s.thetas {
+		try([]cd.SimilarityFunc{a}, theta)
+		if s.opts.MaxLHS >= 2 {
+			for _, b := range s.thetas[i+1:] {
+				try([]cd.SimilarityFunc{a, b}, theta)
+			}
+		}
+	}
+	// New function as LHS for every known RHS.
+	for _, b := range s.thetas {
+		try([]cd.SimilarityFunc{theta}, b)
+		if s.opts.MaxLHS >= 2 {
+			for _, a := range s.thetas {
+				if a != b && a != theta {
+					try([]cd.SimilarityFunc{theta, a}, b)
+				}
+			}
+		}
+	}
+	s.thetas = append(s.thetas, theta)
+	sort.Slice(added, func(i, j int) bool { return added[i].String() < added[j].String() })
+	s.found = append(s.found, added...)
+	return added
+}
+
+// lhsSupport counts pairs similar w.r.t. all LHS functions.
+func (s *Session) lhsSupport(lhs []cd.SimilarityFunc) int {
+	support := 0
+	for i := 0; i < s.r.Rows(); i++ {
+	pairs:
+		for j := i + 1; j < s.r.Rows(); j++ {
+			for _, f := range lhs {
+				if !f.Similar(s.r, i, j) {
+					continue pairs
+				}
+			}
+			support++
+		}
+	}
+	return support
+}

@@ -1,0 +1,213 @@
+// Package cords implements the CORDS approach of Ilyas et al. [55] (paper
+// §2.1.3) for discovering soft functional dependencies and correlations
+// between column pairs: sample the relation, estimate per-column and
+// pairwise distinct counts from the sample (the role the system catalog
+// plays in the original), compute the SFD strength, and run a robust
+// chi-square analysis on the contingency table of frequent values to flag
+// correlated columns.
+package cords
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/sfd"
+	"deptree/internal/relation"
+)
+
+// Options configures a CORDS run.
+type Options struct {
+	// SampleSize bounds the number of rows examined (0 = whole relation).
+	// CORDS' point is that the sample size needed is essentially
+	// independent of |r|.
+	SampleSize int
+	// MinStrength is the SFD strength threshold s (default 0.95).
+	MinStrength float64
+	// ChiSquareLevel is the significance threshold for the correlation
+	// statistic; the default 0.01 flags pairs whose chi-square exceeds the
+	// critical value for the contingency table's degrees of freedom.
+	ChiSquareLevel float64
+	// MaxCategories caps the contingency-table dimensions (frequent-value
+	// bucketing, as in the original; default 20).
+	MaxCategories int
+	// Seed drives sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinStrength == 0 {
+		o.MinStrength = 0.95
+	}
+	if o.MaxCategories == 0 {
+		o.MaxCategories = 20
+	}
+	if o.ChiSquareLevel == 0 {
+		o.ChiSquareLevel = 0.01
+	}
+	return o
+}
+
+// Correlation is a flagged column pair with its statistics.
+type Correlation struct {
+	// Col1, Col2 are the column indices (Col1 determines Col2 for the SFD
+	// reading).
+	Col1, Col2 int
+	// Strength is the SFD strength measure on the sample.
+	Strength float64
+	// ChiSquare is the correlation statistic on the bucketed contingency
+	// table.
+	ChiSquare float64
+	// Correlated marks pairs whose chi-square analysis rejects
+	// independence.
+	Correlated bool
+}
+
+// Result bundles discovered SFDs and flagged correlations.
+type Result struct {
+	SFDs         []sfd.SFD
+	Correlations []Correlation
+}
+
+// Discover runs CORDS over all column pairs.
+func Discover(r *relation.Relation, opts Options) Result {
+	opts = opts.withDefaults()
+	sample := sampleRows(r, opts.SampleSize, opts.Seed)
+	var res Result
+	n := r.Cols()
+	for c1 := 0; c1 < n; c1++ {
+		for c2 := 0; c2 < n; c2++ {
+			if c1 == c2 {
+				continue
+			}
+			corr := analyze(r, sample, c1, c2, opts)
+			res.Correlations = append(res.Correlations, corr)
+			if corr.Strength >= opts.MinStrength {
+				res.SFDs = append(res.SFDs, sfd.SFD{
+					LHS:         attrset.Single(c1),
+					RHS:         attrset.Single(c2),
+					MinStrength: opts.MinStrength,
+					Schema:      r.Schema(),
+				})
+			}
+		}
+	}
+	return res
+}
+
+// sampleRows draws a uniform sample of row indices without replacement.
+func sampleRows(r *relation.Relation, size int, seed int64) []int {
+	n := r.Rows()
+	if size <= 0 || size >= n {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:size]
+	sort.Ints(perm)
+	return perm
+}
+
+// analyze computes strength and the chi-square statistic for one ordered
+// column pair over the sample.
+func analyze(r *relation.Relation, sample []int, c1, c2 int, opts Options) Correlation {
+	// Distinct counts on the sample.
+	d1 := map[string]int{}
+	d2 := map[string]int{}
+	pair := map[[2]string]int{}
+	for _, row := range sample {
+		k1 := r.Value(row, c1).Key()
+		k2 := r.Value(row, c2).Key()
+		d1[k1]++
+		d2[k2]++
+		pair[[2]string{k1, k2}]++
+	}
+	corr := Correlation{Col1: c1, Col2: c2}
+	if len(pair) > 0 {
+		corr.Strength = float64(len(d1)) / float64(len(pair))
+	} else {
+		corr.Strength = 1
+	}
+	// Bucket to the MaxCategories most frequent values per column.
+	top1 := topKeys(d1, opts.MaxCategories)
+	top2 := topKeys(d2, opts.MaxCategories)
+	idx1 := index(top1)
+	idx2 := index(top2)
+	rows, cols := len(top1), len(top2)
+	if rows < 2 || cols < 2 {
+		// A constant column is trivially dependent; chi-square undefined.
+		corr.Correlated = corr.Strength >= opts.MinStrength
+		return corr
+	}
+	table := make([][]float64, rows)
+	for i := range table {
+		table[i] = make([]float64, cols)
+	}
+	total := 0.0
+	for _, row := range sample {
+		i, ok1 := idx1[r.Value(row, c1).Key()]
+		j, ok2 := idx2[r.Value(row, c2).Key()]
+		if ok1 && ok2 {
+			table[i][j]++
+			total++
+		}
+	}
+	if total == 0 {
+		return corr
+	}
+	rowSum := make([]float64, rows)
+	colSum := make([]float64, cols)
+	for i := range table {
+		for j := range table[i] {
+			rowSum[i] += table[i][j]
+			colSum[j] += table[i][j]
+		}
+	}
+	chi := 0.0
+	for i := range table {
+		for j := range table[i] {
+			expected := rowSum[i] * colSum[j] / total
+			if expected > 0 {
+				d := table[i][j] - expected
+				chi += d * d / expected
+			}
+		}
+	}
+	corr.ChiSquare = chi
+	dof := float64((rows - 1) * (cols - 1))
+	// Normal approximation to the chi-square critical value at the 0.01
+	// level: χ² > dof + 2.33·sqrt(2·dof) (Wilson–Hilferty would be finer;
+	// CORDS itself uses a robust cutoff, not an exact test).
+	critical := dof + 2.33*math.Sqrt(2*dof)
+	corr.Correlated = chi > critical
+	return corr
+}
+
+func topKeys(counts map[string]int, k int) []string {
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	if len(keys) > k {
+		keys = keys[:k]
+	}
+	return keys
+}
+
+func index(keys []string) map[string]int {
+	out := make(map[string]int, len(keys))
+	for i, k := range keys {
+		out[k] = i
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package cords
+
+import (
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func TestDiscoverFindsPlantedSFD(t *testing.T) {
+	// address → region holds exactly on clean hotels: strength 1.
+	r := gen.Hotels(gen.HotelConfig{Rows: 400, Seed: 1})
+	res := Discover(r, Options{MinStrength: 0.95})
+	addr := r.Schema().MustIndex("address")
+	region := r.Schema().MustIndex("region")
+	found := false
+	for _, s := range res.SFDs {
+		if s.LHS.Has(addr) && s.RHS.Has(region) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("address → region SFD not discovered")
+	}
+}
+
+func TestSoftDependencySurvivesNoise(t *testing.T) {
+	// With a small error rate the FD breaks but the SFD remains.
+	r := gen.Hotels(gen.HotelConfig{Rows: 400, Seed: 2, ErrorRate: 0.02})
+	res := Discover(r, Options{MinStrength: 0.9})
+	addr := r.Schema().MustIndex("address")
+	region := r.Schema().MustIndex("region")
+	found := false
+	for _, s := range res.SFDs {
+		if s.LHS.Has(addr) && s.RHS.Has(region) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("soft address → region should survive 2% noise")
+	}
+}
+
+func TestChiSquareFlagsCorrelation(t *testing.T) {
+	// star is a function of (region, addr) construction and price depends
+	// on star: the (star, price-band) pair must be flagged; two independent
+	// random columns must not.
+	r := gen.Hotels(gen.HotelConfig{Rows: 500, Seed: 3})
+	res := Discover(r, Options{})
+	star := r.Schema().MustIndex("star")
+	price := r.Schema().MustIndex("price")
+	nights := r.Schema().MustIndex("nights")
+	var starPrice, starNights *Correlation
+	for i := range res.Correlations {
+		c := &res.Correlations[i]
+		if c.Col1 == star && c.Col2 == price {
+			starPrice = c
+		}
+		if c.Col1 == star && c.Col2 == nights {
+			starNights = c
+		}
+	}
+	if starPrice == nil || starNights == nil {
+		t.Fatal("correlation entries missing")
+	}
+	if !starPrice.Correlated {
+		t.Errorf("star/price should be flagged (χ²=%.1f)", starPrice.ChiSquare)
+	}
+	if starNights.Correlated {
+		t.Errorf("star/nights are independent (χ²=%.1f)", starNights.ChiSquare)
+	}
+}
+
+func TestSamplingIsScalable(t *testing.T) {
+	// The sample bound caps work: results from a 200-row sample of a large
+	// relation still find the planted SFD.
+	r := gen.Hotels(gen.HotelConfig{Rows: 3000, Seed: 4})
+	res := Discover(r, Options{SampleSize: 200, Seed: 7})
+	addr := r.Schema().MustIndex("address")
+	region := r.Schema().MustIndex("region")
+	found := false
+	for _, s := range res.SFDs {
+		if s.LHS.Has(addr) && s.RHS.Has(region) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sampled run lost the planted SFD")
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	r := relation.New("e", relation.Strings("a", "b"))
+	res := Discover(r, Options{})
+	if len(res.SFDs) == 0 {
+		// Vacuous strength 1 admits everything; either behaviour is
+		// acceptable as long as it does not panic. Nothing to assert
+		// beyond stability.
+		t.Log("no SFDs on empty relation")
+	}
+}
+
+func TestSampleRows(t *testing.T) {
+	r := gen.Hotels(gen.HotelConfig{Rows: 100, Seed: 5})
+	s := sampleRows(r, 10, 1)
+	if len(s) != 10 {
+		t.Fatalf("sample size %d", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatal("sample not strictly increasing")
+		}
+	}
+	if got := sampleRows(r, 0, 1); len(got) != 100 {
+		t.Errorf("full sample size %d", len(got))
+	}
+	if got := sampleRows(r, 500, 1); len(got) != 100 {
+		t.Errorf("oversized sample size %d", len(got))
+	}
+}

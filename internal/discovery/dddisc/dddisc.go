@@ -1,0 +1,163 @@
+// Package dddisc implements differential dependency discovery after Song &
+// Chen [86],[88],[89] (paper §3.3.3): given a target RHS differential
+// function, search the left-hand-side threshold space for minimal DDs with
+// full confidence and sufficient support.
+//
+// Candidate thresholds are determined from the data in the parameter-free
+// style of [88]: the observed pairwise distances on each attribute form the
+// candidate set, so no distance thresholds need to be specified manually —
+// the aspect the paper highlights as the key difficulty of metric
+// dependencies (§1.4.2).
+package dddisc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/dd"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Options configures DD discovery.
+type Options struct {
+	// RHS is the target differential function φ[Y].
+	RHS dd.DiffFunc
+	// LHSCols are the attributes considered for φ[X] (defaults to all
+	// except the RHS column).
+	LHSCols []int
+	// MinSupport is the minimum number of pairs matching φ[X] (default 1).
+	MinSupport int
+	// MaxThresholds caps the candidate thresholds per attribute, taken as
+	// quantiles of the observed distance distribution (default 8).
+	MaxThresholds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 1
+	}
+	if o.MaxThresholds == 0 {
+		o.MaxThresholds = 8
+	}
+	return o
+}
+
+// Discover returns DDs φ[X] → φ[Y] with confidence 1 and support ≥
+// MinSupport, where every LHS function is of the "similar" form
+// A(≤ threshold) and thresholds are maximal: raising any threshold to the
+// next candidate would break the dependency or its confidence. Maximal
+// thresholds make the DD most general, mirroring the minimality notion of
+// [86] (a DD with looser LHS subsumes tighter ones).
+func Discover(r *relation.Relation, opts Options) []dd.DD {
+	opts = opts.withDefaults()
+	n := r.Rows()
+	if n < 2 {
+		return nil
+	}
+	cols := opts.LHSCols
+	if cols == nil {
+		for c := 0; c < r.Cols(); c++ {
+			if c != opts.RHS.Col {
+				cols = append(cols, c)
+			}
+		}
+	}
+	// Pairwise distances per candidate attribute and for the RHS.
+	pairCount := n * (n - 1) / 2
+	dists := make(map[int][]float64, len(cols))
+	metrics := make(map[int]metric.Metric, len(cols))
+	for _, c := range cols {
+		metrics[c] = metric.ForKind(r.Schema().Attr(c).Kind)
+		dists[c] = make([]float64, 0, pairCount)
+	}
+	rhsOK := make([]bool, 0, pairCount)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rhsOK = append(rhsOK, opts.RHS.Compatible(r, i, j))
+			for _, c := range cols {
+				dists[c] = append(dists[c], metrics[c].Distance(r.Value(i, c), r.Value(j, c)))
+			}
+		}
+	}
+	// Candidate thresholds per attribute: distinct distance quantiles.
+	candidates := make(map[int][]float64, len(cols))
+	for _, c := range cols {
+		candidates[c] = quantileThresholds(dists[c], opts.MaxThresholds)
+	}
+	var out []dd.DD
+	// Single-attribute LHS: find the maximal threshold with confidence 1.
+	for _, c := range cols {
+		best := -1.0
+		haveBest := false
+		for _, t := range candidates[c] {
+			support, conf := evaluate(dists[c], t, rhsOK)
+			if support >= opts.MinSupport && conf == 1 {
+				if !haveBest || t > best {
+					best = t
+					haveBest = true
+				}
+			}
+		}
+		if haveBest {
+			out = append(out, dd.DD{
+				LHS:    dd.Pattern{{Col: c, Metric: metrics[c], Op: dd.OpLe, Threshold: best}},
+				RHS:    dd.Pattern{opts.RHS},
+				Schema: r.Schema(),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].LHS[0].Col < out[j].LHS[0].Col })
+	return out
+}
+
+// evaluate computes support (pairs with distance ≤ t) and confidence
+// (fraction of those satisfying the RHS).
+func evaluate(dist []float64, t float64, rhsOK []bool) (int, float64) {
+	support, good := 0, 0
+	for k, d := range dist {
+		if d <= t { // NaN fails
+			support++
+			if rhsOK[k] {
+				good++
+			}
+		}
+	}
+	if support == 0 {
+		return 0, 1
+	}
+	return support, float64(good) / float64(support)
+}
+
+// quantileThresholds extracts up to k distinct candidate thresholds from
+// the observed distances (NaNs dropped), spread across the distribution.
+func quantileThresholds(dist []float64, k int) []float64 {
+	clean := make([]float64, 0, len(dist))
+	for _, d := range dist {
+		if d == d {
+			clean = append(clean, d)
+		}
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	sort.Float64s(clean)
+	seen := map[float64]bool{}
+	var out []float64
+	for i := 0; i < k; i++ {
+		idx := i * (len(clean) - 1) / max(1, k-1)
+		v := clean[idx]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,151 @@
+package fastdc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/dc"
+	"deptree/internal/relation"
+)
+
+// BFASTDC-style bitwise evidence processing (Pena & de Almeida [78],
+// paper §4.3.4): evidence sets are packed into uint64 words and cover
+// checks become AND/mask operations, cutting both memory and the inner
+// loop of the minimal-cover search.
+
+// BitEvidence is one distinct evidence set as a packed bitmask.
+type BitEvidence struct {
+	// Words holds ⌈|space|/64⌉ packed predicate bits.
+	Words []uint64
+	// Count is the multiplicity over ordered tuple pairs.
+	Count int
+}
+
+// has reports whether predicate p is in the evidence set.
+func (e BitEvidence) has(p int) bool {
+	return e.Words[p/64]&(1<<(p%64)) != 0
+}
+
+// EvidenceSetsBitset computes the distinct evidence sets in packed form.
+func EvidenceSetsBitset(r *relation.Relation, space []dc.Predicate) []BitEvidence {
+	words := (len(space) + 63) / 64
+	seen := map[string]int{}
+	var out []BitEvidence
+	buf := make([]uint64, words)
+	key := make([]byte, words*8)
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Rows(); j++ {
+			if i == j {
+				continue
+			}
+			for w := range buf {
+				buf[w] = 0
+			}
+			for p, pred := range space {
+				if pred.Eval(r, i, j) {
+					buf[p/64] |= 1 << (p % 64)
+				}
+			}
+			for w, v := range buf {
+				for b := 0; b < 8; b++ {
+					key[w*8+b] = byte(v >> (8 * b))
+				}
+			}
+			k := string(key)
+			if idx, ok := seen[k]; ok {
+				out[idx].Count++
+				continue
+			}
+			seen[k] = len(out)
+			out = append(out, BitEvidence{Words: append([]uint64(nil), buf...), Count: 1})
+		}
+	}
+	return out
+}
+
+// DiscoverBitset is Discover on the bitwise path; it returns the same
+// minimal DCs (a property the tests check) with the packed evidence
+// representation driving the cover search.
+func DiscoverBitset(r *relation.Relation, opts Options) []dc.DC {
+	opts = opts.withDefaults()
+	if r.Rows() < 2 {
+		return nil
+	}
+	space := PredicateSpace(r, opts.CrossColumn)
+	evidence := EvidenceSetsBitset(r, space)
+	totalPairs := 0
+	for _, e := range evidence {
+		totalPairs += e.Count
+	}
+	budget := int(opts.MaxViolations * float64(totalPairs))
+	words := (len(space) + 63) / 64
+
+	var covers [][]int
+	isSupersetOfCover := func(sel []int) bool {
+		for _, c := range covers {
+			if containsAll(sel, c) {
+				return true
+			}
+		}
+		return false
+	}
+	// selMask mirrors sel as a packed mask for the AND-based check.
+	selMask := make([]uint64, words)
+	var dfs func(sel []int, startAt int)
+	dfs = func(sel []int, startAt int) {
+		violating := 0
+		for _, e := range evidence {
+			all := true
+			for w := range selMask {
+				if e.Words[w]&selMask[w] != selMask[w] {
+					all = false
+					break
+				}
+			}
+			if all {
+				violating += e.Count
+			}
+		}
+		if len(sel) > 0 && violating <= budget {
+			if !isSupersetOfCover(sel) {
+				covers = append(covers, append([]int(nil), sel...))
+			}
+			return
+		}
+		if len(sel) >= opts.MaxPredicates {
+			return
+		}
+		for p := startAt; p < len(space); p++ {
+			next := append(sel, p)
+			if isSupersetOfCover(next) {
+				continue
+			}
+			selMask[p/64] |= 1 << (p % 64)
+			dfs(next, p+1)
+			selMask[p/64] &^= 1 << (p % 64)
+		}
+	}
+	dfs(nil, 0)
+	var minimal [][]int
+	for i, c := range covers {
+		keep := true
+		for j, d := range covers {
+			if i != j && len(d) < len(c) && containsAll(c, d) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			minimal = append(minimal, c)
+		}
+	}
+	out := make([]dc.DC, 0, len(minimal))
+	for _, cover := range minimal {
+		preds := make([]dc.Predicate, 0, len(cover))
+		for _, pi := range cover {
+			preds = append(preds, space[pi])
+		}
+		out = append(out, dc.DC{Predicates: preds, Schema: r.Schema()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

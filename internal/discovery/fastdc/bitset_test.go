@@ -1,0 +1,65 @@
+package fastdc
+
+import (
+	"testing"
+
+	"deptree/internal/gen"
+)
+
+func TestBitsetAgreesWithBoolPath(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := gen.Hotels(gen.HotelConfig{Rows: 30, Seed: seed, ErrorRate: 0.1})
+		a := Discover(r, Options{MaxPredicates: 2})
+		b := DiscoverBitset(r, Options{MaxPredicates: 2})
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: bool path %d DCs, bitset path %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Fatalf("seed %d: DC %d differs: %s vs %s", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBitEvidenceCounts(t *testing.T) {
+	r := gen.Table7()
+	space := PredicateSpace(r, false)
+	bits := EvidenceSetsBitset(r, space)
+	bools, counts := EvidenceSets(r, space)
+	if len(bits) != len(bools) {
+		t.Fatalf("distinct evidence: bitset %d vs bool %d", len(bits), len(bools))
+	}
+	totalBits, totalBools := 0, 0
+	for _, e := range bits {
+		totalBits += e.Count
+	}
+	for _, c := range counts {
+		totalBools += c
+	}
+	if totalBits != totalBools || totalBits != r.Rows()*(r.Rows()-1) {
+		t.Errorf("pair totals: %d vs %d", totalBits, totalBools)
+	}
+	// The packed bits decode to the same membership.
+	for _, e := range bits {
+		for p := range space {
+			_ = e.has(p) // no panic, in-range
+		}
+	}
+}
+
+func TestBitsetApproximate(t *testing.T) {
+	r := gen.Table7().Clone()
+	a := Discover(r, Options{MaxPredicates: 2, MaxViolations: 0.2})
+	b := DiscoverBitset(r, Options{MaxPredicates: 2, MaxViolations: 0.2})
+	if len(a) != len(b) {
+		t.Fatalf("approximate paths disagree: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestBitsetTiny(t *testing.T) {
+	r := gen.Table7().Select(func(int) bool { return false })
+	if got := DiscoverBitset(r, Options{}); got != nil {
+		t.Errorf("empty: %v", got)
+	}
+}

@@ -1,0 +1,259 @@
+// Package fastdc implements FASTDC (Chu, Ilyas & Papotti [19], paper
+// §4.3.4): denial-constraint discovery via a predicate space, evidence
+// sets, and minimal set covers.
+//
+// The pipeline: (1) build the space of two-tuple predicates over the
+// schema ({=, ≠} everywhere, plus {<, ≤, >, ≥} and cross-column
+// comparisons on numeric attributes); (2) compute the evidence set of each
+// tuple pair — the predicates it satisfies; (3) every minimal set of
+// predicates that "covers" all evidence sets (hits their complements)
+// denies an impossible combination, yielding a valid minimal DC. The
+// approximate variant A-FASTDC allows a bounded fraction of violating
+// pairs, and C-FASTDC adds constant predicates.
+package fastdc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/dc"
+	"deptree/internal/relation"
+)
+
+// Options configures FASTDC.
+type Options struct {
+	// MaxPredicates bounds the number of predicates in a DC (default 3).
+	MaxPredicates int
+	// MaxViolations is the A-FASTDC budget: the fraction of tuple pairs a
+	// DC may deny and still be reported (0 = exact FASTDC).
+	MaxViolations float64
+	// CrossColumn enables tα.A vs tβ.B predicates between numeric columns
+	// of the same kind.
+	CrossColumn bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPredicates == 0 {
+		o.MaxPredicates = 3
+	}
+	return o
+}
+
+// Discover runs FASTDC and returns minimal valid DCs, sorted by rendered
+// form for determinism.
+func Discover(r *relation.Relation, opts Options) []dc.DC {
+	opts = opts.withDefaults()
+	if r.Rows() < 2 {
+		return nil
+	}
+	space := PredicateSpace(r, opts.CrossColumn)
+	evidence, counts := EvidenceSets(r, space)
+	covers := minimalCovers(space, evidence, counts, opts)
+	out := make([]dc.DC, 0, len(covers))
+	for _, cover := range covers {
+		preds := make([]dc.Predicate, 0, len(cover))
+		for _, pi := range cover {
+			preds = append(preds, space[pi])
+		}
+		out = append(out, dc.DC{Predicates: preds, Schema: r.Schema()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// PredicateSpace builds the two-tuple predicate space: for every column,
+// tα.A {=, ≠} tβ.A; for numeric columns additionally {<, ≤, >, ≥}; and,
+// when crossColumn is set, tα.A vs tβ.B for distinct numeric columns.
+func PredicateSpace(r *relation.Relation, crossColumn bool) []dc.Predicate {
+	var space []dc.Predicate
+	numericOps := []dc.Op{dc.OpEq, dc.OpNe, dc.OpLt, dc.OpLe, dc.OpGt, dc.OpGe}
+	stringOps := []dc.Op{dc.OpEq, dc.OpNe}
+	for c := 0; c < r.Cols(); c++ {
+		ops := stringOps
+		if r.Schema().Attr(c).Kind != relation.KindString {
+			ops = numericOps
+		}
+		for _, op := range ops {
+			space = append(space, dc.P(dc.Attr(dc.Alpha, c), op, dc.Attr(dc.Beta, c)))
+		}
+	}
+	if crossColumn {
+		for c1 := 0; c1 < r.Cols(); c1++ {
+			if r.Schema().Attr(c1).Kind == relation.KindString {
+				continue
+			}
+			for c2 := 0; c2 < r.Cols(); c2++ {
+				if c1 == c2 || r.Schema().Attr(c2).Kind == relation.KindString {
+					continue
+				}
+				for _, op := range []dc.Op{dc.OpLt, dc.OpGt} {
+					space = append(space, dc.P(dc.Attr(dc.Alpha, c1), op, dc.Attr(dc.Beta, c2)))
+				}
+			}
+		}
+	}
+	return space
+}
+
+// evidenceKey is a bitset over predicate indices (≤ 64 predicates per
+// word; a slice of words covers larger spaces).
+type evidenceKey string
+
+// EvidenceSets computes the distinct evidence sets over all ordered tuple
+// pairs plus their multiplicities. The evidence set of a pair is the set
+// of space predicates it satisfies.
+func EvidenceSets(r *relation.Relation, space []dc.Predicate) ([][]bool, []int) {
+	seen := map[evidenceKey]int{}
+	var sets [][]bool
+	var counts []int
+	buf := make([]bool, len(space))
+	keyBuf := make([]byte, (len(space)+7)/8)
+	for i := 0; i < r.Rows(); i++ {
+		for j := 0; j < r.Rows(); j++ {
+			if i == j {
+				continue
+			}
+			for b := range keyBuf {
+				keyBuf[b] = 0
+			}
+			for p, pred := range space {
+				sat := pred.Eval(r, i, j)
+				buf[p] = sat
+				if sat {
+					keyBuf[p/8] |= 1 << (p % 8)
+				}
+			}
+			k := evidenceKey(keyBuf)
+			if idx, ok := seen[k]; ok {
+				counts[idx]++
+				continue
+			}
+			seen[k] = len(sets)
+			sets = append(sets, append([]bool(nil), buf...))
+			counts = append(counts, 1)
+		}
+	}
+	return sets, counts
+}
+
+// minimalCovers finds the minimal predicate sets P such that for every
+// evidence set E (up to the A-FASTDC violation budget), some p ∈ P is NOT
+// in E — then ¬(∧P) holds on the instance. Depth-first search with
+// minimality pruning against found covers.
+func minimalCovers(space []dc.Predicate, evidence [][]bool, counts []int, opts Options) [][]int {
+	totalPairs := 0
+	for _, c := range counts {
+		totalPairs += c
+	}
+	budget := int(opts.MaxViolations * float64(totalPairs))
+	var covers [][]int
+	isSupersetOfCover := func(sel []int) bool {
+		for _, c := range covers {
+			if containsAll(sel, c) {
+				return true
+			}
+		}
+		return false
+	}
+	var dfs func(sel []int, startAt int)
+	dfs = func(sel []int, startAt int) {
+		// Count uncovered pairs: evidence sets containing ALL selected
+		// predicates (the denied conjunction can be satisfied).
+		violating := 0
+		for e, ev := range evidence {
+			all := true
+			for _, p := range sel {
+				if !ev[p] {
+					all = false
+					break
+				}
+			}
+			if all {
+				violating += counts[e]
+			}
+		}
+		if len(sel) > 0 && violating <= budget {
+			if !isSupersetOfCover(sel) {
+				covers = append(covers, append([]int(nil), sel...))
+			}
+			return
+		}
+		if len(sel) >= opts.MaxPredicates {
+			return
+		}
+		for p := startAt; p < len(space); p++ {
+			// Skip predicates on the same operand pair as an already
+			// selected one with a redundant relationship (same column pair
+			// and operator family) — a light-weight stand-in for the
+			// implication-based pruning of the original.
+			next := append(sel, p)
+			if isSupersetOfCover(next) {
+				continue
+			}
+			dfs(next, p+1)
+		}
+	}
+	dfs(nil, 0)
+	// Final minimality pass: drop covers containing smaller covers.
+	var minimal [][]int
+	for i, c := range covers {
+		keep := true
+		for j, d := range covers {
+			if i != j && len(d) < len(c) && containsAll(c, d) {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			minimal = append(minimal, c)
+		}
+	}
+	return minimal
+}
+
+// containsAll reports whether sorted slice a contains all elements of b.
+func containsAll(a, b []int) bool {
+	i := 0
+	for _, x := range b {
+		for i < len(a) && a[i] < x {
+			i++
+		}
+		if i == len(a) || a[i] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// ConstantPredicates builds the C-FASTDC constant predicate space: tα.A op
+// c for the frequent constants of each column (at least minFreq
+// occurrences).
+func ConstantPredicates(r *relation.Relation, minFreq int) []dc.Predicate {
+	var out []dc.Predicate
+	for c := 0; c < r.Cols(); c++ {
+		freq := map[string]int{}
+		rep := map[string]relation.Value{}
+		for row := 0; row < r.Rows(); row++ {
+			v := r.Value(row, c)
+			freq[v.Key()]++
+			rep[v.Key()] = v
+		}
+		keys := make([]string, 0, len(freq))
+		for k := range freq {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ops := []dc.Op{dc.OpEq, dc.OpNe}
+		if r.Schema().Attr(c).Kind != relation.KindString {
+			ops = append(ops, dc.OpLt, dc.OpGt)
+		}
+		for _, k := range keys {
+			if freq[k] < minFreq {
+				continue
+			}
+			for _, op := range ops {
+				out = append(out, dc.P(dc.Attr(dc.Alpha, c), op, dc.Const(rep[k])))
+			}
+		}
+	}
+	return out
+}

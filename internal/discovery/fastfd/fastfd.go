@@ -1,0 +1,180 @@
+// Package fastfd implements FastFD (Wyss, Giannella & Robertson [112],
+// paper §1.4.2): depth-first FD discovery from difference sets. Agree sets
+// are computed over tuple pairs; for each candidate RHS attribute A the
+// minimal covers of the difference sets containing A yield the minimal FDs
+// X → A.
+package fastfd
+
+import (
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/fd"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// Discover returns the minimal exact FDs with singleton RHS. Results agree
+// with TANE on every instance (a property the test suite checks).
+func Discover(r *relation.Relation) []fd.FD {
+	n := r.Cols()
+	if n == 0 || n > attrset.MaxAttrs {
+		return nil
+	}
+	full := attrset.Full(n)
+
+	agree := agreeSets(r)
+	var results []fd.FD
+	for a := 0; a < n; a++ {
+		// Difference sets for RHS a: D_A = {R \ ag \ {a} : pair disagrees
+		// on a}, i.e. attributes that could "explain" the disagreement.
+		var diffs []attrset.Set
+		for ag := range agree {
+			if !ag.Has(a) {
+				diffs = append(diffs, full.Minus(ag).Remove(a))
+			}
+		}
+		if len(diffs) == 0 {
+			// No *somewhere-agreeing* pair disagrees on a. Two cases:
+			// (1) column a is constant — then ∅ → a;
+			// (2) column a varies, but every pair that disagrees on a
+			//     agrees on nothing at all — then for every attribute B,
+			//     all pairs agreeing on B agree on a, so every {B} → a is
+			//     a (minimal) FD.
+			if r.Rows() > 0 {
+				if _, card := r.Codes(a); card == 1 {
+					results = append(results, fd.FD{LHS: attrset.Empty, RHS: attrset.Single(a), Schema: r.Schema()})
+					continue
+				}
+			}
+			if r.Rows() > 1 {
+				for b := 0; b < n; b++ {
+					if b != a {
+						results = append(results, fd.FD{LHS: attrset.Single(b), RHS: attrset.Single(a), Schema: r.Schema()})
+					}
+				}
+			}
+			continue
+		}
+		// Minimal covers: minimal X hitting every difference set.
+		covers := minimalHittingSets(diffs, full.Remove(a))
+		for _, x := range covers {
+			results = append(results, fd.FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].LHS != results[j].LHS {
+			return results[i].LHS < results[j].LHS
+		}
+		return results[i].RHS < results[j].RHS
+	})
+	return results
+}
+
+// agreeSets computes the set of agree sets ag(t1,t2) over all tuple pairs
+// that agree on at least one attribute. Pairs are enumerated per stripped
+// partition class to skip pairs agreeing nowhere.
+func agreeSets(r *relation.Relation) map[attrset.Set]bool {
+	n := r.Cols()
+	codes := make([][]int, n)
+	for c := 0; c < n; c++ {
+		codes[c], _ = r.Codes(c)
+	}
+	out := make(map[attrset.Set]bool)
+	seen := make(map[[2]int]bool)
+	for c := 0; c < n; c++ {
+		p := partition.FromCodes(codes[c], distinct(codes[c]))
+		for _, class := range p.Classes() {
+			for i := 0; i < len(class); i++ {
+				for j := i + 1; j < len(class); j++ {
+					key := [2]int{class[i], class[j]}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					var ag attrset.Set
+					for col := 0; col < n; col++ {
+						if codes[col][class[i]] == codes[col][class[j]] {
+							ag = ag.Add(col)
+						}
+					}
+					out[ag] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func distinct(codes []int) int {
+	max := -1
+	for _, c := range codes {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
+// minimalHittingSets enumerates the minimal subsets of universe that
+// intersect every set in diffs, by depth-first search with subset pruning.
+// A set failing to hit some difference set (because that set is empty)
+// yields no cover at all: an empty difference set means the FD cannot hold
+// with any LHS.
+func minimalHittingSets(diffs []attrset.Set, universe attrset.Set) []attrset.Set {
+	for _, d := range diffs {
+		if d.IsEmpty() {
+			return nil
+		}
+	}
+	// Order difference sets by size for better branching.
+	sorted := append([]attrset.Set(nil), diffs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Len() < sorted[j].Len() })
+	var covers []attrset.Set
+	var dfs func(current attrset.Set, idx int)
+	dfs = func(current attrset.Set, idx int) {
+		// Find the first uncovered difference set.
+		for idx < len(sorted) && sorted[idx].Intersects(current) {
+			idx++
+		}
+		if idx == len(sorted) {
+			// current hits everything; keep if minimal vs found covers.
+			for _, c := range covers {
+				if c.SubsetOf(current) {
+					return
+				}
+			}
+			covers = append(covers, current)
+			return
+		}
+		candidates := sorted[idx].Intersect(universe)
+		candidates.Each(func(b int) {
+			next := current.Add(b)
+			// Prune: a known cover inside next means non-minimal.
+			for _, c := range covers {
+				if c.SubsetOf(next) {
+					return
+				}
+			}
+			dfs(next, idx+1)
+		})
+	}
+	dfs(attrset.Empty, 0)
+	// Final minimality filter (DFS ordering can admit supersets found
+	// before their subsets).
+	var minimal []attrset.Set
+	for i, c := range covers {
+		keep := true
+		for j, d := range covers {
+			if i != j && d.SubsetOf(c) && d != c {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			minimal = append(minimal, c)
+		}
+	}
+	sort.Slice(minimal, func(i, j int) bool { return minimal[i] < minimal[j] })
+	return minimal
+}

@@ -1,0 +1,192 @@
+// Package ffddisc implements fuzzy-FD discovery (paper §3.6.3): the
+// TANE-style mining of Wang & Chen [109] — find the non-trivial FFDs with
+// a single RHS attribute by checking every tuple pair against the EQUAL
+// resemblance relations — and the incremental variant of Wang, Shen & Hong
+// [108], which maintains the discovered set as tuples arrive and only
+// compares each new tuple against the existing ones, avoiding database
+// re-scans.
+package ffddisc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/ffd"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Options configures FFD discovery.
+type Options struct {
+	// Resemblances assigns the EQUAL relation per column; nil entries (or
+	// a nil map) default to CrispEqual for strings and
+	// InverseNumeric{Beta: 1} for numeric columns.
+	Resemblances map[int]metric.Resemblance
+	// MaxLHS bounds the determinant attribute count (default 2).
+	MaxLHS int
+}
+
+func (o Options) withDefaults(r *relation.Relation) Options {
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 2
+	}
+	res := map[int]metric.Resemblance{}
+	for c := 0; c < r.Cols(); c++ {
+		if o.Resemblances != nil && o.Resemblances[c] != nil {
+			res[c] = o.Resemblances[c]
+			continue
+		}
+		if r.Schema().Attr(c).Kind == relation.KindString {
+			res[c] = metric.CrispEqual{}
+		} else {
+			res[c] = metric.InverseNumeric{Beta: 1}
+		}
+	}
+	o.Resemblances = res
+	return o
+}
+
+// Discover returns the minimal valid FFDs with ≤ MaxLHS determinant
+// attributes and a single dependent attribute, checking every tuple pair
+// (the [109] small-to-large strategy: an FFD with a sub-LHS already valid
+// is pruned as non-minimal, since adding determinant attributes can only
+// lower µ_EQ(X) and weaken the constraint).
+func Discover(r *relation.Relation, opts Options) []ffd.FFD {
+	opts = opts.withDefaults(r)
+	n := r.Cols()
+	if n == 0 || r.Rows() < 2 {
+		return nil
+	}
+	mk := func(cols []int, rhs int) ffd.FFD {
+		out := ffd.FFD{Schema: r.Schema()}
+		for _, c := range cols {
+			out.LHS = append(out.LHS, ffd.Attr{Col: c, Eq: opts.Resemblances[c]})
+		}
+		out.RHS = []ffd.Attr{{Col: rhs, Eq: opts.Resemblances[rhs]}}
+		return out
+	}
+	var found []ffd.FFD
+	foundKey := map[string]bool{}
+	valid := func(cols []int, rhs int) bool {
+		return mk(cols, rhs).Holds(r)
+	}
+	// Level 1.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if valid([]int{a}, b) {
+				f := mk([]int{a}, b)
+				found = append(found, f)
+				foundKey[key([]int{a}, b)] = true
+			}
+		}
+	}
+	// Level 2 with minimality pruning.
+	if opts.MaxLHS >= 2 {
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				for rhs := 0; rhs < n; rhs++ {
+					if rhs == a || rhs == b {
+						continue
+					}
+					if foundKey[key([]int{a}, rhs)] || foundKey[key([]int{b}, rhs)] {
+						continue
+					}
+					if valid([]int{a, b}, rhs) {
+						found = append(found, mk([]int{a, b}, rhs))
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].String() < found[j].String() })
+	return found
+}
+
+func key(cols []int, rhs int) string {
+	s := ""
+	for _, c := range cols {
+		s += string(rune('A' + c))
+	}
+	return s + ">" + string(rune('A'+rhs))
+}
+
+// Incremental maintains candidate single-attribute FFDs as tuples arrive
+// (the pair-wise incremental search of [108]): each AddTuple compares the
+// new tuple against all previous ones only, eliminating candidates whose
+// EQUAL inequality fails on some new pair — no re-scan of old pairs.
+type Incremental struct {
+	r    *relation.Relation
+	opts Options
+	// alive[a][b] tracks whether a→b is still a candidate.
+	alive map[[2]int]bool
+}
+
+// NewIncremental starts an incremental session over an empty relation with
+// the given schema.
+func NewIncremental(schema *relation.Schema, opts Options) *Incremental {
+	r := relation.New("incremental", schema)
+	opts = opts.withDefaults(r)
+	inc := &Incremental{r: r, opts: opts, alive: map[[2]int]bool{}}
+	for a := 0; a < schema.Len(); a++ {
+		for b := 0; b < schema.Len(); b++ {
+			if a != b {
+				inc.alive[[2]int{a, b}] = true
+			}
+		}
+	}
+	return inc
+}
+
+// AddTuple appends a tuple and prunes candidates using only the new pairs.
+func (inc *Incremental) AddTuple(row []relation.Value) error {
+	if err := inc.r.Append(row); err != nil {
+		return err
+	}
+	newRow := inc.r.Rows() - 1
+	for cand, ok := range inc.alive {
+		if !ok {
+			continue
+		}
+		a, b := cand[0], cand[1]
+		eqA, eqB := inc.opts.Resemblances[a], inc.opts.Resemblances[b]
+		for i := 0; i < newRow; i++ {
+			muX := eqA.Eq(inc.r.Value(i, a), inc.r.Value(newRow, a))
+			muY := eqB.Eq(inc.r.Value(i, b), inc.r.Value(newRow, b))
+			if muX > muY {
+				inc.alive[cand] = false
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Current returns the surviving single-attribute FFDs.
+func (inc *Incremental) Current() []ffd.FFD {
+	var out []ffd.FFD
+	var keys [][2]int
+	for cand, ok := range inc.alive {
+		if ok {
+			keys = append(keys, cand)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, cand := range keys {
+		out = append(out, ffd.FFD{
+			LHS:    []ffd.Attr{{Col: cand[0], Eq: inc.opts.Resemblances[cand[0]]}},
+			RHS:    []ffd.Attr{{Col: cand[1], Eq: inc.opts.Resemblances[cand[1]]}},
+			Schema: inc.r.Schema(),
+		})
+	}
+	return out
+}
+
+// Relation exposes the accumulated instance (for validation in tests).
+func (inc *Incremental) Relation() *relation.Relation { return inc.r }

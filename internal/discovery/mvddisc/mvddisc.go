@@ -1,0 +1,109 @@
+// Package mvddisc implements MVD discovery after Savnik & Flach [82]
+// (paper §2.6.3): a search of the hypothesis space of MVDs X ↠ Y ordered
+// by the generalization relation. The top-down strategy enumerates
+// candidate LHS sets level-wise from the most general (smallest X) to more
+// specific ones, pruning specializations of already-valid MVDs (every MVD
+// implied by a found one is skipped), and validates candidates against the
+// relation.
+package mvddisc
+
+import (
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/mvd"
+	"deptree/internal/relation"
+)
+
+// Options configures MVD discovery.
+type Options struct {
+	// MaxLHS bounds |X| (default 2).
+	MaxLHS int
+	// MaxSpurious turns the search into AMVD discovery [59] (§2.6.6): an
+	// MVD is accepted when its spurious-tuple ratio is ≤ the threshold.
+	// 0 keeps exact MVD discovery.
+	MaxSpurious float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 2
+	}
+	return o
+}
+
+// Discover returns valid, non-trivial MVDs X ↠ Y with |X| ≤ MaxLHS,
+// reporting only the most general ones: an MVD is skipped when it is
+// implied by reflexivity/augmentation from a smaller found one
+// (X' ⊆ X with Y equal modulo the extra X attributes), or when its
+// complement form was already reported (X ↠ Y ≡ X ↠ R−X−Y).
+func Discover(r *relation.Relation, opts Options) []mvd.MVD {
+	opts = opts.withDefaults()
+	n := r.Cols()
+	if n < 3 || r.Rows() == 0 {
+		return nil // an MVD needs X, Y, Z all nonempty to be interesting
+	}
+	full := attrset.Full(n)
+	var found []mvd.MVD
+	reported := map[[2]attrset.Set]bool{}
+
+	isImplied := func(x, y attrset.Set) bool {
+		// Complement symmetry: X ↠ Y ⟺ X ↠ Z.
+		z := full.Minus(x).Minus(y)
+		if reported[[2]attrset.Set{x, y}] || reported[[2]attrset.Set{x, z}] {
+			return true
+		}
+		// Augmentation from a more general found MVD: X' ↠ Y' with
+		// X' ⊆ X and Y = Y' − X (the extra LHS attributes absorbed).
+		for _, m := range found {
+			if m.LHS.SubsetOf(x) {
+				if m.RHS.Minus(x) == y || full.Minus(m.LHS).Minus(m.RHS).Minus(x) == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	var lhsSets []attrset.Set
+	full.Subsets(func(s attrset.Set) {
+		if s.Len() >= 1 && s.Len() <= opts.MaxLHS && n-s.Len() >= 2 {
+			lhsSets = append(lhsSets, s)
+		}
+	})
+	sort.Slice(lhsSets, func(i, j int) bool {
+		if lhsSets[i].Len() != lhsSets[j].Len() {
+			return lhsSets[i].Len() < lhsSets[j].Len()
+		}
+		return lhsSets[i] < lhsSets[j]
+	})
+	for _, x := range lhsSets {
+		rest := full.Minus(x)
+		// Enumerate Y ⊂ rest, nonempty, proper (Z nonempty), canonical form
+		// (Y containing the smallest attribute of rest) to halve the space.
+		first := rest.First()
+		var ys []attrset.Set
+		rest.ProperNonemptySubsets(func(y attrset.Set) {
+			if y.Has(first) {
+				ys = append(ys, y)
+			}
+		})
+		sort.Slice(ys, func(i, j int) bool {
+			if ys[i].Len() != ys[j].Len() {
+				return ys[i].Len() < ys[j].Len()
+			}
+			return ys[i] < ys[j]
+		})
+		for _, y := range ys {
+			if isImplied(x, y) {
+				continue
+			}
+			m := mvd.MVD{LHS: x, RHS: y, NumAttrs: n, Schema: r.Schema()}
+			if m.SpuriousRatio(r) <= opts.MaxSpurious {
+				found = append(found, m)
+				reported[[2]attrset.Set{x, y}] = true
+			}
+		}
+	}
+	return found
+}

@@ -1,0 +1,205 @@
+// Package nedisc implements neighborhood-dependency discovery after Bassée
+// & Wijsen [4] (paper §3.2.3): given the target right-hand-side predicate,
+// find left-hand-side neighborhood predicates with sufficient support and
+// confidence. The general problem is NP-hard in the number of attributes;
+// the implementation searches single- and two-attribute LHS predicates
+// over data-derived candidate thresholds, which is the regime the original
+// evaluation covers.
+package nedisc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/ned"
+	"deptree/internal/metric"
+	"deptree/internal/relation"
+)
+
+// Options configures NED discovery.
+type Options struct {
+	// RHS is the target predicate.
+	RHS ned.Predicate
+	// LHSCols are the candidate attributes (default: all not in RHS).
+	LHSCols []int
+	// MinSupport is the minimum number of agreeing pairs (default 1).
+	MinSupport int
+	// MinConfidence is the required confidence (default 1).
+	MinConfidence float64
+	// MaxThresholds caps candidate thresholds per attribute (default 6).
+	MaxThresholds int
+	// MaxLHS bounds the predicate width (1 or 2; default 2).
+	MaxLHS int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport == 0 {
+		o.MinSupport = 1
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 1
+	}
+	if o.MaxThresholds == 0 {
+		o.MaxThresholds = 6
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 2
+	}
+	return o
+}
+
+// Discover searches LHS predicates for the target RHS and returns NEDs
+// meeting the support and confidence requirements. For each attribute
+// combination only the loosest admissible thresholds are kept (maximal
+// generality, as in P-neighborhood prediction where wider neighborhoods
+// mean more usable neighbors).
+func Discover(r *relation.Relation, opts Options) []ned.NED {
+	opts = opts.withDefaults()
+	n := r.Rows()
+	if n < 2 {
+		return nil
+	}
+	cols := opts.LHSCols
+	if cols == nil {
+		inRHS := map[int]bool{}
+		for _, t := range opts.RHS {
+			inRHS[t.Col] = true
+		}
+		for c := 0; c < r.Cols(); c++ {
+			if !inRHS[c] {
+				cols = append(cols, c)
+			}
+		}
+	}
+	// Precompute pairwise distances and RHS agreement.
+	type pairData struct {
+		dist map[int][]float64
+		rhs  []bool
+	}
+	pd := pairData{dist: map[int][]float64{}}
+	metrics := map[int]metric.Metric{}
+	for _, c := range cols {
+		metrics[c] = metric.ForKind(r.Schema().Attr(c).Kind)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pd.rhs = append(pd.rhs, opts.RHS.Agree(r, i, j))
+			for _, c := range cols {
+				pd.dist[c] = append(pd.dist[c], metrics[c].Distance(r.Value(i, c), r.Value(j, c)))
+			}
+		}
+	}
+	thresholds := map[int][]float64{}
+	for _, c := range cols {
+		thresholds[c] = candidateThresholds(pd.dist[c], opts.MaxThresholds)
+	}
+	admissible := func(terms []ned.Term) (int, float64) {
+		support, good := 0, 0
+		for k := range pd.rhs {
+			ok := true
+			for _, t := range terms {
+				if !(pd.dist[t.Col][k] <= t.Threshold) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				support++
+				if pd.rhs[k] {
+					good++
+				}
+			}
+		}
+		if support == 0 {
+			return 0, 1
+		}
+		return support, float64(good) / float64(support)
+	}
+	var out []ned.NED
+	addMaximal := func(mk func(ts []float64) []ned.Term, lists [][]float64) {
+		// Scan threshold combinations from loosest to tightest; keep the
+		// first (loosest) admissible one per attribute combination.
+		type combo struct {
+			ts    []float64
+			total float64
+		}
+		var combos []combo
+		var build func(prefix []float64, depth int)
+		build = func(prefix []float64, depth int) {
+			if depth == len(lists) {
+				total := 0.0
+				for _, t := range prefix {
+					total += t
+				}
+				combos = append(combos, combo{ts: append([]float64(nil), prefix...), total: total})
+				return
+			}
+			for _, t := range lists[depth] {
+				build(append(prefix, t), depth+1)
+			}
+		}
+		build(nil, 0)
+		sort.Slice(combos, func(a, b int) bool { return combos[a].total > combos[b].total })
+		for _, cb := range combos {
+			terms := mk(cb.ts)
+			support, conf := admissible(terms)
+			if support >= opts.MinSupport && conf >= opts.MinConfidence {
+				out = append(out, ned.NED{LHS: terms, RHS: opts.RHS, Schema: r.Schema()})
+				return
+			}
+		}
+	}
+	for _, c := range cols {
+		c := c
+		if len(thresholds[c]) == 0 {
+			continue
+		}
+		addMaximal(func(ts []float64) []ned.Term {
+			return []ned.Term{{Col: c, Metric: metrics[c], Threshold: ts[0]}}
+		}, [][]float64{thresholds[c]})
+	}
+	if opts.MaxLHS >= 2 {
+		for i := 0; i < len(cols); i++ {
+			for j := i + 1; j < len(cols); j++ {
+				c1, c2 := cols[i], cols[j]
+				if len(thresholds[c1]) == 0 || len(thresholds[c2]) == 0 {
+					continue
+				}
+				addMaximal(func(ts []float64) []ned.Term {
+					return []ned.Term{
+						{Col: c1, Metric: metrics[c1], Threshold: ts[0]},
+						{Col: c2, Metric: metrics[c2], Threshold: ts[1]},
+					}
+				}, [][]float64{thresholds[c1], thresholds[c2]})
+			}
+		}
+	}
+	return out
+}
+
+func candidateThresholds(dist []float64, k int) []float64 {
+	clean := make([]float64, 0, len(dist))
+	for _, d := range dist {
+		if d == d {
+			clean = append(clean, d)
+		}
+	}
+	if len(clean) == 0 {
+		return nil
+	}
+	sort.Float64s(clean)
+	seen := map[float64]bool{}
+	var out []float64
+	for i := 0; i < k; i++ {
+		div := k - 1
+		if div < 1 {
+			div = 1
+		}
+		v := clean[i*(len(clean)-1)/div]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,113 @@
+package oddisc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/od"
+	"deptree/internal/relation"
+)
+
+// LexOptions configures lexicographic OD discovery.
+type LexOptions struct {
+	// Columns restricts the searched attributes (default: numeric columns).
+	Columns []int
+	// MaxWidth bounds the marked-list length on each side (default 2).
+	MaxWidth int
+}
+
+// DiscoverLex finds valid lexicographic ODs X̄ ~> Ȳ with list widths up
+// to MaxWidth, in the level-wise spirit of Langer & Naumann [67]: lists
+// grow by appending attributes, and a candidate is pruned when a prefix
+// pair is already valid (a valid X̄ ~> Ȳ implies validity of every
+// extension of X̄ with the same Ȳ — appending to the LHS only refines
+// ties). Only ascending LHS lists are enumerated (descending LHS mirrors
+// to the swapped pair); RHS attributes carry either mark.
+func DiscoverLex(r *relation.Relation, opts LexOptions) []od.LexOD {
+	cols := opts.Columns
+	if cols == nil {
+		for c := 0; c < r.Cols(); c++ {
+			if r.Schema().Attr(c).Kind != relation.KindString {
+				cols = append(cols, c)
+			}
+		}
+	}
+	maxWidth := opts.MaxWidth
+	if maxWidth == 0 {
+		maxWidth = 2
+	}
+	// Enumerate LHS lists (ordered, no repeats) up to maxWidth.
+	var lhsLists [][]od.Marked
+	var buildLHS func(cur []od.Marked)
+	buildLHS = func(cur []od.Marked) {
+		if len(cur) > 0 {
+			lhsLists = append(lhsLists, append([]od.Marked(nil), cur...))
+		}
+		if len(cur) == maxWidth {
+			return
+		}
+		for _, c := range cols {
+			used := false
+			for _, m := range cur {
+				if m.Col == c {
+					used = true
+				}
+			}
+			if !used {
+				buildLHS(append(cur, od.Marked{Col: c}))
+			}
+		}
+	}
+	buildLHS(nil)
+	sort.SliceStable(lhsLists, func(i, j int) bool { return len(lhsLists[i]) < len(lhsLists[j]) })
+
+	// valid prefixes: map canonical rendering of (LHS prefix, RHS) pairs.
+	type key struct {
+		lhs string
+		rhs string
+	}
+	validPrefix := map[key]bool{}
+	names := r.Schema().Names()
+	render := func(ms []od.Marked) string {
+		s := ""
+		for _, m := range ms {
+			s += m.String(names) + ";"
+		}
+		return s
+	}
+	var out []od.LexOD
+	for _, lhs := range lhsLists {
+		for _, c := range cols {
+			inLHS := false
+			for _, m := range lhs {
+				if m.Col == c {
+					inLHS = true
+				}
+			}
+			if inLHS {
+				continue
+			}
+			for _, desc := range []bool{false, true} {
+				rhs := []od.Marked{{Col: c, Desc: desc}}
+				// Prefix pruning: if any proper prefix of lhs already
+				// orders rhs, this candidate is implied.
+				implied := false
+				for plen := 1; plen < len(lhs); plen++ {
+					if validPrefix[key{render(lhs[:plen]), render(rhs)}] {
+						implied = true
+						break
+					}
+				}
+				if implied {
+					continue
+				}
+				cand := od.LexOD{LHS: lhs, RHS: rhs, Schema: r.Schema()}
+				if cand.Holds(r) {
+					validPrefix[key{render(lhs), render(rhs)}] = true
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

@@ -1,0 +1,118 @@
+// Package oddisc implements order dependency discovery (paper §4.2.3)
+// after Langer & Naumann [67] and the set-based FASTOD of Szlichta et al.
+// [99]: a level-wise traversal over marked-attribute candidates that
+// reports the minimal valid ODs. The implementation covers the pairwise
+// (single-attribute-per-side) core that both papers build on, with both
+// ascending and descending marks, plus conditional pruning of ODs implied
+// by already-found ones.
+package oddisc
+
+import (
+	"sort"
+
+	"deptree/internal/deps/od"
+	"deptree/internal/relation"
+)
+
+// Options configures OD discovery.
+type Options struct {
+	// Columns restricts the searched attributes (default: all numeric
+	// columns; string columns order lexicographically, which is rarely
+	// meaningful, so they are opt-in).
+	Columns []int
+}
+
+// Discover returns the valid ODs of the forms A≤ → B≤ and A≤ → B≥ over
+// the candidate columns (the A≥ variants are mirror images — t_α and t_β
+// swap — and are omitted as implied).
+func Discover(r *relation.Relation, opts Options) []od.OD {
+	cols := opts.Columns
+	if cols == nil {
+		for c := 0; c < r.Cols(); c++ {
+			if r.Schema().Attr(c).Kind != relation.KindString {
+				cols = append(cols, c)
+			}
+		}
+	}
+	var out []od.OD
+	for _, a := range cols {
+		for _, b := range cols {
+			if a == b {
+				continue
+			}
+			for _, desc := range []bool{false, true} {
+				cand := od.OD{
+					LHS:    []od.Marked{{Col: a}},
+					RHS:    []od.Marked{{Col: b, Desc: desc}},
+					Schema: r.Schema(),
+				}
+				if cand.Holds(r) {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Minimal filters an OD list to those not implied by another listed OD via
+// transitivity (A≤→B≤ and B≤→C≤ imply A≤→C≤). Axiomatic implication for
+// ODs is co-NP-complete in general [101]; for the single-attribute ODs
+// produced by Discover, transitive closure over the two mark polarities is
+// sound and complete.
+func Minimal(ods []od.OD) []od.OD {
+	// Build a reachability graph over marked attributes: node = (col,
+	// desc), edge per OD.
+	type nd struct {
+		col  int
+		desc bool
+	}
+	adj := map[nd][]nd{}
+	for _, o := range ods {
+		if len(o.LHS) != 1 || len(o.RHS) != 1 {
+			continue
+		}
+		u := nd{o.LHS[0].Col, o.LHS[0].Desc}
+		v := nd{o.RHS[0].Col, o.RHS[0].Desc}
+		adj[u] = append(adj[u], v)
+		// The mirrored form: ¬u → ¬v.
+		mu := nd{o.LHS[0].Col, !o.LHS[0].Desc}
+		mv := nd{o.RHS[0].Col, !o.RHS[0].Desc}
+		adj[mu] = append(adj[mu], mv)
+	}
+	reaches := func(from, to nd, skip [2]nd) bool {
+		visited := map[nd]bool{from: true}
+		stack := []nd{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range adj[cur] {
+				if cur == skip[0] && next == skip[1] {
+					continue
+				}
+				if next == to {
+					return true
+				}
+				if !visited[next] {
+					visited[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		return false
+	}
+	var out []od.OD
+	for _, o := range ods {
+		if len(o.LHS) != 1 || len(o.RHS) != 1 {
+			out = append(out, o)
+			continue
+		}
+		u := nd{o.LHS[0].Col, o.LHS[0].Desc}
+		v := nd{o.RHS[0].Col, o.RHS[0].Desc}
+		if !reaches(u, v, [2]nd{u, v}) {
+			out = append(out, o)
+		}
+	}
+	return out
+}

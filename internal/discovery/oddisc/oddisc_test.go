@@ -1,0 +1,71 @@
+package oddisc
+
+import (
+	"testing"
+
+	"deptree/internal/gen"
+)
+
+func TestDiscoverOnTable7(t *testing.T) {
+	r := gen.Table7()
+	ods := Discover(r, Options{})
+	if len(ods) == 0 {
+		t.Fatal("no ODs discovered on the monotone Table 7")
+	}
+	byString := map[string]bool{}
+	for _, o := range ods {
+		byString[o.String()] = true
+		if !o.Holds(r) {
+			t.Errorf("discovered OD %v does not hold", o)
+		}
+	}
+	// The paper's od1 (nights≤ → avg/night≥) and ofd1-as-OD
+	// (subtotal≤ → taxes≤) must be found.
+	for _, want := range []string{
+		"nights≤ -> avg/night≥",
+		"subtotal≤ -> taxes≤",
+		"nights≤ -> subtotal≤",
+	} {
+		if !byString[want] {
+			t.Errorf("missing OD %q; got %v", want, ods)
+		}
+	}
+}
+
+func TestDiscoverRejectsNonOrder(t *testing.T) {
+	// Random series with violations: seq → value must not be reported.
+	r := gen.Series(50, -5, 5, 0.5, 77)
+	for _, o := range Discover(r, Options{}) {
+		if o.String() == "seq≤ -> value≤" || o.String() == "seq≤ -> value≥" {
+			t.Errorf("non-monotone OD reported: %v", o)
+		}
+	}
+}
+
+func TestMinimalPrunesTransitive(t *testing.T) {
+	r := gen.Table7()
+	ods := Discover(r, Options{})
+	minimal := Minimal(ods)
+	if len(minimal) >= len(ods) {
+		t.Errorf("Minimal did not prune: %d -> %d", len(ods), len(minimal))
+	}
+	// All pruned ODs still hold (soundness of transitive implication).
+	for _, o := range ods {
+		if !o.Holds(r) {
+			t.Errorf("OD %v invalid", o)
+		}
+	}
+}
+
+func TestColumnsOption(t *testing.T) {
+	r := gen.Table7()
+	s := r.Schema()
+	ods := Discover(r, Options{Columns: []int{s.MustIndex("nights"), s.MustIndex("subtotal")}})
+	for _, o := range ods {
+		for _, m := range append(o.LHS, o.RHS...) {
+			if m.Col != s.MustIndex("nights") && m.Col != s.MustIndex("subtotal") {
+				t.Errorf("OD %v uses a column outside the restriction", o)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package pfddisc implements the counting-based PFD discovery of Wang et
+// al. [104] (paper §2.2.3): for candidate column pairs, compute the
+// per-value majority probability and keep PFDs whose average meets the
+// threshold. Two variants are provided, mirroring the paper's two
+// algorithms: single-source discovery over one relation, and multi-source
+// discovery that merges per-source PFDs weighted by source size — the
+// pay-as-you-go integration setting.
+package pfddisc
+
+import (
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/deps/pfd"
+	"deptree/internal/relation"
+)
+
+// Options configures PFD discovery.
+type Options struct {
+	// MinProb is the threshold p for keeping a PFD (default 0.8).
+	MinProb float64
+	// MaxLHS bounds determinant size (default 1; the original generates
+	// per-column-pair PFDs, TANE-style lattice expansion is used above 1).
+	MaxLHS int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinProb == 0 {
+		o.MinProb = 0.8
+	}
+	if o.MaxLHS == 0 {
+		o.MaxLHS = 1
+	}
+	return o
+}
+
+// Discover returns the PFDs X →_p Y with P(X → Y, r) ≥ p, X limited to
+// MaxLHS attributes, Y a single attribute, sorted deterministically.
+func Discover(r *relation.Relation, opts Options) []pfd.PFD {
+	opts = opts.withDefaults()
+	n := r.Cols()
+	if n == 0 || r.Rows() == 0 {
+		return nil
+	}
+	var out []pfd.PFD
+	level := attrset.Singletons(n)
+	for size := 1; size <= opts.MaxLHS && len(level) > 0; size++ {
+		for _, x := range level {
+			for a := 0; a < n; a++ {
+				if x.Has(a) {
+					continue
+				}
+				cand := pfd.PFD{LHS: x, RHS: attrset.Single(a), MinProb: opts.MinProb, Schema: r.Schema()}
+				if cand.Probability(r) >= opts.MinProb {
+					out = append(out, cand)
+				}
+			}
+		}
+		level = attrset.NextLevel(level)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LHS != out[j].LHS {
+			return out[i].LHS < out[j].LHS
+		}
+		return out[i].RHS < out[j].RHS
+	})
+	return out
+}
+
+// SourceProbability is the per-source probability of one FD, used by the
+// multi-source merge.
+type SourceProbability struct {
+	// Rows is the source size (the merge weight).
+	Rows int
+	// Prob is P(X → Y) within the source.
+	Prob float64
+}
+
+// MergeSources combines per-source probabilities into a single PFD
+// probability, weighting each source by its tuple count — the paper's
+// second algorithm, which merges PFDs obtained from each source instead of
+// merging the data.
+func MergeSources(sources []SourceProbability) float64 {
+	total := 0
+	sum := 0.0
+	for _, s := range sources {
+		total += s.Rows
+		sum += float64(s.Rows) * s.Prob
+	}
+	if total == 0 {
+		return 1
+	}
+	return sum / float64(total)
+}
+
+// DiscoverMultiSource splits the relation by a source column, discovers the
+// probability of X → A per source, and keeps PFDs whose merged probability
+// meets the threshold. X ranges over single attributes excluding the source
+// column.
+func DiscoverMultiSource(r *relation.Relation, sourceCol int, opts Options) []pfd.PFD {
+	opts = opts.withDefaults()
+	n := r.Cols()
+	if n == 0 || r.Rows() == 0 {
+		return nil
+	}
+	// Split by source value.
+	codes, card := r.Codes(sourceCol)
+	subs := make([]*relation.Relation, card)
+	for s := 0; s < card; s++ {
+		s := s
+		subs[s] = r.Select(func(row int) bool { return codes[row] == s })
+	}
+	var out []pfd.PFD
+	for x := 0; x < n; x++ {
+		if x == sourceCol {
+			continue
+		}
+		for a := 0; a < n; a++ {
+			if a == x || a == sourceCol {
+				continue
+			}
+			cand := pfd.PFD{LHS: attrset.Single(x), RHS: attrset.Single(a), MinProb: opts.MinProb, Schema: r.Schema()}
+			var probs []SourceProbability
+			for _, sub := range subs {
+				if sub.Rows() == 0 {
+					continue
+				}
+				probs = append(probs, SourceProbability{Rows: sub.Rows(), Prob: cand.Probability(sub)})
+			}
+			if MergeSources(probs) >= opts.MinProb {
+				out = append(out, cand)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LHS != out[j].LHS {
+			return out[i].LHS < out[j].LHS
+		}
+		return out[i].RHS < out[j].RHS
+	})
+	return out
+}

@@ -1,0 +1,191 @@
+// Package graphdep implements neighborhood constraints on vertex-labeled
+// graphs — the paper's §5.2 future-work direction, following Song, Cheng,
+// Yu & Chen, "Repairing Vertex Labels under Neighborhood Constraints"
+// (PVLDB 2014) [93]: a constraint lists the label pairs allowed on
+// adjacent vertices; a vertex whose label is incompatible with a
+// neighbor's is erroneous (e.g. a wrong gene-ontology annotation or a
+// misplaced event name in a workflow network), and is repaired by
+// relabeling a minimum number of vertices.
+package graphdep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected vertex-labeled graph.
+type Graph struct {
+	// Labels holds one label per vertex.
+	Labels []string
+	adj    [][]int
+}
+
+// NewGraph creates a graph with n unlabeled vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{Labels: make([]string, n), adj: make([][]int, n)}
+}
+
+// AddEdge connects two vertices (idempotent, ignores self-loops).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// Neighbors returns the adjacency list of a vertex.
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Vertices returns the vertex count.
+func (g *Graph) Vertices() int { return len(g.Labels) }
+
+// Constraint is a neighborhood constraint: the set of unordered label
+// pairs allowed on adjacent vertices (e.g. extracted from a workflow
+// specification, §5.2).
+type Constraint struct {
+	allowed map[[2]string]bool
+	labels  map[string]bool
+}
+
+// NewConstraint builds a constraint from allowed label pairs. Pairs are
+// unordered; (a, a) permits equal labels on neighbors.
+func NewConstraint(pairs ...[2]string) *Constraint {
+	c := &Constraint{allowed: map[[2]string]bool{}, labels: map[string]bool{}}
+	for _, p := range pairs {
+		c.Allow(p[0], p[1])
+	}
+	return c
+}
+
+// Allow adds one permitted label pair.
+func (c *Constraint) Allow(a, b string) {
+	c.allowed[norm(a, b)] = true
+	c.labels[a] = true
+	c.labels[b] = true
+}
+
+func norm(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Compatible reports whether two labels may be adjacent.
+func (c *Constraint) Compatible(a, b string) bool { return c.allowed[norm(a, b)] }
+
+// Alphabet returns the labels mentioned by the constraint, sorted.
+func (c *Constraint) Alphabet() []string {
+	out := make([]string, 0, len(c.labels))
+	for l := range c.labels {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Violation is one incompatible edge.
+type Violation struct {
+	U, V int
+}
+
+// String renders the violation.
+func (v Violation) String() string { return fmt.Sprintf("edge (%d,%d)", v.U, v.V) }
+
+// Violations returns the edges whose endpoint labels are incompatible.
+func Violations(g *Graph, c *Constraint) []Violation {
+	var out []Violation
+	for u := 0; u < g.Vertices(); u++ {
+		for _, v := range g.adj[u] {
+			if u < v && !c.Compatible(g.Labels[u], g.Labels[v]) {
+				out = append(out, Violation{U: u, V: v})
+			}
+		}
+	}
+	return out
+}
+
+// Repair relabels vertices so every edge is compatible, greedily: process
+// vertices by descending violation degree; for each, pick the label from
+// the constraint alphabet (or the current label) minimizing remaining
+// incompatibilities with neighbors, preferring the current label on ties.
+// Exact minimum-change repair is NP-hard [93]; the greedy matches the
+// spirit of the published heuristics. Returns the number of relabeled
+// vertices; -1 if a conflict-free labeling was not reached within the
+// iteration bound.
+func Repair(g *Graph, c *Constraint) int {
+	changed := 0
+	alphabet := c.Alphabet()
+	for iter := 0; iter < g.Vertices()+1; iter++ {
+		vs := Violations(g, c)
+		if len(vs) == 0 {
+			return changed
+		}
+		degree := map[int]int{}
+		for _, v := range vs {
+			degree[v.U]++
+			degree[v.V]++
+		}
+		// Most-conflicted vertex (ties: smallest index).
+		worst, worstDeg := -1, 0
+		for v, d := range degree {
+			if d > worstDeg || (d == worstDeg && (worst == -1 || v < worst)) {
+				worst, worstDeg = v, d
+			}
+		}
+		// Best replacement label.
+		bestLabel, bestConf := g.Labels[worst], conflicts(g, c, worst, g.Labels[worst])
+		for _, cand := range alphabet {
+			if conf := conflicts(g, c, worst, cand); conf < bestConf {
+				bestLabel, bestConf = cand, conf
+			}
+		}
+		if bestLabel == g.Labels[worst] {
+			// No improving label: leave the other endpoint to a later
+			// iteration by relabeling the least-damaging neighbor instead.
+			improved := false
+			for _, n := range g.adj[worst] {
+				cur := conflicts(g, c, n, g.Labels[n])
+				for _, cand := range alphabet {
+					if conf := conflicts(g, c, n, cand); conf < cur {
+						g.Labels[n] = cand
+						changed++
+						improved = true
+						break
+					}
+				}
+				if improved {
+					break
+				}
+			}
+			if !improved {
+				return -1 // stuck: constraint unsatisfiable on this topology
+			}
+			continue
+		}
+		g.Labels[worst] = bestLabel
+		changed++
+	}
+	if len(Violations(g, c)) == 0 {
+		return changed
+	}
+	return -1
+}
+
+// conflicts counts the incompatible neighbors of v under a hypothetical
+// label.
+func conflicts(g *Graph, c *Constraint, v int, label string) int {
+	n := 0
+	for _, w := range g.adj[v] {
+		if !c.Compatible(label, g.Labels[w]) {
+			n++
+		}
+	}
+	return n
+}

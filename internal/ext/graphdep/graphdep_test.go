@@ -1,0 +1,144 @@
+package graphdep
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// workflowConstraint allows start→task, task→task, task→end — the §5.2
+// workflow-network shape.
+func workflowConstraint() *Constraint {
+	return NewConstraint(
+		[2]string{"start", "task"},
+		[2]string{"task", "task"},
+		[2]string{"task", "end"},
+	)
+}
+
+func chain(labels ...string) *Graph {
+	g := NewGraph(len(labels))
+	copy(g.Labels, labels)
+	for i := 1; i < len(labels); i++ {
+		g.AddEdge(i-1, i)
+	}
+	return g
+}
+
+func TestViolationsCleanChain(t *testing.T) {
+	g := chain("start", "task", "task", "end")
+	if vs := Violations(g, workflowConstraint()); len(vs) != 0 {
+		t.Errorf("clean chain violates: %v", vs)
+	}
+}
+
+func TestViolationsMisplacedLabel(t *testing.T) {
+	// "end" right after "start": the (start,end) edge violates; the
+	// (end,task) edge is fine since task–end is allowed.
+	g := chain("start", "end", "task", "end")
+	vs := Violations(g, workflowConstraint())
+	if len(vs) != 1 || vs[0] != (Violation{U: 0, V: 1}) {
+		t.Fatalf("violations = %v, want [(0,1)]", vs)
+	}
+}
+
+func TestRepairMisplacedLabel(t *testing.T) {
+	g := chain("start", "end", "task", "end")
+	changed := Repair(g, workflowConstraint())
+	// One relabel suffices (vertex 0 → task or vertex 1 → task).
+	if changed != 1 {
+		t.Errorf("changed = %d, want 1", changed)
+	}
+	if vs := Violations(g, workflowConstraint()); len(vs) != 0 {
+		t.Errorf("repair left violations: %v", vs)
+	}
+}
+
+func TestRepairNoopWhenClean(t *testing.T) {
+	g := chain("start", "task", "end")
+	if changed := Repair(g, workflowConstraint()); changed != 0 {
+		t.Errorf("clean graph changed %d labels", changed)
+	}
+}
+
+func TestRepairStarTopology(t *testing.T) {
+	// A hub with a wrong label conflicting with all leaves: one relabel
+	// fixes everything.
+	c := NewConstraint([2]string{"hub", "leaf"})
+	g := NewGraph(5)
+	g.Labels[0] = "leaf" // should be hub
+	for i := 1; i < 5; i++ {
+		g.Labels[i] = "leaf"
+		g.AddEdge(0, i)
+	}
+	changed := Repair(g, c)
+	if changed != 1 || g.Labels[0] != "hub" {
+		t.Errorf("changed=%d hub=%q", changed, g.Labels[0])
+	}
+}
+
+func TestRepairUnsatisfiable(t *testing.T) {
+	// Constraint allows only (a,b); a triangle cannot be 2-colored.
+	c := NewConstraint([2]string{"a", "b"})
+	g := NewGraph(3)
+	g.Labels[0], g.Labels[1], g.Labels[2] = "a", "a", "a"
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	if changed := Repair(g, c); changed != -1 {
+		t.Errorf("unsatisfiable triangle repaired: %d (labels %v, violations %v)",
+			changed, g.Labels, Violations(g, c))
+	}
+}
+
+func TestRepairRandomizedBipartite(t *testing.T) {
+	// Random bipartite-compatible graphs with injected label errors: the
+	// repair must always reach a conflict-free labeling.
+	rng := rand.New(rand.NewSource(11))
+	c := NewConstraint([2]string{"a", "b"}, [2]string{"a", "a"})
+	for trial := 0; trial < 30; trial++ {
+		n := 12
+		g := NewGraph(n)
+		for i := range g.Labels {
+			g.Labels[i] = "a" // all-a is always compatible
+		}
+		for e := 0; e < 16; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		// Inject errors: some vertices flipped to b (b-b edges violate).
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				g.Labels[i] = "b"
+			}
+		}
+		if changed := Repair(g, c); changed == -1 {
+			t.Fatalf("trial %d: repair stuck; labels %v", trial, g.Labels)
+		}
+		if vs := Violations(g, c); len(vs) != 0 {
+			t.Fatalf("trial %d: repair left %v", trial, vs)
+		}
+	}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // idempotent
+	g.AddEdge(1, 1) // self-loop ignored
+	if len(g.Neighbors(0)) != 1 || len(g.Neighbors(1)) != 1 {
+		t.Errorf("adjacency wrong: %v %v", g.Neighbors(0), g.Neighbors(1))
+	}
+	if g.Vertices() != 3 {
+		t.Error("Vertices")
+	}
+	c := NewConstraint([2]string{"y", "x"})
+	if !c.Compatible("x", "y") || !c.Compatible("y", "x") {
+		t.Error("compatibility must be unordered")
+	}
+	if got := c.Alphabet(); len(got) != 2 || got[0] != "x" {
+		t.Errorf("Alphabet = %v", got)
+	}
+	v := Violation{U: 1, V: 2}
+	if v.String() != "edge (1,2)" {
+		t.Errorf("String = %q", v.String())
+	}
+}

@@ -1,0 +1,47 @@
+package speed
+
+import (
+	"fmt"
+	"sort"
+
+	"deptree/internal/relation"
+)
+
+// Fit discovers a speed constraint from data — the open problem the paper
+// flags in §5.3 ("it is not well studied yet on how to discover such
+// meaningful speed constraints"). The approach mirrors SD interval fitting:
+// compute the consecutive speeds of the time-ordered series and take the
+// central confidence-quantile band as [smin, smax], so a `confidence`
+// fraction of observed speeds is admitted and the tails (presumed errors)
+// are excluded.
+func Fit(r *relation.Relation, timeCol, valueCol int, confidence float64) (Constraint, error) {
+	idx := r.SortedIndex([]int{timeCol})
+	var speeds []float64
+	for k := 1; k < len(idx); k++ {
+		dt := r.Value(idx[k], timeCol).Num() - r.Value(idx[k-1], timeCol).Num()
+		if dt <= 0 {
+			continue
+		}
+		dv := r.Value(idx[k], valueCol).Num() - r.Value(idx[k-1], valueCol).Num()
+		speeds = append(speeds, dv/dt)
+	}
+	if len(speeds) == 0 {
+		return Constraint{}, fmt.Errorf("speed: need at least two points with increasing timestamps")
+	}
+	sort.Float64s(speeds)
+	if confidence >= 1 || confidence <= 0 {
+		return Constraint{
+			Smin: speeds[0], Smax: speeds[len(speeds)-1],
+			TimeCol: timeCol, ValueCol: valueCol, Schema: r.Schema(),
+		}, nil
+	}
+	drop := int(float64(len(speeds)) * (1 - confidence) / 2)
+	lo, hi := drop, len(speeds)-1-drop
+	if lo > hi {
+		lo, hi = 0, len(speeds)-1
+	}
+	return Constraint{
+		Smin: speeds[lo], Smax: speeds[hi],
+		TimeCol: timeCol, ValueCol: valueCol, Schema: r.Schema(),
+	}, nil
+}

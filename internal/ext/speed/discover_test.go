@@ -1,0 +1,56 @@
+package speed
+
+import (
+	"testing"
+
+	"deptree/internal/gen"
+)
+
+func TestFitCleanSeries(t *testing.T) {
+	r := gen.Series(200, 9, 11, 0, 71)
+	c, err := Fit(r, 0, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps of 9..11 per unit time → speeds in [9,11].
+	if c.Smin < 9 || c.Smax > 11 {
+		t.Errorf("fitted [%v,%v] outside [9,11]", c.Smin, c.Smax)
+	}
+	if !c.Holds(r) {
+		t.Error("full-confidence fit must hold on its own data")
+	}
+}
+
+func TestFitTrimsErrorTails(t *testing.T) {
+	r := gen.Series(400, 9, 11, 0.1, 72)
+	full, err := Fit(r, 0, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := Fit(r, 0, 1, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trimmed.Smax-trimmed.Smin >= full.Smax-full.Smin {
+		t.Errorf("trimmed band [%v,%v] not tighter than full [%v,%v]",
+			trimmed.Smin, trimmed.Smax, full.Smin, full.Smax)
+	}
+	if trimmed.Smin < 8 || trimmed.Smax > 12 {
+		t.Errorf("trimmed band [%v,%v] should land near [9,11]", trimmed.Smin, trimmed.Smax)
+	}
+	// The fitted constraint flags the injected errors.
+	if trimmed.Holds(r) {
+		t.Error("the fitted constraint should reject the injected spikes")
+	}
+	repaired, _ := trimmed.Repair(r)
+	if !trimmed.Holds(repaired) {
+		t.Error("repair under the fitted constraint must converge")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	one := gen.Series(1, 9, 11, 0, 73)
+	if _, err := Fit(one, 0, 1, 1); err == nil {
+		t.Error("single point accepted")
+	}
+}

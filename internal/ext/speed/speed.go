@@ -1,0 +1,185 @@
+// Package speed implements speed constraints over temporal data — the
+// paper's §5.3 future-work direction, following Song, Zhang, Wang & Yu,
+// "SCREEN: Stream Data Cleaning under Speed Constraints" (SIGMOD 2015)
+// [97]: consecutive readings of a time series may not change faster than
+// smax nor slower than smin per time unit, and violating points are
+// repaired online with minimum change.
+package speed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deptree/internal/deps"
+	"deptree/internal/relation"
+)
+
+// Constraint is a speed constraint s = (smin, smax): for timestamps
+// t_i < t_j within the window, smin ≤ (v_j − v_i)/(t_j − t_i) ≤ smax.
+type Constraint struct {
+	// Smin and Smax bound the rate of change (use ±Inf for one-sided).
+	Smin, Smax float64
+	// Window is the maximum timestamp distance over which the constraint
+	// applies (0 = consecutive points only).
+	Window float64
+	// TimeCol and ValueCol locate the series in a relation.
+	TimeCol, ValueCol int
+	// Schema names attributes for rendering.
+	Schema *relation.Schema
+}
+
+// Kind implements deps.Dependency.
+func (c Constraint) Kind() string { return "SC" }
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	return fmt.Sprintf("speed ∈ [%g, %g] over window %g", c.Smin, c.Smax, c.Window)
+}
+
+// pairsApply reports whether the constraint covers two timestamps.
+func (c Constraint) pairApplies(t1, t2 float64) bool {
+	dt := t2 - t1
+	if dt <= 0 {
+		return false
+	}
+	return c.Window <= 0 || dt <= c.Window
+}
+
+// Holds implements deps.Dependency.
+func (c Constraint) Holds(r *relation.Relation) bool {
+	return deps.HoldsByViolations(c, r)
+}
+
+// Violations implements deps.Dependency: point pairs (time-ordered) whose
+// speed escapes [smin, smax]. With Window == 0 only consecutive points are
+// checked.
+func (c Constraint) Violations(r *relation.Relation, limit int) []deps.Violation {
+	idx := r.SortedIndex([]int{c.TimeCol})
+	var out []deps.Violation
+	for a := 0; a < len(idx); a++ {
+		bEnd := len(idx)
+		if c.Window <= 0 {
+			bEnd = a + 2
+			if bEnd > len(idx) {
+				bEnd = len(idx)
+			}
+		}
+		for b := a + 1; b < bEnd; b++ {
+			i, j := idx[a], idx[b]
+			t1, t2 := r.Value(i, c.TimeCol).Num(), r.Value(j, c.TimeCol).Num()
+			if !c.pairApplies(t1, t2) {
+				if c.Window > 0 && t2-t1 > c.Window {
+					break
+				}
+				continue
+			}
+			s := (r.Value(j, c.ValueCol).Num() - r.Value(i, c.ValueCol).Num()) / (t2 - t1)
+			// Tolerance: repairs clamp values exactly onto the speed
+			// boundary, and the recomputed quotient may round a hair past
+			// it; a relative epsilon keeps boundary repairs valid.
+			eps := 1e-9 * (math.Abs(c.Smin) + math.Abs(c.Smax) + 1)
+			if s < c.Smin-eps || s > c.Smax+eps {
+				out = append(out, deps.Pair(i, j, "speed %.3g outside [%g, %g]", s, c.Smin, c.Smax))
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Repair runs the SCREEN online repair: points are processed in time
+// order; each value is clamped into the feasible range implied by the
+// previous repaired point, [prev + smin·dt, prev + smax·dt]. Clamping is
+// the minimum-change repair for the streaming (no-lookahead) setting. It
+// returns the repaired relation and the indices of modified rows.
+func (c Constraint) Repair(r *relation.Relation) (*relation.Relation, []int) {
+	out := r.Clone()
+	idx := r.SortedIndex([]int{c.TimeCol})
+	var changed []int
+	if len(idx) == 0 {
+		return out, nil
+	}
+	prevT := out.Value(idx[0], c.TimeCol).Num()
+	prevV := out.Value(idx[0], c.ValueCol).Num()
+	for k := 1; k < len(idx); k++ {
+		row := idx[k]
+		t := out.Value(row, c.TimeCol).Num()
+		v := out.Value(row, c.ValueCol).Num()
+		dt := t - prevT
+		if dt > 0 && (c.Window <= 0 || dt <= c.Window) {
+			lo := prevV + c.Smin*dt
+			hi := prevV + c.Smax*dt
+			repaired := v
+			if v < lo {
+				repaired = lo
+			} else if v > hi {
+				repaired = hi
+			}
+			if repaired != v {
+				out.SetValue(row, c.ValueCol, numberLike(out.Value(row, c.ValueCol), repaired))
+				changed = append(changed, row)
+				v = repaired
+			}
+		}
+		prevT, prevV = t, v
+	}
+	return out, changed
+}
+
+// RepairMedian runs the window-median variant closer to SCREEN's global
+// optimum: each point's repair candidate set contains the original value
+// and the speed-feasible bounds w.r.t. every predecessor in the window;
+// the median candidate (clamped to the consecutive feasible range) is
+// taken. It dominates the greedy clamp on bursts of consecutive errors.
+func (c Constraint) RepairMedian(r *relation.Relation) (*relation.Relation, []int) {
+	out := r.Clone()
+	idx := r.SortedIndex([]int{c.TimeCol})
+	var changed []int
+	for k := 1; k < len(idx); k++ {
+		row := idx[k]
+		t := out.Value(row, c.TimeCol).Num()
+		v := out.Value(row, c.ValueCol).Num()
+		var candidates []float64
+		candidates = append(candidates, v)
+		for back := k - 1; back >= 0; back-- {
+			prow := idx[back]
+			pt := out.Value(prow, c.TimeCol).Num()
+			dt := t - pt
+			if dt <= 0 {
+				continue
+			}
+			if c.Window > 0 && dt > c.Window {
+				break
+			}
+			pv := out.Value(prow, c.ValueCol).Num()
+			candidates = append(candidates, pv+c.Smin*dt, pv+c.Smax*dt)
+		}
+		sort.Float64s(candidates)
+		med := candidates[len(candidates)/2]
+		// Clamp the median into the consecutive feasible range.
+		prow := idx[k-1]
+		dt := t - out.Value(prow, c.TimeCol).Num()
+		if dt > 0 && (c.Window <= 0 || dt <= c.Window) {
+			pv := out.Value(prow, c.ValueCol).Num()
+			lo, hi := pv+c.Smin*dt, pv+c.Smax*dt
+			med = math.Max(lo, math.Min(hi, med))
+		}
+		if med != v {
+			out.SetValue(row, c.ValueCol, numberLike(out.Value(row, c.ValueCol), med))
+			changed = append(changed, row)
+		}
+	}
+	return out, changed
+}
+
+// numberLike keeps the column's integer kind when the repaired value is
+// integral.
+func numberLike(orig relation.Value, v float64) relation.Value {
+	if orig.Kind() == relation.KindInt && v == math.Trunc(v) {
+		return relation.Int(int(v))
+	}
+	return relation.Float(v)
+}

@@ -1,0 +1,181 @@
+package speed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"deptree/internal/relation"
+)
+
+func series(t *testing.T, values []float64) *relation.Relation {
+	t.Helper()
+	s := relation.NewSchema(
+		relation.Attribute{Name: "t", Kind: relation.KindInt},
+		relation.Attribute{Name: "v", Kind: relation.KindFloat},
+	)
+	r := relation.New("ts", s)
+	for i, v := range values {
+		if err := r.Append([]relation.Value{relation.Int(i), relation.Float(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func sc(window float64) Constraint {
+	return Constraint{Smin: -5, Smax: 5, Window: window, TimeCol: 0, ValueCol: 1}
+}
+
+func TestHoldsCleanSeries(t *testing.T) {
+	r := series(t, []float64{0, 3, 5, 4, 8, 10})
+	c := sc(0)
+	if !c.Holds(r) {
+		t.Errorf("clean series violates: %v", c.Violations(r, 0))
+	}
+}
+
+func TestDetectsSpike(t *testing.T) {
+	r := series(t, []float64{0, 3, 50, 6, 8})
+	c := sc(0)
+	vs := c.Violations(r, 0)
+	// Spike at index 2: too fast up from t1, too fast down to t3.
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2", vs)
+	}
+	if vs[0].Rows[1] != 2 || vs[1].Rows[0] != 2 {
+		t.Errorf("spike not localized: %v", vs)
+	}
+	if got := c.Violations(r, 1); len(got) != 1 {
+		t.Error("limit not respected")
+	}
+}
+
+func TestWindowedViolations(t *testing.T) {
+	// Gradual drift: consecutive speeds fine, but over a window of 3 time
+	// units the total change exceeds the bound... values rise 4/unit, so
+	// consecutive fine (≤5); over window the speed is still 4. Use an
+	// oscillation instead: +4, +4, then -9 over 2 units = -4.5 each — make
+	// a pair at distance 2 exceeding: v: 0, 4, 8, -4. Pair (1,3): (−8)/2 =
+	// −4 fine; pair (2,3): −12 > 5 in magnitude → violation.
+	r := series(t, []float64{0, 4, 8, -4})
+	c := sc(3)
+	vs := c.Violations(r, 0)
+	found := false
+	for _, v := range vs {
+		if v.Rows[0] == 2 && v.Rows[1] == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("windowed violation missing: %v", vs)
+	}
+	// Window 0 (consecutive) finds it too; a window of 1 equals that.
+	if got, want := len(sc(1).Violations(r, 0)), len(sc(0).Violations(r, 0)); got != want {
+		t.Errorf("window=1 (%d) must equal consecutive (%d)", got, want)
+	}
+}
+
+func TestRepairClampsSpike(t *testing.T) {
+	r := series(t, []float64{0, 3, 50, 6, 8})
+	c := sc(0)
+	repaired, changed := c.Repair(r)
+	if !c.Holds(repaired) {
+		t.Fatalf("repair does not satisfy the constraint: %v", c.Violations(repaired, 0))
+	}
+	if len(changed) == 0 {
+		t.Fatal("no changes recorded")
+	}
+	// The spike is clamped down to 3 + 5 = 8.
+	if got := repaired.Value(2, 1).Num(); got != 8 {
+		t.Errorf("spike repaired to %v, want 8", got)
+	}
+	// Original untouched.
+	if r.Value(2, 1).Num() != 50 {
+		t.Error("original mutated")
+	}
+}
+
+func TestRepairMedianBeatsGreedyOnBurst(t *testing.T) {
+	// A burst of consecutive errors: greedy clamping drags the whole
+	// suffix, while the median repair pulls the burst back to the trend.
+	values := []float64{0, 2, 4, 100, 102, 104, 12, 14, 16}
+	truth := []float64{0, 2, 4, 6, 8, 10, 12, 14, 16}
+	r := series(t, values)
+	c := Constraint{Smin: -3, Smax: 3, Window: 5, TimeCol: 0, ValueCol: 1}
+	greedy, _ := c.Repair(r)
+	median, _ := c.RepairMedian(r)
+	rmse := func(rep *relation.Relation) float64 {
+		sum := 0.0
+		for i := range truth {
+			d := rep.Value(i, 1).Num() - truth[i]
+			sum += d * d
+		}
+		return math.Sqrt(sum / float64(len(truth)))
+	}
+	if rmse(median) > rmse(greedy) {
+		t.Errorf("median RMSE %.2f should not exceed greedy %.2f", rmse(median), rmse(greedy))
+	}
+}
+
+func TestRepairRandomizedAlwaysSatisfies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		vals := make([]float64, 40)
+		v := 0.0
+		for i := range vals {
+			v += rng.Float64()*8 - 4
+			if rng.Float64() < 0.15 {
+				v += rng.Float64()*100 - 50 // error
+			}
+			vals[i] = v
+		}
+		r := series(t, vals)
+		c := sc(0)
+		repaired, _ := c.Repair(r)
+		if !c.Holds(repaired) {
+			t.Fatalf("trial %d: greedy repair violates", trial)
+		}
+	}
+}
+
+func TestIntColumnKeepsKind(t *testing.T) {
+	s := relation.NewSchema(
+		relation.Attribute{Name: "t", Kind: relation.KindInt},
+		relation.Attribute{Name: "v", Kind: relation.KindInt},
+	)
+	r := relation.New("ts", s)
+	for i, v := range []int{0, 3, 50, 6} {
+		_ = r.Append([]relation.Value{relation.Int(i), relation.Int(v)})
+	}
+	c := sc(0)
+	repaired, _ := c.Repair(r)
+	if repaired.Value(2, 1).Kind() != relation.KindInt {
+		t.Error("integral repair should stay an int")
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	c := sc(0)
+	empty := series(t, nil)
+	if !c.Holds(empty) {
+		t.Error("empty series")
+	}
+	if rep, ch := c.Repair(empty); rep.Rows() != 0 || ch != nil {
+		t.Error("empty repair")
+	}
+	one := series(t, []float64{7})
+	if !c.Holds(one) {
+		t.Error("single point")
+	}
+}
+
+func TestStringAndKind(t *testing.T) {
+	c := sc(2)
+	if c.Kind() != "SC" {
+		t.Error("Kind")
+	}
+	if got := c.String(); got != "speed ∈ [-5, 5] over window 2" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package uncertain implements functional dependencies over uncertain
+// relations — the paper's §5.1 future-work direction, following Sarma,
+// Ullman & Widom, "Schema Design for Uncertain Databases" [81]: an
+// uncertain relation is a set of x-tuples, each holding one or more
+// alternatives; it represents the set of possible worlds obtained by
+// choosing one alternative per x-tuple.
+//
+// Two FD liftings are provided: a *horizontal* FD holds iff the FD holds
+// in every possible world; a *vertical* FD holds iff, within every single
+// x-tuple, alternatives agreeing on X agree on Y. On a certain relation
+// (one alternative per x-tuple) both coincide with the classical FD.
+package uncertain
+
+import (
+	"fmt"
+
+	"deptree/internal/attrset"
+	"deptree/internal/relation"
+)
+
+// XTuple is one uncertain tuple: a non-empty set of alternatives.
+type XTuple struct {
+	Alternatives [][]relation.Value
+}
+
+// Relation is an uncertain relation over a schema.
+type Relation struct {
+	Schema  *relation.Schema
+	XTuples []XTuple
+}
+
+// New creates an empty uncertain relation.
+func New(schema *relation.Schema) *Relation {
+	return &Relation{Schema: schema}
+}
+
+// Add appends an x-tuple with the given alternatives.
+func (u *Relation) Add(alternatives ...[]relation.Value) error {
+	if len(alternatives) == 0 {
+		return fmt.Errorf("uncertain: x-tuple needs at least one alternative")
+	}
+	for _, alt := range alternatives {
+		if len(alt) != u.Schema.Len() {
+			return fmt.Errorf("uncertain: alternative width %d != schema %d", len(alt), u.Schema.Len())
+		}
+	}
+	u.XTuples = append(u.XTuples, XTuple{Alternatives: alternatives})
+	return nil
+}
+
+// Certain reports whether the relation has no uncertainty (every x-tuple
+// has exactly one alternative).
+func (u *Relation) Certain() bool {
+	for _, x := range u.XTuples {
+		if len(x.Alternatives) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Worlds returns the number of possible worlds (the product of alternative
+// counts), capped at the given bound to avoid overflow (-1 when above).
+func (u *Relation) Worlds(cap int) int {
+	n := 1
+	for _, x := range u.XTuples {
+		n *= len(x.Alternatives)
+		if n > cap {
+			return -1
+		}
+	}
+	return n
+}
+
+// FD is an uncertain-relation functional dependency X → Y.
+type FD struct {
+	LHS, RHS attrset.Set
+	Schema   *relation.Schema
+}
+
+// Must builds an uncertain FD from attribute names.
+func Must(schema *relation.Schema, lhs, rhs []string) FD {
+	l, err := schema.Indices(lhs...)
+	if err != nil {
+		panic(err)
+	}
+	r, err := schema.Indices(rhs...)
+	if err != nil {
+		panic(err)
+	}
+	return FD{LHS: attrset.Of(l...), RHS: attrset.Of(r...), Schema: schema}
+}
+
+// String renders the FD.
+func (f FD) String() string {
+	var names []string
+	if f.Schema != nil {
+		names = f.Schema.Names()
+	}
+	return fmt.Sprintf("%s -> %s (uncertain)", f.LHS.Names(names), f.RHS.Names(names))
+}
+
+func agree(a, b []relation.Value, cols attrset.Set) bool {
+	ok := true
+	cols.Each(func(c int) {
+		if !a[c].Equal(b[c]) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// HoldsVertical reports the vertical FD: within each x-tuple, any two
+// alternatives agreeing on X agree on Y.
+func (f FD) HoldsVertical(u *Relation) bool {
+	for _, x := range u.XTuples {
+		for i := 0; i < len(x.Alternatives); i++ {
+			for j := i + 1; j < len(x.Alternatives); j++ {
+				if agree(x.Alternatives[i], x.Alternatives[j], f.LHS) &&
+					!agree(x.Alternatives[i], x.Alternatives[j], f.RHS) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// HoldsHorizontal reports the horizontal FD: the classical FD holds in
+// every possible world. A world violates iff two distinct x-tuples have
+// *some* choice of alternatives agreeing on X and disagreeing on Y —
+// choices across x-tuples are independent, so the pairwise test over
+// alternative pairs is sound and complete, avoiding world enumeration.
+func (f FD) HoldsHorizontal(u *Relation) bool {
+	for i := 0; i < len(u.XTuples); i++ {
+		for j := i + 1; j < len(u.XTuples); j++ {
+			for _, a := range u.XTuples[i].Alternatives {
+				for _, b := range u.XTuples[j].Alternatives {
+					if agree(a, b, f.LHS) && !agree(a, b, f.RHS) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ViolatingWorld materializes, when the horizontal FD fails, one concrete
+// possible world exhibiting the violation (nil when the FD holds). The
+// world fixes the offending alternatives and takes the first alternative
+// elsewhere.
+func (f FD) ViolatingWorld(u *Relation) *relation.Relation {
+	for i := 0; i < len(u.XTuples); i++ {
+		for j := i + 1; j < len(u.XTuples); j++ {
+			for ai, a := range u.XTuples[i].Alternatives {
+				for bi, b := range u.XTuples[j].Alternatives {
+					if agree(a, b, f.LHS) && !agree(a, b, f.RHS) {
+						w := relation.New("world", u.Schema)
+						for k, x := range u.XTuples {
+							pick := 0
+							if k == i {
+								pick = ai
+							}
+							if k == j {
+								pick = bi
+							}
+							if err := w.Append(x.Alternatives[pick]); err != nil {
+								panic(err)
+							}
+						}
+						return w
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ToCertain converts a certain uncertain relation into an ordinary one.
+func (u *Relation) ToCertain() (*relation.Relation, error) {
+	if !u.Certain() {
+		return nil, fmt.Errorf("uncertain: relation has multiple alternatives")
+	}
+	r := relation.New("certain", u.Schema)
+	for _, x := range u.XTuples {
+		if err := r.Append(x.Alternatives[0]); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

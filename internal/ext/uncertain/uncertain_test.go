@@ -1,0 +1,204 @@
+package uncertain
+
+import (
+	"math/rand"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/relation"
+)
+
+func s(v string) relation.Value { return relation.String(v) }
+
+func sensorRelation(t *testing.T) *Relation {
+	t.Helper()
+	schema := relation.Strings("sensor", "room", "reading")
+	u := New(schema)
+	// Sensor A is surely in room 1; its reading is uncertain.
+	must(t, u.Add(
+		[]relation.Value{s("A"), s("r1"), s("20")},
+		[]relation.Value{s("A"), s("r1"), s("21")},
+	))
+	// Sensor B's room is uncertain.
+	must(t, u.Add(
+		[]relation.Value{s("B"), s("r1"), s("30")},
+		[]relation.Value{s("B"), s("r2"), s("30")},
+	))
+	return u
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	u := New(relation.Strings("a", "b"))
+	if err := u.Add(); err == nil {
+		t.Error("empty x-tuple accepted")
+	}
+	if err := u.Add([]relation.Value{s("x")}); err == nil {
+		t.Error("short alternative accepted")
+	}
+	must(t, u.Add([]relation.Value{s("x"), s("y")}))
+	if !u.Certain() {
+		t.Error("single-alternative relation is certain")
+	}
+}
+
+func TestWorldsCount(t *testing.T) {
+	u := sensorRelation(t)
+	if got := u.Worlds(100); got != 4 {
+		t.Errorf("worlds = %d, want 4", got)
+	}
+	if got := u.Worlds(3); got != -1 {
+		t.Errorf("capped worlds = %d, want -1", got)
+	}
+}
+
+func TestVerticalFD(t *testing.T) {
+	u := sensorRelation(t)
+	// sensor → room: within x-tuple A both alternatives agree on room;
+	// within B they agree on sensor but differ on room → vertical fails.
+	f := Must(u.Schema, []string{"sensor"}, []string{"room"})
+	if f.HoldsVertical(u) {
+		t.Error("sensor→room must fail vertically (B's room is uncertain)")
+	}
+	// sensor → sensor is trivially fine; room → reading: within A the
+	// alternatives agree on room but differ on reading → fails.
+	f2 := Must(u.Schema, []string{"room"}, []string{"reading"})
+	if f2.HoldsVertical(u) {
+		t.Error("room→reading must fail vertically (A's reading is uncertain)")
+	}
+	// reading → sensor holds vertically (readings differ within A; within
+	// B readings equal and sensors equal).
+	f3 := Must(u.Schema, []string{"reading"}, []string{"sensor"})
+	if !f3.HoldsVertical(u) {
+		t.Error("reading→sensor must hold vertically")
+	}
+}
+
+func TestHorizontalFD(t *testing.T) {
+	u := sensorRelation(t)
+	// room → sensor: in the world where B chooses r1, two tuples share
+	// room r1 with different sensors → horizontal fails.
+	f := Must(u.Schema, []string{"room"}, []string{"sensor"})
+	if f.HoldsHorizontal(u) {
+		t.Error("room→sensor must fail horizontally")
+	}
+	w := f.ViolatingWorld(u)
+	if w == nil {
+		t.Fatal("no violating world materialized")
+	}
+	cf := fd.Must(u.Schema, []string{"room"}, []string{"sensor"})
+	if cf.Holds(w) {
+		t.Errorf("materialized world does not violate:\n%v", w)
+	}
+	// sensor → room holds horizontally: across x-tuples, sensors differ.
+	f2 := Must(u.Schema, []string{"sensor"}, []string{"room"})
+	if !f2.HoldsHorizontal(u) {
+		t.Error("sensor→room must hold horizontally")
+	}
+	if f2.ViolatingWorld(u) != nil {
+		t.Error("holding FD has no violating world")
+	}
+}
+
+func TestCertainCoincidesWithClassicalFD(t *testing.T) {
+	// On certain relations, both liftings equal the classical FD.
+	rng := rand.New(rand.NewSource(5))
+	schema := relation.Strings("a", "b")
+	for trial := 0; trial < 40; trial++ {
+		u := New(schema)
+		r := relation.New("c", schema)
+		for i := 0; i < 15; i++ {
+			row := []relation.Value{
+				s(string(rune('a' + rng.Intn(3)))),
+				s(string(rune('a' + rng.Intn(3)))),
+			}
+			must(t, u.Add(row))
+			must(t, r.Append(row))
+		}
+		uf := Must(schema, []string{"a"}, []string{"b"})
+		cf := fd.Must(schema, []string{"a"}, []string{"b"})
+		classical := cf.Holds(r)
+		if uf.HoldsHorizontal(u) != classical {
+			t.Fatalf("trial %d: horizontal != classical", trial)
+		}
+		if !uf.HoldsVertical(u) {
+			t.Fatalf("trial %d: vertical must hold trivially on certain data", trial)
+		}
+	}
+}
+
+func TestHorizontalMatchesWorldEnumeration(t *testing.T) {
+	// Oracle check: horizontal holds iff the FD holds in EVERY enumerated
+	// world, on small uncertain relations.
+	rng := rand.New(rand.NewSource(7))
+	schema := relation.Strings("a", "b")
+	for trial := 0; trial < 30; trial++ {
+		u := New(schema)
+		for i := 0; i < 4; i++ {
+			alts := make([][]relation.Value, 1+rng.Intn(2))
+			for k := range alts {
+				alts[k] = []relation.Value{
+					s(string(rune('a' + rng.Intn(2)))),
+					s(string(rune('a' + rng.Intn(2)))),
+				}
+			}
+			must(t, u.Add(alts...))
+		}
+		f := Must(schema, []string{"a"}, []string{"b"})
+		cf := fd.Must(schema, []string{"a"}, []string{"b"})
+		// Enumerate worlds.
+		all := true
+		var rec func(k int, picked []int)
+		var worlds []*relation.Relation
+		rec = func(k int, picked []int) {
+			if k == len(u.XTuples) {
+				w := relation.New("w", schema)
+				for idx, pi := range picked {
+					must(t, w.Append(u.XTuples[idx].Alternatives[pi]))
+				}
+				worlds = append(worlds, w)
+				return
+			}
+			for pi := range u.XTuples[k].Alternatives {
+				rec(k+1, append(picked, pi))
+			}
+		}
+		rec(0, nil)
+		for _, w := range worlds {
+			if !cf.Holds(w) {
+				all = false
+				break
+			}
+		}
+		if got := f.HoldsHorizontal(u); got != all {
+			t.Fatalf("trial %d: horizontal=%v but world enumeration=%v", trial, got, all)
+		}
+	}
+}
+
+func TestToCertain(t *testing.T) {
+	u := New(relation.Strings("a"))
+	must(t, u.Add([]relation.Value{s("x")}))
+	r, err := u.ToCertain()
+	if err != nil || r.Rows() != 1 {
+		t.Fatalf("ToCertain: %v %v", r, err)
+	}
+	must(t, u.Add([]relation.Value{s("y")}, []relation.Value{s("z")}))
+	if _, err := u.ToCertain(); err == nil {
+		t.Error("uncertain relation converted")
+	}
+}
+
+func TestString(t *testing.T) {
+	schema := relation.Strings("a", "b")
+	f := Must(schema, []string{"a"}, []string{"b"})
+	if got := f.String(); got != "a -> b (uncertain)" {
+		t.Errorf("String = %q", got)
+	}
+}

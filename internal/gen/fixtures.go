@@ -1,0 +1,110 @@
+// Package gen provides the paper's running-example relations (Tables 1, 5,
+// 6 and 7) as exact fixtures, plus configurable synthetic generators that
+// scale the same variety/veracity phenomena to discovery- and
+// benchmark-sized workloads.
+package gen
+
+import "deptree/internal/relation"
+
+func s(v string) relation.Value { return relation.String(v) }
+func i(v int) relation.Value    { return relation.Int(v) }
+
+// Table1 returns the paper's Table 1: relation r1 of hotels, containing the
+// motivating examples of §1 — the fd1 violation between t3/t4, the
+// false-positive "violation" between t5/t6 ("Chicago" vs "Chicago, IL"),
+// and the undetectable true violation between t7/t8 (similar but unequal
+// addresses). Row indices 0..7 correspond to tuples t1..t8.
+func Table1() *relation.Relation {
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "name", Kind: relation.KindString},
+		relation.Attribute{Name: "address", Kind: relation.KindString},
+		relation.Attribute{Name: "region", Kind: relation.KindString},
+		relation.Attribute{Name: "star", Kind: relation.KindInt},
+		relation.Attribute{Name: "price", Kind: relation.KindInt},
+	)
+	return relation.MustFromRows("r1", schema, [][]relation.Value{
+		{s("New Center"), s("No.5, Central Park"), s("New York"), i(3), i(299)},
+		{s("New Center Hotel"), s("No.5, Central Park"), s("New York"), i(3), i(299)},
+		{s("St. Regis Hotel"), s("#3, West Lake Rd."), s("Boston"), i(3), i(319)},
+		{s("St. Regis"), s("#3, West Lake Rd."), s("Chicago, MA"), i(3), i(319)},
+		{s("West Wood Hotel"), s("Fifth Avenue, 61st Street"), s("Chicago"), i(4), i(499)},
+		{s("West Wood"), s("Fifth Avenue, 61st Street"), s("Chicago, IL"), i(4), i(499)},
+		{s("Christina Hotel"), s("No.7, West Lake Rd."), s("Boston, MA"), i(5), i(599)},
+		{s("Christina"), s("#7, West Lake Rd."), s("San Francisco"), i(5), i(0)},
+	})
+}
+
+// Table5 returns the paper's Table 5: relation r5 where address → region
+// almost holds (strength 2/3, probability 3/4, g3 error 1/4) while
+// name → address does not clearly hold (strength 1/2, probability 1/2,
+// g3 error 1/2). Rows 0..3 are tuples t1..t4.
+func Table5() *relation.Relation {
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "name", Kind: relation.KindString},
+		relation.Attribute{Name: "address", Kind: relation.KindString},
+		relation.Attribute{Name: "region", Kind: relation.KindString},
+		relation.Attribute{Name: "rate", Kind: relation.KindInt},
+	)
+	return relation.MustFromRows("r5", schema, [][]relation.Value{
+		{s("Hyatt"), s("175 North Jackson Street"), s("Jackson"), i(230)},
+		{s("Hyatt"), s("175 North Jackson Street"), s("Jackson"), i(250)},
+		{s("Hyatt"), s("6030 Gateway Boulevard E"), s("El Paso"), i(189)},
+		{s("Hyatt"), s("6030 Gateway Boulevard E"), s("El Paso, TX"), i(189)},
+	})
+}
+
+// Table6 returns the paper's Table 6: relation r6 with tuples from two
+// heterogeneous sources s1 and s2, driving the §3 examples (mfd1, ned1,
+// dd1/dd2, pac1, ffd1, md1). Rows 0..5 are tuples t1..t6.
+func Table6() *relation.Relation {
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "source", Kind: relation.KindString},
+		relation.Attribute{Name: "name", Kind: relation.KindString},
+		relation.Attribute{Name: "street", Kind: relation.KindString},
+		relation.Attribute{Name: "address", Kind: relation.KindString},
+		relation.Attribute{Name: "region", Kind: relation.KindString},
+		relation.Attribute{Name: "zip", Kind: relation.KindString},
+		relation.Attribute{Name: "price", Kind: relation.KindInt},
+		relation.Attribute{Name: "tax", Kind: relation.KindInt},
+	)
+	return relation.MustFromRows("r6", schema, [][]relation.Value{
+		{s("s1"), s("NC"), s("CPark"), s("#5, Central Park"), s("New York"), s("10041"), i(299), i(29)},
+		{s("s2"), s("NC"), s("12th St."), s("#2 Ave, 12th St."), s("San Jose"), s("95102"), i(300), i(20)},
+		{s("s1"), s("Regis"), s("CPark"), s("#9, Central Park"), s("New York"), s("10041"), i(319), i(31)},
+		{s("s2"), s("Chris"), s("61st St."), s("#5 Ave, 61st St."), s("Chicago"), s("60601"), i(499), i(49)},
+		{s("s2"), s("WD"), s("12th St."), s("#6 Ave, 12th St."), s("San Jose"), s("95102"), i(399), i(27)},
+		{s("s1"), s("NC"), s("12th Str"), s("#2 Aven, 12th St."), s("San Jose"), s("95102"), i(300), i(20)},
+	})
+}
+
+// Table7 returns the paper's Table 7: relation r7 with multiple numerical
+// attributes on hotel rates, driving the §4 examples (ofd1, od1, dc1, sd1).
+// Rows 0..3 are tuples t1..t4.
+func Table7() *relation.Relation {
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "nights", Kind: relation.KindInt},
+		relation.Attribute{Name: "avg/night", Kind: relation.KindInt},
+		relation.Attribute{Name: "subtotal", Kind: relation.KindInt},
+		relation.Attribute{Name: "taxes", Kind: relation.KindInt},
+	)
+	return relation.MustFromRows("r7", schema, [][]relation.Value{
+		{i(1), i(190), i(190), i(38)},
+		{i(2), i(185), i(370), i(74)},
+		{i(3), i(180), i(540), i(108)},
+		{i(4), i(175), i(700), i(140)},
+	})
+}
+
+// Dataspace returns the 3-tuple dataspace of §3.4.1 used by the comparable
+// dependency example cd1, with synonym attribute pairs (region, city) and
+// (addr, post). Absent attributes are null — dataspaces are schemaless, and
+// the co-existing heterogeneous schemas are folded into one wide relation.
+func Dataspace() *relation.Relation {
+	schema := relation.Strings("name", "region", "city", "addr", "post")
+	n := relation.Null(relation.KindString)
+	return relation.MustFromRows("dataspace", schema, [][]relation.Value{
+		{s("Alice"), s("Petersburg"), n, s("#7 T Avenue"), n},
+		{s("Alice"), n, s("St Petersburg"), n, s("#7 T Avenue")},
+		{s("Alex"), s("St Petersburg"), n, n, s("No 7 T Ave")},
+	})
+}

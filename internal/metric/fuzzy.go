@@ -1,0 +1,73 @@
+package metric
+
+import "deptree/internal/relation"
+
+// Resemblance is a fuzzy resemblance relation EQUAL µ_EQ(a,b) ∈ [0,1] as
+// used by fuzzy functional dependencies (paper §3.6.1): 1 means fully equal,
+// 0 fully distinct, and intermediate values grade approximate equality.
+type Resemblance interface {
+	// Eq returns µ_EQ(a, b) in [0,1].
+	Eq(a, b relation.Value) float64
+	// Name identifies the resemblance in rendered dependencies.
+	Name() string
+}
+
+// CrispEqual is the classical {0,1} resemblance: µ_EQ = 1 iff values are
+// equal. Under CrispEqual an FFD degenerates to an FD, witnessing the
+// FD→FFD edge of the family tree.
+type CrispEqual struct{}
+
+// Eq implements Resemblance.
+func (CrispEqual) Eq(a, b relation.Value) float64 {
+	if a.Equal(b) {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Resemblance.
+func (CrispEqual) Name() string { return "crisp" }
+
+// InverseNumeric is the paper's running FFD example (§3.6.1):
+// µ_EQ(a,b) = 1 / (1 + β·|a−b|) on numeric values. Larger β makes the
+// relation stricter. Non-numeric operands resemble iff equal.
+type InverseNumeric struct {
+	Beta float64
+}
+
+// Eq implements Resemblance.
+func (m InverseNumeric) Eq(a, b relation.Value) float64 {
+	if a.IsNumeric() && b.IsNumeric() && !a.IsNull() && !b.IsNull() {
+		return 1 / (1 + m.Beta*a.Distance(b))
+	}
+	return CrispEqual{}.Eq(a, b)
+}
+
+// Name implements Resemblance.
+func (m InverseNumeric) Name() string { return "inverse-numeric" }
+
+// ScaledMetric turns any Metric into a resemblance via
+// µ_EQ(a,b) = max(0, 1 − d(a,b)/Scale). Scale must be > 0.
+type ScaledMetric struct {
+	M     Metric
+	Scale float64
+}
+
+// Eq implements Resemblance.
+func (m ScaledMetric) Eq(a, b relation.Value) float64 {
+	d := m.M.Distance(a, b)
+	if d != d { // NaN: incomparable, resemble iff both null
+		if a.IsNull() && b.IsNull() {
+			return 1
+		}
+		return 0
+	}
+	v := 1 - d/m.Scale
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Name implements Resemblance.
+func (m ScaledMetric) Name() string { return "scaled-" + m.M.Name() }

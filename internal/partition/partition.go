@@ -1,0 +1,197 @@
+// Package partition implements stripped partitions (position list indices)
+// as introduced by TANE [53],[54], the workhorse data structure for
+// discovering and validating equality-based dependencies: FDs, AFDs (g3
+// error), CFDs, keys, and the counting measures of SFDs and PFDs.
+//
+// A partition π_X groups rows with equal X-values into equivalence classes.
+// A *stripped* partition drops singleton classes, since a row alone in its
+// class can never participate in a violation.
+package partition
+
+import (
+	"sort"
+
+	"deptree/internal/attrset"
+	"deptree/internal/relation"
+)
+
+// Partition is a stripped partition π_X over the rows of a relation.
+type Partition struct {
+	// classes holds the equivalence classes with ≥ 2 rows, each sorted
+	// ascending.
+	classes [][]int
+	// n is the total number of rows in the underlying relation.
+	n int
+	// card is |π_X| counting stripped singletons, i.e. the number of
+	// distinct X-values.
+	card int
+}
+
+// FromCodes builds the stripped partition of rows grouped by equal codes.
+func FromCodes(codes []int, card int) *Partition {
+	buckets := make([][]int, card)
+	for row, c := range codes {
+		buckets[c] = append(buckets[c], row)
+	}
+	p := &Partition{n: len(codes), card: card}
+	for _, b := range buckets {
+		if len(b) > 1 {
+			p.classes = append(p.classes, b)
+		}
+	}
+	return p
+}
+
+// Build computes π_X for the attribute set x over r.
+func Build(r *relation.Relation, x attrset.Set) *Partition {
+	if x.IsEmpty() {
+		// π_∅ has a single class containing every row.
+		all := make([]int, r.Rows())
+		for i := range all {
+			all[i] = i
+		}
+		p := &Partition{n: r.Rows(), card: 1}
+		if len(all) > 1 {
+			p.classes = [][]int{all}
+		}
+		if len(all) <= 1 {
+			p.card = len(all)
+		}
+		return p
+	}
+	if x.Len() == 1 {
+		codes, card := r.Codes(x.First())
+		return FromCodes(codes, card)
+	}
+	codes, card := r.GroupCodes(x.Cols())
+	return FromCodes(codes, card)
+}
+
+// NumRows returns the number of rows of the underlying relation.
+func (p *Partition) NumRows() int { return p.n }
+
+// NumClasses returns the number of stripped (size ≥ 2) classes.
+func (p *Partition) NumClasses() int { return len(p.classes) }
+
+// Cardinality returns |π_X|: the number of distinct X-values, singletons
+// included.
+func (p *Partition) Cardinality() int { return p.card }
+
+// Classes returns the stripped classes. Callers must not modify them.
+func (p *Partition) Classes() [][]int { return p.classes }
+
+// Size returns ||π||, the total number of rows covered by stripped classes.
+func (p *Partition) Size() int {
+	total := 0
+	for _, c := range p.classes {
+		total += len(c)
+	}
+	return total
+}
+
+// Error returns e(X) = (||π|| − |stripped classes|) / n, TANE's measure of
+// how far X is from being a key: the minimum fraction of rows to remove so
+// that X has no duplicate values.
+func (p *Partition) Error() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return float64(p.Size()-len(p.classes)) / float64(p.n)
+}
+
+// IsKey reports whether X is a (super)key, i.e. no two rows agree on X.
+func (p *Partition) IsKey() bool { return len(p.classes) == 0 }
+
+// Product computes π_{X∪Y} = π_X · π_Y. This is the TANE refinement step:
+// rows are in the same product class iff they are in the same class in both
+// operands.
+func (p *Partition) Product(q *Partition) *Partition {
+	// probe[row] = class index of row in p (only rows in stripped classes).
+	probe := make(map[int]int, p.Size())
+	for ci, c := range p.classes {
+		for _, row := range c {
+			probe[row] = ci
+		}
+	}
+	type cell struct{ pc, qc int }
+	groups := make(map[cell][]int)
+	for qi, c := range q.classes {
+		for _, row := range c {
+			if pc, ok := probe[row]; ok {
+				groups[cell{pc, qi}] = append(groups[cell{pc, qi}], row)
+			}
+		}
+	}
+	out := &Partition{n: p.n}
+	covered := 0
+	for _, g := range groups {
+		if len(g) > 1 {
+			sort.Ints(g)
+			out.classes = append(out.classes, g)
+			covered += len(g)
+		}
+	}
+	sortClasses(out.classes)
+	// Distinct values of X∪Y = singletons + stripped classes. Rows covered
+	// by ≥2-classes contribute one value per class; all other rows are
+	// singletons in the product.
+	out.card = p.n - covered + len(out.classes)
+	return out
+}
+
+// sortClasses orders classes by first element so results are deterministic.
+func sortClasses(cs [][]int) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i][0] < cs[j][0] })
+}
+
+// Refines reports whether π_X refines π_{X∪A}; by TANE's key lemma the FD
+// X→A holds iff |π_X| = |π_{X∪A}|, equivalently e(X) = e(X∪A).
+func Refines(px, pxa *Partition) bool {
+	return px.card == pxa.card
+}
+
+// G3 computes the g3 error of the FD X→A from π_X and the codes of column A:
+// the minimum fraction of rows to delete so the FD holds exactly
+// (paper §2.3.1). For each class of π_X, all rows except those with the
+// majority A-value must go.
+func (p *Partition) G3(codesA []int) float64 {
+	if p.n == 0 {
+		return 0
+	}
+	violating := 0
+	counts := make(map[int]int)
+	for _, class := range p.classes {
+		for k := range counts {
+			delete(counts, k)
+		}
+		max := 0
+		for _, row := range class {
+			counts[codesA[row]]++
+			if counts[codesA[row]] > max {
+				max = counts[codesA[row]]
+			}
+		}
+		violating += len(class) - max
+	}
+	return float64(violating) / float64(p.n)
+}
+
+// ViolatingPairs enumerates, for the FD X→A, up to limit pairs of rows that
+// agree on X but disagree on A (limit ≤ 0 means no limit). Pairs are
+// reported with the smaller row first.
+func (p *Partition) ViolatingPairs(codesA []int, limit int) [][2]int {
+	var out [][2]int
+	for _, class := range p.classes {
+		for i := 0; i < len(class); i++ {
+			for j := i + 1; j < len(class); j++ {
+				if codesA[class[i]] != codesA[class[j]] {
+					out = append(out, [2]int{class[i], class[j]})
+					if limit > 0 && len(out) >= limit {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// ReadCSV decodes a relation from CSV. The first record is the header. Kinds
+// gives the type per column; if nil, every column is read as a string.
+func ReadCSV(name string, src io.Reader, kinds []Kind) (*Relation, error) {
+	cr := csv.NewReader(src)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read CSV header: %w", err)
+	}
+	if kinds == nil {
+		kinds = make([]Kind, len(header))
+	}
+	if len(kinds) != len(header) {
+		return nil, fmt.Errorf("relation: %d kinds for %d header columns", len(kinds), len(header))
+	}
+	attrs := make([]Attribute, len(header))
+	for i, h := range header {
+		attrs[i] = Attribute{Name: h, Kind: kinds[i]}
+	}
+	r := New(name, NewSchema(attrs...))
+	row := make([]Value, len(header))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		for c, field := range rec {
+			v, err := Parse(field, kinds[c])
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d column %s: %w", line, header[c], err)
+			}
+			row[c] = v
+		}
+		if err := r.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// WriteCSV encodes the relation as CSV with a header record.
+func WriteCSV(r *Relation, dst io.Writer) error {
+	cw := csv.NewWriter(dst)
+	if err := cw.Write(r.Schema().Names()); err != nil {
+		return fmt.Errorf("relation: write CSV header: %w", err)
+	}
+	rec := make([]string, r.Cols())
+	for i := 0; i < r.Rows(); i++ {
+		for c := 0; c < r.Cols(); c++ {
+			v := r.Value(i, c)
+			if v.IsNull() {
+				rec[c] = ""
+			} else {
+				rec[c] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("relation: write CSV row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,126 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if KindString.String() != "string" || KindFloat.String() != "float" || KindInt.String() != "int" {
+		t.Error("kind names")
+	}
+	if !strings.Contains(Kind(9).String(), "Kind(9)") {
+		t.Error("unknown kind")
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("hi"), "hi"},
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Null(KindString), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSetValueKindPanics(t *testing.T) {
+	s := NewSchema(Attribute{Name: "n", Kind: KindInt})
+	r := MustFromRows("p", s, [][]Value{{Int(1)}})
+	defer func() {
+		if recover() == nil {
+			t.Error("string into int column should panic")
+		}
+	}()
+	r.SetValue(0, 0, String("oops"))
+}
+
+func TestSetValueNullAndCrossNumeric(t *testing.T) {
+	s := NewSchema(Attribute{Name: "n", Kind: KindInt})
+	r := MustFromRows("p", s, [][]Value{{Int(1)}})
+	r.SetValue(0, 0, Null(KindInt))
+	if !r.Value(0, 0).IsNull() {
+		t.Error("null write failed")
+	}
+	r.SetValue(0, 0, Float(2)) // numeric cross-kind allowed
+	if r.Value(0, 0).Num() != 2 {
+		t.Error("cross-numeric write failed")
+	}
+}
+
+func TestSchemaAttrsAndString(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "a", Kind: KindString},
+		Attribute{Name: "b", Kind: KindInt},
+	)
+	attrs := s.Attrs()
+	if len(attrs) != 2 || attrs[1].Name != "b" {
+		t.Errorf("Attrs = %v", attrs)
+	}
+	attrs[0].Name = "mutated"
+	if s.Attr(0).Name != "a" {
+		t.Error("Attrs must return a copy")
+	}
+	if got := s.String(); got != "(a string, b int)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	s := Strings("a")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on missing attribute should panic")
+		}
+	}()
+	s.MustIndex("zzz")
+}
+
+func TestColumnAccessor(t *testing.T) {
+	s := Strings("a")
+	r := MustFromRows("c", s, [][]Value{{String("x")}, {String("y")}})
+	col := r.Column(0)
+	if len(col) != 2 || !col[1].Equal(String("y")) {
+		t.Errorf("Column = %v", col)
+	}
+}
+
+func TestFromRowsError(t *testing.T) {
+	s := Strings("a")
+	if _, err := FromRows("bad", s, [][]Value{{String("x"), String("y")}}); err == nil {
+		t.Error("wide row accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromRows should panic on error")
+		}
+	}()
+	MustFromRows("bad", s, [][]Value{{Int(1)}})
+}
+
+func TestWriteCSVNulls(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "a", Kind: KindString},
+		Attribute{Name: "n", Kind: KindFloat},
+	)
+	r := MustFromRows("nulls", s, [][]Value{{Null(KindString), Null(KindFloat)}})
+	var buf bytes.Buffer
+	if err := WriteCSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("nulls", &buf, []Kind{KindString, KindFloat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Value(0, 0).IsNull() || !back.Value(0, 1).IsNull() {
+		t.Error("nulls did not round-trip through CSV")
+	}
+}

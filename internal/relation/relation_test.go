@@ -1,0 +1,310 @@
+package relation
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{String(""), String(""), true},
+		{Int(3), Int(3), true},
+		{Int(3), Float(3), true},
+		{Float(3.5), Float(3.5), true},
+		{Float(3.5), Int(3), false},
+		{String("3"), Int(3), false},
+		{Null(KindString), Null(KindInt), true},
+		{Null(KindString), String(""), false},
+		{Null(KindFloat), Float(0), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Float(2), 0},
+		{Float(1.5), Int(2), -1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Null(KindInt), Int(-100), -1},
+		{Int(-100), Null(KindInt), 1},
+		{Null(KindInt), Null(KindString), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		va, vb := Float(a), Float(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		va, vb := String(a), String(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueKeyMatchesEqual(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := String(a), String(b)
+		return va.Equal(vb) == (va.Key() == vb.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		va, vb := Float(a), Float(b)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return va.Equal(vb) == (va.Key() == vb.Key())
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueDistance(t *testing.T) {
+	if d := Int(3).Distance(Int(7)); d != 4 {
+		t.Errorf("Distance(3,7) = %v, want 4", d)
+	}
+	if d := Float(1.5).Distance(Float(-1.5)); d != 3 {
+		t.Errorf("Distance(1.5,-1.5) = %v, want 3", d)
+	}
+	if d := String("a").Distance(Int(1)); !math.IsNaN(d) {
+		t.Errorf("Distance(string, int) = %v, want NaN", d)
+	}
+	if d := Null(KindInt).Distance(Int(1)); !math.IsNaN(d) {
+		t.Errorf("Distance(null, int) = %v, want NaN", d)
+	}
+}
+
+func TestParse(t *testing.T) {
+	v, err := Parse("3.25", KindFloat)
+	if err != nil || !v.Equal(Float(3.25)) {
+		t.Errorf("Parse float: %v, %v", v, err)
+	}
+	v, err = Parse("42", KindInt)
+	if err != nil || !v.Equal(Int(42)) {
+		t.Errorf("Parse int: %v, %v", v, err)
+	}
+	v, err = Parse("hi", KindString)
+	if err != nil || !v.Equal(String("hi")) {
+		t.Errorf("Parse string: %v, %v", v, err)
+	}
+	v, err = Parse("", KindFloat)
+	if err != nil || !v.IsNull() {
+		t.Errorf("Parse empty: %v, %v", v, err)
+	}
+	if _, err := Parse("abc", KindInt); err == nil {
+		t.Error("Parse(abc, int) should fail")
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := NewSchema(
+		Attribute{Name: "name", Kind: KindString},
+		Attribute{Name: "price", Kind: KindInt},
+	)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Index("price") != 1 || s.Index("missing") != -1 {
+		t.Error("Index lookup failed")
+	}
+	if got := s.MustIndex("name"); got != 0 {
+		t.Errorf("MustIndex(name) = %d", got)
+	}
+	if _, err := s.Indices("name", "nope"); err == nil {
+		t.Error("Indices with unknown name should fail")
+	}
+	p := s.Project([]int{1})
+	if p.Len() != 1 || p.Attr(0).Name != "price" {
+		t.Errorf("Project: %v", p)
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate attribute should panic")
+		}
+	}()
+	NewSchema(Attribute{Name: "a"}, Attribute{Name: "a"})
+}
+
+func testRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := NewSchema(
+		Attribute{Name: "name", Kind: KindString},
+		Attribute{Name: "city", Kind: KindString},
+		Attribute{Name: "price", Kind: KindInt},
+	)
+	return MustFromRows("r", s, [][]Value{
+		{String("a"), String("NY"), Int(100)},
+		{String("b"), String("NY"), Int(200)},
+		{String("a"), String("LA"), Int(100)},
+		{String("c"), String("SF"), Int(50)},
+	})
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := testRelation(t)
+	if r.Rows() != 4 || r.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", r.Rows(), r.Cols())
+	}
+	if !r.Value(2, 1).Equal(String("LA")) {
+		t.Errorf("Value(2,1) = %v", r.Value(2, 1))
+	}
+	tup := r.Tuple(3)
+	if !tup[0].Equal(String("c")) || !tup[2].Equal(Int(50)) {
+		t.Errorf("Tuple(3) = %v", tup)
+	}
+}
+
+func TestRelationAppendErrors(t *testing.T) {
+	r := testRelation(t)
+	if err := r.Append([]Value{String("x")}); err == nil {
+		t.Error("short row should fail")
+	}
+	if err := r.Append([]Value{Int(1), String("NY"), Int(1)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if err := r.Append([]Value{Null(KindString), String("NY"), Float(3)}); err != nil {
+		t.Errorf("null + numeric cross-kind should be accepted: %v", err)
+	}
+}
+
+func TestRelationCloneIsDeep(t *testing.T) {
+	r := testRelation(t)
+	c := r.Clone()
+	c.SetValue(0, 0, String("mutated"))
+	if r.Value(0, 0).Equal(String("mutated")) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestRelationProjectSelect(t *testing.T) {
+	r := testRelation(t)
+	p := r.Project([]int{2, 0})
+	if p.Cols() != 2 || p.Schema().Attr(0).Name != "price" {
+		t.Fatalf("Project schema: %v", p.Schema())
+	}
+	if !p.Value(1, 0).Equal(Int(200)) {
+		t.Errorf("Project value: %v", p.Value(1, 0))
+	}
+	s := r.Select(func(row int) bool { return r.Value(row, 1).Equal(String("NY")) })
+	if s.Rows() != 2 {
+		t.Errorf("Select rows = %d, want 2", s.Rows())
+	}
+}
+
+func TestRelationSortedIndex(t *testing.T) {
+	r := testRelation(t)
+	idx := r.SortedIndex([]int{2})
+	want := []int{3, 0, 2, 1}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("SortedIndex = %v, want %v", idx, want)
+		}
+	}
+	// Stable tie-break: rows 0 and 2 share price 100 and keep input order.
+	idx2 := r.SortedIndex([]int{2, 0})
+	if idx2[1] != 0 || idx2[2] != 2 {
+		t.Errorf("SortedIndex with tiebreak = %v", idx2)
+	}
+}
+
+func TestRelationCodes(t *testing.T) {
+	r := testRelation(t)
+	codes, card := r.Codes(0)
+	if card != 3 {
+		t.Fatalf("card = %d, want 3", card)
+	}
+	if codes[0] != codes[2] || codes[0] == codes[1] {
+		t.Errorf("codes = %v", codes)
+	}
+	gcodes, gcard := r.GroupCodes([]int{0, 2})
+	if gcard != 3 {
+		t.Errorf("group card = %d, want 3", gcard)
+	}
+	if gcodes[0] != gcodes[2] {
+		t.Errorf("group codes = %v", gcodes)
+	}
+	if n := r.DistinctCount([]int{1}); n != 3 {
+		t.Errorf("DistinctCount(city) = %d, want 3", n)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := testRelation(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ReadCSV("r", &buf, []Kind{KindString, KindString, KindInt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Rows() != r.Rows() || r2.Cols() != r.Cols() {
+		t.Fatalf("round-trip shape %dx%d", r2.Rows(), r2.Cols())
+	}
+	for i := 0; i < r.Rows(); i++ {
+		for c := 0; c < r.Cols(); c++ {
+			if !r.Value(i, c).Equal(r2.Value(i, c)) {
+				t.Errorf("cell (%d,%d): %v != %v", i, c, r.Value(i, c), r2.Value(i, c))
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("r", strings.NewReader("a,b\n1"), nil); err == nil {
+		t.Error("ragged CSV should fail")
+	}
+	if _, err := ReadCSV("r", strings.NewReader("a\nx"), []Kind{KindInt}); err == nil {
+		t.Error("non-numeric int column should fail")
+	}
+	if _, err := ReadCSV("r", strings.NewReader(""), nil); err == nil {
+		t.Error("empty input should fail on header")
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := testRelation(t)
+	s := r.String()
+	if !strings.Contains(s, "price") || !strings.Contains(s, "NY") {
+		t.Errorf("String() missing content:\n%s", s)
+	}
+}

@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named, typed column of a relation scheme.
+type Attribute struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is a relation scheme R: an ordered list of attributes with unique
+// names. Schemas are immutable after construction.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. It panics on
+// duplicate attribute names: schemas are static program data and a duplicate
+// is a programming error, not a runtime condition.
+func NewSchema(attrs ...Attribute) *Schema {
+	s := &Schema{attrs: append([]Attribute(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a.Name]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q in schema", a.Name))
+		}
+		s.index[a.Name] = i
+	}
+	return s
+}
+
+// Strings builds a schema of string attributes with the given names.
+func Strings(names ...string) *Schema {
+	attrs := make([]Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = Attribute{Name: n, Kind: KindString}
+	}
+	return NewSchema(attrs...)
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute { return append([]Attribute(nil), s.attrs...) }
+
+// Names returns the attribute names in order.
+func (s *Schema) Names() []string {
+	names := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Index returns the position of the named attribute, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is Index but panics on a missing attribute. Use it for
+// statically-known attribute names (fixtures, tests, examples).
+func (s *Schema) MustIndex(name string) int {
+	i := s.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: no attribute %q in schema (%s)", name, strings.Join(s.Names(), ", ")))
+	}
+	return i
+}
+
+// Indices maps attribute names to positions, failing on the first unknown
+// name.
+func (s *Schema) Indices(names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j := s.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("relation: no attribute %q in schema", n)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// Project returns a new schema with the attributes at the given positions.
+func (s *Schema) Project(cols []int) *Schema {
+	attrs := make([]Attribute, len(cols))
+	for i, c := range cols {
+		attrs[i] = s.attrs[c]
+	}
+	return NewSchema(attrs...)
+}
+
+// String renders the schema as "R(name kind, ...)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString("(")
+	for i, a := range s.attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", a.Name, a.Kind)
+	}
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package relation
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func statsFixture(t *testing.T) *Relation {
+	t.Helper()
+	s := NewSchema(
+		Attribute{Name: "city", Kind: KindString},
+		Attribute{Name: "price", Kind: KindInt},
+		Attribute{Name: "id", Kind: KindString},
+	)
+	return MustFromRows("st", s, [][]Value{
+		{String("NY"), Int(100), String("a")},
+		{String("NY"), Int(250), String("b")},
+		{String("LA"), Int(50), String("c")},
+		{Null(KindString), Int(250), String("d")},
+	})
+}
+
+func TestStatsBasics(t *testing.T) {
+	r := statsFixture(t)
+	stats := Stats(r, 2)
+	city := stats[0]
+	if city.Distinct != 2 || city.Nulls != 1 || city.Rows != 4 {
+		t.Errorf("city stats = %+v", city)
+	}
+	if !math.IsNaN(city.Min) {
+		t.Error("string column must have NaN range")
+	}
+	if len(city.TopValues) != 2 || !city.TopValues[0].Value.Equal(String("NY")) || city.TopValues[0].Count != 2 {
+		t.Errorf("city top = %v", city.TopValues)
+	}
+	price := stats[1]
+	if price.Min != 50 || price.Max != 250 || price.Distinct != 3 {
+		t.Errorf("price stats = %+v", price)
+	}
+	id := stats[2]
+	if id.Uniqueness() != 1 {
+		t.Errorf("id uniqueness = %v", id.Uniqueness())
+	}
+	if city.Uniqueness() != 2.0/3 {
+		t.Errorf("city uniqueness = %v", city.Uniqueness())
+	}
+}
+
+func TestStatsEdgeCases(t *testing.T) {
+	empty := New("e", Strings("a"))
+	st := Stats(empty, 3)[0]
+	if st.Distinct != 0 || st.Uniqueness() != 0 || !st.IsConstant() {
+		t.Errorf("empty stats = %+v", st)
+	}
+	s := Strings("k")
+	con := MustFromRows("c", s, [][]Value{{String("x")}, {String("x")}})
+	cst := Stats(con, 0)[0]
+	if !cst.IsConstant() || len(cst.TopValues) != 0 {
+		t.Errorf("constant stats = %+v", cst)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	r := statsFixture(t)
+	stats := Stats(r, 1)
+	if got := stats[1].String(); !strings.Contains(got, "range [50, 250]") {
+		t.Errorf("price String = %q", got)
+	}
+	if got := stats[0].String(); !strings.Contains(got, "1 null") || !strings.Contains(got, "top NY (2)") {
+		t.Errorf("city String = %q", got)
+	}
+}
