@@ -1,0 +1,27 @@
+# Verify flow for deptree. `make verify` is the tier-1 gate plus the race
+# pass over the parallel discovery engine and every discovery package.
+
+GO ?= go
+
+.PHONY: build test race fuzz bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage for the worker pool, the shared partition cache and all
+# parallelized discovery algorithms (the differential harness runs both
+# sequential and parallel paths under the detector).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/discovery/...
+
+# Short fuzz pass over the CSV codec round trip.
+fuzz:
+	$(GO) test -run=X -fuzz=FuzzCSVRoundTrip -fuzztime=30s ./internal/relation/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+verify: build test race

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
-//	deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr ε]
+//	deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr ε] [-workers N]
 //	deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
 //	deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
 //	deptool gen      -rows N [-errors ε] [-variety v] [-dups d] [-seed s] [-out hotels.csv]
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"deptree/internal/apps/detect"
@@ -33,6 +34,7 @@ import (
 	"deptree/internal/discovery/fastfd"
 	"deptree/internal/discovery/oddisc"
 	"deptree/internal/discovery/tane"
+	"deptree/internal/engine"
 	"deptree/internal/gen"
 	"deptree/internal/relation"
 )
@@ -69,11 +71,11 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
-  deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e]
+  deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e] [-workers N]
   deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
   deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
   deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]
-  deptool profile  -in data.csv`)
+  deptool profile  -in data.csv [-workers N]`)
 }
 
 func cmdReport(args []string) error {
@@ -150,6 +152,7 @@ func cmdDiscover(args []string) error {
 	in := fs.String("in", "", "input CSV")
 	algo := fs.String("algo", "tane", "tane|fastfd|cords|fastdc|od")
 	maxErr := fs.Float64("maxerr", 0, "g3 budget for approximate FDs (tane)")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,24 +165,24 @@ func cmdDiscover(args []string) error {
 	}
 	switch *algo {
 	case "tane":
-		for _, f := range tane.Discover(r, tane.Options{MaxError: *maxErr}) {
+		for _, f := range tane.Discover(r, tane.Options{MaxError: *maxErr, Workers: *workers}) {
 			fmt.Println(f)
 		}
 	case "fastfd":
-		for _, f := range fastfd.Discover(r) {
+		for _, f := range fastfd.DiscoverOpts(r, fastfd.Options{Workers: *workers}) {
 			fmt.Println(f)
 		}
 	case "cords":
-		res := cords.Discover(r, cords.Options{})
+		res := cords.Discover(r, cords.Options{Workers: *workers})
 		for _, s := range res.SFDs {
 			fmt.Println(s)
 		}
 	case "fastdc":
-		for _, d := range fastdc.Discover(r, fastdc.Options{MaxPredicates: 2}) {
+		for _, d := range fastdc.Discover(r, fastdc.Options{MaxPredicates: 2, Workers: *workers}) {
 			fmt.Println(d)
 		}
 	case "od":
-		for _, o := range oddisc.Minimal(oddisc.Discover(r, oddisc.Options{})) {
+		for _, o := range oddisc.Minimal(oddisc.Discover(r, oddisc.Options{Workers: *workers})) {
 			fmt.Println(o)
 		}
 	default:
@@ -299,6 +302,7 @@ func cmdGen(args []string) error {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -309,6 +313,9 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The TANE passes share one partition cache: the approximate pass
+	// reuses every partition the exact pass already built.
+	cache := engine.NewPartitionCache(r, 0)
 	fmt.Printf("%s: %d tuples x %d attributes\n\n", r.Name(), r.Rows(), r.Cols())
 
 	fmt.Println("column statistics:")
@@ -321,7 +328,7 @@ func cmdProfile(args []string) error {
 	}
 	fmt.Println()
 
-	exact := tane.Discover(r, tane.Options{MaxLHS: 2})
+	exact := tane.Discover(r, tane.Options{MaxLHS: 2, Workers: *workers, Cache: cache})
 	fmt.Printf("exact minimal FDs (LHS <= 2): %d\n", len(exact))
 	for i, f := range exact {
 		if i == 10 {
@@ -331,10 +338,10 @@ func cmdProfile(args []string) error {
 		fmt.Printf("  %s\n", f)
 	}
 
-	approx := tane.Discover(r, tane.Options{MaxError: 0.05, MaxLHS: 1})
+	approx := tane.Discover(r, tane.Options{MaxError: 0.05, MaxLHS: 1, Workers: *workers, Cache: cache})
 	fmt.Printf("\napproximate FDs (g3 <= 0.05, LHS = 1): %d\n", len(approx))
 
-	soft := cords.Discover(r, cords.Options{MinStrength: 0.9})
+	soft := cords.Discover(r, cords.Options{MinStrength: 0.9, Workers: *workers})
 	flagged := 0
 	for _, c := range soft.Correlations {
 		if c.Correlated {
@@ -346,7 +353,7 @@ func cmdProfile(args []string) error {
 	consts := cfddisc.ConstantCFDs(r, cfddisc.Options{MinSupport: max(2, r.Rows()/20), MaxLHS: 1})
 	fmt.Printf("constant CFDs (support >= %d): %d\n", max(2, r.Rows()/20), len(consts))
 
-	ods := oddisc.Minimal(oddisc.Discover(r, oddisc.Options{}))
+	ods := oddisc.Minimal(oddisc.Discover(r, oddisc.Options{Workers: *workers}))
 	fmt.Printf("minimal order dependencies: %d\n", len(ods))
 	for i, o := range ods {
 		if i == 6 {
@@ -360,7 +367,7 @@ func cmdProfile(args []string) error {
 	if r.Rows() > 80 {
 		sample = r.Select(func(row int) bool { return row < 80 })
 	}
-	dcs := fastdc.Discover(sample, fastdc.Options{MaxPredicates: 2})
+	dcs := fastdc.Discover(sample, fastdc.Options{MaxPredicates: 2, Workers: *workers})
 	fmt.Printf("denial constraints (FASTDC on %d rows, <= 2 predicates): %d\n", sample.Rows(), len(dcs))
 	return nil
 }

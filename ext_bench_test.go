@@ -5,6 +5,7 @@
 package deptree
 
 import (
+	"fmt"
 	"testing"
 
 	"deptree/internal/apps/repair"
@@ -13,6 +14,7 @@ import (
 	"deptree/internal/discovery/cfddisc"
 	"deptree/internal/discovery/fastdc"
 	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/tane"
 	"deptree/internal/ext/speed"
 	"deptree/internal/gen"
 )
@@ -75,6 +77,31 @@ func BenchmarkAblationBFASTDC(b *testing.B) {
 			fastdc.DiscoverBitset(r, fastdc.Options{MaxPredicates: 2})
 		}
 	})
+}
+
+// BenchmarkEngineWorkers captures the speedup curve of the parallel
+// discovery engine over TANE and FASTDC: the same workload at 1, 2, 4 and
+// 8 workers (1 is the sequential legacy path). BENCH json diffs across
+// worker counts give the scaling figure for the Fig 3 difficulty band.
+func BenchmarkEngineWorkers(b *testing.B) {
+	taneRel := gen.Hotels(gen.HotelConfig{Rows: 300, Seed: 83, ErrorRate: 0.05, VarietyRate: 0.1})
+	dcRel := gen.Hotels(gen.HotelConfig{Rows: 70, Seed: 85, ErrorRate: 0.1})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("tane/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tane.Discover(taneRel, tane.Options{Workers: w})
+			}
+		})
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("fastdc/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fastdc.Discover(dcRel, fastdc.Options{MaxPredicates: 2, Workers: w})
+			}
+		})
+	}
 }
 
 func BenchmarkSpeedConstraint(b *testing.B) {

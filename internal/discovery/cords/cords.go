@@ -14,6 +14,7 @@ import (
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/sfd"
+	"deptree/internal/engine"
 	"deptree/internal/relation"
 )
 
@@ -34,6 +35,10 @@ type Options struct {
 	MaxCategories int
 	// Seed drives sampling.
 	Seed int64
+	// Workers fans the per-column-pair analyses out across goroutines.
+	// 0 or 1 runs the exact sequential path; the sample is drawn once up
+	// front, so the statistics are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,23 +79,31 @@ type Result struct {
 func Discover(r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	sample := sampleRows(r, opts.SampleSize, opts.Seed)
-	var res Result
 	n := r.Cols()
+	type pair struct{ c1, c2 int }
+	pairs := make([]pair, 0, n*(n-1))
 	for c1 := 0; c1 < n; c1++ {
 		for c2 := 0; c2 < n; c2++ {
-			if c1 == c2 {
-				continue
+			if c1 != c2 {
+				pairs = append(pairs, pair{c1, c2})
 			}
-			corr := analyze(r, sample, c1, c2, opts)
-			res.Correlations = append(res.Correlations, corr)
-			if corr.Strength >= opts.MinStrength {
-				res.SFDs = append(res.SFDs, sfd.SFD{
-					LHS:         attrset.Single(c1),
-					RHS:         attrset.Single(c2),
-					MinStrength: opts.MinStrength,
-					Schema:      r.Schema(),
-				})
-			}
+		}
+	}
+	pool := engine.New(max(opts.Workers, 1))
+	defer pool.Close()
+	corrs := engine.Map(pool, len(pairs), func(i int) Correlation {
+		return analyze(r, sample, pairs[i].c1, pairs[i].c2, opts)
+	})
+	var res Result
+	for _, corr := range corrs {
+		res.Correlations = append(res.Correlations, corr)
+		if corr.Strength >= opts.MinStrength {
+			res.SFDs = append(res.SFDs, sfd.SFD{
+				LHS:         attrset.Single(corr.Col1),
+				RHS:         attrset.Single(corr.Col2),
+				MinStrength: opts.MinStrength,
+				Schema:      r.Schema(),
+			})
 		}
 	}
 	return res

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"deptree/internal/deps/dc"
+	"deptree/internal/engine"
 	"deptree/internal/relation"
 )
 
@@ -29,6 +30,11 @@ type Options struct {
 	// CrossColumn enables tα.A vs tβ.B predicates between numeric columns
 	// of the same kind.
 	CrossColumn bool
+	// Workers stripes the O(n²) evidence-set construction across
+	// goroutines. 0 or 1 runs the exact sequential path; stripes are
+	// merged in row order so the evidence sets (and hence the DCs) are
+	// identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -46,7 +52,7 @@ func Discover(r *relation.Relation, opts Options) []dc.DC {
 		return nil
 	}
 	space := PredicateSpace(r, opts.CrossColumn)
-	evidence, counts := EvidenceSets(r, space)
+	evidence, counts := evidenceSetsWorkers(r, space, opts.Workers)
 	covers := minimalCovers(space, evidence, counts, opts)
 	out := make([]dc.DC, 0, len(covers))
 	for _, cover := range covers {
@@ -102,12 +108,63 @@ type evidenceKey string
 // pairs plus their multiplicities. The evidence set of a pair is the set
 // of space predicates it satisfies.
 func EvidenceSets(r *relation.Relation, space []dc.Predicate) ([][]bool, []int) {
+	return evidenceSetsWorkers(r, space, 1)
+}
+
+// evidenceSetsWorkers stripes the first-tuple index range across workers;
+// each stripe deduplicates locally, and stripes are merged in row order so
+// the resulting evidence sets are deterministic.
+func evidenceSetsWorkers(r *relation.Relation, space []dc.Predicate, workers int) ([][]bool, []int) {
+	if workers <= 1 {
+		sets, counts, _ := evidenceStripe(r, space, 0, r.Rows())
+		return sets, counts
+	}
+	pool := engine.New(workers)
+	defer pool.Close()
+	// A few stripes per worker evens out load skew between row ranges.
+	stripes := min(workers*4, r.Rows())
+	if stripes == 0 {
+		return nil, nil
+	}
+	type stripeOut struct {
+		sets   [][]bool
+		counts []int
+		keys   []evidenceKey
+	}
+	parts := engine.Map(pool, stripes, func(s int) stripeOut {
+		lo := s * r.Rows() / stripes
+		hi := (s + 1) * r.Rows() / stripes
+		sets, counts, keys := evidenceStripe(r, space, lo, hi)
+		return stripeOut{sets: sets, counts: counts, keys: keys}
+	})
 	seen := map[evidenceKey]int{}
 	var sets [][]bool
 	var counts []int
+	for _, part := range parts {
+		for i, k := range part.keys {
+			if idx, ok := seen[k]; ok {
+				counts[idx] += part.counts[i]
+				continue
+			}
+			seen[k] = len(sets)
+			sets = append(sets, part.sets[i])
+			counts = append(counts, part.counts[i])
+		}
+	}
+	return sets, counts
+}
+
+// evidenceStripe computes the deduplicated evidence sets of the ordered
+// pairs (i, j) with lo <= i < hi, j ranging over all rows. It also returns
+// the dedupe key per set so stripes can be merged.
+func evidenceStripe(r *relation.Relation, space []dc.Predicate, lo, hi int) ([][]bool, []int, []evidenceKey) {
+	seen := map[evidenceKey]int{}
+	var sets [][]bool
+	var counts []int
+	var keys []evidenceKey
 	buf := make([]bool, len(space))
 	keyBuf := make([]byte, (len(space)+7)/8)
-	for i := 0; i < r.Rows(); i++ {
+	for i := lo; i < hi; i++ {
 		for j := 0; j < r.Rows(); j++ {
 			if i == j {
 				continue
@@ -130,9 +187,10 @@ func EvidenceSets(r *relation.Relation, space []dc.Predicate) ([][]bool, []int) 
 			seen[k] = len(sets)
 			sets = append(sets, append([]bool(nil), buf...))
 			counts = append(counts, 1)
+			keys = append(keys, k)
 		}
 	}
-	return sets, counts
+	return sets, counts, keys
 }
 
 // minimalCovers finds the minimal predicate sets P such that for every

@@ -2,7 +2,9 @@
 // paper §1.4.2): depth-first FD discovery from difference sets. Agree sets
 // are computed over tuple pairs; for each candidate RHS attribute A the
 // minimal covers of the difference sets containing A yield the minimal FDs
-// X → A.
+// X → A. The per-RHS cover searches are independent and fan out across an
+// engine.Pool; results are collected in RHS order, so output is identical
+// for every worker count.
 package fastfd
 
 import (
@@ -10,13 +12,26 @@ import (
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/fd"
+	"deptree/internal/engine"
 	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
 
+// Options configures a FastFD run.
+type Options struct {
+	// Workers fans the per-RHS difference-set searches out across
+	// goroutines. 0 or 1 runs the exact sequential path.
+	Workers int
+}
+
 // Discover returns the minimal exact FDs with singleton RHS. Results agree
 // with TANE on every instance (a property the test suite checks).
 func Discover(r *relation.Relation) []fd.FD {
+	return DiscoverOpts(r, Options{})
+}
+
+// DiscoverOpts is Discover with explicit options.
+func DiscoverOpts(r *relation.Relation, opts Options) []fd.FD {
 	n := r.Cols()
 	if n == 0 || n > attrset.MaxAttrs {
 		return nil
@@ -24,16 +39,25 @@ func Discover(r *relation.Relation) []fd.FD {
 	full := attrset.Full(n)
 
 	agree := agreeSets(r)
-	var results []fd.FD
-	for a := 0; a < n; a++ {
+	// Deterministic agree-set order, shared by every RHS search.
+	agreeList := make([]attrset.Set, 0, len(agree))
+	for ag := range agree {
+		agreeList = append(agreeList, ag)
+	}
+	sort.Slice(agreeList, func(i, j int) bool { return agreeList[i] < agreeList[j] })
+
+	pool := engine.New(max(opts.Workers, 1))
+	defer pool.Close()
+	perRHS := engine.Map(pool, n, func(a int) []fd.FD {
 		// Difference sets for RHS a: D_A = {R \ ag \ {a} : pair disagrees
 		// on a}, i.e. attributes that could "explain" the disagreement.
 		var diffs []attrset.Set
-		for ag := range agree {
+		for _, ag := range agreeList {
 			if !ag.Has(a) {
 				diffs = append(diffs, full.Minus(ag).Remove(a))
 			}
 		}
+		var out []fd.FD
 		if len(diffs) == 0 {
 			// No *somewhere-agreeing* pair disagrees on a. Two cases:
 			// (1) column a is constant — then ∅ → a;
@@ -43,24 +67,28 @@ func Discover(r *relation.Relation) []fd.FD {
 			//     a (minimal) FD.
 			if r.Rows() > 0 {
 				if _, card := r.Codes(a); card == 1 {
-					results = append(results, fd.FD{LHS: attrset.Empty, RHS: attrset.Single(a), Schema: r.Schema()})
-					continue
+					return []fd.FD{{LHS: attrset.Empty, RHS: attrset.Single(a), Schema: r.Schema()}}
 				}
 			}
 			if r.Rows() > 1 {
 				for b := 0; b < n; b++ {
 					if b != a {
-						results = append(results, fd.FD{LHS: attrset.Single(b), RHS: attrset.Single(a), Schema: r.Schema()})
+						out = append(out, fd.FD{LHS: attrset.Single(b), RHS: attrset.Single(a), Schema: r.Schema()})
 					}
 				}
 			}
-			continue
+			return out
 		}
 		// Minimal covers: minimal X hitting every difference set.
 		covers := minimalHittingSets(diffs, full.Remove(a))
 		for _, x := range covers {
-			results = append(results, fd.FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()})
+			out = append(out, fd.FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()})
 		}
+		return out
+	})
+	var results []fd.FD
+	for _, fds := range perRHS {
+		results = append(results, fds...)
 	}
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].LHS != results[j].LHS {

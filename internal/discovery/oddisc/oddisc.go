@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"deptree/internal/deps/od"
+	"deptree/internal/engine"
 	"deptree/internal/relation"
 )
 
@@ -20,6 +21,11 @@ type Options struct {
 	// columns; string columns order lexicographically, which is rarely
 	// meaningful, so they are opt-in).
 	Columns []int
+	// Workers fans the pairwise O(n²) candidate checks out across
+	// goroutines. 0 or 1 runs the exact sequential path; candidates are
+	// enumerated and collected in a fixed order, so output is identical
+	// for every worker count.
+	Workers int
 }
 
 // Discover returns the valid ODs of the forms A≤ → B≤ and A≤ → B≥ over
@@ -34,22 +40,28 @@ func Discover(r *relation.Relation, opts Options) []od.OD {
 			}
 		}
 	}
-	var out []od.OD
+	var cands []od.OD
 	for _, a := range cols {
 		for _, b := range cols {
 			if a == b {
 				continue
 			}
 			for _, desc := range []bool{false, true} {
-				cand := od.OD{
+				cands = append(cands, od.OD{
 					LHS:    []od.Marked{{Col: a}},
 					RHS:    []od.Marked{{Col: b, Desc: desc}},
 					Schema: r.Schema(),
-				}
-				if cand.Holds(r) {
-					out = append(out, cand)
-				}
+				})
 			}
+		}
+	}
+	pool := engine.New(max(opts.Workers, 1))
+	defer pool.Close()
+	valid := engine.Map(pool, len(cands), func(i int) bool { return cands[i].Holds(r) })
+	var out []od.OD
+	for i, cand := range cands {
+		if valid[i] {
+			out = append(out, cand)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })

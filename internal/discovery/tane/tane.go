@@ -5,7 +5,11 @@
 //
 // The implementation follows the original pruning rules: RHS candidate sets
 // C+(X), key pruning, and apriori level generation, with partition products
-// computed incrementally level to level.
+// computed incrementally level to level through a shared
+// engine.PartitionCache. Candidate validation at each lattice level fans
+// out across an engine.Pool; per-node results are collected positionally,
+// so the discovered FD set is identical for every worker count (the
+// differential harness in internal/engine asserts this).
 package tane
 
 import (
@@ -13,6 +17,7 @@ import (
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/fd"
+	"deptree/internal/engine"
 	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
@@ -24,6 +29,15 @@ type Options struct {
 	MaxError float64
 	// MaxLHS bounds the determinant size (0 = no bound).
 	MaxLHS int
+	// Workers fans lattice-level candidate validation out across
+	// goroutines. 0 or 1 runs the exact sequential path; the output is
+	// the same either way.
+	Workers int
+	// Cache optionally supplies a shared partition cache (for example to
+	// reuse partitions across several discovery runs over the same
+	// relation). When nil a private cache is used. The cache must have
+	// been built over the same relation passed to Discover.
+	Cache *engine.PartitionCache
 }
 
 // node carries per-lattice-node state: the stripped partition π_X and the
@@ -41,6 +55,13 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 	if n == 0 || n > attrset.MaxAttrs || r.Rows() == 0 {
 		return nil
 	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = engine.NewPartitionCache(r, 0)
+	}
+	pool := engine.New(max(opts.Workers, 1))
+	defer pool.Close()
+
 	fullSet := attrset.Full(n)
 	var results []fd.FD
 
@@ -53,7 +74,7 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 	prev := make(map[attrset.Set]*node, n)
 	var constCols attrset.Set
 	for c := 0; c < n; c++ {
-		p := partition.Build(r, attrset.Single(c))
+		p := cache.Get(attrset.Single(c))
 		prev[attrset.Single(c)] = &node{part: p, cand: fullSet}
 		if r.Rows() > 0 && p.Cardinality() == 1 {
 			results = append(results, fd.FD{LHS: attrset.Empty, RHS: attrset.Single(c), Schema: r.Schema()})
@@ -69,13 +90,30 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 		if opts.MaxLHS > 0 && level > opts.MaxLHS+1 {
 			break
 		}
+		// Deterministic node order for fan-out and the pruning outputs.
+		nodes := make([]attrset.Set, 0, len(prev))
+		for x := range prev {
+			nodes = append(nodes, x)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
 		if level >= 2 {
 			// Check X\A → A for each X at this level and A ∈ X ∩ C+(X).
-			for x, info := range prev {
-				rhs := x.Intersect(info.cand)
+			// Nodes are independent: each task reads shared partitions via
+			// the cache and returns its FDs plus the updated C+(X).
+			type validated struct {
+				fds  []fd.FD
+				cand attrset.Set
+			}
+			checked := engine.Map(pool, len(nodes), func(i int) validated {
+				x := nodes[i]
+				info := prev[x]
+				cand := info.cand
+				var fds []fd.FD
+				rhs := x.Intersect(cand)
 				rhs.Each(func(a int) {
 					xa := x.Remove(a)
-					pxa := partition.Build(r, xa)
+					pxa := cache.Get(xa)
 					var valid bool
 					if opts.MaxError == 0 {
 						valid = partition.Refines(pxa, info.part)
@@ -85,27 +123,30 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 					if !valid {
 						return
 					}
-					results = append(results, fd.FD{LHS: xa, RHS: attrset.Single(a), Schema: r.Schema()})
-					info.cand = info.cand.Remove(a)
+					fds = append(fds, fd.FD{LHS: xa, RHS: attrset.Single(a), Schema: r.Schema()})
+					cand = cand.Remove(a)
 					if opts.MaxError == 0 {
-						info.cand = info.cand.Minus(fullSet.Minus(x))
+						cand = cand.Minus(fullSet.Minus(x))
 					}
 				})
+				return validated{fds: fds, cand: cand}
+			})
+			for i, x := range nodes {
+				prev[x].cand = checked[i].cand
+				results = append(results, checked[i].fds...)
 			}
 		}
 		// Prune, then generate the next level via apriori + partition
-		// products of two immediate subsets.
-		var keep []attrset.Set
-		// Deterministic node order for the key-pruning outputs.
-		nodes := make([]attrset.Set, 0, len(prev))
-		for x := range prev {
-			nodes = append(nodes, x)
+		// products of cached sub-partitions.
+		type pruned struct {
+			fds  []fd.FD
+			keep bool
 		}
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-		for _, x := range nodes {
+		outcome := engine.Map(pool, len(nodes), func(i int) pruned {
+			x := nodes[i]
 			info := prev[x]
 			if info.cand.IsEmpty() {
-				continue
+				return pruned{}
 			}
 			if opts.MaxError == 0 && info.part.IsKey() {
 				// TANE's key-pruning rule: before deleting a key node X,
@@ -115,6 +156,7 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 				// original paper phrases this via sibling C+ sets; those
 				// may themselves have been pruned, so the check is done
 				// directly on partitions.
+				var fds []fd.FD
 				info.cand.Minus(x).Each(func(a int) {
 					minimal := true
 					x.Each(func(b int) {
@@ -122,43 +164,46 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 							return
 						}
 						sub := x.Remove(b)
-						psub := partition.Build(r, sub)
-						psuba := partition.Build(r, sub.Add(a))
+						psub := cache.Get(sub)
+						psuba := cache.Get(sub.Add(a))
 						if partition.Refines(psub, psuba) {
 							minimal = false
 						}
 					})
 					if minimal {
-						results = append(results, fd.FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()})
+						fds = append(fds, fd.FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()})
 					}
 				})
-				continue
+				return pruned{fds: fds}
 			}
-			keep = append(keep, x)
+			return pruned{keep: true}
+		})
+		var keep []attrset.Set
+		for i, x := range nodes {
+			results = append(results, outcome[i].fds...)
+			if outcome[i].keep {
+				keep = append(keep, x)
+			}
 		}
-		sort.Slice(keep, func(i, j int) bool { return keep[i] < keep[j] })
-		next := make(map[attrset.Set]*node)
-		for _, x := range attrset.NextLevel(keep) {
+		cands := attrset.NextLevel(keep)
+		nexts := engine.Map(pool, len(cands), func(i int) *node {
+			x := cands[i]
 			cand := fullSet
-			var parts []*partition.Partition
 			x.ImmediateSubsets(func(sub attrset.Set) {
 				if info, ok := prev[sub]; ok {
 					cand = cand.Intersect(info.cand)
-					if len(parts) < 2 {
-						parts = append(parts, info.part)
-					}
 				}
 			})
 			if cand.IsEmpty() {
-				continue
+				return nil
 			}
-			var p *partition.Partition
-			if len(parts) == 2 {
-				p = parts[0].Product(parts[1])
-			} else {
-				p = partition.Build(r, x)
+			return &node{part: cache.Get(x), cand: cand}
+		})
+		next := make(map[attrset.Set]*node)
+		for i, x := range cands {
+			if nexts[i] != nil {
+				next[x] = nexts[i]
 			}
-			next[x] = &node{part: p, cand: cand}
 		}
 		prev = next
 		level++

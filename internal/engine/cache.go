@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"deptree/internal/attrset"
+	"deptree/internal/partition"
+	"deptree/internal/relation"
+)
+
+// PartitionCache memoizes stripped partitions π_X of one relation, keyed
+// by attribute set. It is safe for concurrent use and LRU-bounded.
+//
+// Multi-attribute partitions are constructed TANE-style as a product of
+// cached sub-partitions: π_X = π_{X\{a}} · π_{a} with a = min(X), so a
+// lattice walk that requests π_X after π_{X\{a}} pays one partition
+// product instead of a full rebuild from row values. Both construction
+// routes yield the same canonical partition (classes sorted by first row,
+// rows ascending), so cache hits never change discovery output.
+//
+// Concurrent requests for the same key are deduplicated: one goroutine
+// builds, the rest block on the entry's sync.Once and share the result.
+// An entry evicted while still referenced stays valid — eviction only
+// forgets the memo, it never mutates a partition.
+type PartitionCache struct {
+	r   *relation.Relation
+	cap int
+
+	mu      sync.Mutex
+	entries map[attrset.Set]*list.Element
+	lru     *list.List // front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	key  attrset.Set
+	once sync.Once
+	part *partition.Partition
+}
+
+// DefaultCacheCapacity bounds a PartitionCache when the caller passes a
+// non-positive capacity. It comfortably holds the live frontier (two
+// lattice levels) of the widest benchmark relations.
+const DefaultCacheCapacity = 4096
+
+// NewPartitionCache creates a cache over r holding at most capacity
+// partitions (<= 0 selects DefaultCacheCapacity).
+func NewPartitionCache(r *relation.Relation, capacity int) *PartitionCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &PartitionCache{
+		r:       r,
+		cap:     capacity,
+		entries: make(map[attrset.Set]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Relation returns the relation the cache is built over.
+func (c *PartitionCache) Relation() *relation.Relation { return c.r }
+
+// Get returns π_X, building and memoizing it (and, recursively, its
+// sub-partitions) on first request. Callers must not modify the returned
+// partition.
+func (c *PartitionCache) Get(x attrset.Set) *partition.Partition {
+	e := c.acquire(x)
+	e.once.Do(func() { e.part = c.build(x) })
+	return e.part
+}
+
+// acquire finds or inserts the entry for x, bumps it in the LRU order and
+// evicts beyond capacity.
+func (c *PartitionCache) acquire(x attrset.Set) *cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[x]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry)
+	}
+	c.misses++
+	e := &cacheEntry{key: x}
+	c.entries[x] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+	return e
+}
+
+// build constructs π_X outside the cache lock. Singletons (and π_∅) come
+// straight from the relation; larger sets are products of cached parts.
+func (c *PartitionCache) build(x attrset.Set) *partition.Partition {
+	if x.Len() <= 1 {
+		return partition.Build(c.r, x)
+	}
+	a := x.First()
+	rest := c.Get(x.Remove(a))
+	single := c.Get(attrset.Single(a))
+	return rest.Product(single)
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *PartitionCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of memoized partitions.
+func (c *PartitionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

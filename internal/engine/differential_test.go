@@ -1,0 +1,134 @@
+// Differential harness: every parallelized discovery algorithm must emit a
+// byte-identical, canonically-sorted result set for workers=1 (the
+// sequential legacy path) and workers=4. Godfrey et al.'s errata on OD
+// discovery (PAPERS.md) shows how easily discovery algorithms harbor
+// subtle completeness bugs; this harness is the safety net under every
+// parallelization and cache change in the engine.
+package engine_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"deptree/internal/discovery/cords"
+	"deptree/internal/discovery/fastdc"
+	"deptree/internal/discovery/fastfd"
+	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/tane"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+const diffWorkers = 4
+
+// corpus returns ≥20 seeded synthetic relations spanning the generator
+// families: categorical, planted-FD, hotel (variety+veracity+duplicates),
+// and numerical series. Sizes are kept small enough that the full
+// differential sweep stays fast under -race.
+func corpus() []*relation.Relation {
+	var rs []*relation.Relation
+	for seed := int64(1); seed <= 7; seed++ {
+		rs = append(rs, gen.Categorical(50, []int{2, 3, 4, 5, 3}, seed))
+		rs = append(rs, gen.WithFD(60, []int{3, 4, 5}, 0.1, seed))
+		rs = append(rs, gen.Hotels(gen.HotelConfig{
+			Rows: 40, Seed: seed,
+			ErrorRate: 0.1, VarietyRate: 0.2, DuplicateRate: 0.1,
+		}))
+	}
+	return rs
+}
+
+// render canonicalizes a result set: one fmt.Stringer per line. Discovery
+// outputs are already sorted by contract; rendering makes the comparison
+// byte-level.
+func render[T fmt.Stringer](items []T) string {
+	lines := make([]string, len(items))
+	for i, it := range items {
+		lines[i] = it.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+func assertIdentical(t *testing.T, name string, idx int, seq, par string) {
+	t.Helper()
+	if seq != par {
+		t.Errorf("%s relation #%d: workers=1 and workers=%d outputs differ\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			name, idx, diffWorkers, seq, par)
+	}
+}
+
+func TestDifferentialTANE(t *testing.T) {
+	for i, r := range corpus() {
+		seq := render(tane.Discover(r, tane.Options{Workers: 1}))
+		par := render(tane.Discover(r, tane.Options{Workers: diffWorkers}))
+		assertIdentical(t, "tane", i, seq, par)
+	}
+}
+
+func TestDifferentialTANEApproximate(t *testing.T) {
+	for i, r := range corpus() {
+		seq := render(tane.Discover(r, tane.Options{MaxError: 0.05, MaxLHS: 2, Workers: 1}))
+		par := render(tane.Discover(r, tane.Options{MaxError: 0.05, MaxLHS: 2, Workers: diffWorkers}))
+		assertIdentical(t, "tane(g3<=0.05)", i, seq, par)
+	}
+}
+
+func TestDifferentialFastFD(t *testing.T) {
+	for i, r := range corpus() {
+		seq := render(fastfd.DiscoverOpts(r, fastfd.Options{Workers: 1}))
+		par := render(fastfd.DiscoverOpts(r, fastfd.Options{Workers: diffWorkers}))
+		assertIdentical(t, "fastfd", i, seq, par)
+	}
+}
+
+func TestDifferentialFASTDC(t *testing.T) {
+	for i, r := range corpus() {
+		// FASTDC is pair-quadratic in rows and exponential in predicates;
+		// trim the instance so the sweep stays quick.
+		if r.Rows() > 25 {
+			r = r.Select(func(row int) bool { return row < 25 })
+		}
+		opts := fastdc.Options{MaxPredicates: 2}
+		opts.Workers = 1
+		seq := render(fastdc.Discover(r, opts))
+		opts.Workers = diffWorkers
+		par := render(fastdc.Discover(r, opts))
+		assertIdentical(t, "fastdc", i, seq, par)
+	}
+}
+
+// renderCORDS canonicalizes the full CORDS result, statistics included, so
+// the comparison also covers the chi-square path.
+func renderCORDS(res cords.Result) string {
+	var b strings.Builder
+	for _, s := range res.SFDs {
+		fmt.Fprintf(&b, "%s\n", s.String())
+	}
+	for _, c := range res.Correlations {
+		fmt.Fprintf(&b, "%d->%d s=%.9f chi=%.9f corr=%v\n", c.Col1, c.Col2, c.Strength, c.ChiSquare, c.Correlated)
+	}
+	return b.String()
+}
+
+func TestDifferentialCORDS(t *testing.T) {
+	for i, r := range corpus() {
+		seq := renderCORDS(cords.Discover(r, cords.Options{SampleSize: 30, Seed: int64(i), Workers: 1}))
+		par := renderCORDS(cords.Discover(r, cords.Options{SampleSize: 30, Seed: int64(i), Workers: diffWorkers}))
+		assertIdentical(t, "cords", i, seq, par)
+	}
+}
+
+func TestDifferentialOD(t *testing.T) {
+	// The hotel corpus exercises numeric columns; add monotone series,
+	// which are dense in valid ODs.
+	rs := corpus()
+	for seed := int64(1); seed <= 5; seed++ {
+		rs = append(rs, gen.Series(60, 1, 3, 0.1, seed))
+	}
+	for i, r := range rs {
+		seq := render(oddisc.Discover(r, oddisc.Options{Workers: 1}))
+		par := render(oddisc.Discover(r, oddisc.Options{Workers: diffWorkers}))
+		assertIdentical(t, "oddisc", i, seq, par)
+	}
+}

@@ -1,0 +1,153 @@
+// Package engine is the shared parallel-execution substrate for the
+// discovery algorithms: a reusable bounded worker pool with context
+// cancellation, deterministic fan-out helpers, and a concurrency-safe
+// memoizing partition cache (see cache.go).
+//
+// The paper's Fig 3 places FD/CFD/OD/DC discovery in the
+// exponential-lattice difficulty band; the engine lets each level or
+// stripe of those searches fan out across goroutines while preserving a
+// hard determinism contract: for any worker count, a discovery run must
+// emit exactly the same dependency set as the sequential run. The fan-out
+// helpers support that contract by assigning every task a stable index and
+// collecting results positionally, so scheduling order never leaks into
+// output order. internal/engine/differential_test.go enforces the contract
+// for every parallelized algorithm.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. A Pool with one worker executes every
+// task inline on the submitting goroutine — the exact sequential legacy
+// path, with no goroutines and no channel traffic — so algorithms can use
+// one code path for both modes.
+//
+// Tasks submitted to the same Pool must not themselves submit to that
+// Pool: with every worker blocked on a full queue the pool would deadlock.
+// The discovery algorithms fan out one loop at a time, so nesting never
+// arises there.
+type Pool struct {
+	workers int
+	tasks   chan func()
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+// New creates a pool with the given number of workers and a default
+// bounded queue. workers <= 0 selects runtime.NumCPU(); workers == 1 is
+// the inline sequential mode.
+func New(workers int) *Pool {
+	return NewContext(context.Background(), workers, 0)
+}
+
+// NewContext creates a pool whose tasks observe ctx: once ctx is
+// cancelled, queued-but-unstarted tasks become no-ops and Submit returns
+// the context error. queue bounds the number of submitted-but-unstarted
+// tasks (<= 0 selects 2×workers).
+func NewContext(ctx context.Context, workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	p := &Pool{workers: workers, tasks: make(chan func(), queue), ctx: ctx, cancel: cancel}
+	if workers > 1 {
+		p.wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer p.wg.Done()
+				for task := range p.tasks {
+					task()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit runs the task on a worker (or inline for a one-worker pool). It
+// blocks while the queue is full and returns the context error if the
+// pool is cancelled first. Submit must not be called after Close.
+func (p *Pool) Submit(task func()) error {
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
+	if p.workers <= 1 {
+		task()
+		return nil
+	}
+	select {
+	case p.tasks <- task:
+		return nil
+	case <-p.ctx.Done():
+		return p.ctx.Err()
+	}
+}
+
+// Cancel aborts the pool: queued tasks wrapped by ForEach become no-ops
+// and further Submits fail. Workers stay alive until Close.
+func (p *Pool) Cancel() { p.cancel() }
+
+// Close cancels the context, stops the workers and waits for them to
+// drain. It is safe to call more than once.
+func (p *Pool) Close() {
+	p.once.Do(func() {
+		p.cancel()
+		close(p.tasks)
+		p.wg.Wait()
+	})
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanned out across the pool's
+// workers, and blocks until all calls return. With one worker the calls
+// happen inline in index order. It returns the context error if the pool
+// was cancelled before every index ran; indices not yet started when the
+// cancellation lands are skipped.
+func (p *Pool) ForEach(n int, fn func(i int)) error {
+	if p == nil || p.workers <= 1 {
+		for i := 0; i < n; i++ {
+			if p != nil && p.ctx.Err() != nil {
+				return p.ctx.Err()
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		err := p.Submit(func() {
+			defer wg.Done()
+			if p.ctx.Err() == nil {
+				fn(i)
+			}
+		})
+		if err != nil {
+			wg.Done()
+			break
+		}
+	}
+	wg.Wait()
+	return p.ctx.Err()
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results positionally: out[i] = fn(i) regardless of scheduling order.
+// This is the primitive the discovery algorithms build their determinism
+// guarantee on.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -98,8 +98,15 @@ func Hotels(cfg HotelConfig) *relation.Relation {
 // are NOT in the set — they are correct data in an alternative
 // representation, which is exactly the precision trap of §1.2.
 func HotelsWithTruth(cfg HotelConfig) (*relation.Relation, map[int]bool) {
+	return HotelsWithTruthRand(rand.New(rand.NewSource(cfg.Seed)), cfg)
+}
+
+// HotelsWithTruthRand is HotelsWithTruth drawing randomness from an
+// injected source instead of cfg.Seed. Generators take a *rand.Rand rather
+// than seeding any global state, so concurrent and differential test runs
+// are reproducible per-source.
+func HotelsWithTruthRand(rng *rand.Rand, cfg HotelConfig) (*relation.Relation, map[int]bool) {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	r := relation.New("hotels", HotelSchema())
 	truth := map[int]bool{}
 
@@ -201,7 +208,12 @@ func indexOf(region string, nRegions int) int {
 // of rows and per-column cardinalities, for discovery scaling benchmarks
 // (Fig 3). Column i is named c0, c1, ....
 func Categorical(rows int, cards []int, seed int64) *relation.Relation {
-	rng := rand.New(rand.NewSource(seed))
+	return CategoricalRand(rand.New(rand.NewSource(seed)), rows, cards)
+}
+
+// CategoricalRand is Categorical drawing randomness from an injected
+// source.
+func CategoricalRand(rng *rand.Rand, rows int, cards []int) *relation.Relation {
 	attrs := make([]relation.Attribute, len(cards))
 	for i := range cards {
 		attrs[i] = relation.Attribute{Name: fmt.Sprintf("c%d", i), Kind: relation.KindString}
@@ -223,7 +235,11 @@ func Categorical(rows int, cards []int, seed int64) *relation.Relation {
 // of columns lhs (plus optional noise), so FD discovery has a planted
 // target. noise is the fraction of rows whose rhs value is randomized.
 func WithFD(rows int, lhsCards []int, noise float64, seed int64) *relation.Relation {
-	rng := rand.New(rand.NewSource(seed))
+	return WithFDRand(rand.New(rand.NewSource(seed)), rows, lhsCards, noise)
+}
+
+// WithFDRand is WithFD drawing randomness from an injected source.
+func WithFDRand(rng *rand.Rand, rows int, lhsCards []int, noise float64) *relation.Relation {
 	attrs := make([]relation.Attribute, len(lhsCards)+1)
 	for i := range lhsCards {
 		attrs[i] = relation.Attribute{Name: fmt.Sprintf("x%d", i), Kind: relation.KindString}
@@ -255,7 +271,11 @@ func WithFD(rows int, lhsCards []int, noise float64, seed int64) *relation.Relat
 // violationRate fraction of steps drawn outside the interval — the workload
 // shape of sequential dependencies (§4.4, network-polling audit).
 func Series(rows int, minStep, maxStep float64, violationRate float64, seed int64) *relation.Relation {
-	rng := rand.New(rand.NewSource(seed))
+	return SeriesRand(rand.New(rand.NewSource(seed)), rows, minStep, maxStep, violationRate)
+}
+
+// SeriesRand is Series drawing randomness from an injected source.
+func SeriesRand(rng *rand.Rand, rows int, minStep, maxStep float64, violationRate float64) *relation.Relation {
 	schema := relation.NewSchema(
 		relation.Attribute{Name: "seq", Kind: relation.KindInt},
 		relation.Attribute{Name: "value", Kind: relation.KindFloat},
