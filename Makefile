@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz bench verify
+.PHONY: build test race chaos fuzz bench verify
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,12 @@ test:
 # sequential and parallel paths under the detector).
 race:
 	$(GO) test -race ./internal/engine/... ./internal/discovery/...
+
+# Fault-injection suite (DESIGN.md "Failure model"): injected panics,
+# stalls and mid-run cancellations across the pool and every discoverer,
+# under the race detector.
+chaos:
+	$(GO) test -race -count=1 ./internal/engine/chaos/
 
 # Short fuzz pass over the CSV codec round trip.
 fuzz:

@@ -17,6 +17,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +40,12 @@ import (
 	"deptree/internal/gen"
 	"deptree/internal/relation"
 )
+
+// errPartial is returned by commands whose discovery run was truncated by
+// a -timeout/-max-tasks budget: the printed results are a valid partial
+// answer (marked PARTIAL on stdout) and the process exits 2, so scripts
+// can tell "complete" (0), "partial" (2) and "failed" (1) apart.
+var errPartial = errors.New("partial result (budget exhausted)")
 
 func main() {
 	if len(os.Args) < 2 {
@@ -62,6 +70,9 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if errors.Is(err, errPartial) {
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deptool:", err)
 		os.Exit(1)
@@ -71,11 +82,14 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
-  deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e] [-workers N]
+  deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e] [-workers N] [-timeout d] [-max-tasks n]
   deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
   deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
   deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]
-  deptool profile  -in data.csv [-workers N]`)
+  deptool profile  -in data.csv [-workers N] [-timeout d] [-max-tasks n] [-max-cache-mb m] [-v]
+
+exit codes: 0 complete, 2 partial result (budget exhausted; PARTIAL marker
+on stdout), 1 error`)
 }
 
 func cmdReport(args []string) error {
@@ -153,6 +167,8 @@ func cmdDiscover(args []string) error {
 	algo := fs.String("algo", "tane", "tane|fastfd|cords|fastdc|od")
 	maxErr := fs.Float64("maxerr", 0, "g3 budget for approximate FDs (tane)")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the completed prefix is printed with a PARTIAL marker and the exit code is 2")
+	maxTasks := fs.Int64("max-tasks", 0, "task-execution budget (0 = unlimited); truncation is deterministic for any -workers value")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -163,30 +179,47 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	budget := engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks}
+	var partial bool
+	var reason string
 	switch *algo {
 	case "tane":
-		for _, f := range tane.Discover(r, tane.Options{MaxError: *maxErr, Workers: *workers}) {
+		res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: *maxErr, Workers: *workers, Budget: budget})
+		for _, f := range res.FDs {
 			fmt.Println(f)
 		}
+		partial, reason = res.Partial, res.Reason
 	case "fastfd":
-		for _, f := range fastfd.DiscoverOpts(r, fastfd.Options{Workers: *workers}) {
+		res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: *workers, Budget: budget})
+		for _, f := range res.FDs {
 			fmt.Println(f)
 		}
+		partial, reason = res.Partial, res.Reason
 	case "cords":
-		res := cords.Discover(r, cords.Options{Workers: *workers})
+		res := cords.DiscoverContext(ctx, r, cords.Options{Workers: *workers, Budget: budget})
 		for _, s := range res.SFDs {
 			fmt.Println(s)
 		}
+		partial, reason = res.Partial, res.Reason
 	case "fastdc":
-		for _, d := range fastdc.Discover(r, fastdc.Options{MaxPredicates: 2, Workers: *workers}) {
+		res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget})
+		for _, d := range res.DCs {
 			fmt.Println(d)
 		}
+		partial, reason = res.Partial, res.Reason
 	case "od":
-		for _, o := range oddisc.Minimal(oddisc.Discover(r, oddisc.Options{Workers: *workers})) {
+		res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget})
+		for _, o := range oddisc.Minimal(res.ODs) {
 			fmt.Println(o)
 		}
+		partial, reason = res.Partial, res.Reason
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if partial {
+		fmt.Printf("PARTIAL: %s\n", reason)
+		return errPartial
 	}
 	return nil
 }
@@ -303,6 +336,10 @@ func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential)")
+	timeout := fs.Duration("timeout", 0, "per-section wall-clock budget (0 = unlimited); exhausted sections report partial counts and the exit code is 2")
+	maxTasks := fs.Int64("max-tasks", 0, "per-section task budget (0 = unlimited)")
+	maxCacheMB := fs.Int64("max-cache-mb", 0, "partition-cache byte bound in MiB (0 = count-bounded only)")
+	verbose := fs.Bool("v", false, "print partition-cache statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -313,9 +350,21 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	budget := engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks, MaxCacheBytes: *maxCacheMB << 20}
+	// Each budgeted section appends its stop reason here; any entry turns
+	// the whole profile into a PARTIAL exit.
+	var partials []string
+	note := func(section string, partial bool, reason string) string {
+		if !partial {
+			return ""
+		}
+		partials = append(partials, section+": "+reason)
+		return fmt.Sprintf("  [partial: %s]", reason)
+	}
 	// The TANE passes share one partition cache: the approximate pass
 	// reuses every partition the exact pass already built.
-	cache := engine.NewPartitionCache(r, 0)
+	cache := engine.NewPartitionCacheBudget(r, 0, budget.MaxCacheBytes)
 	fmt.Printf("%s: %d tuples x %d attributes\n\n", r.Name(), r.Rows(), r.Cols())
 
 	fmt.Println("column statistics:")
@@ -328,8 +377,9 @@ func cmdProfile(args []string) error {
 	}
 	fmt.Println()
 
-	exact := tane.Discover(r, tane.Options{MaxLHS: 2, Workers: *workers, Cache: cache})
-	fmt.Printf("exact minimal FDs (LHS <= 2): %d\n", len(exact))
+	exactRes := tane.DiscoverContext(ctx, r, tane.Options{MaxLHS: 2, Workers: *workers, Cache: cache, Budget: budget})
+	exact := exactRes.FDs
+	fmt.Printf("exact minimal FDs (LHS <= 2): %d%s\n", len(exact), note("exact FDs", exactRes.Partial, exactRes.Reason))
 	for i, f := range exact {
 		if i == 10 {
 			fmt.Printf("  ... and %d more\n", len(exact)-10)
@@ -338,23 +388,24 @@ func cmdProfile(args []string) error {
 		fmt.Printf("  %s\n", f)
 	}
 
-	approx := tane.Discover(r, tane.Options{MaxError: 0.05, MaxLHS: 1, Workers: *workers, Cache: cache})
-	fmt.Printf("\napproximate FDs (g3 <= 0.05, LHS = 1): %d\n", len(approx))
+	approxRes := tane.DiscoverContext(ctx, r, tane.Options{MaxError: 0.05, MaxLHS: 1, Workers: *workers, Cache: cache, Budget: budget})
+	fmt.Printf("\napproximate FDs (g3 <= 0.05, LHS = 1): %d%s\n", len(approxRes.FDs), note("approximate FDs", approxRes.Partial, approxRes.Reason))
 
-	soft := cords.Discover(r, cords.Options{MinStrength: 0.9, Workers: *workers})
+	soft := cords.DiscoverContext(ctx, r, cords.Options{MinStrength: 0.9, Workers: *workers, Budget: budget})
 	flagged := 0
 	for _, c := range soft.Correlations {
 		if c.Correlated {
 			flagged++
 		}
 	}
-	fmt.Printf("soft FDs (CORDS, s >= 0.9): %d; chi-square-correlated pairs: %d\n", len(soft.SFDs), flagged)
+	fmt.Printf("soft FDs (CORDS, s >= 0.9): %d; chi-square-correlated pairs: %d%s\n", len(soft.SFDs), flagged, note("CORDS", soft.Partial, soft.Reason))
 
 	consts := cfddisc.ConstantCFDs(r, cfddisc.Options{MinSupport: max(2, r.Rows()/20), MaxLHS: 1})
 	fmt.Printf("constant CFDs (support >= %d): %d\n", max(2, r.Rows()/20), len(consts))
 
-	ods := oddisc.Minimal(oddisc.Discover(r, oddisc.Options{Workers: *workers}))
-	fmt.Printf("minimal order dependencies: %d\n", len(ods))
+	odRes := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget})
+	ods := oddisc.Minimal(odRes.ODs)
+	fmt.Printf("minimal order dependencies: %d%s\n", len(ods), note("order dependencies", odRes.Partial, odRes.Reason))
 	for i, o := range ods {
 		if i == 6 {
 			fmt.Printf("  ... and %d more\n", len(ods)-6)
@@ -367,8 +418,18 @@ func cmdProfile(args []string) error {
 	if r.Rows() > 80 {
 		sample = r.Select(func(row int) bool { return row < 80 })
 	}
-	dcs := fastdc.Discover(sample, fastdc.Options{MaxPredicates: 2, Workers: *workers})
-	fmt.Printf("denial constraints (FASTDC on %d rows, <= 2 predicates): %d\n", sample.Rows(), len(dcs))
+	dcRes := fastdc.DiscoverContext(ctx, sample, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget})
+	fmt.Printf("denial constraints (FASTDC on %d rows, <= 2 predicates): %d%s\n", sample.Rows(), len(dcRes.DCs), note("FASTDC", dcRes.Partial, dcRes.Reason))
+
+	if *verbose {
+		st := cache.Stats()
+		fmt.Printf("\npartition cache: %d hits, %d misses, %d evictions, %d entries, %d bytes resident\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
+	}
+	if len(partials) > 0 {
+		fmt.Printf("PARTIAL: %s\n", strings.Join(partials, "; "))
+		return errPartial
+	}
 	return nil
 }
 

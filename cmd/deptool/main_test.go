@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -175,6 +176,67 @@ func TestCmdProfile(t *testing.T) {
 	}
 	if err := cmdProfile(nil); err == nil {
 		t.Error("missing -in accepted")
+	}
+}
+
+// A -max-tasks budget small enough to truncate the run must yield the
+// PARTIAL marker, the errPartial sentinel (exit code 2), and the same
+// stdout for any -workers value.
+func TestCmdDiscoverPartialBudget(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdDiscover([]string{"-in", path, "-algo", "od", "-max-tasks", "5"})
+	})
+	if !errors.Is(err, errPartial) {
+		t.Fatalf("budgeted discover returned %v, want errPartial", err)
+	}
+	if !strings.Contains(out, "PARTIAL: max-tasks") {
+		t.Fatalf("missing PARTIAL marker:\n%s", out)
+	}
+
+	run := func(workers string) (string, error) {
+		return capture(t, func() error {
+			return cmdDiscover([]string{"-in", path, "-algo", "od", "-max-tasks", "33", "-workers", workers})
+		})
+	}
+	seq, seqErr := run("1")
+	par, parErr := run("4")
+	if !errors.Is(seqErr, errPartial) || !errors.Is(parErr, errPartial) {
+		t.Fatalf("errors = %v / %v, want errPartial", seqErr, parErr)
+	}
+	if seq != par {
+		t.Fatalf("partial output depends on workers:\n--- w1 ---\n%s--- w4 ---\n%s", seq, par)
+	}
+}
+
+func TestCmdProfilePartialBudget(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdProfile([]string{"-in", path, "-max-tasks", "5"})
+	})
+	if !errors.Is(err, errPartial) {
+		t.Fatalf("budgeted profile returned %v, want errPartial", err)
+	}
+	if !strings.Contains(out, "PARTIAL:") || !strings.Contains(out, "[partial: max-tasks]") {
+		t.Fatalf("missing partial markers:\n%s", out)
+	}
+}
+
+func TestCmdProfileVerboseCacheStats(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdProfile([]string{"-in", path, "-v"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partition cache:") || !strings.Contains(out, "hits") {
+		t.Fatalf("profile -v missing cache statistics:\n%s", out)
+	}
+	// The two TANE passes share the cache, so the approximate pass must
+	// have produced hits.
+	if strings.Contains(out, "partition cache: 0 hits") {
+		t.Fatalf("shared cache saw no hits:\n%s", out)
 	}
 }
 

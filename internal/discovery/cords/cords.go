@@ -8,6 +8,7 @@
 package cords
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -39,6 +40,10 @@ type Options struct {
 	// 0 or 1 runs the exact sequential path; the sample is drawn once up
 	// front, so the statistics are identical for every worker count.
 	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget truncates the analysis to a prefix of the column pairs and
+	// the Result reports Partial.
+	Budget engine.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -69,14 +74,28 @@ type Correlation struct {
 	Correlated bool
 }
 
-// Result bundles discovered SFDs and flagged correlations.
+// Result bundles discovered SFDs and flagged correlations. A Partial
+// result covers a deterministic prefix of the column pairs (fixed
+// enumeration order, fixed fan-out batches), so any two budget-truncated
+// runs of the same input agree regardless of worker count.
 type Result struct {
 	SFDs         []sfd.SFD
 	Correlations []Correlation
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+	// Completed is the number of ordered column pairs analyzed.
+	Completed int
 }
 
 // Discover runs CORDS over all column pairs.
 func Discover(r *relation.Relation, opts Options) Result {
+	return DiscoverContext(context.Background(), r, opts)
+}
+
+// DiscoverContext is Discover under a context and Options.Budget.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	sample := sampleRows(r, opts.SampleSize, opts.Seed)
 	n := r.Cols()
@@ -89,12 +108,16 @@ func Discover(r *relation.Relation, opts Options) Result {
 			}
 		}
 	}
-	pool := engine.New(max(opts.Workers, 1))
+	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
 	defer pool.Close()
-	corrs := engine.Map(pool, len(pairs), func(i int) Correlation {
+	corrs, done, err := engine.MapBudget(pool, len(pairs), 0, func(i int) Correlation {
 		return analyze(r, sample, pairs[i].c1, pairs[i].c2, opts)
 	})
-	var res Result
+	res := Result{Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+	}
 	for _, corr := range corrs {
 		res.Correlations = append(res.Correlations, corr)
 		if corr.Strength >= opts.MinStrength {

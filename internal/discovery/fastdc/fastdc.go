@@ -13,6 +13,8 @@
 package fastdc
 
 import (
+	"context"
+	"errors"
 	"sort"
 
 	"deptree/internal/deps/dc"
@@ -35,6 +37,10 @@ type Options struct {
 	// merged in row order so the evidence sets (and hence the DCs) are
 	// identical for every worker count.
 	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget truncates the evidence scan to a prefix of the first-tuple
+	// row range and the Result reports Partial.
+	Budget engine.Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -44,16 +50,52 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Result is a FASTDC run's outcome. Partial DC discovery is inherently
+// weaker than partial FD discovery: a DC validated against a row prefix
+// may be violated by an unscanned pair, so a Partial result is a
+// sample-style approximation — the DCs that hold on every pair whose
+// first tuple lies in the scanned prefix — not a sound subset of the full
+// answer. RowsCovered reports that prefix; it is deterministic for any
+// worker count under a MaxTasks budget (fixed stripe and batch widths).
+type Result struct {
+	DCs []dc.DC
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+	// RowsCovered is the first-tuple row prefix the evidence scan
+	// completed (== Rows() on a full run).
+	RowsCovered int
+}
+
 // Discover runs FASTDC and returns minimal valid DCs, sorted by rendered
 // form for determinism.
 func Discover(r *relation.Relation, opts Options) []dc.DC {
+	return DiscoverContext(context.Background(), r, opts).DCs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	if r.Rows() < 2 {
-		return nil
+		return Result{}
 	}
 	space := PredicateSpace(r, opts.CrossColumn)
-	evidence, counts := evidenceSetsWorkers(r, space, opts.Workers)
-	covers := minimalCovers(space, evidence, counts, opts)
+	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	defer pool.Close()
+	evidence, counts, rowsCovered, evErr := evidencePrefix(r, space, pool)
+	if len(evidence) == 0 && evErr != nil {
+		return Result{Partial: true, Reason: engine.Reason(evErr)}
+	}
+	// The cover search runs on the submitting goroutine, outside the
+	// pool's task accounting: MaxTasks only meters evidence stripes, so
+	// a max-tasks stop still searches the scanned prefix; deadline,
+	// cancellation and panics abort the search promptly.
+	stop := func() bool {
+		err := pool.Err()
+		return err != nil && !errors.Is(err, engine.ErrMaxTasks)
+	}
+	covers, aborted := minimalCovers(space, evidence, counts, opts, stop)
 	out := make([]dc.DC, 0, len(covers))
 	for _, cover := range covers {
 		preds := make([]dc.Predicate, 0, len(cover))
@@ -63,7 +105,21 @@ func Discover(r *relation.Relation, opts Options) []dc.DC {
 		out = append(out, dc.DC{Predicates: preds, Schema: r.Schema()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
+	res := Result{DCs: out, RowsCovered: rowsCovered}
+	if evErr != nil || aborted {
+		res.Partial = true
+		err := evErr
+		if err == nil {
+			err = pool.Err()
+		}
+		res.Reason = engine.Reason(err)
+		if aborted {
+			// An aborted cover search may have missed covers entirely;
+			// report the prefix scan but no unsound DC list.
+			res.DCs = nil
+		}
+	}
+	return res
 }
 
 // PredicateSpace builds the two-tuple predicate space: for every column,
@@ -108,32 +164,39 @@ type evidenceKey string
 // pairs plus their multiplicities. The evidence set of a pair is the set
 // of space predicates it satisfies.
 func EvidenceSets(r *relation.Relation, space []dc.Predicate) ([][]bool, []int) {
-	return evidenceSetsWorkers(r, space, 1)
+	sets, counts, _ := evidenceStripe(r, space, 0, r.Rows())
+	return sets, counts
 }
 
-// evidenceSetsWorkers stripes the first-tuple index range across workers;
-// each stripe deduplicates locally, and stripes are merged in row order so
-// the resulting evidence sets are deterministic.
-func evidenceSetsWorkers(r *relation.Relation, space []dc.Predicate, workers int) ([][]bool, []int) {
-	if workers <= 1 {
-		sets, counts, _ := evidenceStripe(r, space, 0, r.Rows())
-		return sets, counts
-	}
-	pool := engine.New(workers)
-	defer pool.Close()
-	// A few stripes per worker evens out load skew between row ranges.
-	stripes := min(workers*4, r.Rows())
+// evidenceStripes is the fixed stripe count for the evidence scan and
+// evidenceBatch the budget batch width. Both are worker-independent: the
+// stripe boundaries, the order stripes are merged in, and the point where
+// a MaxTasks budget trips depend only on the row count, so evidence sets
+// — full or prefix — are identical for every worker count.
+const (
+	evidenceStripes = 64
+	evidenceBatch   = 8
+)
+
+// evidencePrefix stripes the first-tuple index range across the pool;
+// each stripe deduplicates locally, and completed stripes are merged in
+// row order. On a budget/cancellation stop it returns the evidence of the
+// longest completed stripe prefix plus the first-tuple row bound that
+// prefix covers, with the stopping error.
+func evidencePrefix(r *relation.Relation, space []dc.Predicate, pool *engine.Pool) ([][]bool, []int, int, error) {
+	rows := r.Rows()
+	stripes := min(evidenceStripes, rows)
 	if stripes == 0 {
-		return nil, nil
+		return nil, nil, 0, nil
 	}
 	type stripeOut struct {
 		sets   [][]bool
 		counts []int
 		keys   []evidenceKey
 	}
-	parts := engine.Map(pool, stripes, func(s int) stripeOut {
-		lo := s * r.Rows() / stripes
-		hi := (s + 1) * r.Rows() / stripes
+	parts, done, err := engine.MapBudget(pool, stripes, evidenceBatch, func(s int) stripeOut {
+		lo := s * rows / stripes
+		hi := (s + 1) * rows / stripes
 		sets, counts, keys := evidenceStripe(r, space, lo, hi)
 		return stripeOut{sets: sets, counts: counts, keys: keys}
 	})
@@ -151,7 +214,7 @@ func evidenceSetsWorkers(r *relation.Relation, space []dc.Predicate, workers int
 			counts = append(counts, part.counts[i])
 		}
 	}
-	return sets, counts
+	return sets, counts, done * rows / stripes, err
 }
 
 // evidenceStripe computes the deduplicated evidence sets of the ordered
@@ -196,8 +259,11 @@ func evidenceStripe(r *relation.Relation, space []dc.Predicate, lo, hi int) ([][
 // minimalCovers finds the minimal predicate sets P such that for every
 // evidence set E (up to the A-FASTDC violation budget), some p ∈ P is NOT
 // in E — then ¬(∧P) holds on the instance. Depth-first search with
-// minimality pruning against found covers.
-func minimalCovers(space []dc.Predicate, evidence [][]bool, counts []int, opts Options) [][]int {
+// minimality pruning against found covers. The search space is
+// exponential in the predicate count — the classic worker-pinning case —
+// so stop (when non-nil) is polled periodically; a true return abandons
+// the search and reports aborted.
+func minimalCovers(space []dc.Predicate, evidence [][]bool, counts []int, opts Options, stop func() bool) (_ [][]int, aborted bool) {
 	totalPairs := 0
 	for _, c := range counts {
 		totalPairs += c
@@ -212,8 +278,17 @@ func minimalCovers(space []dc.Predicate, evidence [][]bool, counts []int, opts O
 		}
 		return false
 	}
+	const stopCheckEvery = 1024
+	steps := 0
 	var dfs func(sel []int, startAt int)
 	dfs = func(sel []int, startAt int) {
+		if aborted {
+			return
+		}
+		if steps++; stop != nil && steps%stopCheckEvery == 0 && stop() {
+			aborted = true
+			return
+		}
 		// Count uncovered pairs: evidence sets containing ALL selected
 		// predicates (the denied conjunction can be satisfied).
 		violating := 0
@@ -251,6 +326,9 @@ func minimalCovers(space []dc.Predicate, evidence [][]bool, counts []int, opts O
 		}
 	}
 	dfs(nil, 0)
+	if aborted {
+		return nil, true
+	}
 	// Final minimality pass: drop covers containing smaller covers.
 	var minimal [][]int
 	for i, c := range covers {
@@ -265,7 +343,7 @@ func minimalCovers(space []dc.Predicate, evidence [][]bool, counts []int, opts O
 			minimal = append(minimal, c)
 		}
 	}
-	return minimal
+	return minimal, false
 }
 
 // containsAll reports whether sorted slice a contains all elements of b.

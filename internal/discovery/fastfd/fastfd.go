@@ -8,6 +8,7 @@
 package fastfd
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/attrset"
@@ -22,7 +23,30 @@ type Options struct {
 	// Workers fans the per-RHS difference-set searches out across
 	// goroutines. 0 or 1 runs the exact sequential path.
 	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget truncates the search to a prefix of the RHS attributes and
+	// the run reports a Partial Result.
+	Budget engine.Budget
 }
+
+// Result is a FastFD run's outcome. A Partial result covers the FDs of
+// the first Completed RHS attributes only — a deterministic prefix for
+// any worker count under a MaxTasks budget.
+type Result struct {
+	FDs []fd.FD
+	// Partial marks a truncated run.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+	// Completed is the number of RHS attributes fully searched.
+	Completed int
+}
+
+// rhsBatch is the fan-out stripe width for the per-RHS cover searches.
+// Fixed (worker-independent) so a budget-truncated run covers the same
+// RHS prefix for every worker count; small because each cover search is
+// heavy and relations rarely exceed a few dozen columns.
+const rhsBatch = 4
 
 // Discover returns the minimal exact FDs with singleton RHS. Results agree
 // with TANE on every instance (a property the test suite checks).
@@ -32,13 +56,25 @@ func Discover(r *relation.Relation) []fd.FD {
 
 // DiscoverOpts is Discover with explicit options.
 func DiscoverOpts(r *relation.Relation, opts Options) []fd.FD {
+	return DiscoverContext(context.Background(), r, opts).FDs
+}
+
+// DiscoverContext is DiscoverOpts under a context and Options.Budget,
+// reporting budget-truncated runs as a Partial prefix instead of failing.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	n := r.Cols()
 	if n == 0 || n > attrset.MaxAttrs {
-		return nil
+		return Result{}
 	}
 	full := attrset.Full(n)
 
-	agree := agreeSets(r)
+	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	defer pool.Close()
+
+	agree, err := agreeSets(r, pool)
+	if err != nil {
+		return Result{Partial: true, Reason: engine.Reason(err)}
+	}
 	// Deterministic agree-set order, shared by every RHS search.
 	agreeList := make([]attrset.Set, 0, len(agree))
 	for ag := range agree {
@@ -46,9 +82,15 @@ func DiscoverOpts(r *relation.Relation, opts Options) []fd.FD {
 	}
 	sort.Slice(agreeList, func(i, j int) bool { return agreeList[i] < agreeList[j] })
 
-	pool := engine.New(max(opts.Workers, 1))
-	defer pool.Close()
-	perRHS := engine.Map(pool, n, func(a int) []fd.FD {
+	// stop aborts a pinned cover search once the run is cancelled; the
+	// aborted task does not count as completed, so its batch is excluded
+	// from the partial prefix.
+	stop := func() {
+		if err := pool.Err(); err != nil {
+			engine.Abort(err)
+		}
+	}
+	perRHS, done, runErr := engine.MapBudget(pool, n, rhsBatch, func(a int) []fd.FD {
 		// Difference sets for RHS a: D_A = {R \ ag \ {a} : pair disagrees
 		// on a}, i.e. attributes that could "explain" the disagreement.
 		var diffs []attrset.Set
@@ -80,7 +122,7 @@ func DiscoverOpts(r *relation.Relation, opts Options) []fd.FD {
 			return out
 		}
 		// Minimal covers: minimal X hitting every difference set.
-		covers := minimalHittingSets(diffs, full.Remove(a))
+		covers := minimalHittingSets(diffs, full.Remove(a), stop)
 		for _, x := range covers {
 			out = append(out, fd.FD{LHS: x, RHS: attrset.Single(a), Schema: r.Schema()})
 		}
@@ -96,13 +138,18 @@ func DiscoverOpts(r *relation.Relation, opts Options) []fd.FD {
 		}
 		return results[i].RHS < results[j].RHS
 	})
-	return results
+	if runErr != nil {
+		return Result{FDs: results, Partial: true, Reason: engine.Reason(runErr), Completed: done}
+	}
+	return Result{FDs: results, Completed: n}
 }
 
 // agreeSets computes the set of agree sets ag(t1,t2) over all tuple pairs
 // that agree on at least one attribute. Pairs are enumerated per stripped
-// partition class to skip pairs agreeing nowhere.
-func agreeSets(r *relation.Relation) map[attrset.Set]bool {
+// partition class to skip pairs agreeing nowhere. The pair sweep is
+// quadratic, so it polls the pool between classes and stops early once
+// the run's deadline fires or it is cancelled.
+func agreeSets(r *relation.Relation, pool *engine.Pool) (map[attrset.Set]bool, error) {
 	n := r.Cols()
 	codes := make([][]int, n)
 	for c := 0; c < n; c++ {
@@ -113,6 +160,9 @@ func agreeSets(r *relation.Relation) map[attrset.Set]bool {
 	for c := 0; c < n; c++ {
 		p := partition.FromCodes(codes[c], distinct(codes[c]))
 		for _, class := range p.Classes() {
+			if err := pool.Err(); err != nil {
+				return nil, err
+			}
 			for i := 0; i < len(class); i++ {
 				for j := i + 1; j < len(class); j++ {
 					key := [2]int{class[i], class[j]}
@@ -131,7 +181,7 @@ func agreeSets(r *relation.Relation) map[attrset.Set]bool {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 func distinct(codes []int) int {
@@ -148,8 +198,10 @@ func distinct(codes []int) int {
 // intersect every set in diffs, by depth-first search with subset pruning.
 // A set failing to hit some difference set (because that set is empty)
 // yields no cover at all: an empty difference set means the FD cannot hold
-// with any LHS.
-func minimalHittingSets(diffs []attrset.Set, universe attrset.Set) []attrset.Set {
+// with any LHS. The DFS is worst-case exponential — this is where an
+// adversarial input pins a worker — so stop (which may not return) is
+// polled every stopCheckEvery expansions.
+func minimalHittingSets(diffs []attrset.Set, universe attrset.Set, stop func()) []attrset.Set {
 	for _, d := range diffs {
 		if d.IsEmpty() {
 			return nil
@@ -159,8 +211,13 @@ func minimalHittingSets(diffs []attrset.Set, universe attrset.Set) []attrset.Set
 	sorted := append([]attrset.Set(nil), diffs...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Len() < sorted[j].Len() })
 	var covers []attrset.Set
+	const stopCheckEvery = 1024
+	steps := 0
 	var dfs func(current attrset.Set, idx int)
 	dfs = func(current attrset.Set, idx int) {
+		if steps++; stop != nil && steps%stopCheckEvery == 0 {
+			stop()
+		}
 		// Find the first uncovered difference set.
 		for idx < len(sorted) && sorted[idx].Intersects(current) {
 			idx++

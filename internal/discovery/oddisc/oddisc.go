@@ -8,6 +8,7 @@
 package oddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/deps/od"
@@ -26,12 +27,33 @@ type Options struct {
 	// enumerated and collected in a fixed order, so output is identical
 	// for every worker count.
 	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget truncates the check to a prefix of the candidate ODs and
+	// the Result reports Partial.
+	Budget engine.Budget
+}
+
+// Result is an OD discovery outcome. A Partial result covers a
+// deterministic prefix of the candidate enumeration order.
+type Result struct {
+	ODs []od.OD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+	// Completed is the number of candidate ODs checked.
+	Completed int
 }
 
 // Discover returns the valid ODs of the forms A≤ → B≤ and A≤ → B≥ over
 // the candidate columns (the A≥ variants are mirror images — t_α and t_β
 // swap — and are omitted as implied).
 func Discover(r *relation.Relation, opts Options) []od.OD {
+	return DiscoverContext(context.Background(), r, opts).ODs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	cols := opts.Columns
 	if cols == nil {
 		for c := 0; c < r.Cols(); c++ {
@@ -55,17 +77,22 @@ func Discover(r *relation.Relation, opts Options) []od.OD {
 			}
 		}
 	}
-	pool := engine.New(max(opts.Workers, 1))
+	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
 	defer pool.Close()
-	valid := engine.Map(pool, len(cands), func(i int) bool { return cands[i].Holds(r) })
+	valid, done, err := engine.MapBudget(pool, len(cands), 0, func(i int) bool { return cands[i].Holds(r) })
 	var out []od.OD
-	for i, cand := range cands {
+	for i := 0; i < done; i++ {
 		if valid[i] {
-			out = append(out, cand)
+			out = append(out, cands[i])
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
+	res := Result{ODs: out, Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+	}
+	return res
 }
 
 // Minimal filters an OD list to those not implied by another listed OD via

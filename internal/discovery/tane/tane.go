@@ -13,6 +13,7 @@
 package tane
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/attrset"
@@ -33,11 +34,33 @@ type Options struct {
 	// goroutines. 0 or 1 runs the exact sequential path; the output is
 	// the same either way.
 	Workers int
+	// Budget bounds the run (deadline, task count, cache bytes); the
+	// zero value is unlimited. An exhausted budget stops the lattice
+	// walk at a level boundary and the run reports a Partial Result.
+	Budget engine.Budget
 	// Cache optionally supplies a shared partition cache (for example to
 	// reuse partitions across several discovery runs over the same
-	// relation). When nil a private cache is used. The cache must have
-	// been built over the same relation passed to Discover.
+	// relation). When nil a private cache is used, byte-bounded by
+	// Budget.MaxCacheBytes. The cache must have been built over the same
+	// relation passed to Discover.
 	Cache *engine.PartitionCache
+}
+
+// Result is a TANE run's outcome. A run that exhausts its budget (or is
+// cancelled, or loses a worker to a panic) degrades to a Partial result:
+// FDs holds every minimal FD whose validation completed — whole lattice
+// levels, so the set is deterministic for any worker count under a
+// MaxTasks budget — rather than nothing.
+type Result struct {
+	FDs []fd.FD
+	// Partial marks a truncated run; FDs then covers only the completed
+	// lattice levels.
+	Partial bool
+	// Reason is the stable token for what stopped the run ("deadline",
+	// "max-tasks", "cancelled", "panic: ..."); empty when complete.
+	Reason string
+	// Levels is the number of lattice levels whose validation completed.
+	Levels int
 }
 
 // node carries per-lattice-node state: the stripped partition π_X and the
@@ -49,18 +72,35 @@ type node struct {
 
 // Discover runs TANE over the relation and returns the minimal
 // (approximate) FDs with singleton right-hand sides, sorted for
-// deterministic output.
+// deterministic output. It runs without a context; budget-aware callers
+// use DiscoverContext.
 func Discover(r *relation.Relation, opts Options) []fd.FD {
+	return DiscoverContext(context.Background(), r, opts).FDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget: the
+// lattice walk stops as soon as the context is cancelled, the deadline
+// fires, the task budget runs out, or a worker panics, and the Result
+// reports the FDs of the completed levels with Partial set.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	n := r.Cols()
 	if n == 0 || n > attrset.MaxAttrs || r.Rows() == 0 {
-		return nil
+		return Result{}
 	}
 	cache := opts.Cache
 	if cache == nil {
-		cache = engine.NewPartitionCache(r, 0)
+		cache = engine.NewPartitionCacheBudget(r, 0, opts.Budget.MaxCacheBytes)
 	}
-	pool := engine.New(max(opts.Workers, 1))
+	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
 	defer pool.Close()
+
+	// partial finalizes a truncated run: everything committed so far —
+	// whole fan-out phases, so identical for every worker count under a
+	// MaxTasks budget — plus the stop reason.
+	partial := func(results []fd.FD, levels int, err error) Result {
+		sortFDs(results)
+		return Result{FDs: results, Partial: true, Reason: engine.Reason(err), Levels: levels}
+	}
 
 	fullSet := attrset.Full(n)
 	var results []fd.FD
@@ -74,6 +114,9 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 	prev := make(map[attrset.Set]*node, n)
 	var constCols attrset.Set
 	for c := 0; c < n; c++ {
+		if err := pool.Err(); err != nil {
+			return partial(nil, 0, err)
+		}
 		p := cache.Get(attrset.Single(c))
 		prev[attrset.Single(c)] = &node{part: p, cand: fullSet}
 		if r.Rows() > 0 && p.Cardinality() == 1 {
@@ -86,6 +129,7 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 	}
 
 	level := 1
+	completed := 1 // singleton level is done once prev is seeded
 	for len(prev) > 0 {
 		if opts.MaxLHS > 0 && level > opts.MaxLHS+1 {
 			break
@@ -105,7 +149,7 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 				fds  []fd.FD
 				cand attrset.Set
 			}
-			checked := engine.Map(pool, len(nodes), func(i int) validated {
+			checked, err := engine.MapErr(pool, len(nodes), func(i int) validated {
 				x := nodes[i]
 				info := prev[x]
 				cand := info.cand
@@ -131,6 +175,9 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 				})
 				return validated{fds: fds, cand: cand}
 			})
+			if err != nil {
+				return partial(results, completed, err)
+			}
 			for i, x := range nodes {
 				prev[x].cand = checked[i].cand
 				results = append(results, checked[i].fds...)
@@ -142,7 +189,7 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 			fds  []fd.FD
 			keep bool
 		}
-		outcome := engine.Map(pool, len(nodes), func(i int) pruned {
+		outcome, err := engine.MapErr(pool, len(nodes), func(i int) pruned {
 			x := nodes[i]
 			info := prev[x]
 			if info.cand.IsEmpty() {
@@ -178,6 +225,9 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 			}
 			return pruned{keep: true}
 		})
+		if err != nil {
+			return partial(results, completed, err)
+		}
 		var keep []attrset.Set
 		for i, x := range nodes {
 			results = append(results, outcome[i].fds...)
@@ -186,7 +236,7 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 			}
 		}
 		cands := attrset.NextLevel(keep)
-		nexts := engine.Map(pool, len(cands), func(i int) *node {
+		nexts, err := engine.MapErr(pool, len(cands), func(i int) *node {
 			x := cands[i]
 			cand := fullSet
 			x.ImmediateSubsets(func(sub attrset.Set) {
@@ -199,6 +249,9 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 			}
 			return &node{part: cache.Get(x), cand: cand}
 		})
+		if err != nil {
+			return partial(results, completed, err)
+		}
 		next := make(map[attrset.Set]*node)
 		for i, x := range cands {
 			if nexts[i] != nil {
@@ -206,10 +259,11 @@ func Discover(r *relation.Relation, opts Options) []fd.FD {
 			}
 		}
 		prev = next
+		completed = level
 		level++
 	}
 	sortFDs(results)
-	return results
+	return Result{FDs: results, Levels: completed}
 }
 
 func sortFDs(fds []fd.FD) {

@@ -10,7 +10,9 @@ import (
 )
 
 // PartitionCache memoizes stripped partitions π_X of one relation, keyed
-// by attribute set. It is safe for concurrent use and LRU-bounded.
+// by attribute set. It is safe for concurrent use and bounded both by
+// entry count (LRU) and, optionally, by resident bytes (Budget
+// MaxCacheBytes).
 //
 // Multi-attribute partitions are constructed TANE-style as a product of
 // cached sub-partitions: π_X = π_{X\{a}} · π_{a} with a = min(X), so a
@@ -24,20 +26,39 @@ import (
 // An entry evicted while still referenced stays valid — eviction only
 // forgets the memo, it never mutates a partition.
 type PartitionCache struct {
-	r   *relation.Relation
-	cap int
+	r        *relation.Relation
+	cap      int
+	maxBytes int64
 
-	mu      sync.Mutex
-	entries map[attrset.Set]*list.Element
-	lru     *list.List // front = most recently used
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[attrset.Set]*list.Element
+	lru       *list.List // front = most recently used
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 type cacheEntry struct {
 	key  attrset.Set
 	once sync.Once
 	part *partition.Partition
+	// bytes is the partition's estimated footprint, credited after the
+	// build completes; resident tracks whether the entry still sits in
+	// the LRU, so a build finishing after its eviction never leaks into
+	// the byte total.
+	bytes    int64
+	resident bool
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness, used for
+// budget tuning (deptool profile -v prints it).
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	// Bytes is the estimated resident footprint of the memoized
+	// partitions; Entries the count of memoized partitions.
+	Bytes   int64
+	Entries int
 }
 
 // DefaultCacheCapacity bounds a PartitionCache when the caller passes a
@@ -46,16 +67,30 @@ type cacheEntry struct {
 const DefaultCacheCapacity = 4096
 
 // NewPartitionCache creates a cache over r holding at most capacity
-// partitions (<= 0 selects DefaultCacheCapacity).
+// partitions (<= 0 selects DefaultCacheCapacity), with no byte bound.
 func NewPartitionCache(r *relation.Relation, capacity int) *PartitionCache {
+	return NewPartitionCacheBudget(r, capacity, 0)
+}
+
+// NewPartitionCacheBudget is NewPartitionCache with a bound on resident
+// bytes (<= 0 = unlimited): once the estimated footprint of the memoized
+// partitions exceeds maxBytes, least-recently-used entries are forgotten.
+// The most recently inserted entry is never evicted by the byte bound, so
+// a single oversized partition degrades to cache-of-one rather than
+// thrashing to zero.
+func NewPartitionCacheBudget(r *relation.Relation, capacity int, maxBytes int64) *PartitionCache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
 	return &PartitionCache{
-		r:       r,
-		cap:     capacity,
-		entries: make(map[attrset.Set]*list.Element),
-		lru:     list.New(),
+		r:        r,
+		cap:      capacity,
+		maxBytes: maxBytes,
+		entries:  make(map[attrset.Set]*list.Element),
+		lru:      list.New(),
 	}
 }
 
@@ -67,7 +102,10 @@ func (c *PartitionCache) Relation() *relation.Relation { return c.r }
 // partition.
 func (c *PartitionCache) Get(x attrset.Set) *partition.Partition {
 	e := c.acquire(x)
-	e.once.Do(func() { e.part = c.build(x) })
+	e.once.Do(func() {
+		e.part = c.build(x)
+		c.credit(e, e.part.MemBytes())
+	})
 	return e.part
 }
 
@@ -82,14 +120,40 @@ func (c *PartitionCache) acquire(x attrset.Set) *cacheEntry {
 		return el.Value.(*cacheEntry)
 	}
 	c.misses++
-	e := &cacheEntry{key: x}
+	e := &cacheEntry{key: x, resident: true}
 	c.entries[x] = c.lru.PushFront(e)
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
-		c.lru.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
-	}
+	c.evictLocked()
 	return e
+}
+
+// credit records a freshly built partition's footprint and enforces the
+// byte bound. If the entry was evicted while its build was in flight the
+// bytes are not counted — the partition stays valid for its caller.
+func (c *PartitionCache) credit(e *cacheEntry, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e.bytes = n
+	if e.resident {
+		c.bytes += n
+		c.evictLocked()
+	}
+}
+
+// evictLocked drops LRU entries until both the capacity and the byte
+// bound hold. Callers hold c.mu.
+func (c *PartitionCache) evictLocked() {
+	for c.lru.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 1) {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		e.resident = false
+		c.bytes -= e.bytes
+		c.evictions++
+	}
 }
 
 // build constructs π_X outside the cache lock. Singletons (and π_∅) come
@@ -104,11 +168,18 @@ func (c *PartitionCache) build(x attrset.Set) *partition.Partition {
 	return rest.Product(single)
 }
 
-// Stats reports cache hits and misses since creation.
-func (c *PartitionCache) Stats() (hits, misses uint64) {
+// Stats reports hits, misses, evictions and the resident footprint since
+// creation.
+func (c *PartitionCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   c.lru.Len(),
+	}
 }
 
 // Len returns the number of memoized partitions.

@@ -37,9 +37,12 @@ func TestCacheHits(t *testing.T) {
 	x := attrset.Of(0, 1)
 	c.Get(x)
 	c.Get(x)
-	hits, misses := c.Stats()
-	if hits == 0 {
-		t.Fatalf("no cache hits after repeated Get (hits=%d misses=%d)", hits, misses)
+	st := c.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits after repeated Get (hits=%d misses=%d)", st.Hits, st.Misses)
+	}
+	if st.Bytes <= 0 || st.Entries == 0 {
+		t.Fatalf("stats missing footprint: %+v", st)
 	}
 }
 

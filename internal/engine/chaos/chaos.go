@@ -1,0 +1,102 @@
+// Package chaos is the fault-injection harness for the discovery
+// runtime. It installs a deterministic Injector into the engine's task
+// hook so tests can make any pool task panic, stall, or cancel its run
+// mid-flight, and then assert the failure model: clean task-attributed
+// errors, partial results, no goroutine leaks, no deadlocks, never a
+// process crash.
+//
+// The hook is process-global, so chaos tests must not run in parallel
+// with other pool users; the package's own tests install and restore the
+// hook around each scenario. Production code never imports this package.
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"deptree/internal/engine"
+)
+
+// Options selects which faults an Injector fires and when. All triggers
+// count hook invocations process-wide (1-indexed), which makes every
+// scenario reproducible: no randomness, the k-th task started always
+// draws the fault.
+type Options struct {
+	// PanicEvery panics on every k-th task start (0 disables). The panic
+	// carries the task index and call number so assertions can check
+	// task attribution.
+	PanicEvery int
+	// DelayEvery sleeps Delay on every k-th task start (0 disables),
+	// simulating stragglers and pinning deadline handling.
+	DelayEvery int
+	// Delay is the stall injected by DelayEvery.
+	Delay time.Duration
+	// CancelAfter cancels the executing task's pool once this many tasks
+	// have started (0 disables), simulating a mid-run external abort.
+	CancelAfter int
+}
+
+// Injector injects the configured faults and counts what it did.
+type Injector struct {
+	opts Options
+
+	mu      sync.Mutex
+	calls   int
+	panics  int
+	delays  int
+	cancels int
+}
+
+// Install registers an Injector with the engine's task hook and returns
+// it along with the uninstall function restoring the previous hook.
+// Callers must uninstall (typically via t.Cleanup) before other pool
+// users run.
+func Install(opts Options) (*Injector, func()) {
+	inj := &Injector{opts: opts}
+	return inj, engine.SetTaskHook(inj.hook)
+}
+
+// hook runs at every task start. Faults are decided under the counter
+// lock, then executed outside it: the injected panic unwinds into the
+// pool's recovery path exactly like a buggy task's would.
+func (inj *Injector) hook(p *engine.Pool, task int) {
+	inj.mu.Lock()
+	inj.calls++
+	call := inj.calls
+	o := inj.opts
+	doPanic := o.PanicEvery > 0 && call%o.PanicEvery == 0
+	doDelay := o.DelayEvery > 0 && call%o.DelayEvery == 0
+	doCancel := o.CancelAfter > 0 && call == o.CancelAfter
+	if doPanic {
+		inj.panics++
+	}
+	if doDelay {
+		inj.delays++
+	}
+	if doCancel {
+		inj.cancels++
+	}
+	inj.mu.Unlock()
+	if doDelay {
+		time.Sleep(o.Delay)
+	}
+	if doCancel {
+		p.Cancel()
+	}
+	if doPanic {
+		panic(fmt.Sprintf("chaos: injected panic (task %d, call %d)", task, call))
+	}
+}
+
+// Calls returns how many task starts the injector observed.
+func (inj *Injector) Calls() int { inj.mu.Lock(); defer inj.mu.Unlock(); return inj.calls }
+
+// Panics returns how many panics were injected.
+func (inj *Injector) Panics() int { inj.mu.Lock(); defer inj.mu.Unlock(); return inj.panics }
+
+// Delays returns how many stalls were injected.
+func (inj *Injector) Delays() int { inj.mu.Lock(); defer inj.mu.Unlock(); return inj.delays }
+
+// Cancels returns how many pool cancellations were injected.
+func (inj *Injector) Cancels() int { inj.mu.Lock(); defer inj.mu.Unlock(); return inj.cancels }

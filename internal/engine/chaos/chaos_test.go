@@ -1,0 +1,283 @@
+// The fault-injection suite behind `make chaos`: injected panics, stalls
+// and mid-run cancellations in any of the five parallelized discoverers
+// must produce a clean error or a Partial result — never a process crash,
+// goroutine leak, or deadlock — and budget-truncated runs must report the
+// same completed prefix for every worker count.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"deptree/internal/discovery/cords"
+	"deptree/internal/discovery/fastdc"
+	"deptree/internal/discovery/fastfd"
+	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/tane"
+	"deptree/internal/engine"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// hotel returns the workhorse chaos relation: 9 columns (5 numeric), big
+// enough that every discoverer fans out dozens of tasks.
+func hotel(rows int) *relation.Relation {
+	return gen.Hotels(gen.HotelConfig{Rows: rows, Seed: 3, ErrorRate: 0.1, VarietyRate: 0.2})
+}
+
+// requireNoGoroutineLeak runs f and then waits for the goroutine count to
+// settle back to its starting level, failing the test if pool workers (or
+// anything else f started) outlive it.
+func requireNoGoroutineLeak(t *testing.T, f func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	f()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after settle window", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// runAll invokes every parallelized discoverer under ctx with the given
+// budget and workers, returning a canonical rendering per algorithm plus
+// whether that run reported Partial.
+type runOutcome struct {
+	name    string
+	out     string
+	partial bool
+	reason  string
+}
+
+func runAll(ctx context.Context, r *relation.Relation, workers int, b engine.Budget) []runOutcome {
+	small := r
+	if small.Rows() > 25 {
+		small = small.Select(func(row int) bool { return row < 25 })
+	}
+	tr := tane.DiscoverContext(ctx, r, tane.Options{Workers: workers, Budget: b})
+	fr := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: workers, Budget: b})
+	cr := cords.DiscoverContext(ctx, r, cords.Options{Workers: workers, Budget: b, SampleSize: 30, Seed: 7})
+	or := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: workers, Budget: b})
+	dr := fastdc.DiscoverContext(ctx, small, fastdc.Options{Workers: workers, Budget: b, MaxPredicates: 2})
+	return []runOutcome{
+		{"tane", render(tr.FDs), tr.Partial, tr.Reason},
+		{"fastfd", render(fr.FDs), fr.Partial, fr.Reason},
+		{"cords", renderCORDS(cr), cr.Partial, cr.Reason},
+		{"oddisc", render(or.ODs), or.Partial, or.Reason},
+		{"fastdc", fmt.Sprintf("rows=%d\n%s", dr.RowsCovered, render(dr.DCs)), dr.Partial, dr.Reason},
+	}
+}
+
+func render[T fmt.Stringer](items []T) string {
+	lines := make([]string, len(items))
+	for i, it := range items {
+		lines[i] = it.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+func renderCORDS(res cords.Result) string {
+	var b strings.Builder
+	for _, s := range res.SFDs {
+		fmt.Fprintf(&b, "%s\n", s.String())
+	}
+	for _, c := range res.Correlations {
+		fmt.Fprintf(&b, "%d->%d s=%.9f chi=%.9f corr=%v\n", c.Col1, c.Col2, c.Strength, c.ChiSquare, c.Correlated)
+	}
+	return b.String()
+}
+
+// TestInjectedPanicPoolIsolation drives a raw pool: a panicking task must
+// surface as a task-attributed *engine.PanicError, the pool must stay
+// closable without leaking its workers, and post-Close submission must
+// return ErrPoolClosed.
+func TestInjectedPanicPoolIsolation(t *testing.T) {
+	inj, uninstall := Install(Options{PanicEvery: 7})
+	defer uninstall()
+	requireNoGoroutineLeak(t, func() {
+		p := engine.New(4)
+		err := p.ForEach(200, func(int) {})
+		var pe *engine.PanicError
+		if err == nil {
+			t.Fatal("ForEach swallowed the injected panic")
+		}
+		if !asPanicError(err, &pe) {
+			t.Fatalf("ForEach error = %v, want *engine.PanicError", err)
+		}
+		if pe.Task < 0 || pe.Task >= 200 {
+			t.Fatalf("panic not task-attributed: Task = %d", pe.Task)
+		}
+		if !strings.Contains(pe.Error(), "chaos: injected panic") {
+			t.Fatalf("panic value lost: %v", pe)
+		}
+		p.Close()
+		if err := p.Submit(func() {}); err != engine.ErrPoolClosed {
+			t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+		}
+	})
+	if inj.Panics() == 0 {
+		t.Fatal("injector fired no panics")
+	}
+}
+
+func asPanicError(err error, target **engine.PanicError) bool {
+	pe, ok := err.(*engine.PanicError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+// TestInjectedPanicAllDiscoverers injects an early panic into every
+// pooled task stream: each of the five discoverers must come back with a
+// clean Partial result whose reason names the panic, leaking nothing.
+func TestInjectedPanicAllDiscoverers(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		inj, uninstall := Install(Options{PanicEvery: 3})
+		requireNoGoroutineLeak(t, func() {
+			for _, oc := range runAll(context.Background(), hotel(40), workers, engine.Budget{}) {
+				if !oc.partial {
+					t.Errorf("workers=%d %s: injected panic but run reported complete", workers, oc.name)
+					continue
+				}
+				if !strings.Contains(oc.reason, "panic") {
+					t.Errorf("workers=%d %s: partial reason %q does not name the panic", workers, oc.name, oc.reason)
+				}
+			}
+		})
+		uninstall()
+		if inj.Panics() == 0 {
+			t.Fatalf("workers=%d: injector fired no panics", workers)
+		}
+	}
+}
+
+// TestInjectedDelayHonorsDeadline stalls every task and gives the run a
+// short wall-clock budget: both the inline (workers=1) and the pooled
+// path must stop with a "deadline" partial rather than running the full
+// lattice, and must do so promptly.
+func TestInjectedDelayHonorsDeadline(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, uninstall := Install(Options{DelayEvery: 1, Delay: 5 * time.Millisecond})
+		requireNoGoroutineLeak(t, func() {
+			start := time.Now()
+			res := tane.DiscoverContext(context.Background(), hotel(60), tane.Options{
+				Workers: workers,
+				Budget:  engine.Budget{Timeout: 50 * time.Millisecond},
+			})
+			if !res.Partial {
+				t.Errorf("workers=%d: stalled run under 50ms deadline reported complete", workers)
+			} else if res.Reason != "deadline" {
+				t.Errorf("workers=%d: reason = %q, want deadline", workers, res.Reason)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Errorf("workers=%d: deadline stop took %v", workers, elapsed)
+			}
+		})
+		uninstall()
+	}
+}
+
+// TestInjectedCancelMidRun cancels the pool from inside a task: the run
+// must degrade to a "cancelled" partial, not deadlock waiting on skipped
+// work.
+func TestInjectedCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, uninstall := Install(Options{CancelAfter: 10})
+		requireNoGoroutineLeak(t, func() {
+			res := tane.DiscoverContext(context.Background(), hotel(60), tane.Options{Workers: workers})
+			if !res.Partial {
+				t.Errorf("workers=%d: cancelled run reported complete", workers)
+			} else if res.Reason != "cancelled" {
+				t.Errorf("workers=%d: reason = %q, want cancelled", workers, res.Reason)
+			}
+		})
+		uninstall()
+	}
+}
+
+// TestExternalContextCancellation covers the caller-side abort: a context
+// cancelled mid-run stops every discoverer with a clean partial.
+func TestExternalContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: nothing may run, nothing may hang
+	requireNoGoroutineLeak(t, func() {
+		for _, oc := range runAll(ctx, hotel(40), 4, engine.Budget{}) {
+			if !oc.partial {
+				t.Errorf("%s: run under cancelled context reported complete", oc.name)
+			}
+			if oc.name == "tane" && oc.out != "" {
+				t.Errorf("tane produced output %q under pre-cancelled context", oc.out)
+			}
+		}
+	})
+}
+
+// TestPartialPrefixConsistency is the determinism half of the failure
+// model: the same MaxTasks budget must truncate every discoverer at the
+// same deterministic prefix for workers=1 and workers=4, and that prefix
+// must be a subset of the full (unbudgeted) answer.
+func TestPartialPrefixConsistency(t *testing.T) {
+	r := hotel(40)
+	full := runAll(context.Background(), r, 1, engine.Budget{})
+	for _, budget := range []int64{10, 40, 120} {
+		b := engine.Budget{MaxTasks: budget}
+		seq := runAll(context.Background(), r, 1, b)
+		par := runAll(context.Background(), r, 4, b)
+		for i := range seq {
+			if seq[i].out != par[i].out || seq[i].partial != par[i].partial || seq[i].reason != par[i].reason {
+				t.Errorf("max-tasks=%d %s: workers=1 and workers=4 disagree\n--- w1 (partial=%v %s) ---\n%s\n--- w4 (partial=%v %s) ---\n%s",
+					budget, seq[i].name, seq[i].partial, seq[i].reason, seq[i].out, par[i].partial, par[i].reason, par[i].out)
+			}
+			// fastdc partial is a sample-style approximation, not a
+			// subset of the full answer (see fastdc.Result); the other
+			// four must be line-subsets of the full run.
+			if seq[i].partial && seq[i].name != "fastdc" {
+				assertLineSubset(t, seq[i].name, budget, seq[i].out, full[i].out)
+			}
+		}
+	}
+}
+
+func assertLineSubset(t *testing.T, name string, budget int64, part, full string) {
+	t.Helper()
+	have := map[string]bool{}
+	for _, line := range strings.Split(full, "\n") {
+		have[line] = true
+	}
+	for _, line := range strings.Split(part, "\n") {
+		if line != "" && !have[line] {
+			t.Errorf("max-tasks=%d %s: partial line %q not in full result", budget, name, line)
+		}
+	}
+}
+
+// TestChaosStorm is the everything-at-once soak: stalls, periodic panics
+// and a deadline together, across repeated runs, with the goroutine count
+// checked once at the end. Any crash, deadlock or leak fails the suite.
+func TestChaosStorm(t *testing.T) {
+	_, uninstall := Install(Options{PanicEvery: 23, DelayEvery: 5, Delay: time.Millisecond})
+	defer uninstall()
+	requireNoGoroutineLeak(t, func() {
+		for i := 0; i < 3; i++ {
+			b := engine.Budget{Timeout: 40 * time.Millisecond, MaxTasks: 150}
+			for _, oc := range runAll(context.Background(), hotel(50), 4, b) {
+				// Any outcome is legal here except a crash; partial runs
+				// must carry a reason.
+				if oc.partial && oc.reason == "" {
+					t.Errorf("storm %s: partial without reason", oc.name)
+				}
+			}
+		}
+	})
+}

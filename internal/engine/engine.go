@@ -1,7 +1,8 @@
 // Package engine is the shared parallel-execution substrate for the
 // discovery algorithms: a reusable bounded worker pool with context
-// cancellation, deterministic fan-out helpers, and a concurrency-safe
-// memoizing partition cache (see cache.go).
+// cancellation, per-run resource budgets (budget.go), deterministic
+// fan-out helpers, and a concurrency-safe memoizing partition cache
+// (cache.go).
 //
 // The paper's Fig 3 places FD/CFD/OD/DC discovery in the
 // exponential-lattice difficulty band; the engine lets each level or
@@ -12,18 +13,79 @@
 // collecting results positionally, so scheduling order never leaks into
 // output order. internal/engine/differential_test.go enforces the contract
 // for every parallelized algorithm.
+//
+// The pool also implements the failure model every discovery run relies
+// on (DESIGN.md "Failure model"): a panicking task is converted into a
+// task-attributed *PanicError that cancels the run instead of crashing
+// the process, Submit after Close returns ErrPoolClosed instead of
+// panicking on a closed channel, and an exhausted Budget stops the run
+// with ErrMaxTasks or context.DeadlineExceeded so callers can report a
+// deterministic partial result.
 package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
+
+// PanicError is the error a panicking task is converted into: the run is
+// cancelled, the panic value and stack are preserved, and the pool stays
+// safe to use (Close still drains, Submit returns errors).
+type PanicError struct {
+	// Task is the fan-out index of the panicking task, or -1 for a task
+	// submitted directly via Submit.
+	Task int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Task >= 0 {
+		return fmt.Sprintf("engine: task %d panicked: %v", e.Task, e.Value)
+	}
+	return fmt.Sprintf("engine: task panicked: %v", e.Value)
+}
+
+// abortPanic carries an error out of a task through Abort.
+type abortPanic struct{ err error }
+
+// Abort unwinds the calling task, recording err as the pool failure (if
+// none is recorded yet) without the task counting as completed. Long
+// searches inside a single task call it to escape once the run is already
+// cancelled — it is the mechanism that unpins a worker stuck in an
+// exponential search space after the deadline fires. Abort must only be
+// called from inside a task run by a Pool.
+func Abort(err error) {
+	panic(abortPanic{err: err})
+}
+
+// TaskHook observes (and may sabotage) every task execution. It is a
+// test-only seam for the fault-injection harness in internal/engine/chaos:
+// a hook may sleep, cancel the pool, or panic, and the pool must degrade
+// cleanly. Production code never installs a hook.
+type TaskHook func(p *Pool, task int)
+
+var taskHook atomic.Pointer[TaskHook]
+
+// SetTaskHook installs h as the global pre-task hook and returns a
+// function that restores the previous hook. Intended for fault-injection
+// tests only.
+func SetTaskHook(h TaskHook) (restore func()) {
+	prev := taskHook.Swap(&h)
+	return func() { taskHook.Store(prev) }
+}
 
 // Pool is a bounded worker pool. A Pool with one worker executes every
 // task inline on the submitting goroutine — the exact sequential legacy
 // path, with no goroutines and no channel traffic — so algorithms can use
-// one code path for both modes.
+// one code path for both modes. Budgets (deadline, max tasks) are honored
+// in both modes.
 //
 // Tasks submitted to the same Pool must not themselves submit to that
 // Pool: with every worker blocked on a full queue the pool would deadlock.
@@ -36,6 +98,21 @@ type Pool struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	once    sync.Once
+
+	// mu guards closed against the Submit/Close race: senders hold the
+	// read lock across the channel send, Close sets closed under the
+	// write lock before closing the channel, and cancels the context
+	// first so a blocked sender always wakes and releases the lock.
+	mu     sync.RWMutex
+	closed bool
+
+	// maxTasks caps Reserve'd task executions (0 = unlimited); used is
+	// the running total.
+	maxTasks int64
+	used     atomic.Int64
+
+	failMu  sync.Mutex
+	failure error
 }
 
 // New creates a pool with the given number of workers and a default
@@ -50,14 +127,34 @@ func New(workers int) *Pool {
 // the context error. queue bounds the number of submitted-but-unstarted
 // tasks (<= 0 selects 2×workers).
 func NewContext(ctx context.Context, workers, queue int) *Pool {
+	return NewBudgeted(ctx, workers, queue, Budget{})
+}
+
+// NewBudgeted is NewContext with a per-run Budget: a nonzero Timeout
+// imposes a wall-clock deadline on the pool's context, and a nonzero
+// MaxTasks bounds the total tasks the pool will run (enforced through
+// Reserve, which every fan-out helper calls). MaxCacheBytes is not
+// enforced by the pool; pass it to NewPartitionCacheBudget.
+func NewBudgeted(ctx context.Context, workers, queue int, b Budget) *Pool {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if queue <= 0 {
 		queue = 2 * workers
 	}
-	ctx, cancel := context.WithCancel(ctx)
-	p := &Pool{workers: workers, tasks: make(chan func(), queue), ctx: ctx, cancel: cancel}
+	var cancel context.CancelFunc
+	if b.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, b.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	p := &Pool{
+		workers:  workers,
+		tasks:    make(chan func(), queue),
+		ctx:      ctx,
+		cancel:   cancel,
+		maxTasks: b.MaxTasks,
+	}
 	if workers > 1 {
 		p.wg.Add(workers)
 		for i := 0; i < workers; i++ {
@@ -75,23 +172,123 @@ func NewContext(ctx context.Context, workers, queue int) *Pool {
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
 
-// Submit runs the task on a worker (or inline for a one-worker pool). It
-// blocks while the queue is full and returns the context error if the
-// pool is cancelled first. Submit must not be called after Close.
-func (p *Pool) Submit(task func()) error {
-	if err := p.ctx.Err(); err != nil {
-		return err
+// Used returns the number of budget-reserved task executions so far.
+func (p *Pool) Used() int64 { return p.used.Load() }
+
+// Err returns the first failure recorded on the pool (panic, exhausted
+// task budget) or, absent one, the pool context's error. It is nil while
+// the run is healthy; note that Close cancels the context, so Err is
+// non-nil on a closed pool.
+func (p *Pool) Err() error { return p.cause() }
+
+func (p *Pool) cause() error {
+	p.failMu.Lock()
+	defer p.failMu.Unlock()
+	if p.failure != nil {
+		return p.failure
 	}
-	if p.workers <= 1 {
-		task()
+	return p.ctx.Err()
+}
+
+// fail records err as the run's failure (first writer wins) and cancels
+// the pool so queued work is skipped.
+func (p *Pool) fail(err error) {
+	p.failMu.Lock()
+	if p.failure == nil {
+		p.failure = err
+	}
+	p.failMu.Unlock()
+	p.cancel()
+}
+
+// Reserve claims n task executions from the pool's task budget,
+// all-or-nothing: either the whole claim fits and nil is returned, or the
+// budget is left untouched, the run is failed with ErrMaxTasks and that
+// error is returned. All-or-nothing reservation at fan-out granularity is
+// what makes budget-truncated runs deterministic: the point where the
+// budget trips depends only on the (worker-independent) sequence of
+// fan-out sizes, never on scheduling.
+func (p *Pool) Reserve(n int) error {
+	if p.maxTasks <= 0 || n == 0 {
 		return nil
+	}
+	for {
+		cur := p.used.Load()
+		if cur+int64(n) > p.maxTasks {
+			p.fail(ErrMaxTasks)
+			return ErrMaxTasks
+		}
+		if p.used.CompareAndSwap(cur, cur+int64(n)) {
+			return nil
+		}
+	}
+}
+
+// exec runs fn with panic isolation and the chaos hook. It reports
+// whether fn completed; on panic the run is failed with a task-attributed
+// *PanicError (or, for Abort, the aborting error) and ok is false.
+func (p *Pool) exec(task int, fn func()) (ok bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			if ab, isAbort := v.(abortPanic); isAbort {
+				p.fail(ab.err)
+				return
+			}
+			p.fail(&PanicError{Task: task, Value: v, Stack: debug.Stack()})
+		}
+	}()
+	if h := taskHook.Load(); h != nil && *h != nil {
+		(*h)(p, task)
+	}
+	fn()
+	return true
+}
+
+// isClosed reports whether Close has begun.
+func (p *Pool) isClosed() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.closed
+}
+
+// send enqueues task for a worker. It blocks while the queue is full and
+// returns ErrPoolClosed after Close or the pool's failure/context error
+// on cancellation — never panicking on a closed channel.
+func (p *Pool) send(task func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
 	}
 	select {
 	case p.tasks <- task:
 		return nil
 	case <-p.ctx.Done():
-		return p.ctx.Err()
+		return p.cause()
 	}
+}
+
+// Submit runs the task on a worker (or inline for a one-worker pool). It
+// blocks while the queue is full. It returns ErrPoolClosed after Close,
+// the pool's failure/context error if the run is already cancelled, and —
+// in inline mode — the task's own converted panic, if any.
+func (p *Pool) Submit(task func()) error {
+	if p.isClosed() {
+		return ErrPoolClosed
+	}
+	if err := p.cause(); err != nil {
+		return err
+	}
+	if err := p.Reserve(1); err != nil {
+		return err
+	}
+	if p.workers <= 1 {
+		if p.exec(-1, task) {
+			return nil
+		}
+		return p.cause()
+	}
+	return p.send(func() { p.exec(-1, task) })
 }
 
 // Cancel aborts the pool: queued tasks wrapped by ForEach become no-ops
@@ -99,10 +296,14 @@ func (p *Pool) Submit(task func()) error {
 func (p *Pool) Cancel() { p.cancel() }
 
 // Close cancels the context, stops the workers and waits for them to
-// drain. It is safe to call more than once.
+// drain. It is safe to call more than once, and safe against concurrent
+// Submit/ForEach calls: late submissions get ErrPoolClosed.
 func (p *Pool) Close() {
 	p.once.Do(func() {
 		p.cancel()
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
 		close(p.tasks)
 		p.wg.Wait()
 	})
@@ -110,44 +311,119 @@ func (p *Pool) Close() {
 
 // ForEach runs fn(i) for every i in [0, n), fanned out across the pool's
 // workers, and blocks until all calls return. With one worker the calls
-// happen inline in index order. It returns the context error if the pool
-// was cancelled before every index ran; indices not yet started when the
-// cancellation lands are skipped.
+// happen inline in index order. The whole fan-out is Reserve'd against
+// the task budget up front. ForEach returns nil when every index ran —
+// even if a cancellation landed after the last index completed — and
+// otherwise the failure that stopped the run (budget, deadline, panic,
+// cancellation); indices not yet started when the stop lands are skipped.
 func (p *Pool) ForEach(n int, fn func(i int)) error {
-	if p == nil || p.workers <= 1 {
-		for i := 0; i < n; i++ {
-			if p != nil && p.ctx.Err() != nil {
-				return p.ctx.Err()
-			}
+	return p.forEach(0, n, fn)
+}
+
+// forEach is ForEach over the index range [lo, hi); fan-out helpers use
+// it so task attribution (PanicError.Task) carries global indices.
+func (p *Pool) forEach(lo, hi int, fn func(i int)) error {
+	n := hi - lo
+	if p == nil {
+		for i := lo; i < hi; i++ {
 			fn(i)
 		}
 		return nil
 	}
+	if n <= 0 {
+		return nil
+	}
+	if err := p.Reserve(n); err != nil {
+		return err
+	}
+	var completed atomic.Int64
+	if p.workers <= 1 {
+		for i := lo; i < hi; i++ {
+			if err := p.cause(); err != nil {
+				return err
+			}
+			i := i
+			if !p.exec(i, func() { fn(i) }) {
+				return p.cause()
+			}
+			completed.Add(1)
+		}
+		return nil
+	}
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	var sendErr error
+	for i := lo; i < hi; i++ {
 		i := i
 		wg.Add(1)
-		err := p.Submit(func() {
+		err := p.send(func() {
 			defer wg.Done()
-			if p.ctx.Err() == nil {
-				fn(i)
+			if p.cause() != nil {
+				return
+			}
+			if p.exec(i, func() { fn(i) }) {
+				completed.Add(1)
 			}
 		})
 		if err != nil {
 			wg.Done()
+			sendErr = err
 			break
 		}
 	}
 	wg.Wait()
-	return p.ctx.Err()
+	if completed.Load() == int64(n) {
+		return nil
+	}
+	if err := p.cause(); err != nil {
+		return err
+	}
+	return sendErr
 }
 
 // Map runs fn(i) for every i in [0, n) across the pool and returns the
 // results positionally: out[i] = fn(i) regardless of scheduling order.
 // This is the primitive the discovery algorithms build their determinism
-// guarantee on.
+// guarantee on. Errors are ignored; use MapErr when the run is budgeted
+// or may be cancelled.
 func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	p.ForEach(n, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapErr is Map with error propagation: on a budget/cancellation/panic
+// stop it returns the error that ended the run and no results (a
+// partially-filled slice would be scheduling-dependent).
+func MapErr[T any](p *Pool, n int, fn func(i int) T) ([]T, error) {
+	out := make([]T, n)
+	if err := p.ForEach(n, func(i int) { out[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DefaultBatch is the stripe width MapBudget uses when the caller passes
+// batch <= 0: large enough to keep every worker count the engine targets
+// busy, small enough that budget-truncated runs keep a useful prefix.
+const DefaultBatch = 32
+
+// MapBudget runs fn positionally like Map but in fixed-size batches, each
+// reserved against the pool's task budget before it starts. It returns
+// the results for the longest prefix of fully-completed batches, the
+// number of indices that prefix covers, and the error that stopped the
+// run (nil when all n completed). Because the batch boundaries and the
+// all-or-nothing reservations are independent of the worker count, a
+// MaxTasks-truncated run covers the same prefix for every worker count.
+func MapBudget[T any](p *Pool, n, batch int, fn func(i int) T) ([]T, int, error) {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	out := make([]T, n)
+	for lo := 0; lo < n; lo += batch {
+		hi := min(lo+batch, n)
+		if err := p.forEach(lo, hi, func(i int) { out[i] = fn(i) }); err != nil {
+			return out[:lo], lo, err
+		}
+	}
+	return out, n, nil
 }

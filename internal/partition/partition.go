@@ -89,6 +89,19 @@ func (p *Partition) Size() int {
 	return total
 }
 
+// MemBytes estimates the partition's resident memory: the struct, the
+// class slice headers, and 8 bytes per stored row index. The engine's
+// partition cache uses it for byte-bounded eviction, so it only needs to
+// be proportional, not exact.
+func (p *Partition) MemBytes() int64 {
+	const structOverhead, sliceHeader, intSize = 64, 24, 8
+	bytes := int64(structOverhead)
+	for _, c := range p.classes {
+		bytes += sliceHeader + intSize*int64(len(c))
+	}
+	return bytes
+}
+
 // Error returns e(X) = (||π|| − |stripped classes|) / n, TANE's measure of
 // how far X is from being a key: the minimum fraction of rows to remove so
 // that X has no duplicate values.
