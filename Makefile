@@ -27,7 +27,12 @@ chaos:
 fuzz:
 	$(GO) test -run=X -fuzz=FuzzCSVRoundTrip -fuzztime=30s ./internal/relation/
 
+# Benchmark pass: every benchmark runs once (-benchtime=1x keeps CI
+# cheap), the text output lands in BENCH_3.txt and cmd/benchjson converts
+# it to BENCH_3.json. No pipes: if the benchmarks error the first command
+# fails the target, and benchjson refuses an input with no results.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./... > BENCH_3.txt
+	$(GO) run ./cmd/benchjson -in BENCH_3.txt -out BENCH_3.json
 
 verify: build test race

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: deptree
+cpu: Example CPU @ 2.00GHz
+BenchmarkEngineWorkers/tane/workers=1-8         	      66	  17634504 ns/op	 8211426 B/op	   81341 allocs/op
+BenchmarkEngineWorkers/tane/workers=4-8         	     142	   8413288 ns/op	 8464734 B/op	   81420 allocs/op
+BenchmarkCustomMetric-8                         	     100	      1234 ns/op	        42.5 widgets/op
+PASS
+ok  	deptree	3.456s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU == "" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkEngineWorkers/tane/workers=1-8" || b.Iterations != 66 ||
+		b.NsPerOp != 17634504 || b.BytesPerOp != 8211426 || b.AllocsPerOp != 81341 || b.Pkg != "deptree" {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if got := rep.Benchmarks[2].Metrics["widgets/op"]; got != 42.5 {
+		t.Errorf("custom metric = %v", got)
+	}
+}
+
+func TestParseRejectsFailAndEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("goos: linux\nPASS\n")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := parse(strings.NewReader(sample + "FAIL\tdeptree\t0.1s\n")); err == nil {
+		t.Error("FAIL line accepted")
+	}
+}
+
+func TestParseLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanumber 5 ns/op",
+		"BenchmarkX 10 nope ns/op",
+		"BenchmarkX 10 5", // dangling value without unit
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("malformed line accepted: %q", line)
+		}
+	}
+}

@@ -7,10 +7,16 @@
 //
 //	deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
 //	deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr ε] [-workers N]
-//	deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
-//	deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
+//	deptool validate -in data.csv -fd "lhs1,lhs2->rhs" [-workers N] [-timeout d] [-max-tasks n]
+//	deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
 //	deptool gen      -rows N [-errors ε] [-variety v] [-dups d] [-seed s] [-out hotels.csv]
 //	deptool profile  -in data.csv
+//
+// Every budgeted command (discover, validate, repair, profile) also takes
+// the observability flags -metrics-addr (serve expvar, pprof and
+// Prometheus text exposition over HTTP for the run's duration) and
+// -trace-out (write the run's span events as JSONL). Observation never
+// changes command output.
 //
 // All input CSVs are read with string columns unless a column parses
 // entirely as numeric.
@@ -19,11 +25,16 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 
 	"deptree/internal/apps/detect"
 	"deptree/internal/apps/repair"
@@ -38,6 +49,7 @@ import (
 	"deptree/internal/discovery/tane"
 	"deptree/internal/engine"
 	"deptree/internal/gen"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -46,6 +58,91 @@ import (
 // answer (marked PARTIAL on stdout) and the process exits 2, so scripts
 // can tell "complete" (0), "partial" (2) and "failed" (1) apart.
 var errPartial = errors.New("partial result (budget exhausted)")
+
+// obsFlags carries the observability flags shared by every budgeted
+// command: -metrics-addr serves the run's metrics over HTTP, -trace-out
+// exports its span events.
+type obsFlags struct {
+	metricsAddr *string
+	traceOut    *string
+}
+
+func addObsFlags(fs *flag.FlagSet) obsFlags {
+	return obsFlags{
+		metricsAddr: fs.String("metrics-addr", "", "serve expvar (/debug/vars), pprof (/debug/pprof/) and Prometheus text (/metrics) on this address for the run's duration"),
+		traceOut:    fs.String("trace-out", "", "write the run's span events as JSONL to this file"),
+	}
+}
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and tests invoke commands repeatedly in one
+// process.
+var expvarOnce sync.Once
+
+// metricsAddrBound records the metrics listener's resolved address (the
+// kernel picks the port when -metrics-addr ends in ":0"); tests read it.
+var metricsAddrBound string
+
+// start creates the run's registry, brings up the metrics server when
+// requested, and returns a finish func that writes the trace file and
+// shuts the server down. The registry feeds the discoverers regardless of
+// the flags, so a trace/metrics request never changes the executed path —
+// only whether the collected data is exported.
+func (o obsFlags) start() (*obs.Registry, func() error, error) {
+	reg := obs.New()
+	var srv *http.Server
+	if *o.metricsAddr != "" {
+		expvarOnce.Do(func() {
+			expvar.Publish("deptree", expvar.Func(func() any { return reg.Snapshot() }))
+		})
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+		ln, err := net.Listen("tcp", *o.metricsAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		metricsAddrBound = ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
+		srv = &http.Server{Handler: mux}
+		go srv.Serve(ln)
+	}
+	finish := func() error {
+		if srv != nil {
+			srv.Close()
+		}
+		if *o.traceOut == "" {
+			return nil
+		}
+		f, err := os.Create(*o.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return reg, finish, nil
+}
+
+// finishObs runs the observability teardown, preserving the command's own
+// error (including errPartial, which drives the exit code).
+func finishObs(finish func() error, runErr error) error {
+	if err := finish(); err != nil && runErr == nil {
+		return err
+	}
+	return runErr
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -83,10 +180,15 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
   deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e] [-workers N] [-timeout d] [-max-tasks n]
-  deptool validate -in data.csv -fd "lhs1,lhs2->rhs"
-  deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv]
+  deptool validate -in data.csv -fd "lhs1,lhs2->rhs" [-workers N] [-timeout d] [-max-tasks n]
+  deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
   deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]
   deptool profile  -in data.csv [-workers N] [-timeout d] [-max-tasks n] [-max-cache-mb m] [-v]
+
+discover, validate, repair and profile also take:
+  -metrics-addr host:port   serve expvar (/debug/vars), pprof (/debug/pprof/)
+                            and Prometheus text (/metrics) during the run
+  -trace-out file.jsonl     write the run's span events as JSONL
 
 exit codes: 0 complete, 2 partial result (budget exhausted; PARTIAL marker
 on stdout), 1 error`)
@@ -169,6 +271,7 @@ func cmdDiscover(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the completed prefix is printed with a PARTIAL marker and the exit code is 2")
 	maxTasks := fs.Int64("max-tasks", 0, "task-execution budget (0 = unlimited); truncation is deterministic for any -workers value")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -179,37 +282,41 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg, obsDone, err := ob.start()
+	if err != nil {
+		return err
+	}
 	ctx := context.Background()
 	budget := engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks}
 	var partial bool
 	var reason string
 	switch *algo {
 	case "tane":
-		res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: *maxErr, Workers: *workers, Budget: budget})
+		res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: *maxErr, Workers: *workers, Budget: budget, Obs: reg})
 		for _, f := range res.FDs {
 			fmt.Println(f)
 		}
 		partial, reason = res.Partial, res.Reason
 	case "fastfd":
-		res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: *workers, Budget: budget})
+		res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: *workers, Budget: budget, Obs: reg})
 		for _, f := range res.FDs {
 			fmt.Println(f)
 		}
 		partial, reason = res.Partial, res.Reason
 	case "cords":
-		res := cords.DiscoverContext(ctx, r, cords.Options{Workers: *workers, Budget: budget})
+		res := cords.DiscoverContext(ctx, r, cords.Options{Workers: *workers, Budget: budget, Obs: reg})
 		for _, s := range res.SFDs {
 			fmt.Println(s)
 		}
 		partial, reason = res.Partial, res.Reason
 	case "fastdc":
-		res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget})
+		res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget, Obs: reg})
 		for _, d := range res.DCs {
 			fmt.Println(d)
 		}
 		partial, reason = res.Partial, res.Reason
 	case "od":
-		res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget})
+		res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget, Obs: reg})
 		for _, o := range oddisc.Minimal(res.ODs) {
 			fmt.Println(o)
 		}
@@ -217,11 +324,12 @@ func cmdDiscover(args []string) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+	var runErr error
 	if partial {
 		fmt.Printf("PARTIAL: %s\n", reason)
-		return errPartial
+		runErr = errPartial
 	}
-	return nil
+	return finishObs(obsDone, runErr)
 }
 
 // parseFD parses "a,b->c" against a schema.
@@ -245,7 +353,11 @@ func parseFD(schema *relation.Schema, spec string) (fd.FD, error) {
 func cmdValidate(args []string) error {
 	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV")
-	fdSpec := fs.String("fd", "", "FD as lhs1,lhs2->rhs")
+	fdSpec := fs.String("fd", "", "FDs as lhs1,lhs2->rhs (repeatable via semicolons)")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the checked prefix is printed with a PARTIAL marker and the exit code is 2")
+	maxTasks := fs.Int64("max-tasks", 0, "rule-check budget (0 = unlimited); truncation is deterministic for any -workers value")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -256,14 +368,42 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := parseFD(r.Schema(), *fdSpec)
+	var rules []deps.Dependency
+	var fdRules []fd.FD
+	for _, spec := range strings.Split(*fdSpec, ";") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		f, err := parseFD(r.Schema(), spec)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, f)
+		fdRules = append(fdRules, f)
+	}
+	reg, obsDone, err := ob.start()
 	if err != nil {
 		return err
 	}
-	reports := detect.Run(r, []deps.Dependency{f}, detect.Options{PerRuleLimit: 20})
-	fmt.Print(detect.Format(reports))
-	fmt.Printf("g3 error: %.4f\n", f.G3(r))
-	return nil
+	res := detect.RunContext(context.Background(), r, rules, detect.Options{
+		PerRuleLimit: 20,
+		Workers:      *workers,
+		Budget:       engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
+		Obs:          reg,
+	})
+	fmt.Print(detect.Format(res.Reports))
+	for i, f := range fdRules {
+		if i >= res.Completed {
+			break
+		}
+		fmt.Printf("g3 error: %.4f\n", f.G3(r))
+	}
+	var runErr error
+	if res.Partial {
+		fmt.Printf("PARTIAL: %s (checked %d of %d rules)\n", res.Reason, res.Completed, len(rules))
+		runErr = errPartial
+	}
+	return finishObs(obsDone, runErr)
 }
 
 func cmdRepair(args []string) error {
@@ -271,6 +411,10 @@ func cmdRepair(args []string) error {
 	in := fs.String("in", "", "input CSV")
 	out := fs.String("out", "", "output CSV (default stdout)")
 	fdSpec := fs.String("fd", "", "FD as lhs->rhs")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the partially repaired instance is written with a PARTIAL marker and the exit code is 2")
+	maxTasks := fs.Int64("max-tasks", 0, "class-repair budget (0 = unlimited); truncation is deterministic for any -workers value")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -285,7 +429,15 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := repair.FDRepair(r, []fd.FD{f})
+	reg, obsDone, err := ob.start()
+	if err != nil {
+		return err
+	}
+	res := repair.FDRepairContext(context.Background(), r, []fd.FD{f}, repair.Options{
+		Workers: *workers,
+		Budget:  engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
+		Obs:     reg,
+	})
 	for _, ch := range res.Changes {
 		fmt.Fprintln(os.Stderr, "  ", ch)
 	}
@@ -299,7 +451,15 @@ func cmdRepair(args []string) error {
 		defer file.Close()
 		dst = file
 	}
-	return relation.WriteCSV(res.Repaired, dst)
+	if err := relation.WriteCSV(res.Repaired, dst); err != nil {
+		return err
+	}
+	var runErr error
+	if res.Partial {
+		fmt.Printf("PARTIAL: %s\n", res.Reason)
+		runErr = errPartial
+	}
+	return finishObs(obsDone, runErr)
 }
 
 func cmdGen(args []string) error {
@@ -339,7 +499,8 @@ func cmdProfile(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-section wall-clock budget (0 = unlimited); exhausted sections report partial counts and the exit code is 2")
 	maxTasks := fs.Int64("max-tasks", 0, "per-section task budget (0 = unlimited)")
 	maxCacheMB := fs.Int64("max-cache-mb", 0, "partition-cache byte bound in MiB (0 = count-bounded only)")
-	verbose := fs.Bool("v", false, "print partition-cache statistics")
+	verbose := fs.Bool("v", false, "print partition-cache statistics and the observability registry snapshot")
+	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -347,6 +508,10 @@ func cmdProfile(args []string) error {
 		return fmt.Errorf("-in required")
 	}
 	r, err := loadCSV(*in)
+	if err != nil {
+		return err
+	}
+	reg, obsDone, err := ob.start()
 	if err != nil {
 		return err
 	}
@@ -365,6 +530,7 @@ func cmdProfile(args []string) error {
 	// The TANE passes share one partition cache: the approximate pass
 	// reuses every partition the exact pass already built.
 	cache := engine.NewPartitionCacheBudget(r, 0, budget.MaxCacheBytes)
+	cache.SetObserver(reg)
 	fmt.Printf("%s: %d tuples x %d attributes\n\n", r.Name(), r.Rows(), r.Cols())
 
 	fmt.Println("column statistics:")
@@ -377,7 +543,7 @@ func cmdProfile(args []string) error {
 	}
 	fmt.Println()
 
-	exactRes := tane.DiscoverContext(ctx, r, tane.Options{MaxLHS: 2, Workers: *workers, Cache: cache, Budget: budget})
+	exactRes := tane.DiscoverContext(ctx, r, tane.Options{MaxLHS: 2, Workers: *workers, Cache: cache, Budget: budget, Obs: reg})
 	exact := exactRes.FDs
 	fmt.Printf("exact minimal FDs (LHS <= 2): %d%s\n", len(exact), note("exact FDs", exactRes.Partial, exactRes.Reason))
 	for i, f := range exact {
@@ -388,10 +554,10 @@ func cmdProfile(args []string) error {
 		fmt.Printf("  %s\n", f)
 	}
 
-	approxRes := tane.DiscoverContext(ctx, r, tane.Options{MaxError: 0.05, MaxLHS: 1, Workers: *workers, Cache: cache, Budget: budget})
+	approxRes := tane.DiscoverContext(ctx, r, tane.Options{MaxError: 0.05, MaxLHS: 1, Workers: *workers, Cache: cache, Budget: budget, Obs: reg})
 	fmt.Printf("\napproximate FDs (g3 <= 0.05, LHS = 1): %d%s\n", len(approxRes.FDs), note("approximate FDs", approxRes.Partial, approxRes.Reason))
 
-	soft := cords.DiscoverContext(ctx, r, cords.Options{MinStrength: 0.9, Workers: *workers, Budget: budget})
+	soft := cords.DiscoverContext(ctx, r, cords.Options{MinStrength: 0.9, Workers: *workers, Budget: budget, Obs: reg})
 	flagged := 0
 	for _, c := range soft.Correlations {
 		if c.Correlated {
@@ -403,7 +569,7 @@ func cmdProfile(args []string) error {
 	consts := cfddisc.ConstantCFDs(r, cfddisc.Options{MinSupport: max(2, r.Rows()/20), MaxLHS: 1})
 	fmt.Printf("constant CFDs (support >= %d): %d\n", max(2, r.Rows()/20), len(consts))
 
-	odRes := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget})
+	odRes := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget, Obs: reg})
 	ods := oddisc.Minimal(odRes.ODs)
 	fmt.Printf("minimal order dependencies: %d%s\n", len(ods), note("order dependencies", odRes.Partial, odRes.Reason))
 	for i, o := range ods {
@@ -418,19 +584,22 @@ func cmdProfile(args []string) error {
 	if r.Rows() > 80 {
 		sample = r.Select(func(row int) bool { return row < 80 })
 	}
-	dcRes := fastdc.DiscoverContext(ctx, sample, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget})
+	dcRes := fastdc.DiscoverContext(ctx, sample, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget, Obs: reg})
 	fmt.Printf("denial constraints (FASTDC on %d rows, <= 2 predicates): %d%s\n", sample.Rows(), len(dcRes.DCs), note("FASTDC", dcRes.Partial, dcRes.Reason))
 
 	if *verbose {
 		st := cache.Stats()
 		fmt.Printf("\npartition cache: %d hits, %d misses, %d evictions, %d entries, %d bytes resident\n",
 			st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
+		fmt.Printf("\nobservability registry:\n")
+		reg.Snapshot().Format(os.Stdout)
 	}
+	var runErr error
 	if len(partials) > 0 {
 		fmt.Printf("PARTIAL: %s\n", strings.Join(partials, "; "))
-		return errPartial
+		runErr = errPartial
 	}
-	return nil
+	return finishObs(obsDone, runErr)
 }
 
 func max(a, b int) int {

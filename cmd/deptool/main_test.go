@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -253,5 +255,149 @@ func TestCmdGen(t *testing.T) {
 	}
 	if r.Rows() != 25 {
 		t.Errorf("generated %d rows", r.Rows())
+	}
+}
+
+// validate with several rules and a -max-tasks budget must stop on a rule
+// boundary, print the PARTIAL marker and return errPartial, with stdout
+// identical for any -workers value.
+func TestCmdValidatePartialBudget(t *testing.T) {
+	path := writeHotelsCSV(t)
+	rules := "address->region;name->region;price->region"
+	run := func(workers string) (string, error) {
+		return capture(t, func() error {
+			return cmdValidate([]string{"-in", path, "-fd", rules, "-max-tasks", "1", "-workers", workers})
+		})
+	}
+	seq, seqErr := run("1")
+	par, parErr := run("4")
+	if !errors.Is(seqErr, errPartial) || !errors.Is(parErr, errPartial) {
+		t.Fatalf("errors = %v / %v, want errPartial", seqErr, parErr)
+	}
+	if !strings.Contains(seq, "PARTIAL: max-tasks (checked 1 of 3 rules)") {
+		t.Fatalf("missing PARTIAL marker:\n%s", seq)
+	}
+	if seq != par {
+		t.Fatalf("partial output depends on workers:\n--- w1 ---\n%s--- w4 ---\n%s", seq, par)
+	}
+}
+
+// repair under an exhausted budget still writes a (partially repaired)
+// instance, marks it PARTIAL and exits 2.
+func TestCmdRepairPartialBudget(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdRepair([]string{"-in", path, "-fd", "address->region", "-max-tasks", "1"})
+	})
+	if !errors.Is(err, errPartial) {
+		t.Fatalf("budgeted repair returned %v, want errPartial", err)
+	}
+	if !strings.Contains(out, "PARTIAL: max-tasks") {
+		t.Fatalf("missing PARTIAL marker:\n%s", out)
+	}
+	// The CSV must still be written (header + 40 rows before the marker).
+	if lines := strings.Count(out, "\n"); lines < 41 {
+		t.Fatalf("partial repair wrote %d lines:\n%.400s", lines, out)
+	}
+}
+
+// -trace-out must produce one valid JSON event per line, including the
+// discoverer's run span.
+func TestCmdDiscoverTraceOut(t *testing.T) {
+	path := writeHotelsCSV(t)
+	trace := filepath.Join(t.TempDir(), "trace.jsonl")
+	if _, err := capture(t, func() error {
+		return cmdDiscover([]string{"-in", path, "-algo", "tane", "-trace-out", trace})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d events", len(lines))
+	}
+	var sawRun bool
+	for _, line := range lines {
+		var ev struct {
+			Kind string `json:"kind"`
+			Name string `json:"name"`
+			Dur  *int64 `json:"dur_ns"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if ev.Dur == nil {
+			t.Fatalf("trace line missing dur_ns: %q", line)
+		}
+		if ev.Kind == "run" && ev.Name == "tane" {
+			sawRun = true
+		}
+	}
+	if !sawRun {
+		t.Fatalf("no tane run span in trace:\n%s", data)
+	}
+}
+
+// The -metrics-addr server must expose the run's registry as Prometheus
+// text and the expvar JSON dump.
+func TestMetricsServer(t *testing.T) {
+	ms, to := "127.0.0.1:0", ""
+	o := obsFlags{metricsAddr: &ms, traceOut: &to}
+	reg, done, err := o.start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer done()
+	reg.Counter("test.requests").Add(3)
+	get := func(path string) string {
+		resp, err := http.Get("http://" + metricsAddrBound + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if prom := get("/metrics"); !strings.Contains(prom, "deptree_test_requests_total 3") {
+		t.Fatalf("prometheus exposition missing counter:\n%s", prom)
+	}
+	vars := get("/debug/vars")
+	var dump map[string]any
+	if err := json.Unmarshal([]byte(vars), &dump); err != nil {
+		t.Fatalf("expvar dump is not valid JSON (%v):\n%.300s", err, vars)
+	}
+	if _, ok := dump["deptree"]; !ok {
+		t.Fatalf("expvar dump missing the deptree registry var:\n%.300s", vars)
+	}
+}
+
+// profile -v must print the obs registry snapshot: engine task counters,
+// cache counters and per-discoverer stage latencies (the PR's acceptance
+// criterion).
+func TestCmdProfileVerboseRegistry(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdProfile([]string{"-in", path, "-v"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "observability registry:") {
+		t.Fatalf("profile -v missing registry section:\n%s", out)
+	}
+	for _, want := range []string{
+		"engine.tasks.completed", "engine.tasks.panicked", "engine.tasks.cancelled",
+		"cache.hits", "cache.misses", "cache.evictions",
+		"tane.level.seconds", "cords.pairs.seconds", "oddisc.checks.seconds", "fastdc.evidence.seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile -v missing %q", want)
+		}
 	}
 }

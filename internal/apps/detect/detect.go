@@ -6,11 +6,14 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"deptree/internal/deps"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -28,29 +31,83 @@ type Report struct {
 type Options struct {
 	// PerRuleLimit caps witnesses per dependency (0 = unlimited).
 	PerRuleLimit int
+	// Workers fans the per-rule checks out across goroutines. 0 or 1
+	// runs sequentially; reports are collected in rule order, so output
+	// is identical for every worker count.
+	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget truncates the check to a prefix of the rules and the
+	// RunResult reports Partial.
+	Budget engine.Budget
+	// Obs optionally receives the run's metrics (detect.* counters, the
+	// rule-check phase latency) and its run/phase spans. Nil is a full
+	// no-op; observation never changes output.
+	Obs *obs.Registry
+}
+
+// RunResult is a detection run's outcome. A Partial result covers the
+// first Completed rules only — a deterministic prefix for any worker
+// count, since rules fan out one per task in order.
+type RunResult struct {
+	Reports []Report
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+	// Completed is the number of rules fully checked.
+	Completed int
 }
 
 // Run checks every dependency and returns one report per violated rule.
 func Run(r *relation.Relation, rules []deps.Dependency, opts Options) []Report {
-	var out []Report
-	for _, rule := range rules {
+	return RunContext(context.Background(), r, rules, opts).Reports
+}
+
+// RunContext is Run under a context and Options.Budget: rules fan out
+// across Options.Workers goroutines (one rule per task, so a truncated
+// run stops on an exact rule boundary) and budget exhaustion yields a
+// Partial prefix instead of failing.
+func RunContext(ctx context.Context, r *relation.Relation, rules []deps.Dependency, opts Options) RunResult {
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "detect")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("rules", len(rules))
+	defer run.End()
+
+	ruleTimer := reg.Histogram("detect.rules.seconds").Start()
+	reps, done, err := engine.MapBudget(pool, len(rules), 1, func(i int) Report {
+		rule := rules[i]
 		limit := opts.PerRuleLimit
 		probe := limit
 		if probe > 0 {
 			probe++ // detect truncation
 		}
 		vs := rule.Violations(r, probe)
-		if len(vs) == 0 {
-			continue
-		}
 		rep := Report{Dep: rule, Violations: vs}
 		if limit > 0 && len(vs) > limit {
 			rep.Violations = vs[:limit]
 			rep.Truncated = true
 		}
-		out = append(out, rep)
+		return rep
+	})
+	ruleTimer()
+	reg.Counter("detect.rules.checked").Add(int64(done))
+	res := RunResult{Completed: done}
+	for i := 0; i < done; i++ {
+		if len(reps[i].Violations) > 0 {
+			res.Reports = append(res.Reports, reps[i])
+		}
 	}
-	return out
+	reg.Counter("detect.rules.violated").Add(int64(len(res.Reports)))
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 // TupleScores aggregates violations into per-tuple counts — the standard

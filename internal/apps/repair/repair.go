@@ -20,11 +20,14 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 
 	"deptree/internal/deps"
 	"deptree/internal/deps/dc"
 	"deptree/internal/deps/fd"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
@@ -44,6 +47,27 @@ func (c Change) String() string {
 type Result struct {
 	Repaired *relation.Relation
 	Changes  []Change
+	// Partial marks a run truncated by budget, cancellation or panic; the
+	// Repaired instance then reflects the changes applied so far (a valid
+	// relation, but the dependencies may still be violated).
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+}
+
+// Options configures the budgeted repair entry points.
+type Options struct {
+	// Workers fans the per-class majority computations out across
+	// goroutines. 0 or 1 runs sequentially; classes are disjoint and
+	// changes apply in class order, so output is identical for every
+	// worker count.
+	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget stops the fixpoint iteration and the Result reports Partial.
+	Budget engine.Budget
+	// Obs optionally receives the run's metrics (repair.* counters) and
+	// its run span. Nil is a full no-op; observation never changes output.
+	Obs *obs.Registry
 }
 
 // FDRepair repairs FD violations by majority vote within each LHS
@@ -51,40 +75,62 @@ type Result struct {
 // the Y cells are overwritten with the group's most frequent Y values.
 // The result provably satisfies the given FDs (each class ends uniform).
 func FDRepair(r *relation.Relation, fds []fd.FD) Result {
+	return FDRepairContext(context.Background(), r, fds, Options{})
+}
+
+// FDRepairContext is FDRepair under a context and Options.Budget: within
+// each FD the per-class majority computations fan out across
+// Options.Workers goroutines (classes partition the rows, so the reads
+// are disjoint), and the resulting changes apply serially in class order.
+// Budget exhaustion stops the fixpoint mid-pass; the Result then carries
+// the changes applied so far and reports Partial.
+func FDRepairContext(ctx context.Context, r *relation.Relation, fds []fd.FD, opts Options) Result {
 	out := r.Clone()
 	var changes []Change
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "repair.fd")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("fds", len(fds))
+	defer run.End()
+
+	finish := func(err error) Result {
+		reg.Counter("repair.cells.changed").Add(int64(len(changes)))
+		run.SetAttr("changes", len(changes))
+		res := Result{Repaired: out, Changes: changes}
+		if err != nil {
+			res.Partial = true
+			res.Reason = engine.Reason(err)
+			run.SetAttr("stop", res.Reason)
+		}
+		return res
+	}
 	// Iterate to a fixpoint: repairing one FD can break another.
+	passes := 0
 	for pass := 0; pass < len(fds)+1; pass++ {
+		passes++
 		dirty := false
 		for _, f := range fds {
+			f := f
 			px := partition.Build(out, f.LHS)
-			for _, class := range px.Classes() {
-				for _, y := range f.RHS.Cols() {
-					// Majority value of column y within the class.
-					counts := map[string]int{}
-					rep := map[string]relation.Value{}
-					for _, row := range class {
-						v := out.Value(row, y)
-						counts[v.Key()]++
-						rep[v.Key()] = v
-					}
-					bestKey, best := "", -1
-					for k, c := range counts {
-						if c > best || (c == best && k < bestKey) {
-							bestKey, best = k, c
-						}
-					}
-					if counts[bestKey] == len(class) {
-						continue
-					}
-					target := rep[bestKey]
-					for _, row := range class {
-						if !out.Value(row, y).Equal(target) {
-							changes = append(changes, Change{Row: row, Col: y, Old: out.Value(row, y), New: target})
-							out.SetValue(row, y, target)
-							dirty = true
-						}
-					}
+			classes := px.Classes()
+			perClass, err := engine.MapErr(pool, len(classes), func(i int) []Change {
+				return classChanges(out, f, classes[i])
+			})
+			if err != nil {
+				run.SetAttr("passes", passes)
+				return finish(err)
+			}
+			// Apply serially in class order: classes are disjoint row
+			// sets, so applying after computing leaves the same instance
+			// the sequential interleaved version produced.
+			for _, chs := range perClass {
+				for _, ch := range chs {
+					out.SetValue(ch.Row, ch.Col, ch.New)
+					changes = append(changes, ch)
+					dirty = true
 				}
 			}
 		}
@@ -92,7 +138,41 @@ func FDRepair(r *relation.Relation, fds []fd.FD) Result {
 			break
 		}
 	}
-	return Result{Repaired: out, Changes: changes}
+	run.SetAttr("passes", passes)
+	return finish(nil)
+}
+
+// classChanges computes the majority-vote overwrites for one LHS
+// equivalence class without mutating the relation. Reads are confined to
+// the class rows, which makes concurrent per-class calls safe.
+func classChanges(out *relation.Relation, f fd.FD, class []int) []Change {
+	var chs []Change
+	for _, y := range f.RHS.Cols() {
+		// Majority value of column y within the class.
+		counts := map[string]int{}
+		rep := map[string]relation.Value{}
+		for _, row := range class {
+			v := out.Value(row, y)
+			counts[v.Key()]++
+			rep[v.Key()] = v
+		}
+		bestKey, best := "", -1
+		for k, c := range counts {
+			if c > best || (c == best && k < bestKey) {
+				bestKey, best = k, c
+			}
+		}
+		if counts[bestKey] == len(class) {
+			continue
+		}
+		target := rep[bestKey]
+		for _, row := range class {
+			if !out.Value(row, y).Equal(target) {
+				chs = append(chs, Change{Row: row, Col: y, Old: out.Value(row, y), New: target})
+			}
+		}
+	}
+	return chs
 }
 
 // HolisticDCRepair repairs DC violations following the holistic strategy:

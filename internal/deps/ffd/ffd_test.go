@@ -103,3 +103,42 @@ func TestStringAndKind(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+// TestFDEmbeddingEdgeProperty widens the FD → FFD degeneracy check to
+// multi-attribute determinants over random categorical relations: for
+// every candidate FD the crisp embedding must agree with the FD exactly.
+func TestFDEmbeddingEdgeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	cols := []string{"c0", "c1", "c2"}
+	var lhss [][]string
+	for _, a := range cols {
+		lhss = append(lhss, []string{a})
+		for _, b := range cols {
+			if a < b {
+				lhss = append(lhss, []string{a, b})
+			}
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		r := gen.Categorical(16, []int{2, 3, 2}, rng.Int63())
+		for _, lhs := range lhss {
+			for _, rhs := range cols {
+				skip := false
+				for _, a := range lhs {
+					if a == rhs {
+						skip = true
+					}
+				}
+				if skip {
+					continue
+				}
+				f := fd.Must(r.Schema(), lhs, []string{rhs})
+				ff := FromFD(f)
+				if f.Holds(r) != ff.Holds(r) {
+					t.Fatalf("trial %d, %v->%s: FD.Holds=%v but FFD(crisp).Holds=%v",
+						trial, lhs, rhs, f.Holds(r), ff.Holds(r))
+				}
+			}
+		}
+	}
+}

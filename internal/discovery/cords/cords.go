@@ -16,6 +16,7 @@ import (
 	"deptree/internal/attrset"
 	"deptree/internal/deps/sfd"
 	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -44,6 +45,10 @@ type Options struct {
 	// budget truncates the analysis to a prefix of the column pairs and
 	// the Result reports Partial.
 	Budget engine.Budget
+	// Obs optionally receives the run's metrics (cords.* counters, the
+	// pair-analysis phase latency) and its run/phase spans. Nil is a
+	// full no-op; observation never changes output.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -108,18 +113,36 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 			}
 		}
 	}
-	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
 	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "cords")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("sample", len(sample))
+	run.SetAttr("pairs", len(pairs))
+	defer run.End()
+
+	pairSpan := run.Child(obs.KindPhase, "pair-analysis")
+	pairTimer := reg.Histogram("cords.pairs.seconds").Start()
 	corrs, done, err := engine.MapBudget(pool, len(pairs), 0, func(i int) Correlation {
 		return analyze(r, sample, pairs[i].c1, pairs[i].c2, opts)
 	})
+	pairTimer()
+	pairSpan.SetAttr("completed", done)
+	pairSpan.End()
+	reg.Counter("cords.pairs.analyzed").Add(int64(done))
 	res := Result{Completed: done}
 	if err != nil {
 		res.Partial = true
 		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
 	}
 	for _, corr := range corrs {
 		res.Correlations = append(res.Correlations, corr)
+		if corr.Correlated {
+			reg.Counter("cords.pairs.correlated").Inc()
+		}
 		if corr.Strength >= opts.MinStrength {
 			res.SFDs = append(res.SFDs, sfd.SFD{
 				LHS:         attrset.Single(corr.Col1),
@@ -129,6 +152,7 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 			})
 		}
 	}
+	reg.Counter("cords.sfds.found").Add(int64(len(res.SFDs)))
 	return res
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"deptree/internal/deps/dc"
 	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// budget truncates the evidence scan to a prefix of the first-tuple
 	// row range and the Result reports Partial.
 	Budget engine.Budget
+	// Obs optionally receives the run's metrics (fastdc.* counters, the
+	// evidence-scan and cover-search phase latencies) and its run/phase
+	// spans. Nil is a full no-op; observation never changes output.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -80,11 +85,28 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 	if r.Rows() < 2 {
 		return Result{}
 	}
+	reg := opts.Obs
+	run := reg.StartSpan(obs.KindRun, "fastdc")
+	run.SetAttr("rows", r.Rows())
+	defer run.End()
+
 	space := PredicateSpace(r, opts.CrossColumn)
-	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	run.SetAttr("predicates", len(space))
+	reg.Counter("fastdc.predicates").Add(int64(len(space)))
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
 	defer pool.Close()
+
+	evSpan := run.Child(obs.KindPhase, "evidence-scan")
+	evTimer := reg.Histogram("fastdc.evidence.seconds").Start()
 	evidence, counts, rowsCovered, evErr := evidencePrefix(r, space, pool)
+	evTimer()
+	evSpan.SetAttr("sets", len(evidence))
+	evSpan.SetAttr("rows_covered", rowsCovered)
+	evSpan.End()
+	reg.Counter("fastdc.evidence.sets").Add(int64(len(evidence)))
+	reg.Counter("fastdc.rows.covered").Add(int64(rowsCovered))
 	if len(evidence) == 0 && evErr != nil {
+		run.SetAttr("stop", engine.Reason(evErr))
 		return Result{Partial: true, Reason: engine.Reason(evErr)}
 	}
 	// The cover search runs on the submitting goroutine, outside the
@@ -95,7 +117,13 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 		err := pool.Err()
 		return err != nil && !errors.Is(err, engine.ErrMaxTasks)
 	}
+	coverSpan := run.Child(obs.KindPhase, "cover-search")
+	coverTimer := reg.Histogram("fastdc.covers.seconds").Start()
 	covers, aborted := minimalCovers(space, evidence, counts, opts, stop)
+	coverTimer()
+	coverSpan.SetAttr("covers", len(covers))
+	coverSpan.SetAttr("aborted", aborted)
+	coverSpan.End()
 	out := make([]dc.DC, 0, len(covers))
 	for _, cover := range covers {
 		preds := make([]dc.Predicate, 0, len(cover))
@@ -113,12 +141,14 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 			err = pool.Err()
 		}
 		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
 		if aborted {
 			// An aborted cover search may have missed covers entirely;
 			// report the prefix scan but no unsound DC list.
 			res.DCs = nil
 		}
 	}
+	reg.Counter("fastdc.dcs.found").Add(int64(len(res.DCs)))
 	return res
 }
 

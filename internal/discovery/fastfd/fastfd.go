@@ -14,6 +14,7 @@ import (
 	"deptree/internal/attrset"
 	"deptree/internal/deps/fd"
 	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
@@ -27,6 +28,10 @@ type Options struct {
 	// budget truncates the search to a prefix of the RHS attributes and
 	// the run reports a Partial Result.
 	Budget engine.Budget
+	// Obs optionally receives the run's metrics (fastfd.* counters, the
+	// agree-set and cover-search phase latencies) and its run/phase
+	// spans. Nil is a full no-op; observation never changes output.
+	Obs *obs.Registry
 }
 
 // Result is a FastFD run's outcome. A Partial result covers the FDs of
@@ -68,11 +73,24 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 	}
 	full := attrset.Full(n)
 
-	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
 	defer pool.Close()
 
+	run := reg.StartSpan(obs.KindRun, "fastfd")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("cols", n)
+	defer run.End()
+
+	agreeSpan := run.Child(obs.KindPhase, "agree-sets")
+	agreeTimer := reg.Histogram("fastfd.agree.seconds").Start()
 	agree, err := agreeSets(r, pool)
+	agreeTimer()
+	agreeSpan.SetAttr("sets", len(agree))
+	agreeSpan.End()
+	reg.Counter("fastfd.agree_sets").Add(int64(len(agree)))
 	if err != nil {
+		run.SetAttr("stop", engine.Reason(err))
 		return Result{Partial: true, Reason: engine.Reason(err)}
 	}
 	// Deterministic agree-set order, shared by every RHS search.
@@ -90,6 +108,8 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 			engine.Abort(err)
 		}
 	}
+	coverSpan := run.Child(obs.KindPhase, "rhs-covers")
+	coverTimer := reg.Histogram("fastfd.covers.seconds").Start()
 	perRHS, done, runErr := engine.MapBudget(pool, n, rhsBatch, func(a int) []fd.FD {
 		// Difference sets for RHS a: D_A = {R \ ag \ {a} : pair disagrees
 		// on a}, i.e. attributes that could "explain" the disagreement.
@@ -128,6 +148,10 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 		}
 		return out
 	})
+	coverTimer()
+	coverSpan.SetAttr("completed", done)
+	coverSpan.End()
+	reg.Counter("fastfd.rhs.completed").Add(int64(done))
 	var results []fd.FD
 	for _, fds := range perRHS {
 		results = append(results, fds...)
@@ -138,7 +162,9 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 		}
 		return results[i].RHS < results[j].RHS
 	})
+	reg.Counter("fastfd.fds.found").Add(int64(len(results)))
 	if runErr != nil {
+		run.SetAttr("stop", engine.Reason(runErr))
 		return Result{FDs: results, Partial: true, Reason: engine.Reason(runErr), Completed: done}
 	}
 	return Result{FDs: results, Completed: n}

@@ -13,6 +13,7 @@ import (
 
 	"deptree/internal/deps/od"
 	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	// budget truncates the check to a prefix of the candidate ODs and
 	// the Result reports Partial.
 	Budget engine.Budget
+	// Obs optionally receives the run's metrics (oddisc.* counters, the
+	// candidate-check phase latency) and its run/phase spans. Nil is a
+	// full no-op; observation never changes output.
+	Obs *obs.Registry
 }
 
 // Result is an OD discovery outcome. A Partial result covers a
@@ -77,9 +82,22 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 			}
 		}
 	}
-	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
 	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "oddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("candidates", len(cands))
+	defer run.End()
+
+	checkSpan := run.Child(obs.KindPhase, "candidate-checks")
+	checkTimer := reg.Histogram("oddisc.checks.seconds").Start()
 	valid, done, err := engine.MapBudget(pool, len(cands), 0, func(i int) bool { return cands[i].Holds(r) })
+	checkTimer()
+	checkSpan.SetAttr("completed", done)
+	checkSpan.End()
+	reg.Counter("oddisc.candidates.checked").Add(int64(done))
 	var out []od.OD
 	for i := 0; i < done; i++ {
 		if valid[i] {
@@ -87,10 +105,12 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	reg.Counter("oddisc.ods.valid").Add(int64(len(out)))
 	res := Result{ODs: out, Completed: done}
 	if err != nil {
 		res.Partial = true
 		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
 	}
 	return res
 }

@@ -14,11 +14,13 @@ package tane
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/fd"
 	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
@@ -44,6 +46,11 @@ type Options struct {
 	// Budget.MaxCacheBytes. The cache must have been built over the same
 	// relation passed to Discover.
 	Cache *engine.PartitionCache
+	// Obs optionally receives the run's metrics (tane.* counters, the
+	// tane.level.seconds histogram, engine.* pool counters) and its
+	// run/phase spans. Nil is a full no-op; observation never changes
+	// discovery output.
+	Obs *obs.Registry
 }
 
 // Result is a TANE run's outcome. A run that exhausts its budget (or is
@@ -87,19 +94,32 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 	if n == 0 || n > attrset.MaxAttrs || r.Rows() == 0 {
 		return Result{}
 	}
+	reg := opts.Obs
 	cache := opts.Cache
 	if cache == nil {
 		cache = engine.NewPartitionCacheBudget(r, 0, opts.Budget.MaxCacheBytes)
+		cache.SetObserver(reg)
 	}
-	pool := engine.NewBudgeted(ctx, max(opts.Workers, 1), 0, opts.Budget)
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
 	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "tane")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("cols", n)
+	defer run.End()
+	var levelSpan *obs.Span
 
 	// partial finalizes a truncated run: everything committed so far —
 	// whole fan-out phases, so identical for every worker count under a
 	// MaxTasks budget — plus the stop reason.
 	partial := func(results []fd.FD, levels int, err error) Result {
 		sortFDs(results)
-		return Result{FDs: results, Partial: true, Reason: engine.Reason(err), Levels: levels}
+		reason := engine.Reason(err)
+		levelSpan.SetAttr("stop", reason)
+		levelSpan.End()
+		run.SetAttr("stop", reason)
+		reg.Counter("tane.fds.found").Add(int64(len(results)))
+		return Result{FDs: results, Partial: true, Reason: reason, Levels: levels}
 	}
 
 	fullSet := attrset.Full(n)
@@ -134,6 +154,8 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 		if opts.MaxLHS > 0 && level > opts.MaxLHS+1 {
 			break
 		}
+		levelSpan = run.Child(obs.KindPhase, fmt.Sprintf("level-%d", level))
+		levelTimer := reg.Histogram("tane.level.seconds").Start()
 		// Deterministic node order for fan-out and the pruning outputs.
 		nodes := make([]attrset.Set, 0, len(prev))
 		for x := range prev {
@@ -261,8 +283,14 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 		prev = next
 		completed = level
 		level++
+		levelTimer()
+		levelSpan.SetAttr("nodes", len(nodes))
+		levelSpan.SetAttr("next", len(next))
+		levelSpan.End()
+		reg.Counter("tane.levels.completed").Inc()
 	}
 	sortFDs(results)
+	reg.Counter("tane.fds.found").Add(int64(len(results)))
 	return Result{FDs: results, Levels: completed}
 }
 

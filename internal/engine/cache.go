@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"deptree/internal/attrset"
+	"deptree/internal/obs"
 	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
@@ -37,6 +38,11 @@ type PartitionCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// Optional live mirrors of the stats above in an obs registry
+	// (SetObserver); nil handles are no-ops.
+	cHits, cMisses, cEvictions *obs.Counter
+	gBytes, gEntries           *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -97,6 +103,21 @@ func NewPartitionCacheBudget(r *relation.Relation, capacity int, maxBytes int64)
 // Relation returns the relation the cache is built over.
 func (c *PartitionCache) Relation() *relation.Relation { return c.r }
 
+// SetObserver mirrors the cache's statistics into reg as live metrics:
+// counters cache.hits / cache.misses / cache.evictions and gauges
+// cache.bytes / cache.entries. A nil reg detaches. Call before the first
+// Get; the mirror counts events from attachment onward, while Stats()
+// always covers the cache's whole lifetime.
+func (c *PartitionCache) SetObserver(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cHits = reg.Counter("cache.hits")
+	c.cMisses = reg.Counter("cache.misses")
+	c.cEvictions = reg.Counter("cache.evictions")
+	c.gBytes = reg.Gauge("cache.bytes")
+	c.gEntries = reg.Gauge("cache.entries")
+}
+
 // Get returns π_X, building and memoizing it (and, recursively, its
 // sub-partitions) on first request. Callers must not modify the returned
 // partition.
@@ -116,13 +137,16 @@ func (c *PartitionCache) acquire(x attrset.Set) *cacheEntry {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[x]; ok {
 		c.hits++
+		c.cHits.Inc()
 		c.lru.MoveToFront(el)
 		return el.Value.(*cacheEntry)
 	}
 	c.misses++
+	c.cMisses.Inc()
 	e := &cacheEntry{key: x, resident: true}
 	c.entries[x] = c.lru.PushFront(e)
 	c.evictLocked()
+	c.gEntries.Set(int64(c.lru.Len()))
 	return e
 }
 
@@ -137,6 +161,8 @@ func (c *PartitionCache) credit(e *cacheEntry, n int64) {
 		c.bytes += n
 		c.evictLocked()
 	}
+	c.gBytes.Set(c.bytes)
+	c.gEntries.Set(int64(c.lru.Len()))
 }
 
 // evictLocked drops LRU entries until both the capacity and the byte
@@ -153,6 +179,8 @@ func (c *PartitionCache) evictLocked() {
 		e.resident = false
 		c.bytes -= e.bytes
 		c.evictions++
+		c.cEvictions.Inc()
+		c.gBytes.Set(c.bytes)
 	}
 }
 

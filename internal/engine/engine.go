@@ -30,6 +30,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"deptree/internal/obs"
 )
 
 // PanicError is the error a panicking task is converted into: the run is
@@ -113,6 +116,18 @@ type Pool struct {
 
 	failMu  sync.Mutex
 	failure error
+
+	// obs is the run's optional metrics registry (nil = no-op). The
+	// handles below are resolved once at construction so the task hot
+	// path never takes the registry lock; on a nil registry they are nil,
+	// which every obs handle accepts as a no-op.
+	obs         *obs.Registry
+	taskSec     *obs.Histogram
+	cCompleted  *obs.Counter
+	cPanicked   *obs.Counter
+	cAborted    *obs.Counter
+	cCancelled  *obs.Counter
+	cBudgetTrip *obs.Counter
 }
 
 // New creates a pool with the given number of workers and a default
@@ -136,6 +151,17 @@ func NewContext(ctx context.Context, workers, queue int) *Pool {
 // Reserve, which every fan-out helper calls). MaxCacheBytes is not
 // enforced by the pool; pass it to NewPartitionCacheBudget.
 func NewBudgeted(ctx context.Context, workers, queue int, b Budget) *Pool {
+	return NewObserved(ctx, workers, queue, b, nil)
+}
+
+// NewObserved is NewBudgeted with an optional metrics registry. A non-nil
+// registry receives the pool's task counters (engine.tasks.*) and the
+// per-task latency histogram engine.task.seconds; those counters are
+// pre-registered so a snapshot lists them even when zero. Observation
+// never feeds back into scheduling, so a pool with a registry runs the
+// same task sequence as one without (reg == nil is the exact legacy
+// path).
+func NewObserved(ctx context.Context, workers, queue int, b Budget, reg *obs.Registry) *Pool {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -154,6 +180,16 @@ func NewBudgeted(ctx context.Context, workers, queue int, b Budget) *Pool {
 		ctx:      ctx,
 		cancel:   cancel,
 		maxTasks: b.MaxTasks,
+		obs:      reg,
+	}
+	if reg != nil {
+		p.taskSec = reg.Histogram("engine.task.seconds")
+		p.cCompleted = reg.Counter("engine.tasks.completed")
+		p.cPanicked = reg.Counter("engine.tasks.panicked")
+		p.cAborted = reg.Counter("engine.tasks.aborted")
+		p.cCancelled = reg.Counter("engine.tasks.cancelled")
+		p.cBudgetTrip = reg.Counter("engine.budget.max_tasks_trips")
+		reg.Gauge("engine.workers").Set(int64(workers))
 	}
 	if workers > 1 {
 		p.wg.Add(workers)
@@ -215,6 +251,7 @@ func (p *Pool) Reserve(n int) error {
 	for {
 		cur := p.used.Load()
 		if cur+int64(n) > p.maxTasks {
+			p.cBudgetTrip.Inc()
 			p.fail(ErrMaxTasks)
 			return ErrMaxTasks
 		}
@@ -231,16 +268,25 @@ func (p *Pool) exec(task int, fn func()) (ok bool) {
 	defer func() {
 		if v := recover(); v != nil {
 			if ab, isAbort := v.(abortPanic); isAbort {
+				p.cAborted.Inc()
 				p.fail(ab.err)
 				return
 			}
+			p.cPanicked.Inc()
 			p.fail(&PanicError{Task: task, Value: v, Stack: debug.Stack()})
 		}
 	}()
 	if h := taskHook.Load(); h != nil && *h != nil {
 		(*h)(p, task)
 	}
-	fn()
+	if p.taskSec != nil {
+		start := time.Now()
+		fn()
+		p.taskSec.Observe(time.Since(start).Seconds())
+	} else {
+		fn()
+	}
+	p.cCompleted.Inc()
 	return true
 }
 
@@ -358,6 +404,7 @@ func (p *Pool) forEach(lo, hi int, fn func(i int)) error {
 		err := p.send(func() {
 			defer wg.Done()
 			if p.cause() != nil {
+				p.cCancelled.Inc()
 				return
 			}
 			if p.exec(i, func() { fn(i) }) {

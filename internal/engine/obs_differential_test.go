@@ -1,0 +1,58 @@
+// Differential coverage for the observability layer: attaching an
+// obs.Registry must not perturb discovery output — workers=1 and
+// workers=4 stay byte-identical with metrics and spans recording. This is
+// the "no-op default / no feedback" guarantee of internal/obs, asserted
+// over the same corpus as the plain differential harness.
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"deptree/internal/discovery/cords"
+	"deptree/internal/discovery/fastdc"
+	"deptree/internal/discovery/fastfd"
+	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/tane"
+	"deptree/internal/obs"
+)
+
+func TestDifferentialObsEnabled(t *testing.T) {
+	for i, r := range corpus() {
+		regSeq, regPar := obs.New(), obs.New()
+		seq := render(tane.Discover(r, tane.Options{Workers: 1, Obs: regSeq}))
+		par := render(tane.Discover(r, tane.Options{Workers: diffWorkers, Obs: regPar}))
+		assertIdentical(t, "tane+obs", i, seq, par)
+		// The registry must actually have observed the run — a silently
+		// detached registry would make this test vacuous.
+		if regPar.Counter("engine.tasks.completed").Value() == 0 {
+			t.Fatalf("relation #%d: parallel tane run recorded no completed tasks", i)
+		}
+		if regSeq.Counter("tane.levels.completed").Value() == 0 {
+			t.Fatalf("relation #%d: sequential tane run recorded no levels", i)
+		}
+		if len(regSeq.Events()) == 0 {
+			t.Fatalf("relation #%d: sequential tane run recorded no spans", i)
+		}
+
+		seq = render(fastfd.DiscoverContext(context.Background(), r, fastfd.Options{Workers: 1, Obs: obs.New()}).FDs)
+		par = render(fastfd.DiscoverContext(context.Background(), r, fastfd.Options{Workers: diffWorkers, Obs: obs.New()}).FDs)
+		assertIdentical(t, "fastfd+obs", i, seq, par)
+
+		seq = renderCORDS(cords.Discover(r, cords.Options{SampleSize: 30, Seed: int64(i), Workers: 1, Obs: obs.New()}))
+		par = renderCORDS(cords.Discover(r, cords.Options{SampleSize: 30, Seed: int64(i), Workers: diffWorkers, Obs: obs.New()}))
+		assertIdentical(t, "cords+obs", i, seq, par)
+
+		seq = render(oddisc.Discover(r, oddisc.Options{Workers: 1, Obs: obs.New()}))
+		par = render(oddisc.Discover(r, oddisc.Options{Workers: diffWorkers, Obs: obs.New()}))
+		assertIdentical(t, "oddisc+obs", i, seq, par)
+
+		dcRel := r
+		if dcRel.Rows() > 25 {
+			dcRel = dcRel.Select(func(row int) bool { return row < 25 })
+		}
+		seq = render(fastdc.Discover(dcRel, fastdc.Options{MaxPredicates: 2, Workers: 1, Obs: obs.New()}))
+		par = render(fastdc.Discover(dcRel, fastdc.Options{MaxPredicates: 2, Workers: diffWorkers, Obs: obs.New()}))
+		assertIdentical(t, "fastdc+obs", i, seq, par)
+	}
+}

@@ -35,10 +35,23 @@ type InverseNumeric struct {
 	Beta float64
 }
 
-// Eq implements Resemblance.
+// Eq implements Resemblance. The result is always in [0, 1]: a NaN
+// distance (a NaN payload survives CSV numeric inference, and |NaN−x| is
+// NaN) falls back to the crisp reading, and an out-of-domain Beta (< 0,
+// where 1/(1+β·d) leaves the unit interval) clamps the result.
 func (m InverseNumeric) Eq(a, b relation.Value) float64 {
 	if a.IsNumeric() && b.IsNumeric() && !a.IsNull() && !b.IsNull() {
-		return 1 / (1 + m.Beta*a.Distance(b))
+		v := 1 / (1 + m.Beta*a.Distance(b))
+		if v != v { // NaN distance: incomparable payloads
+			return CrispEqual{}.Eq(a, b)
+		}
+		if v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
 	}
 	return CrispEqual{}.Eq(a, b)
 }
@@ -47,13 +60,19 @@ func (m InverseNumeric) Eq(a, b relation.Value) float64 {
 func (m InverseNumeric) Name() string { return "inverse-numeric" }
 
 // ScaledMetric turns any Metric into a resemblance via
-// µ_EQ(a,b) = max(0, 1 − d(a,b)/Scale). Scale must be > 0.
+// µ_EQ(a,b) = max(0, 1 − d(a,b)/Scale). A Scale that is not positive
+// degenerates to the crisp reading of the metric — µ_EQ = 1 iff
+// d(a,b) = 0 — since the intended ramp has zero (or negative) width;
+// dividing by it would produce NaN (0/0) or values above 1.
 type ScaledMetric struct {
 	M     Metric
 	Scale float64
 }
 
-// Eq implements Resemblance.
+// Eq implements Resemblance. The result is always in [0, 1], whatever
+// the metric and scale: NaN distances resemble iff both operands are
+// null, non-positive scales degenerate to crisp, and negative distances
+// (from a misbehaving metric) clamp to 1.
 func (m ScaledMetric) Eq(a, b relation.Value) float64 {
 	d := m.M.Distance(a, b)
 	if d != d { // NaN: incomparable, resemble iff both null
@@ -62,9 +81,18 @@ func (m ScaledMetric) Eq(a, b relation.Value) float64 {
 		}
 		return 0
 	}
+	if m.Scale <= 0 {
+		if d == 0 {
+			return 1
+		}
+		return 0
+	}
 	v := 1 - d/m.Scale
 	if v < 0 {
 		return 0
+	}
+	if v > 1 {
+		return 1
 	}
 	return v
 }

@@ -1,0 +1,137 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"deptree/internal/relation"
+)
+
+// allResemblances enumerates every Resemblance implementation in the
+// package, including deliberately out-of-domain configurations (zero and
+// negative scales, negative beta): the µ_EQ ∈ [0,1] contract must hold
+// for all of them.
+func allResemblances() []Resemblance {
+	rs := []Resemblance{
+		CrispEqual{},
+		InverseNumeric{Beta: 0},
+		InverseNumeric{Beta: 0.5},
+		InverseNumeric{Beta: 10},
+		InverseNumeric{Beta: -2},
+	}
+	metrics := []Metric{Equality{}, Absolute{}, Levenshtein{}, DamerauOSA{}, QGramJaccard{}}
+	for _, m := range metrics {
+		for _, scale := range []float64{-1, 0, 0.5, 1, 10} {
+			rs = append(rs, ScaledMetric{M: m, Scale: scale})
+		}
+	}
+	return rs
+}
+
+// randomValue draws from every value population a dirty CSV can produce:
+// strings, integers, floats (including ±Inf, NaN, signed zero) and nulls
+// of each kind.
+func randomValue(rng *rand.Rand) relation.Value {
+	switch rng.Intn(8) {
+	case 0:
+		return relation.Null([]relation.Kind{relation.KindString, relation.KindInt, relation.KindFloat}[rng.Intn(3)])
+	case 1:
+		return relation.Int(rng.Intn(7) - 3)
+	case 2:
+		return relation.Float([]float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)}[rng.Intn(4)])
+	case 3:
+		return relation.Float((rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6)))
+	default:
+		const alphabet = "ab 0.É"
+		n := rng.Intn(6)
+		buf := make([]byte, 0, n)
+		for i := 0; i < n; i++ {
+			buf = append(buf, alphabet[rng.Intn(len(alphabet))])
+		}
+		return relation.String(string(buf))
+	}
+}
+
+// TestResemblanceContract is the property test over every Resemblance:
+// µ_EQ(a,b) must land in [0,1] (never NaN) and be symmetric, for any pair
+// of values.
+func TestResemblanceContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	values := make([]relation.Value, 300)
+	for i := range values {
+		values[i] = randomValue(rng)
+	}
+	for _, res := range allResemblances() {
+		name := res.Name()
+		if sm, ok := res.(ScaledMetric); ok {
+			name = fmt.Sprintf("%s(scale=%g)", name, sm.Scale)
+		}
+		if in, ok := res.(InverseNumeric); ok {
+			name = fmt.Sprintf("%s(beta=%g)", name, in.Beta)
+		}
+		for trial := 0; trial < 2000; trial++ {
+			a := values[rng.Intn(len(values))]
+			b := values[rng.Intn(len(values))]
+			v := res.Eq(a, b)
+			if !(v >= 0 && v <= 1) { // also catches NaN
+				t.Fatalf("%s: Eq(%v, %v) = %v, outside [0,1]", name, a, b, v)
+			}
+			if w := res.Eq(b, a); w != v {
+				t.Fatalf("%s: asymmetric: Eq(%v, %v)=%v but Eq(%v, %v)=%v", name, a, b, v, b, a, w)
+			}
+		}
+	}
+}
+
+// TestScaledMetricDegenerateScale pins the repaired Scale<=0 semantics:
+// the ramp has no width, so the resemblance is the crisp reading of the
+// metric (previously NaN for d=0, >1 for negative scales).
+func TestScaledMetricDegenerateScale(t *testing.T) {
+	for _, scale := range []float64{0, -1} {
+		m := ScaledMetric{M: Absolute{}, Scale: scale}
+		if got := m.Eq(relation.Float(2), relation.Float(2)); got != 1 {
+			t.Errorf("scale %g: equal values => %v, want 1", scale, got)
+		}
+		if got := m.Eq(relation.Float(2), relation.Float(5)); got != 0 {
+			t.Errorf("scale %g: distinct values => %v, want 0", scale, got)
+		}
+	}
+	// Both-null stays the incomparable special case, not the crisp one.
+	n := relation.Null(relation.KindFloat)
+	if got := (ScaledMetric{M: Absolute{}, Scale: 0}).Eq(n, n); got != 1 {
+		t.Errorf("null pair under zero scale => %v, want 1", got)
+	}
+}
+
+// FuzzScaledMetricEq drives the contract with fuzzed payloads and
+// configuration, covering the numeric and string metric paths at once.
+func FuzzScaledMetricEq(f *testing.F) {
+	f.Add(0.0, 0.0, 0.0, "", "")
+	f.Add(-1.0, 2.5, -2.5, "abc", "abd")
+	f.Add(0.5, math.Inf(1), math.NaN(), "déjà", "deja")
+	f.Fuzz(func(t *testing.T, scale, x, y float64, s1, s2 string) {
+		pairs := [][2]relation.Value{
+			{relation.Float(x), relation.Float(y)},
+			{relation.String(s1), relation.String(s2)},
+			{relation.Float(x), relation.String(s2)},
+			{relation.Null(relation.KindFloat), relation.Float(y)},
+		}
+		for _, m := range []Metric{Equality{}, Absolute{}, Levenshtein{}, DamerauOSA{}, QGramJaccard{}} {
+			res := ScaledMetric{M: m, Scale: scale}
+			inv := InverseNumeric{Beta: scale}
+			for _, p := range pairs {
+				for _, r := range []Resemblance{res, inv} {
+					v := r.Eq(p[0], p[1])
+					if !(v >= 0 && v <= 1) {
+						t.Fatalf("%s: Eq(%v, %v) = %v, outside [0,1]", r.Name(), p[0], p[1], v)
+					}
+					if w := r.Eq(p[1], p[0]); w != v {
+						t.Fatalf("%s: asymmetric on (%v, %v): %v vs %v", r.Name(), p[0], p[1], v, w)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package obs is the run-scoped observability layer of the discovery
+// engine: a metrics registry (counters, gauges, latency histograms) and a
+// structured event log of run → phase → task spans, exportable as JSONL
+// and as Prometheus text exposition.
+//
+// The package exists because a discovery run over an exponential lattice
+// is otherwise a black box: budgets (DESIGN.md "Failure model") say *that*
+// a run died, the registry says *where* — which lattice level, which cover
+// search, how many cache misses it paid on the way.
+//
+// # No-op default
+//
+// Every handle in this package is nil-safe: methods on a nil *Registry,
+// *Counter, *Gauge, *Histogram or *Span do nothing and allocate nothing.
+// Instrumented code therefore carries an optional registry and never
+// branches on it, and a run with no registry attached executes exactly the
+// legacy path. Observation never feeds back into discovery decisions, so
+// attaching a registry cannot change discovery output — workers=1 and
+// workers=N stay byte-identical with observability on or off (the
+// differential harness in internal/engine asserts the "on" case too).
+//
+// All registry operations are safe for concurrent use; discovery tasks on
+// every pool worker update the same counters.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is one run's metric namespace. Metrics are created on first
+// use and live for the registry's lifetime; names are dot-separated
+// ("engine.tasks.completed"), lowercase, stable — deptool prints them and
+// the Prometheus exposition derives metric names from them.
+type Registry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	trace  trace
+	spanID atomic.Int64
+}
+
+// New creates an empty registry. The zero time base for span timestamps
+// is the creation instant.
+func New() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named monotonic counter, creating it on first use.
+// On a nil registry it returns nil (a valid no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. On a nil
+// registry it returns nil (a valid no-op gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use. On a nil registry it returns nil (a valid no-op histogram).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 metric (bytes resident, entries live, ...).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets are the upper bounds (seconds) of the latency histogram
+// buckets: exponential from 10µs to ~42s, wide enough for both a single
+// partition product and a whole lattice level. A final implicit +Inf
+// bucket catches the rest.
+var histBuckets = [...]float64{
+	10e-6, 40e-6, 160e-6, 640e-6,
+	2.56e-3, 10.24e-3, 40.96e-3, 163.84e-3,
+	655.36e-3, 2.62144, 10.48576, 41.94304,
+}
+
+// Histogram is a fixed-bucket latency histogram over seconds.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  [len(histBuckets) + 1]int64
+}
+
+// Observe records one duration in seconds. No-op on nil.
+func (h *Histogram) Observe(seconds float64) {
+	if h == nil {
+		return
+	}
+	b := sort.SearchFloat64s(histBuckets[:], seconds)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || seconds < h.min {
+		h.min = seconds
+	}
+	if h.count == 0 || seconds > h.max {
+		h.max = seconds
+	}
+	h.count++
+	h.sum += seconds
+	h.buckets[b]++
+}
+
+// Start begins timing and returns a function that records the elapsed
+// time when called. Usable on a nil histogram (the returned stop is a
+// no-op), so call sites never branch:
+//
+//	defer reg.Histogram("tane.level.seconds").Start()()
+func (h *Histogram) Start() (stop func()) {
+	if h == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Seconds()) }
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count         int64
+	Sum, Min, Max float64
+	// Buckets holds cumulative counts per upper bound, ending with the
+	// +Inf bucket (== Count).
+	Buckets []BucketCount
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound in seconds;
+	// math.Inf(1) for the final bucket.
+	UpperBound float64
+	// Cumulative is the number of observations ≤ UpperBound.
+	Cumulative int64
+}
+
+// MarshalJSON renders the bound as a string ("+Inf" for the final
+// bucket): encoding/json rejects non-finite floats, and the snapshot
+// must survive expvar publication (deptool -metrics-addr serves it at
+// /debug/vars, where a marshal error would silently corrupt the dump).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	ub := "+Inf"
+	if !math.IsInf(b.UpperBound, 0) {
+		ub = strconv.FormatFloat(b.UpperBound, 'g', -1, 64)
+	}
+	return []byte(`{"le":"` + ub + `","count":` + strconv.FormatInt(b.Cumulative, 10) + `}`), nil
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	cum := int64(0)
+	for i, n := range h.buckets {
+		cum += n
+		ub := math.Inf(1)
+		if i < len(histBuckets) {
+			ub = histBuckets[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{UpperBound: ub, Cumulative: cum})
+	}
+	return s
+}
+
+// Snapshot is a deterministic (sorted-name) copy of a registry's metrics.
+type Snapshot struct {
+	Counters   []NamedValue
+	Gauges     []NamedValue
+	Histograms []NamedHistogram
+}
+
+// NamedValue is one counter or gauge in a snapshot.
+type NamedValue struct {
+	Name  string
+	Value int64
+}
+
+// NamedHistogram is one histogram in a snapshot.
+type NamedHistogram struct {
+	Name string
+	HistogramSnapshot
+}
+
+// Snapshot copies every metric under sorted names. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, NamedHistogram{Name: name, HistogramSnapshot: h.snapshot()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Format renders the snapshot for CLI output (deptool profile -v):
+// counters and gauges one per line, histograms as count/total/min/max.
+func (s Snapshot) Format(w io.Writer) {
+	for _, c := range s.Counters {
+		fmt.Fprintf(w, "  %-40s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(w, "  %-40s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		if h.Count == 0 {
+			fmt.Fprintf(w, "  %-40s count=0\n", h.Name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-40s count=%d total=%s min=%s max=%s mean=%s\n",
+			h.Name, h.Count,
+			fmtSeconds(h.Sum), fmtSeconds(h.Min), fmtSeconds(h.Max),
+			fmtSeconds(h.Sum/float64(h.Count)))
+	}
+}
+
+// String renders the snapshot as Format does.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.Format(&b)
+	return b.String()
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}

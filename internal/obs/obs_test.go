@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilRegistryIsNoOp is the no-op-default contract: every handle
+// reachable from a nil *Registry accepts every call.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Counter("x").Add(5)
+	if got := r.Counter("x").Value(); got != 0 {
+		t.Errorf("nil counter value = %d", got)
+	}
+	r.Gauge("g").Set(7)
+	if got := r.Gauge("g").Value(); got != 0 {
+		t.Errorf("nil gauge value = %d", got)
+	}
+	r.Histogram("h").Observe(0.5)
+	r.Histogram("h").Start()()
+	sp := r.StartSpan(KindRun, "nothing")
+	sp.SetAttr("k", 1)
+	sp.Child(KindPhase, "sub").End()
+	sp.End()
+	if ev := r.Events(); ev != nil {
+		t.Errorf("nil registry events = %v", ev)
+	}
+	var b strings.Builder
+	if err := r.WriteTrace(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil WriteTrace wrote %q err %v", b.String(), err)
+	}
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil WritePrometheus wrote %q err %v", b.String(), err)
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+}
+
+func TestCountersGaugesHistograms(t *testing.T) {
+	r := New()
+	r.Counter("a.count").Add(3)
+	r.Counter("a.count").Inc()
+	if got := r.Counter("a.count").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	r.Gauge("b.bytes").Set(10)
+	r.Gauge("b.bytes").Set(6)
+	if got := r.Gauge("b.bytes").Value(); got != 6 {
+		t.Errorf("gauge = %d, want 6", got)
+	}
+	h := r.Histogram("c.seconds")
+	h.Observe(0.001)
+	h.Observe(0.1)
+	h.Observe(100) // beyond the last bound: +Inf bucket
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("histograms = %d", len(s.Histograms))
+	}
+	hs := s.Histograms[0]
+	if hs.Count != 3 || hs.Min != 0.001 || hs.Max != 100 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Cumulative != 3 {
+		t.Errorf("+Inf bucket = %+v", last)
+	}
+	// Cumulative counts never decrease.
+	for i := 1; i < len(hs.Buckets); i++ {
+		if hs.Buckets[i].Cumulative < hs.Buckets[i-1].Cumulative {
+			t.Errorf("bucket %d not cumulative: %+v", i, hs.Buckets)
+		}
+	}
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	r := New()
+	r.Counter("z").Inc()
+	r.Counter("a").Inc()
+	r.Counter("m").Inc()
+	s := r.Snapshot()
+	names := make([]string, len(s.Counters))
+	for i, c := range s.Counters {
+		names[i] = c.Name
+	}
+	if strings.Join(names, ",") != "a,m,z" {
+		t.Errorf("counter order = %v", names)
+	}
+	if !strings.Contains(s.String(), "a") {
+		t.Errorf("Format missing counter: %q", s.String())
+	}
+}
+
+func TestHistogramStart(t *testing.T) {
+	r := New()
+	stop := r.Histogram("d").Start()
+	time.Sleep(time.Millisecond)
+	stop()
+	hs := r.Snapshot().Histograms[0]
+	if hs.Count != 1 || hs.Sum <= 0 {
+		t.Errorf("timed histogram = %+v", hs)
+	}
+}
+
+func TestSpansAndTraceJSONL(t *testing.T) {
+	r := New()
+	run := r.StartSpan(KindRun, "tane")
+	phase := run.Child(KindPhase, "level-2")
+	phase.SetAttr("nodes", 12)
+	phase.End()
+	phase.End() // idempotent
+	phase.SetAttr("late", true)
+	run.SetAttr("fds", 3)
+	run.End()
+
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	// Completion order: child first.
+	if evs[0].Name != "level-2" || evs[0].Kind != KindPhase {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[0].Parent != evs[1].ID {
+		t.Errorf("child parent = %d, run id = %d", evs[0].Parent, evs[1].ID)
+	}
+	if _, ok := evs[0].Attrs["late"]; ok {
+		t.Error("SetAttr after End recorded")
+	}
+	if evs[0].Attrs["nodes"] != 12 {
+		t.Errorf("attrs = %v", evs[0].Attrs)
+	}
+
+	var b strings.Builder
+	if err := r.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	lines := 0
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if ev.Duration < 0 || ev.Start < 0 {
+			t.Errorf("negative timing: %+v", ev)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("engine.tasks.completed").Add(9)
+	r.Gauge("cache.bytes").Set(1024)
+	r.Histogram("tane.level.seconds").Observe(0.01)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE deptree_engine_tasks_completed_total counter",
+		"deptree_engine_tasks_completed_total 9",
+		"# TYPE deptree_cache_bytes gauge",
+		"deptree_cache_bytes 1024",
+		"# TYPE deptree_tane_level_seconds histogram",
+		`deptree_tane_level_seconds_bucket{le="+Inf"} 1`,
+		"deptree_tane_level_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUse exercises the registry from many goroutines under
+// -race: same counter, same histogram, interleaved spans.
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(0.0001)
+				sp := r.StartSpan(KindTask, "t")
+				sp.SetAttr("i", i)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 1600 {
+		t.Errorf("shared counter = %d, want 1600", got)
+	}
+	if got := len(r.Events()); got != 1600 {
+		t.Errorf("events = %d, want 1600", got)
+	}
+}
+
+// A snapshot must survive json.Marshal even with the +Inf bucket bound:
+// deptool publishes it through expvar, where a marshal error silently
+// corrupts the /debug/vars dump.
+func TestSnapshotJSONSafe(t *testing.T) {
+	r := New()
+	r.Histogram("h.seconds").Observe(0.001)
+	r.Counter("c").Inc()
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+	if !strings.Contains(string(data), `"le":"+Inf"`) {
+		t.Fatalf("missing +Inf bucket rendering:\n%s", data)
+	}
+	var round any
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("snapshot JSON does not parse back: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// promPrefix namespaces every exposed metric.
+const promPrefix = "deptree_"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters with a _total suffix, gauges plain,
+// histograms as cumulative _bucket{le=...}/_sum/_count series. Metric
+// names are derived from registry names by mapping every character
+// outside [a-zA-Z0-9_] to '_' and prefixing "deptree_". Output is
+// deterministic (sorted names). A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	for _, c := range s.Counters {
+		name := promPrefix + promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promPrefix + promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promPrefix + promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, 1) {
+				le = fmt.Sprintf("%g", b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, b.Cumulative); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a registry name to a valid Prometheus metric name suffix.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span kinds, forming the fixed three-level hierarchy of a discovery run.
+const (
+	KindRun   = "run"   // one discovery invocation (tane, fastdc, ...)
+	KindPhase = "phase" // one stage inside a run (lattice level, evidence scan)
+	KindTask  = "task"  // one unit inside a phase (rarely used: high volume)
+)
+
+// Event is one finished span in the structured event log. Events are
+// appended when a span Ends, so the log is ordered by completion time.
+type Event struct {
+	// ID is the span's registry-unique id; Parent the enclosing span's id
+	// (0 for a root span).
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent,omitempty"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name"`
+	// Start is the span's start offset from registry creation, in
+	// nanoseconds; Duration the span's length in nanoseconds.
+	Start    int64 `json:"start_ns"`
+	Duration int64 `json:"dur_ns"`
+	// Attrs carries span-scoped measurements (node counts, FDs found, a
+	// stop reason) recorded via SetAttr.
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// trace is the registry's append-only event log.
+type trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Span is an in-flight run/phase/task interval. A nil span (from a nil
+// registry) accepts every call as a no-op.
+type Span struct {
+	reg    *Registry
+	id     int64
+	parent int64
+	kind   string
+	name   string
+	begin  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// StartSpan opens a root span (normally KindRun). On a nil registry it
+// returns nil, a valid no-op span.
+func (r *Registry) StartSpan(kind, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{
+		reg:   r,
+		id:    r.spanID.Add(1),
+		kind:  kind,
+		name:  name,
+		begin: time.Now(),
+	}
+}
+
+// Child opens a sub-span of s. On a nil span it returns nil.
+func (s *Span) Child(kind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := s.reg.StartSpan(kind, name)
+	c.parent = s.id
+	return c
+}
+
+// SetAttr records a span attribute, overwriting any previous value for
+// the key. No-op on nil and after End.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span and appends its Event to the registry's log. End is
+// idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	ev := Event{
+		ID:       s.id,
+		Parent:   s.parent,
+		Kind:     s.kind,
+		Name:     s.name,
+		Start:    s.begin.Sub(s.reg.start).Nanoseconds(),
+		Duration: time.Since(s.begin).Nanoseconds(),
+		Attrs:    attrs,
+	}
+	t := &s.reg.trace
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the finished-span log in completion order. Nil
+// registries return nil.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.trace.mu.Lock()
+	defer r.trace.mu.Unlock()
+	return append([]Event(nil), r.trace.events...)
+}
+
+// WriteTrace exports the event log as JSONL: one Event object per line,
+// in completion order. On a nil registry it writes nothing.
+func (r *Registry) WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline JSONL needs
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
