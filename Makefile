@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench verify
+.PHONY: build test race chaos fuzz bench benchdiff verify
 
 build:
 	$(GO) build ./...
@@ -23,16 +23,24 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/engine/chaos/
 
-# Short fuzz pass over the CSV codec round trip.
+# Short fuzz passes: the CSV codec round trip and the CSR partition
+# product vs the retained map-based oracle.
 fuzz:
 	$(GO) test -run=X -fuzz=FuzzCSVRoundTrip -fuzztime=30s ./internal/relation/
+	$(GO) test -run=X -fuzz=FuzzProductEquivalence -fuzztime=30s ./internal/partition/
 
 # Benchmark pass: every benchmark runs once (-benchtime=1x keeps CI
-# cheap), the text output lands in BENCH_3.txt and cmd/benchjson converts
-# it to BENCH_3.json. No pipes: if the benchmarks error the first command
+# cheap), the text output lands in BENCH_4.txt and cmd/benchjson converts
+# it to BENCH_4.json. No pipes: if the benchmarks error the first command
 # fails the target, and benchjson refuses an input with no results.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./... > BENCH_3.txt
-	$(GO) run ./cmd/benchjson -in BENCH_3.txt -out BENCH_3.json
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x ./... > BENCH_4.txt
+	$(GO) run ./cmd/benchjson -in BENCH_4.txt -out BENCH_4.json
+	$(MAKE) benchdiff
+
+# Warn (never fail: 1x runs are noisy) when allocs/op regressed >20%
+# against the previous in-tree benchmark report.
+benchdiff:
+	$(GO) run ./cmd/benchjson -diff -old BENCH_3.json -new BENCH_4.json
 
 verify: build test race

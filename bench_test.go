@@ -15,6 +15,7 @@ package deptree
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"deptree/internal/apps/cqa"
@@ -543,12 +544,80 @@ func BenchmarkPartitionBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionProduct measures the stripped-product hot path over
+// the class shapes that stress its different emit routes: small (a few
+// large classes), skewed (one dominant class plus a tail), and key-like
+// (mostly singletons). The scratch arena is held across iterations,
+// matching how the engine's partition cache drives the product.
 func BenchmarkPartitionProduct(b *testing.B) {
-	r := gen.Hotels(gen.HotelConfig{Rows: 1000, Seed: 43})
-	p1 := partition.Build(r, attrset.Single(1))
-	p2 := partition.Build(r, attrset.Single(3))
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		p1.Product(p2)
+	const n = 1000
+	rng := rand.New(rand.NewSource(43))
+	shapes := []struct {
+		name   string
+		c1, c2 []int
+	}{
+		{"small", benchCodes(n, func(int) int { return rng.Intn(4) }), benchCodes(n, func(int) int { return rng.Intn(3) })},
+		{"skewed", benchCodes(n, func(int) int {
+			if rng.Intn(5) > 0 {
+				return 0
+			}
+			return 1 + rng.Intn(32)
+		}), benchCodes(n, func(int) int {
+			if rng.Intn(5) > 0 {
+				return 0
+			}
+			return 1 + rng.Intn(24)
+		})},
+		{"key-like", benchCodes(n, func(int) int { return rng.Intn(n * 9 / 10) }), benchCodes(n, func(int) int { return rng.Intn(n * 9 / 10) })},
 	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			p1 := partition.FromCodes(sh.c1, benchCard(sh.c1))
+			p2 := partition.FromCodes(sh.c2, benchCard(sh.c2))
+			s := partition.NewScratch()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p1.ProductScratch(p2, s)
+			}
+		})
+	}
+	b.Run("hotels", func(b *testing.B) {
+		r := gen.Hotels(gen.HotelConfig{Rows: 1000, Seed: 43})
+		p1 := partition.Build(r, attrset.Single(1))
+		p2 := partition.Build(r, attrset.Single(3))
+		s := partition.NewScratch()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p1.ProductScratch(p2, s)
+		}
+	})
+}
+
+// benchCodes draws n codes and remaps them to first-appearance order, the
+// contract partition.FromCodes expects from relation encodings.
+func benchCodes(n int, draw func(i int) int) []int {
+	seen := map[int]int{}
+	out := make([]int, n)
+	for i := range out {
+		v := draw(i)
+		c, ok := seen[v]
+		if !ok {
+			c = len(seen)
+			seen[v] = c
+		}
+		out[i] = c
+	}
+	return out
+}
+
+func benchCard(codes []int) int {
+	card := 0
+	for _, c := range codes {
+		if c >= card {
+			card = c + 1
+		}
+	}
+	return card
 }

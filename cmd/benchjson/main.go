@@ -58,7 +58,16 @@ type Report struct {
 func main() {
 	in := flag.String("in", "", "benchmark text input (default stdin)")
 	out := flag.String("out", "", "JSON output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two benchjson reports (-old, -new) and warn on allocs/op regressions")
+	oldPath := flag.String("old", "", "baseline report for -diff")
+	newPath := flag.String("new", "", "candidate report for -diff")
 	flag.Parse()
+	if *diff {
+		if err := runDiff(*oldPath, *newPath, os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	src := io.Reader(os.Stdin)
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -91,6 +100,63 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// allocRegressionFactor is the -diff warning threshold: a benchmark whose
+// allocs/op grew by more than 20% over the baseline is flagged.
+const allocRegressionFactor = 1.20
+
+// runDiff loads two reports and warns (to w, without failing — bench noise
+// is real) about benchmarks whose allocs/op regressed beyond the
+// threshold. Benchmarks present on only one side are ignored: renames and
+// new suites are not regressions.
+func runDiff(oldPath, newPath string, w io.Writer) error {
+	if oldPath == "" || newPath == "" {
+		return fmt.Errorf("-diff requires -old and -new")
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	baseline := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		baseline[b.Name] = b
+	}
+	regressions := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := baseline[nb.Name]
+		if !ok || ob.AllocsPerOp == 0 {
+			continue
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp*allocRegressionFactor {
+			regressions++
+			fmt.Fprintf(w, "benchjson: WARNING %s allocs/op regressed %.0f -> %.0f (%+.0f%%)\n",
+				nb.Name, ob.AllocsPerOp, nb.AllocsPerOp,
+				100*(nb.AllocsPerOp-ob.AllocsPerOp)/ob.AllocsPerOp)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(w, "benchjson: no allocs/op regressions >%.0f%% (%s vs %s)\n",
+			100*(allocRegressionFactor-1), newPath, oldPath)
+	}
+	return nil
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &Report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 // parse reads go-bench text and collects the result lines. It fails on a

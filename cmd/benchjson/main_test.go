@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -56,5 +59,64 @@ func TestParseLineMalformed(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Errorf("malformed line accepted: %q", line)
 		}
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, benches []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(&Report{Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffWarnsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Benchmark{
+		{Name: "BenchmarkA", AllocsPerOp: 100},
+		{Name: "BenchmarkB", AllocsPerOp: 100},
+		{Name: "BenchmarkGone", AllocsPerOp: 5},
+	})
+	newPath := writeReport(t, dir, "new.json", []Benchmark{
+		{Name: "BenchmarkA", AllocsPerOp: 121}, // +21%: flagged
+		{Name: "BenchmarkB", AllocsPerOp: 119}, // +19%: inside threshold
+		{Name: "BenchmarkNew", AllocsPerOp: 9999},
+	})
+	var buf strings.Builder
+	if err := runDiff(oldPath, newPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkA") {
+		t.Errorf("regressed benchmark not flagged: %q", out)
+	}
+	for _, name := range []string{"BenchmarkB", "BenchmarkGone", "BenchmarkNew"} {
+		if strings.Contains(out, name) {
+			t.Errorf("%s should not be flagged: %q", name, out)
+		}
+	}
+}
+
+func TestDiffCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", []Benchmark{{Name: "BenchmarkA", AllocsPerOp: 100}})
+	newPath := writeReport(t, dir, "new.json", []Benchmark{{Name: "BenchmarkA", AllocsPerOp: 12}})
+	var buf strings.Builder
+	if err := runDiff(oldPath, newPath, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no allocs/op regressions") {
+		t.Errorf("clean diff should say so: %q", buf.String())
+	}
+	if err := runDiff("", newPath, &buf); err == nil {
+		t.Error("missing -old must error")
+	}
+	if err := runDiff(filepath.Join(dir, "absent.json"), newPath, &buf); err == nil {
+		t.Error("unreadable baseline must error")
 	}
 }

@@ -589,8 +589,12 @@ func cmdProfile(args []string) error {
 
 	if *verbose {
 		st := cache.Stats()
-		fmt.Printf("\npartition cache: %d hits, %d misses, %d evictions, %d entries, %d bytes resident\n",
-			st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
+		fmt.Printf("\npartition cache: %d hits, %d misses, %d evictions, %d entries\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries)
+		// st.Bytes sums partition.MemBytes, which is exact for the CSR
+		// layout: struct header plus the two int32 backing arrays.
+		fmt.Printf("partition resident bytes (exact): %d across %d partitions; %d products computed\n",
+			st.Bytes, st.Entries, reg.Counter("partition.products_total").Value())
 		fmt.Printf("\nobservability registry:\n")
 		reg.Snapshot().Format(os.Stdout)
 	}

@@ -54,7 +54,8 @@ func CertainAnswers(r *relation.Relation, fds []fd.FD, pred func(row int) bool) 
 	for _, f := range fds {
 		px := partition.Build(r, f.LHS)
 		codes, _ := r.GroupCodes(f.RHS.Cols())
-		for _, class := range px.Classes() {
+		for ci := 0; ci < px.NumClasses(); ci++ {
+			class := px.Class(ci)
 			conflict := false
 			for i := 1; i < len(class); i++ {
 				if codes[class[i]] != codes[class[0]] {
@@ -65,9 +66,15 @@ func CertainAnswers(r *relation.Relation, fds []fd.FD, pred func(row int) bool) 
 			if !conflict {
 				continue
 			}
+			// Only conflicting classes are materialized; clean classes stay
+			// in the partition's backing array.
+			g := make([]int, len(class))
+			for k, row := range class {
+				g[k] = int(row)
+			}
 			gid := len(groups)
-			groups = append(groups, class)
-			for _, row := range class {
+			groups = append(groups, g)
+			for _, row := range g {
 				dirty[row] = true
 				if groupOf[row] == -1 {
 					groupOf[row] = gid

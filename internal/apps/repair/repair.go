@@ -115,9 +115,8 @@ func FDRepairContext(ctx context.Context, r *relation.Relation, fds []fd.FD, opt
 		for _, f := range fds {
 			f := f
 			px := partition.Build(out, f.LHS)
-			classes := px.Classes()
-			perClass, err := engine.MapErr(pool, len(classes), func(i int) []Change {
-				return classChanges(out, f, classes[i])
+			perClass, err := engine.MapErr(pool, px.NumClasses(), func(i int) []Change {
+				return classChanges(out, f, px.Class(i))
 			})
 			if err != nil {
 				run.SetAttr("passes", passes)
@@ -145,14 +144,14 @@ func FDRepairContext(ctx context.Context, r *relation.Relation, fds []fd.FD, opt
 // classChanges computes the majority-vote overwrites for one LHS
 // equivalence class without mutating the relation. Reads are confined to
 // the class rows, which makes concurrent per-class calls safe.
-func classChanges(out *relation.Relation, f fd.FD, class []int) []Change {
+func classChanges(out *relation.Relation, f fd.FD, class []int32) []Change {
 	var chs []Change
 	for _, y := range f.RHS.Cols() {
 		// Majority value of column y within the class.
 		counts := map[string]int{}
 		rep := map[string]relation.Value{}
 		for _, row := range class {
-			v := out.Value(row, y)
+			v := out.Value(int(row), y)
 			counts[v.Key()]++
 			rep[v.Key()] = v
 		}
@@ -167,8 +166,8 @@ func classChanges(out *relation.Relation, f fd.FD, class []int) []Change {
 		}
 		target := rep[bestKey]
 		for _, row := range class {
-			if !out.Value(row, y).Equal(target) {
-				chs = append(chs, Change{Row: row, Col: y, Old: out.Value(row, y), New: target})
+			if !out.Value(int(row), y).Equal(target) {
+				chs = append(chs, Change{Row: int(row), Col: y, Old: out.Value(int(row), y), New: target})
 			}
 		}
 	}

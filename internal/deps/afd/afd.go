@@ -65,7 +65,8 @@ func (a AFD) Violations(r *relation.Relation, limit int) []deps.Violation {
 	px := partition.Build(r, a.LHS)
 	codes, _ := r.GroupCodes(a.RHS.Cols())
 	var out []deps.Violation
-	for _, class := range px.Classes() {
+	for ci := 0; ci < px.NumClasses(); ci++ {
+		class := px.Class(ci)
 		counts := make(map[int]int)
 		for _, row := range class {
 			counts[codes[row]]++
@@ -79,7 +80,7 @@ func (a AFD) Violations(r *relation.Relation, limit int) []deps.Violation {
 		for _, row := range class {
 			if codes[row] != majority {
 				out = append(out, deps.Violation{
-					Rows: []int{row},
+					Rows: []int{int(row)},
 					Msg:  fmt.Sprintf("removal candidate (g3=%.3f > ε=%.3g)", g3, a.MaxError),
 				})
 				if limit > 0 && len(out) >= limit {

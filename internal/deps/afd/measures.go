@@ -25,7 +25,8 @@ func (a AFD) G1(r *relation.Relation) float64 {
 	codes, _ := r.GroupCodes(a.RHS.Cols())
 	violating := 0
 	counts := map[int]int{}
-	for _, class := range px.Classes() {
+	for ci := 0; ci < px.NumClasses(); ci++ {
+		class := px.Class(ci)
 		for k := range counts {
 			delete(counts, k)
 		}
@@ -55,7 +56,8 @@ func (a AFD) G2(r *relation.Relation) float64 {
 	codes, _ := r.GroupCodes(a.RHS.Cols())
 	involved := 0
 	counts := map[int]int{}
-	for _, class := range px.Classes() {
+	for ci := 0; ci < px.NumClasses(); ci++ {
+		class := px.Class(ci)
 		for k := range counts {
 			delete(counts, k)
 		}

@@ -107,17 +107,18 @@ func (m MFD) Violations(r *relation.Relation, limit int) []deps.Violation {
 	if m.Schema != nil {
 		names = m.Schema.Names()
 	}
-	for _, class := range px.Classes() {
+	for ci := 0; ci < px.NumClasses(); ci++ {
+		class := px.Class(ci)
 		for a := 0; a < len(class); a++ {
 			for b := a + 1; b < len(class); b++ {
 				for _, d := range m.RHS {
-					dist := d.Metric.Distance(r.Value(class[a], d.Col), r.Value(class[b], d.Col))
+					dist := d.Metric.Distance(r.Value(int(class[a]), d.Col), r.Value(int(class[b]), d.Col))
 					if dist != dist || dist > d.Delta { // NaN counts as violation
 						n := fmt.Sprintf("a%d", d.Col)
 						if names != nil && d.Col < len(names) {
 							n = names[d.Col]
 						}
-						out = append(out, deps.Pair(class[a], class[b],
+						out = append(out, deps.Pair(int(class[a]), int(class[b]),
 							"equal on %s but %s distance %.3g > δ=%.3g",
 							m.LHS.Names(names), n, dist, d.Delta))
 						if limit > 0 && len(out) >= limit {
@@ -139,10 +140,11 @@ func (m MFD) Diameter(r *relation.Relation, i int) float64 {
 	px := partition.Build(r, m.LHS)
 	d := m.RHS[i]
 	max := 0.0
-	for _, class := range px.Classes() {
+	for ci := 0; ci < px.NumClasses(); ci++ {
+		class := px.Class(ci)
 		for a := 0; a < len(class); a++ {
 			for b := a + 1; b < len(class); b++ {
-				dist := d.Metric.Distance(r.Value(class[a], d.Col), r.Value(class[b], d.Col))
+				dist := d.Metric.Distance(r.Value(int(class[a]), d.Col), r.Value(int(class[b]), d.Col))
 				if dist == dist && dist > max {
 					max = dist
 				}

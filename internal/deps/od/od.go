@@ -9,6 +9,8 @@ package od
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"deptree/internal/deps"
@@ -95,9 +97,91 @@ func ordered(r *relation.Relation, i, j int, ms []Marked) bool {
 	return true
 }
 
-// Holds implements deps.Dependency.
+// Holds implements deps.Dependency. Single-attribute ODs over columns on
+// which Compare is a total preorder are decided by a sort-and-scan fast
+// path in O(n log n); every other shape falls back to the O(n²) pair
+// scan. Both routes decide the same predicate (no violating ordered
+// pair), so the fast path never changes discovery output.
 func (o OD) Holds(r *relation.Relation) bool {
+	if len(o.LHS) == 1 && len(o.RHS) == 1 {
+		if ok, holds := o.holdsSorted(r); ok {
+			return holds
+		}
+	}
 	return deps.HoldsByViolations(o, r)
+}
+
+// columnTotal reports whether Compare restricted to the column's values is
+// a total preorder. Within one column (one declared kind plus nulls) the
+// only way transitivity fails is a NaN float, which Compare treats as
+// equal to every numeric.
+func columnTotal(r *relation.Relation, col int) bool {
+	for row := 0; row < r.Rows(); row++ {
+		v := r.Value(row, col)
+		if v.IsNumeric() && math.IsNaN(v.Num()) {
+			return false
+		}
+	}
+	return true
+}
+
+// holdsSorted decides a single-attribute OD by sorting rows on the marked
+// LHS and scanning once: within an LHS-tie group every RHS value must
+// Compare-equal (both pair orders are LHS-ordered), and consecutive
+// groups' RHS values must follow the RHS mark (transitivity extends the
+// adjacent check to all group pairs). ok=false means the fast path does
+// not apply (a NaN broke totality) and the caller must pair-scan.
+func (o OD) holdsSorted(r *relation.Relation) (ok, holds bool) {
+	l, rm := o.LHS[0], o.RHS[0]
+	// Fail-fast pre-pass: any violating pair decides Holds, and ODs that
+	// fail usually fail between neighbors, so check consecutive rows (both
+	// orientations) in O(n) before paying for the sort. This is exact
+	// regardless of Compare totality — a witnessed violation is a violation.
+	for i := 0; i+1 < r.Rows(); i++ {
+		if ordered(r, i, i+1, o.LHS) && !ordered(r, i, i+1, o.RHS) {
+			return true, false
+		}
+		if ordered(r, i+1, i, o.LHS) && !ordered(r, i+1, i, o.RHS) {
+			return true, false
+		}
+	}
+	if !columnTotal(r, l.Col) || !columnTotal(r, rm.Col) {
+		return false, false
+	}
+	n := r.Rows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	cmpL := func(i, j int) int {
+		c := r.Value(i, l.Col).Compare(r.Value(j, l.Col))
+		if l.Desc {
+			return -c
+		}
+		return c
+	}
+	cmpR := func(i, j int) int {
+		c := r.Value(i, rm.Col).Compare(r.Value(j, rm.Col))
+		if rm.Desc {
+			return -c
+		}
+		return c
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cmpL(idx[a], idx[b]) < 0 })
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && cmpL(idx[start], idx[end]) == 0 {
+			if r.Value(idx[start], rm.Col).Compare(r.Value(idx[end], rm.Col)) != 0 {
+				return true, false
+			}
+			end++
+		}
+		if end < n && cmpR(idx[start], idx[end]) > 0 {
+			return true, false
+		}
+		start = end
+	}
+	return true, true
 }
 
 // Violations implements deps.Dependency: ordered pairs satisfying the

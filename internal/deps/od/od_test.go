@@ -1,9 +1,11 @@
 package od
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
+	"deptree/internal/deps"
 	"deptree/internal/deps/ofd"
 	"deptree/internal/gen"
 	"deptree/internal/relation"
@@ -99,5 +101,52 @@ func TestStringAndKind(t *testing.T) {
 	}
 	if got := o.String(); got != "nights≤ -> avg/night≥" {
 		t.Errorf("String = %q", got)
+	}
+}
+
+// TestHoldsSortedMatchesPairScan checks the single-attribute sort-and-scan
+// fast path against the O(n²) pair-scan oracle over random relations with
+// every mark combination, nulls, ties, and (via NaN) the totality
+// fallback.
+func TestHoldsSortedMatchesPairScan(t *testing.T) {
+	s := relation.NewSchema(
+		relation.Attribute{Name: "l", Kind: relation.KindFloat},
+		relation.Attribute{Name: "r", Kind: relation.KindFloat},
+	)
+	rng := rand.New(rand.NewSource(23))
+	val := func(withNaN bool) relation.Value {
+		switch rng.Intn(8) {
+		case 0:
+			return relation.Null(relation.KindFloat)
+		case 1:
+			if withNaN {
+				return relation.Float(math.NaN())
+			}
+		}
+		return relation.Float(float64(rng.Intn(5)))
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(12)
+		withNaN := trial%3 == 0
+		rows := make([][]relation.Value, n)
+		for i := range rows {
+			rows[i] = []relation.Value{val(withNaN), val(withNaN)}
+		}
+		r := relation.MustFromRows("rand", s, rows)
+		for _, lDesc := range []bool{false, true} {
+			for _, rDesc := range []bool{false, true} {
+				o := OD{
+					LHS:    []Marked{{Col: 0, Desc: lDesc}},
+					RHS:    []Marked{{Col: 1, Desc: rDesc}},
+					Schema: s,
+				}
+				fast := o.Holds(r)
+				slow := deps.HoldsByViolations(o, r)
+				if fast != slow {
+					t.Fatalf("trial %d (lDesc=%v rDesc=%v): fast=%v pair-scan=%v rows=%v",
+						trial, lDesc, rDesc, fast, slow, rows)
+				}
+			}
+		}
 	}
 }

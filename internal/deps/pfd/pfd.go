@@ -114,7 +114,8 @@ func (p PFD) Violations(r *relation.Relation, limit int) []deps.Violation {
 	yCodes, _ := r.GroupCodes(p.RHS.Cols())
 	prob := p.Probability(r)
 	var out []deps.Violation
-	for _, class := range px.Classes() {
+	for ci := 0; ci < px.NumClasses(); ci++ {
+		class := px.Class(ci)
 		counts := make(map[int]int)
 		for _, row := range class {
 			counts[yCodes[row]]++
@@ -128,7 +129,7 @@ func (p PFD) Violations(r *relation.Relation, limit int) []deps.Violation {
 		for _, row := range class {
 			if yCodes[row] != majority {
 				out = append(out, deps.Violation{
-					Rows: []int{row},
+					Rows: []int{int(row)},
 					Msg:  fmt.Sprintf("minority Y-value for its X-group (P=%.3f < %.3f)", prob, p.MinProb),
 				})
 				if limit > 0 && len(out) >= limit {

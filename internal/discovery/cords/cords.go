@@ -123,10 +123,19 @@ func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Re
 	run.SetAttr("pairs", len(pairs))
 	defer run.End()
 
+	// Dictionary-encode every column once up front: each pair analysis then
+	// runs on integer codes and counting arrays instead of string-keyed hash
+	// maps. Codes are bijective with Value.Key() strings per column, so all
+	// statistics (and the frequent-value tie-breaks) are unchanged.
+	cols := make([]colData, n)
+	for c := 0; c < n; c++ {
+		cols[c] = encodeColumn(r, c)
+	}
+
 	pairSpan := run.Child(obs.KindPhase, "pair-analysis")
 	pairTimer := reg.Histogram("cords.pairs.seconds").Start()
 	corrs, done, err := engine.MapBudget(pool, len(pairs), 0, func(i int) Correlation {
-		return analyze(r, sample, pairs[i].c1, pairs[i].c2, opts)
+		return analyze(sample, &cols[pairs[i].c1], &cols[pairs[i].c2], pairs[i].c1, pairs[i].c2, opts)
 	})
 	pairTimer()
 	pairSpan.SetAttr("completed", done)
@@ -172,31 +181,68 @@ func sampleRows(r *relation.Relation, size int, seed int64) []int {
 	return perm
 }
 
+// colData is one dictionary-encoded column: per-row codes, the code
+// cardinality, and each code's Value.Key() string (codes and keys are
+// bijective, so ordering by key is ordering by value identity).
+type colData struct {
+	codes []int
+	card  int
+	keys  []string
+}
+
+// encodeColumn dictionary-encodes column c and records a representative
+// key per code for frequent-value tie-breaking.
+func encodeColumn(r *relation.Relation, c int) colData {
+	codes, card := r.Codes(c)
+	keys := make([]string, card)
+	seen := make([]bool, card)
+	for row, code := range codes {
+		if !seen[code] {
+			seen[code] = true
+			keys[code] = r.Value(row, c).Key()
+		}
+	}
+	return colData{codes: codes, card: card, keys: keys}
+}
+
 // analyze computes strength and the chi-square statistic for one ordered
-// column pair over the sample.
-func analyze(r *relation.Relation, sample []int, c1, c2 int, opts Options) Correlation {
-	// Distinct counts on the sample.
-	d1 := map[string]int{}
-	d2 := map[string]int{}
-	pair := map[[2]string]int{}
+// column pair over the sample, entirely on integer codes: counting arrays
+// for per-column distincts, packed-and-sorted code pairs for the pairwise
+// distinct count, and array-indexed contingency cells.
+func analyze(sample []int, d1, d2 *colData, c1, c2 int, opts Options) Correlation {
+	cnt1 := make([]int, d1.card)
+	cnt2 := make([]int, d2.card)
+	packed := make([]int64, 0, len(sample))
 	for _, row := range sample {
-		k1 := r.Value(row, c1).Key()
-		k2 := r.Value(row, c2).Key()
-		d1[k1]++
-		d2[k2]++
-		pair[[2]string{k1, k2}]++
+		k1, k2 := d1.codes[row], d2.codes[row]
+		cnt1[k1]++
+		cnt2[k2]++
+		packed = append(packed, int64(k1)*int64(d2.card)+int64(k2))
+	}
+	distinct1 := 0
+	for _, c := range cnt1 {
+		if c > 0 {
+			distinct1++
+		}
+	}
+	sort.Slice(packed, func(i, j int) bool { return packed[i] < packed[j] })
+	pairDistinct := 0
+	for i, p := range packed {
+		if i == 0 || p != packed[i-1] {
+			pairDistinct++
+		}
 	}
 	corr := Correlation{Col1: c1, Col2: c2}
-	if len(pair) > 0 {
-		corr.Strength = float64(len(d1)) / float64(len(pair))
+	if pairDistinct > 0 {
+		corr.Strength = float64(distinct1) / float64(pairDistinct)
 	} else {
 		corr.Strength = 1
 	}
 	// Bucket to the MaxCategories most frequent values per column.
-	top1 := topKeys(d1, opts.MaxCategories)
-	top2 := topKeys(d2, opts.MaxCategories)
-	idx1 := index(top1)
-	idx2 := index(top2)
+	top1 := topCodes(cnt1, d1.keys, opts.MaxCategories)
+	top2 := topCodes(cnt2, d2.keys, opts.MaxCategories)
+	idx1 := index(top1, d1.card)
+	idx2 := index(top2, d2.card)
 	rows, cols := len(top1), len(top2)
 	if rows < 2 || cols < 2 {
 		// A constant column is trivially dependent; chi-square undefined.
@@ -209,9 +255,9 @@ func analyze(r *relation.Relation, sample []int, c1, c2 int, opts Options) Corre
 	}
 	total := 0.0
 	for _, row := range sample {
-		i, ok1 := idx1[r.Value(row, c1).Key()]
-		j, ok2 := idx2[r.Value(row, c2).Key()]
-		if ok1 && ok2 {
+		i := idx1[d1.codes[row]]
+		j := idx2[d2.codes[row]]
+		if i >= 0 && j >= 0 {
 			table[i][j]++
 			total++
 		}
@@ -247,27 +293,37 @@ func analyze(r *relation.Relation, sample []int, c1, c2 int, opts Options) Corre
 	return corr
 }
 
-func topKeys(counts map[string]int, k int) []string {
-	keys := make([]string, 0, len(counts))
-	for key := range counts {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if counts[keys[i]] != counts[keys[j]] {
-			return counts[keys[i]] > counts[keys[j]]
+// topCodes returns the up-to-k codes with the highest sample counts,
+// ordered by count descending then key ascending — the same total order
+// the string-keyed implementation used, since keys are distinct per code.
+func topCodes(cnt []int, keys []string, k int) []int {
+	codes := make([]int, 0, len(cnt))
+	for c, n := range cnt {
+		if n > 0 {
+			codes = append(codes, c)
 		}
-		return keys[i] < keys[j]
-	})
-	if len(keys) > k {
-		keys = keys[:k]
 	}
-	return keys
+	sort.Slice(codes, func(i, j int) bool {
+		if cnt[codes[i]] != cnt[codes[j]] {
+			return cnt[codes[i]] > cnt[codes[j]]
+		}
+		return keys[codes[i]] < keys[codes[j]]
+	})
+	if len(codes) > k {
+		codes = codes[:k]
+	}
+	return codes
 }
 
-func index(keys []string) map[string]int {
-	out := make(map[string]int, len(keys))
-	for i, k := range keys {
-		out[k] = i
+// index maps code → contingency-table index for the top codes, −1
+// elsewhere.
+func index(top []int, card int) []int {
+	out := make([]int, card)
+	for i := range out {
+		out[i] = -1
+	}
+	for i, c := range top {
+		out[c] = i
 	}
 	return out
 }

@@ -396,28 +396,37 @@ func containsAll(a, b []int) bool {
 func ConstantPredicates(r *relation.Relation, minFreq int) []dc.Predicate {
 	var out []dc.Predicate
 	for c := 0; c < r.Cols(); c++ {
-		freq := map[string]int{}
-		rep := map[string]relation.Value{}
-		for row := 0; row < r.Rows(); row++ {
+		// Dictionary-encode the column and count per code instead of per key
+		// string. A code's representative is its last occurrence, matching
+		// the map-overwrite semantics of the string-keyed implementation
+		// (Key-equal values may still differ as Value instances).
+		codes, card := r.Codes(c)
+		freq := make([]int, card)
+		rep := make([]relation.Value, card)
+		keys := make([]string, card)
+		for row, code := range codes {
 			v := r.Value(row, c)
-			freq[v.Key()]++
-			rep[v.Key()] = v
+			if freq[code] == 0 {
+				keys[code] = v.Key()
+			}
+			freq[code]++
+			rep[code] = v
 		}
-		keys := make([]string, 0, len(freq))
-		for k := range freq {
-			keys = append(keys, k)
+		order := make([]int, card)
+		for i := range order {
+			order[i] = i
 		}
-		sort.Strings(keys)
+		sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
 		ops := []dc.Op{dc.OpEq, dc.OpNe}
 		if r.Schema().Attr(c).Kind != relation.KindString {
 			ops = append(ops, dc.OpLt, dc.OpGt)
 		}
-		for _, k := range keys {
-			if freq[k] < minFreq {
+		for _, code := range order {
+			if freq[code] < minFreq {
 				continue
 			}
 			for _, op := range ops {
-				out = append(out, dc.P(dc.Attr(dc.Alpha, c), op, dc.Const(rep[k])))
+				out = append(out, dc.P(dc.Attr(dc.Alpha, c), op, dc.Const(rep[code])))
 			}
 		}
 	}

@@ -185,13 +185,14 @@ func agreeSets(r *relation.Relation, pool *engine.Pool) (map[attrset.Set]bool, e
 	seen := make(map[[2]int]bool)
 	for c := 0; c < n; c++ {
 		p := partition.FromCodes(codes[c], distinct(codes[c]))
-		for _, class := range p.Classes() {
+		for ci := 0; ci < p.NumClasses(); ci++ {
+			class := p.Class(ci)
 			if err := pool.Err(); err != nil {
 				return nil, err
 			}
 			for i := 0; i < len(class); i++ {
 				for j := i + 1; j < len(class); j++ {
-					key := [2]int{class[i], class[j]}
+					key := [2]int{int(class[i]), int(class[j])}
 					if seen[key] {
 						continue
 					}

@@ -39,10 +39,17 @@ type PartitionCache struct {
 	misses    uint64
 	evictions uint64
 
+	// scratch pools partition arenas for product builds. sync.Pool's per-P
+	// free lists hand each engine worker an effectively private arena, so
+	// concurrent lattice walks build products contention-free.
+	scratch sync.Pool
+
 	// Optional live mirrors of the stats above in an obs registry
 	// (SetObserver); nil handles are no-ops.
 	cHits, cMisses, cEvictions *obs.Counter
 	gBytes, gEntries           *obs.Gauge
+	cProducts                  *obs.Counter
+	hProduct                   *obs.Histogram
 }
 
 type cacheEntry struct {
@@ -91,13 +98,15 @@ func NewPartitionCacheBudget(r *relation.Relation, capacity int, maxBytes int64)
 	if maxBytes < 0 {
 		maxBytes = 0
 	}
-	return &PartitionCache{
+	c := &PartitionCache{
 		r:        r,
 		cap:      capacity,
 		maxBytes: maxBytes,
 		entries:  make(map[attrset.Set]*list.Element),
 		lru:      list.New(),
 	}
+	c.scratch.New = func() any { return partition.NewScratch() }
+	return c
 }
 
 // Relation returns the relation the cache is built over.
@@ -105,9 +114,11 @@ func (c *PartitionCache) Relation() *relation.Relation { return c.r }
 
 // SetObserver mirrors the cache's statistics into reg as live metrics:
 // counters cache.hits / cache.misses / cache.evictions and gauges
-// cache.bytes / cache.entries. A nil reg detaches. Call before the first
-// Get; the mirror counts events from attachment onward, while Stats()
-// always covers the cache's whole lifetime.
+// cache.bytes / cache.entries, plus the partition product hot path as
+// counter partition.products_total and histogram partition.product.seconds.
+// A nil reg detaches. Call before the first Get; the mirror counts events
+// from attachment onward, while Stats() always covers the cache's whole
+// lifetime.
 func (c *PartitionCache) SetObserver(reg *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -116,6 +127,8 @@ func (c *PartitionCache) SetObserver(reg *obs.Registry) {
 	c.cEvictions = reg.Counter("cache.evictions")
 	c.gBytes = reg.Gauge("cache.bytes")
 	c.gEntries = reg.Gauge("cache.entries")
+	c.cProducts = reg.Counter("partition.products_total")
+	c.hProduct = reg.Histogram("partition.product.seconds")
 }
 
 // Get returns π_X, building and memoizing it (and, recursively, its
@@ -185,7 +198,9 @@ func (c *PartitionCache) evictLocked() {
 }
 
 // build constructs π_X outside the cache lock. Singletons (and π_∅) come
-// straight from the relation; larger sets are products of cached parts.
+// straight from the relation; larger sets are products of cached parts,
+// computed on a pooled scratch arena so the hot path allocates nothing
+// beyond the result.
 func (c *PartitionCache) build(x attrset.Set) *partition.Partition {
 	if x.Len() <= 1 {
 		return partition.Build(c.r, x)
@@ -193,7 +208,13 @@ func (c *PartitionCache) build(x attrset.Set) *partition.Partition {
 	a := x.First()
 	rest := c.Get(x.Remove(a))
 	single := c.Get(attrset.Single(a))
-	return rest.Product(single)
+	c.cProducts.Inc()
+	stop := c.hProduct.Start()
+	s := c.scratch.Get().(*partition.Scratch)
+	p := rest.ProductScratch(single, s)
+	c.scratch.Put(s)
+	stop()
+	return p
 }
 
 // Stats reports hits, misses, evictions and the resident footprint since

@@ -42,10 +42,23 @@ func TestBuildEmptySet(t *testing.T) {
 	if p.Cardinality() != 1 || p.NumClasses() != 1 || p.Size() != 5 {
 		t.Errorf("empty-set partition: card=%d classes=%d size=%d", p.Cardinality(), p.NumClasses(), p.Size())
 	}
+	// The n ≤ 1 edge: π_∅ has no stripped class and |π_∅| = n, for both the
+	// 0-row and the 1-row relation.
 	empty := relation.New("e", relation.Strings("a"))
 	pe := Build(empty, attrset.Empty)
-	if pe.Cardinality() != 0 || pe.NumClasses() != 0 {
-		t.Errorf("zero-row empty-set partition: card=%d", pe.Cardinality())
+	if pe.Cardinality() != 0 || pe.NumClasses() != 0 || pe.Size() != 0 {
+		t.Errorf("zero-row empty-set partition: card=%d classes=%d size=%d",
+			pe.Cardinality(), pe.NumClasses(), pe.Size())
+	}
+	one := relation.MustFromRows("one", relation.Strings("a"),
+		[][]relation.Value{{relation.String("x")}})
+	po := Build(one, attrset.Empty)
+	if po.Cardinality() != 1 || po.NumClasses() != 0 || po.Size() != 0 {
+		t.Errorf("one-row empty-set partition: card=%d classes=%d size=%d",
+			po.Cardinality(), po.NumClasses(), po.Size())
+	}
+	if po.Error() != 0 || !po.IsKey() {
+		t.Errorf("one-row empty-set partition: error=%v isKey=%v", po.Error(), po.IsKey())
 	}
 }
 
