@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench benchdiff verify
+.PHONY: build test race chaos fuzz bench benchdiff serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -11,11 +11,12 @@ build:
 test:
 	$(GO) test ./...
 
-# Race coverage for the worker pool, the shared partition cache and all
+# Race coverage for the worker pool, the shared partition cache, all
 # parallelized discovery algorithms (the differential harness runs both
-# sequential and parallel paths under the detector).
+# sequential and parallel paths under the detector) and the HTTP serving
+# layer (admission semaphore, breakers, drain).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/discovery/...
+	$(GO) test -race ./internal/engine/... ./internal/discovery/... ./internal/server/
 
 # Fault-injection suite (DESIGN.md "Failure model"): injected panics,
 # stalls and mid-run cancellations across the pool and every discoverer,
@@ -23,11 +24,19 @@ race:
 chaos:
 	$(GO) test -race -count=1 ./internal/engine/chaos/
 
-# Short fuzz passes: the CSV codec round trip and the CSR partition
-# product vs the retained map-based oracle.
+# Short fuzz passes: the CSV codec round trip, the CSR partition product
+# vs the retained map-based oracle, and the server's request decoder
+# (malformed bodies must always be structured 4xx, never a panic).
 fuzz:
 	$(GO) test -run=X -fuzz=FuzzCSVRoundTrip -fuzztime=30s ./internal/relation/
 	$(GO) test -run=X -fuzz=FuzzProductEquivalence -fuzztime=30s ./internal/partition/
+	$(GO) test -run=X -fuzz=FuzzDiscoverRequest -fuzztime=30s ./internal/server/
+
+# Boots `deptool serve` on a real socket, exercises health/readiness/
+# metrics/discover/validate plus a malformed-body rejection, then
+# SIGTERMs and asserts a clean graceful drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # Benchmark pass: every benchmark runs once (-benchtime=1x keeps CI
 # cheap), the text output lands in BENCH_4.txt and cmd/benchjson converts

@@ -32,25 +32,25 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
-	"deptree/internal/apps/detect"
-	"deptree/internal/apps/repair"
 	"deptree/internal/core"
-	"deptree/internal/deps"
 	"deptree/internal/deps/fd"
 	"deptree/internal/discovery/cfddisc"
 	"deptree/internal/discovery/cords"
 	"deptree/internal/discovery/fastdc"
-	"deptree/internal/discovery/fastfd"
 	"deptree/internal/discovery/oddisc"
 	"deptree/internal/discovery/tane"
 	"deptree/internal/engine"
 	"deptree/internal/gen"
 	"deptree/internal/obs"
 	"deptree/internal/relation"
+	"deptree/internal/server"
 )
 
 // errPartial is returned by commands whose discovery run was truncated by
@@ -88,9 +88,15 @@ var metricsAddrBound string
 // shuts the server down. The registry feeds the discoverers regardless of
 // the flags, so a trace/metrics request never changes the executed path —
 // only whether the collected data is exported.
+//
+// The listener is not fire-and-forget: finish drains it through
+// http.Server.Shutdown and waits for the serve goroutine to exit, so a
+// deptool run (including one interrupted by SIGTERM through rootCtx)
+// never leaks the listener or its goroutine.
 func (o obsFlags) start() (*obs.Registry, func() error, error) {
 	reg := obs.New()
 	var srv *http.Server
+	var serveDone chan error
 	if *o.metricsAddr != "" {
 		expvarOnce.Do(func() {
 			expvar.Publish("deptree", expvar.Func(func() any { return reg.Snapshot() }))
@@ -113,11 +119,17 @@ func (o obsFlags) start() (*obs.Registry, func() error, error) {
 		metricsAddrBound = ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", ln.Addr())
 		srv = &http.Server{Handler: mux}
-		go srv.Serve(ln)
+		serveDone = make(chan error, 1)
+		go func() { serveDone <- srv.Serve(ln) }()
 	}
 	finish := func() error {
 		if srv != nil {
-			srv.Close()
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+			cancel()
+			<-serveDone
 		}
 		if *o.traceOut == "" {
 			return nil
@@ -144,11 +156,21 @@ func finishObs(finish func() error, runErr error) error {
 	return runErr
 }
 
+// rootCtx is the process-lifetime context every budgeted command runs
+// under. main wires SIGINT/SIGTERM cancellation into it, so a signal
+// mid-run degrades the command to its deterministic PARTIAL result (and
+// `deptool serve` to a graceful drain) instead of killing the process
+// with work half-done. Tests leave it as Background.
+var rootCtx = context.Background()
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rootCtx = ctx
 	var err error
 	switch os.Args[1] {
 	case "report":
@@ -163,6 +185,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -184,14 +208,18 @@ func usage() {
   deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
   deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]
   deptool profile  -in data.csv [-workers N] [-timeout d] [-max-tasks n] [-max-cache-mb m] [-v]
+  deptool serve    [-addr :8080] [-workers N] [-max-concurrency n] [-queue n] [-timeout d] [-max-timeout d]
+                   [-max-tasks n] [-max-input-mb m] [-max-rows n] [-drain-timeout d]
 
 discover, validate, repair and profile also take:
+  -max-input-mb m           reject input CSVs larger than m MiB
   -metrics-addr host:port   serve expvar (/debug/vars), pprof (/debug/pprof/)
                             and Prometheus text (/metrics) during the run
   -trace-out file.jsonl     write the run's span events as JSONL
 
 exit codes: 0 complete, 2 partial result (budget exhausted; PARTIAL marker
-on stdout), 1 error`)
+on stdout), 1 error. SIGTERM/SIGINT degrade a running command to its
+PARTIAL result (serve: graceful drain) instead of killing it mid-run.`)
 }
 
 func cmdReport(args []string) error {
@@ -229,38 +257,28 @@ func cmdReport(args []string) error {
 	return nil
 }
 
-// loadCSV reads a CSV, inferring numeric columns.
-func loadCSV(path string) (*relation.Relation, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	// First pass: read all as strings, then re-type numeric columns.
-	raw, err := relation.ReadCSV(path, f, nil)
-	if err != nil {
-		return nil, err
-	}
-	kinds := make([]relation.Kind, raw.Cols())
-	for c := 0; c < raw.Cols(); c++ {
-		kinds[c] = relation.KindFloat
-		for row := 0; row < raw.Rows(); row++ {
-			v := raw.Value(row, c)
-			if v.IsNull() {
-				continue
-			}
-			if _, err := relation.Parse(v.Str(), relation.KindFloat); err != nil {
-				kinds[c] = relation.KindString
-				break
-			}
+// addInputLimitFlag registers the shared -max-input-mb bound for
+// commands that read a CSV.
+func addInputLimitFlag(fs *flag.FlagSet) *int64 {
+	return fs.Int64("max-input-mb", 0, "reject input CSVs larger than this many MiB (0 = unlimited)")
+}
+
+// loadCSV reads a CSV under the byte bound, inferring numeric columns
+// through the same relation.ReadCSVAuto path the server's request
+// decoder uses, so a file and the same bytes POSTed to `deptool serve`
+// type identically.
+func loadCSV(path string, maxInputMB int64) (*relation.Relation, error) {
+	lim := relation.Limits{MaxBytes: maxInputMB << 20}
+	if lim.MaxBytes > 0 {
+		if st, err := os.Stat(path); err == nil && st.Size() > lim.MaxBytes {
+			return nil, &relation.ErrInputTooLarge{What: "bytes", Limit: lim.MaxBytes, Got: st.Size()}
 		}
 	}
-	f2, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f2.Close()
-	return relation.ReadCSV(path, f2, kinds)
+	return relation.ReadCSVAuto(path, data, lim)
 }
 
 func cmdDiscover(args []string) error {
@@ -271,6 +289,7 @@ func cmdDiscover(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the completed prefix is printed with a PARTIAL marker and the exit code is 2")
 	maxTasks := fs.Int64("max-tasks", 0, "task-execution budget (0 = unlimited); truncation is deterministic for any -workers value")
+	maxInputMB := addInputLimitFlag(fs)
 	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -278,7 +297,7 @@ func cmdDiscover(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("-in required")
 	}
-	r, err := loadCSV(*in)
+	r, err := loadCSV(*in, *maxInputMB)
 	if err != nil {
 		return err
 	}
@@ -286,47 +305,19 @@ func cmdDiscover(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	budget := engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks}
-	var partial bool
-	var reason string
-	switch *algo {
-	case "tane":
-		res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: *maxErr, Workers: *workers, Budget: budget, Obs: reg})
-		for _, f := range res.FDs {
-			fmt.Println(f)
-		}
-		partial, reason = res.Partial, res.Reason
-	case "fastfd":
-		res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: *workers, Budget: budget, Obs: reg})
-		for _, f := range res.FDs {
-			fmt.Println(f)
-		}
-		partial, reason = res.Partial, res.Reason
-	case "cords":
-		res := cords.DiscoverContext(ctx, r, cords.Options{Workers: *workers, Budget: budget, Obs: reg})
-		for _, s := range res.SFDs {
-			fmt.Println(s)
-		}
-		partial, reason = res.Partial, res.Reason
-	case "fastdc":
-		res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: *workers, Budget: budget, Obs: reg})
-		for _, d := range res.DCs {
-			fmt.Println(d)
-		}
-		partial, reason = res.Partial, res.Reason
-	case "od":
-		res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: *workers, Budget: budget, Obs: reg})
-		for _, o := range oddisc.Minimal(res.ODs) {
-			fmt.Println(o)
-		}
-		partial, reason = res.Partial, res.Reason
-	default:
+	out, err := server.RunDiscover(rootCtx, r, *algo, server.RunParams{
+		Workers: *workers,
+		Budget:  engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
+		MaxErr:  *maxErr,
+		Obs:     reg,
+	})
+	if err != nil {
+		finishObs(obsDone, nil)
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+	fmt.Print(out.Text())
 	var runErr error
-	if partial {
-		fmt.Printf("PARTIAL: %s\n", reason)
+	if out.Partial {
 		runErr = errPartial
 	}
 	return finishObs(obsDone, runErr)
@@ -334,20 +325,7 @@ func cmdDiscover(args []string) error {
 
 // parseFD parses "a,b->c" against a schema.
 func parseFD(schema *relation.Schema, spec string) (fd.FD, error) {
-	parts := strings.SplitN(spec, "->", 2)
-	if len(parts) != 2 {
-		return fd.FD{}, fmt.Errorf("FD spec %q must be lhs->rhs", spec)
-	}
-	split := func(s string) []string {
-		var out []string
-		for _, x := range strings.Split(s, ",") {
-			if x = strings.TrimSpace(x); x != "" {
-				out = append(out, x)
-			}
-		}
-		return out
-	}
-	return fd.New(schema, split(parts[0]), split(parts[1]))
+	return server.ParseFD(schema, spec)
 }
 
 func cmdValidate(args []string) error {
@@ -357,6 +335,7 @@ func cmdValidate(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the checked prefix is printed with a PARTIAL marker and the exit code is 2")
 	maxTasks := fs.Int64("max-tasks", 0, "rule-check budget (0 = unlimited); truncation is deterministic for any -workers value")
+	maxInputMB := addInputLimitFlag(fs)
 	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -364,43 +343,26 @@ func cmdValidate(args []string) error {
 	if *in == "" || *fdSpec == "" {
 		return fmt.Errorf("-in and -fd required")
 	}
-	r, err := loadCSV(*in)
+	r, err := loadCSV(*in, *maxInputMB)
 	if err != nil {
 		return err
 	}
-	var rules []deps.Dependency
-	var fdRules []fd.FD
-	for _, spec := range strings.Split(*fdSpec, ";") {
-		if spec = strings.TrimSpace(spec); spec == "" {
-			continue
-		}
-		f, err := parseFD(r.Schema(), spec)
-		if err != nil {
-			return err
-		}
-		rules = append(rules, f)
-		fdRules = append(fdRules, f)
+	fds, err := server.ParseFDList(r.Schema(), *fdSpec)
+	if err != nil {
+		return err
 	}
 	reg, obsDone, err := ob.start()
 	if err != nil {
 		return err
 	}
-	res := detect.RunContext(context.Background(), r, rules, detect.Options{
-		PerRuleLimit: 20,
-		Workers:      *workers,
-		Budget:       engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
-		Obs:          reg,
+	out := server.RunValidate(rootCtx, r, fds, server.RunParams{
+		Workers: *workers,
+		Budget:  engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
+		Obs:     reg,
 	})
-	fmt.Print(detect.Format(res.Reports))
-	for i, f := range fdRules {
-		if i >= res.Completed {
-			break
-		}
-		fmt.Printf("g3 error: %.4f\n", f.G3(r))
-	}
+	fmt.Print(out.Text())
 	var runErr error
-	if res.Partial {
-		fmt.Printf("PARTIAL: %s (checked %d of %d rules)\n", res.Reason, res.Completed, len(rules))
+	if out.Partial {
 		runErr = errPartial
 	}
 	return finishObs(obsDone, runErr)
@@ -414,6 +376,7 @@ func cmdRepair(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the partially repaired instance is written with a PARTIAL marker and the exit code is 2")
 	maxTasks := fs.Int64("max-tasks", 0, "class-repair budget (0 = unlimited); truncation is deterministic for any -workers value")
+	maxInputMB := addInputLimitFlag(fs)
 	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -421,7 +384,7 @@ func cmdRepair(args []string) error {
 	if *in == "" || *fdSpec == "" {
 		return fmt.Errorf("-in and -fd required")
 	}
-	r, err := loadCSV(*in)
+	r, err := loadCSV(*in, *maxInputMB)
 	if err != nil {
 		return err
 	}
@@ -433,11 +396,15 @@ func cmdRepair(args []string) error {
 	if err != nil {
 		return err
 	}
-	res := repair.FDRepairContext(context.Background(), r, []fd.FD{f}, repair.Options{
+	res, err := server.RunRepair(rootCtx, r, []fd.FD{f}, server.RunParams{
 		Workers: *workers,
 		Budget:  engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
 		Obs:     reg,
 	})
+	if err != nil {
+		finishObs(obsDone, nil)
+		return err
+	}
 	for _, ch := range res.Changes {
 		fmt.Fprintln(os.Stderr, "  ", ch)
 	}
@@ -451,7 +418,7 @@ func cmdRepair(args []string) error {
 		defer file.Close()
 		dst = file
 	}
-	if err := relation.WriteCSV(res.Repaired, dst); err != nil {
+	if _, err := dst.WriteString(res.CSV); err != nil {
 		return err
 	}
 	var runErr error
@@ -500,6 +467,7 @@ func cmdProfile(args []string) error {
 	maxTasks := fs.Int64("max-tasks", 0, "per-section task budget (0 = unlimited)")
 	maxCacheMB := fs.Int64("max-cache-mb", 0, "partition-cache byte bound in MiB (0 = count-bounded only)")
 	verbose := fs.Bool("v", false, "print partition-cache statistics and the observability registry snapshot")
+	maxInputMB := addInputLimitFlag(fs)
 	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -507,7 +475,7 @@ func cmdProfile(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("-in required")
 	}
-	r, err := loadCSV(*in)
+	r, err := loadCSV(*in, *maxInputMB)
 	if err != nil {
 		return err
 	}
@@ -515,7 +483,7 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
+	ctx := rootCtx
 	budget := engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks, MaxCacheBytes: *maxCacheMB << 20}
 	// Each budgeted section appends its stop reason here; any entry turns
 	// the whole profile into a PARTIAL exit.

@@ -78,7 +78,7 @@ func writeHotelsCSV(t *testing.T) string {
 
 func TestLoadCSVInfersKinds(t *testing.T) {
 	path := writeHotelsCSV(t)
-	r, err := loadCSV(path)
+	r, err := loadCSV(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestLoadCSVInfersKinds(t *testing.T) {
 	if r.Schema().Attr(r.Schema().MustIndex("name")).Kind != relation.KindString {
 		t.Error("name should stay string")
 	}
-	if _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+	if _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv"), 0); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -249,7 +249,7 @@ func TestCmdGen(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	r, err := loadCSV(path)
+	r, err := loadCSV(path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -61,3 +62,12 @@ func Reason(err error) string {
 		return err.Error()
 	}
 }
+
+// IsPanicReason reports whether a Reason token records a recovered task
+// panic. The serving layer treats those as engine faults (they feed its
+// circuit breaker), unlike budget truncations.
+func IsPanicReason(reason string) bool { return strings.HasPrefix(reason, "panic: ") }
+
+// IsDeadlineReason reports whether a Reason token records an expired
+// wall-clock budget.
+func IsDeadlineReason(reason string) bool { return reason == "deadline" }

@@ -1,0 +1,326 @@
+// Chaos scenarios for the HTTP serving layer, driven over real sockets:
+// injected engine faults must surface as the documented status codes
+// (500 then breaker 503, 429 under saturation, 503 on cancellation),
+// drain must let in-flight work finish, and no scenario may leak
+// goroutines or crash the process.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"deptree/internal/obs"
+	"deptree/internal/relation"
+	"deptree/internal/server"
+)
+
+// httpServer boots a server.Server on a real listener and returns its
+// base URL, a cancel that triggers drain, and the Run result channel.
+func httpServer(t *testing.T, cfg server.Config) (base string, cancel context.CancelFunc, runDone chan error) {
+	t.Helper()
+	if cfg.Obs == nil {
+		cfg.Obs = obs.New()
+	}
+	s := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	runDone = make(chan error, 1)
+	go func() { runDone <- s.Run(ctx, ln) }()
+	base = "http://" + ln.Addr().String()
+	waitHTTP(t, base+"/healthz")
+	return base, cancelCtx, runDone
+}
+
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never answered %s: %v", url, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// shutdown drains the server and waits for Run to return, so the leak
+// check sees a fully unwound process.
+func shutdown(t *testing.T, cancel context.CancelFunc, runDone chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Errorf("Run returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after drain")
+	}
+}
+
+// discoverBody renders a discover request for the chaos relation.
+func discoverBody(t *testing.T, rows int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(hotel(rows), &buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(map[string]string{"csv": buf.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// postDiscover POSTs and returns status, decoded error code ("" on 200),
+// and the Retry-After header.
+func postDiscover(t *testing.T, base, algo, body string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/discover/"+algo, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == 200 {
+		return 200, "", ""
+	}
+	var eb struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Error.Code == "" {
+		t.Fatalf("status %d without structured error body:\n%.300s", resp.StatusCode, raw)
+	}
+	return resp.StatusCode, eb.Error.Code, resp.Header.Get("Retry-After")
+}
+
+// TestServerInjectedPanicTripsBreaker drives the full failure chain over
+// HTTP: injected task panics surface as 500 engine_panic, the endpoint's
+// breaker opens into fast 503s, and once the faults stop the half-open
+// probe recovers the endpoint — all without leaking a goroutine.
+func TestServerInjectedPanicTripsBreaker(t *testing.T) {
+	requireNoGoroutineLeak(t, func() {
+		base, cancel, runDone := httpServer(t, server.Config{
+			Workers:          2,
+			BreakerThreshold: 2,
+			BreakerBackoff:   100 * time.Millisecond,
+			DrainTimeout:     5 * time.Second,
+			DrainGrace:       10 * time.Millisecond,
+		})
+		body := discoverBody(t, 30)
+
+		_, uninstall := Install(Options{PanicEvery: 1})
+		for i := 0; i < 2; i++ {
+			status, code, _ := postDiscover(t, base, "tane", body)
+			if status != 500 || code != "engine_panic" {
+				t.Fatalf("panic run %d: status %d code %s", i, status, code)
+			}
+		}
+		uninstall()
+
+		status, code, retryAfter := postDiscover(t, base, "tane", body)
+		if status != 503 || code != "breaker_open" {
+			t.Fatalf("after threshold: status %d code %s, want 503 breaker_open", status, code)
+		}
+		if retryAfter == "" {
+			t.Error("breaker 503 missing Retry-After")
+		}
+		// Per-endpoint isolation: fastfd still serves while tane is open.
+		if status, code, _ := postDiscover(t, base, "fastfd", body); status != 200 {
+			t.Errorf("fastfd while tane breaker open: status %d code %s", status, code)
+		}
+
+		// After the backoff the probe runs against the healthy engine and
+		// closes the breaker.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			status, _, _ = postDiscover(t, base, "tane", body)
+			if status == 200 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("breaker never recovered, last status %d", status)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		shutdown(t, cancel, runDone)
+	})
+}
+
+// TestServerInjectedCancelReturns503 injects a mid-run pool cancellation:
+// the response must be the documented 503 "cancelled", not a hang, crash
+// or mangled 200.
+func TestServerInjectedCancelReturns503(t *testing.T) {
+	requireNoGoroutineLeak(t, func() {
+		base, cancel, runDone := httpServer(t, server.Config{
+			Workers:      2,
+			DrainTimeout: 5 * time.Second,
+			DrainGrace:   10 * time.Millisecond,
+		})
+		_, uninstall := Install(Options{CancelAfter: 1})
+		status, code, _ := postDiscover(t, base, "tane", discoverBody(t, 30))
+		uninstall()
+		if status != 503 || code != "cancelled" {
+			t.Errorf("cancelled run: status %d code %s, want 503 cancelled", status, code)
+		}
+		shutdown(t, cancel, runDone)
+	})
+}
+
+// metricsGauge scrapes one gauge value off the Prometheus endpoint.
+func metricsGauge(t *testing.T, base, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(raw), "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	return -1
+}
+
+// TestServerSaturationSheds429 fills a capacity-1 server with a stalled
+// request plus one queued waiter; the next request must shed fast with
+// 429 and a Retry-After, and the stalled work must still complete.
+func TestServerSaturationSheds429(t *testing.T) {
+	requireNoGoroutineLeak(t, func() {
+		base, cancel, runDone := httpServer(t, server.Config{
+			Workers:        1,
+			MaxConcurrency: 1,
+			MaxQueue:       1,
+			DrainTimeout:   10 * time.Second,
+			DrainGrace:     10 * time.Millisecond,
+		})
+		// Every task stalls briefly: the first request holds admission
+		// capacity long enough to queue and then shed the others.
+		_, uninstall := Install(Options{DelayEvery: 1, Delay: 5 * time.Millisecond})
+		defer uninstall()
+		body := discoverBody(t, 20)
+
+		type result struct {
+			status int
+			code   string
+		}
+		results := make(chan result, 2)
+		for i := 0; i < 2; i++ {
+			go func() {
+				status, code, _ := postDiscover(t, base, "tane", body)
+				results <- result{status, code}
+			}()
+			// Wait until this request is admitted (first) or queued
+			// (second) before launching the next.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				inUse := metricsGauge(t, base, "deptree_server_admission_in_use")
+				queued := metricsGauge(t, base, "deptree_server_admission_queued")
+				if (i == 0 && inUse >= 1) || (i == 1 && queued >= 1) {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("request %d never reached admission (in_use=%d queued=%d)", i, inUse, queued)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+
+		status, code, retryAfter := postDiscover(t, base, "tane", body)
+		if status != 429 || code != "saturated" {
+			t.Errorf("overflow request: status %d code %s, want 429 saturated", status, code)
+		}
+		if retryAfter == "" {
+			t.Error("429 missing Retry-After")
+		}
+
+		for i := 0; i < 2; i++ {
+			r := <-results
+			if r.status != 200 {
+				t.Errorf("admitted request finished %d (%s), want 200", r.status, r.code)
+			}
+		}
+		shutdown(t, cancel, runDone)
+	})
+}
+
+// TestServerDrainLetsInflightFinish cancels the run context while a
+// stalled request is in flight: readiness must flip to 503 during the
+// grace window, the in-flight request must still complete 200, and Run
+// must return cleanly.
+func TestServerDrainLetsInflightFinish(t *testing.T) {
+	requireNoGoroutineLeak(t, func() {
+		base, cancel, runDone := httpServer(t, server.Config{
+			Workers:      2,
+			DrainGrace:   300 * time.Millisecond,
+			DrainTimeout: 10 * time.Second,
+		})
+		_, uninstall := Install(Options{DelayEvery: 1, Delay: 20 * time.Millisecond})
+		defer uninstall()
+
+		inflight := make(chan int, 1)
+		go func() {
+			status, _, _ := postDiscover(t, base, "tane", discoverBody(t, 30))
+			inflight <- status
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for metricsGauge(t, base, "deptree_server_inflight") < 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("request never became in-flight")
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+
+		cancel()
+		// During the grace window the listener still answers and reports
+		// not-ready.
+		readyDeadline := time.Now().Add(2 * time.Second)
+		for {
+			resp, err := http.Get(base + "/readyz")
+			if err != nil {
+				break // listener already closed: grace elapsed
+			}
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == 503 {
+				break
+			}
+			if time.Now().After(readyDeadline) {
+				t.Fatal("readyz never flipped to 503 during drain")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		if status := <-inflight; status != 200 {
+			t.Errorf("in-flight request during drain finished %d, want 200", status)
+		}
+		select {
+		case err := <-runDone:
+			if err != nil {
+				t.Errorf("Run returned %v, want nil after clean drain", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("Run did not return after drain")
+		}
+	})
+}

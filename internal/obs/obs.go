@@ -141,6 +141,15 @@ func (g *Gauge) Set(v int64) {
 	}
 }
 
+// Add moves the gauge by delta (negative to decrease), atomically —
+// the in-flight style of gauge, where concurrent holders increment on
+// entry and decrement on exit. No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() int64 {
 	if g == nil {

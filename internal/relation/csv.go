@@ -1,19 +1,103 @@
 package relation
 
 import (
+	"bytes"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 )
 
+// Limits bounds CSV ingestion. The zero value is unlimited, so existing
+// call sites keep their behavior. Limits exist because discovery inputs
+// arrive from the outside world (CLI files, served request bodies) and an
+// oversized relation must fail crisply with *ErrInputTooLarge before it
+// turns into an unbounded allocation inside an exponential search.
+type Limits struct {
+	// MaxBytes bounds the raw CSV bytes consumed from the source (0 =
+	// unlimited).
+	MaxBytes int64
+	// MaxRows bounds the data rows decoded, excluding the header (0 =
+	// unlimited).
+	MaxRows int
+	// MaxFieldBytes bounds the length of any single field, header
+	// included (0 = unlimited).
+	MaxFieldBytes int
+}
+
+// Unlimited reports whether the limits impose no bound at all.
+func (l Limits) Unlimited() bool {
+	return l.MaxBytes == 0 && l.MaxRows == 0 && l.MaxFieldBytes == 0
+}
+
+// ErrInputTooLarge is returned by the limited CSV readers when an input
+// exceeds a Limits bound. It is a typed error so callers (the deptool
+// CLI, the server's request decoder) can distinguish "input too big" from
+// "input malformed" and answer with the right exit code or HTTP status.
+type ErrInputTooLarge struct {
+	// What names the exceeded bound: "bytes", "rows" or "field bytes".
+	What string
+	// Limit is the configured bound; Got is the observed value that
+	// exceeded it (for the byte bound, Got is Limit+1: reading stops at
+	// the first excess byte).
+	Limit, Got int64
+}
+
+func (e *ErrInputTooLarge) Error() string {
+	return fmt.Sprintf("relation: input too large: %d %s exceeds limit %d", e.Got, e.What, e.Limit)
+}
+
+// limitedReader wraps src to fail with *ErrInputTooLarge once more than
+// max bytes have been consumed (io.LimitedReader's silent EOF would
+// instead truncate the relation mid-record).
+type limitedReader struct {
+	src io.Reader
+	max int64
+	n   int64
+}
+
+func (l *limitedReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if l.n > l.max {
+		return 0, &ErrInputTooLarge{What: "bytes", Limit: l.max, Got: l.n}
+	}
+	// Read at most one probe byte past the limit: an input of exactly
+	// max bytes must still reach its EOF, while the first excess byte
+	// trips the bound.
+	if rem := l.max - l.n + 1; int64(len(p)) > rem {
+		p = p[:rem]
+	}
+	n, err := l.src.Read(p)
+	l.n += int64(n)
+	if l.n > l.max {
+		return n, &ErrInputTooLarge{What: "bytes", Limit: l.max, Got: l.n}
+	}
+	return n, err
+}
+
 // ReadCSV decodes a relation from CSV. The first record is the header. Kinds
 // gives the type per column; if nil, every column is read as a string.
 func ReadCSV(name string, src io.Reader, kinds []Kind) (*Relation, error) {
+	return ReadCSVLimits(name, src, kinds, Limits{})
+}
+
+// ReadCSVLimits is ReadCSV under ingestion Limits: exceeding any bound
+// stops the read with a wrapped *ErrInputTooLarge instead of allocating
+// without bound.
+func ReadCSVLimits(name string, src io.Reader, kinds []Kind, lim Limits) (*Relation, error) {
+	if lim.MaxBytes > 0 {
+		src = &limitedReader{src: src, max: lim.MaxBytes}
+	}
 	cr := csv.NewReader(src)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: read CSV header: %w", err)
+	}
+	if err := checkFields(header, lim); err != nil {
+		return nil, err
 	}
 	if kinds == nil {
 		kinds = make([]Kind, len(header))
@@ -41,7 +125,18 @@ func ReadCSV(name string, src io.Reader, kinds []Kind) (*Relation, error) {
 			break
 		}
 		if err != nil {
+			var tooLarge *ErrInputTooLarge
+			if errors.As(err, &tooLarge) {
+				return nil, fmt.Errorf("relation: read CSV line %d: %w", line, tooLarge)
+			}
 			return nil, fmt.Errorf("relation: read CSV line %d: %w", line, err)
+		}
+		if lim.MaxRows > 0 && line-1 > lim.MaxRows {
+			return nil, fmt.Errorf("relation: read CSV: %w",
+				&ErrInputTooLarge{What: "rows", Limit: int64(lim.MaxRows), Got: int64(line - 1)})
+		}
+		if err := checkFields(rec, lim); err != nil {
+			return nil, err
 		}
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), len(header))
@@ -58,6 +153,52 @@ func ReadCSV(name string, src io.Reader, kinds []Kind) (*Relation, error) {
 		}
 	}
 	return r, nil
+}
+
+// checkFields enforces the per-field byte bound on one CSV record.
+func checkFields(rec []string, lim Limits) error {
+	if lim.MaxFieldBytes <= 0 {
+		return nil
+	}
+	for _, f := range rec {
+		if len(f) > lim.MaxFieldBytes {
+			return fmt.Errorf("relation: read CSV: %w",
+				&ErrInputTooLarge{What: "field bytes", Limit: int64(lim.MaxFieldBytes), Got: int64(len(f))})
+		}
+	}
+	return nil
+}
+
+// ReadCSVAuto decodes a relation from in-memory CSV bytes under Limits,
+// inferring column kinds: a column whose every non-null value parses as
+// numeric becomes KindFloat, everything else stays KindString. It is the
+// single type-inference path shared by the deptool CLI and the server's
+// request decoder, so a relation posted to the server types identically
+// to the same bytes read from a file.
+func ReadCSVAuto(name string, data []byte, lim Limits) (*Relation, error) {
+	if lim.MaxBytes > 0 && int64(len(data)) > lim.MaxBytes {
+		return nil, fmt.Errorf("relation: read CSV: %w",
+			&ErrInputTooLarge{What: "bytes", Limit: lim.MaxBytes, Got: int64(len(data))})
+	}
+	raw, err := ReadCSVLimits(name, bytes.NewReader(data), nil, lim)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]Kind, raw.Cols())
+	for c := 0; c < raw.Cols(); c++ {
+		kinds[c] = KindFloat
+		for row := 0; row < raw.Rows(); row++ {
+			v := raw.Value(row, c)
+			if v.IsNull() {
+				continue
+			}
+			if _, err := Parse(v.Str(), KindFloat); err != nil {
+				kinds[c] = KindString
+				break
+			}
+		}
+	}
+	return ReadCSVLimits(name, bytes.NewReader(data), kinds, lim)
 }
 
 // WriteCSV encodes the relation as CSV with a header record.

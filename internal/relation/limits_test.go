@@ -1,0 +1,91 @@
+package relation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const hotelsCSV = "name,city,stars\nAstoria,Wien,4\nHilton,Wien,5\nSacher,Wien,5\n"
+
+func wantTooLarge(t *testing.T, err error, what string) {
+	t.Helper()
+	var tl *ErrInputTooLarge
+	if !errors.As(err, &tl) {
+		t.Fatalf("err = %v, want *ErrInputTooLarge", err)
+	}
+	if tl.What != what {
+		t.Fatalf("ErrInputTooLarge.What = %q, want %q", tl.What, what)
+	}
+	if tl.Got <= tl.Limit {
+		t.Fatalf("ErrInputTooLarge Got %d <= Limit %d", tl.Got, tl.Limit)
+	}
+}
+
+func TestReadCSVLimitsUnlimitedZeroValue(t *testing.T) {
+	r, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows() != 3 || r.Cols() != 3 {
+		t.Fatalf("got %dx%d, want 3x3", r.Rows(), r.Cols())
+	}
+	if !(Limits{}).Unlimited() {
+		t.Fatal("zero Limits not Unlimited")
+	}
+}
+
+func TestReadCSVLimitsMaxRows(t *testing.T) {
+	if _, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, Limits{MaxRows: 2}); err == nil {
+		t.Fatal("MaxRows=2 accepted 3 rows")
+	} else {
+		wantTooLarge(t, err, "rows")
+	}
+	if r, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, Limits{MaxRows: 3}); err != nil || r.Rows() != 3 {
+		t.Fatalf("MaxRows=3 rejected exactly-3-row input: %v", err)
+	}
+}
+
+func TestReadCSVLimitsMaxFieldBytes(t *testing.T) {
+	if _, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, Limits{MaxFieldBytes: 6}); err == nil {
+		t.Fatal("MaxFieldBytes=6 accepted field \"Astoria\"")
+	} else {
+		wantTooLarge(t, err, "field bytes")
+	}
+	// The header is bounded too.
+	if _, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, Limits{MaxFieldBytes: 3}); err == nil {
+		t.Fatal("MaxFieldBytes=3 accepted header column \"name\"")
+	} else {
+		wantTooLarge(t, err, "field bytes")
+	}
+}
+
+func TestReadCSVLimitsMaxBytes(t *testing.T) {
+	if _, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, Limits{MaxBytes: 20}); err == nil {
+		t.Fatal("MaxBytes=20 accepted a longer input")
+	} else {
+		wantTooLarge(t, err, "bytes")
+	}
+	lim := Limits{MaxBytes: int64(len(hotelsCSV))}
+	if r, err := ReadCSVLimits("hotels", strings.NewReader(hotelsCSV), nil, lim); err != nil || r.Rows() != 3 {
+		t.Fatalf("MaxBytes == len(input) rejected input: %v", err)
+	}
+}
+
+func TestReadCSVAutoInfersKinds(t *testing.T) {
+	r, err := ReadCSVAuto("hotels", []byte(hotelsCSV), Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := r.Schema().Attr(0).Kind; k != KindString {
+		t.Fatalf("column name kind = %v, want string", k)
+	}
+	if k := r.Schema().Attr(2).Kind; k != KindFloat {
+		t.Fatalf("column stars kind = %v, want float", k)
+	}
+	if _, err := ReadCSVAuto("hotels", []byte(hotelsCSV), Limits{MaxBytes: 10}); err == nil {
+		t.Fatal("ReadCSVAuto ignored MaxBytes")
+	} else {
+		wantTooLarge(t, err, "bytes")
+	}
+}

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync"
+
+	"deptree/internal/obs"
+)
+
+// errSaturated is the shed signal: the semaphore is full and the bounded
+// wait queue is too. The handler maps it to 429 with a Retry-After
+// derived from the observed p50 latency.
+var errSaturated = errors.New("server: saturated (admission queue full)")
+
+// errDraining rejects work arriving after shutdown began. The handler
+// maps it to 503.
+var errDraining = errors.New("server: draining")
+
+// admission is a weighted semaphore sized to the engine worker pool with
+// a bounded FIFO wait queue. A request's weight is its effective worker
+// count, so admitted work never oversubscribes the pool: one 8-worker
+// discovery and eight 1-worker ones cost the same capacity. When the
+// queue is full the request is shed immediately — the server's answer to
+// overload is a fast 429, never an unbounded backlog.
+type admission struct {
+	capacity int64
+	maxQueue int
+
+	mu      sync.Mutex
+	inUse   int64
+	closed  bool
+	waiters *list.List // of *waiter, FIFO
+
+	inUseGauge *obs.Gauge
+	queueGauge *obs.Gauge
+	shed       *obs.Counter
+}
+
+// waiter is one queued acquisition. err is set before ready is closed:
+// nil for a grant, errDraining when drain flushes the queue.
+type waiter struct {
+	weight int64
+	ready  chan struct{}
+	err    error
+}
+
+func newAdmission(capacity int64, maxQueue int, reg *obs.Registry) *admission {
+	a := &admission{
+		capacity:   capacity,
+		maxQueue:   maxQueue,
+		waiters:    list.New(),
+		inUseGauge: reg.Gauge("server.admission.in_use"),
+		queueGauge: reg.Gauge("server.admission.queued"),
+		shed:       reg.Counter("server.admission.shed"),
+	}
+	reg.Gauge("server.admission.capacity").Set(capacity)
+	return a
+}
+
+// clampWeight bounds a requested weight to [1, capacity] so a request
+// can never be unsatisfiable.
+func (a *admission) clampWeight(w int64) int64 {
+	if w < 1 {
+		return 1
+	}
+	if w > a.capacity {
+		return a.capacity
+	}
+	return w
+}
+
+// acquire claims weight units, queueing FIFO when the semaphore is full.
+// It returns nil on a grant, errSaturated when the wait queue is full,
+// errDraining after close, or the context error if the caller gives up
+// while queued. The caller must release the same weight after a grant.
+func (a *admission) acquire(ctx context.Context, weight int64) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return errDraining
+	}
+	if a.waiters.Len() == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.inUseGauge.Set(a.inUse)
+		a.mu.Unlock()
+		return nil
+	}
+	if a.waiters.Len() >= a.maxQueue {
+		a.shed.Inc()
+		a.mu.Unlock()
+		return errSaturated
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	elem := a.waiters.PushBack(w)
+	a.queueGauge.Set(int64(a.waiters.Len()))
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return w.err
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the cancellation: hand the capacity back
+			// (or to the next waiter) and report the cancellation.
+			if w.err == nil {
+				a.releaseLocked(weight)
+			}
+			a.mu.Unlock()
+		default:
+			a.waiters.Remove(elem)
+			a.queueGauge.Set(int64(a.waiters.Len()))
+			a.mu.Unlock()
+		}
+		return ctx.Err()
+	}
+}
+
+// release hands weight units back and grants queued waiters in FIFO
+// order while they fit.
+func (a *admission) release(weight int64) {
+	a.mu.Lock()
+	a.releaseLocked(weight)
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked(weight int64) {
+	a.inUse -= weight
+	for a.waiters.Len() > 0 {
+		head := a.waiters.Front()
+		w := head.Value.(*waiter)
+		if a.inUse+w.weight > a.capacity {
+			break
+		}
+		a.waiters.Remove(head)
+		a.inUse += w.weight
+		close(w.ready)
+	}
+	a.queueGauge.Set(int64(a.waiters.Len()))
+	a.inUseGauge.Set(a.inUse)
+}
+
+// drain stops admissions: every queued waiter fails with errDraining and
+// every future acquire returns it. In-flight grants keep their capacity
+// until they release.
+func (a *admission) drain() {
+	a.mu.Lock()
+	a.closed = true
+	for a.waiters.Len() > 0 {
+		head := a.waiters.Front()
+		w := head.Value.(*waiter)
+		a.waiters.Remove(head)
+		w.err = errDraining
+		close(w.ready)
+	}
+	a.queueGauge.Set(0)
+	a.mu.Unlock()
+}
+
+// latencyWindow tracks recent request durations so the shed path can
+// compute a Retry-After that reflects the workload actually being
+// served: under saturation, capacity frees up roughly once per median
+// request.
+type latencyWindow struct {
+	mu  sync.Mutex
+	buf [64]float64
+	n   int // filled entries, <= len(buf)
+	idx int // next write position
+}
+
+func (l *latencyWindow) observe(seconds float64) {
+	l.mu.Lock()
+	l.buf[l.idx] = seconds
+	l.idx = (l.idx + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// p50 returns the median of the window, or 0 when empty.
+func (l *latencyWindow) p50() float64 {
+	l.mu.Lock()
+	vals := append([]float64(nil), l.buf[:l.n]...)
+	l.mu.Unlock()
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	return vals[len(vals)/2]
+}
+
+// retryAfterSeconds converts the observed p50 into a whole-second
+// Retry-After value, at least 1.
+func (l *latencyWindow) retryAfterSeconds() int {
+	p := l.p50()
+	if p <= 0 {
+		return 1
+	}
+	s := int(math.Ceil(p))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

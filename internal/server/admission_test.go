@@ -1,0 +1,204 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"deptree/internal/obs"
+)
+
+func newTestAdmission(capacity int64, maxQueue int) *admission {
+	return newAdmission(capacity, maxQueue, obs.New())
+}
+
+func TestAdmissionImmediateGrant(t *testing.T) {
+	a := newTestAdmission(4, 2)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 3); err != nil {
+		t.Fatalf("acquire(3): %v", err)
+	}
+	if err := a.acquire(ctx, 1); err != nil {
+		t.Fatalf("acquire(1): %v", err)
+	}
+	a.release(1)
+	a.release(3)
+	if a.inUse != 0 {
+		t.Fatalf("inUse = %d after full release", a.inUse)
+	}
+}
+
+func TestAdmissionClampWeight(t *testing.T) {
+	a := newTestAdmission(4, 2)
+	if got := a.clampWeight(0); got != 1 {
+		t.Errorf("clampWeight(0) = %d, want 1", got)
+	}
+	if got := a.clampWeight(99); got != 4 {
+		t.Errorf("clampWeight(99) = %d, want 4", got)
+	}
+	if got := a.clampWeight(3); got != 3 {
+		t.Errorf("clampWeight(3) = %d, want 3", got)
+	}
+}
+
+// acquireAsync starts an acquire in a goroutine and returns a channel
+// carrying its result.
+func acquireAsync(a *admission, ctx context.Context, weight int64) chan error {
+	ch := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		ch <- a.acquire(ctx, weight)
+	}()
+	<-ready
+	return ch
+}
+
+// waitQueued polls until the admission queue holds n waiters.
+func waitQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		a.mu.Lock()
+		l := a.waiters.Len()
+		a.mu.Unlock()
+		if l == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length %d, want %d", l, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionShedWhenQueueFull(t *testing.T) {
+	a := newTestAdmission(1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	first := acquireAsync(a, ctx, 1)
+	waitQueued(t, a, 1)
+	// Queue is at its bound: the next concurrent waiter is shed, fast.
+	if err := a.acquire(ctx, 1); !errors.Is(err, errSaturated) {
+		t.Fatalf("overflow acquire = %v, want errSaturated", err)
+	}
+	if got := a.shed.Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+	a.release(1)
+	if err := <-first; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+	a.release(1)
+}
+
+func TestAdmissionFIFOGrantOrder(t *testing.T) {
+	a := newTestAdmission(2, 8)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chans := make([]chan error, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		chans[i] = make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := a.acquire(ctx, 1)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			chans[i] <- err
+		}()
+		waitQueued(t, a, i+1)
+	}
+	// Release one unit at a time so exactly one waiter is granted per
+	// release, making the FIFO order observable.
+	for i := 0; i < 3; i++ {
+		a.release(1)
+		if err := <-chans[i]; err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("grant order %v, want [0 1 2]", order)
+	}
+}
+
+func TestAdmissionDrainFlushesWaiters(t *testing.T) {
+	a := newTestAdmission(1, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	queued := acquireAsync(a, ctx, 1)
+	waitQueued(t, a, 1)
+	a.drain()
+	if err := <-queued; !errors.Is(err, errDraining) {
+		t.Fatalf("queued acquire after drain = %v, want errDraining", err)
+	}
+	if err := a.acquire(ctx, 1); !errors.Is(err, errDraining) {
+		t.Fatalf("post-drain acquire = %v, want errDraining", err)
+	}
+	// The in-flight grant still releases cleanly.
+	a.release(1)
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newTestAdmission(1, 4)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := acquireAsync(a, ctx, 1)
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	waitQueued(t, a, 0)
+	// The abandoned slot must not leak capacity: a fresh waiter is
+	// granted as soon as the holder releases.
+	next := acquireAsync(a, context.Background(), 1)
+	waitQueued(t, a, 1)
+	a.release(1)
+	if err := <-next; err != nil {
+		t.Fatal(err)
+	}
+	a.release(1)
+}
+
+func TestLatencyWindowRetryAfter(t *testing.T) {
+	var l latencyWindow
+	if got := l.retryAfterSeconds(); got != 1 {
+		t.Errorf("empty window retry-after = %d, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		l.observe(2.3)
+	}
+	if got := l.p50(); got != 2.3 {
+		t.Errorf("p50 = %v, want 2.3", got)
+	}
+	if got := l.retryAfterSeconds(); got != 3 {
+		t.Errorf("retry-after = %d, want ceil(2.3) = 3", got)
+	}
+	// The window is a ring: enough fast observations displace the slow
+	// ones entirely.
+	for i := 0; i < 64; i++ {
+		l.observe(0.2)
+	}
+	if got := l.retryAfterSeconds(); got != 1 {
+		t.Errorf("retry-after after fast window = %d, want 1", got)
+	}
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"deptree/internal/obs"
+)
+
+// fakeClock is a manually advanced breaker clock; tests also pin jitter
+// to the identity so open intervals are exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time            { return c.t }
+func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func identityJitter(d time.Duration) time.Duration { return d }
+
+func newTestBreaker(threshold int, backoff, maxBackoff time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker("test", breakerConfig{
+		threshold:  threshold,
+		backoff:    backoff,
+		maxBackoff: maxBackoff,
+		now:        clk.now,
+		jitter:     identityJitter,
+	}, obs.New())
+	return b, clk
+}
+
+// mustAllow asserts the breaker admits a request and returns its done
+// callback.
+func mustAllow(t *testing.T, b *breaker) func(breakerOutcome) {
+	t.Helper()
+	done, _, ok := b.allow()
+	if !ok {
+		t.Fatalf("breaker rejected in state %v", b.snapshotState())
+	}
+	return done
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, time.Minute)
+	for i := 0; i < 2; i++ {
+		mustAllow(t, b)(breakerFault)
+	}
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state after 2 faults = %v, want closed", got)
+	}
+	mustAllow(t, b)(breakerFault)
+	if got := b.snapshotState(); got != breakerOpen {
+		t.Fatalf("state after 3 faults = %v, want open", got)
+	}
+	if _, retry, ok := b.allow(); ok || retry != time.Second {
+		t.Fatalf("open breaker: ok=%v retry=%v, want rejected with 1s", ok, retry)
+	}
+	if got := b.trips.Value(); got != 1 {
+		t.Errorf("trips = %d, want 1", got)
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, time.Minute)
+	mustAllow(t, b)(breakerFault)
+	mustAllow(t, b)(breakerFault)
+	mustAllow(t, b)(breakerOK)
+	mustAllow(t, b)(breakerFault)
+	mustAllow(t, b)(breakerFault)
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed (OK reset the streak)", got)
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, time.Minute)
+	mustAllow(t, b)(breakerFault) // trips immediately
+	clk.advance(time.Second)
+	probeDone := mustAllow(t, b) // backoff expired: half-open probe
+	if got := b.snapshotState(); got != breakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", got)
+	}
+	// Only one probe at a time: a concurrent request is rejected.
+	if _, _, ok := b.allow(); ok {
+		t.Fatal("second request admitted while probe in flight")
+	}
+	probeDone(breakerOK)
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", got)
+	}
+	// A recovered breaker starts a fresh fault streak from the base
+	// backoff.
+	mustAllow(t, b)(breakerFault)
+	if _, retry, ok := b.allow(); ok || retry != time.Second {
+		t.Fatalf("re-trip: ok=%v retry=%v, want rejected with base 1s backoff", ok, retry)
+	}
+}
+
+func TestBreakerFailedProbeDoublesBackoff(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, 3*time.Second)
+	mustAllow(t, b)(breakerFault)
+	wantBackoffs := []time.Duration{2 * time.Second, 3 * time.Second, 3 * time.Second} // doubles, then caps
+	cur := time.Second
+	for i, want := range wantBackoffs {
+		clk.advance(cur)
+		mustAllow(t, b)(breakerFault) // failed probe
+		_, retry, ok := b.allow()
+		if ok {
+			t.Fatalf("round %d: breaker admitted right after failed probe", i)
+		}
+		if retry != want {
+			t.Fatalf("round %d: retry = %v, want %v", i, retry, want)
+		}
+		cur = want
+	}
+}
+
+func TestBreakerSkippedProbeStaysHalfOpen(t *testing.T) {
+	b, clk := newTestBreaker(1, time.Second, time.Minute)
+	mustAllow(t, b)(breakerFault)
+	clk.advance(time.Second)
+	probeDone := mustAllow(t, b)
+	probeDone(breakerSkip) // probe never ran (shed by admission)
+	if got := b.snapshotState(); got != breakerHalfOpen {
+		t.Fatalf("state after skipped probe = %v, want half-open", got)
+	}
+	// The next request probes again immediately — no new backoff.
+	probeDone = mustAllow(t, b)
+	probeDone(breakerOK)
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerSkipDoesNotResetClosedStreak(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second, time.Minute)
+	mustAllow(t, b)(breakerFault)
+	mustAllow(t, b)(breakerSkip) // shed request carries no engine signal
+	mustAllow(t, b)(breakerFault)
+	if got := b.snapshotState(); got != breakerOpen {
+		t.Fatalf("state = %v, want open (skip must not reset the streak)", got)
+	}
+}
+
+func TestBreakerDoneIdempotent(t *testing.T) {
+	b, _ := newTestBreaker(2, time.Second, time.Minute)
+	done := mustAllow(t, b)
+	done(breakerFault)
+	done(breakerFault) // second call must be a no-op
+	if got := b.snapshotState(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed (one fault counted once)", got)
+	}
+}
+
+func TestBreakerLateDoneAfterTripIgnored(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Second, time.Minute)
+	slow := mustAllow(t, b) // in flight before the trip
+	mustAllow(t, b)(breakerFault)
+	if got := b.snapshotState(); got != breakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	slow(breakerOK) // pre-trip request finishing late must not close it
+	if got := b.snapshotState(); got != breakerOpen {
+		t.Fatalf("state after late OK = %v, want still open", got)
+	}
+}

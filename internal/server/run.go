@@ -1,0 +1,265 @@
+// Package server is the HTTP serving layer of the discovery engine: a
+// JSON API over the five engine-wired discoverers plus validation and
+// repair, hardened for the long-tailed, memory-hungry requests dependency
+// discovery produces (a TANE lattice or FASTDC evidence set can blow up
+// on a small input).
+//
+// Robustness is structural, not best-effort:
+//
+//   - every request runs under the engine's Budget/DiscoverContext
+//     machinery with a per-request deadline, task cap and byte-bounded
+//     input (request.go);
+//   - admission control sizes concurrent work to the worker pool and
+//     sheds overload with 429 + Retry-After instead of queueing without
+//     bound (admission.go);
+//   - a per-endpoint circuit breaker converts repeated engine
+//     panics/timeouts into fast 503s with backoff instead of repeatedly
+//     feeding a poisoned workload to the pool (breaker.go);
+//   - budget-truncated runs degrade to 200 with partial:true and the
+//     same deterministic prefix the CLI emits;
+//   - SIGTERM drains: readiness flips, admissions stop, in-flight
+//     requests finish up to a drain deadline, then the engine contexts
+//     are cancelled (server.go).
+//
+// This file holds the shared runners: the single run-and-render path
+// used by both `deptool discover/validate/repair` and the HTTP handlers,
+// which is what makes a served response byte-identical to the CLI output
+// for the same input and budget (cmd/deptool/serve_test.go proves it).
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"deptree/internal/apps/detect"
+	"deptree/internal/apps/repair"
+	"deptree/internal/deps"
+	"deptree/internal/deps/fd"
+	"deptree/internal/discovery/cords"
+	"deptree/internal/discovery/fastdc"
+	"deptree/internal/discovery/fastfd"
+	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/tane"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
+	"deptree/internal/relation"
+)
+
+// ErrUnknownAlgo is returned by RunDiscover for an algorithm name outside
+// Algorithms(). The server maps it to 404.
+var ErrUnknownAlgo = errors.New("server: unknown algorithm")
+
+// Algorithms lists the discoverers RunDiscover accepts, in the order the
+// CLI documents them.
+func Algorithms() []string { return []string{"tane", "fastfd", "cords", "fastdc", "od"} }
+
+// RunParams carries the execution knobs shared by every runner.
+type RunParams struct {
+	// Workers is the engine worker count (<= 0 selects 1).
+	Workers int
+	// Budget bounds the run; exhausted budgets degrade to a Partial
+	// output, never an error.
+	Budget engine.Budget
+	// MaxErr is the g3 budget for approximate FDs (tane only).
+	MaxErr float64
+	// Obs optionally receives the run's metrics; nil is a no-op.
+	Obs *obs.Registry
+}
+
+// DiscoverOutput is one discovery run rendered as the CLI renders it.
+type DiscoverOutput struct {
+	// Lines holds one rendered dependency per line, in the CLI's order.
+	Lines []string
+	// Partial marks a budget/cancellation/panic-truncated run; Lines is
+	// then the same deterministic prefix the CLI prints.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks",
+	// "cancelled", "panic: ..."); empty when complete.
+	Reason string
+}
+
+// Text renders the output exactly as `deptool discover` writes it to
+// stdout: one dependency per line, then the PARTIAL marker line if the
+// run was truncated.
+func (o DiscoverOutput) Text() string {
+	var b strings.Builder
+	for _, line := range o.Lines {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	if o.Partial {
+		fmt.Fprintf(&b, "PARTIAL: %s\n", o.Reason)
+	}
+	return b.String()
+}
+
+// RunDiscover runs one named discoverer over the relation under the
+// params, with the exact option mapping of `deptool discover` (fastdc
+// caps at 2 predicates, od reports minimal ODs). The returned lines are
+// deterministic for any worker count, including under a MaxTasks budget.
+func RunDiscover(ctx context.Context, r *relation.Relation, algo string, p RunParams) (DiscoverOutput, error) {
+	var out DiscoverOutput
+	switch algo {
+	case "tane":
+		res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: p.MaxErr, Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
+		for _, f := range res.FDs {
+			out.Lines = append(out.Lines, fmt.Sprint(f))
+		}
+		out.Partial, out.Reason = res.Partial, res.Reason
+	case "fastfd":
+		res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
+		for _, f := range res.FDs {
+			out.Lines = append(out.Lines, fmt.Sprint(f))
+		}
+		out.Partial, out.Reason = res.Partial, res.Reason
+	case "cords":
+		res := cords.DiscoverContext(ctx, r, cords.Options{Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
+		for _, s := range res.SFDs {
+			out.Lines = append(out.Lines, fmt.Sprint(s))
+		}
+		out.Partial, out.Reason = res.Partial, res.Reason
+	case "fastdc":
+		res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
+		for _, d := range res.DCs {
+			out.Lines = append(out.Lines, fmt.Sprint(d))
+		}
+		out.Partial, out.Reason = res.Partial, res.Reason
+	case "od":
+		res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
+		for _, o := range oddisc.Minimal(res.ODs) {
+			out.Lines = append(out.Lines, fmt.Sprint(o))
+		}
+		out.Partial, out.Reason = res.Partial, res.Reason
+	default:
+		return out, fmt.Errorf("%w %q", ErrUnknownAlgo, algo)
+	}
+	return out, nil
+}
+
+// ParseFD parses one "lhs1,lhs2->rhs" spec against a schema.
+func ParseFD(schema *relation.Schema, spec string) (fd.FD, error) {
+	parts := strings.SplitN(spec, "->", 2)
+	if len(parts) != 2 {
+		return fd.FD{}, fmt.Errorf("FD spec %q must be lhs->rhs", spec)
+	}
+	split := func(s string) []string {
+		var out []string
+		for _, x := range strings.Split(s, ",") {
+			if x = strings.TrimSpace(x); x != "" {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	return fd.New(schema, split(parts[0]), split(parts[1]))
+}
+
+// ParseFDList parses a ";"-separated list of FD specs, skipping empty
+// entries. An empty list is an error: validate and repair need at least
+// one rule.
+func ParseFDList(schema *relation.Schema, specs string) ([]fd.FD, error) {
+	var out []fd.FD
+	for _, spec := range strings.Split(specs, ";") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		f, err := ParseFD(schema, spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("no FD specs given")
+	}
+	return out, nil
+}
+
+// ValidateOutput is one validation run rendered as the CLI renders it.
+type ValidateOutput struct {
+	// Report is the violation report plus the per-rule g3 error lines
+	// for the completed prefix, exactly as `deptool validate` prints
+	// them.
+	Report string
+	// Partial, Reason, Completed mirror detect.RunResult.
+	Partial   bool
+	Reason    string
+	Completed int
+	// Rules is the number of rules requested.
+	Rules int
+}
+
+// Text renders the output exactly as `deptool validate` writes it to
+// stdout, PARTIAL marker included.
+func (o ValidateOutput) Text() string {
+	if !o.Partial {
+		return o.Report
+	}
+	return o.Report + fmt.Sprintf("PARTIAL: %s (checked %d of %d rules)\n", o.Reason, o.Completed, o.Rules)
+}
+
+// RunValidate checks the FDs against the relation with the exact option
+// mapping of `deptool validate` (20 witnesses per rule).
+func RunValidate(ctx context.Context, r *relation.Relation, fds []fd.FD, p RunParams) ValidateOutput {
+	rules := make([]deps.Dependency, len(fds))
+	for i, f := range fds {
+		rules[i] = f
+	}
+	res := detect.RunContext(ctx, r, rules, detect.Options{
+		PerRuleLimit: 20,
+		Workers:      p.Workers,
+		Budget:       p.Budget,
+		Obs:          p.Obs,
+	})
+	var b strings.Builder
+	b.WriteString(detect.Format(res.Reports))
+	for i, f := range fds {
+		if i >= res.Completed {
+			break
+		}
+		fmt.Fprintf(&b, "g3 error: %.4f\n", f.G3(r))
+	}
+	return ValidateOutput{
+		Report:    b.String(),
+		Partial:   res.Partial,
+		Reason:    res.Reason,
+		Completed: res.Completed,
+		Rules:     len(rules),
+	}
+}
+
+// RepairOutput is one repair run: the repaired instance as CSV plus the
+// applied changes, rendered as the CLI renders them.
+type RepairOutput struct {
+	// CSV is the repaired relation encoded exactly as `deptool repair`
+	// writes it to stdout.
+	CSV string
+	// Changes holds one rendered cell change per entry, in application
+	// order.
+	Changes []string
+	// Partial, Reason mirror repair.Result.
+	Partial bool
+	Reason  string
+}
+
+// RunRepair repairs the FDs' violations by in-class majority vote, the
+// exact path of `deptool repair`.
+func RunRepair(ctx context.Context, r *relation.Relation, fds []fd.FD, p RunParams) (RepairOutput, error) {
+	res := repair.FDRepairContext(ctx, r, fds, repair.Options{
+		Workers: p.Workers,
+		Budget:  p.Budget,
+		Obs:     p.Obs,
+	})
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(res.Repaired, &buf); err != nil {
+		return RepairOutput{}, err
+	}
+	out := RepairOutput{CSV: buf.String(), Partial: res.Partial, Reason: res.Reason}
+	for _, ch := range res.Changes {
+		out.Changes = append(out.Changes, ch.String())
+	}
+	return out, nil
+}

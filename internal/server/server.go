@@ -1,0 +1,565 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
+)
+
+// Config tunes the server. The zero value gets production-safe defaults
+// from withDefaults; every bound exists because discovery requests are
+// exactly the long-tailed, memory-hungry workload that takes an
+// unbounded server down.
+type Config struct {
+	// Workers is the engine worker-pool size and the per-request worker
+	// cap (default runtime.NumCPU()).
+	Workers int
+	// MaxConcurrency is the admission semaphore capacity in worker
+	// units (default Workers): admitted requests' effective worker
+	// counts never sum past it.
+	MaxConcurrency int64
+	// MaxQueue bounds the admission wait queue in requests; the
+	// MaxQueue+1-th concurrent waiter is shed with 429 (default 8).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none (default 30s); MaxTimeout caps what a request may ask for
+	// (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxTasks caps any request's engine task budget (0 = unlimited).
+	MaxTasks int64
+	// MaxInputBytes bounds a request's CSV payload (default 16 MiB);
+	// MaxRows and MaxFieldBytes bound its shape (0 = unlimited).
+	MaxInputBytes int64
+	MaxRows       int
+	MaxFieldBytes int
+	// DrainGrace is how long after BeginDrain the listener keeps
+	// answering (readyz already 503, admissions already closed) so load
+	// balancers stop routing before the socket closes (default 200ms).
+	DrainGrace time.Duration
+	// DrainTimeout bounds how long shutdown waits for in-flight
+	// requests before cancelling their engine contexts (default 10s).
+	DrainTimeout time.Duration
+	// BreakerThreshold consecutive engine faults open an endpoint's
+	// breaker (default 5); BreakerBackoff is the first open interval
+	// (default 500ms), doubling per failed probe up to
+	// BreakerMaxBackoff (default 30s).
+	BreakerThreshold  int
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+	// Obs receives every server and engine metric (nil = no-op).
+	Obs *obs.Registry
+
+	// breakerNow/breakerJitter are test seams for the breaker clock.
+	breakerNow    func() time.Time
+	breakerJitter func(time.Duration) time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = int64(c.Workers)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxInputBytes <= 0 {
+		c.MaxInputBytes = 16 << 20
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 200 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// endpoints are the guarded POST endpoints, each with its own breaker.
+func endpoints() []string {
+	eps := []string{"validate", "repair"}
+	for _, a := range Algorithms() {
+		eps = append(eps, "discover."+a)
+	}
+	return eps
+}
+
+// Server is the hardened discovery service. Construct with New, serve
+// either via Run (owns listener lifecycle and drain) or by mounting
+// Handler on an http.Server.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	adm *admission
+	lat *latencyWindow
+
+	breakers map[string]*breaker
+	handler  http.Handler
+
+	draining   atomic.Bool
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	inflight *obs.Gauge
+	panics   *obs.Counter
+}
+
+// New builds a Server from the config. The registry in cfg.Obs observes
+// every request (per-endpoint request/error counters and latency
+// histograms, in-flight gauge, shed and breaker-trip counters) and is
+// served on GET /metrics in Prometheus text exposition.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	reg := cfg.Obs
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		adm:      newAdmission(cfg.MaxConcurrency, cfg.MaxQueue, reg),
+		lat:      &latencyWindow{},
+		breakers: make(map[string]*breaker),
+		inflight: reg.Gauge("server.inflight"),
+		panics:   reg.Counter("server.handler.panics"),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	bcfg := breakerConfig{
+		threshold:  cfg.BreakerThreshold,
+		backoff:    cfg.BreakerBackoff,
+		maxBackoff: cfg.BreakerMaxBackoff,
+		now:        cfg.breakerNow,
+		jitter:     cfg.breakerJitter,
+	}
+	for _, ep := range s.endpointsPreRegistered() {
+		s.breakers[ep] = newBreaker(ep, bcfg, reg)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/discover/{algo}", s.handleDiscover)
+	mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.handler = s.recoverPanics(mux)
+	return s
+}
+
+// endpointsPreRegistered registers the per-endpoint metrics at
+// construction so a snapshot lists them even before traffic arrives,
+// and returns the endpoint keys.
+func (s *Server) endpointsPreRegistered() []string {
+	eps := endpoints()
+	for _, ep := range eps {
+		s.reg.Counter("server." + ep + ".requests")
+		s.reg.Counter("server." + ep + ".errors")
+		s.reg.Histogram("server." + ep + ".seconds")
+	}
+	return eps
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Draining reports whether drain has begun (readyz is then 503).
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// BeginDrain flips the server into drain mode: readyz answers 503, the
+// admission queue is flushed and closed, and new work is rejected with
+// 503. Idempotent. In-flight requests keep running.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.reg.Counter("server.drain.begun").Inc()
+		s.adm.drain()
+	}
+}
+
+// Run serves on ln until ctx is cancelled (the SIGTERM path), then
+// executes the drain sequence: BeginDrain, a DrainGrace beat for load
+// balancers to observe the 503 readyz, an http.Server.Shutdown bounded
+// by DrainTimeout for in-flight requests, and finally cancellation of
+// the remaining engine contexts plus a forced close. It returns nil on
+// a clean drain, the drain error when the deadline fired, or the
+// listener error if serving failed first.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler: s.handler,
+		BaseContext: func(net.Listener) context.Context {
+			return s.baseCtx
+		},
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		s.cancelBase()
+		return err
+	case <-ctx.Done():
+	}
+
+	s.BeginDrain()
+	time.Sleep(s.cfg.DrainGrace)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	// Past the drain deadline: cancel the engine contexts of whatever is
+	// still in flight so their pools unwind, then force-close.
+	s.cancelBase()
+	if err != nil {
+		hs.Close()
+	}
+	<-serveErr // http.ErrServerClosed
+	if err != nil {
+		return fmt.Errorf("server: drain deadline exceeded: %w", err)
+	}
+	return nil
+}
+
+// recoverPanics is the outermost safety net: a panic escaping a handler
+// (not an engine task — those are already converted to PanicError by
+// the pool) becomes a 500 with a structured body instead of a killed
+// connection.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				writeAPIError(w, &apiError{status: http.StatusInternalServerError,
+					code: "internal_panic", msg: fmt.Sprintf("handler panic: %v", v)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// response is one successful run's reply, renderable as JSON (default)
+// or, with ?format=text, as the byte-identical CLI output.
+type response interface {
+	writeJSON(w http.ResponseWriter)
+	writeText(w http.ResponseWriter)
+}
+
+func writeResponse(w http.ResponseWriter, r *http.Request, resp response) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		resp.writeText(w)
+		return
+	}
+	resp.writeJSON(w)
+}
+
+func writeJSONBody(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// discoverResponse is the JSON reply of POST /v1/discover/{algo}.
+type discoverResponse struct {
+	Algo    string   `json:"algo"`
+	Count   int      `json:"count"`
+	Results []string `json:"results"`
+	Partial bool     `json:"partial"`
+	Reason  string   `json:"reason,omitempty"`
+
+	out DiscoverOutput
+}
+
+func (d discoverResponse) writeJSON(w http.ResponseWriter) { writeJSONBody(w, d) }
+func (d discoverResponse) writeText(w http.ResponseWriter) { io.WriteString(w, d.out.Text()) }
+
+// validateResponse is the JSON reply of POST /v1/validate.
+type validateResponse struct {
+	Report  string `json:"report"`
+	Checked int    `json:"checked"`
+	Rules   int    `json:"rules"`
+	Partial bool   `json:"partial"`
+	Reason  string `json:"reason,omitempty"`
+
+	out ValidateOutput
+}
+
+func (v validateResponse) writeJSON(w http.ResponseWriter) { writeJSONBody(w, v) }
+func (v validateResponse) writeText(w http.ResponseWriter) { io.WriteString(w, v.out.Text()) }
+
+// repairResponse is the JSON reply of POST /v1/repair.
+type repairResponse struct {
+	CSV     string   `json:"csv"`
+	Changes []string `json:"changes"`
+	Partial bool     `json:"partial"`
+	Reason  string   `json:"reason,omitempty"`
+}
+
+func (rr repairResponse) writeJSON(w http.ResponseWriter) { writeJSONBody(w, rr) }
+func (rr repairResponse) writeText(w http.ResponseWriter) {
+	io.WriteString(w, rr.CSV)
+	if rr.Partial {
+		fmt.Fprintf(w, "PARTIAL: %s\n", rr.Reason)
+	}
+}
+
+// engineFault classifies a run outcome for the circuit breaker: task
+// panics always count; deadline expiry counts only when the deadline
+// was server-imposed (a client that asked for a tight budget and got a
+// partial result is the graceful-degradation path, not a fault).
+func engineFault(partial bool, reason string, clientTimeout bool) bool {
+	if !partial {
+		return false
+	}
+	if engine.IsPanicReason(reason) {
+		return true
+	}
+	return engine.IsDeadlineReason(reason) && !clientTimeout
+}
+
+// outcomeError maps a degraded run to its HTTP error, or nil for the
+// 200 path (complete, or budget-truncated partial).
+func outcomeError(partial bool, reason string) *apiError {
+	switch {
+	case partial && engine.IsPanicReason(reason):
+		return &apiError{status: http.StatusInternalServerError, code: "engine_panic",
+			msg: "engine task panicked: " + reason}
+	case partial && reason == "cancelled":
+		return &apiError{status: http.StatusServiceUnavailable, code: "cancelled",
+			msg: "run cancelled before completion (server draining or client gone)"}
+	default:
+		return nil
+	}
+}
+
+// guarded runs fn through the full hardening pipeline for one endpoint:
+// drain check, circuit breaker, weighted admission, metrics, fault
+// accounting. fn receives the request context (cancelled on server
+// drain past the deadline) and the resolved RunParams, and reports the
+// run's partial/reason outcome alongside its response.
+func (s *Server) guarded(w http.ResponseWriter, r *http.Request, endpoint string, spec budgetSpec,
+	fn func(ctx context.Context, p RunParams) (response, bool, string, *apiError)) {
+
+	requests := s.reg.Counter("server." + endpoint + ".requests")
+	errCount := s.reg.Counter("server." + endpoint + ".errors")
+	latency := s.reg.Histogram("server." + endpoint + ".seconds")
+	requests.Inc()
+	fail := func(e *apiError) {
+		errCount.Inc()
+		writeAPIError(w, e)
+	}
+
+	if s.draining.Load() {
+		fail(&apiError{status: http.StatusServiceUnavailable, code: "draining",
+			msg: "server is draining", retryAfter: s.lat.retryAfterSeconds()})
+		return
+	}
+	br := s.breakers[endpoint]
+	done, retryIn, ok := br.allow()
+	if !ok {
+		after := int(retryIn/time.Second) + 1
+		fail(&apiError{status: http.StatusServiceUnavailable, code: "breaker_open",
+			msg: fmt.Sprintf("endpoint %s circuit breaker is open", endpoint), retryAfter: after})
+		return
+	}
+
+	// Tie the request to the server's base context so drain past the
+	// deadline cancels the engine run even when the handler is mounted
+	// outside Run (tests, embedding).
+	ctx, cancelReq := context.WithCancel(r.Context())
+	defer cancelReq()
+	stop := context.AfterFunc(s.baseCtx, cancelReq)
+	defer stop()
+
+	if err := s.adm.acquire(ctx, spec.weight); err != nil {
+		done(breakerSkip) // shed before running: no engine outcome to record
+		switch err {
+		case errSaturated:
+			fail(&apiError{status: http.StatusTooManyRequests, code: "saturated",
+				msg: "admission queue full, retry later", retryAfter: s.lat.retryAfterSeconds()})
+		case errDraining:
+			fail(&apiError{status: http.StatusServiceUnavailable, code: "draining",
+				msg: "server is draining", retryAfter: s.lat.retryAfterSeconds()})
+		default: // client gave up while queued
+			fail(&apiError{status: 499, code: "client_cancelled", msg: "client cancelled while queued"})
+		}
+		return
+	}
+	defer s.adm.release(spec.weight)
+
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	start := time.Now()
+	resp, partial, reason, apiErr := fn(ctx, RunParams{
+		Workers: spec.workers,
+		Budget:  engine.Budget{Timeout: spec.timeout, MaxTasks: spec.maxTasks},
+		Obs:     s.reg,
+	})
+	elapsed := time.Since(start).Seconds()
+	latency.Observe(elapsed)
+	s.lat.observe(elapsed)
+
+	if engineFault(partial, reason, spec.clientTimeout) {
+		done(breakerFault)
+	} else {
+		done(breakerOK)
+	}
+	if apiErr == nil {
+		apiErr = outcomeError(partial, reason)
+	}
+	if apiErr != nil {
+		fail(apiErr)
+		return
+	}
+	writeResponse(w, r, resp)
+}
+
+// validAlgo is the algorithm-name dispatch set for the discover route.
+var validAlgo = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range Algorithms() {
+		m[a] = true
+	}
+	return m
+}()
+
+func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
+	algo := r.PathValue("algo")
+	if !validAlgo[algo] {
+		s.reg.Counter("server.discover.unknown_algo").Inc()
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_algo",
+			msg: fmt.Sprintf("unknown algorithm %q (want one of %v)", algo, Algorithms())})
+		return
+	}
+	var req DiscoverRequest
+	if e := s.decodeBody(w, r, &req); e != nil {
+		s.reg.Counter("server.discover." + algo + ".errors").Inc()
+		writeAPIError(w, e)
+		return
+	}
+	rel, e := s.parseCSV("request", req.CSV)
+	if e != nil {
+		s.reg.Counter("server.discover." + algo + ".errors").Inc()
+		writeAPIError(w, e)
+		return
+	}
+	spec := s.resolveBudget(req.RunKnobs, r.Header)
+	s.guarded(w, r, "discover."+algo, spec, func(ctx context.Context, p RunParams) (response, bool, string, *apiError) {
+		p.MaxErr = req.MaxErr
+		out, err := RunDiscover(ctx, rel, algo, p)
+		if err != nil {
+			return nil, false, "", &apiError{status: http.StatusNotFound, code: "unknown_algo", msg: err.Error()}
+		}
+		results := out.Lines
+		if results == nil {
+			results = []string{}
+		}
+		return discoverResponse{
+			Algo: algo, Count: len(out.Lines), Results: results,
+			Partial: out.Partial, Reason: out.Reason, out: out,
+		}, out.Partial, out.Reason, nil
+	})
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "validate"
+	var req ValidateRequest
+	if e := s.decodeBody(w, r, &req); e != nil {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, e)
+		return
+	}
+	rel, e := s.parseCSV("request", req.CSV)
+	if e != nil {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, e)
+		return
+	}
+	fds, err := ParseFDList(rel.Schema(), req.FDs)
+	if err != nil {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "invalid_fd", msg: err.Error()})
+		return
+	}
+	spec := s.resolveBudget(req.RunKnobs, r.Header)
+	s.guarded(w, r, endpoint, spec, func(ctx context.Context, p RunParams) (response, bool, string, *apiError) {
+		out := RunValidate(ctx, rel, fds, p)
+		return validateResponse{
+			Report: out.Report, Checked: out.Completed, Rules: out.Rules,
+			Partial: out.Partial, Reason: out.Reason, out: out,
+		}, out.Partial, out.Reason, nil
+	})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	const endpoint = "repair"
+	var req RepairRequest
+	if e := s.decodeBody(w, r, &req); e != nil {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, e)
+		return
+	}
+	rel, e := s.parseCSV("request", req.CSV)
+	if e != nil {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, e)
+		return
+	}
+	f, err := ParseFD(rel.Schema(), req.FD)
+	if err != nil {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "invalid_fd", msg: err.Error()})
+		return
+	}
+	spec := s.resolveBudget(req.RunKnobs, r.Header)
+	s.guarded(w, r, endpoint, spec, func(ctx context.Context, p RunParams) (response, bool, string, *apiError) {
+		out, rerr := RunRepair(ctx, rel, []fd.FD{f}, p)
+		if rerr != nil {
+			return nil, false, "", &apiError{status: http.StatusInternalServerError, code: "encode_failed", msg: rerr.Error()}
+		}
+		changes := out.Changes
+		if changes == nil {
+			changes = []string{}
+		}
+		return repairResponse{
+			CSV: out.CSV, Changes: changes,
+			Partial: out.Partial, Reason: out.Reason,
+		}, out.Partial, out.Reason, nil
+	})
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end smoke test for `deptool serve`: boots the server on a local
+# port, exercises health/readiness/metrics, runs one discovery and one
+# validation request, then SIGTERMs and asserts a clean graceful drain
+# (exit 0, listener gone). Run via `make serve-smoke`.
+set -eu
+
+PORT=$((18000 + $$ % 1000))
+BASE="http://127.0.0.1:$PORT"
+BIN="${TMPDIR:-/tmp}/deptool-smoke-$$"
+
+go build -o "$BIN" ./cmd/deptool
+
+"$BIN" serve -addr "127.0.0.1:$PORT" -drain-timeout 5s -drain-grace 100ms &
+PID=$!
+cleanup() {
+    kill "$PID" 2>/dev/null || true
+    rm -f "$BIN"
+}
+trap cleanup EXIT
+
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "serve-smoke: server never came up" >&2; exit 1; }
+    sleep 0.1
+done
+
+curl -fsS "$BASE/healthz" | grep -q ok
+curl -fsS "$BASE/readyz" | grep -q ready
+curl -fsS "$BASE/metrics" | grep -q deptree_server_admission_capacity
+
+# The \n sequences are JSON escapes: the CSV travels inline in the body.
+BODY='{"csv":"source,name,address,region\ns1,A,addr1,R1\ns1,A,addr1,R1\ns2,B,addr2,R2\ns3,C,addr3,R2\n"}'
+curl -fsS -X POST -d "$BODY" "$BASE/v1/discover/tane" | grep -q '"partial":false'
+curl -fsS -X POST -d "$BODY" "$BASE/v1/discover/fastdc?format=text" >/dev/null
+
+VBODY='{"csv":"source,name,address,region\ns1,A,addr1,R1\ns1,A,addr1,R2\n","fds":"address->region"}'
+curl -fsS -X POST -d "$VBODY" "$BASE/v1/validate" | grep -q '"checked":1'
+
+# Structured rejection: malformed JSON must be a 400 with an error code.
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{' "$BASE/v1/discover/tane")
+[ "$STATUS" = 400 ] || { echo "serve-smoke: malformed body got $STATUS, want 400" >&2; exit 1; }
+
+# Graceful drain: SIGTERM must exit 0 and release the port.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "serve-smoke: serve exited non-zero after SIGTERM" >&2
+    exit 1
+fi
+if curl -fsS --max-time 2 "$BASE/healthz" >/dev/null 2>&1; then
+    echo "serve-smoke: listener still answering after drain" >&2
+    exit 1
+fi
+echo "serve-smoke: ok"
