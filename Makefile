@@ -25,12 +25,14 @@ chaos:
 	$(GO) test -race -count=1 ./internal/engine/chaos/
 
 # Short fuzz passes: the CSV codec round trip, the CSR partition product
-# vs the retained map-based oracle, and the server's request decoder
-# (malformed bodies must always be structured 4xx, never a panic).
+# vs the retained map-based oracle, the server's request decoder across
+# every registered discover route (malformed bodies must always be
+# structured 4xx, never a panic), and the CFD pattern-tableau parser.
 fuzz:
 	$(GO) test -run=X -fuzz=FuzzCSVRoundTrip -fuzztime=30s ./internal/relation/
 	$(GO) test -run=X -fuzz=FuzzProductEquivalence -fuzztime=30s ./internal/partition/
 	$(GO) test -run=X -fuzz=FuzzDiscoverRequest -fuzztime=30s ./internal/server/
+	$(GO) test -run=X -fuzz=FuzzParseTableau -fuzztime=30s ./internal/discovery/cfddisc/
 
 # Boots `deptool serve` on a real socket, exercises health/readiness/
 # metrics/discover/validate plus a malformed-body rejection, then

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
-//	deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr ε] [-workers N]
+//	deptool discover -in data.csv [-algo name] [-maxerr ε] [-workers N]
 //	deptool validate -in data.csv -fd "lhs1,lhs2->rhs" [-workers N] [-timeout d] [-max-tasks n]
 //	deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
 //	deptool gen      -rows N [-errors ε] [-variety v] [-dups d] [-seed s] [-out hotels.csv]
@@ -203,7 +203,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
-  deptool discover -in data.csv [-algo tane|fastfd|cords|fastdc|od] [-maxerr e] [-workers N] [-timeout d] [-max-tasks n]
+  deptool discover -in data.csv [-algo name] [-maxerr e] [-workers N] [-timeout d] [-max-tasks n]
+                   (algos: `+strings.Join(server.Algorithms(), "|")+`)
   deptool validate -in data.csv -fd "lhs1,lhs2->rhs" [-workers N] [-timeout d] [-max-tasks n]
   deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
   deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]
@@ -284,7 +285,7 @@ func loadCSV(path string, maxInputMB int64) (*relation.Relation, error) {
 func cmdDiscover(args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ContinueOnError)
 	in := fs.String("in", "", "input CSV")
-	algo := fs.String("algo", "tane", "tane|fastfd|cords|fastdc|od")
+	algo := fs.String("algo", "tane", strings.Join(server.Algorithms(), "|"))
 	maxErr := fs.Float64("maxerr", 0, "g3 budget for approximate FDs (tane)")
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the completed prefix is printed with a PARTIAL marker and the exit code is 2")

@@ -7,12 +7,15 @@
 package cfddisc
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"strings"
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/cfd"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -24,6 +27,14 @@ type Options struct {
 	// MaxLHS bounds the number of constant attributes in a pattern
 	// (default 3).
 	MaxLHS int
+	// Workers fans the per-pattern conclusion checks across goroutines;
+	// output is identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the level-wise pattern enumeration.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -64,14 +75,41 @@ func (p pattern) id() string {
 	return b.String()
 }
 
+// Result is a constant-CFD mining outcome; a Partial run covers a
+// deterministic prefix of the level-wise pattern enumeration.
+type Result struct {
+	CFDs []cfd.CFD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of pattern nodes whose conclusions were
+	// checked.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width over pattern nodes. Fixed so
+// the truncation point is worker-independent.
+const batch = 8
+
 // ConstantCFDs mines minimal constant CFDs (X = t_p → A = a): patterns of
 // constants whose matching tuples all share one A value, with support ≥
 // MinSupport, and no sub-pattern already implying the same conclusion.
 func ConstantCFDs(r *relation.Relation, opts Options) []cfd.CFD {
+	return DiscoverContext(context.Background(), r, opts).CFDs
+}
+
+// DiscoverContext is ConstantCFDs under a context and Options.Budget.
+// Within one level the per-node conclusion scans are independent and fan
+// out; the minimality bookkeeping then replays the completed node prefix
+// in the sequential order, so results are byte-identical to the
+// sequential miner at any worker count. Growing the next level stays
+// sequential (it needs the full current level).
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	n := r.Cols()
 	if n == 0 || r.Rows() == 0 {
-		return nil
+		return Result{}
 	}
 	// rowsOf maps a pattern id to its matching rows; level-wise growth.
 	type node struct {
@@ -97,6 +135,16 @@ func ConstantCFDs(r *relation.Relation, opts Options) []cfd.CFD {
 			}
 		}
 	}
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "cfddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("level-1", len(level))
+	defer run.End()
+	mineSpan := run.Child(obs.KindPhase, "pattern-mining")
+
 	// implied records conclusions already derived from some sub-pattern:
 	// map from conclusion (col, valueKey) to the list of pattern ids.
 	type conclusion struct {
@@ -129,14 +177,19 @@ func ConstantCFDs(r *relation.Relation, opts Options) []cfd.CFD {
 		}
 		results = append(results, c)
 	}
+	completed := 0
+	var stopErr error
 	for depth := 1; depth <= opts.MaxLHS && len(level) > 0; depth++ {
-		for _, nd := range level {
+		// Fan out: each node independently finds its conclusion columns
+		// (ascending), the order the sequential miner visits them in.
+		concl, done, err := engine.MapBudget(pool, len(level), batch, func(i int) []int {
+			nd := level[i]
 			cols := nd.pat.cols()
+			var out []int
 			for a := 0; a < n; a++ {
 				if cols.Has(a) {
 					continue
 				}
-				// All matching rows share one A value?
 				k0 := r.Value(nd.rows[0], a).Key()
 				same := true
 				for _, row := range nd.rows[1:] {
@@ -146,9 +199,21 @@ func ConstantCFDs(r *relation.Relation, opts Options) []cfd.CFD {
 					}
 				}
 				if same {
-					addResult(nd.pat, a, nd.rows)
+					out = append(out, a)
 				}
 			}
+			return out
+		})
+		completed += done
+		// Replay the completed prefix sequentially for minimality.
+		for i := 0; i < done; i++ {
+			for _, a := range concl[i] {
+				addResult(level[i].pat, a, level[i].rows)
+			}
+		}
+		if err != nil {
+			stopErr = err
+			break
 		}
 		// Grow: combine nodes sharing all but one item.
 		seen := map[string]bool{}
@@ -168,7 +233,17 @@ func ConstantCFDs(r *relation.Relation, opts Options) []cfd.CFD {
 		}
 		level = next
 	}
-	return results
+	mineSpan.SetAttr("completed", completed)
+	mineSpan.End()
+	reg.Counter("cfddisc.nodes.checked").Add(int64(completed))
+	reg.Counter("cfddisc.cfds.valid").Add(int64(len(results)))
+	res := Result{CFDs: results, Completed: completed}
+	if stopErr != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(stopErr)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 // subPattern reports whether a ⊆ b as item sets.

@@ -1,0 +1,104 @@
+package cfddisc
+
+import (
+	"fmt"
+	"strings"
+
+	"deptree/internal/deps/cfd"
+	"deptree/internal/relation"
+)
+
+// ParseTableau parses a textual pattern tableau into one CFD per pattern
+// row, sharing a single embedded FD. The grammar is
+//
+//	spec     := header ':' row (';' row)*
+//	header   := attrList '->' attrList
+//	row      := cellList '->' cellList
+//	cell     := '_' | literal
+//
+// e.g. "name,region->price: _,Boston->299; West Wood,_->499". Attribute
+// and cell lists are comma-separated; '_' is the wildcard cell; constant
+// cells are parsed against the attribute's kind (so "299" in an int
+// column is the integer constant). Whitespace around every token is
+// trimmed. The cell count of every row must match the header width.
+func ParseTableau(schema *relation.Schema, spec string) ([]cfd.CFD, error) {
+	head, body, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("cfddisc: tableau %q missing ':' between embedded FD and rows", spec)
+	}
+	xNames, yNames, err := parseAttrLists(head)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]int, 0, len(xNames)+len(yNames))
+	for _, name := range append(append([]string{}, xNames...), yNames...) {
+		i := schema.Index(name)
+		if i < 0 {
+			return nil, fmt.Errorf("cfddisc: no attribute %q in schema", name)
+		}
+		cols = append(cols, i)
+	}
+	var out []cfd.CFD
+	for _, row := range strings.Split(body, ";") {
+		if strings.TrimSpace(row) == "" {
+			continue
+		}
+		lhs, rhs, ok := strings.Cut(row, "->")
+		if !ok {
+			return nil, fmt.Errorf("cfddisc: tableau row %q missing '->'", strings.TrimSpace(row))
+		}
+		cellSpecs := append(splitTrim(lhs), splitTrim(rhs)...)
+		if len(cellSpecs) != len(cols) {
+			return nil, fmt.Errorf("cfddisc: tableau row %q has %d cells for %d attributes",
+				strings.TrimSpace(row), len(cellSpecs), len(cols))
+		}
+		cells := make([]cfd.Cell, len(cellSpecs))
+		for i, cs := range cellSpecs {
+			if cs == "_" {
+				cells[i] = cfd.Wildcard()
+				continue
+			}
+			v, err := relation.Parse(cs, schema.Attr(cols[i]).Kind)
+			if err != nil {
+				return nil, fmt.Errorf("cfddisc: tableau cell %q for %s: %w",
+					cs, schema.Attr(cols[i]).Name, err)
+			}
+			cells[i] = cfd.Const(v)
+		}
+		c, err := cfd.New(schema, xNames, yNames, cells)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cfddisc: tableau %q has no pattern rows", spec)
+	}
+	return out, nil
+}
+
+// parseAttrLists splits the "x1,x2->y1" header of a tableau spec.
+func parseAttrLists(head string) (x, y []string, err error) {
+	lhs, rhs, ok := strings.Cut(head, "->")
+	if !ok {
+		return nil, nil, fmt.Errorf("cfddisc: tableau header %q missing '->'", strings.TrimSpace(head))
+	}
+	x, y = splitTrim(lhs), splitTrim(rhs)
+	if len(x) == 0 || len(y) == 0 {
+		return nil, nil, fmt.Errorf("cfddisc: tableau header %q needs attributes on both sides", strings.TrimSpace(head))
+	}
+	return x, y, nil
+}
+
+// splitTrim splits on commas and trims whitespace, keeping empty cells
+// out (a trailing comma is tolerated, an interior empty cell is caught by
+// the width check).
+func splitTrim(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

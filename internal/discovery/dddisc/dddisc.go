@@ -11,10 +11,13 @@
 package dddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/deps/dd"
+	"deptree/internal/engine"
 	"deptree/internal/metric"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -30,6 +33,14 @@ type Options struct {
 	// MaxThresholds caps the candidate thresholds per attribute, taken as
 	// quantiles of the observed distance distribution (default 8).
 	MaxThresholds int
+	// Workers fans the per-attribute searches across goroutines; output
+	// is identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the candidate attributes.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -42,6 +53,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Result is a DD discovery outcome; Partial runs cover a deterministic
+// prefix of the candidate-attribute order.
+type Result struct {
+	DDs []dd.DD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of candidate attributes searched.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width: each task is one attribute's
+// full O(n²) distance scan plus threshold search — heavy, so stripes stay
+// narrow. Fixed so the truncation point is worker-independent.
+const batch = 2
+
 // Discover returns DDs φ[X] → φ[Y] with confidence 1 and support ≥
 // MinSupport, where every LHS function is of the "similar" form
 // A(≤ threshold) and thresholds are maximal: raising any threshold to the
@@ -49,10 +77,18 @@ func (o Options) withDefaults() Options {
 // thresholds make the DD most general, mirroring the minimality notion of
 // [86] (a DD with looser LHS subsumes tighter ones).
 func Discover(r *relation.Relation, opts Options) []dd.DD {
+	return DiscoverContext(context.Background(), r, opts).DDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget. Each
+// candidate attribute is one pool task computing its pairwise distances,
+// candidate thresholds and maximal admissible threshold; the shared RHS
+// compatibility vector is computed once up front.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	n := r.Rows()
 	if n < 2 {
-		return nil
+		return Result{}
 	}
 	cols := opts.LHSCols
 	if cols == nil {
@@ -62,52 +98,76 @@ func Discover(r *relation.Relation, opts Options) []dd.DD {
 			}
 		}
 	}
-	// Pairwise distances per candidate attribute and for the RHS.
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "dddisc")
+	run.SetAttr("rows", n)
+	run.SetAttr("candidates", len(cols))
+	defer run.End()
+
+	// Shared RHS compatibility per tuple pair, in (i,j) i<j order.
+	rhsSpan := run.Child(obs.KindPhase, "rhs-compat")
 	pairCount := n * (n - 1) / 2
-	dists := make(map[int][]float64, len(cols))
-	metrics := make(map[int]metric.Metric, len(cols))
-	for _, c := range cols {
-		metrics[c] = metric.ForKind(r.Schema().Attr(c).Kind)
-		dists[c] = make([]float64, 0, pairCount)
-	}
 	rhsOK := make([]bool, 0, pairCount)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			rhsOK = append(rhsOK, opts.RHS.Compatible(r, i, j))
-			for _, c := range cols {
-				dists[c] = append(dists[c], metrics[c].Distance(r.Value(i, c), r.Value(j, c)))
-			}
 		}
 	}
-	// Candidate thresholds per attribute: distinct distance quantiles.
-	candidates := make(map[int][]float64, len(cols))
-	for _, c := range cols {
-		candidates[c] = quantileThresholds(dists[c], opts.MaxThresholds)
+	rhsSpan.End()
+
+	type hit struct {
+		best float64
+		ok   bool
 	}
-	var out []dd.DD
-	// Single-attribute LHS: find the maximal threshold with confidence 1.
-	for _, c := range cols {
-		best := -1.0
-		haveBest := false
-		for _, t := range candidates[c] {
-			support, conf := evaluate(dists[c], t, rhsOK)
+	searchSpan := run.Child(obs.KindPhase, "threshold-search")
+	hits, done, err := engine.MapBudget(pool, len(cols), batch, func(k int) hit {
+		c := cols[k]
+		m := metric.ForKind(r.Schema().Attr(c).Kind)
+		dist := make([]float64, 0, pairCount)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dist = append(dist, m.Distance(r.Value(i, c), r.Value(j, c)))
+			}
+		}
+		h := hit{best: -1}
+		for _, t := range quantileThresholds(dist, opts.MaxThresholds) {
+			support, conf := evaluate(dist, t, rhsOK)
 			if support >= opts.MinSupport && conf == 1 {
-				if !haveBest || t > best {
-					best = t
-					haveBest = true
+				if !h.ok || t > h.best {
+					h.best = t
+					h.ok = true
 				}
 			}
 		}
-		if haveBest {
+		return h
+	})
+	searchSpan.SetAttr("completed", done)
+	searchSpan.End()
+	reg.Counter("dddisc.candidates.checked").Add(int64(done))
+
+	var out []dd.DD
+	for k := 0; k < done; k++ {
+		if hits[k].ok {
+			c := cols[k]
 			out = append(out, dd.DD{
-				LHS:    dd.Pattern{{Col: c, Metric: metrics[c], Op: dd.OpLe, Threshold: best}},
+				LHS:    dd.Pattern{{Col: c, Metric: metric.ForKind(r.Schema().Attr(c).Kind), Op: dd.OpLe, Threshold: hits[k].best}},
 				RHS:    dd.Pattern{opts.RHS},
 				Schema: r.Schema(),
 			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].LHS[0].Col < out[j].LHS[0].Col })
-	return out
+	reg.Counter("dddisc.dds.valid").Add(int64(len(out)))
+	res := Result{DDs: out, Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 // evaluate computes support (pairs with distance ≤ t) and confidence

@@ -8,10 +8,13 @@
 package ffddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/deps/ffd"
+	"deptree/internal/engine"
 	"deptree/internal/metric"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -23,6 +26,14 @@ type Options struct {
 	Resemblances map[int]metric.Resemblance
 	// MaxLHS bounds the determinant attribute count (default 2).
 	MaxLHS int
+	// Workers fans candidate validation across goroutines; output is
+	// identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the level-wise candidate enumeration.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults(r *relation.Relation) Options {
@@ -45,16 +56,41 @@ func (o Options) withDefaults(r *relation.Relation) Options {
 	return o
 }
 
+// Result is an FFD discovery outcome; a Partial run covers a
+// deterministic prefix of the level-wise candidate enumeration.
+type Result struct {
+	FFDs []ffd.FFD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of candidates validated.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width over candidates. Fixed so the
+// truncation point is worker-independent.
+const batch = 8
+
 // Discover returns the minimal valid FFDs with ≤ MaxLHS determinant
 // attributes and a single dependent attribute, checking every tuple pair
 // (the [109] small-to-large strategy: an FFD with a sub-LHS already valid
 // is pruned as non-minimal, since adding determinant attributes can only
 // lower µ_EQ(X) and weaken the constraint).
 func Discover(r *relation.Relation, opts Options) []ffd.FFD {
+	return DiscoverContext(context.Background(), r, opts).FFDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget. Level-1
+// candidates are mutually independent and validate in parallel; level-2
+// minimality pruning consults only the complete level-1 result, so a
+// budget that trips during level 1 ends the run there (running level 2
+// against a partial level-1 key set would not be prefix-deterministic).
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults(r)
 	n := r.Cols()
 	if n == 0 || r.Rows() < 2 {
-		return nil
+		return Result{}
 	}
 	mk := func(cols []int, rhs int) ffd.FFD {
 		out := ffd.FFD{Schema: r.Schema()}
@@ -64,26 +100,47 @@ func Discover(r *relation.Relation, opts Options) []ffd.FFD {
 		out.RHS = []ffd.Attr{{Col: rhs, Eq: opts.Resemblances[rhs]}}
 		return out
 	}
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "ffddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("columns", n)
+	defer run.End()
+
 	var found []ffd.FFD
 	foundKey := map[string]bool{}
-	valid := func(cols []int, rhs int) bool {
-		return mk(cols, rhs).Holds(r)
-	}
-	// Level 1.
+	completed := 0
+
+	// Level 1: all ordered (a, b) pairs.
+	type pair struct{ a, b int }
+	var l1 []pair
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
-			if a == b {
-				continue
-			}
-			if valid([]int{a}, b) {
-				f := mk([]int{a}, b)
-				found = append(found, f)
-				foundKey[key([]int{a}, b)] = true
+			if a != b {
+				l1 = append(l1, pair{a, b})
 			}
 		}
 	}
-	// Level 2 with minimality pruning.
-	if opts.MaxLHS >= 2 {
+	l1Span := run.Child(obs.KindPhase, "level-1")
+	hits1, done1, err := engine.MapBudget(pool, len(l1), batch, func(i int) bool {
+		return mk([]int{l1[i].a}, l1[i].b).Holds(r)
+	})
+	l1Span.SetAttr("completed", done1)
+	l1Span.End()
+	completed += done1
+	for i := 0; i < done1; i++ {
+		if hits1[i] {
+			found = append(found, mk([]int{l1[i].a}, l1[i].b))
+			foundKey[key([]int{l1[i].a}, l1[i].b)] = true
+		}
+	}
+
+	// Level 2 with minimality pruning against the full level-1 set.
+	if err == nil && opts.MaxLHS >= 2 {
+		type trip struct{ a, b, rhs int }
+		var l2 []trip
 		for a := 0; a < n; a++ {
 			for b := a + 1; b < n; b++ {
 				for rhs := 0; rhs < n; rhs++ {
@@ -93,15 +150,35 @@ func Discover(r *relation.Relation, opts Options) []ffd.FFD {
 					if foundKey[key([]int{a}, rhs)] || foundKey[key([]int{b}, rhs)] {
 						continue
 					}
-					if valid([]int{a, b}, rhs) {
-						found = append(found, mk([]int{a, b}, rhs))
-					}
+					l2 = append(l2, trip{a, b, rhs})
 				}
+			}
+		}
+		l2Span := run.Child(obs.KindPhase, "level-2")
+		var hits2 []bool
+		var done2 int
+		hits2, done2, err = engine.MapBudget(pool, len(l2), batch, func(i int) bool {
+			return mk([]int{l2[i].a, l2[i].b}, l2[i].rhs).Holds(r)
+		})
+		l2Span.SetAttr("completed", done2)
+		l2Span.End()
+		completed += done2
+		for i := 0; i < done2; i++ {
+			if hits2[i] {
+				found = append(found, mk([]int{l2[i].a, l2[i].b}, l2[i].rhs))
 			}
 		}
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].String() < found[j].String() })
-	return found
+	reg.Counter("ffddisc.candidates.checked").Add(int64(completed))
+	reg.Counter("ffddisc.ffds.valid").Add(int64(len(found)))
+	res := Result{FFDs: found, Completed: completed}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 func key(cols []int, rhs int) string {

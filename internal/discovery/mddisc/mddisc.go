@@ -7,17 +7,21 @@
 package mddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/md"
+	"deptree/internal/engine"
 	"deptree/internal/metric"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
 // Options configures MD discovery.
 type Options struct {
-	// RHS are the columns to identify.
+	// RHS are the columns to identify (default: the last column — the
+	// documented servable default used by `deptool discover -algo md`).
 	RHS []int
 	// LHSCols are the candidate determinant attributes (defaults to all
 	// columns not in RHS).
@@ -35,6 +39,17 @@ type Options struct {
 	// tuples — the statistical approximation of [87] with bounded relative
 	// error for stationary tuple order.
 	FirstK int
+	// Workers fans the per-attribute threshold searches out across
+	// goroutines. 0 or 1 runs the exact sequential path; output is
+	// identical for every worker count.
+	Workers int
+	// Budget bounds the run; the zero value is unlimited. An exhausted
+	// budget truncates discovery to a prefix of the candidate attributes
+	// and the Result reports Partial.
+	Budget engine.Budget
+	// Obs optionally receives the run's metrics and spans. Nil is a full
+	// no-op; observation never changes output.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -50,19 +65,46 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Result is an MD discovery outcome. A Partial result covers a
+// deterministic prefix of the candidate-attribute enumeration order.
+type Result struct {
+	MDs []md.MD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token ("deadline", "max-tasks", ...).
+	Reason string
+	// Completed is the number of candidate attributes searched.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width: candidate attributes are
+// heavy units (each scans all tuple pairs per threshold), so truncation
+// keeps per-attribute granularity. Fixed per algorithm so the truncation
+// point is worker-independent.
+const batch = 4
+
 // Discover returns single-attribute-LHS MDs meeting the support and
 // confidence requirements, each with the maximal admissible threshold (the
 // most general matching rule).
 func Discover(r *relation.Relation, opts Options) []md.MD {
+	return DiscoverContext(context.Background(), r, opts).MDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	eval := r
 	if opts.FirstK > 0 && opts.FirstK < r.Rows() {
 		eval = r.Select(func(row int) bool { return row < opts.FirstK })
 	}
+	rhsCols := opts.RHS
+	if rhsCols == nil && r.Cols() > 0 {
+		rhsCols = []int{r.Cols() - 1}
+	}
 	cols := opts.LHSCols
 	if cols == nil {
 		rhs := map[int]bool{}
-		for _, c := range opts.RHS {
+		for _, c := range rhsCols {
 			rhs[c] = true
 		}
 		for c := 0; c < r.Cols(); c++ {
@@ -71,35 +113,63 @@ func Discover(r *relation.Relation, opts Options) []md.MD {
 			}
 		}
 	}
-	var out []md.MD
-	for _, c := range cols {
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "mddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("candidates", len(cols))
+	defer run.End()
+
+	type hit struct {
+		best float64
+		ok   bool
+	}
+	searchSpan := run.Child(obs.KindPhase, "threshold-search")
+	hits, done, err := engine.MapBudget(pool, len(cols), batch, func(i int) hit {
+		c := cols[i]
 		m := metric.ForKind(r.Schema().Attr(c).Kind)
-		best := -1.0
-		haveBest := false
+		h := hit{best: -1}
 		for _, t := range opts.Thresholds {
 			cand := md.MD{
 				LHS:    []md.SimAttr{{Col: c, Metric: m, MaxDist: t}},
-				RHS:    opts.RHS,
+				RHS:    rhsCols,
 				Schema: r.Schema(),
 			}
 			support, conf := cand.SupportConfidence(eval)
 			if support >= opts.MinSupport && conf >= opts.MinConfidence {
-				if !haveBest || t > best {
-					best = t
-					haveBest = true
+				if !h.ok || t > h.best {
+					h.best = t
+					h.ok = true
 				}
 			}
 		}
-		if haveBest {
+		return h
+	})
+	searchSpan.SetAttr("completed", done)
+	searchSpan.End()
+	reg.Counter("mddisc.candidates.checked").Add(int64(done))
+
+	var out []md.MD
+	for i := 0; i < done; i++ {
+		if hits[i].ok {
 			out = append(out, md.MD{
-				LHS:    []md.SimAttr{{Col: c, Metric: m, MaxDist: best}},
-				RHS:    opts.RHS,
+				LHS:    []md.SimAttr{{Col: cols[i], Metric: metric.ForKind(r.Schema().Attr(cols[i]).Kind), MaxDist: hits[i].best}},
+				RHS:    rhsCols,
 				Schema: r.Schema(),
 			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].LHS[0].Col < out[j].LHS[0].Col })
-	return out
+	reg.Counter("mddisc.mds.valid").Add(int64(len(out)))
+	res := Result{MDs: out, Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 // RelativeCandidateKeys finds the minimal attribute sets X (within

@@ -8,10 +8,13 @@
 package mvddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/mvd"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -23,6 +26,14 @@ type Options struct {
 	// MVD is accepted when its spurious-tuple ratio is ≤ the threshold.
 	// 0 keeps exact MVD discovery.
 	MaxSpurious float64
+	// Workers fans candidate validation across goroutines; output is
+	// identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the (X, Y) candidate enumeration.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -32,16 +43,44 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Result is an MVD discovery outcome; a Partial run covers a
+// deterministic prefix of the (X, Y) candidate enumeration.
+type Result struct {
+	MVDs []mvd.MVD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of candidates validated.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width over Y candidates within one
+// LHS group. Fixed so the truncation point is worker-independent.
+const batch = 8
+
 // Discover returns valid, non-trivial MVDs X ↠ Y with |X| ≤ MaxLHS,
 // reporting only the most general ones: an MVD is skipped when it is
 // implied by reflexivity/augmentation from a smaller found one
 // (X' ⊆ X with Y equal modulo the extra X attributes), or when its
 // complement form was already reported (X ↠ Y ≡ X ↠ R−X−Y).
 func Discover(r *relation.Relation, opts Options) []mvd.MVD {
+	return DiscoverContext(context.Background(), r, opts).MVDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget. LHS
+// groups run sequentially (found MVDs prune later, more specific
+// candidates) while validation within one group fans out: the canonical-Y
+// form (Y always contains rest.First()) means no same-group candidate can
+// imply another — the complement Z lacks rest.First() and is never
+// enumerated, and augmentation from a same-X find reduces to the
+// identical candidate — so the parallel filter-then-validate pass is
+// output-identical to the sequential scan.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	n := r.Cols()
 	if n < 3 || r.Rows() == 0 {
-		return nil // an MVD needs X, Y, Z all nonempty to be interesting
+		return Result{} // an MVD needs X, Y, Z all nonempty to be interesting
 	}
 	full := attrset.Full(n)
 	var found []mvd.MVD
@@ -77,6 +116,19 @@ func Discover(r *relation.Relation, opts Options) []mvd.MVD {
 		}
 		return lhsSets[i] < lhsSets[j]
 	})
+
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "mvddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("lhs-groups", len(lhsSets))
+	defer run.End()
+	searchSpan := run.Child(obs.KindPhase, "candidate-validation")
+
+	completed := 0
+	var stopErr error
 	for _, x := range lhsSets {
 		rest := full.Minus(x)
 		// Enumerate Y ⊂ rest, nonempty, proper (Z nonempty), canonical form
@@ -94,16 +146,39 @@ func Discover(r *relation.Relation, opts Options) []mvd.MVD {
 			}
 			return ys[i] < ys[j]
 		})
+		// Filter against cross-group implication first; the surviving
+		// candidates are mutually independent and validate in parallel.
+		var cands []attrset.Set
 		for _, y := range ys {
-			if isImplied(x, y) {
-				continue
-			}
-			m := mvd.MVD{LHS: x, RHS: y, NumAttrs: n, Schema: r.Schema()}
-			if m.SpuriousRatio(r) <= opts.MaxSpurious {
-				found = append(found, m)
-				reported[[2]attrset.Set{x, y}] = true
+			if !isImplied(x, y) {
+				cands = append(cands, y)
 			}
 		}
+		hits, done, err := engine.MapBudget(pool, len(cands), batch, func(i int) bool {
+			m := mvd.MVD{LHS: x, RHS: cands[i], NumAttrs: n, Schema: r.Schema()}
+			return m.SpuriousRatio(r) <= opts.MaxSpurious
+		})
+		completed += done
+		for i := 0; i < done; i++ {
+			if hits[i] {
+				found = append(found, mvd.MVD{LHS: x, RHS: cands[i], NumAttrs: n, Schema: r.Schema()})
+				reported[[2]attrset.Set{x, cands[i]}] = true
+			}
+		}
+		if err != nil {
+			stopErr = err
+			break
+		}
 	}
-	return found
+	searchSpan.SetAttr("completed", completed)
+	searchSpan.End()
+	reg.Counter("mvddisc.candidates.checked").Add(int64(completed))
+	reg.Counter("mvddisc.mvds.valid").Add(int64(len(found)))
+	res := Result{MVDs: found, Completed: completed}
+	if stopErr != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(stopErr)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }

@@ -8,10 +8,13 @@
 package nedisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/deps/ned"
+	"deptree/internal/engine"
 	"deptree/internal/metric"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -29,6 +32,14 @@ type Options struct {
 	MaxThresholds int
 	// MaxLHS bounds the predicate width (1 or 2; default 2).
 	MaxLHS int
+	// Workers fans the per-combination searches across goroutines; output
+	// is identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the combination enumeration (singles, then pairs).
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -47,16 +58,42 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Result is an NED discovery outcome; a Partial run covers a
+// deterministic prefix of the combination enumeration (singles in column
+// order, then pairs in lexicographic order).
+type Result struct {
+	NEDs []ned.NED
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of attribute combinations searched.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width over attribute combinations.
+// Fixed so the truncation point is worker-independent.
+const batch = 8
+
 // Discover searches LHS predicates for the target RHS and returns NEDs
 // meeting the support and confidence requirements. For each attribute
 // combination only the loosest admissible thresholds are kept (maximal
 // generality, as in P-neighborhood prediction where wider neighborhoods
 // mean more usable neighbors).
 func Discover(r *relation.Relation, opts Options) []ned.NED {
+	return DiscoverContext(context.Background(), r, opts).NEDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget. The
+// pairwise distance precompute fans out per column; the threshold search
+// fans out per attribute combination. Combinations never prune each
+// other, so any prefix of the combination order is a prefix of the full
+// output.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	n := r.Rows()
 	if n < 2 {
-		return nil
+		return Result{}
 	}
 	cols := opts.LHSCols
 	if cols == nil {
@@ -70,41 +107,66 @@ func Discover(r *relation.Relation, opts Options) []ned.NED {
 			}
 		}
 	}
-	// Precompute pairwise distances and RHS agreement.
-	type pairData struct {
-		dist map[int][]float64
-		rhs  []bool
-	}
-	pd := pairData{dist: map[int][]float64{}}
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "nedisc")
+	run.SetAttr("rows", n)
+	run.SetAttr("columns", len(cols))
+	defer run.End()
+
+	// Precompute pairwise distances (one pool task per column, writing to
+	// its own pre-allocated slice) and RHS agreement (shared, sequential).
+	preSpan := run.Child(obs.KindPhase, "pair-precompute")
+	pairCount := n * (n - 1) / 2
 	metrics := map[int]metric.Metric{}
+	dist := map[int][]float64{}
 	for _, c := range cols {
 		metrics[c] = metric.ForKind(r.Schema().Attr(c).Kind)
+		dist[c] = make([]float64, pairCount)
 	}
+	rhs := make([]bool, 0, pairCount)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			pd.rhs = append(pd.rhs, opts.RHS.Agree(r, i, j))
-			for _, c := range cols {
-				pd.dist[c] = append(pd.dist[c], metrics[c].Distance(r.Value(i, c), r.Value(j, c)))
+			rhs = append(rhs, opts.RHS.Agree(r, i, j))
+		}
+	}
+	preErr := pool.ForEach(len(cols), func(ci int) {
+		c := cols[ci]
+		m := metrics[c]
+		d := dist[c]
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d[k] = m.Distance(r.Value(i, c), r.Value(j, c))
+				k++
 			}
 		}
+	})
+	preSpan.End()
+	if preErr != nil {
+		// Budget tripped before any combination was searched: the
+		// deterministic empty prefix.
+		return Result{Partial: true, Reason: engine.Reason(preErr)}
 	}
 	thresholds := map[int][]float64{}
 	for _, c := range cols {
-		thresholds[c] = candidateThresholds(pd.dist[c], opts.MaxThresholds)
+		thresholds[c] = candidateThresholds(dist[c], opts.MaxThresholds)
 	}
 	admissible := func(terms []ned.Term) (int, float64) {
 		support, good := 0, 0
-		for k := range pd.rhs {
+		for k := range rhs {
 			ok := true
 			for _, t := range terms {
-				if !(pd.dist[t.Col][k] <= t.Threshold) {
+				if !(dist[t.Col][k] <= t.Threshold) {
 					ok = false
 					break
 				}
 			}
 			if ok {
 				support++
-				if pd.rhs[k] {
+				if rhs[k] {
 					good++
 				}
 			}
@@ -114,10 +176,13 @@ func Discover(r *relation.Relation, opts Options) []ned.NED {
 		}
 		return support, float64(good) / float64(support)
 	}
-	var out []ned.NED
-	addMaximal := func(mk func(ts []float64) []ned.Term, lists [][]float64) {
-		// Scan threshold combinations from loosest to tightest; keep the
-		// first (loosest) admissible one per attribute combination.
+	// maximal returns the loosest admissible threshold combination for one
+	// attribute combination, or ok=false.
+	maximal := func(combCols []int) ([]ned.Term, bool) {
+		lists := make([][]float64, len(combCols))
+		for i, c := range combCols {
+			lists[i] = thresholds[c]
+		}
 		type combo struct {
 			ts    []float64
 			total float64
@@ -140,40 +205,60 @@ func Discover(r *relation.Relation, opts Options) []ned.NED {
 		build(nil, 0)
 		sort.Slice(combos, func(a, b int) bool { return combos[a].total > combos[b].total })
 		for _, cb := range combos {
-			terms := mk(cb.ts)
-			support, conf := admissible(terms)
-			if support >= opts.MinSupport && conf >= opts.MinConfidence {
-				out = append(out, ned.NED{LHS: terms, RHS: opts.RHS, Schema: r.Schema()})
-				return
+			terms := make([]ned.Term, len(combCols))
+			for i, c := range combCols {
+				terms[i] = ned.Term{Col: c, Metric: metrics[c], Threshold: cb.ts[i]}
+			}
+			if support, conf := admissible(terms); support >= opts.MinSupport && conf >= opts.MinConfidence {
+				return terms, true
 			}
 		}
+		return nil, false
 	}
+	// Enumerate combinations in the sequential order: singles, then pairs.
+	var cands [][]int
 	for _, c := range cols {
-		c := c
-		if len(thresholds[c]) == 0 {
-			continue
+		if len(thresholds[c]) > 0 {
+			cands = append(cands, []int{c})
 		}
-		addMaximal(func(ts []float64) []ned.Term {
-			return []ned.Term{{Col: c, Metric: metrics[c], Threshold: ts[0]}}
-		}, [][]float64{thresholds[c]})
 	}
 	if opts.MaxLHS >= 2 {
 		for i := 0; i < len(cols); i++ {
 			for j := i + 1; j < len(cols); j++ {
-				c1, c2 := cols[i], cols[j]
-				if len(thresholds[c1]) == 0 || len(thresholds[c2]) == 0 {
-					continue
+				if len(thresholds[cols[i]]) > 0 && len(thresholds[cols[j]]) > 0 {
+					cands = append(cands, []int{cols[i], cols[j]})
 				}
-				addMaximal(func(ts []float64) []ned.Term {
-					return []ned.Term{
-						{Col: c1, Metric: metrics[c1], Threshold: ts[0]},
-						{Col: c2, Metric: metrics[c2], Threshold: ts[1]},
-					}
-				}, [][]float64{thresholds[c1], thresholds[c2]})
 			}
 		}
 	}
-	return out
+	run.SetAttr("candidates", len(cands))
+	type hit struct {
+		terms []ned.Term
+		ok    bool
+	}
+	searchSpan := run.Child(obs.KindPhase, "threshold-search")
+	hits, done, err := engine.MapBudget(pool, len(cands), batch, func(i int) hit {
+		terms, ok := maximal(cands[i])
+		return hit{terms: terms, ok: ok}
+	})
+	searchSpan.SetAttr("completed", done)
+	searchSpan.End()
+	reg.Counter("nedisc.candidates.checked").Add(int64(done))
+
+	var out []ned.NED
+	for i := 0; i < done; i++ {
+		if hits[i].ok {
+			out = append(out, ned.NED{LHS: hits[i].terms, RHS: opts.RHS, Schema: r.Schema()})
+		}
+	}
+	reg.Counter("nedisc.neds.valid").Add(int64(len(out)))
+	res := Result{NEDs: out, Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 func candidateThresholds(dist []float64, k int) []float64 {

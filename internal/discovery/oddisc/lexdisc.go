@@ -1,9 +1,12 @@
 package oddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/deps/od"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -13,7 +16,31 @@ type LexOptions struct {
 	Columns []int
 	// MaxWidth bounds the marked-list length on each side (default 2).
 	MaxWidth int
+	// Workers fans candidate validation across goroutines; output is
+	// identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the width-level candidate enumeration.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
+
+// LexResult is a lexicographic OD discovery outcome; a Partial run covers
+// a deterministic prefix of the width-level candidate enumeration.
+type LexResult struct {
+	ODs []od.LexOD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of candidates validated.
+	Completed int
+}
+
+// lexBatch is the fixed MapBudget stripe width over lexicographic OD
+// candidates. Fixed so the truncation point is worker-independent.
+const lexBatch = 8
 
 // DiscoverLex finds valid lexicographic ODs X̄ ~> Ȳ with list widths up
 // to MaxWidth, in the level-wise spirit of Langer & Naumann [67]: lists
@@ -23,6 +50,15 @@ type LexOptions struct {
 // ties). Only ascending LHS lists are enumerated (descending LHS mirrors
 // to the swapped pair); RHS attributes carry either mark.
 func DiscoverLex(r *relation.Relation, opts LexOptions) []od.LexOD {
+	return DiscoverLexContext(context.Background(), r, opts).ODs
+}
+
+// DiscoverLexContext is DiscoverLex under a context and LexOptions.Budget.
+// Prefix pruning only ever consults strictly shorter LHS lists, so
+// candidates sharing an LHS width never prune each other: each width
+// level fans its validity checks out in parallel and replays the
+// completed prefix in the sequential order before the next width starts.
+func DiscoverLexContext(ctx context.Context, r *relation.Relation, opts LexOptions) LexResult {
 	cols := opts.Columns
 	if cols == nil {
 		for c := 0; c < r.Cols(); c++ {
@@ -60,6 +96,16 @@ func DiscoverLex(r *relation.Relation, opts LexOptions) []od.LexOD {
 	buildLHS(nil)
 	sort.SliceStable(lhsLists, func(i, j int) bool { return len(lhsLists[i]) < len(lhsLists[j]) })
 
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "lexdisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("lhs-lists", len(lhsLists))
+	defer run.End()
+	checkSpan := run.Child(obs.KindPhase, "candidate-validation")
+
 	// valid prefixes: map canonical rendering of (LHS prefix, RHS) pairs.
 	type key struct {
 		lhs string
@@ -74,40 +120,74 @@ func DiscoverLex(r *relation.Relation, opts LexOptions) []od.LexOD {
 		}
 		return s
 	}
+	type cand struct {
+		lhs []od.Marked
+		rhs []od.Marked
+	}
 	var out []od.LexOD
-	for _, lhs := range lhsLists {
-		for _, c := range cols {
-			inLHS := false
-			for _, m := range lhs {
-				if m.Col == c {
-					inLHS = true
-				}
-			}
-			if inLHS {
-				continue
-			}
-			for _, desc := range []bool{false, true} {
-				rhs := []od.Marked{{Col: c, Desc: desc}}
-				// Prefix pruning: if any proper prefix of lhs already
-				// orders rhs, this candidate is implied.
-				implied := false
-				for plen := 1; plen < len(lhs); plen++ {
-					if validPrefix[key{render(lhs[:plen]), render(rhs)}] {
-						implied = true
-						break
+	completed := 0
+	var stopErr error
+	for lo := 0; lo < len(lhsLists) && stopErr == nil; {
+		// One width level: the run of LHS lists with equal length.
+		hi := lo
+		for hi < len(lhsLists) && len(lhsLists[hi]) == len(lhsLists[lo]) {
+			hi++
+		}
+		// Collect the level's surviving candidates in sequential order;
+		// pruning consults only strictly shorter prefixes, all settled.
+		var cands []cand
+		for _, lhs := range lhsLists[lo:hi] {
+			for _, c := range cols {
+				inLHS := false
+				for _, m := range lhs {
+					if m.Col == c {
+						inLHS = true
 					}
 				}
-				if implied {
+				if inLHS {
 					continue
 				}
-				cand := od.LexOD{LHS: lhs, RHS: rhs, Schema: r.Schema()}
-				if cand.Holds(r) {
-					validPrefix[key{render(lhs), render(rhs)}] = true
-					out = append(out, cand)
+				for _, desc := range []bool{false, true} {
+					rhs := []od.Marked{{Col: c, Desc: desc}}
+					implied := false
+					for plen := 1; plen < len(lhs); plen++ {
+						if validPrefix[key{render(lhs[:plen]), render(rhs)}] {
+							implied = true
+							break
+						}
+					}
+					if !implied {
+						cands = append(cands, cand{lhs: lhs, rhs: rhs})
+					}
 				}
 			}
 		}
+		hits, done, err := engine.MapBudget(pool, len(cands), lexBatch, func(i int) bool {
+			return (od.LexOD{LHS: cands[i].lhs, RHS: cands[i].rhs, Schema: r.Schema()}).Holds(r)
+		})
+		completed += done
+		for i := 0; i < done; i++ {
+			if hits[i] {
+				validPrefix[key{render(cands[i].lhs), render(cands[i].rhs)}] = true
+				out = append(out, od.LexOD{LHS: cands[i].lhs, RHS: cands[i].rhs, Schema: r.Schema()})
+			}
+		}
+		if err != nil {
+			stopErr = err
+		}
+		lo = hi
 	}
+	checkSpan.SetAttr("completed", completed)
+	checkSpan.End()
+	reg.Counter("lexdisc.candidates.checked").Add(int64(completed))
+
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
-	return out
+	reg.Counter("lexdisc.ods.valid").Add(int64(len(out)))
+	res := LexResult{ODs: out, Completed: completed}
+	if stopErr != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(stopErr)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }

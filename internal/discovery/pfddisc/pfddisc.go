@@ -5,13 +5,23 @@
 // algorithms: single-source discovery over one relation, and multi-source
 // discovery that merges per-source PFDs weighted by source size — the
 // pay-as-you-go integration setting.
+//
+// The probability semantics follow De & Kambhampati ("Defining and Mining
+// Functional Dependencies in Probabilistic Databases"): P(X → A) is the
+// expected fraction of tuples whose A value agrees with the majority of
+// their X-class — the "possible worlds" degree of satisfaction collapsed
+// to per-class majority counting, which is what pfd.PFD.Probability
+// computes.
 package pfddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/attrset"
 	"deptree/internal/deps/pfd"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
 
@@ -22,6 +32,14 @@ type Options struct {
 	// MaxLHS bounds determinant size (default 1; the original generates
 	// per-column-pair PFDs, TANE-style lattice expansion is used above 1).
 	MaxLHS int
+	// Workers fans candidate probability checks across goroutines; output
+	// is identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the level-wise candidate enumeration.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -34,29 +52,77 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Result is a PFD discovery outcome; a Partial run covers a deterministic
+// prefix of the level-wise candidate enumeration.
+type Result struct {
+	PFDs []pfd.PFD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of candidates checked.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width over candidates. Fixed so the
+// truncation point is worker-independent.
+const batch = 8
+
 // Discover returns the PFDs X →_p Y with P(X → Y, r) ≥ p, X limited to
 // MaxLHS attributes, Y a single attribute, sorted deterministically.
 func Discover(r *relation.Relation, opts Options) []pfd.PFD {
+	return DiscoverContext(context.Background(), r, opts).PFDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget. The
+// level-wise enumeration has no cross-candidate pruning (levels expand
+// unconditionally), so the whole candidate list is enumerated up front
+// and checked in one deterministic fan-out.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
 	opts = opts.withDefaults()
 	n := r.Cols()
 	if n == 0 || r.Rows() == 0 {
-		return nil
+		return Result{}
 	}
-	var out []pfd.PFD
+	type cand struct {
+		x attrset.Set
+		a int
+	}
+	var cands []cand
 	level := attrset.Singletons(n)
 	for size := 1; size <= opts.MaxLHS && len(level) > 0; size++ {
 		for _, x := range level {
 			for a := 0; a < n; a++ {
-				if x.Has(a) {
-					continue
-				}
-				cand := pfd.PFD{LHS: x, RHS: attrset.Single(a), MinProb: opts.MinProb, Schema: r.Schema()}
-				if cand.Probability(r) >= opts.MinProb {
-					out = append(out, cand)
+				if !x.Has(a) {
+					cands = append(cands, cand{x, a})
 				}
 			}
 		}
 		level = attrset.NextLevel(level)
+	}
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, max(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "pfddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("candidates", len(cands))
+	defer run.End()
+
+	checkSpan := run.Child(obs.KindPhase, "probability-check")
+	hits, done, err := engine.MapBudget(pool, len(cands), batch, func(i int) bool {
+		c := pfd.PFD{LHS: cands[i].x, RHS: attrset.Single(cands[i].a), MinProb: opts.MinProb, Schema: r.Schema()}
+		return c.Probability(r) >= opts.MinProb
+	})
+	checkSpan.SetAttr("completed", done)
+	checkSpan.End()
+	reg.Counter("pfddisc.candidates.checked").Add(int64(done))
+
+	var out []pfd.PFD
+	for i := 0; i < done; i++ {
+		if hits[i] {
+			out = append(out, pfd.PFD{LHS: cands[i].x, RHS: attrset.Single(cands[i].a), MinProb: opts.MinProb, Schema: r.Schema()})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].LHS != out[j].LHS {
@@ -64,7 +130,14 @@ func Discover(r *relation.Relation, opts Options) []pfd.PFD {
 		}
 		return out[i].RHS < out[j].RHS
 	})
-	return out
+	reg.Counter("pfddisc.pfds.valid").Add(int64(len(out)))
+	res := Result{PFDs: out, Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
 }
 
 // SourceProbability is the per-source probability of one FD, used by the

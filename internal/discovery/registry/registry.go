@@ -1,0 +1,254 @@
+// Package registry is the single enrollment point for every discoverer
+// in the family tree: each algorithm registers a name, its dependency
+// class, and a context-aware runner that maps engine-level results to the
+// rendered lines the CLI and server emit. The server's endpoint table,
+// the CLI's algo dispatch, and the differential/chaos/fuzz harnesses all
+// iterate this table, so adding an algorithm here enrolls it everywhere
+// at once — the completeness test in internal/engine proves no endpoint
+// escapes the harnesses.
+package registry
+
+import (
+	"context"
+	"fmt"
+
+	"deptree/internal/deps/dd"
+	"deptree/internal/deps/ned"
+	"deptree/internal/discovery/cddisc"
+	"deptree/internal/discovery/cfddisc"
+	"deptree/internal/discovery/cords"
+	"deptree/internal/discovery/dddisc"
+	"deptree/internal/discovery/fastdc"
+	"deptree/internal/discovery/fastfd"
+	"deptree/internal/discovery/ffddisc"
+	"deptree/internal/discovery/mddisc"
+	"deptree/internal/discovery/mvddisc"
+	"deptree/internal/discovery/nedisc"
+	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/pfddisc"
+	"deptree/internal/discovery/sddisc"
+	"deptree/internal/discovery/tane"
+	"deptree/internal/engine"
+	"deptree/internal/metric"
+	"deptree/internal/obs"
+	"deptree/internal/relation"
+)
+
+// RunOptions carries the execution knobs every registered runner
+// understands.
+type RunOptions struct {
+	// Workers is the engine worker count (<= 0 selects 1).
+	Workers int
+	// Budget bounds the run; exhausted budgets degrade to a Partial
+	// output, never an error.
+	Budget engine.Budget
+	// MaxErr is the g3 budget for approximate FDs (tane only).
+	MaxErr float64
+	// Obs optionally receives the run's metrics; nil is a no-op.
+	Obs *obs.Registry
+}
+
+// Output is one discovery run rendered as the CLI renders it: one
+// dependency per line, plus the truncation state.
+type Output struct {
+	// Lines holds one rendered dependency per line, in the CLI's order.
+	Lines []string
+	// Partial marks a budget/cancellation/panic-truncated run; Lines is
+	// then a deterministic prefix of the full run's lines.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+}
+
+// Algo is one registered discoverer.
+type Algo struct {
+	// Name is the endpoint and CLI name (POST /v1/discover/{Name},
+	// deptool discover -algo {Name}).
+	Name string
+	// Class is the dependency class of the family tree the algorithm
+	// mines (FD, CFD, MD, ...).
+	Class string
+	// Doc is a one-line description for the README endpoint table.
+	Doc string
+	// Run executes the discoverer over the relation under the options.
+	// Lines are deterministic for any worker count, including under a
+	// MaxTasks budget.
+	Run func(ctx context.Context, r *relation.Relation, o RunOptions) Output
+}
+
+// render maps a discovery result slice to output lines via fmt.Sprint
+// (every dependency type carries a String method).
+func render[T fmt.Stringer](xs []T, partial bool, reason string) Output {
+	out := Output{Partial: partial, Reason: reason}
+	for _, x := range xs {
+		out.Lines = append(out.Lines, fmt.Sprint(x))
+	}
+	return out
+}
+
+// lastCol returns the default RHS column for RHS-directed discoverers:
+// the relation's last column, the conventional "measure" position of the
+// fixtures and the documented servable default.
+func lastCol(r *relation.Relation) int { return r.Cols() - 1 }
+
+// algos is the registry, in the order the CLI documents the names: the
+// five original engine-wired discoverers first, then the rest of the
+// family tree.
+var algos = []Algo{
+	{
+		Name: "tane", Class: "FD",
+		Doc: "TANE partition-based (approximate) FD discovery",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: o.MaxErr, Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.FDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "fastfd", Class: "FD",
+		Doc: "FastFD difference-set FD discovery",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.FDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "cords", Class: "SFD",
+		Doc: "CORDS soft-FD (correlation) discovery",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := cords.DiscoverContext(ctx, r, cords.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.SFDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "fastdc", Class: "DC",
+		Doc: "FastDC denial-constraint discovery (2-predicate)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.DCs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "od", Class: "OD",
+		Doc: "Set-based order dependency discovery (minimal ODs)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(oddisc.Minimal(res.ODs), res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "lexod", Class: "OD",
+		Doc: "Lexicographic order dependency discovery",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := oddisc.DiscoverLexContext(ctx, r, oddisc.LexOptions{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.ODs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "cfd", Class: "CFD",
+		Doc: "CFDMiner-style minimal constant CFD mining",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := cfddisc.DiscoverContext(ctx, r, cfddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.CFDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "pfd", Class: "pFD",
+		Doc: "Probabilistic FD discovery (majority-probability counting)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := pfddisc.DiscoverContext(ctx, r, pfddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.PFDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "ffd", Class: "FFD",
+		Doc: "Fuzzy FD discovery over resemblance relations",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := ffddisc.DiscoverContext(ctx, r, ffddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.FFDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "md", Class: "MD",
+		Doc: "Matching dependency discovery (RHS: last column)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := mddisc.DiscoverContext(ctx, r, mddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.MDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "dd", Class: "DD",
+		Doc: "Differential dependency discovery (RHS: last column, equality)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			if r.Cols() == 0 {
+				return Output{}
+			}
+			c := lastCol(r)
+			res := dddisc.DiscoverContext(ctx, r, dddisc.Options{
+				RHS:     dd.DiffFunc{Col: c, Metric: metric.ForKind(r.Schema().Attr(c).Kind), Op: dd.OpLe, Threshold: 0},
+				Workers: o.Workers, Budget: o.Budget, Obs: o.Obs,
+			})
+			return render(res.DDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "ned", Class: "NED",
+		Doc: "Neighborhood dependency discovery (RHS: last column)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			if r.Cols() == 0 {
+				return Output{}
+			}
+			c := lastCol(r)
+			res := nedisc.DiscoverContext(ctx, r, nedisc.Options{
+				RHS:     ned.Predicate{{Col: c, Metric: metric.ForKind(r.Schema().Attr(c).Kind), Threshold: 0}},
+				Workers: o.Workers, Budget: o.Budget, Obs: o.Obs,
+			})
+			return render(res.NEDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "cd", Class: "CD",
+		Doc: "Comparable dependency discovery (pay-as-you-go session)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := cddisc.DiscoverContext(ctx, r, cddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.CDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "mvd", Class: "MVD",
+		Doc: "Multivalued dependency discovery (top-down search)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := mvddisc.DiscoverContext(ctx, r, mvddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.MVDs, res.Partial, res.Reason)
+		},
+	},
+	{
+		Name: "sd", Class: "SD",
+		Doc: "Sequential dependency discovery (fitted gap intervals)",
+		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			res := sddisc.DiscoverContext(ctx, r, sddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+			return render(res.SDs, res.Partial, res.Reason)
+		},
+	},
+}
+
+// All returns every registered discoverer in documentation order.
+func All() []Algo { return algos }
+
+// Names returns the registered names in documentation order.
+func Names() []string {
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Lookup resolves a name to its Algo.
+func Lookup(name string) (Algo, bool) {
+	for _, a := range algos {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Algo{}, false
+}

@@ -10,11 +10,130 @@
 package sddisc
 
 import (
+	"context"
 	"sort"
 
 	"deptree/internal/deps/sd"
+	"deptree/internal/engine"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 )
+
+// Options configures SD discovery.
+type Options struct {
+	// MinConfidence is the confidence an SD must reach to be reported,
+	// and the confidence FitInterval targets (default 0.9).
+	MinConfidence float64
+	// Workers fans the per-pair fits across goroutines; output is
+	// identical for every worker count.
+	Workers int
+	// Budget bounds the run; exhaustion truncates to a deterministic
+	// prefix of the (X, Y) pair enumeration.
+	Budget engine.Budget
+	// Obs optionally receives metrics and spans; nil is a no-op.
+	Obs *obs.Registry
+}
+
+// Result is an SD discovery outcome.
+type Result struct {
+	SDs []sd.SD
+	// Partial marks a run truncated by budget, cancellation or panic.
+	Partial bool
+	// Reason is the stable stop token; empty when complete.
+	Reason string
+	// Completed is the number of (X, Y) candidate pairs fitted.
+	Completed int
+}
+
+// batch is the fixed MapBudget stripe width over candidate pairs; each
+// task is a sort plus an O(n²) confidence DP. Fixed so the truncation
+// point is worker-independent.
+const batch = 4
+
+// Discover fits gap intervals over every ordered pair of distinct numeric
+// columns (X orders, Y measures) and reports the SDs whose fitted interval
+// reaches MinConfidence — the single-attribute-X instantiation of Golab et
+// al.'s discovery problem, with the interval chosen by FitInterval's
+// central-quantile heuristic.
+func Discover(r *relation.Relation, opts Options) []sd.SD {
+	return DiscoverContext(context.Background(), r, opts).SDs
+}
+
+// DiscoverContext is Discover under a context and Options.Budget.
+func DiscoverContext(ctx context.Context, r *relation.Relation, opts Options) Result {
+	if opts.MinConfidence == 0 {
+		opts.MinConfidence = 0.9
+	}
+	var numeric []int
+	for c := 0; c < r.Cols(); c++ {
+		if k := r.Schema().Attr(c).Kind; k == relation.KindInt || k == relation.KindFloat {
+			numeric = append(numeric, c)
+		}
+	}
+	type pair struct{ x, y int }
+	var pairs []pair
+	for _, x := range numeric {
+		for _, y := range numeric {
+			if x != y {
+				pairs = append(pairs, pair{x, y})
+			}
+		}
+	}
+	reg := opts.Obs
+	pool := engine.NewObserved(ctx, maxInt(opts.Workers, 1), 0, opts.Budget, reg)
+	defer pool.Close()
+
+	run := reg.StartSpan(obs.KindRun, "sddisc")
+	run.SetAttr("rows", r.Rows())
+	run.SetAttr("candidates", len(pairs))
+	defer run.End()
+
+	type hit struct {
+		s  sd.SD
+		ok bool
+	}
+	fitSpan := run.Child(obs.KindPhase, "interval-fit")
+	hits, done, err := engine.MapBudget(pool, len(pairs), batch, func(i int) hit {
+		p := pairs[i]
+		g := FitInterval(r, []int{p.x}, p.y, opts.MinConfidence)
+		s := sd.SD{X: []int{p.x}, Y: p.y, G: g, Schema: r.Schema()}
+		if s.Confidence(r) < opts.MinConfidence {
+			return hit{}
+		}
+		return hit{s: s, ok: true}
+	})
+	fitSpan.SetAttr("completed", done)
+	fitSpan.End()
+	reg.Counter("sddisc.pairs.fitted").Add(int64(done))
+
+	var out []sd.SD
+	for i := 0; i < done; i++ {
+		if hits[i].ok {
+			out = append(out, hits[i].s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X[0] != out[j].X[0] {
+			return out[i].X[0] < out[j].X[0]
+		}
+		return out[i].Y < out[j].Y
+	})
+	reg.Counter("sddisc.sds.valid").Add(int64(len(out)))
+	res := Result{SDs: out, Completed: done}
+	if err != nil {
+		res.Partial = true
+		res.Reason = engine.Reason(err)
+		run.SetAttr("stop", res.Reason)
+	}
+	return res
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
 
 // FitInterval returns the tightest gap interval g containing at least
 // confidence·(n−1) of the consecutive Y-deltas when tuples are ordered by

@@ -1,22 +1,23 @@
 // The fault-injection suite behind `make chaos`: injected panics, stalls
-// and mid-run cancellations in any of the five parallelized discoverers
-// must produce a clean error or a Partial result — never a process crash,
-// goroutine leak, or deadlock — and budget-truncated runs must report the
-// same completed prefix for every worker count.
+// and mid-run cancellations in any registered discoverer must produce a
+// clean error or a Partial result — never a process crash, goroutine
+// leak, or deadlock — and budget-truncated runs must report the same
+// completed prefix for every worker count.
+//
+// The suite is table-driven over the discoverer registry: every
+// algorithm the server exposes is swept automatically, so enrolling a
+// new discoverer in the registry enrolls it in every chaos scenario
+// below with no test edits.
 package chaos
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"strings"
 	"testing"
 	"time"
 
-	"deptree/internal/discovery/cords"
-	"deptree/internal/discovery/fastdc"
-	"deptree/internal/discovery/fastfd"
-	"deptree/internal/discovery/oddisc"
+	"deptree/internal/discovery/registry"
 	"deptree/internal/discovery/tane"
 	"deptree/internal/engine"
 	"deptree/internal/gen"
@@ -49,9 +50,8 @@ func requireNoGoroutineLeak(t *testing.T, f func()) {
 	}
 }
 
-// runAll invokes every parallelized discoverer under ctx with the given
-// budget and workers, returning a canonical rendering per algorithm plus
-// whether that run reported Partial.
+// runOutcome is one discoverer's canonical rendering plus its truncation
+// state.
 type runOutcome struct {
 	name    string
 	out     string
@@ -59,42 +59,26 @@ type runOutcome struct {
 	reason  string
 }
 
+// runOne invokes a single registered discoverer through the registry
+// path (the exact dispatch the server and CLI use). fastdc's
+// pair-quadratic evidence build gets a row-trimmed input, matching the
+// differential harness.
+func runOne(ctx context.Context, a registry.Algo, r *relation.Relation, workers int, b engine.Budget) runOutcome {
+	if a.Name == "fastdc" && r.Rows() > 25 {
+		r = r.Select(func(row int) bool { return row < 25 })
+	}
+	res := a.Run(ctx, r, registry.RunOptions{Workers: workers, Budget: b})
+	return runOutcome{a.Name, strings.Join(res.Lines, "\n"), res.Partial, res.Reason}
+}
+
+// runAll invokes every registered discoverer under ctx with the given
+// budget and workers.
 func runAll(ctx context.Context, r *relation.Relation, workers int, b engine.Budget) []runOutcome {
-	small := r
-	if small.Rows() > 25 {
-		small = small.Select(func(row int) bool { return row < 25 })
+	out := make([]runOutcome, 0, len(registry.All()))
+	for _, a := range registry.All() {
+		out = append(out, runOne(ctx, a, r, workers, b))
 	}
-	tr := tane.DiscoverContext(ctx, r, tane.Options{Workers: workers, Budget: b})
-	fr := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: workers, Budget: b})
-	cr := cords.DiscoverContext(ctx, r, cords.Options{Workers: workers, Budget: b, SampleSize: 30, Seed: 7})
-	or := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: workers, Budget: b})
-	dr := fastdc.DiscoverContext(ctx, small, fastdc.Options{Workers: workers, Budget: b, MaxPredicates: 2})
-	return []runOutcome{
-		{"tane", render(tr.FDs), tr.Partial, tr.Reason},
-		{"fastfd", render(fr.FDs), fr.Partial, fr.Reason},
-		{"cords", renderCORDS(cr), cr.Partial, cr.Reason},
-		{"oddisc", render(or.ODs), or.Partial, or.Reason},
-		{"fastdc", fmt.Sprintf("rows=%d\n%s", dr.RowsCovered, render(dr.DCs)), dr.Partial, dr.Reason},
-	}
-}
-
-func render[T fmt.Stringer](items []T) string {
-	lines := make([]string, len(items))
-	for i, it := range items {
-		lines[i] = it.String()
-	}
-	return strings.Join(lines, "\n")
-}
-
-func renderCORDS(res cords.Result) string {
-	var b strings.Builder
-	for _, s := range res.SFDs {
-		fmt.Fprintf(&b, "%s\n", s.String())
-	}
-	for _, c := range res.Correlations {
-		fmt.Fprintf(&b, "%d->%d s=%.9f chi=%.9f corr=%v\n", c.Col1, c.Col2, c.Strength, c.ChiSquare, c.Correlated)
-	}
-	return b.String()
+	return out
 }
 
 // TestInjectedPanicPoolIsolation drives a raw pool: a panicking task must
@@ -139,8 +123,11 @@ func asPanicError(err error, target **engine.PanicError) bool {
 }
 
 // TestInjectedPanicAllDiscoverers injects an early panic into every
-// pooled task stream: each of the five discoverers must come back with a
+// pooled task stream: each registered discoverer must come back with a
 // clean Partial result whose reason names the panic, leaking nothing.
+// Every discoverer fans out at least three tasks on the hotel relation,
+// and any three consecutive task starts contain a PanicEvery:3 trigger,
+// so no run can complete cleanly.
 func TestInjectedPanicAllDiscoverers(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		inj, uninstall := Install(Options{PanicEvery: 3})
@@ -188,21 +175,28 @@ func TestInjectedDelayHonorsDeadline(t *testing.T) {
 	}
 }
 
-// TestInjectedCancelMidRun cancels the pool from inside a task: the run
-// must degrade to a "cancelled" partial, not deadlock waiting on skipped
-// work.
+// TestInjectedCancelMidRun cancels the pool from inside a task, once per
+// registered discoverer with a fresh injector (CancelAfter:2 fires
+// within every algorithm's first tasks): each run must degrade to a
+// "cancelled" partial, not deadlock waiting on skipped work.
 func TestInjectedCancelMidRun(t *testing.T) {
+	r := hotel(40)
 	for _, workers := range []int{1, 4} {
-		_, uninstall := Install(Options{CancelAfter: 10})
-		requireNoGoroutineLeak(t, func() {
-			res := tane.DiscoverContext(context.Background(), hotel(60), tane.Options{Workers: workers})
-			if !res.Partial {
-				t.Errorf("workers=%d: cancelled run reported complete", workers)
-			} else if res.Reason != "cancelled" {
-				t.Errorf("workers=%d: reason = %q, want cancelled", workers, res.Reason)
+		for _, a := range registry.All() {
+			inj, uninstall := Install(Options{CancelAfter: 2})
+			requireNoGoroutineLeak(t, func() {
+				oc := runOne(context.Background(), a, r, workers, engine.Budget{})
+				if !oc.partial {
+					t.Errorf("workers=%d %s: cancelled run reported complete", workers, a.Name)
+				} else if oc.reason != "cancelled" {
+					t.Errorf("workers=%d %s: reason = %q, want cancelled", workers, a.Name, oc.reason)
+				}
+			})
+			uninstall()
+			if inj.Cancels() == 0 {
+				t.Fatalf("workers=%d %s: injector never fired its cancel", workers, a.Name)
 			}
-		})
-		uninstall()
+		}
 	}
 }
 
@@ -224,9 +218,10 @@ func TestExternalContextCancellation(t *testing.T) {
 }
 
 // TestPartialPrefixConsistency is the determinism half of the failure
-// model: the same MaxTasks budget must truncate every discoverer at the
-// same deterministic prefix for workers=1 and workers=4, and that prefix
-// must be a subset of the full (unbudgeted) answer.
+// model: the same MaxTasks budget must truncate every registered
+// discoverer at the same deterministic prefix for workers=1 and
+// workers=4, and that prefix must be a subset of the full (unbudgeted)
+// answer.
 func TestPartialPrefixConsistency(t *testing.T) {
 	r := hotel(40)
 	full := runAll(context.Background(), r, 1, engine.Budget{})
@@ -240,8 +235,8 @@ func TestPartialPrefixConsistency(t *testing.T) {
 					budget, seq[i].name, seq[i].partial, seq[i].reason, seq[i].out, par[i].partial, par[i].reason, par[i].out)
 			}
 			// fastdc partial is a sample-style approximation, not a
-			// subset of the full answer (see fastdc.Result); the other
-			// four must be line-subsets of the full run.
+			// subset of the full answer (see fastdc.Result); every other
+			// discoverer must emit a line-subset of the full run.
 			if seq[i].partial && seq[i].name != "fastdc" {
 				assertLineSubset(t, seq[i].name, budget, seq[i].out, full[i].out)
 			}
@@ -263,8 +258,9 @@ func assertLineSubset(t *testing.T, name string, budget int64, part, full string
 }
 
 // TestChaosStorm is the everything-at-once soak: stalls, periodic panics
-// and a deadline together, across repeated runs, with the goroutine count
-// checked once at the end. Any crash, deadlock or leak fails the suite.
+// and a deadline together, across repeated runs of all fifteen
+// discoverers, with the goroutine count checked once at the end. Any
+// crash, deadlock or leak fails the suite.
 func TestChaosStorm(t *testing.T) {
 	_, uninstall := Install(Options{PanicEvery: 23, DelayEvery: 5, Delay: time.Millisecond})
 	defer uninstall()

@@ -164,9 +164,37 @@ func TestServerInjectedPanicTripsBreaker(t *testing.T) {
 	})
 }
 
-// TestServerInjectedCancelReturns503 injects a mid-run pool cancellation:
-// the response must be the documented 503 "cancelled", not a hang, crash
-// or mangled 200.
+// TestServerAllEndpointsPanic500 sweeps every registered discover
+// endpoint with an always-panicking engine: each must answer the
+// documented 500 engine_panic — never a crash, hang, or mangled 200 —
+// proving the panic-isolation chain holds for the whole family tree,
+// not just the original five endpoints.
+func TestServerAllEndpointsPanic500(t *testing.T) {
+	requireNoGoroutineLeak(t, func() {
+		base, cancel, runDone := httpServer(t, server.Config{
+			Workers:          2,
+			BreakerThreshold: 3, // one panic per endpoint: no breaker may open
+			BreakerBackoff:   time.Second,
+			DrainTimeout:     5 * time.Second,
+			DrainGrace:       10 * time.Millisecond,
+		})
+		body := discoverBody(t, 30)
+		_, uninstall := Install(Options{PanicEvery: 1})
+		for _, algo := range server.Algorithms() {
+			status, code, _ := postDiscover(t, base, algo, body)
+			if status != 500 || code != "engine_panic" {
+				t.Errorf("%s: status %d code %s, want 500 engine_panic", algo, status, code)
+			}
+		}
+		uninstall()
+		shutdown(t, cancel, runDone)
+	})
+}
+
+// TestServerInjectedCancelReturns503 injects a mid-run pool cancellation
+// into every registered discover endpoint, one fresh injector per
+// request: each response must be the documented 503 "cancelled", not a
+// hang, crash or mangled 200.
 func TestServerInjectedCancelReturns503(t *testing.T) {
 	requireNoGoroutineLeak(t, func() {
 		base, cancel, runDone := httpServer(t, server.Config{
@@ -174,11 +202,14 @@ func TestServerInjectedCancelReturns503(t *testing.T) {
 			DrainTimeout: 5 * time.Second,
 			DrainGrace:   10 * time.Millisecond,
 		})
-		_, uninstall := Install(Options{CancelAfter: 1})
-		status, code, _ := postDiscover(t, base, "tane", discoverBody(t, 30))
-		uninstall()
-		if status != 503 || code != "cancelled" {
-			t.Errorf("cancelled run: status %d code %s, want 503 cancelled", status, code)
+		body := discoverBody(t, 30)
+		for _, algo := range server.Algorithms() {
+			_, uninstall := Install(Options{CancelAfter: 1})
+			status, code, _ := postDiscover(t, base, algo, body)
+			uninstall()
+			if status != 503 || code != "cancelled" {
+				t.Errorf("%s cancelled run: status %d code %s, want 503 cancelled", algo, status, code)
+			}
 		}
 		shutdown(t, cancel, runDone)
 	})
@@ -204,7 +235,9 @@ func metricsGauge(t *testing.T, base, name string) int64 {
 
 // TestServerSaturationSheds429 fills a capacity-1 server with a stalled
 // request plus one queued waiter; the next request must shed fast with
-// 429 and a Retry-After, and the stalled work must still complete.
+// 429 and a Retry-After, and the stalled work must still complete. The
+// scenario drives the pfd endpoint, pinning admission control on one of
+// the newly enrolled family-tree discoverers.
 func TestServerSaturationSheds429(t *testing.T) {
 	requireNoGoroutineLeak(t, func() {
 		base, cancel, runDone := httpServer(t, server.Config{
@@ -227,7 +260,7 @@ func TestServerSaturationSheds429(t *testing.T) {
 		results := make(chan result, 2)
 		for i := 0; i < 2; i++ {
 			go func() {
-				status, code, _ := postDiscover(t, base, "tane", body)
+				status, code, _ := postDiscover(t, base, "pfd", body)
 				results <- result{status, code}
 			}()
 			// Wait until this request is admitted (first) or queued
@@ -246,7 +279,7 @@ func TestServerSaturationSheds429(t *testing.T) {
 			}
 		}
 
-		status, code, retryAfter := postDiscover(t, base, "tane", body)
+		status, code, retryAfter := postDiscover(t, base, "pfd", body)
 		if status != 429 || code != "saturated" {
 			t.Errorf("overflow request: status %d code %s, want 429 saturated", status, code)
 		}
@@ -265,7 +298,7 @@ func TestServerSaturationSheds429(t *testing.T) {
 }
 
 // TestServerDrainLetsInflightFinish cancels the run context while a
-// stalled request is in flight: readiness must flip to 503 during the
+// stalled cfd request is in flight: readiness must flip to 503 during the
 // grace window, the in-flight request must still complete 200, and Run
 // must return cleanly.
 func TestServerDrainLetsInflightFinish(t *testing.T) {
@@ -280,7 +313,7 @@ func TestServerDrainLetsInflightFinish(t *testing.T) {
 
 		inflight := make(chan int, 1)
 		go func() {
-			status, _, _ := postDiscover(t, base, "tane", discoverBody(t, 30))
+			status, _, _ := postDiscover(t, base, "cfd", discoverBody(t, 30))
 			inflight <- status
 		}()
 		deadline := time.Now().Add(5 * time.Second)

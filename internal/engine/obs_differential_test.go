@@ -2,57 +2,52 @@
 // obs.Registry must not perturb discovery output — workers=1 and
 // workers=4 stay byte-identical with metrics and spans recording. This is
 // the "no-op default / no feedback" guarantee of internal/obs, asserted
-// over the same corpus as the plain differential harness.
+// table-driven over the same discoverer registry as the plain
+// differential harness, so every endpoint is enrolled automatically.
 package engine_test
 
 import (
-	"context"
+	"strings"
 	"testing"
 
-	"deptree/internal/discovery/cords"
-	"deptree/internal/discovery/fastdc"
-	"deptree/internal/discovery/fastfd"
-	"deptree/internal/discovery/oddisc"
-	"deptree/internal/discovery/tane"
 	"deptree/internal/obs"
+	"deptree/internal/relation"
 )
 
+// obsCorpus trims each case to its first two relations (Table 1 plus one
+// hotels instance for the family-tree algorithms): the obs sweep checks
+// instrumentation neutrality, not corpus breadth — the plain differential
+// harness covers the full corpus.
+func obsCorpus(c DiscovererCase) []*relation.Relation {
+	if len(c.Corpus) > 2 {
+		return c.Corpus[:2]
+	}
+	return c.Corpus
+}
+
 func TestDifferentialObsEnabled(t *testing.T) {
-	for i, r := range corpus() {
-		regSeq, regPar := obs.New(), obs.New()
-		seq := render(tane.Discover(r, tane.Options{Workers: 1, Obs: regSeq}))
-		par := render(tane.Discover(r, tane.Options{Workers: diffWorkers, Obs: regPar}))
-		assertIdentical(t, "tane+obs", i, seq, par)
-		// The registry must actually have observed the run — a silently
-		// detached registry would make this test vacuous.
-		if regPar.Counter("engine.tasks.completed").Value() == 0 {
-			t.Fatalf("relation #%d: parallel tane run recorded no completed tasks", i)
-		}
-		if regSeq.Counter("tane.levels.completed").Value() == 0 {
-			t.Fatalf("relation #%d: sequential tane run recorded no levels", i)
-		}
-		if len(regSeq.Events()) == 0 {
-			t.Fatalf("relation #%d: sequential tane run recorded no spans", i)
-		}
-
-		seq = render(fastfd.DiscoverContext(context.Background(), r, fastfd.Options{Workers: 1, Obs: obs.New()}).FDs)
-		par = render(fastfd.DiscoverContext(context.Background(), r, fastfd.Options{Workers: diffWorkers, Obs: obs.New()}).FDs)
-		assertIdentical(t, "fastfd+obs", i, seq, par)
-
-		seq = renderCORDS(cords.Discover(r, cords.Options{SampleSize: 30, Seed: int64(i), Workers: 1, Obs: obs.New()}))
-		par = renderCORDS(cords.Discover(r, cords.Options{SampleSize: 30, Seed: int64(i), Workers: diffWorkers, Obs: obs.New()}))
-		assertIdentical(t, "cords+obs", i, seq, par)
-
-		seq = render(oddisc.Discover(r, oddisc.Options{Workers: 1, Obs: obs.New()}))
-		par = render(oddisc.Discover(r, oddisc.Options{Workers: diffWorkers, Obs: obs.New()}))
-		assertIdentical(t, "oddisc+obs", i, seq, par)
-
-		dcRel := r
-		if dcRel.Rows() > 25 {
-			dcRel = dcRel.Select(func(row int) bool { return row < 25 })
-		}
-		seq = render(fastdc.Discover(dcRel, fastdc.Options{MaxPredicates: 2, Workers: 1, Obs: obs.New()}))
-		par = render(fastdc.Discover(dcRel, fastdc.Options{MaxPredicates: 2, Workers: diffWorkers, Obs: obs.New()}))
-		assertIdentical(t, "fastdc+obs", i, seq, par)
+	for _, c := range discovererCases() {
+		c := c
+		t.Run(c.Algo, func(t *testing.T) {
+			t.Parallel()
+			for i, r := range obsCorpus(c) {
+				bare := runAlgo(t, c.Algo, r, diffWorkers, nil)
+				regSeq, regPar := obs.New(), obs.New()
+				seq := runAlgo(t, c.Algo, r, 1, regSeq)
+				par := runAlgo(t, c.Algo, r, diffWorkers, regPar)
+				assertIdentical(t, c.Algo+"+obs", i, strings.Join(seq.Lines, "\n"), strings.Join(par.Lines, "\n"))
+				// Observation must also not perturb output vs the obs-off run.
+				assertIdentical(t, c.Algo+" obs-on vs obs-off", i,
+					strings.Join(bare.Lines, "\n"), strings.Join(par.Lines, "\n"))
+				// The registry must actually have observed the run — a
+				// silently detached registry would make this test vacuous.
+				if regPar.Counter("engine.tasks.completed").Value() == 0 {
+					t.Fatalf("relation #%d: parallel %s run recorded no completed tasks", i, c.Algo)
+				}
+				if len(regSeq.Events()) == 0 {
+					t.Fatalf("relation #%d: sequential %s run recorded no spans", i, c.Algo)
+				}
+			}
+		})
 	}
 }

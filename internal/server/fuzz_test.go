@@ -11,22 +11,30 @@ import (
 	"deptree/internal/obs"
 )
 
-// FuzzDiscoverRequest throws arbitrary bytes at the discover endpoint
-// under tight server limits and asserts the hardening contract: the
-// handler never panics, every rejection is a 4xx with a structured error
-// body, and nothing reaches a 5xx (there is no engine fault to surface —
-// only malformed or oversized input).
+// FuzzDiscoverRequest throws arbitrary bytes at every registered
+// discover route under tight server limits and asserts the hardening
+// contract: the handler never panics, every rejection is a 4xx with a
+// structured error body, and nothing reaches a 5xx (there is no engine
+// fault to surface — only malformed or oversized input). The route is
+// part of the fuzzed input: algoIdx indexes Algorithms() modulo its
+// length, so the corpus explores all fifteen endpoints and the fuzzer
+// can shift any crashing body onto any route.
 func FuzzDiscoverRequest(f *testing.F) {
-	f.Add(`{"csv":"a,b\n1,2\n"}`)
-	f.Add(`{"csv":"a,b\n1,2\n","workers":2,"max_tasks":1}`)
-	f.Add(`{"csv":""}`)
-	f.Add(`{`)
-	f.Add(`{"csv":"a\n1\n"}{"csv":"a\n1\n"}`)
-	f.Add(`{"csv":"a,b\n1\n"}`)
-	f.Add(`{"nope":true}`)
-	f.Add(`{"csv":"` + strings.Repeat("x,", 40) + `y\n"}`)
-	f.Add("\x00\xff\xfe")
-	f.Add(`{"csv":"a,b\n\"unterminated`)
+	// One well-formed seed per registered route, so every endpoint is in
+	// the initial corpus, plus the malformed-body seeds on a spread of
+	// routes.
+	for i := range Algorithms() {
+		f.Add(`{"csv":"a,b\n1,2\n"}`, uint8(i))
+	}
+	f.Add(`{"csv":"a,b\n1,2\n","workers":2,"max_tasks":1}`, uint8(0))
+	f.Add(`{"csv":""}`, uint8(1))
+	f.Add(`{`, uint8(5))
+	f.Add(`{"csv":"a\n1\n"}{"csv":"a\n1\n"}`, uint8(6))
+	f.Add(`{"csv":"a,b\n1\n"}`, uint8(9))
+	f.Add(`{"nope":true}`, uint8(11))
+	f.Add(`{"csv":"`+strings.Repeat("x,", 40)+`y\n"}`, uint8(13))
+	f.Add("\x00\xff\xfe", uint8(14))
+	f.Add(`{"csv":"a,b\n\"unterminated`, uint8(255))
 
 	s := New(Config{
 		Workers:        2,
@@ -37,25 +45,27 @@ func FuzzDiscoverRequest(f *testing.F) {
 		MaxTasks:       64,
 		Obs:            obs.New(),
 	})
+	algos := Algorithms()
 
-	f.Fuzz(func(t *testing.T, body string) {
-		req := httptest.NewRequest("POST", "/v1/discover/tane", strings.NewReader(body))
+	f.Fuzz(func(t *testing.T, body string, algoIdx uint8) {
+		algo := algos[int(algoIdx)%len(algos)]
+		req := httptest.NewRequest("POST", "/v1/discover/"+algo, strings.NewReader(body))
 		req.Header.Set("Content-Type", "application/json")
 		w := httptest.NewRecorder()
 		s.Handler().ServeHTTP(w, req) // a panic here fails the fuzz run
 		resp := w.Result()
 		if resp.StatusCode >= 500 {
-			t.Fatalf("malformed input produced %d:\n%.200s", resp.StatusCode, w.Body.String())
+			t.Fatalf("%s: malformed input produced %d:\n%.200s", algo, resp.StatusCode, w.Body.String())
 		}
 		if resp.StatusCode != 200 {
 			var eb errorBody
 			if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Error.Code == "" {
-				t.Fatalf("status %d without structured error body (%v):\n%.200s",
-					resp.StatusCode, err, w.Body.String())
+				t.Fatalf("%s: status %d without structured error body (%v):\n%.200s",
+					algo, resp.StatusCode, err, w.Body.String())
 			}
 			if resp.StatusCode != http.StatusBadRequest &&
 				resp.StatusCode != http.StatusRequestEntityTooLarge {
-				t.Fatalf("unexpected rejection status %d (code %s)", resp.StatusCode, eb.Error.Code)
+				t.Fatalf("%s: unexpected rejection status %d (code %s)", algo, resp.StatusCode, eb.Error.Code)
 			}
 		}
 	})

@@ -38,11 +38,7 @@ import (
 	"deptree/internal/apps/repair"
 	"deptree/internal/deps"
 	"deptree/internal/deps/fd"
-	"deptree/internal/discovery/cords"
-	"deptree/internal/discovery/fastdc"
-	"deptree/internal/discovery/fastfd"
-	"deptree/internal/discovery/oddisc"
-	"deptree/internal/discovery/tane"
+	"deptree/internal/discovery/registry"
 	"deptree/internal/engine"
 	"deptree/internal/obs"
 	"deptree/internal/relation"
@@ -52,9 +48,9 @@ import (
 // Algorithms(). The server maps it to 404.
 var ErrUnknownAlgo = errors.New("server: unknown algorithm")
 
-// Algorithms lists the discoverers RunDiscover accepts, in the order the
-// CLI documents them.
-func Algorithms() []string { return []string{"tane", "fastfd", "cords", "fastdc", "od"} }
+// Algorithms lists the discoverers RunDiscover accepts — the full
+// registry, in the order the CLI documents the names.
+func Algorithms() []string { return registry.Names() }
 
 // RunParams carries the execution knobs shared by every runner.
 type RunParams struct {
@@ -98,45 +94,21 @@ func (o DiscoverOutput) Text() string {
 
 // RunDiscover runs one named discoverer over the relation under the
 // params, with the exact option mapping of `deptool discover` (fastdc
-// caps at 2 predicates, od reports minimal ODs). The returned lines are
-// deterministic for any worker count, including under a MaxTasks budget.
+// caps at 2 predicates, od reports minimal ODs; see the registry for the
+// full table). The returned lines are deterministic for any worker
+// count, including under a MaxTasks budget.
 func RunDiscover(ctx context.Context, r *relation.Relation, algo string, p RunParams) (DiscoverOutput, error) {
-	var out DiscoverOutput
-	switch algo {
-	case "tane":
-		res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: p.MaxErr, Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
-		for _, f := range res.FDs {
-			out.Lines = append(out.Lines, fmt.Sprint(f))
-		}
-		out.Partial, out.Reason = res.Partial, res.Reason
-	case "fastfd":
-		res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
-		for _, f := range res.FDs {
-			out.Lines = append(out.Lines, fmt.Sprint(f))
-		}
-		out.Partial, out.Reason = res.Partial, res.Reason
-	case "cords":
-		res := cords.DiscoverContext(ctx, r, cords.Options{Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
-		for _, s := range res.SFDs {
-			out.Lines = append(out.Lines, fmt.Sprint(s))
-		}
-		out.Partial, out.Reason = res.Partial, res.Reason
-	case "fastdc":
-		res := fastdc.DiscoverContext(ctx, r, fastdc.Options{MaxPredicates: 2, Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
-		for _, d := range res.DCs {
-			out.Lines = append(out.Lines, fmt.Sprint(d))
-		}
-		out.Partial, out.Reason = res.Partial, res.Reason
-	case "od":
-		res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: p.Workers, Budget: p.Budget, Obs: p.Obs})
-		for _, o := range oddisc.Minimal(res.ODs) {
-			out.Lines = append(out.Lines, fmt.Sprint(o))
-		}
-		out.Partial, out.Reason = res.Partial, res.Reason
-	default:
-		return out, fmt.Errorf("%w %q", ErrUnknownAlgo, algo)
+	a, ok := registry.Lookup(algo)
+	if !ok {
+		return DiscoverOutput{}, fmt.Errorf("%w %q", ErrUnknownAlgo, algo)
 	}
-	return out, nil
+	res := a.Run(ctx, r, registry.RunOptions{
+		Workers: p.Workers,
+		Budget:  p.Budget,
+		MaxErr:  p.MaxErr,
+		Obs:     p.Obs,
+	})
+	return DiscoverOutput{Lines: res.Lines, Partial: res.Partial, Reason: res.Reason}, nil
 }
 
 // ParseFD parses one "lhs1,lhs2->rhs" spec against a schema.

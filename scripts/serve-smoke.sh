@@ -34,6 +34,8 @@ curl -fsS "$BASE/metrics" | grep -q deptree_server_admission_capacity
 BODY='{"csv":"source,name,address,region\ns1,A,addr1,R1\ns1,A,addr1,R1\ns2,B,addr2,R2\ns3,C,addr3,R2\n"}'
 curl -fsS -X POST -d "$BODY" "$BASE/v1/discover/tane" | grep -q '"partial":false'
 curl -fsS -X POST -d "$BODY" "$BASE/v1/discover/fastdc?format=text" >/dev/null
+# One family-tree endpoint: constant CFD mining must serve a complete run.
+curl -fsS -X POST -d "$BODY" "$BASE/v1/discover/cfd" | grep -q '"partial":false'
 
 VBODY='{"csv":"source,name,address,region\ns1,A,addr1,R1\ns1,A,addr1,R2\n","fds":"address->region"}'
 curl -fsS -X POST -d "$VBODY" "$BASE/v1/validate" | grep -q '"checked":1'
