@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos fuzz bench benchdiff serve-smoke verify
+.PHONY: build test race chaos recover fuzz bench benchdiff serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,16 +13,25 @@ test:
 
 # Race coverage for the worker pool, the shared partition cache, all
 # parallelized discovery algorithms (the differential harness runs both
-# sequential and parallel paths under the detector) and the HTTP serving
-# layer (admission semaphore, breakers, drain).
+# sequential and parallel paths under the detector), the HTTP serving
+# layer (admission semaphore, breakers, drain) and the async job service
+# (runner pool, WAL, retry/backoff paths).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/discovery/... ./internal/server/
+	$(GO) test -race ./internal/engine/... ./internal/discovery/... ./internal/server/ ./internal/jobs/
 
 # Fault-injection suite (DESIGN.md "Failure model"): injected panics,
 # stalls and mid-run cancellations across the pool and every discoverer,
 # under the race detector.
 chaos:
 	$(GO) test -race -count=1 ./internal/engine/chaos/
+
+# Kill-and-restart recovery suite for the durable job service (DESIGN.md
+# "Job lifecycle, WAL format & crash recovery"): a real server process
+# SIGKILLed mid-job must replay its WAL backlog to byte-identical
+# results on restart, torn WAL tails must truncate to the valid prefix,
+# and injected store faults must retry transiently — all under -race.
+recover:
+	$(GO) test -race -count=1 -run 'Recover' ./internal/engine/chaos/
 
 # Short fuzz passes: the CSV codec round trip, the CSR partition product
 # vs the retained map-based oracle, the server's request decoder across

@@ -1,0 +1,304 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"deptree/internal/jobs"
+	"deptree/internal/server"
+)
+
+// cmdJob is the HTTP client for the async job API: submit work to a
+// running `deptool serve -jobs-dir ...` instance, poll it, block on it
+// or cancel it. Exit codes mirror the budgeted commands: 0 for a
+// complete result, 2 for a partial one, 1 for a failed or cancelled
+// job, so scripts treat a job exactly like a local run.
+func cmdJob(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("job needs a subcommand: submit, status, wait, cancel or list")
+	}
+	switch args[0] {
+	case "submit":
+		return cmdJobSubmit(args[1:])
+	case "status":
+		return cmdJobStatus(args[1:])
+	case "wait":
+		return cmdJobWait(args[1:])
+	case "cancel":
+		return cmdJobCancel(args[1:])
+	case "list":
+		return cmdJobList(args[1:])
+	default:
+		return fmt.Errorf("unknown job subcommand %q (want submit, status, wait, cancel or list)", args[0])
+	}
+}
+
+// addJobAddrFlag registers the shared -addr flag pointing at the server.
+func addJobAddrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", "http://127.0.0.1:8080", "base URL of the deptool serve instance")
+}
+
+// jobAPIError decodes the server's error envelope into a CLI error.
+func jobAPIError(resp *http.Response, body []byte) error {
+	var e struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error.Code != "" {
+		return fmt.Errorf("%s (%s): %s", resp.Status, e.Error.Code, e.Error.Message)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// jobRequest performs one API call and decodes the job view on success.
+func jobRequest(method, url string, body io.Reader, headers map[string]string) (jobs.View, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return jobs.View{}, err
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return jobs.View{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return jobs.View{}, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return jobs.View{}, jobAPIError(resp, data)
+	}
+	var v jobs.View
+	if err := json.Unmarshal(data, &v); err != nil {
+		return jobs.View{}, fmt.Errorf("decode job view: %w", err)
+	}
+	return v, nil
+}
+
+// printJobStatus writes the one-line human summary every subcommand
+// reports to stderr, keeping stdout reserved for result payloads.
+func printJobStatus(v jobs.View) {
+	line := fmt.Sprintf("job %s: %s (kind=%s", v.ID, v.State, v.Kind)
+	if v.Algo != "" {
+		line += " algo=" + v.Algo
+	}
+	if v.CacheHit {
+		line += " cache-hit"
+	}
+	if v.Retries > 0 {
+		line += fmt.Sprintf(" retries=%d", v.Retries)
+	}
+	line += ")"
+	if v.Reason != "" {
+		line += " " + v.Reason
+	}
+	fmt.Fprintln(os.Stderr, line)
+}
+
+// finishJob prints a terminal job's result to stdout and maps its state
+// to the process exit code.
+func finishJob(v jobs.View) error {
+	if v.Result != nil {
+		fmt.Print(v.Result.Text())
+	}
+	switch v.State {
+	case jobs.StateDone:
+		return nil
+	case jobs.StatePartial:
+		return errPartial
+	default:
+		return fmt.Errorf("job %s %s: %s", v.ID, v.State, v.Reason)
+	}
+}
+
+func cmdJobSubmit(args []string) error {
+	fs := flag.NewFlagSet("job submit", flag.ContinueOnError)
+	addr := addJobAddrFlag(fs)
+	in := fs.String("in", "", "input CSV file")
+	kind := fs.String("kind", "discover", "job kind: discover, validate or repair")
+	algo := fs.String("algo", "tane", strings.Join(server.Algorithms(), "|")+" (discover)")
+	fds := fs.String("fds", "", "FDs as lhs1,lhs2->rhs, ;-separated (validate)")
+	fdSpec := fs.String("fd", "", "FD as lhs->rhs (repair)")
+	maxErr := fs.Float64("maxerr", 0, "g3 budget for approximate FDs (tane)")
+	workers := fs.Int("workers", 0, "requested workers (0 = server default)")
+	timeout := fs.Duration("timeout", 0, "requested wall-clock budget (0 = server default)")
+	maxTasks := fs.Int64("max-tasks", 0, "requested task budget (0 = server default)")
+	idemKey := fs.String("idempotency-key", "", "Idempotency-Key header: resubmits return the original job")
+	wait := fs.Bool("wait", false, "block until the job is terminal and print its result")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in required")
+	}
+	csv, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	req := server.JobRequest{
+		Kind: *kind, CSV: string(csv), FDs: *fds, FD: *fdSpec, MaxErr: *maxErr,
+		RunKnobs: server.RunKnobs{
+			Workers:   *workers,
+			TimeoutMs: timeout.Milliseconds(),
+			MaxTasks:  *maxTasks,
+		},
+	}
+	if *kind == "discover" {
+		req.Algo = *algo
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	headers := map[string]string{"Content-Type": "application/json"}
+	if *idemKey != "" {
+		headers["Idempotency-Key"] = *idemKey
+	}
+	v, err := jobRequest(http.MethodPost, strings.TrimRight(*addr, "/")+"/v1/jobs", bytes.NewReader(body), headers)
+	if err != nil {
+		return err
+	}
+	printJobStatus(v)
+	if !*wait {
+		fmt.Println(v.ID)
+		if v.State.Terminal() {
+			return finishJob(v)
+		}
+		return nil
+	}
+	return waitForJob(*addr, v.ID, 0)
+}
+
+// waitForJob long-polls GET /v1/jobs/{id}?wait= until the job is
+// terminal or the deadline passes (0 = wait forever), then prints the
+// result and maps the state to an exit code.
+func waitForJob(addr, id string, deadline time.Duration) error {
+	base := strings.TrimRight(addr, "/") + "/v1/jobs/" + id + "?wait=10s"
+	var until time.Time
+	if deadline > 0 {
+		until = time.Now().Add(deadline)
+	}
+	for {
+		v, err := jobRequest(http.MethodGet, base, nil, nil)
+		if err != nil {
+			return err
+		}
+		if v.State.Terminal() {
+			printJobStatus(v)
+			return finishJob(v)
+		}
+		if !until.IsZero() && time.Now().After(until) {
+			printJobStatus(v)
+			return fmt.Errorf("job %s still %s after %s", id, v.State, deadline)
+		}
+	}
+}
+
+func cmdJobStatus(args []string) error {
+	fs := flag.NewFlagSet("job status", flag.ContinueOnError)
+	addr := addJobAddrFlag(fs)
+	id := fs.String("id", "", "job ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id required")
+	}
+	v, err := jobRequest(http.MethodGet, strings.TrimRight(*addr, "/")+"/v1/jobs/"+*id, nil, nil)
+	if err != nil {
+		return err
+	}
+	printJobStatus(v)
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func cmdJobWait(args []string) error {
+	fs := flag.NewFlagSet("job wait", flag.ContinueOnError)
+	addr := addJobAddrFlag(fs)
+	id := fs.String("id", "", "job ID")
+	timeout := fs.Duration("timeout", 0, "give up after this long (0 = wait forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id required")
+	}
+	return waitForJob(*addr, *id, *timeout)
+}
+
+func cmdJobCancel(args []string) error {
+	fs := flag.NewFlagSet("job cancel", flag.ContinueOnError)
+	addr := addJobAddrFlag(fs)
+	id := fs.String("id", "", "job ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id required")
+	}
+	v, err := jobRequest(http.MethodPost, strings.TrimRight(*addr, "/")+"/v1/jobs/"+*id+"/cancel", nil, nil)
+	if err != nil {
+		return err
+	}
+	printJobStatus(v)
+	return nil
+}
+
+func cmdJobList(args []string) error {
+	fs := flag.NewFlagSet("job list", flag.ContinueOnError)
+	addr := addJobAddrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/v1/jobs")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return jobAPIError(resp, data)
+	}
+	var list struct {
+		Count int         `json:"count"`
+		Jobs  []jobs.View `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil {
+		return err
+	}
+	if list.Count == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	for _, v := range list.Jobs {
+		extra := ""
+		if v.CacheHit {
+			extra = " cache-hit"
+		}
+		if v.Reason != "" {
+			extra += " " + v.Reason
+		}
+		fmt.Printf("%s  %-9s  %s %s%s\n", v.ID, v.State, v.Kind, v.Algo, extra)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deptree/internal/obs"
+	"deptree/internal/server"
+)
+
+// newJobTestServer brings up an in-process server (in-memory job store)
+// and returns its base URL.
+func newJobTestServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{Workers: 2, Obs: obs.New()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+// TestCmdJobSubmitWaitMatchesCLI is the CLI-level differential gate: a
+// job submitted and waited on through `deptool job` must print the same
+// bytes as a local `deptool discover` on the same CSV.
+func TestCmdJobSubmitWaitMatchesCLI(t *testing.T) {
+	url := newJobTestServer(t)
+	path := writeHotelsCSV(t)
+
+	cliOut, cliErr := capture(t, func() error {
+		return cmdDiscover([]string{"-in", path, "-algo", "tane", "-workers", "2"})
+	})
+	if cliErr != nil {
+		t.Fatalf("cli discover: %v", cliErr)
+	}
+	jobOut, jobErr := capture(t, func() error {
+		return cmdJob([]string{"submit", "-addr", url, "-in", path, "-algo", "tane", "-workers", "2", "-wait"})
+	})
+	if jobErr != nil {
+		t.Fatalf("job submit -wait: %v", jobErr)
+	}
+	if jobOut != cliOut {
+		t.Errorf("job result diverges from CLI:\njob:\n%q\ncli:\n%q", jobOut, cliOut)
+	}
+}
+
+// TestCmdJobStatusWaitCancelList walks the remaining subcommands against
+// a live job: submit without -wait prints the ID, status/list know it,
+// wait blocks to the terminal result, cancel answers for a done job.
+func TestCmdJobStatusWaitCancelList(t *testing.T) {
+	url := newJobTestServer(t)
+	path := writeHotelsCSV(t)
+
+	out, err := capture(t, func() error {
+		return cmdJob([]string{"submit", "-addr", url, "-in", path, "-algo", "fastfd"})
+	})
+	if err != nil {
+		t.Fatalf("job submit: %v", err)
+	}
+	id := strings.TrimSpace(out)
+	if !strings.HasPrefix(id, "j") {
+		t.Fatalf("submit did not print a job ID: %q", out)
+	}
+
+	if _, err := capture(t, func() error {
+		return cmdJob([]string{"wait", "-addr", url, "-id", id, "-timeout", "30s"})
+	}); err != nil {
+		t.Fatalf("job wait: %v", err)
+	}
+
+	out, err = capture(t, func() error {
+		return cmdJob([]string{"status", "-addr", url, "-id", id})
+	})
+	if err != nil {
+		t.Fatalf("job status: %v", err)
+	}
+	if !strings.Contains(out, `"state": "done"`) {
+		t.Errorf("status output missing done state:\n%s", out)
+	}
+
+	out, err = capture(t, func() error {
+		return cmdJob([]string{"list", "-addr", url})
+	})
+	if err != nil {
+		t.Fatalf("job list: %v", err)
+	}
+	if !strings.Contains(out, id) {
+		t.Errorf("list output missing job %s:\n%s", id, out)
+	}
+
+	// Cancelling a terminal job is a no-op answer, not an error.
+	if _, err := capture(t, func() error {
+		return cmdJob([]string{"cancel", "-addr", url, "-id", id})
+	}); err != nil {
+		t.Fatalf("job cancel: %v", err)
+	}
+}
+
+// TestCmdJobErrors pins the client-side failure modes: missing flags,
+// unknown subcommand, and the server's error envelope surfacing as a
+// readable CLI error.
+func TestCmdJobErrors(t *testing.T) {
+	url := newJobTestServer(t)
+
+	if err := cmdJob(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := cmdJob([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := cmdJobSubmit([]string{"-addr", url}); err == nil {
+		t.Error("submit without -in accepted")
+	}
+	if err := cmdJobStatus([]string{"-addr", url}); err == nil {
+		t.Error("status without -id accepted")
+	}
+	if err := cmdJobWait([]string{"-addr", url}); err == nil {
+		t.Error("wait without -id accepted")
+	}
+	if err := cmdJobCancel([]string{"-addr", url}); err == nil {
+		t.Error("cancel without -id accepted")
+	}
+
+	err := cmdJobStatus([]string{"-addr", url, "-id", "j999999-deadbeef"})
+	if err == nil || !strings.Contains(err.Error(), "unknown_job") {
+		t.Errorf("unknown job error = %v, want unknown_job envelope", err)
+	}
+}
+
+// TestCmdServeJobsDirRejectsBadPath pins the -jobs-dir failure path: an
+// unopenable WAL location fails fast instead of serving without
+// durability.
+func TestCmdServeJobsDirRejectsBadPath(t *testing.T) {
+	if err := cmdServe([]string{"-addr", "127.0.0.1:0", "-jobs-dir", "/proc/definitely/not/writable"}); err == nil {
+		t.Error("unwritable -jobs-dir accepted")
+	}
+}

@@ -11,6 +11,8 @@
 //	deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
 //	deptool gen      -rows N [-errors ε] [-variety v] [-dups d] [-seed s] [-out hotels.csv]
 //	deptool profile  -in data.csv
+//	deptool serve    [-addr :8080] [-jobs-dir dir] ...
+//	deptool job      (submit|status|wait|cancel|list) -addr url ...
 //
 // Every budgeted command (discover, validate, repair, profile) also takes
 // the observability flags -metrics-addr (serve expvar, pprof and
@@ -187,6 +189,8 @@ func main() {
 		err = cmdProfile(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "job":
+		err = cmdJob(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -211,6 +215,10 @@ func usage() {
   deptool profile  -in data.csv [-workers N] [-timeout d] [-max-tasks n] [-max-cache-mb m] [-v]
   deptool serve    [-addr :8080] [-workers N] [-max-concurrency n] [-queue n] [-timeout d] [-max-timeout d]
                    [-max-tasks n] [-max-input-mb m] [-max-rows n] [-drain-timeout d]
+                   [-jobs-dir dir] [-job-runners n] [-job-queue n] [-job-max-attempts n]
+  deptool job      (submit|status|wait|cancel|list) [-addr url] [-id jobID] ...
+                   submit: -in data.csv [-kind discover|validate|repair] [-algo name]
+                   [-fds specs] [-fd spec] [-maxerr e] [-idempotency-key k] [-wait]
 
 discover, validate, repair and profile also take:
   -max-input-mb m           reject input CSVs larger than m MiB

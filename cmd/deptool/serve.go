@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"deptree/internal/jobs"
 	"deptree/internal/obs"
 	"deptree/internal/server"
 )
@@ -32,8 +34,23 @@ func cmdServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "how long drain waits for in-flight requests before cancelling them")
 	brThreshold := fs.Int("breaker-threshold", 5, "consecutive engine faults that open an endpoint's circuit breaker")
 	brBackoff := fs.Duration("breaker-backoff", 500*time.Millisecond, "first breaker open interval; doubles per failed probe up to 30s")
+	jobsDir := fs.String("jobs-dir", "", "directory for the async job WAL; enables durable /v1/jobs (empty = in-memory jobs, lost on restart)")
+	jobRunners := fs.Int("job-runners", 0, "async job runner goroutines (0 = default 2)")
+	jobQueue := fs.Int("job-queue", 0, "async job queue bound (0 = default 64)")
+	jobMaxAttempts := fs.Int("job-max-attempts", 0, "max attempts per job before a transient failure becomes terminal (0 = default 3)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var store jobs.Store
+	if *jobsDir != "" {
+		if err := os.MkdirAll(*jobsDir, 0o755); err != nil {
+			return fmt.Errorf("jobs-dir: %w", err)
+		}
+		wal, err := jobs.OpenWAL(filepath.Join(*jobsDir, "jobs.wal"), jobs.WALOptions{})
+		if err != nil {
+			return fmt.Errorf("open job WAL: %w", err)
+		}
+		store = wal
 	}
 	srv := server.New(server.Config{
 		Workers:          *workers,
@@ -48,8 +65,18 @@ func cmdServe(args []string) error {
 		DrainTimeout:     *drainTimeout,
 		BreakerThreshold: *brThreshold,
 		BreakerBackoff:   *brBackoff,
+		JobStore:         store,
+		JobQueue:         *jobQueue,
+		JobRunners:       *jobRunners,
+		JobMaxAttempts:   *jobMaxAttempts,
 		Obs:              obs.New(),
 	})
+	if err := srv.JobsErr(); err != nil {
+		if store != nil {
+			store.Close()
+		}
+		return fmt.Errorf("job subsystem: %w", err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

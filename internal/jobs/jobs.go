@@ -1,0 +1,165 @@
+// Package jobs is the durable async job subsystem behind the serving
+// layer: discovery (any registry algorithm), validation and repair runs
+// submitted as jobs, executed on a bounded work queue, and persisted
+// behind one Store interface so a process crash never silently loses
+// work.
+//
+// The design is event-sourced: every state transition is one appended
+// Record, and a Manager is just the fold of its store's records. The
+// in-memory store keeps the records in a slice; the WAL store appends
+// them as JSONL with batched fsync (wal.go). On restart the manager
+// replays the store, re-enqueues every job that was queued or running
+// at crash time in its original submission order, and serves completed
+// results without recompute.
+//
+// Failure taxonomy (DESIGN.md "Job lifecycle, WAL format & crash
+// recovery"):
+//
+//   - transient: panic-isolated task errors (engine.IsPanicReason) and
+//     store/admission faults — retried with jittered exponential
+//     backoff up to MaxAttempts, then terminal failed;
+//   - terminal: malformed input (rejected at submit), run errors, and
+//     budget exhaustion (deadline/max-tasks → the partial state, which
+//     carries the same deterministic prefix the CLI prints);
+//   - neither: a run cancelled by drain is re-queued, not failed — the
+//     next process replays it from the WAL and re-runs it to the same
+//     byte-identical result.
+//
+// Content-addressed dataset fingerprints (SHA-256 of the canonical CSV
+// bytes) key a result cache: a complete (non-partial) result is cached
+// under (fingerprint, kind, algo, params), so re-submitting discovery
+// over an unchanged relation is a cache hit that never touches the
+// queue.
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"deptree/internal/relation"
+)
+
+// State is one job's lifecycle position: queued → running → {done,
+// partial, failed, cancelled}. A drain or crash moves running back to
+// queued (via WAL replay) instead of to a terminal state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"      // complete result
+	StatePartial   State = "partial"   // budget-truncated deterministic prefix
+	StateFailed    State = "failed"    // terminal error (retries exhausted or run error)
+	StateCancelled State = "cancelled" // client-requested cancel
+)
+
+// Terminal reports whether the state is final; Wait unblocks on it and
+// retries never leave it.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StatePartial, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// Spec is one job's full submission: what to run and under which
+// resolved budget. The serving layer resolves (clamps) the budget knobs
+// at submit time and bakes them in, so a WAL replay after a crash
+// re-runs the job under exactly the envelope the original admission
+// granted.
+type Spec struct {
+	// Kind selects the runner: "discover", "validate" or "repair".
+	Kind string `json:"kind"`
+	// Algo is the registry discoverer name (discover only).
+	Algo string `json:"algo,omitempty"`
+	// CSV is the inline relation, exactly as submitted.
+	CSV string `json:"csv"`
+	// FDs is the ";"-separated FD list (validate only).
+	FDs string `json:"fds,omitempty"`
+	// FD is the single FD spec (repair only).
+	FD string `json:"fd,omitempty"`
+	// MaxErr is the g3 budget for approximate FDs (tane only).
+	MaxErr float64 `json:"maxerr,omitempty"`
+	// Workers/TimeoutMs/MaxTasks are the resolved engine budget.
+	Workers   int   `json:"workers,omitempty"`
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	MaxTasks  int64 `json:"max_tasks,omitempty"`
+}
+
+// Fingerprint returns the content-addressed identity of the spec's
+// dataset: the SHA-256 of the canonical CSV encoding (parse then
+// re-encode), so two submissions of the same relation in different
+// surface formatting share one fingerprint. Unparsable CSV is an error:
+// malformed input is a terminal submit-time rejection, never a queued
+// job.
+func (s Spec) Fingerprint() (string, error) {
+	rel, err := relation.ReadCSVAuto("job", []byte(s.CSV), relation.Limits{})
+	if err != nil {
+		return "", fmt.Errorf("jobs: fingerprint: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(rel, &buf); err != nil {
+		return "", fmt.Errorf("jobs: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CacheKey is the result-cache key for the spec under the given dataset
+// fingerprint: everything that determines a *complete* run's output.
+// Budget knobs (workers, timeout, max-tasks) are deliberately excluded —
+// the engine's determinism contract makes complete output identical for
+// any worker count, and only complete results are ever cached, so the
+// budget cannot have bound.
+func (s Spec) CacheKey(fingerprint string) string {
+	return strings.Join([]string{
+		fingerprint, s.Kind, s.Algo,
+		fmt.Sprintf("%g", s.MaxErr), s.FDs, s.FD,
+	}, "\x1f")
+}
+
+// Result is one finished run's payload, covering all three kinds: Lines
+// for discover, Report for validate, CSV+Changes for repair. Partial
+// and Reason mirror the engine's Result contract — a partial result is
+// the deterministic budget-truncated prefix.
+type Result struct {
+	Lines   []string `json:"lines,omitempty"`
+	Report  string   `json:"report,omitempty"`
+	CSV     string   `json:"csv,omitempty"`
+	Changes []string `json:"changes,omitempty"`
+	Partial bool     `json:"partial,omitempty"`
+	Reason  string   `json:"reason,omitempty"`
+}
+
+// Text renders the result as the CLI renders the same run: one
+// dependency per line (discover), the validation report, or the
+// repaired CSV, with the PARTIAL marker line when truncated.
+func (r Result) Text() string {
+	var b strings.Builder
+	for _, line := range r.Lines {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(r.Report)
+	b.WriteString(r.CSV)
+	for _, ch := range r.Changes {
+		b.WriteString(ch)
+		b.WriteByte('\n')
+	}
+	if r.Partial {
+		fmt.Fprintf(&b, "PARTIAL: %s\n", r.Reason)
+	}
+	return b.String()
+}
+
+// Transient marks an error as retryable: the manager backs off and
+// re-attempts instead of failing the job terminally. Store write faults
+// and admission saturation wrap themselves in it.
+type Transient struct{ Err error }
+
+func (t Transient) Error() string { return "transient: " + t.Err.Error() }
+func (t Transient) Unwrap() error { return t.Err }

@@ -1,0 +1,296 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// WALOptions tunes the on-disk store.
+type WALOptions struct {
+	// SyncEvery fsyncs after this many appends (default 8). 1 makes
+	// every Append a synchronous commit.
+	SyncEvery int
+	// SyncInterval bounds how long an unsynced append may sit in the OS
+	// page cache before a background fsync (default 100ms; < 0
+	// disables the background flusher — tests that inspect the file
+	// synchronously use SyncEvery=1 instead).
+	SyncInterval time.Duration
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 8
+	}
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// WALStore is the durable Store: an append-only JSONL write-ahead log
+// with group-committed fsync. Every Append issues the OS write before
+// returning — a SIGKILLed process loses nothing it acknowledged — and
+// fsync is batched (every SyncEvery records, and at least every
+// SyncInterval) so a power cut loses at most one batch, never corrupts
+// the prefix. Replay tolerates a torn tail: a final record cut mid-line
+// by a crash is dropped and the file truncated back to the last whole
+// record before new appends land.
+type WALStore struct {
+	path string
+	opts WALOptions
+
+	mu       sync.Mutex
+	f        *os.File
+	dirty    int // appends since last fsync
+	closed   bool
+	replayed bool
+	fault    FaultHook
+
+	// truncatedTail counts torn tail records dropped at Replay; the
+	// manager exports it as jobs.wal.truncated_tail.
+	truncatedTail int
+	appends       int64
+	syncs         int64
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// OpenWAL opens (creating if absent) the JSONL log at path.
+func OpenWAL(path string, opts WALOptions) (*WALStore, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WALStore{path: path, opts: opts, f: f}
+	if opts.SyncInterval > 0 {
+		w.flushStop = make(chan struct{})
+		w.flushDone = make(chan struct{})
+		go w.flushLoop()
+	}
+	return w, nil
+}
+
+// SetFaultHook installs a chaos fault hook (nil uninstalls).
+func (w *WALStore) SetFaultHook(h FaultHook) {
+	w.mu.Lock()
+	w.fault = h
+	w.mu.Unlock()
+}
+
+// flushLoop is the group-commit ticker: an unsynced batch never waits
+// longer than SyncInterval for its fsync.
+func (w *WALStore) flushLoop() {
+	defer close(w.flushDone)
+	t := time.NewTicker(w.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.Sync()
+		}
+	}
+}
+
+func (w *WALStore) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: wal append: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrStoreClosed
+	}
+	if w.fault != nil {
+		if ferr := w.fault("append", rec); ferr != nil {
+			return Transient{ferr}
+		}
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return Transient{fmt.Errorf("jobs: wal append: %w", err)}
+	}
+	w.appends++
+	w.dirty++
+	if w.dirty >= w.opts.SyncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *WALStore) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrStoreClosed
+	}
+	if w.dirty == 0 {
+		return nil
+	}
+	if w.fault != nil {
+		if ferr := w.fault("sync", Record{}); ferr != nil {
+			return Transient{ferr}
+		}
+	}
+	return w.syncLocked()
+}
+
+func (w *WALStore) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		return Transient{fmt.Errorf("jobs: wal sync: %w", err)}
+	}
+	w.dirty = 0
+	w.syncs++
+	return nil
+}
+
+// Replay decodes the log, dropping a torn tail: the valid prefix is
+// every whole line that parses as a Record; anything after the first
+// torn or unparsable line is discarded and the file truncated to the
+// prefix so subsequent appends never concatenate onto a partial record.
+func (w *WALStore) Replay() ([]Record, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil, ErrStoreClosed
+	}
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	valid := 0 // byte length of the valid prefix
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Torn tail: the crash landed mid-write.
+			w.truncatedTail++
+			break
+		}
+		line := data[off : off+nl]
+		var rec Record
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := json.Unmarshal(line, &rec); err != nil {
+				// A corrupt record ends the trustworthy prefix.
+				w.truncatedTail++
+				break
+			}
+			recs = append(recs, rec)
+		}
+		off += nl + 1
+		valid = off
+	}
+	if valid < len(data) {
+		if err := w.f.Truncate(int64(valid)); err != nil {
+			return nil, fmt.Errorf("jobs: wal truncate torn tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(0, 2); err != nil {
+		return nil, err
+	}
+	w.replayed = true
+	return recs, nil
+}
+
+// Compact atomically replaces the log with the snapshot: records are
+// written to a temp file, fsynced, and renamed over the log, then the
+// directory is fsynced so the rename itself survives a crash.
+func (w *WALStore) Compact(snapshot []Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrStoreClosed
+	}
+	tmp := w.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, rec := range snapshot {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		return err
+	}
+	if dir, err := os.Open(filepath.Dir(w.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	old := w.f
+	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return err
+	}
+	w.f = nf
+	w.dirty = 0
+	old.Close()
+	return nil
+}
+
+// TruncatedTail reports how many torn/corrupt tail records Replay
+// dropped.
+func (w *WALStore) TruncatedTail() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.truncatedTail
+}
+
+// Stats reports append/sync totals for observability.
+func (w *WALStore) Stats() (appends, syncs int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends, w.syncs
+}
+
+func (w *WALStore) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	if w.dirty > 0 {
+		w.syncLocked()
+	}
+	w.closed = true
+	err := w.f.Close()
+	w.mu.Unlock()
+	if w.flushStop != nil {
+		close(w.flushStop)
+		<-w.flushDone
+	}
+	return err
+}

@@ -195,16 +195,31 @@ func (l *latencyWindow) p50() float64 {
 	return vals[len(vals)/2]
 }
 
+// retryAfterFallbackSeconds is the Retry-After before any request has
+// completed (cold start): the window is empty, p50-of-nothing carries no
+// signal, so the server advises the shortest honest interval rather than
+// an arbitrary one.
+const retryAfterFallbackSeconds = 1
+
+// retryAfterMaxSeconds caps the advice: even a pathological p50 (a
+// window full of two-minute discovery runs) must not tell clients to go
+// away for minutes — capacity frees per-request, not per-window.
+const retryAfterMaxSeconds = 60
+
 // retryAfterSeconds converts the observed p50 into a whole-second
-// Retry-After value, at least 1.
+// Retry-After value, clamped to [retryAfterFallbackSeconds,
+// retryAfterMaxSeconds]; an empty window yields the fallback.
 func (l *latencyWindow) retryAfterSeconds() int {
 	p := l.p50()
 	if p <= 0 {
-		return 1
+		return retryAfterFallbackSeconds
 	}
 	s := int(math.Ceil(p))
-	if s < 1 {
-		s = 1
+	if s < retryAfterFallbackSeconds {
+		s = retryAfterFallbackSeconds
+	}
+	if s > retryAfterMaxSeconds {
+		s = retryAfterMaxSeconds
 	}
 	return s
 }

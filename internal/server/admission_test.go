@@ -202,3 +202,28 @@ func TestLatencyWindowRetryAfter(t *testing.T) {
 		t.Errorf("retry-after after fast window = %d, want 1", got)
 	}
 }
+
+// TestRetryAfterColdStartAndClamp pins the estimator's degenerate ends:
+// an empty window (cold start — no request has completed yet) yields the
+// documented fallback rather than p50-of-nothing, and a window full of
+// pathologically slow runs is clamped to the maximum.
+func TestRetryAfterColdStartAndClamp(t *testing.T) {
+	var cold latencyWindow
+	if got := cold.retryAfterSeconds(); got != retryAfterFallbackSeconds {
+		t.Errorf("cold-start retry-after = %d, want fallback %d", got, retryAfterFallbackSeconds)
+	}
+
+	var tiny latencyWindow
+	tiny.observe(0.001) // sub-second p50 still rounds up to the minimum
+	if got := tiny.retryAfterSeconds(); got != retryAfterFallbackSeconds {
+		t.Errorf("sub-second retry-after = %d, want %d", got, retryAfterFallbackSeconds)
+	}
+
+	var slow latencyWindow
+	for i := 0; i < 64; i++ {
+		slow.observe(120.0) // two-minute discovery runs
+	}
+	if got := slow.retryAfterSeconds(); got != retryAfterMaxSeconds {
+		t.Errorf("pathological retry-after = %d, want clamp %d", got, retryAfterMaxSeconds)
+	}
+}

@@ -45,6 +45,11 @@ type breakerConfig struct {
 	// up to maxBackoff.
 	backoff    time.Duration
 	maxBackoff time.Duration
+	// jitterSeed seeds the default jitter's private generator (0 =
+	// time-seeded). Chaos and recovery tests pin it so breaker reopen
+	// schedules replay deterministically; the global math/rand state is
+	// never touched either way.
+	jitterSeed uint64
 	now        func() time.Time
 	jitter     func(time.Duration) time.Duration
 }
@@ -63,15 +68,30 @@ func (c breakerConfig) withDefaults() breakerConfig {
 		c.now = time.Now
 	}
 	if c.jitter == nil {
-		c.jitter = func(d time.Duration) time.Duration {
-			if d <= 0 {
-				return d
-			}
-			// Uniform in [0.75d, 1.25d).
-			return d*3/4 + time.Duration(rand.Int64N(int64(d)/2+1))
-		}
+		c.jitter = seededJitter(c.jitterSeed)
 	}
 	return c
+}
+
+// seededJitter builds the default reopen jitter — uniform in
+// [0.75d, 1.25d) — over a private seeded generator (seed 0 =
+// time-seeded). Each breaker owns its own generator, so pinning the seed
+// makes one endpoint's reopen schedule reproducible regardless of what
+// other endpoints (or anything else in the process) draw.
+func seededJitter(seed uint64) func(time.Duration) time.Duration {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	var mu sync.Mutex
+	rng := rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+	return func(d time.Duration) time.Duration {
+		if d <= 0 {
+			return d
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return d*3/4 + time.Duration(rng.Int64N(int64(d)/2+1))
+	}
 }
 
 // breaker shields one endpoint: repeated engine faults (recovered task

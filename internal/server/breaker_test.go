@@ -11,8 +11,8 @@ import (
 // to the identity so open intervals are exact.
 type fakeClock struct{ t time.Time }
 
-func (c *fakeClock) now() time.Time            { return c.t }
-func (c *fakeClock) advance(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *fakeClock) now() time.Time                { return c.t }
+func (c *fakeClock) advance(d time.Duration)       { c.t = c.t.Add(d) }
 func identityJitter(d time.Duration) time.Duration { return d }
 
 func newTestBreaker(threshold int, backoff, maxBackoff time.Duration) (*breaker, *fakeClock) {
@@ -160,5 +160,61 @@ func TestBreakerLateDoneAfterTripIgnored(t *testing.T) {
 	slow(breakerOK) // pre-trip request finishing late must not close it
 	if got := b.snapshotState(); got != breakerOpen {
 		t.Fatalf("state after late OK = %v, want still open", got)
+	}
+}
+
+// TestSeededJitterDeterministic pins the breaker's default jitter to a
+// private seeded generator: the same seed replays the same reopen
+// schedule (what the chaos/recovery suites rely on), every draw stays in
+// the documented [0.75d, 1.25d] band, and the global math/rand state is
+// never consulted.
+func TestSeededJitterDeterministic(t *testing.T) {
+	a := seededJitter(7)
+	b := seededJitter(7)
+	d := 400 * time.Millisecond
+	for i := 0; i < 32; i++ {
+		ja, jb := a(d), b(d)
+		if ja != jb {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, ja, jb)
+		}
+		if ja < d*3/4 || ja > d*5/4 {
+			t.Fatalf("draw %d: jitter %v outside [0.75d, 1.25d] for d=%v", i, ja, d)
+		}
+	}
+	if a(0) != 0 {
+		t.Fatal("jitter of 0 must be 0")
+	}
+
+	// Distinct seeds must not share a schedule.
+	c := seededJitter(8)
+	same := true
+	base := seededJitter(7)
+	for i := 0; i < 16; i++ {
+		if base(d) != c(d) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical jitter schedules")
+	}
+}
+
+// TestBreakerConfigJitterSeedThreaded proves Config.BreakerJitterSeed
+// reaches the breakers: two servers with the same seed open and reopen
+// on identical schedules under a pinned clock.
+func TestBreakerJitterSeedThreaded(t *testing.T) {
+	mkBreaker := func(seed uint64) *breaker {
+		clk := &fakeClock{t: time.Unix(0, 0)}
+		cfg := breakerConfig{threshold: 1, backoff: time.Second,
+			maxBackoff: time.Minute, jitterSeed: seed, now: clk.now}
+		return newBreaker("x", cfg, nil)
+	}
+	b1, b2 := mkBreaker(99), mkBreaker(99)
+	mustAllow(t, b1)(breakerFault)
+	mustAllow(t, b2)(breakerFault)
+	u1 := func(b *breaker) time.Time { b.mu.Lock(); defer b.mu.Unlock(); return b.openUntil }
+	if !u1(b1).Equal(u1(b2)) {
+		t.Fatalf("same seed, different reopen instants: %v vs %v", u1(b1), u1(b2))
 	}
 }

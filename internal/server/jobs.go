@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/engine"
+	"deptree/internal/jobs"
+	"deptree/internal/relation"
+)
+
+// maxJobWait caps a GET /v1/jobs/{id}?wait= long-poll so a client cannot
+// pin a connection indefinitely.
+const maxJobWait = 30 * time.Second
+
+// JobRequest is the body of POST /v1/jobs: one async run of any
+// discoverer, validation or repair. Budget knobs resolve exactly as on
+// the synchronous endpoints and are baked into the job, so a crash-time
+// replay re-runs under the envelope the original admission granted.
+type JobRequest struct {
+	// Kind selects the runner: "discover", "validate" or "repair".
+	Kind string `json:"kind"`
+	// Algo is the registry discoverer name (discover only).
+	Algo string `json:"algo,omitempty"`
+	CSV  string `json:"csv"`
+	// FDs is a ";"-separated list of "lhs1,lhs2->rhs" specs (validate).
+	FDs string `json:"fds,omitempty"`
+	// FD is a single "lhs->rhs" spec (repair).
+	FD string `json:"fd,omitempty"`
+	// MaxErr is the g3 budget for approximate FDs (tane only).
+	MaxErr float64 `json:"maxerr,omitempty"`
+	RunKnobs
+}
+
+// runJob executes one job attempt through the same admission gate and
+// run-and-render path the synchronous endpoints use, so a job's complete
+// result is byte-identical to the equivalent direct request. Admission
+// saturation is a transient error (the manager backs off and retries);
+// malformed specs and run errors are terminal.
+func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+	rel, err := relation.ReadCSVAuto("job", []byte(spec.CSV), relation.Limits{
+		MaxBytes:      s.cfg.MaxInputBytes,
+		MaxRows:       s.cfg.MaxRows,
+		MaxFieldBytes: s.cfg.MaxFieldBytes,
+	})
+	if err != nil {
+		return jobs.Result{}, fmt.Errorf("invalid csv: %w", err)
+	}
+	weight := s.adm.clampWeight(int64(spec.Workers))
+	if err := s.adm.acquire(ctx, weight); err != nil {
+		if errors.Is(err, errSaturated) {
+			return jobs.Result{}, jobs.Transient{Err: err}
+		}
+		// Draining or cancelled: the manager classifies and re-queues.
+		return jobs.Result{}, err
+	}
+	defer s.adm.release(weight)
+
+	p := RunParams{
+		Workers: spec.Workers,
+		Budget: engine.Budget{
+			Timeout:  time.Duration(spec.TimeoutMs) * time.Millisecond,
+			MaxTasks: spec.MaxTasks,
+		},
+		MaxErr: spec.MaxErr,
+		Obs:    s.reg,
+	}
+	switch spec.Kind {
+	case "discover":
+		out, err := RunDiscover(ctx, rel, spec.Algo, p)
+		if err != nil {
+			return jobs.Result{}, err
+		}
+		return jobs.Result{Lines: out.Lines, Partial: out.Partial, Reason: out.Reason}, nil
+	case "validate":
+		fds, err := ParseFDList(rel.Schema(), spec.FDs)
+		if err != nil {
+			return jobs.Result{}, err
+		}
+		out := RunValidate(ctx, rel, fds, p)
+		return jobs.Result{Report: out.Text(), Partial: out.Partial, Reason: out.Reason}, nil
+	case "repair":
+		f, err := ParseFD(rel.Schema(), spec.FD)
+		if err != nil {
+			return jobs.Result{}, err
+		}
+		out, rerr := RunRepair(ctx, rel, []fd.FD{f}, p)
+		if rerr != nil {
+			return jobs.Result{}, rerr
+		}
+		return jobs.Result{CSV: out.CSV, Changes: out.Changes, Partial: out.Partial, Reason: out.Reason}, nil
+	default:
+		return jobs.Result{}, fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}
+
+// jobsOrFail returns the manager or writes the 503 explaining why the
+// job subsystem is down (store failed to open/replay).
+func (s *Server) jobsOrFail(w http.ResponseWriter) *jobs.Manager {
+	if s.jobs != nil {
+		return s.jobs
+	}
+	msg := "job subsystem unavailable"
+	if s.jobsErr != nil {
+		msg += ": " + s.jobsErr.Error()
+	}
+	writeAPIError(w, &apiError{status: http.StatusServiceUnavailable, code: "jobs_unavailable", msg: msg})
+	return nil
+}
+
+func writeJobView(w http.ResponseWriter, status int, v jobs.View) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.jobs.requests").Inc()
+	errCount := s.reg.Counter("server.jobs.errors")
+	fail := func(e *apiError) {
+		errCount.Inc()
+		writeAPIError(w, e)
+	}
+	m := s.jobsOrFail(w)
+	if m == nil {
+		errCount.Inc()
+		return
+	}
+	if s.draining.Load() {
+		fail(&apiError{status: http.StatusServiceUnavailable, code: "draining",
+			msg: "server is draining", retryAfter: s.lat.retryAfterSeconds()})
+		return
+	}
+	var req JobRequest
+	if e := s.decodeBody(w, r, &req); e != nil {
+		fail(e)
+		return
+	}
+	switch req.Kind {
+	case "discover":
+		if !validAlgo[req.Algo] {
+			fail(&apiError{status: http.StatusNotFound, code: "unknown_algo",
+				msg: fmt.Sprintf("unknown algorithm %q (want one of %v)", req.Algo, Algorithms())})
+			return
+		}
+	case "validate", "repair":
+		// Rule specs are parsed below, against the schema.
+	default:
+		fail(&apiError{status: http.StatusBadRequest, code: "invalid_kind",
+			msg: fmt.Sprintf("unknown job kind %q (want discover, validate or repair)", req.Kind)})
+		return
+	}
+	// Malformed input is a terminal submit-time rejection, never a
+	// queued job: parse the CSV (under the server's ingestion limits)
+	// and the rule specs now.
+	rel, e := s.parseCSV("job", req.CSV)
+	if e != nil {
+		fail(e)
+		return
+	}
+	switch req.Kind {
+	case "validate":
+		if _, err := ParseFDList(rel.Schema(), req.FDs); err != nil {
+			fail(&apiError{status: http.StatusBadRequest, code: "invalid_fd", msg: err.Error()})
+			return
+		}
+	case "repair":
+		if _, err := ParseFD(rel.Schema(), req.FD); err != nil {
+			fail(&apiError{status: http.StatusBadRequest, code: "invalid_fd", msg: err.Error()})
+			return
+		}
+	}
+	bs := s.resolveBudget(req.RunKnobs, r.Header)
+	spec := jobs.Spec{
+		Kind: req.Kind, Algo: req.Algo, CSV: req.CSV,
+		FDs: req.FDs, FD: req.FD, MaxErr: req.MaxErr,
+		Workers:   bs.workers,
+		TimeoutMs: bs.timeout.Milliseconds(),
+		MaxTasks:  bs.maxTasks,
+	}
+	v, err := m.Submit(spec, r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			fail(&apiError{status: http.StatusTooManyRequests, code: "jobs_queue_full",
+				msg: "job queue full, retry later", retryAfter: s.lat.retryAfterSeconds()})
+		case errors.Is(err, jobs.ErrDraining):
+			fail(&apiError{status: http.StatusServiceUnavailable, code: "draining",
+				msg: "server is draining", retryAfter: s.lat.retryAfterSeconds()})
+		default:
+			var tr jobs.Transient
+			if errors.As(err, &tr) {
+				fail(&apiError{status: http.StatusServiceUnavailable, code: "store_unavailable",
+					msg: "job store write failed: " + err.Error(), retryAfter: 1})
+				return
+			}
+			fail(&apiError{status: http.StatusBadRequest, code: "invalid_job", msg: err.Error()})
+		}
+		return
+	}
+	// A fresh submission is 202 Accepted; an idempotency or cache hit
+	// that is already terminal answers 200 with the result inline.
+	status := http.StatusAccepted
+	if v.State.Terminal() {
+		status = http.StatusOK
+	}
+	writeJobView(w, status, v)
+}
+
+// parseWait reads the ?wait= long-poll bound: a Go duration ("2s") or a
+// plain number of seconds, clamped to [0, maxJobWait].
+func parseWait(q string) time.Duration {
+	if q == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(q); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if pd, err := time.ParseDuration(q); err == nil {
+		d = pd
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > maxJobWait {
+		d = maxJobWait
+	}
+	return d
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	m := s.jobsOrFail(w)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("id")
+	wait := parseWait(r.URL.Query().Get("wait"))
+	var v jobs.View
+	var ok bool
+	if wait > 0 {
+		v, ok = m.Wait(r.Context(), id, wait)
+	} else {
+		v, ok = m.Get(id)
+	}
+	if !ok {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job",
+			msg: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	if r.URL.Query().Get("format") == "text" && v.State.Terminal() && v.Result != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, v.Result.Text())
+		return
+	}
+	writeJobView(w, http.StatusOK, v)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	m := s.jobsOrFail(w)
+	if m == nil {
+		return
+	}
+	views := m.List()
+	writeJSONBody(w, struct {
+		Count int         `json:"count"`
+		Jobs  []jobs.View `json:"jobs"`
+	}{Count: len(views), Jobs: views})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	m := s.jobsOrFail(w)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("id")
+	v, err := m.Cancel(id)
+	if err != nil {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job",
+			msg: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJobView(w, http.StatusOK, v)
+}

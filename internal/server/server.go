@@ -14,6 +14,7 @@ import (
 
 	"deptree/internal/deps/fd"
 	"deptree/internal/engine"
+	"deptree/internal/jobs"
 	"deptree/internal/obs"
 )
 
@@ -58,6 +59,25 @@ type Config struct {
 	BreakerThreshold  int
 	BreakerBackoff    time.Duration
 	BreakerMaxBackoff time.Duration
+	// BreakerJitterSeed seeds the breakers' reopen jitter (0 =
+	// time-seeded). Chaos and recovery tests pin it so breaker reopen
+	// schedules are deterministic.
+	BreakerJitterSeed uint64
+	// JobStore persists the async job queue (nil = a fresh in-memory
+	// store; `deptool serve -jobs-dir` passes a WAL store so jobs
+	// survive crashes).
+	JobStore jobs.Store
+	// JobQueue bounds the queued-job backlog (default 64); JobRunners
+	// is the number of concurrent job executors (default 2); each
+	// executing job still passes the admission semaphore, so runners
+	// bound queue drain, not engine load.
+	JobQueue   int
+	JobRunners int
+	// JobMaxAttempts / JobRetryBackoff / JobJitterSeed tune the
+	// transient-failure retry loop (see jobs.Config).
+	JobMaxAttempts  int
+	JobRetryBackoff time.Duration
+	JobJitterSeed   uint64
 	// Obs receives every server and engine metric (nil = no-op).
 	Obs *obs.Registry
 
@@ -115,6 +135,9 @@ type Server struct {
 	breakers map[string]*breaker
 	handler  http.Handler
 
+	jobs    *jobs.Manager
+	jobsErr error
+
 	draining   atomic.Bool
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
@@ -144,6 +167,7 @@ func New(cfg Config) *Server {
 		threshold:  cfg.BreakerThreshold,
 		backoff:    cfg.BreakerBackoff,
 		maxBackoff: cfg.BreakerMaxBackoff,
+		jitterSeed: cfg.BreakerJitterSeed,
 		now:        cfg.breakerNow,
 		jitter:     cfg.breakerJitter,
 	}
@@ -151,10 +175,33 @@ func New(cfg Config) *Server {
 		s.breakers[ep] = newBreaker(ep, bcfg, reg)
 	}
 
+	jm, jerr := jobs.New(jobs.Config{
+		Store:        cfg.JobStore,
+		Run:          s.runJob,
+		Queue:        cfg.JobQueue,
+		Runners:      cfg.JobRunners,
+		MaxAttempts:  cfg.JobMaxAttempts,
+		RetryBackoff: cfg.JobRetryBackoff,
+		JitterSeed:   cfg.JobJitterSeed,
+		Obs:          reg,
+	})
+	if jerr != nil {
+		// A corrupt-beyond-replay store must not take the synchronous
+		// endpoints down: the job routes answer 503 and JobsErr surfaces
+		// the cause to the CLI.
+		s.jobsErr = jerr
+	} else {
+		s.jobs = jm
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover/{algo}", s.handleDiscover)
 	mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -186,14 +233,40 @@ func (s *Server) Handler() http.Handler { return s.handler }
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // BeginDrain flips the server into drain mode: readyz answers 503, the
-// admission queue is flushed and closed, and new work is rejected with
-// 503. Idempotent. In-flight requests keep running.
+// job manager drains (running jobs re-queue, their state already durable
+// in the store), the admission queue is flushed and closed, and new work
+// is rejected with 503. Idempotent. In-flight requests keep running.
 func (s *Server) BeginDrain() {
 	if s.draining.CompareAndSwap(false, true) {
 		s.reg.Counter("server.drain.begun").Inc()
+		if s.jobs != nil {
+			// Drain jobs before the admission queue: runners blocked in
+			// admission unblock via their cancelled run contexts and
+			// re-queue, so every queued and running job survives in the
+			// store for the next process to replay.
+			s.jobs.Drain()
+		}
 		s.adm.drain()
 	}
 }
+
+// Close releases the job subsystem: drains its runners and closes the
+// store (syncing the WAL). Run calls it as part of the drain sequence;
+// tests that mount Handler directly call it in cleanup.
+func (s *Server) Close() error {
+	if s.jobs == nil {
+		return nil
+	}
+	return s.jobs.Close()
+}
+
+// Jobs exposes the job manager (nil when the store failed to open) for
+// the CLI and tests.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// JobsErr reports why the job subsystem is unavailable, nil when it is
+// healthy.
+func (s *Server) JobsErr() error { return s.jobsErr }
 
 // Run serves on ln until ctx is cancelled (the SIGTERM path), then
 // executes the drain sequence: BeginDrain, a DrainGrace beat for load
@@ -203,6 +276,7 @@ func (s *Server) BeginDrain() {
 // a clean drain, the drain error when the deadline fired, or the
 // listener error if serving failed first.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	defer s.Close()
 	hs := &http.Server{
 		Handler: s.handler,
 		BaseContext: func(net.Listener) context.Context {

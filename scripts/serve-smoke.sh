@@ -2,29 +2,37 @@
 # End-to-end smoke test for `deptool serve`: boots the server on a local
 # port, exercises health/readiness/metrics, runs one discovery and one
 # validation request, then SIGTERMs and asserts a clean graceful drain
-# (exit 0, listener gone). Run via `make serve-smoke`.
+# (exit 0, listener gone). A second phase boots the server with a
+# durable -jobs-dir, runs a job through `deptool job`, restarts the
+# server over the same WAL and asserts the completed result survives as
+# a cache hit. Run via `make serve-smoke`.
 set -eu
 
 PORT=$((18000 + $$ % 1000))
 BASE="http://127.0.0.1:$PORT"
-BIN="${TMPDIR:-/tmp}/deptool-smoke-$$"
+WORK="${TMPDIR:-/tmp}/deptool-smoke-$$"
+BIN="$WORK/deptool"
 
+mkdir -p "$WORK"
 go build -o "$BIN" ./cmd/deptool
 
 "$BIN" serve -addr "127.0.0.1:$PORT" -drain-timeout 5s -drain-grace 100ms &
 PID=$!
 cleanup() {
     kill "$PID" 2>/dev/null || true
-    rm -f "$BIN"
+    rm -rf "$WORK"
 }
 trap cleanup EXIT
 
-i=0
-until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
-    i=$((i + 1))
-    [ "$i" -lt 50 ] || { echo "serve-smoke: server never came up" >&2; exit 1; }
-    sleep 0.1
-done
+wait_up() {
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 50 ] || { echo "serve-smoke: server never came up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+wait_up
 
 curl -fsS "$BASE/healthz" | grep -q ok
 curl -fsS "$BASE/readyz" | grep -q ready
@@ -54,4 +62,42 @@ if curl -fsS --max-time 2 "$BASE/healthz" >/dev/null 2>&1; then
     echo "serve-smoke: listener still answering after drain" >&2
     exit 1
 fi
+
+# --- Durable jobs phase: submit, restart over the same WAL, cache hit.
+JOBS_DIR="$WORK/jobs"
+CSV="$WORK/smoke.csv"
+printf 'source,name,address,region\ns1,A,addr1,R1\ns1,A,addr1,R1\ns2,B,addr2,R2\ns3,C,addr3,R2\n' > "$CSV"
+
+"$BIN" serve -addr "127.0.0.1:$PORT" -jobs-dir "$JOBS_DIR" \
+    -drain-timeout 5s -drain-grace 100ms &
+PID=$!
+wait_up
+
+# Submit through the CLI and block to the terminal result.
+"$BIN" job submit -addr "$BASE" -in "$CSV" -algo tane -wait > "$WORK/run1.txt"
+[ -s "$WORK/run1.txt" ] || { echo "serve-smoke: job produced no result" >&2; exit 1; }
+"$BIN" job list -addr "$BASE" | grep -q done
+
+# Restart the server over the same WAL: the completed job must replay.
+kill -TERM "$PID"
+wait "$PID" || { echo "serve-smoke: jobs serve exited non-zero" >&2; exit 1; }
+"$BIN" serve -addr "127.0.0.1:$PORT" -jobs-dir "$JOBS_DIR" \
+    -drain-timeout 5s -drain-grace 100ms &
+PID=$!
+wait_up
+
+"$BIN" job list -addr "$BASE" | grep -q done
+
+# Resubmitting the unchanged dataset must be a cache hit with the same
+# bytes, served without recompute (cache-hit counter proof).
+"$BIN" job submit -addr "$BASE" -in "$CSV" -algo tane -wait > "$WORK/run2.txt"
+cmp -s "$WORK/run1.txt" "$WORK/run2.txt" || {
+    echo "serve-smoke: cached result diverges from original run" >&2; exit 1
+}
+curl -fsS "$BASE/metrics" | grep -q '^deptree_jobs_cache_hits_total [1-9]' || {
+    echo "serve-smoke: no cache hit recorded after resubmission" >&2; exit 1
+}
+
+kill -TERM "$PID"
+wait "$PID" || { echo "serve-smoke: final drain exited non-zero" >&2; exit 1; }
 echo "serve-smoke: ok"
