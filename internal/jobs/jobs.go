@@ -16,8 +16,12 @@
 // recovery"):
 //
 //   - transient: panic-isolated task errors (engine.IsPanicReason) and
-//     store/admission faults — retried with jittered exponential
-//     backoff up to MaxAttempts, then terminal failed;
+//     store write faults — retried with jittered exponential backoff up
+//     to MaxAttempts, then terminal failed;
+//   - backpressure: admission saturation — the job waits out the load
+//     spike in the queue with growing (capped) backoff and burns no
+//     retry budget, because a queue that fails jobs under the very load
+//     it exists to absorb is no queue at all;
 //   - terminal: malformed input (rejected at submit), run errors, and
 //     budget exhaustion (deadline/max-tasks → the partial state, which
 //     carries the same deterministic prefix the CLI prints);
@@ -157,9 +161,19 @@ func (r Result) Text() string {
 }
 
 // Transient marks an error as retryable: the manager backs off and
-// re-attempts instead of failing the job terminally. Store write faults
-// and admission saturation wrap themselves in it.
+// re-attempts instead of failing the job terminally, up to MaxAttempts.
+// Store write faults wrap themselves in it.
 type Transient struct{ Err error }
 
 func (t Transient) Error() string { return "transient: " + t.Err.Error() }
 func (t Transient) Unwrap() error { return t.Err }
+
+// Backpressure marks an error as pure load-shedding (admission
+// saturation): the manager re-queues the job and backs off — with a
+// delay that grows while the saturation persists — without counting the
+// attempt against MaxAttempts. A durable job must absorb a load spike,
+// not fail terminally because of one.
+type Backpressure struct{ Err error }
+
+func (b Backpressure) Error() string { return "backpressure: " + b.Err.Error() }
+func (b Backpressure) Unwrap() error { return b.Err }

@@ -233,6 +233,148 @@ func TestPanicReasonIsRetried(t *testing.T) {
 	}
 }
 
+func TestBackpressureDoesNotBurnRetryBudget(t *testing.T) {
+	// Five saturation rounds exceed MaxAttempts=3: the job must still
+	// complete, because admission saturation is backpressure (wait out
+	// the spike in the queue), not a transient fault.
+	var calls atomic.Int64
+	reg := obs.New()
+	cfg := fastCfg(func(ctx context.Context, s Spec) (Result, error) {
+		if calls.Add(1) <= 5 {
+			return Result{}, Backpressure{errors.New("saturated")}
+		}
+		return Result{Lines: []string{"ok"}}, nil
+	})
+	cfg.Obs = reg
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	v, _ := m.Submit(discoverSpec("tane"), "")
+	got := waitState(t, m, v.ID, StateDone)
+	if got.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 (backpressure must not burn retry budget)", got.Retries)
+	}
+	if got.Attempts != 6 {
+		t.Fatalf("attempts = %d, want 6", got.Attempts)
+	}
+	if n := reg.Counter("jobs.backpressure").Value(); n != 5 {
+		t.Fatalf("jobs.backpressure = %d, want 5", n)
+	}
+	if n := reg.Counter("jobs.retries").Value(); n != 0 {
+		t.Fatalf("jobs.retries = %d, want 0", n)
+	}
+}
+
+func TestWakeCoalescingDoesNotStarveIdleRunner(t *testing.T) {
+	// Two near-simultaneous submissions into a pool of idle runners send
+	// two non-blocking wake signals that can coalesce in the 1-buffered
+	// channel. The runner that dequeues the long job must re-arm the
+	// signal, or the short job waits behind it with a runner idle.
+	release := make(chan struct{})
+	m, err := New(fastCfg(func(ctx context.Context, s Spec) (Result, error) {
+		if s.Algo == "slow" {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+		}
+		return Result{Lines: []string{s.Algo}}, nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	for i := 0; i < 10; i++ {
+		csv := fmt.Sprintf("a,b\nrow%d,1\nother%d,2\n", i, i) // fresh fingerprint: no cache hits
+		slow, err := m.Submit(Spec{Kind: "discover", Algo: "slow", CSV: csv}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := m.Submit(Spec{Kind: "discover", Algo: "fast", CSV: csv}, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fast job must finish while the slow one still holds its
+		// runner: a dropped wake leaves it queued until slow completes.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		v, ok := m.Wait(ctx, fast.ID, 10*time.Second)
+		cancel()
+		if !ok || v.State != StateDone {
+			t.Fatalf("iteration %d: fast job state = %s, want done while slow job runs (starved runner)", i, v.State)
+		}
+		release <- struct{}{}
+		waitState(t, m, slow.ID, StateDone)
+	}
+}
+
+func TestCancelRecordRetriedAndSurvivesRestart(t *testing.T) {
+	// The first cancel-record append fails; the manager must retry it so
+	// a restart replays the job as cancelled instead of re-running work
+	// the client was told is cancelled.
+	store := NewMemStore()
+	var failedOnce atomic.Bool
+	store.SetFaultHook(func(op string, rec Record) error {
+		if rec.Type == RecCancel && !failedOnce.Swap(true) {
+			return Transient{errors.New("injected cancel fault")}
+		}
+		return nil
+	})
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	cfg := fastCfg(func(ctx context.Context, s Spec) (Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return Result{Lines: []string{"ok"}}, nil
+		case <-ctx.Done():
+			return Result{Partial: true, Reason: "cancelled"}, nil
+		}
+	})
+	cfg.Store = store
+	cfg.Runners = 1
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocker, _ := m.Submit(discoverSpec("tane"), "")
+	<-started
+	queued, _ := m.Submit(discoverSpec("fastfd"), "")
+	qv, err := m.Cancel(queued.ID)
+	if err != nil || qv.State != StateCancelled {
+		t.Fatalf("cancel queued: %v state=%s", err, qv.State)
+	}
+	if !failedOnce.Load() {
+		t.Fatal("fault hook never fired")
+	}
+	m.Drain()
+
+	var reran atomic.Bool
+	cfg2 := fastCfg(func(ctx context.Context, s Spec) (Result, error) {
+		if s.Algo == "fastfd" {
+			reran.Store(true)
+		}
+		return Result{Lines: []string{"ok"}}, nil
+	})
+	cfg2.Store = store
+	m2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	v, ok := m2.Get(queued.ID)
+	if !ok || v.State != StateCancelled {
+		t.Fatalf("cancelled job after restart = %+v, want cancelled", v)
+	}
+	waitState(t, m2, blocker.ID, StateDone) // the drained blocker re-runs
+	if reran.Load() {
+		t.Fatal("cancelled job re-ran after restart")
+	}
+}
+
 func TestRetriesExhaustedFailsTerminally(t *testing.T) {
 	m, err := New(fastCfg(func(ctx context.Context, s Spec) (Result, error) {
 		return Result{}, Transient{errors.New("always down")}

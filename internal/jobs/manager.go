@@ -156,6 +156,13 @@ type Manager struct {
 	nQueued int
 	closed  bool
 
+	// storeMu serializes store appends against compaction: maybeCompact
+	// snapshots and swaps the log while holding it, so no record can
+	// land in the old file between the snapshot and the rename and be
+	// silently discarded. Lock order is m.mu before storeMu (Submit
+	// appends while holding m.mu); nothing acquires m.mu under storeMu.
+	storeMu sync.Mutex
+
 	draining  chan struct{} // closed when Drain begins
 	drainOnce sync.Once
 	wake      chan struct{} // 1-buffered enqueue signal
@@ -167,7 +174,8 @@ type Manager struct {
 	rng   *rand.Rand
 
 	gQueued, gRunning                            *obs.Gauge
-	cSubmitted, cRetries, cReplayed              *obs.Counter
+	cSubmitted, cRetries, cBackpressure          *obs.Counter
+	cReplayed                                    *obs.Counter
 	cCacheHits, cCacheMisses                     *obs.Counter
 	cDone, cPartial, cFailed, cCancelled         *obs.Counter
 	cWALAppendErrs, cTruncatedTail, cCompactions *obs.Counter
@@ -204,6 +212,7 @@ func New(cfg Config) (*Manager, error) {
 		gRunning:       reg.Gauge("jobs.running"),
 		cSubmitted:     reg.Counter("jobs.submitted"),
 		cRetries:       reg.Counter("jobs.retries"),
+		cBackpressure:  reg.Counter("jobs.backpressure"),
 		cReplayed:      reg.Counter("jobs.replayed"),
 		cCacheHits:     reg.Counter("jobs.cache.hits"),
 		cCacheMisses:   reg.Counter("jobs.cache.misses"),
@@ -343,7 +352,7 @@ func (m *Manager) Submit(spec Spec, idemKey string) (View, error) {
 			{Type: RecResult, ID: j.id, State: StateDone, Result: cached},
 		}
 		for _, rec := range recs {
-			if err := m.store.Append(rec); err != nil {
+			if err := m.append(rec); err != nil {
 				m.cWALAppendErrs.Inc()
 			} else {
 				m.appends++
@@ -367,7 +376,7 @@ func (m *Manager) Submit(spec Spec, idemKey string) (View, error) {
 	// Persist before exposing: a crash between the append and the
 	// enqueue replays the job from the submit record. The store append
 	// happens under m.mu so the job is never visible half-registered.
-	if err := m.store.Append(rec); err != nil {
+	if err := m.append(rec); err != nil {
 		delete(m.jobs, j.id)
 		if idemKey != "" {
 			delete(m.byIdem, idemKey)
@@ -477,12 +486,10 @@ func (m *Manager) Cancel(id string) (View, error) {
 		return v, nil
 	}
 	j.cancelRequested = true
-	rec := Record{Type: RecCancel, ID: j.id}
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		m.nQueued--
 		m.gQueued.Set(int64(m.nQueued))
-		m.appends++
 		close(j.done)
 		m.cCancelled.Inc()
 	} else if j.cancelRun != nil {
@@ -490,9 +497,12 @@ func (m *Manager) Cancel(id string) (View, error) {
 	}
 	v := j.view()
 	m.mu.Unlock()
-	if err := m.store.Append(rec); err != nil {
-		m.cWALAppendErrs.Inc()
-	}
+	// The cancel record is what keeps the cancellation across a restart
+	// (without it the job replays as queued and re-runs work the client
+	// was told is cancelled), so transient store faults are retried like
+	// finalize retries the result record. State was updated first, so a
+	// concurrent compaction snapshot carries the cancellation itself.
+	m.appendRetried(Record{Type: RecCancel, ID: j.id})
 	return v, nil
 }
 
@@ -522,6 +532,16 @@ func (m *Manager) dequeue() *job {
 			m.fifo = m.fifo[1:]
 			if j.state != StateQueued {
 				continue // cancelled while queued
+			}
+			// Submit's wake sends are non-blocking into a 1-buffered
+			// channel, so two near-simultaneous submissions can coalesce
+			// into one signal. Re-arm it when work remains, or an idle
+			// runner sleeps while a queued job waits behind this one.
+			if len(m.fifo) > 0 {
+				select {
+				case m.wake <- struct{}{}:
+				default:
+				}
 			}
 			m.mu.Unlock()
 			return j
@@ -561,6 +581,7 @@ const (
 	actCancelled
 	actRequeue // drain interrupted: back to queued, replayed next boot
 	actRetry   // transient: backoff and re-attempt
+	actBackoff // backpressure: backoff and re-attempt, no retry budget
 )
 
 func (m *Manager) classify(j *job, res Result, runErr error) (action, string) {
@@ -573,6 +594,10 @@ func (m *Manager) classify(j *job, res Result, runErr error) (action, string) {
 	if runErr != nil {
 		if m.isDraining() {
 			return actRequeue, ""
+		}
+		var bp Backpressure
+		if errors.As(runErr, &bp) {
+			return actBackoff, runErr.Error()
 		}
 		var tr Transient
 		if errors.As(runErr, &tr) {
@@ -601,6 +626,7 @@ func (m *Manager) classify(j *job, res Result, runErr error) (action, string) {
 // runJob executes one job to a terminal state (or requeues it under
 // drain), retrying transient failures with jittered backoff.
 func (m *Manager) runJob(j *job) {
+	stalls := 0 // consecutive backpressure rounds, sizes actBackoff's delay
 	for {
 		m.mu.Lock()
 		if j.state != StateQueued {
@@ -620,7 +646,7 @@ func (m *Manager) runJob(j *job) {
 		m.hQueueSec.Observe(wait)
 
 		var res Result
-		runErr := m.store.Append(Record{Type: RecStart, ID: j.id, Attempt: attempt})
+		runErr := m.append(Record{Type: RecStart, ID: j.id, Attempt: attempt})
 		if runErr == nil {
 			m.bumpAppends(1)
 			start := time.Now()
@@ -665,52 +691,61 @@ func (m *Manager) runJob(j *job) {
 				return
 			}
 			m.cRetries.Inc()
-			if err := m.store.Append(Record{Type: RecRetry, ID: j.id, Attempt: k, Reason: reason}); err != nil {
+			if err := m.append(Record{Type: RecRetry, ID: j.id, Attempt: k, Reason: reason}); err != nil {
 				m.cWALAppendErrs.Inc()
 			} else {
 				m.bumpAppends(1)
 			}
-			// Back to queued for the backoff window: Cancel can reach it,
-			// and a drain during the sleep leaves it queued for the next
-			// process to replay. This runner retains ownership — the job
-			// is not on the fifo.
-			m.mu.Lock()
-			j.state = StateQueued
-			j.enqueuedAt = time.Now()
-			m.nQueued++
-			m.gQueued.Set(int64(m.nQueued))
-			m.mu.Unlock()
-			t := time.NewTimer(m.backoff(k))
-			select {
-			case <-t.C:
-			case <-m.runCtx.Done():
-			}
-			t.Stop()
-			if m.isDraining() {
+			if !m.requeueAndSleep(j, k) {
 				return
 			}
-			// Loop head re-takes the job (state check + nQueued--).
+		case actBackoff:
+			// Admission saturation: the queue is meant to absorb exactly
+			// this load spike, so the attempt burns no retry budget and
+			// writes no retry record — the job just waits out the spike
+			// with a delay that grows while saturation persists (capped
+			// at RetryMaxBackoff).
+			stalls++
+			m.cBackpressure.Inc()
+			if !m.requeueAndSleep(j, stalls) {
+				return
+			}
 		}
 	}
+}
+
+// requeueAndSleep parks j back in the queued state for the k-th backoff
+// window and sleeps it out. Queued, Cancel can reach the job, and a
+// drain during the sleep leaves it queued for the next process to
+// replay; this runner retains ownership — the job is not on the fifo.
+// It reports false when drain began and the runner must exit.
+func (m *Manager) requeueAndSleep(j *job, k int) bool {
+	m.mu.Lock()
+	j.state = StateQueued
+	j.enqueuedAt = time.Now()
+	m.nQueued++
+	m.gQueued.Set(int64(m.nQueued))
+	m.mu.Unlock()
+	t := time.NewTimer(m.backoff(k))
+	select {
+	case <-t.C:
+	case <-m.runCtx.Done():
+	}
+	t.Stop()
+	// On true, runJob's loop head re-takes the job (state check +
+	// nQueued--).
+	return !m.isDraining()
 }
 
 // finalize records a terminal transition, closes waiters, feeds the
 // cache and maybe compacts the store.
 func (m *Manager) finalize(j *job, state State, res *Result, reason string) {
-	rec := Record{Type: RecResult, ID: j.id, State: state, Result: res, Reason: reason}
-	// The result record is the durability point: retry the append a few
-	// times (transient store faults heal), then fall back to in-memory
-	// state — the job re-runs after a crash, which is safe because runs
-	// are deterministic.
-	var appendErr error
-	for i := 0; i < 3; i++ {
-		if appendErr = m.store.Append(rec); appendErr == nil {
-			m.bumpAppends(1)
-			break
-		}
-		m.cWALAppendErrs.Inc()
-		time.Sleep(m.backoff(i + 1))
-	}
+	// In-memory state first, record second: once the state is set, any
+	// concurrent compaction snapshot emits this terminal transition
+	// itself, so the result record can never exist only in the file a
+	// compaction rename discards. (If the append also lands before the
+	// snapshot the replay fold drops the duplicate — a result record on
+	// an already-terminal job is a no-op.)
 	m.mu.Lock()
 	j.state = state
 	j.result = res
@@ -720,6 +755,11 @@ func (m *Manager) finalize(j *job, state State, res *Result, reason string) {
 	}
 	close(j.done)
 	m.mu.Unlock()
+	// The result record is the durability point: retry the append a few
+	// times (transient store faults heal), then fall back to in-memory
+	// state — the job re-runs after a crash, which is safe because runs
+	// are deterministic.
+	m.appendRetried(Record{Type: RecResult, ID: j.id, State: state, Result: res, Reason: reason})
 	switch state {
 	case StateDone:
 		m.cDone.Inc()
@@ -731,6 +771,37 @@ func (m *Manager) finalize(j *job, state State, res *Result, reason string) {
 		m.cCancelled.Inc()
 	}
 	m.maybeCompact()
+}
+
+// append writes one record through the store under storeMu, so a record
+// is never appended between maybeCompact's snapshot and the log swap:
+// it either precedes the snapshot (and its state transition, applied
+// before any append, is folded into it) or lands in the fresh log.
+// Callers may hold m.mu; append never acquires it.
+func (m *Manager) append(rec Record) error {
+	m.storeMu.Lock()
+	defer m.storeMu.Unlock()
+	return m.store.Append(rec)
+}
+
+// appendRetried appends rec, retrying transient store faults with the
+// same jittered backoff schedule attempts use, and maintains the
+// append/error counters. It reports whether the record became durable;
+// on false the in-memory state stands alone until the next record for
+// the job (or is lost at crash, which replays the job — safe, because
+// runs are deterministic).
+func (m *Manager) appendRetried(rec Record) bool {
+	for i := 0; ; i++ {
+		if err := m.append(rec); err == nil {
+			m.bumpAppends(1)
+			return true
+		}
+		m.cWALAppendErrs.Inc()
+		if i >= 2 {
+			return false
+		}
+		time.Sleep(m.backoff(i + 1))
+	}
 }
 
 // bumpAppends counts store appends toward the compaction threshold.
@@ -753,10 +824,17 @@ func (m *Manager) maybeCompact() {
 		m.mu.Unlock()
 		return
 	}
+	// Snapshot and swap under storeMu: an append racing this compaction
+	// blocks in append() until the rename finishes and then lands in the
+	// fresh log, instead of in the file the rename just discarded. m.mu
+	// is released before the (slow) rewrite so only appenders wait.
+	m.storeMu.Lock()
 	snapshot := m.snapshotLocked()
 	m.appends = 0
 	m.mu.Unlock()
-	if err := m.store.Compact(snapshot); err == nil {
+	err := m.store.Compact(snapshot)
+	m.storeMu.Unlock()
+	if err == nil {
 		m.cCompactions.Inc()
 	}
 }
@@ -775,6 +853,11 @@ func (m *Manager) snapshotLocked() []Record {
 		}
 		if j.retries > 0 {
 			out = append(out, Record{Type: RecRetry, ID: j.id, Attempt: j.retries})
+		}
+		if j.cancelRequested && !j.state.Terminal() {
+			// A cancel whose record may still be in flight: carry the
+			// request so a replay cancels instead of re-running.
+			out = append(out, Record{Type: RecCancel, ID: j.id})
 		}
 		if j.state.Terminal() {
 			out = append(out, Record{Type: RecResult, ID: j.id, State: j.state, Result: j.result, Reason: j.reason})

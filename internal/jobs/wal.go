@@ -3,6 +3,7 @@ package jobs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -61,13 +62,20 @@ type WALStore struct {
 	flushDone chan struct{}
 }
 
-// OpenWAL opens (creating if absent) the JSONL log at path.
+// ErrNotReplayed is returned by Append before Replay has run: until the
+// log's torn tail (if any) is truncated, an append could concatenate
+// onto a partial record and destroy both.
+var ErrNotReplayed = errors.New("jobs: wal append before replay")
+
+// OpenWAL opens (creating if absent) the JSONL log at path. The file is
+// opened O_APPEND so every write lands at the current end regardless of
+// any seek position — a caller can never overwrite the log prefix.
 func OpenWAL(path string, opts WALOptions) (*WALStore, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -113,6 +121,9 @@ func (w *WALStore) Append(rec Record) error {
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrStoreClosed
+	}
+	if !w.replayed {
+		return ErrNotReplayed
 	}
 	if w.fault != nil {
 		if ferr := w.fault("append", rec); ferr != nil {
@@ -197,9 +208,6 @@ func (w *WALStore) Replay() ([]Record, error) {
 			return nil, fmt.Errorf("jobs: wal truncate torn tail: %w", err)
 		}
 	}
-	if _, err := w.f.Seek(0, 2); err != nil {
-		return nil, err
-	}
 	w.replayed = true
 	return recs, nil
 }
@@ -247,12 +255,8 @@ func (w *WALStore) Compact(snapshot []Record) error {
 		dir.Close()
 	}
 	old := w.f
-	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
-		return err
-	}
-	if _, err := nf.Seek(0, 2); err != nil {
-		nf.Close()
 		return err
 	}
 	w.f = nf

@@ -3,9 +3,11 @@ package jobs
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -223,6 +225,97 @@ func TestWALCompactReplacesHistory(t *testing.T) {
 	}
 	if _, err := os.Stat(path + ".compact"); !errors.Is(err, os.ErrNotExist) {
 		t.Fatal("compact temp file left behind")
+	}
+}
+
+func TestWALAppendBeforeReplayRejected(t *testing.T) {
+	// Until Replay truncates a possible torn tail, an append could
+	// concatenate onto a partial record and destroy both.
+	w, _ := openTestWAL(t, WALOptions{SyncEvery: 1, SyncInterval: -1})
+	if err := w.Append(submitRec("j", 1)); !errors.Is(err, ErrNotReplayed) {
+		t.Fatalf("append before replay = %v, want ErrNotReplayed", err)
+	}
+	if _, err := w.Replay(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(submitRec("j", 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionConcurrentSubmitsSurviveRestart(t *testing.T) {
+	// Submissions racing aggressive compaction: every acknowledged job
+	// ID must replay after a restart. A submit record appended between
+	// the compaction snapshot and the log rename would be discarded with
+	// the old file, turning a 202-acknowledged ID into a 404.
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	w, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg(func(ctx context.Context, s Spec) (Result, error) {
+		return Result{Lines: []string{"ok"}}, nil
+	})
+	cfg.Store = w
+	cfg.CompactEvery = 2 // compact near-constantly while submissions land
+	cfg.Runners = 8      // many concurrent finalize appends contend with compaction
+	cfg.Queue = 512
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groups, perGroup = 8, 25
+	ids := make([][]string, groups)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perGroup; i++ {
+				csv := fmt.Sprintf("a,b\ng%d-%d,1\nx,2\n", g, i) // fresh fingerprint each
+				v, err := m.Submit(Spec{Kind: "discover", Algo: "tane", CSV: csv}, "")
+				if err != nil {
+					t.Errorf("submit g%d-%d: %v", g, i, err)
+					return
+				}
+				ids[g] = append(ids[g], v.ID)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, group := range ids {
+		for _, id := range group {
+			waitState(t, m, id, StateDone)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := fastCfg(func(ctx context.Context, s Spec) (Result, error) {
+		t.Error("recompute after restart: a finished job lost its result record")
+		return Result{}, nil
+	})
+	cfg2.Store = w2
+	m2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	for _, group := range ids {
+		for _, id := range group {
+			v, ok := m2.Get(id)
+			if !ok {
+				t.Fatalf("job %s was acknowledged but is unknown after compaction + restart", id)
+			}
+			if v.State != StateDone {
+				t.Fatalf("job %s replayed as %s, want done", id, v.State)
+			}
+		}
 	}
 }
 

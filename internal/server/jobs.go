@@ -41,8 +41,9 @@ type JobRequest struct {
 // runJob executes one job attempt through the same admission gate and
 // run-and-render path the synchronous endpoints use, so a job's complete
 // result is byte-identical to the equivalent direct request. Admission
-// saturation is a transient error (the manager backs off and retries);
-// malformed specs and run errors are terminal.
+// saturation is backpressure (the manager re-queues with growing backoff
+// and never burns retry budget — the queue exists to absorb exactly that
+// spike); malformed specs and run errors are terminal.
 func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
 	rel, err := relation.ReadCSVAuto("job", []byte(spec.CSV), relation.Limits{
 		MaxBytes:      s.cfg.MaxInputBytes,
@@ -55,7 +56,7 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (jobs.Result, error
 	weight := s.adm.clampWeight(int64(spec.Workers))
 	if err := s.adm.acquire(ctx, weight); err != nil {
 		if errors.Is(err, errSaturated) {
-			return jobs.Result{}, jobs.Transient{Err: err}
+			return jobs.Result{}, jobs.Backpressure{Err: err}
 		}
 		// Draining or cancelled: the manager classifies and re-queues.
 		return jobs.Result{}, err
