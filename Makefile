@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos recover fuzz bench benchdiff serve-smoke verify
+.PHONY: build test race chaos recover fuzz bench benchdiff bench-large serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -36,12 +36,14 @@ recover:
 # Short fuzz passes: the CSV codec round trip, the CSR partition product
 # vs the retained map-based oracle, the server's request decoder across
 # every registered discover route (malformed bodies must always be
-# structured 4xx, never a panic), and the CFD pattern-tableau parser.
+# structured 4xx, never a panic), the CFD pattern-tableau parser, and
+# the set-based OD core against the retained pairwise oracle.
 fuzz:
 	$(GO) test -run=X -fuzz=FuzzCSVRoundTrip -fuzztime=30s ./internal/relation/
 	$(GO) test -run=X -fuzz=FuzzProductEquivalence -fuzztime=30s ./internal/partition/
 	$(GO) test -run=X -fuzz=FuzzDiscoverRequest -fuzztime=30s ./internal/server/
 	$(GO) test -run=X -fuzz=FuzzParseTableau -fuzztime=30s ./internal/discovery/cfddisc/
+	$(GO) test -run=X -fuzz=FuzzSetODAgainstPairwise -fuzztime=30s ./internal/discovery/oddisc/
 
 # Boots `deptool serve` on a real socket, exercises health/readiness/
 # metrics/discover/validate plus a malformed-body rejection, then
@@ -62,5 +64,15 @@ bench:
 # against the previous in-tree benchmark report.
 benchdiff:
 	$(GO) run ./cmd/benchjson -diff -old BENCH_3.json -new BENCH_4.json
+
+# Million-row pass (opt-in; several GB of relation data, minutes of
+# wall-clock): the set-based OD core vs the pairwise oracle, full-mode
+# vs sample-then-verify discovery, and the budget-vs-sampling claim,
+# plus the partiality pin test. Results land in BENCH_8.json and the
+# alloc diff is reported against the standard pass's BENCH_4.json.
+bench-large:
+	DEPTREE_BENCH_LARGE=1 $(GO) test -run 'TestLarge' -bench 'BenchmarkLarge' -benchmem -benchtime=1x . > BENCH_8.txt
+	$(GO) run ./cmd/benchjson -in BENCH_8.txt -out BENCH_8.json
+	$(GO) run ./cmd/benchjson -diff -old BENCH_4.json -new BENCH_8.json
 
 verify: build test race

@@ -132,6 +132,8 @@ func cmdJobSubmit(args []string) error {
 	fds := fs.String("fds", "", "FDs as lhs1,lhs2->rhs, ;-separated (validate)")
 	fdSpec := fs.String("fd", "", "FD as lhs->rhs (repair)")
 	maxErr := fs.Float64("maxerr", 0, "g3 budget for approximate FDs (tane)")
+	sampleRows := fs.Int("sample-rows", 0, "sample-then-verify: mine candidates on this many rows, verify on the full relation (0 = full; discover with tane, fastfd, od, lexod)")
+	sampleSeed := fs.Int64("sample-seed", 1, "seed for the deterministic -sample-rows row sample")
 	workers := fs.Int("workers", 0, "requested workers (0 = server default)")
 	timeout := fs.Duration("timeout", 0, "requested wall-clock budget (0 = server default)")
 	maxTasks := fs.Int64("max-tasks", 0, "requested task budget (0 = server default)")
@@ -154,6 +156,9 @@ func cmdJobSubmit(args []string) error {
 			TimeoutMs: timeout.Milliseconds(),
 			MaxTasks:  *maxTasks,
 		},
+	}
+	if *sampleRows > 0 {
+		req.SampleRows, req.SampleSeed = *sampleRows, *sampleSeed
 	}
 	if *kind == "discover" {
 		req.Algo = *algo

@@ -208,6 +208,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   deptool report (table2|table3|tree|pubs|timeline|fig3|dot|verify)
   deptool discover -in data.csv [-algo name] [-maxerr e] [-workers N] [-timeout d] [-max-tasks n]
+                   [-sample-rows k] [-sample-seed s]
                    (algos: `+strings.Join(server.Algorithms(), "|")+`)
   deptool validate -in data.csv -fd "lhs1,lhs2->rhs" [-workers N] [-timeout d] [-max-tasks n]
   deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
@@ -218,7 +219,8 @@ func usage() {
                    [-jobs-dir dir] [-job-runners n] [-job-queue n] [-job-max-attempts n]
   deptool job      (submit|status|wait|cancel|list) [-addr url] [-id jobID] ...
                    submit: -in data.csv [-kind discover|validate|repair] [-algo name]
-                   [-fds specs] [-fd spec] [-maxerr e] [-idempotency-key k] [-wait]
+                   [-fds specs] [-fd spec] [-maxerr e] [-sample-rows k] [-sample-seed s]
+                   [-idempotency-key k] [-wait]
 
 discover, validate, repair and profile also take:
   -max-input-mb m           reject input CSVs larger than m MiB
@@ -298,6 +300,8 @@ func cmdDiscover(args []string) error {
 	workers := fs.Int("workers", runtime.NumCPU(), "parallel workers (1 = sequential); output is identical either way")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = unlimited); on expiry the completed prefix is printed with a PARTIAL marker and the exit code is 2")
 	maxTasks := fs.Int64("max-tasks", 0, "task-execution budget (0 = unlimited); truncation is deterministic for any -workers value")
+	sampleRows := fs.Int("sample-rows", 0, "sample-then-verify: mine candidates on this many rows, verify each on the full relation (0 = full-relation discovery; tane, fastfd, od, lexod only)")
+	sampleSeed := fs.Int64("sample-seed", 1, "seed for the deterministic -sample-rows row sample")
 	maxInputMB := addInputLimitFlag(fs)
 	ob := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -315,14 +319,16 @@ func cmdDiscover(args []string) error {
 		return err
 	}
 	out, err := server.RunDiscover(rootCtx, r, *algo, server.RunParams{
-		Workers: *workers,
-		Budget:  engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
-		MaxErr:  *maxErr,
-		Obs:     reg,
+		Workers:    *workers,
+		Budget:     engine.Budget{Timeout: *timeout, MaxTasks: *maxTasks},
+		MaxErr:     *maxErr,
+		SampleRows: *sampleRows,
+		SampleSeed: *sampleSeed,
+		Obs:        reg,
 	})
 	if err != nil {
 		finishObs(obsDone, nil)
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		return err
 	}
 	fmt.Print(out.Text())
 	var runErr error

@@ -13,7 +13,9 @@ import (
 	"fmt"
 
 	"deptree/internal/deps/dd"
+	"deptree/internal/deps/fd"
 	"deptree/internal/deps/ned"
+	"deptree/internal/deps/od"
 	"deptree/internal/discovery/cddisc"
 	"deptree/internal/discovery/cfddisc"
 	"deptree/internal/discovery/cords"
@@ -26,11 +28,13 @@ import (
 	"deptree/internal/discovery/nedisc"
 	"deptree/internal/discovery/oddisc"
 	"deptree/internal/discovery/pfddisc"
+	"deptree/internal/discovery/sampling"
 	"deptree/internal/discovery/sddisc"
 	"deptree/internal/discovery/tane"
 	"deptree/internal/engine"
 	"deptree/internal/metric"
 	"deptree/internal/obs"
+	"deptree/internal/partition"
 	"deptree/internal/relation"
 )
 
@@ -44,8 +48,44 @@ type RunOptions struct {
 	Budget engine.Budget
 	// MaxErr is the g3 budget for approximate FDs (tane only).
 	MaxErr float64
+	// SampleRows > 0 selects sample-then-verify mode on discoverers with
+	// Sampling: candidates are mined on a deterministic SampleRows-row
+	// sample and only those verified exactly on the full relation are
+	// emitted. Discoverers without Sampling ignore the knobs; callers
+	// (server, CLI) reject the combination up front with a typed error.
+	SampleRows int
+	// SampleSeed seeds the deterministic sample permutation.
+	SampleSeed int64
 	// Obs optionally receives the run's metrics; nil is a no-op.
 	Obs *obs.Registry
+}
+
+// samplingOptions maps the run knobs to the sampling driver's options.
+func samplingOptions(o RunOptions) sampling.Options {
+	return sampling.Options{
+		Rows: o.SampleRows, Seed: o.SampleSeed,
+		Workers: o.Workers, Budget: o.Budget, Obs: o.Obs,
+	}
+}
+
+// fdVerifier builds the exact-verification predicate sampled FD
+// discovery applies to each candidate — the same validity criterion tane
+// uses per lattice level: exact partition refinement, or g3 within the
+// error budget. All verifications share one partition cache over the
+// full relation, so each attribute set is hashed from row values at most
+// once and multi-attribute partitions come from cached products; without
+// the cache every verified FD would rebuild its partitions from scratch,
+// which at a million rows costs more than full-mode discovery.
+func fdVerifier(r *relation.Relation, maxErr float64) func(fd.FD) bool {
+	cache := engine.NewPartitionCache(r, 0)
+	return func(f fd.FD) bool {
+		px := cache.Get(f.LHS)
+		if maxErr > 0 {
+			codes, _ := r.GroupCodes(f.RHS.Cols())
+			return px.G3(codes) <= maxErr
+		}
+		return partition.Refines(px, cache.Get(f.LHS.Union(f.RHS)))
+	}
 }
 
 // Output is one discovery run rendered as the CLI renders it: one
@@ -70,6 +110,10 @@ type Algo struct {
 	Class string
 	// Doc is a one-line description for the README endpoint table.
 	Doc string
+	// Sampling marks discoverers that honor RunOptions.SampleRows with
+	// the sample-then-verify driver. Call sites reject sample knobs on
+	// discoverers without it.
+	Sampling bool
 	// Run executes the discoverer over the relation under the options.
 	// Lines are deterministic for any worker count, including under a
 	// MaxTasks budget.
@@ -98,7 +142,17 @@ var algos = []Algo{
 	{
 		Name: "tane", Class: "FD",
 		Doc: "TANE partition-based (approximate) FD discovery",
+		Sampling: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			if o.SampleRows > 0 {
+				res := sampling.Run(ctx, r, samplingOptions(o),
+					func(ctx context.Context, s *relation.Relation) ([]fd.FD, bool, string) {
+						dr := tane.DiscoverContext(ctx, s, tane.Options{MaxError: o.MaxErr, Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+						return dr.FDs, dr.Partial, dr.Reason
+					},
+					fdVerifier(r, o.MaxErr))
+				return render(res.Verified, res.Partial, res.Reason)
+			}
 			res := tane.DiscoverContext(ctx, r, tane.Options{MaxError: o.MaxErr, Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
 			return render(res.FDs, res.Partial, res.Reason)
 		},
@@ -106,7 +160,17 @@ var algos = []Algo{
 	{
 		Name: "fastfd", Class: "FD",
 		Doc: "FastFD difference-set FD discovery",
+		Sampling: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			if o.SampleRows > 0 {
+				res := sampling.Run(ctx, r, samplingOptions(o),
+					func(ctx context.Context, s *relation.Relation) ([]fd.FD, bool, string) {
+						dr := fastfd.DiscoverContext(ctx, s, fastfd.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+						return dr.FDs, dr.Partial, dr.Reason
+					},
+					fdVerifier(r, 0))
+				return render(res.Verified, res.Partial, res.Reason)
+			}
 			res := fastfd.DiscoverContext(ctx, r, fastfd.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
 			return render(res.FDs, res.Partial, res.Reason)
 		},
@@ -130,7 +194,22 @@ var algos = []Algo{
 	{
 		Name: "od", Class: "OD",
 		Doc: "Set-based order dependency discovery (minimal ODs)",
+		Sampling: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			if o.SampleRows > 0 {
+				// One set-based verifier over the full relation: per-column
+				// rank arrays are built once, each candidate check is a
+				// linear scan. Minimality is re-derived over the verified
+				// set, since verification can thin the transitive structure.
+				verifier := oddisc.NewVerifier(r)
+				res := sampling.Run(ctx, r, samplingOptions(o),
+					func(ctx context.Context, s *relation.Relation) ([]od.OD, bool, string) {
+						dr := oddisc.DiscoverContext(ctx, s, oddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+						return dr.ODs, dr.Partial, dr.Reason
+					},
+					verifier.Holds)
+				return render(oddisc.Minimal(res.Verified), res.Partial, res.Reason)
+			}
 			res := oddisc.DiscoverContext(ctx, r, oddisc.Options{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
 			return render(oddisc.Minimal(res.ODs), res.Partial, res.Reason)
 		},
@@ -138,7 +217,17 @@ var algos = []Algo{
 	{
 		Name: "lexod", Class: "OD",
 		Doc: "Lexicographic order dependency discovery",
+		Sampling: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
+			if o.SampleRows > 0 {
+				res := sampling.Run(ctx, r, samplingOptions(o),
+					func(ctx context.Context, s *relation.Relation) ([]od.LexOD, bool, string) {
+						dr := oddisc.DiscoverLexContext(ctx, s, oddisc.LexOptions{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
+						return dr.ODs, dr.Partial, dr.Reason
+					},
+					func(c od.LexOD) bool { return c.Holds(r) })
+				return render(res.Verified, res.Partial, res.Reason)
+			}
 			res := oddisc.DiscoverLexContext(ctx, r, oddisc.LexOptions{Workers: o.Workers, Budget: o.Budget, Obs: o.Obs})
 			return render(res.ODs, res.Partial, res.Reason)
 		},

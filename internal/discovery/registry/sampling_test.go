@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"deptree/internal/deps/fd"
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+// samplingAlgos returns the registered discoverers that support
+// sample-then-verify mode.
+func samplingAlgos(t *testing.T) []Algo {
+	t.Helper()
+	var out []Algo
+	for _, a := range All() {
+		if a.Sampling {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no sampling-capable discoverers registered")
+	}
+	return out
+}
+
+func lineSet(lines []string) map[string]bool {
+	m := make(map[string]bool, len(lines))
+	for _, l := range lines {
+		m[l] = true
+	}
+	return m
+}
+
+// samplingCorpora are the seeded generator relations the differential
+// suite runs over: categorical shapes (FD-rich), a planted FD with
+// noise, a monotone series (OD-rich) and the paper's running example.
+func samplingCorpora() map[string]*relation.Relation {
+	return map[string]*relation.Relation{
+		"table7":      gen.Table7(),
+		"categorical": gen.Categorical(300, []int{8, 5, 3}, 11),
+		"withfd":      gen.WithFD(250, []int{10, 6}, 0.1, 5),
+		"series":      gen.Series(200, -5, 10, 0.2, 7),
+	}
+}
+
+// TestSamplingExpectedAlgos pins the sampling-capable set: exactly the
+// four discoverers whose dependency classes admit exact full-relation
+// verification through the counting/order machinery.
+func TestSamplingExpectedAlgos(t *testing.T) {
+	want := map[string]bool{"tane": true, "fastfd": true, "od": true, "lexod": true}
+	got := map[string]bool{}
+	for _, a := range samplingAlgos(t) {
+		got[a.Name] = true
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sampling-capable set = %v, want %v", got, want)
+	}
+}
+
+// TestSampleModeNeverEmitsUnverified is the core one-sided guarantee:
+// for every sampling-capable discoverer and corpus, every line emitted
+// in sample mode also appears in the full-relation run's output. (The
+// converse — sample mode may miss dependencies — is permitted.)
+func TestSampleModeNeverEmitsUnverified(t *testing.T) {
+	for name, r := range samplingCorpora() {
+		for _, a := range samplingAlgos(t) {
+			full := a.Run(context.Background(), r, RunOptions{Workers: 2})
+			if full.Partial {
+				t.Fatalf("%s/%s: full run unexpectedly partial: %s", a.Name, name, full.Reason)
+			}
+			fullSet := lineSet(full.Lines)
+			for _, sampleRows := range []int{r.Rows() / 10, r.Rows() / 3, r.Rows() - 1} {
+				if sampleRows < 2 {
+					continue
+				}
+				got := a.Run(context.Background(), r, RunOptions{
+					Workers: 2, SampleRows: sampleRows, SampleSeed: 42,
+				})
+				if got.Partial {
+					t.Fatalf("%s/%s rows=%d: sample run unexpectedly partial: %s",
+						a.Name, name, sampleRows, got.Reason)
+				}
+				for _, line := range got.Lines {
+					if !fullSet[line] {
+						t.Fatalf("%s/%s rows=%d: sample mode emitted %q, absent from full output %v",
+							a.Name, name, sampleRows, line, full.Lines)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSampleModeODExact pins the stronger guarantee for the pairwise-OD
+// discoverer: its candidate space is fixed (every single-attribute pair,
+// both polarities), so verified sample-mode output is EXACTLY the full
+// run's output — sampling can only propose a superset of the valid ODs,
+// and verification trims it back to equality.
+func TestSampleModeODExact(t *testing.T) {
+	a, ok := Lookup("od")
+	if !ok {
+		t.Fatal("od not registered")
+	}
+	for name, r := range samplingCorpora() {
+		full := a.Run(context.Background(), r, RunOptions{Workers: 2})
+		for _, sampleRows := range []int{5, r.Rows() / 4, r.Rows() / 2} {
+			if sampleRows < 2 {
+				continue
+			}
+			got := a.Run(context.Background(), r, RunOptions{
+				Workers: 2, SampleRows: sampleRows, SampleSeed: 7,
+			})
+			if !reflect.DeepEqual(got.Lines, full.Lines) {
+				t.Fatalf("od/%s rows=%d: sample output diverges from full:\n sample=%v\n full=%v",
+					name, sampleRows, got.Lines, full.Lines)
+			}
+		}
+	}
+}
+
+// TestSampleModeTrivialEqualsFull: a sample covering the whole relation
+// must reproduce the full run byte-for-byte — no verification pass, no
+// reordering.
+func TestSampleModeTrivialEqualsFull(t *testing.T) {
+	r := gen.Table7()
+	for _, a := range samplingAlgos(t) {
+		full := a.Run(context.Background(), r, RunOptions{Workers: 2})
+		for _, sampleRows := range []int{r.Rows(), r.Rows() + 100} {
+			got := a.Run(context.Background(), r, RunOptions{
+				Workers: 2, SampleRows: sampleRows, SampleSeed: 3,
+			})
+			if !reflect.DeepEqual(got.Lines, full.Lines) || got.Partial != full.Partial {
+				t.Fatalf("%s: trivial sample diverges from full:\n sample=%v\n full=%v",
+					a.Name, got.Lines, full.Lines)
+			}
+		}
+	}
+}
+
+// TestSampleModeDeterministic: identical (relation, rows, seed) must
+// yield identical output for every worker count; a different seed may
+// differ (different sample) but must stay sound, which
+// TestSampleModeNeverEmitsUnverified already covers.
+func TestSampleModeDeterministic(t *testing.T) {
+	r := gen.WithFD(200, []int{12, 4}, 0.15, 9)
+	for _, a := range samplingAlgos(t) {
+		var first []string
+		for _, workers := range []int{1, 2, 4, 7} {
+			got := a.Run(context.Background(), r, RunOptions{
+				Workers: workers, SampleRows: 40, SampleSeed: 13,
+			})
+			if got.Partial {
+				t.Fatalf("%s workers=%d: unexpectedly partial: %s", a.Name, workers, got.Reason)
+			}
+			if first == nil {
+				first = got.Lines
+			} else if !reflect.DeepEqual(first, got.Lines) {
+				t.Fatalf("%s workers=%d: output diverged:\n got=%v\n want=%v",
+					a.Name, workers, got.Lines, first)
+			}
+		}
+	}
+}
+
+// TestSampleModeVerifiedHoldOnFull re-checks every emitted line the hard
+// way for the FD discoverers: parse it back and confirm it holds (g3 =
+// 0) on the full relation. This closes the loop independently of the
+// full-run subset check.
+func TestSampleModeVerifiedHoldOnFull(t *testing.T) {
+	r := gen.WithFD(300, []int{15, 5}, 0.2, 21)
+	for _, algoName := range []string{"tane", "fastfd"} {
+		a, ok := Lookup(algoName)
+		if !ok {
+			t.Fatalf("%s not registered", algoName)
+		}
+		got := a.Run(context.Background(), r, RunOptions{Workers: 2, SampleRows: 30, SampleSeed: 4})
+		for _, line := range got.Lines {
+			f, err := parseFDLine(r, line)
+			if err != nil {
+				t.Fatalf("%s: cannot parse emitted line %q: %v", algoName, line, err)
+			}
+			if !f.Holds(r) {
+				t.Fatalf("%s: emitted FD %q does not hold on the full relation", algoName, line)
+			}
+		}
+	}
+}
+
+// parseFDLine parses one rendered FD line ("lhs1,lhs2 -> rhs") back
+// against the relation's schema.
+func parseFDLine(r *relation.Relation, line string) (fd.FD, error) {
+	parts := strings.SplitN(line, "->", 2)
+	if len(parts) != 2 {
+		return fd.FD{}, fmt.Errorf("line %q is not lhs -> rhs", line)
+	}
+	split := func(s string) []string {
+		var out []string
+		for _, x := range strings.Split(s, ",") {
+			if x = strings.TrimSpace(x); x != "" {
+				out = append(out, x)
+			}
+		}
+		return out
+	}
+	return fd.New(r.Schema(), split(parts[0]), split(parts[1]))
+}

@@ -203,7 +203,13 @@ func (c *PartitionCache) evictLocked() {
 // beyond the result.
 func (c *PartitionCache) build(x attrset.Set) *partition.Partition {
 	if x.Len() <= 1 {
-		return partition.Build(c.r, x)
+		p := partition.Build(c.r, x)
+		// Bit-backing happens eagerly, before the caller credits
+		// MemBytes: a cached partition's footprint must never grow after
+		// the byte-bounded accounting has seen it. BuildBits gates
+		// itself on cardinality and row count.
+		p.BuildBits()
+		return p
 	}
 	a := x.First()
 	rest := c.Get(x.Remove(a))
@@ -214,6 +220,7 @@ func (c *PartitionCache) build(x attrset.Set) *partition.Partition {
 	p := rest.ProductScratch(single, s)
 	c.scratch.Put(s)
 	stop()
+	p.BuildBits()
 	return p
 }
 

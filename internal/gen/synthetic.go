@@ -298,3 +298,109 @@ func SeriesRand(rng *rand.Rand, rows int, minStep, maxStep float64, violationRat
 	}
 	return r
 }
+
+// LargeOrdered generates a million-row-scale benchmark relation with
+// planted order and functional structure over five numeric columns:
+//
+//	ts     strictly increasing int (a timestamp / primary order)
+//	seq    strictly increasing float derived from ts — ts≤→seq≤ and
+//	       seq≤→ts≤ both hold, the planted ODs
+//	load   uniform noise — participates in no dependency
+//	bucket low-cardinality int (8 values) — the bit-parallel partition
+//	       shape, and the LHS of the planted FD
+//	grp    bucket-derived (bucket mod 4) — FD bucket→grp holds
+//
+// The shape exercises exactly the million-row fast paths: set-based OD
+// discovery amortizes one sort per column across all candidates,
+// sample-then-verify proposes the planted structure from a small sample,
+// and the bucket/grp partitions stay within the bitset class cap.
+func LargeOrdered(rows int, seed int64) *relation.Relation {
+	return LargeOrderedRand(rand.New(rand.NewSource(seed)), rows)
+}
+
+// LargeWide generates the adversarial companion to LargeOrdered: a wide
+// numeric relation where almost every candidate OD is invalid but only
+// refutable near the end of the relation. Columns:
+//
+//	ts           strictly increasing int (the primary order)
+//	m1..m{ord-1} strictly increasing floats derived from ts — the
+//	             ord-column family is mutually order-equivalent, so
+//	             every asc→asc pair inside it is a planted OD
+//	t1..t{tail}  "tail-noise" floats: equal to the monotone spine for
+//	             the first 95% of rows, uniform noise for the last 5% —
+//	             every candidate touching one is invalid, but its first
+//	             violating neighbor pair sits in the final 5%, so a
+//	             fail-fast scan pays ~0.95·n before refuting
+//
+// The shape separates full-relation discovery from sample-then-verify
+// by design: full mode pays a near-full O(n) scan for each of the
+// O((ord+tail)²) tail candidates, while a sampled run refutes them on
+// the sample (the noise region is dense enough that any uniform sample
+// witnesses it) and verifies only the small planted family.
+func LargeWide(rows, ord, tail int, seed int64) *relation.Relation {
+	return LargeWideRand(rand.New(rand.NewSource(seed)), rows, ord, tail)
+}
+
+// LargeWideRand is LargeWide drawing randomness from an injected source.
+func LargeWideRand(rng *rand.Rand, rows, ord, tail int) *relation.Relation {
+	attrs := []relation.Attribute{{Name: "ts", Kind: relation.KindInt}}
+	for i := 1; i < ord; i++ {
+		attrs = append(attrs, relation.Attribute{Name: fmt.Sprintf("m%d", i), Kind: relation.KindFloat})
+	}
+	for i := 1; i <= tail; i++ {
+		attrs = append(attrs, relation.Attribute{Name: fmt.Sprintf("t%d", i), Kind: relation.KindFloat})
+	}
+	schema := relation.NewSchema(attrs...)
+	r := relation.New("large-wide", schema)
+	cut := rows - rows/20 // last 5% of rows carry the noise region
+	ts := int64(0)
+	row := make([]relation.Value, len(attrs))
+	for n := 0; n < rows; n++ {
+		ts += 1 + int64(rng.Intn(5))
+		row[0] = relation.Int(int(ts))
+		for i := 1; i < ord; i++ {
+			row[i] = relation.Float(float64(ts)*float64(i) + float64(i))
+		}
+		for i := 0; i < tail; i++ {
+			if n < cut {
+				row[ord+i] = relation.Float(float64(ts))
+			} else {
+				row[ord+i] = relation.Float(rng.Float64() * 1e9)
+			}
+		}
+		if err := r.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+// LargeOrderedRand is LargeOrdered drawing randomness from an injected
+// source.
+func LargeOrderedRand(rng *rand.Rand, rows int) *relation.Relation {
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "ts", Kind: relation.KindInt},
+		relation.Attribute{Name: "seq", Kind: relation.KindFloat},
+		relation.Attribute{Name: "load", Kind: relation.KindFloat},
+		relation.Attribute{Name: "bucket", Kind: relation.KindInt},
+		relation.Attribute{Name: "grp", Kind: relation.KindInt},
+	)
+	r := relation.New("large-ordered", schema)
+	ts := int64(0)
+	seq := 0.0
+	row := make([]relation.Value, 5)
+	for n := 0; n < rows; n++ {
+		ts += 1 + int64(rng.Intn(5))
+		seq += 0.5 + rng.Float64()
+		bucket := rng.Intn(8)
+		row[0] = relation.Int(int(ts))
+		row[1] = relation.Float(seq)
+		row[2] = relation.Float(rng.Float64() * 1000)
+		row[3] = relation.Int(bucket)
+		row[4] = relation.Int(bucket % 4)
+		if err := r.Append(row); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}

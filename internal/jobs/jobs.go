@@ -88,6 +88,11 @@ type Spec struct {
 	FD string `json:"fd,omitempty"`
 	// MaxErr is the g3 budget for approximate FDs (tane only).
 	MaxErr float64 `json:"maxerr,omitempty"`
+	// SampleRows/SampleSeed select sample-then-verify discovery (discover
+	// only, sampling-capable algorithms). Zero means full-relation mode,
+	// which is also how pre-sampling WAL records replay.
+	SampleRows int   `json:"sample_rows,omitempty"`
+	SampleSeed int64 `json:"sample_seed,omitempty"`
 	// Workers/TimeoutMs/MaxTasks are the resolved engine budget.
 	Workers   int   `json:"workers,omitempty"`
 	TimeoutMs int64 `json:"timeout_ms,omitempty"`
@@ -118,11 +123,13 @@ func (s Spec) Fingerprint() (string, error) {
 // Budget knobs (workers, timeout, max-tasks) are deliberately excluded —
 // the engine's determinism contract makes complete output identical for
 // any worker count, and only complete results are ever cached, so the
-// budget cannot have bound.
+// budget cannot have bound. Sample knobs ARE included: a sampled run's
+// complete output depends on which rows the (rows, seed) pair selected.
 func (s Spec) CacheKey(fingerprint string) string {
 	return strings.Join([]string{
 		fingerprint, s.Kind, s.Algo,
 		fmt.Sprintf("%g", s.MaxErr), s.FDs, s.FD,
+		fmt.Sprintf("%d", s.SampleRows), fmt.Sprintf("%d", s.SampleSeed),
 	}, "\x1f")
 }
 

@@ -1,0 +1,130 @@
+package partition
+
+import "math/bits"
+
+// Bit-parallel position lists. A stripped partition over a
+// low-cardinality column has few, large classes; intersecting two such
+// partitions class-by-class is where the TANE product spends its time.
+// When each class is mirrored as an n-bit row mask, the intersection of
+// one class of p with one class of q is a word-wise AND — 64 rows per
+// machine word — and the product's staging pass becomes
+// O(pk·qk·⌈n/64⌉) instead of O(||π_p|| + ||π_q||). That only wins when
+// both cardinalities are small, so BuildBits gates on class count and
+// ProductScratch routes per call on the measured cost (useBitProduct).
+
+const (
+	// maxBitClasses bounds how many stripped classes a bit-backed
+	// partition may have. Beyond it the pair-enumeration cost pk·qk can
+	// no longer undercut the linear product and the masks are dead
+	// weight (each costs ⌈n/64⌉ words).
+	maxBitClasses = 64
+	// minBitRows is the row floor below which masks are pointless: the
+	// linear product on a relation this small is already a handful of
+	// cache lines.
+	minBitRows = 256
+)
+
+// bitClasses mirrors a partition's stripped classes as packed row
+// bitmasks: class i occupies words[i*nw : (i+1)*nw], bit r of the mask
+// set iff row r is in the class.
+type bitClasses struct {
+	words []uint64
+	// nw is the words-per-class stride: ⌈n/64⌉.
+	nw int
+}
+
+func (b *bitClasses) class(i int) []uint64 {
+	return b.words[i*b.nw : (i+1)*b.nw]
+}
+
+// memBytes is the mirror's exact resident memory: one slice header, one
+// int, and the packed words.
+func (b *bitClasses) memBytes() int64 {
+	const structBytes = 32
+	return structBytes + 8*int64(len(b.words))
+}
+
+// BuildBits installs the bit-parallel mirror when the partition is worth
+// it — few stripped classes over enough rows — and reports whether the
+// partition is bit-backed afterwards. It is idempotent and safe to call
+// on any partition; callers that cache partitions by MemBytes must call
+// it BEFORE accounting, since it grows the resident footprint.
+func (p *Partition) BuildBits() bool {
+	if p.bits != nil {
+		return true
+	}
+	k := p.NumClasses()
+	if k == 0 || k > maxBitClasses || p.n < minBitRows {
+		return false
+	}
+	p.buildBits()
+	return true
+}
+
+// buildBits unconditionally builds the mirror (tests use it to exercise
+// the bit product on small fixtures the BuildBits gate would skip).
+func (p *Partition) buildBits() {
+	k := p.NumClasses()
+	nw := (p.n + 63) / 64
+	b := &bitClasses{words: make([]uint64, k*nw), nw: nw}
+	for ci := 0; ci < k; ci++ {
+		mask := b.class(ci)
+		for _, row := range p.Class(ci) {
+			mask[row>>6] |= 1 << (uint(row) & 63)
+		}
+	}
+	p.bits = b
+}
+
+// HasBits reports whether the partition carries the bit-parallel mirror.
+func (p *Partition) HasBits() bool { return p.bits != nil }
+
+// useBitProduct decides, per product call, whether the AND+popcount
+// staging beats the linear probe-and-split: both operands must be
+// bit-backed and the word work pk·qk·nw must not exceed the linear
+// walk's row work ||π_p|| + ||π_q||.
+func (p *Partition) useBitProduct(q *Partition) bool {
+	if p.bits == nil || q.bits == nil {
+		return false
+	}
+	work := p.NumClasses() * q.NumClasses() * p.bits.nw
+	return work <= len(p.rows)+len(q.rows)
+}
+
+// stageBits is the bit-parallel staging pass: every (p-class, q-class)
+// pair is intersected by word-wise AND into the arena's word buffer,
+// counted by popcount, and — when the intersection has ≥ 2 rows —
+// extracted ascending into the staging CSR. Class order is (pi, qi)
+// lexicographic; finishProduct restores canonical first-row order.
+func (p *Partition) stageBits(q *Partition, s *Scratch) (stagedRowsOut, stagedOffsOut []int32) {
+	nw := p.bits.nw
+	s.ensureBitWords(nw)
+	pk, qk := p.NumClasses(), q.NumClasses()
+	stagedRows := s.stageRows[:0]
+	stagedOffs := s.stageOffs[:0]
+	for pi := 0; pi < pk; pi++ {
+		pw := p.bits.class(pi)
+		for qi := 0; qi < qk; qi++ {
+			qw := q.bits.class(qi)
+			cnt := 0
+			for w := 0; w < nw; w++ {
+				and := pw[w] & qw[w]
+				s.bitWords[w] = and
+				cnt += bits.OnesCount64(and)
+			}
+			if cnt < 2 {
+				continue
+			}
+			stagedOffs = append(stagedOffs, int32(len(stagedRows)))
+			for w := 0; w < nw; w++ {
+				word := s.bitWords[w]
+				base := int32(w << 6)
+				for word != 0 {
+					stagedRows = append(stagedRows, base+int32(bits.TrailingZeros64(word)))
+					word &= word - 1
+				}
+			}
+		}
+	}
+	return stagedRows, stagedOffs
+}

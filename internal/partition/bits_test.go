@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// forceBitProduct runs the product through the bit-parallel staging
+// unconditionally, bypassing both the BuildBits profitability gate and
+// the per-call cost routing, so tests can pin the bit path on fixtures
+// of any size.
+func forceBitProduct(p, q *Partition, s *Scratch) *Partition {
+	out := &Partition{n: p.n}
+	pk, qk := p.NumClasses(), q.NumClasses()
+	if pk == 0 || qk == 0 {
+		out.card = p.n
+		return out
+	}
+	if p.bits == nil {
+		p.buildBits()
+	}
+	if q.bits == nil {
+		q.buildBits()
+	}
+	s.ensureProduct(p.n, pk)
+	stagedRows, stagedOffs := p.stageBits(q, s)
+	return p.finishProduct(out, stagedRows, stagedOffs, s)
+}
+
+func TestBuildBitsGate(t *testing.T) {
+	// Too few rows: the gate refuses.
+	small := FromCodes([]int{0, 0, 1, 1}, 2)
+	if small.BuildBits() {
+		t.Fatal("BuildBits accepted a 4-row partition below minBitRows")
+	}
+	// Enough rows, low cardinality: the gate accepts and is idempotent.
+	codes := make([]int, minBitRows)
+	for i := range codes {
+		codes[i] = i % 4
+	}
+	p := FromCodes(codes, 4)
+	if !p.BuildBits() || !p.HasBits() {
+		t.Fatal("BuildBits refused a low-cardinality partition at the row floor")
+	}
+	if !p.BuildBits() {
+		t.Fatal("BuildBits not idempotent")
+	}
+	// Too many classes: refused.
+	wide := make([]int, 4*(maxBitClasses+1))
+	for i := range wide {
+		wide[i] = i % (maxBitClasses + 1)
+	}
+	// Pad to the row floor.
+	for len(wide) < minBitRows {
+		wide = append(wide, 0)
+	}
+	w := FromCodes(wide, maxBitClasses+1)
+	if w.NumClasses() <= maxBitClasses {
+		t.Fatalf("fixture has %d classes, want > %d", w.NumClasses(), maxBitClasses)
+	}
+	if w.BuildBits() {
+		t.Fatal("BuildBits accepted a partition past maxBitClasses")
+	}
+}
+
+func TestBuildBitsMemBytesExact(t *testing.T) {
+	codes := make([]int, 1000)
+	for i := range codes {
+		codes[i] = i % 3
+	}
+	p := FromCodes(codes, 3)
+	before := p.MemBytes()
+	if !p.BuildBits() {
+		t.Fatal("BuildBits refused")
+	}
+	nw := (p.NumRows() + 63) / 64
+	wantGrowth := int64(32 + 8*p.NumClasses()*nw)
+	if got := p.MemBytes() - before; got != wantGrowth {
+		t.Fatalf("MemBytes grew by %d, want exactly %d (struct 32 + 8·k·nw)", got, wantGrowth)
+	}
+}
+
+// TestBitProductRoutedOnLargeLowCardinality proves the real routing (not
+// the forced test path) engages end-to-end: two gate-eligible partitions
+// whose pair cost undercuts the linear walk must produce the identical
+// canonical partition through ProductScratch.
+func TestBitProductRoutedOnLargeLowCardinality(t *testing.T) {
+	n := 4096
+	c1 := make([]int, n)
+	c2 := make([]int, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n; i++ {
+		c1[i] = rng.Intn(4)
+		c2[i] = rng.Intn(4)
+	}
+	p, q := FromCodes(c1, 4), FromCodes(c2, 4)
+	s := NewScratch()
+	plain := p.ProductScratch(q, s) // no bits: linear path
+	if !p.BuildBits() || !q.BuildBits() {
+		t.Fatal("BuildBits refused gate-eligible partitions")
+	}
+	if !p.useBitProduct(q) {
+		t.Fatalf("cost routing rejected pk=%d qk=%d nw=%d vs rows %d+%d",
+			p.NumClasses(), q.NumClasses(), p.bits.nw, len(p.rows), len(q.rows))
+	}
+	bit := p.ProductScratch(q, s)
+	if !classesEqual(plain.Classes(), bit.Classes()) {
+		t.Fatal("bit-routed product differs from linear product")
+	}
+	if plain.Cardinality() != bit.Cardinality() {
+		t.Fatalf("cardinality %d != %d", plain.Cardinality(), bit.Cardinality())
+	}
+
+	// High-cardinality operands must keep the linear route even when
+	// bit-backed: the cost check is per call.
+	hc := make([]int, n)
+	for i := range hc {
+		hc[i] = rng.Intn(2000)
+	}
+	h := FromCodes(hc, 2000)
+	h.buildBits() // force despite the gate
+	if h.useBitProduct(h) {
+		t.Fatal("cost routing accepted a pair whose word work exceeds the linear walk")
+	}
+}

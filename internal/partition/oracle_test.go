@@ -148,6 +148,19 @@ func checkProductAgainstOracle(t *testing.T, codes1, codes2 []int, s *Scratch) {
 	if !classesEqual(prod.Classes(), oracle) {
 		t.Fatalf("product diverges from oracle:\n csr=%v\n map=%v\n x=%v y=%v", prod.Classes(), oracle, c1, c2)
 	}
+
+	// The bit-parallel staging must yield the byte-identical canonical
+	// partition. forceBitProduct bypasses the BuildBits profitability gate
+	// and the useBitProduct cost routing so small fuzz inputs still
+	// exercise the AND+popcount path.
+	bprod := forceBitProduct(p, q, s)
+	if !classesEqual(bprod.Classes(), oracle) {
+		t.Fatalf("bit product diverges from oracle:\n bit=%v\n map=%v\n x=%v y=%v", bprod.Classes(), oracle, c1, c2)
+	}
+	if bprod.Cardinality() != prod.Cardinality() || bprod.Size() != prod.Size() {
+		t.Fatalf("bit product card/size (%d,%d) != linear (%d,%d)",
+			bprod.Cardinality(), bprod.Size(), prod.Cardinality(), prod.Size())
+	}
 	if got, want := prod.Cardinality(), n-prod.Size()+prod.NumClasses(); got != want {
 		t.Fatalf("cardinality identity broken: card=%d, n-covered+classes=%d", got, want)
 	}

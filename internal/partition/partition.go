@@ -59,6 +59,11 @@ type Partition struct {
 	// card is |π_X| counting stripped singletons, i.e. the number of
 	// distinct X-values.
 	card int
+	// bits is the optional bit-parallel position-list mirror built by
+	// BuildBits for low-cardinality partitions: one n-bit row mask per
+	// stripped class, enabling word-wise AND products. Nil when the
+	// partition is not bit-backed; MemBytes accounts for it exactly.
+	bits *bitClasses
 }
 
 // checkRows guards the int32 row representation. Relations beyond 2³¹−1
@@ -196,13 +201,19 @@ func (p *Partition) Classes() [][]int {
 // classes. O(1) in the CSR layout.
 func (p *Partition) Size() int { return len(p.rows) }
 
-// MemBytes returns the partition's exact resident memory: the struct plus
-// the two int32 backing arrays. The engine's partition cache uses it for
-// byte-bounded eviction.
+// MemBytes returns the partition's exact resident memory: the struct, the
+// two int32 backing arrays, and the bit-parallel mirror when BuildBits
+// installed one. The engine's partition cache uses it for byte-bounded
+// eviction, which is why the bit words are counted exactly rather than
+// estimated.
 func (p *Partition) MemBytes() int64 {
-	// Struct: two slice headers (2×24), two ints (2×8).
-	const structBytes = 64
-	return structBytes + 4*int64(len(p.rows)) + 4*int64(len(p.offsets))
+	// Struct: two slice headers (2×24), two ints (2×8), one pointer (8).
+	const structBytes = 72
+	b := structBytes + 4*int64(len(p.rows)) + 4*int64(len(p.offsets))
+	if p.bits != nil {
+		b += p.bits.memBytes()
+	}
+	return b
 }
 
 // Error returns e(X) = (||π|| − |stripped classes|) / n, TANE's measure of
@@ -232,11 +243,15 @@ func (p *Partition) Product(q *Partition) *Partition {
 // allocation-free hot path: the only allocations are the result's two
 // backing arrays. Both operands must partition the same relation.
 //
-// The algorithm is the classic TANE linear product: a relation-sized probe
-// array maps rows to their class in p, then each class of q is split by
-// probe value with counting arrays — O(||π_p|| + ||π_q||) — and a final
-// counting pass over the first-row range restores canonical class order
-// without sorting.
+// Two staging strategies feed one shared canonical-emit step. The default
+// is the classic TANE linear product: a relation-sized probe array maps
+// rows to their class in p, then each class of q is split by probe value
+// with counting arrays — O(||π_p|| + ||π_q||). When both operands carry
+// bit-parallel position lists (BuildBits) and the pair-enumeration cost
+// pk·qk·(n/64) undercuts the linear walk, classes are intersected by
+// word-wise AND + popcount instead. Either way, a final counting pass
+// over the first-row range restores canonical class order without
+// sorting.
 func (p *Partition) ProductScratch(q *Partition, s *Scratch) *Partition {
 	if s == nil {
 		return p.Product(q)
@@ -250,6 +265,21 @@ func (p *Partition) ProductScratch(q *Partition, s *Scratch) *Partition {
 		return out
 	}
 	s.ensureProduct(p.n, pk)
+
+	var stagedRows, stagedOffs []int32
+	if p.useBitProduct(q) {
+		stagedRows, stagedOffs = p.stageBits(q, s)
+	} else {
+		stagedRows, stagedOffs = p.stageLinear(q, s)
+	}
+	return p.finishProduct(out, stagedRows, stagedOffs, s)
+}
+
+// stageLinear is the probe-and-split staging pass of the linear product.
+// Staged classes are ascending inside and first-row-ordered per q-class;
+// global order is restored by finishProduct.
+func (p *Partition) stageLinear(q *Partition, s *Scratch) (stagedRowsOut, stagedOffsOut []int32) {
+	pk, qk := p.NumClasses(), q.NumClasses()
 
 	// 1. Probe: row → class index in p, -1 elsewhere (the arena keeps the
 	// array at -1 between calls).
@@ -308,7 +338,13 @@ func (p *Partition) ProductScratch(q *Partition, s *Scratch) *Partition {
 			s.probe[row] = -1
 		}
 	}
+	return stagedRows, stagedOffs
+}
 
+// finishProduct turns a staged CSR (any class order, rows ascending
+// within each class) into the canonical product partition: cardinality
+// from the covered-row identity, then classes emitted in first-row order.
+func (p *Partition) finishProduct(out *Partition, stagedRows, stagedOffs []int32, s *Scratch) *Partition {
 	k := len(stagedOffs)
 	covered := len(stagedRows)
 	// Distinct values of X∪Y = singletons + stripped classes. Rows covered

@@ -35,6 +35,9 @@ type Scratch struct {
 	// counts is the code-counting array of G3 and ViolatingPairs, indexed
 	// by attribute code. Idle state: all 0.
 	counts []int32
+	// bitWords holds one class-pair intersection (⌈n/64⌉ words) during
+	// the bit-parallel product staging. Write-before-read.
+	bitWords []uint64
 }
 
 // NewScratch returns an empty arena; arrays grow on first use and are
@@ -59,6 +62,14 @@ func (s *Scratch) ensureProduct(n, classes int) {
 	if cap(s.stageRows) < n {
 		s.stageRows = make([]int32, 0, n)
 		s.stageOffs = make([]int32, 0, n/2+1)
+	}
+}
+
+// ensureBitWords sizes the intersection buffer for the bit-parallel
+// product staging.
+func (s *Scratch) ensureBitWords(nw int) {
+	if len(s.bitWords) < nw {
+		s.bitWords = make([]uint64, nw)
 	}
 }
 

@@ -8,26 +8,48 @@ import (
 	"io"
 )
 
-// Limits bounds CSV ingestion. The zero value is unlimited, so existing
-// call sites keep their behavior. Limits exist because discovery inputs
-// arrive from the outside world (CLI files, served request bodies) and an
-// oversized relation must fail crisply with *ErrInputTooLarge before it
-// turns into an unbounded allocation inside an exponential search.
+// MaxSupportedRows is the hard ceiling on relation cardinality: row
+// indices are int32 throughout the partition layer (CSR rows/offsets
+// arrays), so a relation past 2³¹−1 rows cannot be represented. The CSV
+// readers enforce the ceiling at ingest — even under zero-value Limits —
+// so oversized input is a typed *ErrInputTooLarge instead of a panic deep
+// inside partition construction.
+const MaxSupportedRows = 1<<31 - 1
+
+// Limits bounds CSV ingestion. The zero value is unlimited up to the
+// representation ceiling: MaxSupportedRows always applies, because rows
+// beyond it are unrepresentable, not merely unwelcome. Limits exist
+// because discovery inputs arrive from the outside world (CLI files,
+// served request bodies) and an oversized relation must fail crisply with
+// *ErrInputTooLarge before it turns into an unbounded allocation inside
+// an exponential search.
 type Limits struct {
 	// MaxBytes bounds the raw CSV bytes consumed from the source (0 =
 	// unlimited).
 	MaxBytes int64
 	// MaxRows bounds the data rows decoded, excluding the header (0 =
-	// unlimited).
+	// unlimited up to MaxSupportedRows; values above the ceiling are
+	// clamped to it).
 	MaxRows int
 	// MaxFieldBytes bounds the length of any single field, header
 	// included (0 = unlimited).
 	MaxFieldBytes int
 }
 
-// Unlimited reports whether the limits impose no bound at all.
+// Unlimited reports whether the limits impose no bound at all (beyond
+// the always-on MaxSupportedRows representation ceiling).
 func (l Limits) Unlimited() bool {
 	return l.MaxBytes == 0 && l.MaxRows == 0 && l.MaxFieldBytes == 0
+}
+
+// effectiveMaxRows resolves the row bound the readers enforce: the
+// configured MaxRows when set, clamped by the MaxSupportedRows ceiling
+// that always applies.
+func (l Limits) effectiveMaxRows() int {
+	if l.MaxRows > 0 && l.MaxRows < MaxSupportedRows {
+		return l.MaxRows
+	}
+	return MaxSupportedRows
 }
 
 // ErrInputTooLarge is returned by the limited CSV readers when an input
@@ -131,9 +153,9 @@ func ReadCSVLimits(name string, src io.Reader, kinds []Kind, lim Limits) (*Relat
 			}
 			return nil, fmt.Errorf("relation: read CSV line %d: %w", line, err)
 		}
-		if lim.MaxRows > 0 && line-1 > lim.MaxRows {
+		if maxRows := lim.effectiveMaxRows(); line-1 > maxRows {
 			return nil, fmt.Errorf("relation: read CSV: %w",
-				&ErrInputTooLarge{What: "rows", Limit: int64(lim.MaxRows), Got: int64(line - 1)})
+				&ErrInputTooLarge{What: "rows", Limit: int64(maxRows), Got: int64(line - 1)})
 		}
 		if err := checkFields(rec, lim); err != nil {
 			return nil, err

@@ -72,6 +72,41 @@ func TestReadCSVLimitsMaxBytes(t *testing.T) {
 	}
 }
 
+func TestEffectiveMaxRowsCeiling(t *testing.T) {
+	cases := []struct {
+		maxRows int
+		want    int
+	}{
+		{0, MaxSupportedRows},                  // zero value: the ceiling still applies
+		{-1, MaxSupportedRows},                 // negative: treated as unset
+		{2, 2},                                 // tighter bounds stay in force
+		{MaxSupportedRows, MaxSupportedRows},   // exactly the ceiling
+		{MaxSupportedRows + 7, MaxSupportedRows}, // looser than representable: clamped
+	}
+	for _, tc := range cases {
+		if got := (Limits{MaxRows: tc.maxRows}).effectiveMaxRows(); got != tc.want {
+			t.Errorf("Limits{MaxRows: %d}.effectiveMaxRows() = %d, want %d", tc.maxRows, got, tc.want)
+		}
+	}
+}
+
+func TestAppendRejectsRowsPastCeiling(t *testing.T) {
+	// A 2³¹-row relation cannot be materialized in a test, so forge the
+	// row counter: Append must reject the first unrepresentable row with
+	// the same typed error the CSV readers use.
+	r := New("huge", NewSchema(Attribute{Name: "a", Kind: KindString}))
+	r.cols[0] = []Value{} // storage stays empty; only the counter matters
+	r.rows = MaxSupportedRows
+	err := r.Append([]Value{String("x")})
+	if err == nil {
+		t.Fatal("Append accepted row past MaxSupportedRows")
+	}
+	wantTooLarge(t, err, "rows")
+	if r.Rows() != MaxSupportedRows {
+		t.Fatalf("rejected Append mutated row count: %d", r.Rows())
+	}
+}
+
 func TestReadCSVAutoInfersKinds(t *testing.T) {
 	r, err := ReadCSVAuto("hotels", []byte(hotelsCSV), Limits{})
 	if err != nil {

@@ -76,6 +76,10 @@ func (r *Relation) Append(row []Value) error {
 	if len(row) != r.schema.Len() {
 		return fmt.Errorf("relation: row width %d != schema width %d", len(row), r.schema.Len())
 	}
+	if r.rows >= MaxSupportedRows {
+		return fmt.Errorf("relation: append: %w",
+			&ErrInputTooLarge{What: "rows", Limit: MaxSupportedRows, Got: int64(r.rows) + 1})
+	}
 	for i, v := range row {
 		want := r.schema.Attr(i).Kind
 		if !v.IsNull() && v.Kind() != want && !(v.IsNumeric() && (want == KindFloat || want == KindInt)) {

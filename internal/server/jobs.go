@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"deptree/internal/deps/fd"
+	"deptree/internal/discovery/registry"
 	"deptree/internal/engine"
 	"deptree/internal/jobs"
 	"deptree/internal/relation"
@@ -35,6 +36,10 @@ type JobRequest struct {
 	FD string `json:"fd,omitempty"`
 	// MaxErr is the g3 budget for approximate FDs (tane only).
 	MaxErr float64 `json:"maxerr,omitempty"`
+	// SampleRows > 0 selects sample-then-verify discovery (discover
+	// only, sampling-capable algorithms); SampleSeed seeds the sample.
+	SampleRows int   `json:"sample_rows,omitempty"`
+	SampleSeed int64 `json:"sample_seed,omitempty"`
 	RunKnobs
 }
 
@@ -69,8 +74,10 @@ func (s *Server) runJob(ctx context.Context, spec jobs.Spec) (jobs.Result, error
 			Timeout:  time.Duration(spec.TimeoutMs) * time.Millisecond,
 			MaxTasks: spec.MaxTasks,
 		},
-		MaxErr: spec.MaxErr,
-		Obs:    s.reg,
+		MaxErr:     spec.MaxErr,
+		SampleRows: spec.SampleRows,
+		SampleSeed: spec.SampleSeed,
+		Obs:        s.reg,
 	}
 	switch spec.Kind {
 	case "discover":
@@ -150,6 +157,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 				msg: fmt.Sprintf("unknown algorithm %q (want one of %v)", req.Algo, Algorithms())})
 			return
 		}
+		if req.SampleRows > 0 {
+			if a, ok := registry.Lookup(req.Algo); !ok || !a.Sampling {
+				fail(&apiError{status: http.StatusBadRequest, code: "sampling_unsupported",
+					msg: fmt.Sprintf("algorithm %q does not support sample-then-verify (sample_rows)", req.Algo)})
+				return
+			}
+		}
 	case "validate", "repair":
 		// Rule specs are parsed below, against the schema.
 	default:
@@ -215,19 +229,26 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseWait reads the ?wait= long-poll bound: a Go duration ("2s") or a
-// plain number of seconds, clamped to [0, maxJobWait].
+// plain number of seconds, clamped to [0, maxJobWait]. Anything
+// malformed, negative or zero means no-wait; the clamp happens BEFORE
+// the seconds→Duration multiplication so an overflowing bare number
+// (e.g. "99999999999999") cannot wrap into a negative or tiny duration.
 func parseWait(q string) time.Duration {
 	if q == "" {
 		return 0
 	}
-	var d time.Duration
 	if secs, err := strconv.Atoi(q); err == nil {
-		d = time.Duration(secs) * time.Second
-	} else if pd, err := time.ParseDuration(q); err == nil {
-		d = pd
+		if secs <= 0 {
+			return 0
+		}
+		if secs > int(maxJobWait/time.Second) {
+			return maxJobWait
+		}
+		return time.Duration(secs) * time.Second
 	}
-	if d < 0 {
-		d = 0
+	d, err := time.ParseDuration(q)
+	if err != nil || d <= 0 {
+		return 0
 	}
 	if d > maxJobWait {
 		d = maxJobWait

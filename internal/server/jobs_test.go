@@ -349,3 +349,46 @@ func TestReadmeJobsEndpointTable(t *testing.T) {
 		}
 	}
 }
+
+// TestParseWaitMalformedAndOverflow pins parseWait against every
+// malformed ?wait= shape: empty, zero, negative (both bare-number and
+// duration syntax), unparseable, and bare numbers large enough that the
+// naive seconds→Duration multiplication would overflow into a negative
+// or wrapped value. Malformed or non-positive always means no-wait;
+// anything positive is clamped to maxJobWait.
+func TestParseWaitMalformedAndOverflow(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"0", 0},
+		{"-5", 0},
+		{"-0", 0},
+		{"5", 5 * time.Second},
+		{"30", maxJobWait},
+		{"31", maxJobWait},                      // clamp above the cap
+		{"9223372036854775807", maxJobWait},     // MaxInt64 secs: naive multiply wraps negative
+		{"9223372036854", maxJobWait},           // ~MaxInt64/1e9 secs: wraps past the cap
+		{"99999999999999999999999999", 0},       // Atoi range error, ParseDuration error -> no-wait
+		{"2s", 2 * time.Second},
+		{"-2s", 0},
+		{"0s", 0},
+		{"500ms", 500 * time.Millisecond},
+		{"0.5s", 500 * time.Millisecond},
+		{"1h", maxJobWait},
+		{"2540400h", maxJobWait},                // ParseDuration caps at MaxInt64 ns internally
+		{"abc", 0},
+		{"5x", 0},
+		{" 5", 0},                               // no trimming: not a valid int or duration
+		{"+5", 5 * time.Second},                 // Atoi accepts an explicit sign
+	}
+	for _, tc := range cases {
+		if got := parseWait(tc.in); got != tc.want {
+			t.Errorf("parseWait(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		if got := parseWait(tc.in); got < 0 || got > maxJobWait {
+			t.Errorf("parseWait(%q) = %v outside [0, %v]", tc.in, got, maxJobWait)
+		}
+	}
+}

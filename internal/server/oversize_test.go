@@ -1,0 +1,39 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestOversizedInputNeverTripsBreaker is the regression pin for the
+// ingest-side row ceiling: oversized input must be rejected as a typed
+// 413 before the guarded pipeline ever runs, so it can never count as an
+// engine fault and can never open the per-endpoint circuit breaker —
+// an input-size problem is a client error, not a server fault. Before
+// the relation-layer ceiling existed, a relation past int32 rows
+// panicked inside partition construction, rode engine panic isolation
+// out as engine_panic, and tripped the breaker.
+func TestOversizedInputNeverTripsBreaker(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxRows: 2, BreakerThreshold: 3})
+	// Three data rows against MaxRows: 2 — structurally valid, just too
+	// big. Hammer the endpoint well past the breaker threshold.
+	big := "a,b\n1,2\n3,4\n5,6\n"
+	for i := 0; i < 10; i++ {
+		code, body := post(t, ts.URL+"/v1/discover/tane", mustJSON(t, map[string]string{"csv": big}))
+		if code != http.StatusRequestEntityTooLarge {
+			t.Fatalf("oversized POST #%d = %d, want 413:\n%s", i, code, body)
+		}
+		if c := errCode(t, body); c != "input_too_large" {
+			t.Fatalf("oversized POST #%d code = %q, want input_too_large", i, c)
+		}
+	}
+	if n := s.reg.Counter("server.discover.tane.breaker.trips").Value(); n != 0 {
+		t.Fatalf("breaker trips after oversized hammering = %d, want 0", n)
+	}
+	// The endpoint must still serve a well-formed request immediately: a
+	// tripped breaker would answer 503 breaker_open here.
+	code, body := post(t, ts.URL+"/v1/discover/tane", mustJSON(t, map[string]string{"csv": "a,b\n1,2\n3,4\n"}))
+	if code != http.StatusOK {
+		t.Fatalf("follow-up good request = %d, want 200:\n%s", code, body)
+	}
+}

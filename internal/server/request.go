@@ -74,6 +74,13 @@ type DiscoverRequest struct {
 	CSV string `json:"csv"`
 	// MaxErr is the g3 budget for approximate FDs (tane only).
 	MaxErr float64 `json:"maxerr,omitempty"`
+	// SampleRows > 0 selects sample-then-verify discovery (tane, fastfd,
+	// od, lexod): candidates mined on a deterministic sample, verified on
+	// the full relation before emission. 400 sampling_unsupported on
+	// discoverers without support.
+	SampleRows int `json:"sample_rows,omitempty"`
+	// SampleSeed seeds the deterministic sample permutation.
+	SampleSeed int64 `json:"sample_seed,omitempty"`
 	RunKnobs
 }
 

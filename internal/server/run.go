@@ -48,6 +48,11 @@ import (
 // Algorithms(). The server maps it to 404.
 var ErrUnknownAlgo = errors.New("server: unknown algorithm")
 
+// ErrSamplingUnsupported is returned by RunDiscover when sample knobs are
+// set for a discoverer without sample-then-verify support. The server
+// maps it to 400.
+var ErrSamplingUnsupported = errors.New("server: sampling not supported")
+
 // Algorithms lists the discoverers RunDiscover accepts — the full
 // registry, in the order the CLI documents the names.
 func Algorithms() []string { return registry.Names() }
@@ -61,6 +66,12 @@ type RunParams struct {
 	Budget engine.Budget
 	// MaxErr is the g3 budget for approximate FDs (tane only).
 	MaxErr float64
+	// SampleRows > 0 selects sample-then-verify mode on discoverers that
+	// support it: candidates mined on a deterministic SampleRows-row
+	// sample, verified exactly on the full relation before emission.
+	SampleRows int
+	// SampleSeed seeds the deterministic sample permutation.
+	SampleSeed int64
 	// Obs optionally receives the run's metrics; nil is a no-op.
 	Obs *obs.Registry
 }
@@ -102,11 +113,16 @@ func RunDiscover(ctx context.Context, r *relation.Relation, algo string, p RunPa
 	if !ok {
 		return DiscoverOutput{}, fmt.Errorf("%w %q", ErrUnknownAlgo, algo)
 	}
+	if p.SampleRows > 0 && !a.Sampling {
+		return DiscoverOutput{}, fmt.Errorf("%w by %q", ErrSamplingUnsupported, algo)
+	}
 	res := a.Run(ctx, r, registry.RunOptions{
-		Workers: p.Workers,
-		Budget:  p.Budget,
-		MaxErr:  p.MaxErr,
-		Obs:     p.Obs,
+		Workers:    p.Workers,
+		Budget:     p.Budget,
+		MaxErr:     p.MaxErr,
+		SampleRows: p.SampleRows,
+		SampleSeed: p.SampleSeed,
+		Obs:        p.Obs,
 	})
 	return DiscoverOutput{Lines: res.Lines, Partial: res.Partial, Reason: res.Reason}, nil
 }

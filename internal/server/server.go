@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"deptree/internal/deps/fd"
+	"deptree/internal/discovery/registry"
 	"deptree/internal/engine"
 	"deptree/internal/jobs"
 	"deptree/internal/obs"
@@ -553,11 +555,26 @@ func (s *Server) handleDiscover(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, e)
 		return
 	}
+	// Sampling on an unsupported discoverer is a client error: reject it
+	// before the guarded pipeline so it never feeds the breaker.
+	if req.SampleRows > 0 {
+		if a, ok := registry.Lookup(algo); !ok || !a.Sampling {
+			s.reg.Counter("server.discover." + algo + ".errors").Inc()
+			writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "sampling_unsupported",
+				msg: fmt.Sprintf("algorithm %q does not support sample-then-verify (sample_rows)", algo)})
+			return
+		}
+	}
 	spec := s.resolveBudget(req.RunKnobs, r.Header)
 	s.guarded(w, r, "discover."+algo, spec, func(ctx context.Context, p RunParams) (response, bool, string, *apiError) {
 		p.MaxErr = req.MaxErr
+		p.SampleRows = req.SampleRows
+		p.SampleSeed = req.SampleSeed
 		out, err := RunDiscover(ctx, rel, algo, p)
 		if err != nil {
+			if errors.Is(err, ErrSamplingUnsupported) {
+				return nil, false, "", &apiError{status: http.StatusBadRequest, code: "sampling_unsupported", msg: err.Error()}
+			}
 			return nil, false, "", &apiError{status: http.StatusNotFound, code: "unknown_algo", msg: err.Error()}
 		}
 		results := out.Lines
