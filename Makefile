@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos recover fuzz bench benchdiff bench-large serve-smoke verify
+.PHONY: build test race chaos recover fuzz bench benchdiff bench-large bench-stream serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ test:
 # layer (admission semaphore, breakers, drain) and the async job service
 # (runner pool, WAL, retry/backoff paths).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/discovery/... ./internal/server/ ./internal/jobs/
+	$(GO) test -race ./internal/engine/... ./internal/discovery/... ./internal/server/ ./internal/jobs/ ./internal/stream/
 
 # Fault-injection suite (DESIGN.md "Failure model"): injected panics,
 # stalls and mid-run cancellations across the pool and every discoverer,
@@ -74,5 +74,16 @@ bench-large:
 	DEPTREE_BENCH_LARGE=1 $(GO) test -run 'TestLarge' -bench 'BenchmarkLarge' -benchmem -benchtime=1x . > BENCH_8.txt
 	$(GO) run ./cmd/benchjson -in BENCH_8.txt -out BENCH_8.json
 	$(GO) run ./cmd/benchjson -diff -old BENCH_4.json -new BENCH_8.json
+
+# Streaming pass (opt-in; seeds million-row sessions, so each benchmark
+# pays one full discovery run untimed): incremental revalidation of a 1%
+# append for tane and od vs from-scratch discovery over the same rows,
+# with the cache-upgrade hit rate reported inline, plus the ≥5x speedup
+# pin test. Results land in BENCH_9.json and the alloc diff is reported
+# against the standard pass's BENCH_4.json.
+bench-stream:
+	DEPTREE_BENCH_STREAM=1 $(GO) test -timeout 30m -run 'TestStreamSpeedup' -bench 'BenchmarkStream' -benchmem -benchtime=1x . > BENCH_9.txt
+	$(GO) run ./cmd/benchjson -in BENCH_9.txt -out BENCH_9.json
+	$(GO) run ./cmd/benchjson -diff -old BENCH_4.json -new BENCH_9.json
 
 verify: build test race

@@ -179,6 +179,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "discover":
 		err = cmdDiscover(os.Args[2:])
+	case "stream":
+		err = cmdStream(os.Args[2:])
 	case "validate":
 		err = cmdValidate(os.Args[2:])
 	case "repair":
@@ -210,6 +212,9 @@ func usage() {
   deptool discover -in data.csv [-algo name] [-maxerr e] [-workers N] [-timeout d] [-max-tasks n]
                    [-sample-rows k] [-sample-seed s]
                    (algos: `+strings.Join(server.Algorithms(), "|")+`)
+  deptool stream   -in data.csv [-algo name] [-batch-rows N] [-workers N] [-timeout d] [-max-tasks n] [-q]
+                   (replay the CSV as append batches through incremental discovery;
+                    algos: tane|fastfd|od|lexod; -in - reads stdin)
   deptool validate -in data.csv -fd "lhs1,lhs2->rhs" [-workers N] [-timeout d] [-max-tasks n]
   deptool repair   -in data.csv -fd "lhs->rhs" [-out repaired.csv] [-workers N] [-timeout d] [-max-tasks n]
   deptool gen      -rows N [-errors e] [-variety v] [-dups d] [-seed s] [-out file]

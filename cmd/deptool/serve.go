@@ -38,10 +38,12 @@ func cmdServe(args []string) error {
 	jobRunners := fs.Int("job-runners", 0, "async job runner goroutines (0 = default 2)")
 	jobQueue := fs.Int("job-queue", 0, "async job queue bound (0 = default 64)")
 	jobMaxAttempts := fs.Int("job-max-attempts", 0, "max attempts per job before a transient failure becomes terminal (0 = default 3)")
+	streamSessions := fs.Int("stream-sessions", 0, "max live /v1/stream sessions (0 = default 16)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var store jobs.Store
+	var streamWAL string
 	if *jobsDir != "" {
 		if err := os.MkdirAll(*jobsDir, 0o755); err != nil {
 			return fmt.Errorf("jobs-dir: %w", err)
@@ -51,31 +53,43 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("open job WAL: %w", err)
 		}
 		store = wal
+		// Stream sessions share the durability directory: same flag, same
+		// crash-safety story.
+		streamWAL = filepath.Join(*jobsDir, "stream.wal")
 	}
 	srv := server.New(server.Config{
-		Workers:          *workers,
-		MaxConcurrency:   *maxConc,
-		MaxQueue:         *maxQueue,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		MaxTasks:         *maxTasks,
-		MaxInputBytes:    *maxInputMB << 20,
-		MaxRows:          *maxRows,
-		DrainGrace:       *drainGrace,
-		DrainTimeout:     *drainTimeout,
-		BreakerThreshold: *brThreshold,
-		BreakerBackoff:   *brBackoff,
-		JobStore:         store,
-		JobQueue:         *jobQueue,
-		JobRunners:       *jobRunners,
-		JobMaxAttempts:   *jobMaxAttempts,
-		Obs:              obs.New(),
+		Workers:           *workers,
+		MaxConcurrency:    *maxConc,
+		MaxQueue:          *maxQueue,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxTasks:          *maxTasks,
+		MaxInputBytes:     *maxInputMB << 20,
+		MaxRows:           *maxRows,
+		DrainGrace:        *drainGrace,
+		DrainTimeout:      *drainTimeout,
+		BreakerThreshold:  *brThreshold,
+		BreakerBackoff:    *brBackoff,
+		JobStore:          store,
+		JobQueue:          *jobQueue,
+		JobRunners:        *jobRunners,
+		JobMaxAttempts:    *jobMaxAttempts,
+		StreamMaxSessions: *streamSessions,
+		StreamWALPath:     streamWAL,
+		Obs:               obs.New(),
 	})
 	if err := srv.JobsErr(); err != nil {
 		if store != nil {
 			store.Close()
 		}
 		return fmt.Errorf("job subsystem: %w", err)
+	}
+	if err := srv.StreamErr(); err != nil {
+		srv.Close()
+		if store != nil {
+			store.Close()
+		}
+		return fmt.Errorf("stream subsystem: %w", err)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCmdStream replays the hotels fixture in small batches and checks
+// the CLI contract: per-batch headers with a fingerprint prefix, and a
+// final ruleset identical to `deptool discover` over the same file.
+func TestCmdStream(t *testing.T) {
+	path := writeHotelsCSV(t)
+	out, err := capture(t, func() error {
+		return cmdStream([]string{"-in", path, "-algo", "tane", "-batch-rows", "15"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "batch 1: +15 rows, total 15,") {
+		t.Errorf("missing first batch header:\n%.300s", out)
+	}
+	if !strings.Contains(out, "total 40,") {
+		t.Errorf("missing final batch header:\n%.300s", out)
+	}
+	if !strings.Contains(out, ", fp ") {
+		t.Errorf("missing fingerprint:\n%.300s", out)
+	}
+
+	discover, err := capture(t, func() error {
+		return cmdDiscover([]string{"-in", path, "-algo", "tane"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(discover), "\n") {
+		if !strings.Contains(out, "\n"+line+"\n") {
+			t.Errorf("final ruleset missing %q", line)
+		}
+	}
+
+	// -q prints the ruleset only.
+	quiet, err := capture(t, func() error {
+		return cmdStream([]string{"-in", path, "-algo", "tane", "-batch-rows", "15", "-q"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(quiet, "batch 1:") {
+		t.Errorf("-q printed batch diffs:\n%.300s", quiet)
+	}
+}
+
+func TestCmdStreamErrors(t *testing.T) {
+	path := writeHotelsCSV(t)
+	if err := cmdStream([]string{"-in", path, "-algo", "fastdc"}); err == nil {
+		t.Error("non-incremental algorithm accepted")
+	}
+	if err := cmdStream([]string{"-algo", "tane"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := cmdStream([]string{"-in", path, "-batch-rows", "0"}); err == nil {
+		t.Error("zero batch size accepted")
+	}
+}

@@ -114,6 +114,13 @@ type Algo struct {
 	// the sample-then-verify driver. Call sites reject sample knobs on
 	// discoverers without it.
 	Sampling bool
+	// Incremental marks discoverers with an append-aware revalidation
+	// engine in internal/stream (deptool stream, POST /v1/stream/{algo}):
+	// the last ruleset is held and each append batch re-decides only what
+	// the delta could have changed, with output proven byte-identical to
+	// a from-scratch run after every batch. A lockstep test in
+	// internal/stream pins this flag to the engines that actually exist.
+	Incremental bool
 	// Run executes the discoverer over the relation under the options.
 	// Lines are deterministic for any worker count, including under a
 	// MaxTasks budget.
@@ -141,8 +148,8 @@ func lastCol(r *relation.Relation) int { return r.Cols() - 1 }
 var algos = []Algo{
 	{
 		Name: "tane", Class: "FD",
-		Doc: "TANE partition-based (approximate) FD discovery",
-		Sampling: true,
+		Doc:      "TANE partition-based (approximate) FD discovery",
+		Sampling: true, Incremental: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
 			if o.SampleRows > 0 {
 				res := sampling.Run(ctx, r, samplingOptions(o),
@@ -159,8 +166,8 @@ var algos = []Algo{
 	},
 	{
 		Name: "fastfd", Class: "FD",
-		Doc: "FastFD difference-set FD discovery",
-		Sampling: true,
+		Doc:      "FastFD difference-set FD discovery",
+		Sampling: true, Incremental: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
 			if o.SampleRows > 0 {
 				res := sampling.Run(ctx, r, samplingOptions(o),
@@ -193,8 +200,8 @@ var algos = []Algo{
 	},
 	{
 		Name: "od", Class: "OD",
-		Doc: "Set-based order dependency discovery (minimal ODs)",
-		Sampling: true,
+		Doc:      "Set-based order dependency discovery (minimal ODs)",
+		Sampling: true, Incremental: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
 			if o.SampleRows > 0 {
 				// One set-based verifier over the full relation: per-column
@@ -216,8 +223,8 @@ var algos = []Algo{
 	},
 	{
 		Name: "lexod", Class: "OD",
-		Doc: "Lexicographic order dependency discovery",
-		Sampling: true,
+		Doc:      "Lexicographic order dependency discovery",
+		Sampling: true, Incremental: true,
 		Run: func(ctx context.Context, r *relation.Relation, o RunOptions) Output {
 			if o.SampleRows > 0 {
 				res := sampling.Run(ctx, r, samplingOptions(o),

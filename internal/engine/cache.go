@@ -38,6 +38,12 @@ type PartitionCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	// fp names the relation state the memoized partitions were built
+	// against (a relation.Appender chained fingerprint); upgrades and
+	// upgradeEvicts count per-entry outcomes of Upgrade calls.
+	fp            string
+	upgrades      uint64
+	upgradeEvicts uint64
 
 	// scratch pools partition arenas for product builds. sync.Pool's per-P
 	// free lists hand each engine worker an effectively private arena, so
@@ -47,6 +53,7 @@ type PartitionCache struct {
 	// Optional live mirrors of the stats above in an obs registry
 	// (SetObserver); nil handles are no-ops.
 	cHits, cMisses, cEvictions *obs.Counter
+	cUpgrades, cUpgradeEvicts  *obs.Counter
 	gBytes, gEntries           *obs.Gauge
 	cProducts                  *obs.Counter
 	hProduct                   *obs.Histogram
@@ -72,6 +79,11 @@ type CacheStats struct {
 	// partitions; Entries the count of memoized partitions.
 	Bytes   int64
 	Entries int
+	// Upgrades counts entries carried across an Upgrade in place;
+	// UpgradeEvictions counts entries an Upgrade dropped instead (the
+	// refine callback declined them, or their build was still in flight).
+	Upgrades         uint64
+	UpgradeEvictions uint64
 }
 
 // DefaultCacheCapacity bounds a PartitionCache when the caller passes a
@@ -125,6 +137,8 @@ func (c *PartitionCache) SetObserver(reg *obs.Registry) {
 	c.cHits = reg.Counter("cache.hits")
 	c.cMisses = reg.Counter("cache.misses")
 	c.cEvictions = reg.Counter("cache.evictions")
+	c.cUpgrades = reg.Counter("cache.upgrades")
+	c.cUpgradeEvicts = reg.Counter("cache.upgrade_evictions")
 	c.gBytes = reg.Gauge("cache.bytes")
 	c.gEntries = reg.Gauge("cache.entries")
 	c.cProducts = reg.Counter("partition.products_total")
@@ -230,11 +244,13 @@ func (c *PartitionCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Bytes:     c.bytes,
-		Entries:   c.lru.Len(),
+		Hits:             c.hits,
+		Misses:           c.misses,
+		Evictions:        c.evictions,
+		Bytes:            c.bytes,
+		Entries:          c.lru.Len(),
+		Upgrades:         c.upgrades,
+		UpgradeEvictions: c.upgradeEvicts,
 	}
 }
 

@@ -1,0 +1,182 @@
+// Append-batch plans for streaming discovery: a base relation plus a
+// sequence of row batches continuing its planted structure, with
+// rule-breaking drift planted in one configurable batch. The shapes
+// mirror LargeOrdered / LargeWide so the streaming benchmarks measure
+// the same partition and order structure the one-shot benchmarks do.
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"deptree/internal/relation"
+)
+
+// AppendConfig configures an append-batch plan.
+type AppendConfig struct {
+	// Wide selects the LargeWide-shaped plan (monotone spine plus tail
+	// columns); default is the LargeOrdered shape (ts/seq/load/bucket/grp).
+	Wide bool
+	// Ord/Tail size the wide shape (defaults 4 and 12, as in the
+	// million-row benchmarks).
+	Ord, Tail int
+	// BaseRows is the seed relation's size; Batches batches of BatchRows
+	// rows follow.
+	BaseRows  int
+	BatchRows int
+	Batches   int
+	// DriftAt is the 1-based batch index that plants rule-breaking
+	// drift (0 = none): for the ordered shape a seq regression (breaks
+	// the planted ODs), a duplicated ts with diverging payload (breaks
+	// the ts-as-key FDs, forcing superset re-discovery) and a
+	// bucket→grp flip; for the wide shape the tail columns switch from
+	// the monotone spine to noise (a demotion wave across every tail
+	// OD).
+	DriftAt int
+	Seed    int64
+}
+
+func (c AppendConfig) withDefaults() AppendConfig {
+	if c.Ord == 0 {
+		c.Ord = 4
+	}
+	if c.Tail == 0 {
+		c.Tail = 12
+	}
+	if c.BaseRows == 0 {
+		c.BaseRows = 1000
+	}
+	if c.BatchRows == 0 {
+		c.BatchRows = 100
+	}
+	if c.Batches == 0 {
+		c.Batches = 4
+	}
+	return c
+}
+
+// AppendPlan is a generated base relation and its append batches.
+type AppendPlan struct {
+	Base    *relation.Relation
+	Batches [][][]relation.Value
+}
+
+// AppendBatches generates an append plan per cfg. Generation state (the
+// monotone counters) carries across the base and every batch, so the
+// planted dependencies keep holding under appends until the drift batch
+// breaks them.
+func AppendBatches(cfg AppendConfig) AppendPlan {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Wide {
+		return appendWide(rng, cfg)
+	}
+	return appendOrdered(rng, cfg)
+}
+
+func appendOrdered(rng *rand.Rand, cfg AppendConfig) AppendPlan {
+	schema := relation.NewSchema(
+		relation.Attribute{Name: "ts", Kind: relation.KindInt},
+		relation.Attribute{Name: "seq", Kind: relation.KindFloat},
+		relation.Attribute{Name: "load", Kind: relation.KindFloat},
+		relation.Attribute{Name: "bucket", Kind: relation.KindInt},
+		relation.Attribute{Name: "grp", Kind: relation.KindInt},
+	)
+	ts := int64(0)
+	seq := 0.0
+	next := func() []relation.Value {
+		ts += 1 + int64(rng.Intn(5))
+		seq += 0.5 + rng.Float64()
+		bucket := rng.Intn(8)
+		return []relation.Value{
+			relation.Int(int(ts)),
+			relation.Float(seq),
+			relation.Float(rng.Float64() * 1000),
+			relation.Int(bucket),
+			relation.Int(bucket % 4),
+		}
+	}
+	base := relation.New("stream-ordered", schema)
+	for n := 0; n < cfg.BaseRows; n++ {
+		if err := base.Append(next()); err != nil {
+			panic(err)
+		}
+	}
+	plan := AppendPlan{Base: base}
+	for b := 1; b <= cfg.Batches; b++ {
+		var rows [][]relation.Value
+		for n := 0; n < cfg.BatchRows; n++ {
+			rows = append(rows, next())
+		}
+		if b == cfg.DriftAt && len(rows) > 0 {
+			// Seq regression: ts advances, seq falls — breaks ts≤→seq≤
+			// and seq≤→ts≤ at once.
+			ts += 1
+			rows = append(rows, []relation.Value{
+				relation.Int(int(ts)), relation.Float(seq - 100),
+				relation.Float(1), relation.Int(0), relation.Int(0),
+			})
+			// Duplicated ts with a diverging payload: every ts-as-key FD
+			// (ts→seq, ts→load, ...) breaks, and the re-discovery has to
+			// walk to strict supersets.
+			seq += 1
+			rows = append(rows, []relation.Value{
+				relation.Int(int(ts)), relation.Float(seq),
+				relation.Float(2), relation.Int(1), relation.Int(1),
+			})
+			// bucket→grp flip.
+			ts += 1
+			seq += 1
+			rows = append(rows, []relation.Value{
+				relation.Int(int(ts)), relation.Float(seq),
+				relation.Float(3), relation.Int(2), relation.Int(3),
+			})
+		}
+		plan.Batches = append(plan.Batches, rows)
+	}
+	return plan
+}
+
+func appendWide(rng *rand.Rand, cfg AppendConfig) AppendPlan {
+	attrs := []relation.Attribute{{Name: "ts", Kind: relation.KindInt}}
+	for i := 1; i < cfg.Ord; i++ {
+		attrs = append(attrs, relation.Attribute{Name: "m" + strconv.Itoa(i), Kind: relation.KindFloat})
+	}
+	for i := 1; i <= cfg.Tail; i++ {
+		attrs = append(attrs, relation.Attribute{Name: "t" + strconv.Itoa(i), Kind: relation.KindFloat})
+	}
+	schema := relation.NewSchema(attrs...)
+	ts := int64(0)
+	next := func(noisy bool) []relation.Value {
+		ts += 1 + int64(rng.Intn(5))
+		row := make([]relation.Value, len(attrs))
+		row[0] = relation.Int(int(ts))
+		for i := 1; i < cfg.Ord; i++ {
+			row[i] = relation.Float(float64(ts)*float64(i) + float64(i))
+		}
+		for i := 0; i < cfg.Tail; i++ {
+			if noisy {
+				row[cfg.Ord+i] = relation.Float(rng.Float64() * 1e9)
+			} else {
+				row[cfg.Ord+i] = relation.Float(float64(ts))
+			}
+		}
+		return row
+	}
+	base := relation.New("stream-wide", schema)
+	for n := 0; n < cfg.BaseRows; n++ {
+		if err := base.Append(next(false)); err != nil {
+			panic(err)
+		}
+	}
+	plan := AppendPlan{Base: base}
+	for b := 1; b <= cfg.Batches; b++ {
+		var rows [][]relation.Value
+		noisy := cfg.DriftAt > 0 && b >= cfg.DriftAt
+		for n := 0; n < cfg.BatchRows; n++ {
+			rows = append(rows, next(noisy))
+		}
+		plan.Batches = append(plan.Batches, rows)
+	}
+	return plan
+}

@@ -1,0 +1,169 @@
+package partition
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"deptree/internal/attrset"
+	"deptree/internal/relation"
+)
+
+// refineSchema: two low-cardinality columns (collisions, promotions), one
+// medium, one high-cardinality (singleton births, the growth-0 path).
+func refineSchema() *relation.Schema {
+	return relation.NewSchema(
+		relation.Attribute{Name: "lo1", Kind: relation.KindInt},
+		relation.Attribute{Name: "lo2", Kind: relation.KindString},
+		relation.Attribute{Name: "mid", Kind: relation.KindInt},
+		relation.Attribute{Name: "uniq", Kind: relation.KindInt},
+	)
+}
+
+func refineRow(rng *rand.Rand, serial int) []relation.Value {
+	return []relation.Value{
+		relation.Int(rng.Intn(4)),
+		relation.String("v" + strconv.Itoa(rng.Intn(3))),
+		relation.Int(rng.Intn(20)),
+		relation.Int(serial),
+	}
+}
+
+func setLabel(x attrset.Set) string {
+	return "set-" + strconv.FormatUint(uint64(x), 2)
+}
+
+// samePartition compares p against the canonical from-scratch oracle.
+func samePartition(t *testing.T, label string, got, want *Partition) {
+	t.Helper()
+	if got.NumRows() != want.NumRows() || got.Cardinality() != want.Cardinality() ||
+		got.NumClasses() != want.NumClasses() || got.Size() != want.Size() {
+		t.Fatalf("%s: shape (rows %d/%d, card %d/%d, classes %d/%d, size %d/%d)", label,
+			got.NumRows(), want.NumRows(), got.Cardinality(), want.Cardinality(),
+			got.NumClasses(), want.NumClasses(), got.Size(), want.Size())
+	}
+	for ci := 0; ci < want.NumClasses(); ci++ {
+		g, w := got.Class(ci), want.Class(ci)
+		if len(g) != len(w) {
+			t.Fatalf("%s: class %d len %d != %d", label, ci, len(g), len(w))
+		}
+		for k := range w {
+			if g[k] != w[k] {
+				t.Fatalf("%s: class %d row %d: %d != %d", label, ci, k, g[k], w[k])
+			}
+		}
+	}
+}
+
+// TestAppendRefineMatchesBuild is the oracle test: after every batch and
+// for every attribute set shape (empty, singletons, pairs, a triple),
+// AppendRefine's partition is canonical-form-identical to a from-scratch
+// Build over the grown relation.
+func TestAppendRefineMatchesBuild(t *testing.T) {
+	sets := []attrset.Set{
+		attrset.Set(0), // π_∅: one class holding every row
+		attrset.Single(0),
+		attrset.Single(1),
+		attrset.Single(3), // all-singleton column: growth-0 every batch
+		attrset.Single(0).Add(1),
+		attrset.Single(0).Add(2),
+		attrset.Single(0).Add(1).Add(2),
+	}
+	rng := rand.New(rand.NewSource(42))
+	r := relation.New("refine", refineSchema())
+	serial := 0
+	appendRows := func(n int) int {
+		old := r.Rows()
+		for i := 0; i < n; i++ {
+			if err := r.Append(refineRow(rng, serial)); err != nil {
+				t.Fatal(err)
+			}
+			serial++
+		}
+		return old
+	}
+
+	appendRows(50)
+	refiners := make([]*Refiner, len(sets))
+	for i, x := range sets {
+		refiners[i] = NewRefiner(r, x)
+		samePartition(t, "initial "+setLabel(x), refiners[i].Partition(), Build(r, x))
+	}
+	for batch := 0; batch < 6; batch++ {
+		old := appendRows(5 + rng.Intn(30))
+		for i, x := range sets {
+			p := refiners[i].AppendRefine(r, old)
+			label := "batch " + strconv.Itoa(batch) + " " + setLabel(x)
+			samePartition(t, label, p, Build(r, x))
+			if p != refiners[i].Partition() {
+				t.Fatalf("%s: returned partition is not Partition()", label)
+			}
+			if got, want := refiners[i].Cardinality(), p.Cardinality(); got != want {
+				t.Fatalf("%s: Cardinality() %d != partition card %d", label, got, want)
+			}
+			// Touched must be exactly the stripped classes containing a
+			// delta row.
+			touched := map[int]bool{}
+			for _, ci := range refiners[i].Touched() {
+				touched[ci] = true
+			}
+			for ci := 0; ci < p.NumClasses(); ci++ {
+				hasDelta := false
+				for _, row := range p.Class(ci) {
+					if int(row) >= old {
+						hasDelta = true
+						break
+					}
+				}
+				if hasDelta != touched[ci] {
+					t.Fatalf("%s: class %d hasDelta=%v touched=%v", label, ci, hasDelta, touched[ci])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendRefineEmptyDelta: a zero-row refine returns the same
+// partition and clears Touched.
+func TestAppendRefineEmptyDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := relation.New("refine", refineSchema())
+	for i := 0; i < 30; i++ {
+		if err := r.Append(refineRow(rng, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewRefiner(r, attrset.Single(0))
+	p0 := f.Partition()
+	if p := f.AppendRefine(r, r.Rows()); p != p0 || len(f.Touched()) != 0 {
+		t.Fatalf("empty delta: partition replaced or touched %v", f.Touched())
+	}
+}
+
+// TestAppendRefinePromotion walks the three class transitions explicitly:
+// extend, promote-from-stripped-singleton, and newborn class.
+func TestAppendRefinePromotion(t *testing.T) {
+	schema := relation.NewSchema(relation.Attribute{Name: "k", Kind: relation.KindString})
+	r := relation.New("p", schema)
+	for _, v := range []string{"dup", "dup", "solo"} {
+		if err := r.Append([]relation.Value{relation.String(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := NewRefiner(r, attrset.Single(0))
+	if f.Partition().NumClasses() != 1 { // {0,1}; "solo" stripped
+		t.Fatalf("initial classes %d", f.Partition().NumClasses())
+	}
+	old := r.Rows()
+	for _, v := range []string{"dup", "solo", "fresh", "fresh", "alone"} {
+		if err := r.Append([]relation.Value{relation.String(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := f.AppendRefine(r, old)
+	samePartition(t, "promotion", p, Build(r, attrset.Single(0)))
+	// dup extended, solo promoted, fresh born, alone stays stripped.
+	if p.NumClasses() != 3 || len(f.Touched()) != 3 {
+		t.Fatalf("classes %d touched %v", p.NumClasses(), f.Touched())
+	}
+}

@@ -80,6 +80,15 @@ type Config struct {
 	JobMaxAttempts  int
 	JobRetryBackoff time.Duration
 	JobJitterSeed   uint64
+	// StreamMaxSessions caps live streaming sessions (default 16):
+	// resident partition state per session is what the cap bounds, so
+	// creations past it are shed with 429 until the server restarts.
+	StreamMaxSessions int
+	// StreamWALPath persists streaming sessions ("" = memory only):
+	// creations and accepted batches are logged and fsynced before the
+	// response and replayed at startup, so a stream session survives a
+	// restart with identical fingerprint and ruleset.
+	StreamWALPath string
 	// Obs receives every server and engine metric (nil = no-op).
 	Obs *obs.Registry
 
@@ -113,6 +122,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.StreamMaxSessions <= 0 {
+		c.StreamMaxSessions = 16
+	}
 	return c
 }
 
@@ -122,6 +134,7 @@ func endpoints() []string {
 	for _, a := range Algorithms() {
 		eps = append(eps, "discover."+a)
 	}
+	eps = append(eps, streamEndpoints()...)
 	return eps
 }
 
@@ -139,6 +152,8 @@ type Server struct {
 
 	jobs    *jobs.Manager
 	jobsErr error
+
+	streams *streamTable
 
 	draining   atomic.Bool
 	baseCtx    context.Context
@@ -196,8 +211,18 @@ func New(cfg Config) *Server {
 		s.jobs = jm
 	}
 
+	s.streams = newStreamTable(cfg.StreamMaxSessions)
+	if cfg.StreamWALPath != "" {
+		if err := s.openStreamWAL(cfg.StreamWALPath); err != nil {
+			// Same posture as a corrupt job store: the stream routes
+			// answer 503, everything else stays up.
+			s.streams.fail(err)
+		}
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/discover/{algo}", s.handleDiscover)
+	mux.HandleFunc("POST /v1/stream/{algo}", s.handleStream)
 	mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	mux.HandleFunc("POST /v1/repair", s.handleRepair)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
@@ -256,10 +281,14 @@ func (s *Server) BeginDrain() {
 // store (syncing the WAL). Run calls it as part of the drain sequence;
 // tests that mount Handler directly call it in cleanup.
 func (s *Server) Close() error {
-	if s.jobs == nil {
-		return nil
+	var err error
+	if s.jobs != nil {
+		err = s.jobs.Close()
 	}
-	return s.jobs.Close()
+	if werr := s.streams.closeWAL(); err == nil {
+		err = werr
+	}
+	return err
 }
 
 // Jobs exposes the job manager (nil when the store failed to open) for
@@ -269,6 +298,10 @@ func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 // JobsErr reports why the job subsystem is unavailable, nil when it is
 // healthy.
 func (s *Server) JobsErr() error { return s.jobsErr }
+
+// StreamErr reports why the stream subsystem is unavailable (WAL open,
+// replay or append failure), nil when it is healthy.
+func (s *Server) StreamErr() error { return s.streams.unavailable() }
 
 // Run serves on ln until ctx is cancelled (the SIGTERM path), then
 // executes the drain sequence: BeginDrain, a DrainGrace beat for load

@@ -1,0 +1,409 @@
+// Streaming discovery over HTTP: POST /v1/stream/{algo} is a
+// chunked-ingest session protocol. The first request (no "session"
+// field) creates a session from its CSV — schema inferred exactly as the
+// one-shot endpoints infer it — and returns the session id; follow-ups
+// name the session and append their CSV rows (header repeated, parsed
+// with the session's kinds), each answered with the refreshed ruleset,
+// its diff, and the chained relation fingerprint.
+//
+// Sessions run through the same hardening pipeline as every other
+// engine endpoint (drain, per-algorithm breaker, weighted admission,
+// metrics) plus their own admission control: a fixed session-table cap
+// sheds creations with 429 once the server holds too much resident
+// partition state. With a WAL configured (deptool serve -jobs-dir),
+// creations and accepted batches are logged and fsynced before the
+// response, and replayed through fresh sessions at startup — a stream
+// survives a server restart with an identical fingerprint and ruleset.
+// A WAL write failure poisons the whole subsystem (503s) rather than
+// letting live state silently diverge from what a restart would rebuild.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"deptree/internal/relation"
+	"deptree/internal/stream"
+)
+
+// StreamRequest is the body of POST /v1/stream/{algo}. Approximate and
+// sampling knobs are deliberately absent: incremental revalidation is
+// exact-only (appends are only monotone for exact dependencies), so a
+// request carrying max_err or sample_rows fails the strict decoder.
+type StreamRequest struct {
+	// CSV is this batch: header plus zero or more rows. On creation the
+	// header fixes the session schema; on appends it must repeat it.
+	CSV string `json:"csv"`
+	// Session names an existing session to append to; empty creates one.
+	Session string `json:"session,omitempty"`
+	RunKnobs
+}
+
+// streamResponse is the JSON reply of POST /v1/stream/{algo}.
+type streamResponse struct {
+	Session     string   `json:"session"`
+	Algo        string   `json:"algo"`
+	Seq         int      `json:"seq"`
+	Rows        int      `json:"rows"`
+	TotalRows   int      `json:"total_rows"`
+	Fingerprint string   `json:"fingerprint"`
+	Count       int      `json:"count"`
+	Results     []string `json:"results"`
+	Added       []string `json:"added"`
+	Removed     []string `json:"removed"`
+	Partial     bool     `json:"partial"`
+	Reason      string   `json:"reason,omitempty"`
+}
+
+func (sr streamResponse) writeJSON(w http.ResponseWriter) { writeJSONBody(w, sr) }
+func (sr streamResponse) writeText(w http.ResponseWriter) {
+	fmt.Fprintf(w, "session %s batch %d rows %d total %d\n", sr.Session, sr.Seq, sr.Rows, sr.TotalRows)
+	for _, l := range sr.Added {
+		fmt.Fprintf(w, "+ %s\n", l)
+	}
+	for _, l := range sr.Removed {
+		fmt.Fprintf(w, "- %s\n", l)
+	}
+	fmt.Fprintf(w, "%d dependencies\n", sr.Count)
+	if sr.Partial {
+		fmt.Fprintf(w, "PARTIAL: %s\n", sr.Reason)
+	}
+}
+
+// serverStream is one live session; its mutex serializes batches (the
+// stream.Session contract) and orders WAL appends within the session.
+type serverStream struct {
+	mu   sync.Mutex
+	id   string
+	sess *stream.Session
+}
+
+// streamTable is the session registry: bounded map, monotone ids, and
+// the optional WAL shared by every session.
+type streamTable struct {
+	mu     sync.Mutex
+	max    int
+	nextID int
+	byID   map[string]*serverStream
+	wal    *stream.WAL
+	// broken poisons the subsystem after a WAL open/replay/append
+	// failure: durable and live state can no longer be kept in lockstep,
+	// so every stream request answers 503 until restart.
+	broken error
+}
+
+func newStreamTable(max int) *streamTable {
+	return &streamTable{max: max, byID: make(map[string]*serverStream)}
+}
+
+func (t *streamTable) get(id string) *serverStream {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+func (t *streamTable) unavailable() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.broken
+}
+
+func (t *streamTable) fail(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.broken == nil {
+		t.broken = err
+	}
+}
+
+// register adds a replayed session under its logged id, keeping nextID
+// past every replayed suffix. Replay ignores the cap: sessions that were
+// admitted before a restart are not orphaned by a lower cap after one.
+func (t *streamTable) register(id string, sess *stream.Session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byID[id] = &serverStream{id: id, sess: sess}
+	if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > t.nextID {
+		t.nextID = n
+	}
+}
+
+// create admits a new session, logging it to the WAL before it becomes
+// visible — a session the client learned the id of always survives a
+// restart.
+func (t *streamTable) create(algo string, schema *relation.Schema, opts stream.Options) (*serverStream, *apiError) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.broken != nil {
+		return nil, &apiError{status: http.StatusServiceUnavailable, code: "stream_unavailable",
+			msg: "stream subsystem unavailable: " + t.broken.Error()}
+	}
+	if len(t.byID) >= t.max {
+		return nil, &apiError{status: http.StatusTooManyRequests, code: "stream_sessions_exhausted",
+			msg: fmt.Sprintf("session table full (%d live sessions)", len(t.byID)), retryAfter: 1}
+	}
+	sess, err := stream.NewSession(algo, schema, opts)
+	if err != nil {
+		return nil, &apiError{status: http.StatusBadRequest, code: "streaming_unsupported", msg: err.Error()}
+	}
+	t.nextID++
+	id := "s" + strconv.Itoa(t.nextID)
+	if t.wal != nil {
+		if werr := t.wal.AppendCreate(id, algo, schema); werr != nil {
+			t.broken = werr
+			return nil, &apiError{status: http.StatusInternalServerError, code: "stream_wal_failed", msg: werr.Error()}
+		}
+	}
+	st := &serverStream{id: id, sess: sess}
+	t.byID[id] = st
+	return st, nil
+}
+
+func (t *streamTable) closeWAL() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return nil
+	}
+	err := t.wal.Close()
+	t.wal = nil
+	return err
+}
+
+// streamOptions are the session-lifetime knobs: ingestion limits mirror
+// the CSV endpoints (the row bound applies to the whole relation, so a
+// stream cannot grow past what a one-shot request could post), while
+// workers and budget are overwritten per batch from the request.
+func (s *Server) streamOptions() stream.Options {
+	return stream.Options{
+		Workers: s.cfg.Workers,
+		Limits:  relation.Limits{MaxRows: s.cfg.MaxRows, MaxFieldBytes: s.cfg.MaxFieldBytes},
+		Obs:     s.reg,
+	}
+}
+
+// openStreamWAL opens and replays the session log, rebuilding every
+// session batch by batch — same rows, same chained fingerprints, same
+// rulesets. Replay runs unbudgeted on the background context; a partial
+// replayed sync (impossible short of an engine panic) heals on the
+// session's next batch, but a record that fails to apply poisons the
+// subsystem instead of resurrecting half a session.
+func (s *Server) openStreamWAL(path string) error {
+	wal, err := stream.OpenWAL(path)
+	if err != nil {
+		return err
+	}
+	err = wal.Replay(func(rec stream.WALRecord) error {
+		switch rec.Op {
+		case "create":
+			schema, serr := rec.SchemaOf()
+			if serr != nil {
+				return serr
+			}
+			sess, serr := stream.NewSession(rec.Algo, schema, s.streamOptions())
+			if serr != nil {
+				return serr
+			}
+			s.streams.register(rec.Session, sess)
+			return nil
+		case "batch":
+			st := s.streams.get(rec.Session)
+			if st == nil {
+				return fmt.Errorf("stream: wal batch for unknown session %q", rec.Session)
+			}
+			rows, rerr := rec.RowsOf()
+			if rerr != nil {
+				return rerr
+			}
+			_, rerr = st.sess.AppendBatch(context.Background(), rows)
+			return rerr
+		}
+		return fmt.Errorf("stream: wal record with unknown op %q", rec.Op)
+	})
+	if err != nil {
+		wal.Close()
+		return err
+	}
+	s.streams.mu.Lock()
+	s.streams.wal = wal
+	s.streams.mu.Unlock()
+	s.reg.Gauge("server.stream.sessions").Set(int64(len(s.streams.byID)))
+	return nil
+}
+
+// streamEndpoints lists the per-algorithm breaker keys for the stream
+// route: one per incremental discoverer.
+func streamEndpoints() []string {
+	var eps []string
+	for _, a := range Algorithms() {
+		if stream.Supported(a) {
+			eps = append(eps, "stream."+a)
+		}
+	}
+	return eps
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	algo := r.PathValue("algo")
+	if !validAlgo[algo] {
+		s.reg.Counter("server.stream.unknown_algo").Inc()
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_algo",
+			msg: fmt.Sprintf("unknown algorithm %q (want one of %v)", algo, Algorithms())})
+		return
+	}
+	if !stream.Supported(algo) {
+		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "streaming_unsupported",
+			msg: fmt.Sprintf("algorithm %q has no incremental engine (want one of %v)", algo, streamEndpoints())})
+		return
+	}
+	endpoint := "stream." + algo
+	fail := func(e *apiError) {
+		s.reg.Counter("server." + endpoint + ".errors").Inc()
+		writeAPIError(w, e)
+	}
+	if err := s.streams.unavailable(); err != nil {
+		fail(&apiError{status: http.StatusServiceUnavailable, code: "stream_unavailable",
+			msg: "stream subsystem unavailable: " + err.Error()})
+		return
+	}
+	var req StreamRequest
+	if e := s.decodeBody(w, r, &req); e != nil {
+		fail(e)
+		return
+	}
+
+	// Parse and validate outside the guarded pipeline: malformed input
+	// must not feed the breaker or occupy admission slots.
+	var (
+		rows   [][]relation.Value
+		schema *relation.Schema
+		st     *serverStream
+	)
+	if req.Session == "" {
+		rel, e := s.parseCSV("stream", req.CSV)
+		if e != nil {
+			fail(e)
+			return
+		}
+		schema = rel.Schema()
+		rows = streamTuples(rel)
+	} else {
+		st = s.streams.get(req.Session)
+		if st == nil {
+			fail(&apiError{status: http.StatusNotFound, code: "unknown_session",
+				msg: fmt.Sprintf("no stream session %q (sessions do not survive a restart without -jobs-dir)", req.Session)})
+			return
+		}
+		if st.sess.Algo() != algo {
+			fail(&apiError{status: http.StatusBadRequest, code: "algo_mismatch",
+				msg: fmt.Sprintf("session %s streams %q, not %q", st.id, st.sess.Algo(), algo)})
+			return
+		}
+		var e *apiError
+		rows, e = s.parseStreamBatch(st.sess.Schema(), req.CSV)
+		if e != nil {
+			fail(e)
+			return
+		}
+	}
+
+	spec := s.resolveBudget(req.RunKnobs, r.Header)
+	s.guarded(w, r, endpoint, spec, func(ctx context.Context, p RunParams) (response, bool, string, *apiError) {
+		if st == nil {
+			var apiErr *apiError
+			st, apiErr = s.streams.create(algo, schema, s.streamOptions())
+			if apiErr != nil {
+				return nil, false, "", apiErr
+			}
+			s.reg.Gauge("server.stream.sessions").Add(1)
+		}
+		return s.streamRunBatch(ctx, algo, st, rows, p)
+	})
+}
+
+// streamRunBatch ingests one batch under the session lock: per-request
+// run knobs, the engine sync, and — only after the appender accepted the
+// rows — the fsynced WAL record, so the response implies durability.
+func (s *Server) streamRunBatch(ctx context.Context, algo string, st *serverStream,
+	rows [][]relation.Value, p RunParams) (response, bool, string, *apiError) {
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sess.SetRun(p.Workers, p.Budget)
+	res, err := st.sess.AppendBatch(ctx, rows)
+	if err != nil {
+		var tooLarge *relation.ErrInputTooLarge
+		if errors.As(err, &tooLarge) {
+			return nil, false, "", &apiError{status: http.StatusRequestEntityTooLarge, code: "input_too_large", msg: err.Error()}
+		}
+		return nil, false, "", &apiError{status: http.StatusBadRequest, code: "invalid_batch", msg: err.Error()}
+	}
+	if len(rows) > 0 {
+		s.streams.mu.Lock()
+		wal := s.streams.wal
+		s.streams.mu.Unlock()
+		if wal != nil {
+			if werr := wal.AppendBatch(st.id, res.Seq, rows); werr != nil {
+				s.streams.fail(werr)
+				return nil, false, "", &apiError{status: http.StatusInternalServerError, code: "stream_wal_failed", msg: werr.Error()}
+			}
+		}
+		s.reg.Counter("server.stream.batches").Inc()
+	}
+	results := res.Lines
+	if results == nil {
+		results = []string{}
+	}
+	return streamResponse{
+		Session: st.id, Algo: algo, Seq: res.Seq, Rows: res.Rows, TotalRows: res.TotalRows,
+		Fingerprint: res.Fingerprint, Count: len(res.Lines), Results: results,
+		Added: res.Added, Removed: res.Removed, Partial: res.Partial, Reason: res.Reason,
+	}, res.Partial, res.Reason, nil
+}
+
+// parseStreamBatch decodes an append batch with the session's kinds and
+// checks the repeated header against the session schema. Re-inferring
+// kinds per batch would let a numeric-looking batch silently re-type a
+// string column; parsing with the fixed kinds keeps every batch in the
+// session's value domain (the appender re-checks anyway).
+func (s *Server) parseStreamBatch(schema *relation.Schema, csv string) ([][]relation.Value, *apiError) {
+	if csv == "" {
+		return nil, &apiError{status: http.StatusBadRequest, code: "missing_csv", msg: "csv field is required"}
+	}
+	kinds := make([]relation.Kind, schema.Len())
+	for i := range kinds {
+		kinds[i] = schema.Attr(i).Kind
+	}
+	rel, err := relation.ReadCSVLimits("batch", strings.NewReader(csv), kinds, relation.Limits{
+		MaxBytes:      s.cfg.MaxInputBytes,
+		MaxRows:       s.cfg.MaxRows,
+		MaxFieldBytes: s.cfg.MaxFieldBytes,
+	})
+	if err != nil {
+		var tooLarge *relation.ErrInputTooLarge
+		if errors.As(err, &tooLarge) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: "input_too_large", msg: err.Error()}
+		}
+		return nil, &apiError{status: http.StatusBadRequest, code: "invalid_csv", msg: err.Error()}
+	}
+	for i := 0; i < schema.Len(); i++ {
+		if got := rel.Schema().Attr(i).Name; got != schema.Attr(i).Name {
+			return nil, &apiError{status: http.StatusBadRequest, code: "schema_mismatch",
+				msg: fmt.Sprintf("batch header column %d is %q, session has %q", i, got, schema.Attr(i).Name)}
+		}
+	}
+	return streamTuples(rel), nil
+}
+
+func streamTuples(r *relation.Relation) [][]relation.Value {
+	rows := make([][]relation.Value, r.Rows())
+	for i := range rows {
+		rows[i] = r.Tuple(i)
+	}
+	return rows
+}

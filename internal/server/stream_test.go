@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"deptree/internal/gen"
+	"deptree/internal/relation"
+)
+
+func relationAppendFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// csvOf renders a relation to CSV (the wire format of every endpoint).
+func csvOf(t *testing.T, r *relation.Relation) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := relation.WriteCSV(r, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// batchCSV renders one append batch as CSV under the plan's schema.
+func batchCSV(t *testing.T, schema *relation.Schema, rows [][]relation.Value) string {
+	t.Helper()
+	r := relation.New("batch", schema)
+	for _, row := range rows {
+		if err := r.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return csvOf(t, r)
+}
+
+func postStream(t *testing.T, url, algo, body string) (int, streamResponse, []byte) {
+	t.Helper()
+	status, raw := post(t, url+"/v1/stream/"+algo, body)
+	var sr streamResponse
+	if status == http.StatusOK {
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatalf("stream response: %v\n%s", err, raw)
+		}
+	}
+	return status, sr, raw
+}
+
+// TestStreamSessionLifecycle drives one session through base + drift
+// batches and pins the final ruleset to a one-shot discover over the
+// concatenation — the HTTP face of the differential guarantee.
+func TestStreamSessionLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	plan := gen.AppendBatches(gen.AppendConfig{BaseRows: 80, BatchRows: 30, Batches: 3, DriftAt: 2, Seed: 7})
+
+	status, sr, raw := postStream(t, ts.URL, "tane", mustJSON(t, StreamRequest{CSV: csvOf(t, plan.Base)}))
+	if status != http.StatusOK {
+		t.Fatalf("create: status %d: %s", status, raw)
+	}
+	if sr.Session != "s1" || sr.Seq != 1 || sr.TotalRows != plan.Base.Rows() || sr.Partial {
+		t.Fatalf("create response: %+v", sr)
+	}
+	if len(sr.Fingerprint) != 64 {
+		t.Fatalf("fingerprint %q", sr.Fingerprint)
+	}
+	shadow := relation.New("shadow", plan.Base.Schema())
+	for i := 0; i < plan.Base.Rows(); i++ {
+		if err := shadow.Append(plan.Base.Tuple(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last streamResponse
+	for i, b := range plan.Batches {
+		status, last, raw = postStream(t, ts.URL, "tane",
+			mustJSON(t, StreamRequest{Session: "s1", CSV: batchCSV(t, plan.Base.Schema(), b)}))
+		if status != http.StatusOK {
+			t.Fatalf("batch %d: status %d: %s", i+1, status, raw)
+		}
+		if last.Seq != i+2 || last.Partial {
+			t.Fatalf("batch %d response: %+v", i+1, last)
+		}
+		for _, row := range b {
+			if err := shadow.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// The session's ruleset must equal a from-scratch discover over the
+	// same bytes.
+	status, raw = post(t, ts.URL+"/v1/discover/tane", mustJSON(t, map[string]string{"csv": csvOf(t, shadow)}))
+	if status != http.StatusOK {
+		t.Fatalf("discover: status %d: %s", status, raw)
+	}
+	var dr discoverResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(last.Results, dr.Results) {
+		t.Fatalf("stream != discover\nstream:   %q\ndiscover: %q", last.Results, dr.Results)
+	}
+	// The drift batch must have emitted a non-empty removal diff at some
+	// point; at minimum the final batch carries a coherent count.
+	if last.Count != len(last.Results) {
+		t.Fatalf("count %d, results %d", last.Count, len(last.Results))
+	}
+}
+
+func TestStreamRequestErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	ordered := gen.AppendBatches(gen.AppendConfig{BaseRows: 20, Batches: 1, Seed: 1})
+	baseCSV := csvOf(t, ordered.Base)
+
+	status, _, raw := postStream(t, ts.URL, "nope", `{"csv":"a\n1\n"}`)
+	if status != http.StatusNotFound || errCode(t, raw) != "unknown_algo" {
+		t.Fatalf("unknown algo: %d %s", status, raw)
+	}
+	status, _, raw = postStream(t, ts.URL, "fastdc", `{"csv":"a\n1\n"}`)
+	if status != http.StatusBadRequest || errCode(t, raw) != "streaming_unsupported" {
+		t.Fatalf("unsupported algo: %d %s", status, raw)
+	}
+	status, _, raw = postStream(t, ts.URL, "tane", `{"csv":"a\n1\n","session":"s99"}`)
+	if status != http.StatusNotFound || errCode(t, raw) != "unknown_session" {
+		t.Fatalf("unknown session: %d %s", status, raw)
+	}
+	// Approximate/sampling knobs are not incremental: the strict decoder
+	// rejects them.
+	status, _, raw = postStream(t, ts.URL, "tane", `{"csv":"a\n1\n","max_err":0.1}`)
+	if status != http.StatusBadRequest || errCode(t, raw) != "bad_request" {
+		t.Fatalf("max_err: %d %s", status, raw)
+	}
+	status, _, raw = postStream(t, ts.URL, "tane", `{"csv":""}`)
+	if status != http.StatusBadRequest || errCode(t, raw) != "missing_csv" {
+		t.Fatalf("missing csv: %d %s", status, raw)
+	}
+
+	// Create one real session, then exercise append-side validation.
+	status, sr, raw := postStream(t, ts.URL, "od", mustJSON(t, StreamRequest{CSV: baseCSV}))
+	if status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	status, _, raw = postStream(t, ts.URL, "tane", mustJSON(t, StreamRequest{Session: sr.Session, CSV: baseCSV}))
+	if status != http.StatusBadRequest || errCode(t, raw) != "algo_mismatch" {
+		t.Fatalf("algo mismatch: %d %s", status, raw)
+	}
+	status, _, raw = postStream(t, ts.URL, "od", mustJSON(t, StreamRequest{Session: sr.Session, CSV: "x,y\n1,2\n"}))
+	if status != http.StatusBadRequest {
+		t.Fatalf("schema mismatch: %d %s", status, raw)
+	}
+}
+
+func TestStreamSessionCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, StreamMaxSessions: 1})
+	status, _, raw := postStream(t, ts.URL, "od", `{"csv":"a,b\n1,2\n"}`)
+	if status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	status, _, raw = postStream(t, ts.URL, "od", `{"csv":"a,b\n1,2\n"}`)
+	if status != http.StatusTooManyRequests || errCode(t, raw) != "stream_sessions_exhausted" {
+		t.Fatalf("cap: %d %s", status, raw)
+	}
+}
+
+// TestStreamWALRestart is the crash-recovery contract: a session created
+// and fed on one server instance is replayed by the next one from the
+// WAL with an identical fingerprint and ruleset, and keeps accepting
+// batches.
+func TestStreamWALRestart(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "stream.wal")
+	plan := gen.AppendBatches(gen.AppendConfig{BaseRows: 60, BatchRows: 25, Batches: 3, DriftAt: 2, Seed: 9})
+	headerOnly := batchCSV(t, plan.Base.Schema(), nil)
+
+	s1, ts1 := newTestServer(t, Config{Workers: 2, StreamWALPath: walPath})
+	status, _, raw := postStream(t, ts1.URL, "od", mustJSON(t, StreamRequest{CSV: csvOf(t, plan.Base)}))
+	if status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	status, before, raw := postStream(t, ts1.URL, "od",
+		mustJSON(t, StreamRequest{Session: "s1", CSV: batchCSV(t, plan.Base.Schema(), plan.Batches[0])}))
+	if status != http.StatusOK {
+		t.Fatalf("batch: %d %s", status, raw)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{Workers: 2, StreamWALPath: walPath})
+	// A header-only append is a pure read of the replayed state.
+	status, after, raw := postStream(t, ts2.URL, "od", mustJSON(t, StreamRequest{Session: "s1", CSV: headerOnly}))
+	if status != http.StatusOK {
+		t.Fatalf("post-restart read: %d %s", status, raw)
+	}
+	if after.Fingerprint != before.Fingerprint {
+		t.Fatalf("fingerprint diverged across restart:\nbefore %s\nafter  %s", before.Fingerprint, after.Fingerprint)
+	}
+	if !reflect.DeepEqual(after.Results, before.Results) {
+		t.Fatalf("ruleset diverged across restart:\nbefore %q\nafter  %q", before.Results, after.Results)
+	}
+	// The replayed session keeps streaming — ids must not collide either.
+	status, sr, raw := postStream(t, ts2.URL, "od",
+		mustJSON(t, StreamRequest{Session: "s1", CSV: batchCSV(t, plan.Base.Schema(), plan.Batches[1])}))
+	if status != http.StatusOK || sr.Partial {
+		t.Fatalf("post-restart batch: %d %s", status, raw)
+	}
+	status, s2r, raw := postStream(t, ts2.URL, "tane", mustJSON(t, StreamRequest{CSV: csvOf(t, plan.Base)}))
+	if status != http.StatusOK {
+		t.Fatalf("post-restart create: %d %s", status, raw)
+	}
+	if s2r.Session != "s2" {
+		t.Fatalf("post-restart session id %q, want s2", s2r.Session)
+	}
+}
+
+// TestStreamTextFormat checks the ?format=text rendering.
+func TestStreamTextFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, raw := post(t, ts.URL+"/v1/stream/od?format=text", `{"csv":"a,b\n1,2\n2,3\n"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	want := "session s1 batch 1 rows 2 total 2\n"
+	if !bytes.HasPrefix(raw, []byte(want)) {
+		t.Fatalf("text output:\n%s", raw)
+	}
+	if !bytes.Contains(raw, []byte("dependencies\n")) {
+		t.Fatalf("text output missing count line:\n%s", raw)
+	}
+}
+
+// TestStreamTornWALTail plants a torn tail and checks the next server
+// truncates it and still replays the clean prefix.
+func TestStreamTornWALTail(t *testing.T) {
+	walPath := filepath.Join(t.TempDir(), "stream.wal")
+	s1, ts1 := newTestServer(t, Config{Workers: 1, StreamWALPath: walPath})
+	status, _, raw := postStream(t, ts1.URL, "od", `{"csv":"a,b\n1,2\n2,3\n"}`)
+	if status != http.StatusOK {
+		t.Fatalf("create: %d %s", status, raw)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := relationAppendFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"op":"batch","session":"s1","cells":[["n`) // cut mid-record
+	f.Close()
+
+	_, ts2 := newTestServer(t, Config{Workers: 1, StreamWALPath: walPath})
+	status, sr, raw := postStream(t, ts2.URL, "od", `{"csv":"a,b\n","session":"s1"}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-truncation read: %d %s", status, raw)
+	}
+	if sr.TotalRows != 2 {
+		t.Fatalf("replayed rows %d, want 2", sr.TotalRows)
+	}
+}

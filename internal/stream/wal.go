@@ -1,0 +1,226 @@
+// Stream WAL: crash-safe persistence for streaming sessions, in the
+// mold of the jobs WAL (append-only JSONL, O_APPEND writes, torn-tail
+// truncation on replay). The log records session creations and accepted
+// batches; replaying it through fresh Sessions reproduces every
+// relation, chained fingerprint and ruleset bit for bit, which is what
+// lets an HTTP stream session survive a server restart.
+//
+// Cells are encoded with relation.Value.Key — the injective canonical
+// form the dictionary coders and the chained fingerprint are built on.
+// A CSV re-encode would conflate NULL with the empty string and re-
+// format floats, silently forking the fingerprint chain on replay.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"deptree/internal/relation"
+)
+
+// ErrWALNotReplayed is returned by appends before Replay has run: until
+// a torn tail is truncated, an append could concatenate onto a partial
+// record and destroy both.
+var ErrWALNotReplayed = errors.New("stream: wal append before replay")
+
+// WALRecord is one log entry: a session creation (Op "create", carrying
+// the schema) or one accepted batch (Op "batch", carrying Key-encoded
+// cells).
+type WALRecord struct {
+	Op      string     `json:"op"`
+	Session string     `json:"session"`
+	Algo    string     `json:"algo,omitempty"`
+	Names   []string   `json:"names,omitempty"`
+	Kinds   []int      `json:"kinds,omitempty"`
+	Seq     int        `json:"seq,omitempty"`
+	Cells   [][]string `json:"cells,omitempty"`
+}
+
+// WAL is the durable session log. Every append is written and fsynced
+// before returning — batch acceptance is low-rate compared to the jobs
+// queue, so group commit buys nothing here.
+type WAL struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	replayed bool
+	// truncatedTail counts torn tail records dropped at Replay.
+	truncatedTail int
+}
+
+// OpenWAL opens (creating if absent) the JSONL log at path.
+func OpenWAL(path string) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WAL{path: path, f: f}, nil
+}
+
+// Replay streams every whole record to fn in log order, truncates a
+// torn tail (a record cut mid-line by a crash) and arms the WAL for
+// appends. fn returning an error aborts the replay.
+func (w *WAL) Replay(fn func(rec WALRecord) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Seek(0, 0); err != nil {
+		return err
+	}
+	var clean int64
+	sc := bufio.NewScanner(w.f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec WALRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Torn or corrupt tail: drop it and everything after.
+			w.truncatedTail++
+			break
+		}
+		clean += int64(len(line)) + 1
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(clean); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, 2); err != nil {
+		return err
+	}
+	w.replayed = true
+	return nil
+}
+
+// TruncatedTail reports torn records dropped by Replay.
+func (w *WAL) TruncatedTail() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.truncatedTail
+}
+
+// AppendCreate logs a session creation.
+func (w *WAL) AppendCreate(session, algo string, schema *relation.Schema) error {
+	rec := WALRecord{Op: "create", Session: session, Algo: algo}
+	for i := 0; i < schema.Len(); i++ {
+		at := schema.Attr(i)
+		rec.Names = append(rec.Names, at.Name)
+		rec.Kinds = append(rec.Kinds, int(at.Kind))
+	}
+	return w.append(rec)
+}
+
+// AppendBatch logs one accepted batch.
+func (w *WAL) AppendBatch(session string, seq int, rows [][]relation.Value) error {
+	rec := WALRecord{Op: "batch", Session: session, Seq: seq, Cells: EncodeRows(rows)}
+	return w.append(rec)
+}
+
+func (w *WAL) append(rec WALRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("stream: wal append: %w", err)
+	}
+	line = append(line, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.replayed {
+		return ErrWALNotReplayed
+	}
+	if w.f == nil {
+		return errors.New("stream: wal closed")
+	}
+	if _, err := w.f.Write(line); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// SchemaOf reconstructs a WAL create record's schema.
+func (rec WALRecord) SchemaOf() (*relation.Schema, error) {
+	if len(rec.Names) != len(rec.Kinds) {
+		return nil, fmt.Errorf("stream: wal create record: %d names, %d kinds", len(rec.Names), len(rec.Kinds))
+	}
+	attrs := make([]relation.Attribute, len(rec.Names))
+	for i := range rec.Names {
+		attrs[i] = relation.Attribute{Name: rec.Names[i], Kind: relation.Kind(rec.Kinds[i])}
+	}
+	return relation.NewSchema(attrs...), nil
+}
+
+// RowsOf decodes a WAL batch record's cells back into values.
+func (rec WALRecord) RowsOf() ([][]relation.Value, error) {
+	rows := make([][]relation.Value, len(rec.Cells))
+	for i, cells := range rec.Cells {
+		row := make([]relation.Value, len(cells))
+		for c, k := range cells {
+			v, err := decodeKey(k)
+			if err != nil {
+				return nil, fmt.Errorf("stream: wal batch row %d col %d: %w", i, c, err)
+			}
+			row[c] = v
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// EncodeRows Key-encodes a batch's cells for the WAL.
+func EncodeRows(rows [][]relation.Value) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for c, v := range row {
+			cells[c] = v.Key()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// decodeKey inverts relation.Value.Key. A decoded number comes back as a
+// float value whatever the column kind — the Appender accepts numeric
+// values cross-kind and both Key and Compare read the numeric payload
+// only, so replayed fingerprints and rulesets match the originals.
+func decodeKey(k string) (relation.Value, error) {
+	switch {
+	case k == "\x00null":
+		return relation.Null(relation.KindString), nil
+	case strings.HasPrefix(k, "s:"):
+		return relation.String(k[2:]), nil
+	case strings.HasPrefix(k, "n:"):
+		f, err := strconv.ParseFloat(k[2:], 64)
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("bad numeric key %q: %w", k, err)
+		}
+		return relation.Float(f), nil
+	}
+	return relation.Value{}, fmt.Errorf("bad cell key %q", k)
+}

@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"deptree/internal/relation"
+)
+
+func walSchema() *relation.Schema {
+	return relation.NewSchema(
+		relation.Attribute{Name: "n", Kind: relation.KindFloat},
+		relation.Attribute{Name: "s", Kind: relation.KindString},
+	)
+}
+
+// TestWALAppendBeforeReplay: the torn-tail gate.
+func TestWALAppendBeforeReplay(t *testing.T) {
+	w, err := OpenWAL(filepath.Join(t.TempDir(), "s.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.AppendCreate("s1", "od", walSchema()); !errors.Is(err, ErrWALNotReplayed) {
+		t.Fatalf("append before replay: %v", err)
+	}
+	if err := w.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCreate("s1", "od", walSchema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRoundTrip logs a session and replays it through a fresh
+// Session, asserting identical fingerprints — the cell encoding is
+// injective through Key, including null and the numeric/string split.
+func TestWALRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	rows := [][]relation.Value{
+		{relation.Float(1.5), relation.String("x")},
+		{relation.Int(2), relation.String("")}, // empty string != null
+		{relation.Null(relation.KindFloat), relation.Null(relation.KindString)},
+		{relation.Float(-0.0), relation.String("s:tricky\x1f")}, // key-prefix lookalikes
+	}
+	live, err := NewSession("od", walSchema(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := live.AppendBatch(context.Background(), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCreate("s1", "od", walSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch("s1", 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var replayed *Session
+	err = w2.Replay(func(rec WALRecord) error {
+		switch rec.Op {
+		case "create":
+			schema, serr := rec.SchemaOf()
+			if serr != nil {
+				return serr
+			}
+			if schema.Len() != 2 || schema.Attr(0).Name != "n" || schema.Attr(1).Kind != relation.KindString {
+				t.Fatalf("replayed schema %v", schema)
+			}
+			replayed, serr = NewSession(rec.Algo, schema, Options{})
+			return serr
+		case "batch":
+			decoded, derr := rec.RowsOf()
+			if derr != nil {
+				return derr
+			}
+			_, derr = replayed.AppendBatch(context.Background(), decoded)
+			return derr
+		}
+		t.Fatalf("unexpected op %q", rec.Op)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == nil {
+		t.Fatal("create record not replayed")
+	}
+	if replayed.Fingerprint() != res.Fingerprint {
+		t.Fatalf("replayed fingerprint %s != live %s", replayed.Fingerprint(), res.Fingerprint)
+	}
+	if !reflect.DeepEqual(replayed.Lines(), live.Lines()) {
+		t.Fatalf("replayed ruleset %q != live %q", replayed.Lines(), live.Lines())
+	}
+}
+
+// TestWALTornTail: a record cut mid-line is truncated on replay and the
+// log accepts appends on the clean prefix afterwards.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Replay(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCreate("s1", "od", walSchema()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"batch","session":"s1","cells":[["n:`)
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var ops []string
+	if err := w2.Replay(func(rec WALRecord) error { ops = append(ops, rec.Op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops, []string{"create"}) || w2.TruncatedTail() != 1 {
+		t.Fatalf("ops %v truncated %d", ops, w2.TruncatedTail())
+	}
+	// The torn bytes are gone from disk: a new append starts on a clean
+	// line boundary.
+	if err := w2.AppendBatch("s1", 1, [][]relation.Value{{relation.Float(1), relation.String("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	ops = nil
+	if err := w3.Replay(func(rec WALRecord) error { ops = append(ops, rec.Op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops, []string{"create", "batch"}) {
+		t.Fatalf("ops after repair %v", ops)
+	}
+}
+
+// TestDecodeKeyErrors: garbage cells fail loudly instead of silently
+// becoming values.
+func TestDecodeKeyErrors(t *testing.T) {
+	for _, bad := range []string{"", "x:1", "n:notanumber"} {
+		rec := WALRecord{Op: "batch", Cells: [][]string{{bad}}}
+		if _, err := rec.RowsOf(); err == nil {
+			t.Errorf("cell %q decoded without error", bad)
+		}
+	}
+}

@@ -3,9 +3,10 @@
 # port, exercises health/readiness/metrics, runs one discovery and one
 # validation request, then SIGTERMs and asserts a clean graceful drain
 # (exit 0, listener gone). A second phase boots the server with a
-# durable -jobs-dir, runs a job through `deptool job`, restarts the
-# server over the same WAL and asserts the completed result survives as
-# a cache hit. Run via `make serve-smoke`.
+# durable -jobs-dir, runs a job through `deptool job`, opens an
+# incremental stream session, restarts the server over the same WALs and
+# asserts the completed result survives as a cache hit and the stream
+# session replays to an identical fingerprint. Run via `make serve-smoke`.
 set -eu
 
 PORT=$((18000 + $$ % 1000))
@@ -78,6 +79,18 @@ wait_up
 [ -s "$WORK/run1.txt" ] || { echo "serve-smoke: job produced no result" >&2; exit 1; }
 "$BIN" job list -addr "$BASE" | grep -q done
 
+# --- Stream phase: open an incremental session, append a batch, and
+# check the maintained ruleset against the same rows via /v1/discover.
+# The session's WAL lives next to the jobs store ($JOBS_DIR/stream.wal).
+SBODY='{"csv":"source,name,address,region\ns1,A,addr1,R1\ns1,A,addr1,R1\n"}'
+curl -fsS -X POST -d "$SBODY" "$BASE/v1/stream/tane" > "$WORK/stream1.json"
+grep -q '"session":"s1"' "$WORK/stream1.json"
+SBATCH='{"session":"s1","csv":"source,name,address,region\ns2,B,addr2,R2\ns3,C,addr3,R2\n"}'
+curl -fsS -X POST -d "$SBATCH" "$BASE/v1/stream/tane" > "$WORK/stream2.json"
+grep -q '"total_rows":4' "$WORK/stream2.json"
+grep -q '"partial":false' "$WORK/stream2.json"
+FP=$(sed 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/' "$WORK/stream2.json")
+
 # Restart the server over the same WAL: the completed job must replay.
 kill -TERM "$PID"
 wait "$PID" || { echo "serve-smoke: jobs serve exited non-zero" >&2; exit 1; }
@@ -87,6 +100,16 @@ PID=$!
 wait_up
 
 "$BIN" job list -addr "$BASE" | grep -q done
+
+# The stream session must have survived the restart: a header-only
+# append (zero rows) reads back the replayed state, and its chained
+# fingerprint must equal the pre-restart one byte for byte.
+SREAD='{"session":"s1","csv":"source,name,address,region\n"}'
+curl -fsS -X POST -d "$SREAD" "$BASE/v1/stream/tane" > "$WORK/stream3.json"
+grep -q '"total_rows":4' "$WORK/stream3.json"
+grep -q "\"fingerprint\":\"$FP\"" "$WORK/stream3.json" || {
+    echo "serve-smoke: stream fingerprint diverged across restart" >&2; exit 1
+}
 
 # Resubmitting the unchanged dataset must be a cache hit with the same
 # bytes, served without recompute (cache-hit counter proof).
