@@ -193,6 +193,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "job":
 		err = cmdJob(os.Args[2:])
+	case "fsck":
+		err = cmdFsck(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -222,10 +224,13 @@ func usage() {
   deptool serve    [-addr :8080] [-workers N] [-max-concurrency n] [-queue n] [-timeout d] [-max-timeout d]
                    [-max-tasks n] [-max-input-mb m] [-max-rows n] [-drain-timeout d]
                    [-jobs-dir dir] [-job-runners n] [-job-queue n] [-job-max-attempts n]
+                   [-wal-quarantine]
   deptool job      (submit|status|wait|cancel|list) [-addr url] [-id jobID] ...
                    submit: -in data.csv [-kind discover|validate|repair] [-algo name]
                    [-fds specs] [-fd spec] [-maxerr e] [-sample-rows k] [-sample-seed s]
                    [-idempotency-key k] [-wait]
+  deptool fsck     [-kind jobs|stream|auto] [-repair] [-compact] [-max-record-mb m] [-q] path.wal
+                   (offline WAL verify/repair/compact; exit 0 clean, 2 problems, 1 error)
 
 discover, validate, repair and profile also take:
   -max-input-mb m           reject input CSVs larger than m MiB

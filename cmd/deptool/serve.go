@@ -39,6 +39,7 @@ func cmdServe(args []string) error {
 	jobQueue := fs.Int("job-queue", 0, "async job queue bound (0 = default 64)")
 	jobMaxAttempts := fs.Int("job-max-attempts", 0, "max attempts per job before a transient failure becomes terminal (0 = default 3)")
 	streamSessions := fs.Int("stream-sessions", 0, "max live /v1/stream sessions (0 = default 16)")
+	walQuarantine := fs.Bool("wal-quarantine", false, "on WAL corruption at boot, quarantine the damaged suffix to <wal>.quarantine and serve the verified prefix instead of refusing to start")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,7 +49,7 @@ func cmdServe(args []string) error {
 		if err := os.MkdirAll(*jobsDir, 0o755); err != nil {
 			return fmt.Errorf("jobs-dir: %w", err)
 		}
-		wal, err := jobs.OpenWAL(filepath.Join(*jobsDir, "jobs.wal"), jobs.WALOptions{})
+		wal, err := jobs.OpenWAL(filepath.Join(*jobsDir, "jobs.wal"), jobs.WALOptions{Quarantine: *walQuarantine})
 		if err != nil {
 			return fmt.Errorf("open job WAL: %w", err)
 		}
@@ -76,6 +77,7 @@ func cmdServe(args []string) error {
 		JobMaxAttempts:    *jobMaxAttempts,
 		StreamMaxSessions: *streamSessions,
 		StreamWALPath:     streamWAL,
+		WALQuarantine:     *walQuarantine,
 		Obs:               obs.New(),
 	})
 	if err := srv.JobsErr(); err != nil {

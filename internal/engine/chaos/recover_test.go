@@ -27,6 +27,7 @@ import (
 	"deptree/internal/obs"
 	"deptree/internal/relation"
 	"deptree/internal/server"
+	"deptree/internal/wal"
 )
 
 // TestMain gates the re-exec child mode: the kill-and-restart test
@@ -345,12 +346,15 @@ func TestRecoverTornWALTailServesPrefix(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		// A crash mid-append leaves a torn (newline-less, half-JSON) tail.
+		// A crash mid-append leaves a torn tail: a frame cut partway
+		// through, after the header's checksum but before the payload
+		// is complete.
 		f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := f.WriteString(`{"type":"submit","id":"j9`); err != nil {
+		frame := wal.EncodeFrame([]byte(`{"type":"submit","id":"j9","spec":{"kind":"discover"}}`))
+		if _, err := f.Write(frame[:len(frame)-7]); err != nil {
 			t.Fatal(err)
 		}
 		f.Close()

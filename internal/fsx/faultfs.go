@@ -1,0 +1,166 @@
+package fsx
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand/v2"
+	"sync"
+)
+
+// InjectedError is the typed error every injected fault returns, so
+// tests (and retry classifiers) can tell injected faults from real
+// filesystem errors with errors.As.
+type InjectedError struct {
+	// Op names the faulted operation: "write", "short-write", "sync",
+	// "rename", "syncdir", "open".
+	Op string
+	// Path is the file the fault hit.
+	Path string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fsx: injected %s fault on %s", e.Op, e.Path)
+}
+
+// FaultProfile sets the per-operation fault probabilities in [0,1].
+// The zero profile injects nothing.
+type FaultProfile struct {
+	// WriteErr fails a Write outright (ENOSPC-style: no bytes land).
+	WriteErr float64
+	// ShortWrite delivers a strict prefix of the buffer, then errors —
+	// the torn-frame generator.
+	ShortWrite float64
+	// SyncErr fails File.Sync; the data stays in the (simulated) page
+	// cache, so a following Crash loses it.
+	SyncErr float64
+	// RenameErr fails Rename (the compaction swap).
+	RenameErr float64
+	// DirSyncErr fails SyncDir.
+	DirSyncErr float64
+}
+
+// FaultFS wraps a base FS with a deterministic seeded fault schedule:
+// the same seed and the same operation sequence produce the same
+// faults, which is what makes a torture-run failure replayable. Faults
+// are drawn independently per operation from the active profile;
+// SetProfile swaps profiles mid-run (e.g. a clean bootstrap phase
+// followed by a storm).
+type FaultFS struct {
+	base FS
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	profile FaultProfile
+	counts  map[string]int
+}
+
+// NewFaultFS wraps base with a seeded injector. The zero profile is
+// installed; call SetProfile to arm it.
+func NewFaultFS(base FS, seed uint64) *FaultFS {
+	return &FaultFS{
+		base:   base,
+		rng:    rand.New(rand.NewPCG(seed, 0x6c62272e07bb0142)),
+		counts: make(map[string]int),
+	}
+}
+
+// SetProfile swaps the active fault profile.
+func (f *FaultFS) SetProfile(p FaultProfile) {
+	f.mu.Lock()
+	f.profile = p
+	f.mu.Unlock()
+}
+
+// Counts returns a copy of the injected-fault counters keyed by op.
+func (f *FaultFS) Counts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// roll draws one fault decision; it also advances the RNG when p is 0
+// so arming a probability never shifts the schedule of the other ops.
+func (f *FaultFS) roll(op string, p float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	hit := f.rng.Float64() < p
+	if hit {
+		f.counts[op]++
+	}
+	return hit
+}
+
+// shortLen picks how many of n bytes a short write delivers: a strict
+// prefix, possibly empty.
+func (f *FaultFS) shortLen(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n <= 1 {
+		return 0
+	}
+	return f.rng.IntN(n)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.base.ReadFile(name) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.roll("rename", f.profile.RenameErr) {
+		return &InjectedError{Op: "rename", Path: newpath}
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error { return f.base.Remove(name) }
+
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) { return f.base.Stat(name) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.roll("syncdir", f.profile.DirSyncErr) {
+		return &InjectedError{Op: "syncdir", Path: dir}
+	}
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	switch {
+	case ff.fs.roll("write", ff.fs.profile.WriteErr):
+		return 0, &InjectedError{Op: "write", Path: ff.Name()}
+	case ff.fs.roll("short-write", ff.fs.profile.ShortWrite):
+		n := ff.fs.shortLen(len(p))
+		if n > 0 {
+			if wn, err := ff.File.Write(p[:n]); err != nil {
+				return wn, err
+			}
+		}
+		return n, &InjectedError{Op: "short-write", Path: ff.Name()}
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.fs.roll("sync", ff.fs.profile.SyncErr) {
+		return &InjectedError{Op: "sync", Path: ff.Name()}
+	}
+	return ff.File.Sync()
+}

@@ -1,0 +1,93 @@
+// Package fsx is the durability seam between the WAL layer and the
+// operating system: a minimal filesystem interface (open, write, sync,
+// rename, dir-sync) with three implementations — the real OS, an
+// in-memory filesystem that models the page cache precisely enough to
+// simulate crashes that lose unsynced data, and a deterministic seeded
+// fault injector that wraps either. Storage code written against FS
+// instead of package os can be driven through short writes, fsync
+// failures, ENOSPC, lost renames and post-crash data loss in ordinary
+// unit tests, which is what the disk-fault torture suite does.
+package fsx
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File durable storage needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Name reports the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the WAL layer is written against. All
+// paths are interpreted as the OS would interpret them.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics (O_CREATE,
+	// O_RDWR, O_APPEND, O_TRUNC honoured).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath. Durability of
+	// the rename itself requires a SyncDir on the parent.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates the directory path.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat reports file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making previously-issued creations,
+	// renames and removals of its entries durable. A crash before
+	// SyncDir may lose the entry even when the file's data was synced.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS: package os underneath, SyncDir by opening
+// the directory and fsyncing it.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Some filesystems reject fsync on directories; the rename is still
+	// atomic there, so a sync error on the handle is not fatal.
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+// Dir returns the parent directory of path, mirroring filepath.Dir, so
+// callers do not need both fsx and path/filepath for the common
+// "sync my parent" move.
+func Dir(path string) string { return filepath.Dir(path) }

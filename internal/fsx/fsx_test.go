@@ -1,0 +1,268 @@
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestOSRoundTrip exercises the production FS on a real temp dir: the
+// interface must behave exactly like package os for the ops the WAL
+// layer issues.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "f.log")
+	if err := OS.MkdirAll(Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(Dir(path)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+	next := filepath.Join(dir, "sub", "g.log")
+	if err := OS.Rename(path, next); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := OS.Stat(next); err != nil || st.Size() != 5 {
+		t.Fatalf("stat after rename: %v, %v", st, err)
+	}
+	if err := OS.Remove(next); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeMem(t *testing.T, m *MemFS, path, content string, sync bool) {
+	t.Helper()
+	f, err := m.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+}
+
+// TestMemFSCrashLosesUnsynced: synced bytes survive a crash, unsynced
+// bytes are gone, and a file whose parent dir was never synced vanishes
+// entirely even though its data was fsynced.
+func TestMemFSCrashLosesUnsynced(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeMem(t, m, "d/synced.log", "durable", true)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Appended after the sync: lost at crash.
+	writeMem(t, m, "d/synced.log", "+tail", false)
+	// File fsync'd but the dir entry never was: the whole file is lost.
+	if err := m.MkdirAll("e", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeMem(t, m, "e/orphan.log", "gone", true)
+
+	m.Crash(nil)
+
+	data, err := m.ReadFile("d/synced.log")
+	if err != nil || string(data) != "durable" {
+		t.Fatalf("after crash: %q, %v", data, err)
+	}
+	if _, err := m.ReadFile("e/orphan.log"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("orphan survived missing dir fsync: %v", err)
+	}
+	if got := m.Paths(); !reflect.DeepEqual(got, []string{"d/synced.log"}) {
+		t.Fatalf("paths after crash: %v", got)
+	}
+}
+
+// TestMemFSCrashKeepsPartialTail: the keep callback retains a prefix of
+// the unsynced tail — the torn-write generator.
+func TestMemFSCrashKeepsPartialTail(t *testing.T) {
+	m := NewMemFS()
+	writeMem(t, m, "w.log", "base", true)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	writeMem(t, m, "w.log", "unsynced-tail", false)
+	m.Crash(func(pending int) int { return 3 })
+	data, _ := m.ReadFile("w.log")
+	if string(data) != "baseuns" {
+		t.Fatalf("after partial crash: %q", data)
+	}
+}
+
+// TestMemFSRenameDurability: a rename is durable only after SyncDir.
+func TestMemFSRenameDurability(t *testing.T) {
+	m := NewMemFS()
+	writeMem(t, m, "a.log", "one", true)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("a.log", "b.log"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(nil)
+	if _, err := m.ReadFile("a.log"); err != nil {
+		t.Fatalf("unsynced rename lost the old entry: %v", err)
+	}
+	if _, err := m.ReadFile("b.log"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("unsynced rename survived crash")
+	}
+	// Now with the dir fsync: the rename sticks.
+	if err := m.Rename("a.log", "b.log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(nil)
+	if data, err := m.ReadFile("b.log"); err != nil || string(data) != "one" {
+		t.Fatalf("synced rename: %q, %v", data, err)
+	}
+}
+
+// TestMemFSTruncateAndSeek: the read/seek/truncate surface the WAL
+// repair path uses.
+func TestMemFSTruncateAndSeek(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("t.log", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("0123456789"))
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil || string(data) != "0123" {
+		t.Fatalf("after truncate: %q, %v", data, err)
+	}
+	f.Close()
+}
+
+// TestMemFSCorrupt flips one byte in both live and synced content.
+func TestMemFSCorrupt(t *testing.T) {
+	m := NewMemFS()
+	writeMem(t, m, "c.log", "abcd", true)
+	if err := m.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Corrupt("c.log", 1, 0xFF) {
+		t.Fatal("corrupt rejected in-range offset")
+	}
+	if m.Corrupt("c.log", 99, 0xFF) {
+		t.Fatal("corrupt accepted out-of-range offset")
+	}
+	m.Crash(nil)
+	data, _ := m.ReadFile("c.log")
+	if data[1] != 'b'^0xFF {
+		t.Fatalf("flip did not survive crash: %q", data)
+	}
+}
+
+// TestFaultFSDeterministic: the same seed over the same op sequence
+// injects the same faults.
+func TestFaultFSDeterministic(t *testing.T) {
+	run := func(seed uint64) []string {
+		m := NewMemFS()
+		ff := NewFaultFS(m, seed)
+		ff.SetProfile(FaultProfile{WriteErr: 0.2, ShortWrite: 0.2, SyncErr: 0.3})
+		f, err := ff.OpenFile("x.log", os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []string
+		for i := 0; i < 50; i++ {
+			_, werr := f.Write([]byte(fmt.Sprintf("rec-%02d", i)))
+			serr := f.Sync()
+			trace = append(trace, fmt.Sprintf("%v/%v", werr != nil, serr != nil))
+		}
+		return trace
+	}
+	if !reflect.DeepEqual(run(7), run(7)) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if reflect.DeepEqual(run(7), run(8)) {
+		t.Fatal("different seeds produced identical fault schedules (suspicious)")
+	}
+}
+
+// TestFaultFSShortWriteDeliversPrefix: a short write lands a strict
+// prefix and returns the typed injected error.
+func TestFaultFSShortWriteDeliversPrefix(t *testing.T) {
+	m := NewMemFS()
+	ff := NewFaultFS(m, 1)
+	ff.SetProfile(FaultProfile{ShortWrite: 1})
+	f, err := ff.OpenFile("s.log", os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	var inj *InjectedError
+	if !errors.As(werr, &inj) || inj.Op != "short-write" {
+		t.Fatalf("short write error = %v", werr)
+	}
+	if n < 0 || n >= 10 {
+		t.Fatalf("short write delivered %d bytes, want strict prefix", n)
+	}
+	data, _ := m.ReadFile("s.log")
+	if len(data) != n {
+		t.Fatalf("on-disk %d bytes, reported %d", len(data), n)
+	}
+}
+
+// TestFaultFSRenameAndDirSync: injected rename/dir-sync failures are
+// typed and counted.
+func TestFaultFSRenameAndDirSync(t *testing.T) {
+	m := NewMemFS()
+	writeMem(t, m, "r.log", "x", true)
+	ff := NewFaultFS(m, 2)
+	ff.SetProfile(FaultProfile{RenameErr: 1, DirSyncErr: 1})
+	var inj *InjectedError
+	if err := ff.Rename("r.log", "r2.log"); !errors.As(err, &inj) {
+		t.Fatalf("rename fault = %v", err)
+	}
+	if err := ff.SyncDir("."); !errors.As(err, &inj) {
+		t.Fatalf("syncdir fault = %v", err)
+	}
+	counts := ff.Counts()
+	if counts["rename"] != 1 || counts["syncdir"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Disarm: ops pass through again.
+	ff.SetProfile(FaultProfile{})
+	if err := ff.Rename("r.log", "r2.log"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+package fsx
+
+import (
+	"bytes"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// MemFS is an in-memory FS that models the two-level durability of a
+// real disk: every file has its current content (what a live process
+// reads) and its synced content (what survives a crash). Writes land in
+// the current content only; File.Sync promotes it to synced. Directory
+// entries have the same split — a created or renamed file whose parent
+// was never SyncDir'd reverts on crash, which is exactly the bug class
+// a missing parent-directory fsync produces on a real filesystem.
+//
+// Crash simulates a power cut: current state is discarded and the
+// synced state (optionally plus a caller-chosen prefix of each file's
+// unsynced appended tail, to model partial page writeback — the torn
+// tails WAL replay must repair) becomes the new state.
+type MemFS struct {
+	mu sync.Mutex
+	// files is the live namespace: path -> node.
+	files map[string]*memNode
+	// dirs is the set of live directories.
+	dirs map[string]bool
+	// syncedEntries is the durable namespace: dir -> entry name -> node.
+	// SyncDir(dir) snapshots the live entries of dir into it.
+	syncedEntries map[string]map[string]*memNode
+	// syncedDirs are directories whose existence is durable.
+	syncedDirs map[string]bool
+}
+
+type memNode struct {
+	data   []byte // current content
+	synced []byte // content after a crash
+}
+
+// NewMemFS returns an empty in-memory filesystem with a durable root.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:         make(map[string]*memNode),
+		dirs:          map[string]bool{".": true, "/": true},
+		syncedEntries: make(map[string]map[string]*memNode),
+		syncedDirs:    map[string]bool{".": true, "/": true},
+	}
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	node, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		if !m.dirs[filepath.Dir(name)] {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		node = &memNode{}
+		m.files[name] = node
+	case flag&os.O_TRUNC != 0:
+		node.data = nil
+	}
+	f := &memFile{fs: m, node: node, name: name, append: flag&os.O_APPEND != 0}
+	if flag&os.O_APPEND == 0 {
+		f.off = 0
+	}
+	return f, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[filepath.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(node.data))
+	copy(out, node.data)
+	return out, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	node, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	m.files[newpath] = node
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	path = filepath.Clean(path)
+	for p := path; ; p = filepath.Dir(p) {
+		m.dirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if node, ok := m.files[name]; ok {
+		return memInfo{name: filepath.Base(name), size: int64(len(node.data))}, nil
+	}
+	if m.dirs[name] {
+		return memInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// SyncDir makes dir's current entries (and the directory itself)
+// durable: creations, renames and removals issued so far survive Crash.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if !m.dirs[dir] {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	for p := dir; ; p = filepath.Dir(p) {
+		m.syncedDirs[p] = true
+		if p == filepath.Dir(p) {
+			break
+		}
+	}
+	entries := make(map[string]*memNode)
+	for name, node := range m.files {
+		if filepath.Dir(name) == dir {
+			entries[filepath.Base(name)] = node
+		}
+	}
+	m.syncedEntries[dir] = entries
+	return nil
+}
+
+// Crash simulates a power cut. Every file reverts to its synced
+// content; if keep is non-nil and the file's current content is its
+// synced content plus an appended tail, keep(pending) bytes of that
+// unsynced tail survive (modelling partial page writeback — this is how
+// torn WAL tails are produced). Directory entries revert to their last
+// SyncDir snapshot: files created or renamed into a never-synced
+// directory vanish entirely.
+func (m *MemFS) Crash(keep func(pending int) int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	files := make(map[string]*memNode)
+	for dir, entries := range m.syncedEntries {
+		if !m.syncedDirs[dir] {
+			continue
+		}
+		for base, node := range entries {
+			files[filepath.Join(dir, base)] = node
+		}
+	}
+	for _, node := range files {
+		n := len(node.synced)
+		if keep != nil && len(node.data) > n && bytes.Equal(node.data[:n], node.synced) {
+			n += keep(len(node.data) - n)
+			node.synced = append([]byte(nil), node.data[:n]...)
+		}
+		node.data = append([]byte(nil), node.synced...)
+	}
+	m.files = files
+	m.dirs = make(map[string]bool)
+	for d := range m.syncedDirs {
+		m.dirs[d] = true
+	}
+}
+
+// Paths lists the live file paths in sorted order (tests).
+func (m *MemFS) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for name := range m.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Corrupt flips the byte at off in name's current AND synced content,
+// simulating at-rest media corruption (a bit flip that survives
+// restarts). It reports whether the offset was in range.
+func (m *MemFS) Corrupt(name string, off int64, xor byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.files[filepath.Clean(name)]
+	if !ok || off < 0 || off >= int64(len(node.data)) {
+		return false
+	}
+	node.data[off] ^= xor
+	if off < int64(len(node.synced)) {
+		// synced may be shorter (unsynced tail); flip what exists.
+		node.synced[off] ^= xor
+	}
+	return true
+}
+
+type memFile struct {
+	fs     *MemFS
+	node   *memNode
+	name   string
+	off    int64
+	append bool
+	closed bool
+}
+
+func (f *memFile) Read(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if f.off >= int64(len(f.node.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.node.data[f.off:])
+	f.off += int64(n)
+	return n, nil
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, fs.ErrClosed
+	}
+	if f.append {
+		f.off = int64(len(f.node.data))
+	}
+	end := f.off + int64(len(p))
+	if end > int64(len(f.node.data)) {
+		// Extend with zeros when writing past EOF (sparse semantics).
+		grown := make([]byte, end)
+		copy(grown, f.node.data)
+		f.node.data = grown
+	}
+	copy(f.node.data[f.off:], p)
+	f.off = end
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.node.data)) + offset
+	}
+	return f.off, nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.closed = true
+	return nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	f.node.synced = append([]byte(nil), f.node.data...)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.closed {
+		return fs.ErrClosed
+	}
+	for int64(len(f.node.data)) < size {
+		f.node.data = append(f.node.data, 0)
+	}
+	f.node.data = f.node.data[:size]
+	return nil
+}
+
+func (f *memFile) Name() string { return f.name }
+
+type memInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memInfo) Name() string       { return i.name }
+func (i memInfo) Size() int64        { return i.size }
+func (i memInfo) Mode() fs.FileMode  { return 0o644 }
+func (i memInfo) ModTime() time.Time { return time.Time{} }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }

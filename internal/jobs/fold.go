@@ -1,0 +1,69 @@
+package jobs
+
+// FoldRecords reduces a replayed record sequence to the minimal record
+// set that reconstructs the same job states — the same fold Manager
+// replay applies and the same snapshot shape the online compactor
+// writes, exposed as a pure function so `deptool fsck -compact` can
+// compact a jobs WAL offline without constructing a Manager.
+func FoldRecords(recs []Record) []Record {
+	type foldJob struct {
+		submit   Record
+		attempts int
+		retries  int
+		state    State
+		result   *Result
+		reason   string
+		cancel   bool
+	}
+	jobs := make(map[string]*foldJob)
+	var order []*foldJob
+	for _, rec := range recs {
+		j := jobs[rec.ID]
+		switch rec.Type {
+		case RecSubmit:
+			if j != nil || rec.Spec == nil {
+				continue // duplicate or malformed: first submit wins
+			}
+			j = &foldJob{submit: rec, state: StateQueued}
+			jobs[rec.ID] = j
+			order = append(order, j)
+		case RecStart:
+			if j != nil {
+				j.attempts = rec.Attempt
+			}
+		case RecRetry:
+			if j != nil {
+				j.retries = rec.Attempt
+			}
+		case RecResult:
+			if j != nil && !j.state.Terminal() {
+				j.state = rec.State
+				j.result = rec.Result
+				j.reason = rec.Reason
+			}
+		case RecCancel:
+			if j != nil && !j.state.Terminal() {
+				j.state = StateCancelled
+				j.cancel = true
+			}
+		}
+	}
+	var out []Record
+	for _, j := range order {
+		out = append(out, j.submit)
+		if j.attempts > 0 && !j.state.Terminal() {
+			out = append(out, Record{Type: RecStart, ID: j.submit.ID, Attempt: j.attempts})
+		}
+		if j.retries > 0 {
+			out = append(out, Record{Type: RecRetry, ID: j.submit.ID, Attempt: j.retries})
+		}
+		if j.state.Terminal() {
+			if j.cancel {
+				out = append(out, Record{Type: RecCancel, ID: j.submit.ID})
+			} else {
+				out = append(out, Record{Type: RecResult, ID: j.submit.ID, State: j.state, Result: j.result, Reason: j.reason})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package jobs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFoldRecordsMinimalSnapshot: the offline fold reduces history the
+// same way the online compactor does — one submit per job plus its
+// surviving counters and terminal state, in submission order.
+func TestFoldRecordsMinimalSnapshot(t *testing.T) {
+	s1, s2, s3 := submitRec("j1", 1), submitRec("j2", 2), submitRec("j3", 3)
+	history := []Record{
+		s1,
+		{Type: RecStart, ID: "j1", Attempt: 1},
+		s2,
+		{Type: RecRetry, ID: "j1", Attempt: 1},
+		{Type: RecStart, ID: "j1", Attempt: 2},
+		{Type: RecResult, ID: "j1", State: StateDone, Result: &Result{Lines: []string{"ok"}}},
+		{Type: RecStart, ID: "j2", Attempt: 1},
+		s3,
+		{Type: RecCancel, ID: "j3"},
+		{Type: RecResult, ID: "j1", State: StateFailed}, // duplicate result on terminal job: dropped
+		{Type: RecStart, ID: "unknown", Attempt: 1},     // record for a never-submitted ID: dropped
+	}
+	got := FoldRecords(history)
+	want := []Record{
+		s1,
+		{Type: RecRetry, ID: "j1", Attempt: 1},
+		{Type: RecResult, ID: "j1", State: StateDone, Result: &Result{Lines: []string{"ok"}}},
+		s2,
+		{Type: RecStart, ID: "j2", Attempt: 1},
+		s3,
+		{Type: RecCancel, ID: "j3"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fold mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Folding is idempotent: a compacted log compacts to itself.
+	if again := FoldRecords(got); !reflect.DeepEqual(again, got) {
+		t.Fatalf("fold not idempotent:\n got %+v\nwant %+v", again, got)
+	}
+}

@@ -1,14 +1,13 @@
 package jobs
 
 import (
-	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"time"
+
+	"deptree/internal/fsx"
+	"deptree/internal/wal"
 )
 
 // WALOptions tunes the on-disk store.
@@ -21,6 +20,13 @@ type WALOptions struct {
 	// disables the background flusher — tests that inspect the file
 	// synchronously use SyncEvery=1 instead).
 	SyncInterval time.Duration
+	// FS is the filesystem the log lives on (nil = the real OS). The
+	// torture suite passes a fault-injecting fsx.FS.
+	FS fsx.FS
+	// Quarantine opts replay into recovering from mid-log corruption by
+	// sidecarring the damaged suffix instead of refusing to start; see
+	// wal.Options.Quarantine.
+	Quarantine bool
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -33,53 +39,50 @@ func (o WALOptions) withDefaults() WALOptions {
 	return o
 }
 
-// WALStore is the durable Store: an append-only JSONL write-ahead log
-// with group-committed fsync. Every Append issues the OS write before
-// returning — a SIGKILLed process loses nothing it acknowledged — and
-// fsync is batched (every SyncEvery records, and at least every
-// SyncInterval) so a power cut loses at most one batch, never corrupts
-// the prefix. Replay tolerates a torn tail: a final record cut mid-line
-// by a crash is dropped and the file truncated back to the last whole
-// record before new appends land.
+// WALStore is the durable Store: a typed codec over the shared
+// checksummed record log in internal/wal, with group-committed fsync.
+// Every Append issues the OS write before returning — a SIGKILLed
+// process loses nothing it acknowledged — and fsync is batched (every
+// SyncEvery records, and at least every SyncInterval) so a power cut
+// loses at most one batch, never corrupts the prefix. Replay
+// distinguishes a clean torn tail (truncated and counted) from mid-log
+// corruption, which surfaces as a typed *wal.ErrCorruptRecord instead
+// of silently truncating acknowledged records — unless Quarantine is
+// set, which sidecars the damage and keeps the verified prefix.
+// Pre-framing JSONL logs are migrated in place on first replay.
 type WALStore struct {
-	path string
+	log  *wal.Log
 	opts WALOptions
 
 	mu       sync.Mutex
-	f        *os.File
 	dirty    int // appends since last fsync
 	closed   bool
 	replayed bool
 	fault    FaultHook
 
-	// truncatedTail counts torn tail records dropped at Replay; the
-	// manager exports it as jobs.wal.truncated_tail.
-	truncatedTail int
-	appends       int64
-	syncs         int64
+	appends int64
+	syncs   int64
 
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
 
 // ErrNotReplayed is returned by Append before Replay has run: until the
-// log's torn tail (if any) is truncated, an append could concatenate
-// onto a partial record and destroy both.
-var ErrNotReplayed = errors.New("jobs: wal append before replay")
+// log's contents are verified (and any torn tail truncated), an append
+// could land after damage and be unreachable. It is the shared
+// wal.ErrNotReplayed sentinel.
+var ErrNotReplayed = wal.ErrNotReplayed
 
-// OpenWAL opens (creating if absent) the JSONL log at path. The file is
-// opened O_APPEND so every write lands at the current end regardless of
-// any seek position — a caller can never overwrite the log prefix.
+// OpenWAL opens (creating if absent) the framed log at path. Creation
+// fsyncs the parent directory, so a crash immediately after cannot lose
+// the log file.
 func OpenWAL(path string, opts WALOptions) (*WALStore, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	l, err := wal.Open(path, wal.Options{FS: opts.FS, Quarantine: opts.Quarantine})
 	if err != nil {
 		return nil, err
 	}
-	w := &WALStore{path: path, opts: opts, f: f}
+	w := &WALStore{log: l, opts: opts}
 	if opts.SyncInterval > 0 {
 		w.flushStop = make(chan struct{})
 		w.flushDone = make(chan struct{})
@@ -112,11 +115,10 @@ func (w *WALStore) flushLoop() {
 }
 
 func (w *WALStore) Append(rec Record) error {
-	line, err := json.Marshal(rec)
+	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("jobs: wal append: %w", err)
 	}
-	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -130,7 +132,7 @@ func (w *WALStore) Append(rec Record) error {
 			return Transient{ferr}
 		}
 	}
-	if _, err := w.f.Write(line); err != nil {
+	if err := w.log.Append(payload, false); err != nil {
 		return Transient{fmt.Errorf("jobs: wal append: %w", err)}
 	}
 	w.appends++
@@ -159,7 +161,7 @@ func (w *WALStore) Sync() error {
 }
 
 func (w *WALStore) syncLocked() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.log.Sync(); err != nil {
 		return Transient{fmt.Errorf("jobs: wal sync: %w", err)}
 	}
 	w.dirty = 0
@@ -167,111 +169,67 @@ func (w *WALStore) syncLocked() error {
 	return nil
 }
 
-// Replay decodes the log, dropping a torn tail: the valid prefix is
-// every whole line that parses as a Record; anything after the first
-// torn or unparsable line is discarded and the file truncated to the
-// prefix so subsequent appends never concatenate onto a partial record.
+// Replay verifies and decodes the log. A clean torn tail is truncated
+// and counted (TruncatedTail); mid-log corruption returns the typed
+// *wal.ErrCorruptRecord with the damaged offset (or is quarantined when
+// the store was opened with Quarantine). A frame that passes its
+// checksum but fails to decode is a writer bug, reported as an error
+// with its offset — the checksum guarantees those are the bytes that
+// were acknowledged.
 func (w *WALStore) Replay() ([]Record, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil, ErrStoreClosed
 	}
-	data, err := os.ReadFile(w.path)
+	var recs []Record
+	err := w.log.Replay(func(payload []byte) error {
+		var rec Record
+		if derr := json.Unmarshal(payload, &rec); derr != nil {
+			return fmt.Errorf("jobs: wal replay: undecodable record: %w", derr)
+		}
+		recs = append(recs, rec)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	var recs []Record
-	valid := 0 // byte length of the valid prefix
-	for off := 0; off < len(data); {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			// Torn tail: the crash landed mid-write.
-			w.truncatedTail++
-			break
-		}
-		line := data[off : off+nl]
-		var rec Record
-		if len(bytes.TrimSpace(line)) > 0 {
-			if err := json.Unmarshal(line, &rec); err != nil {
-				// A corrupt record ends the trustworthy prefix.
-				w.truncatedTail++
-				break
-			}
-			recs = append(recs, rec)
-		}
-		off += nl + 1
-		valid = off
-	}
-	if valid < len(data) {
-		if err := w.f.Truncate(int64(valid)); err != nil {
-			return nil, fmt.Errorf("jobs: wal truncate torn tail: %w", err)
-		}
 	}
 	w.replayed = true
 	return recs, nil
 }
 
-// Compact atomically replaces the log with the snapshot: records are
-// written to a temp file, fsynced, and renamed over the log, then the
-// directory is fsynced so the rename itself survives a crash.
+// Compact atomically replaces the log with the snapshot (temp file,
+// fsync, rename, directory fsync — all inside wal.ReplaceWith).
 func (w *WALStore) Compact(snapshot []Record) error {
+	payloads := make([][]byte, 0, len(snapshot))
+	for _, rec := range snapshot {
+		p, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, p)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrStoreClosed
 	}
-	tmp := w.path + ".compact"
-	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
+	if err := w.log.ReplaceWith(payloads); err != nil {
 		return err
 	}
-	for _, rec := range snapshot {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-		if _, err := f.Write(append(line, '\n')); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, w.path); err != nil {
-		return err
-	}
-	if dir, err := os.Open(filepath.Dir(w.path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
-	old := w.f
-	nf, err := os.OpenFile(w.path, os.O_RDWR|os.O_APPEND, 0o644)
-	if err != nil {
-		return err
-	}
-	w.f = nf
 	w.dirty = 0
-	old.Close()
 	return nil
 }
 
-// TruncatedTail reports how many torn/corrupt tail records Replay
-// dropped.
-func (w *WALStore) TruncatedTail() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.truncatedTail
-}
+// TruncatedTail reports how many torn tails Replay truncated.
+func (w *WALStore) TruncatedTail() int { return w.log.TornTail() }
+
+// Quarantined reports how many corrupt suffixes replay sidecared
+// (always 0 unless the store was opened with Quarantine).
+func (w *WALStore) Quarantined() int { return w.log.Quarantined() }
+
+// Migrated reports whether Replay converted a pre-framing JSONL log.
+func (w *WALStore) Migrated() bool { return w.log.Migrated() }
 
 // Stats reports append/sync totals for observability.
 func (w *WALStore) Stats() (appends, syncs int64) {
@@ -290,7 +248,7 @@ func (w *WALStore) Close() error {
 		w.syncLocked()
 	}
 	w.closed = true
-	err := w.f.Close()
+	err := w.log.Close()
 	w.mu.Unlock()
 	if w.flushStop != nil {
 		close(w.flushStop)

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"deptree/internal/wal"
 )
 
 func openTestWAL(t *testing.T, opts WALOptions) (*WALStore, string) {
@@ -76,12 +78,13 @@ func TestWALTornTailDroppedAndTruncated(t *testing.T) {
 	w.Append(submitRec("j000002-abababab", 2))
 	w.Close()
 
-	// Simulate a crash mid-write: a record cut before its newline.
+	// Simulate a crash mid-write: a frame cut partway through.
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.WriteString(`{"type":"result","id":"j0000`)
+	frame := wal.EncodeFrame([]byte(`{"type":"result","id":"j000001-abababab"}`))
+	f.Write(frame[:len(frame)/2])
 	f.Close()
 
 	w2, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1})
@@ -119,15 +122,30 @@ func TestWALTornTailDroppedAndTruncated(t *testing.T) {
 	}
 }
 
-func TestWALCorruptLineEndsPrefix(t *testing.T) {
+// TestWALMidLogFlipDetected is the regression for the silent-data-loss
+// bug this format exists to fix: with the old JSONL log a single flipped
+// byte mid-log was indistinguishable from a torn tail, so Replay
+// silently truncated every acknowledged record after it. The framed log
+// must instead report a typed *wal.ErrCorruptRecord with the offset —
+// and with Quarantine opt in, sidecar the damage and keep the verified
+// prefix.
+func TestWALMidLogFlipDetected(t *testing.T) {
 	w, path := openTestWAL(t, WALOptions{SyncEvery: 1, SyncInterval: -1})
 	w.Replay()
 	w.Append(submitRec("j000001-abababab", 1))
+	w.Append(submitRec("j000002-abababab", 2))
+	w.Append(submitRec("j000003-abababab", 3))
 	w.Close()
 
-	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	f.WriteString("{garbage not json}\n")
-	f.WriteString(`{"type":"start","id":"j000001-abababab","attempt":1}` + "\n")
+	// Flip one byte in the middle of the second record's payload.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(data) / 2
+	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f.Seek(int64(off), 0)
+	f.Write([]byte{data[off] ^ 0x01})
 	f.Close()
 
 	w2, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1})
@@ -135,17 +153,79 @@ func TestWALCorruptLineEndsPrefix(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	recs, err := w2.Replay()
+	_, rerr := w2.Replay()
+	var corrupt *wal.ErrCorruptRecord
+	if !errors.As(rerr, &corrupt) {
+		t.Fatalf("mid-log flip replay = %v, want *wal.ErrCorruptRecord (silent truncation is the pre-framing bug)", rerr)
+	}
+	if corrupt.Offset <= 0 || corrupt.Offset >= int64(len(data)) {
+		t.Fatalf("corrupt offset %d out of file range", corrupt.Offset)
+	}
+
+	// Quarantine mode recovers: verified prefix replays, damage sidecars.
+	wq, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1, Quarantine: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Everything after the corrupt line is untrusted, even if it parses.
-	if len(recs) != 1 {
-		t.Fatalf("replayed %d records, want 1", len(recs))
+	defer wq.Close()
+	recs, err := wq.Replay()
+	if err != nil {
+		t.Fatal(err)
 	}
-	data, _ := os.ReadFile(path)
-	if strings.Contains(string(data), "garbage") {
-		t.Fatal("corrupt suffix survived truncation")
+	if len(recs) == 0 || len(recs) >= 3 {
+		t.Fatalf("quarantine replayed %d records, want the verified prefix (1 or 2)", len(recs))
+	}
+	if wq.Quarantined() != 1 {
+		t.Fatalf("Quarantined = %d, want 1", wq.Quarantined())
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("quarantine sidecar missing: %v", err)
+	}
+}
+
+// TestWALLegacyJSONLMigrated: a pre-framing JSONL log is converted in
+// place on first replay; every valid line survives.
+func TestWALLegacyJSONLMigrated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	legacy := `{"type":"submit","id":"j1","seq":1,"spec":{"kind":"discover","algo":"tane","csv":"a,b\n1,2\n"},"fingerprint":"` + strings.Repeat("ab", 32) + `"}` + "\n" +
+		`{"type":"result","id":"j1","state":"done","result":{"lines":["[a]->[b]"]}}` + "\n" +
+		`{"type":"submit","id":"j2","seq":2` // torn legacy tail
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	recs, err := w.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].ID != "j1" || recs[1].State != StateDone {
+		t.Fatalf("migrated replay = %+v", recs)
+	}
+	if !w.Migrated() {
+		t.Fatal("migration not reported")
+	}
+	if err := w.Append(submitRec("j000003-abababab", 3)); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	w2, err := OpenWAL(path, WALOptions{SyncEvery: 1, SyncInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recs, err = w2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("post-migration replay = %d records", len(recs))
+	}
+	if w2.Migrated() {
+		t.Fatal("second open re-reported migration")
 	}
 }
 

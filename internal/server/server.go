@@ -89,6 +89,11 @@ type Config struct {
 	// response and replayed at startup, so a stream session survives a
 	// restart with identical fingerprint and ruleset.
 	StreamWALPath string
+	// WALQuarantine opts WAL replay into quarantine mode: mid-log
+	// corruption is sidecarred to <wal>.quarantine and the verified
+	// prefix stays live, instead of the default refuse-to-start. The
+	// jobs store built by the CLI honours it too (see cmd/deptool).
+	WALQuarantine bool
 	// Obs receives every server and engine metric (nil = no-op).
 	Obs *obs.Registry
 
@@ -211,7 +216,7 @@ func New(cfg Config) *Server {
 		s.jobs = jm
 	}
 
-	s.streams = newStreamTable(cfg.StreamMaxSessions)
+	s.streams = newStreamTable(cfg.StreamMaxSessions, reg)
 	if cfg.StreamWALPath != "" {
 		if err := s.openStreamWAL(cfg.StreamWALPath); err != nil {
 			// Same posture as a corrupt job store: the stream routes
@@ -372,6 +377,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
+		return
+	}
+	if err := s.streams.unavailable(); err != nil {
+		// A poisoned stream WAL means acknowledged durability is broken
+		// for the stream routes: stop routing traffic here until the
+		// operator intervenes (fsck, restart).
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "stream wal poisoned: %v\n", err)
 		return
 	}
 	io.WriteString(w, "ready\n")

@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 
+	"deptree/internal/obs"
 	"deptree/internal/relation"
 	"deptree/internal/stream"
 )
@@ -93,12 +94,24 @@ type streamTable struct {
 	wal    *stream.WAL
 	// broken poisons the subsystem after a WAL open/replay/append
 	// failure: durable and live state can no longer be kept in lockstep,
-	// so every stream request answers 503 until restart.
+	// so every stream request answers 503 until restart. Before
+	// poisoning, one bounded reopen-and-verify of the WAL is attempted —
+	// a transient write error heals there; real damage fails the
+	// verification and the poisoning stands. The state is visible on
+	// /readyz and the stream.wal_poisoned gauge.
 	broken error
+
+	gPoisoned *obs.Gauge
+	cReopened *obs.Counter
 }
 
-func newStreamTable(max int) *streamTable {
-	return &streamTable{max: max, byID: make(map[string]*serverStream)}
+func newStreamTable(max int, reg *obs.Registry) *streamTable {
+	return &streamTable{
+		max:       max,
+		byID:      make(map[string]*serverStream),
+		gPoisoned: reg.Gauge("stream.wal_poisoned"),
+		cReopened: reg.Counter("stream.wal_reopen_recoveries"),
+	}
 }
 
 func (t *streamTable) get(id string) *serverStream {
@@ -116,9 +129,45 @@ func (t *streamTable) unavailable() error {
 func (t *streamTable) fail(err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.poisonLocked(err)
+}
+
+func (t *streamTable) poisonLocked(err error) {
 	if t.broken == nil {
 		t.broken = err
 	}
+	t.gPoisoned.Set(1)
+}
+
+// walAppend runs one append against the shared WAL (a no-op without
+// one). On failure it attempts the single bounded recovery — reopen the
+// log from disk, re-verify every frame, retry the append once — and
+// only poisons the subsystem when that fails too, so one transient disk
+// hiccup does not permanently 503 the stream routes.
+func (t *streamTable) walAppend(do func(w *stream.WAL) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.walAppendLocked(do)
+}
+
+func (t *streamTable) walAppendLocked(do func(w *stream.WAL) error) error {
+	if t.wal == nil {
+		return nil
+	}
+	err := do(t.wal)
+	if err == nil {
+		return nil
+	}
+	if rerr := t.wal.Reopen(); rerr != nil {
+		err = fmt.Errorf("%w (reopen failed: %v)", err, rerr)
+	} else if err2 := do(t.wal); err2 == nil {
+		t.cReopened.Inc()
+		return nil
+	} else {
+		err = err2
+	}
+	t.poisonLocked(err)
+	return err
 }
 
 // register adds a replayed session under its logged id, keeping nextID
@@ -153,11 +202,10 @@ func (t *streamTable) create(algo string, schema *relation.Schema, opts stream.O
 	}
 	t.nextID++
 	id := "s" + strconv.Itoa(t.nextID)
-	if t.wal != nil {
-		if werr := t.wal.AppendCreate(id, algo, schema); werr != nil {
-			t.broken = werr
-			return nil, &apiError{status: http.StatusInternalServerError, code: "stream_wal_failed", msg: werr.Error()}
-		}
+	if werr := t.walAppendLocked(func(w *stream.WAL) error {
+		return w.AppendCreate(id, algo, schema)
+	}); werr != nil {
+		return nil, &apiError{status: http.StatusInternalServerError, code: "stream_wal_failed", msg: werr.Error()}
 	}
 	st := &serverStream{id: id, sess: sess}
 	t.byID[id] = st
@@ -194,7 +242,7 @@ func (s *Server) streamOptions() stream.Options {
 // session's next batch, but a record that fails to apply poisons the
 // subsystem instead of resurrecting half a session.
 func (s *Server) openStreamWAL(path string) error {
-	wal, err := stream.OpenWAL(path)
+	wal, err := stream.OpenWALWith(path, stream.WALOptions{Quarantine: s.cfg.WALQuarantine})
 	if err != nil {
 		return err
 	}
@@ -344,14 +392,10 @@ func (s *Server) streamRunBatch(ctx context.Context, algo string, st *serverStre
 		return nil, false, "", &apiError{status: http.StatusBadRequest, code: "invalid_batch", msg: err.Error()}
 	}
 	if len(rows) > 0 {
-		s.streams.mu.Lock()
-		wal := s.streams.wal
-		s.streams.mu.Unlock()
-		if wal != nil {
-			if werr := wal.AppendBatch(st.id, res.Seq, rows); werr != nil {
-				s.streams.fail(werr)
-				return nil, false, "", &apiError{status: http.StatusInternalServerError, code: "stream_wal_failed", msg: werr.Error()}
-			}
+		if werr := s.streams.walAppend(func(w *stream.WAL) error {
+			return w.AppendBatch(st.id, res.Seq, rows)
+		}); werr != nil {
+			return nil, false, "", &apiError{status: http.StatusInternalServerError, code: "stream_wal_failed", msg: werr.Error()}
 		}
 		s.reg.Counter("server.stream.batches").Inc()
 	}

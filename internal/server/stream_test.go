@@ -3,7 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
+	"errors"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -11,7 +12,10 @@ import (
 	"testing"
 
 	"deptree/internal/gen"
+	"deptree/internal/obs"
 	"deptree/internal/relation"
+	"deptree/internal/stream"
+	"deptree/internal/wal"
 )
 
 func relationAppendFile(path string) (*os.File, error) {
@@ -250,7 +254,8 @@ func TestStreamTornWALTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fmt.Fprint(f, `{"op":"batch","session":"s1","cells":[["n`) // cut mid-record
+	frame := wal.EncodeFrame([]byte(`{"op":"batch","session":"s1","cells":[["n:9"]]}`))
+	f.Write(frame[:len(frame)/2]) // crash mid-frame
 	f.Close()
 
 	_, ts2 := newTestServer(t, Config{Workers: 1, StreamWALPath: walPath})
@@ -261,4 +266,103 @@ func TestStreamTornWALTail(t *testing.T) {
 	if sr.TotalRows != 2 {
 		t.Fatalf("replayed rows %d, want 2", sr.TotalRows)
 	}
+}
+
+// TestReadyzReportsPoisonedWAL checks the poisoned stream subsystem is
+// visible where an operator looks: /readyz flips to 503 with a
+// diagnostic and the stream.wal_poisoned gauge reads 1.
+func TestReadyzReportsPoisonedWAL(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy readyz = %d, want 200", resp.StatusCode)
+	}
+
+	s.streams.fail(errors.New("disk on fire"))
+
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("poisoned readyz = %d, want 503", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("stream wal poisoned")) || !bytes.Contains(body, []byte("disk on fire")) {
+		t.Fatalf("poisoned readyz body = %q", body)
+	}
+	if got := s.streams.gPoisoned.Value(); got != 1 {
+		t.Fatalf("stream.wal_poisoned gauge = %d, want 1", got)
+	}
+}
+
+// TestStreamWALAppendReopenRetry exercises the bounded recovery in
+// walAppend: one transient append failure heals through reopen-and-
+// verify plus a single retry (no poisoning, recovery counted); a
+// persistent failure still poisons the table.
+func TestStreamWALAppendReopenRetry(t *testing.T) {
+	newTable := func(t *testing.T) *streamTable {
+		t.Helper()
+		w, err := stream.OpenWAL(filepath.Join(t.TempDir(), "stream.wal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Replay(nil); err != nil {
+			t.Fatal(err)
+		}
+		tbl := newStreamTable(4, obs.New())
+		tbl.wal = w
+		t.Cleanup(func() { w.Close() })
+		return tbl
+	}
+
+	t.Run("transient failure heals", func(t *testing.T) {
+		tbl := newTable(t)
+		calls := 0
+		err := tbl.walAppend(func(w *stream.WAL) error {
+			calls++
+			if calls == 1 {
+				return errors.New("transient write error")
+			}
+			return w.AppendCreate("s1", "od", relation.NewSchema(relation.Attribute{Name: "a", Kind: relation.KindString}))
+		})
+		if err != nil {
+			t.Fatalf("walAppend after transient failure: %v", err)
+		}
+		if calls != 2 {
+			t.Fatalf("append attempted %d times, want 2 (original + one retry)", calls)
+		}
+		if got := tbl.cReopened.Value(); got != 1 {
+			t.Fatalf("stream.wal_reopen_recoveries = %d, want 1", got)
+		}
+		if err := tbl.unavailable(); err != nil {
+			t.Fatalf("table poisoned after successful recovery: %v", err)
+		}
+	})
+
+	t.Run("persistent failure poisons", func(t *testing.T) {
+		tbl := newTable(t)
+		calls := 0
+		err := tbl.walAppend(func(w *stream.WAL) error {
+			calls++
+			return errors.New("disk is gone")
+		})
+		if err == nil {
+			t.Fatal("walAppend succeeded despite persistent failure")
+		}
+		if calls != 2 {
+			t.Fatalf("append attempted %d times, want exactly 2 (retry is bounded)", calls)
+		}
+		if tbl.unavailable() == nil {
+			t.Fatal("table not poisoned after failed recovery")
+		}
+		if got := tbl.gPoisoned.Value(); got != 1 {
+			t.Fatalf("stream.wal_poisoned gauge = %d, want 1", got)
+		}
+	})
 }

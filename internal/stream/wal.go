@@ -1,9 +1,14 @@
-// Stream WAL: crash-safe persistence for streaming sessions, in the
-// mold of the jobs WAL (append-only JSONL, O_APPEND writes, torn-tail
-// truncation on replay). The log records session creations and accepted
-// batches; replaying it through fresh Sessions reproduces every
-// relation, chained fingerprint and ruleset bit for bit, which is what
-// lets an HTTP stream session survive a server restart.
+// Stream WAL: crash-safe persistence for streaming sessions — a typed
+// codec over the shared checksummed record log in internal/wal. The log
+// records session creations and accepted batches; replaying it through
+// fresh Sessions reproduces every relation, chained fingerprint and
+// ruleset bit for bit, which is what lets an HTTP stream session survive
+// a server restart. The framed format replaces the old JSONL log's two
+// worst behaviours: a mid-log bit flip now surfaces as a typed
+// *wal.ErrCorruptRecord instead of silently truncating acknowledged
+// batches, and records larger than bufio.Scanner's 64 MiB ceiling
+// round-trip instead of erroring at replay after being acknowledged at
+// append. Pre-framing JSONL logs migrate in place on first replay.
 //
 // Cells are encoded with relation.Value.Key — the injective canonical
 // form the dictionary coders and the chained fingerprint are built on.
@@ -12,23 +17,22 @@
 package stream
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 
+	"deptree/internal/fsx"
 	"deptree/internal/relation"
+	"deptree/internal/wal"
 )
 
 // ErrWALNotReplayed is returned by appends before Replay has run: until
-// a torn tail is truncated, an append could concatenate onto a partial
-// record and destroy both.
-var ErrWALNotReplayed = errors.New("stream: wal append before replay")
+// the log's contents are verified, an append could land after damage
+// and be unreachable. It is the shared wal.ErrNotReplayed sentinel.
+var ErrWALNotReplayed = wal.ErrNotReplayed
 
 // WALRecord is one log entry: a session creation (Op "create", carrying
 // the schema) or one accepted batch (Op "batch", carrying Key-encoded
@@ -43,75 +47,115 @@ type WALRecord struct {
 	Cells   [][]string `json:"cells,omitempty"`
 }
 
+// WALOptions tunes OpenWALWith.
+type WALOptions struct {
+	// FS is the filesystem the log lives on (nil = the real OS).
+	FS fsx.FS
+	// Quarantine opts replay into sidecarring mid-log corruption
+	// instead of refusing; see wal.Options.Quarantine.
+	Quarantine bool
+}
+
 // WAL is the durable session log. Every append is written and fsynced
 // before returning — batch acceptance is low-rate compared to the jobs
 // queue, so group commit buys nothing here.
 type WAL struct {
 	mu       sync.Mutex
 	path     string
-	f        *os.File
+	opts     WALOptions
+	log      *wal.Log
 	replayed bool
-	// truncatedTail counts torn tail records dropped at Replay.
-	truncatedTail int
 }
 
-// OpenWAL opens (creating if absent) the JSONL log at path.
+// OpenWAL opens (creating if absent) the framed log at path on the real
+// filesystem. Creation fsyncs the parent directory, so a crash right
+// after cannot lose the log file itself.
 func OpenWAL(path string) (*WAL, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, err
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o644)
+	return OpenWALWith(path, WALOptions{})
+}
+
+// OpenWALWith opens the log with explicit options.
+func OpenWALWith(path string, opts WALOptions) (*WAL, error) {
+	l, err := wal.Open(path, wal.Options{FS: opts.FS, Quarantine: opts.Quarantine})
 	if err != nil {
 		return nil, err
 	}
-	return &WAL{path: path, f: f}, nil
+	return &WAL{path: path, opts: opts, log: l}, nil
 }
 
-// Replay streams every whole record to fn in log order, truncates a
-// torn tail (a record cut mid-line by a crash) and arms the WAL for
-// appends. fn returning an error aborts the replay.
+// Replay streams every verified record to fn in log order, truncates a
+// clean torn tail, and arms the WAL for appends. Mid-log corruption
+// returns the typed *wal.ErrCorruptRecord (or is quarantined when the
+// WAL was opened with Quarantine); fn returning an error aborts the
+// replay. A pre-framing JSONL log is migrated first.
 func (w *WAL) Replay(fn func(rec WALRecord) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if _, err := w.f.Seek(0, 0); err != nil {
-		return err
+	if w.log == nil {
+		return errors.New("stream: wal closed")
 	}
-	var clean int64
-	sc := bufio.NewScanner(w.f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
-	for sc.Scan() {
-		line := sc.Bytes()
+	err := w.log.Replay(func(payload []byte) error {
 		var rec WALRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			// Torn or corrupt tail: drop it and everything after.
-			w.truncatedTail++
-			break
+		if derr := json.Unmarshal(payload, &rec); derr != nil {
+			return fmt.Errorf("stream: wal replay: undecodable record: %w", derr)
 		}
-		clean += int64(len(line)) + 1
 		if fn != nil {
-			if err := fn(rec); err != nil {
-				return err
-			}
+			return fn(rec)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	if err := w.f.Truncate(clean); err != nil {
-		return err
-	}
-	if _, err := w.f.Seek(0, 2); err != nil {
+		return nil
+	})
+	if err != nil {
 		return err
 	}
 	w.replayed = true
 	return nil
 }
 
-// TruncatedTail reports torn records dropped by Replay.
+// Reopen closes the underlying log, reopens it from disk and re-verifies
+// its frames without re-delivering records. It is the bounded recovery
+// step the server attempts once after an append failure before declaring
+// the stream subsystem poisoned: a transient write error (brief ENOSPC,
+// a hiccuping volume) heals here; real damage fails verification and the
+// poisoning stands.
+func (w *WAL) Reopen() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log != nil {
+		w.log.Close()
+		w.log = nil
+	}
+	l, err := wal.Open(w.path, wal.Options{FS: w.opts.FS, Quarantine: w.opts.Quarantine})
+	if err != nil {
+		return err
+	}
+	if err := l.Replay(nil); err != nil {
+		l.Close()
+		return err
+	}
+	w.log = l
+	w.replayed = true
+	return nil
+}
+
+// TruncatedTail reports torn tails truncated by Replay.
 func (w *WAL) TruncatedTail() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.truncatedTail
+	if w.log == nil {
+		return 0
+	}
+	return w.log.TornTail()
+}
+
+// Quarantined reports corrupt suffixes sidecared by Replay (always 0
+// unless opened with Quarantine).
+func (w *WAL) Quarantined() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.log == nil {
+		return 0
+	}
+	return w.log.Quarantined()
 }
 
 // AppendCreate logs a session creation.
@@ -132,34 +176,30 @@ func (w *WAL) AppendBatch(session string, seq int, rows [][]relation.Value) erro
 }
 
 func (w *WAL) append(rec WALRecord) error {
-	line, err := json.Marshal(rec)
+	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("stream: wal append: %w", err)
 	}
-	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.log == nil {
+		return errors.New("stream: wal closed")
+	}
 	if !w.replayed {
 		return ErrWALNotReplayed
 	}
-	if w.f == nil {
-		return errors.New("stream: wal closed")
-	}
-	if _, err := w.f.Write(line); err != nil {
-		return err
-	}
-	return w.f.Sync()
+	return w.log.Append(payload, true)
 }
 
 // Close closes the log file.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.f == nil {
+	if w.log == nil {
 		return nil
 	}
-	err := w.f.Close()
-	w.f = nil
+	err := w.log.Close()
+	w.log = nil
 	return err
 }
 

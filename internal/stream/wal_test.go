@@ -6,9 +6,11 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"deptree/internal/relation"
+	"deptree/internal/wal"
 )
 
 func walSchema() *relation.Schema {
@@ -133,7 +135,8 @@ func TestWALTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.WriteString(`{"op":"batch","session":"s1","cells":[["n:`)
+	frame := wal.EncodeFrame([]byte(`{"op":"batch","session":"s1","cells":[["n:1"]]}`))
+	f.Write(frame[:len(frame)-9]) // crash mid-frame
 	f.Close()
 
 	w2, err := OpenWAL(path)
@@ -175,5 +178,181 @@ func TestDecodeKeyErrors(t *testing.T) {
 		if _, err := rec.RowsOf(); err == nil {
 			t.Errorf("cell %q decoded without error", bad)
 		}
+	}
+}
+
+// TestWALMidLogFlipDetected is the regression for the silent-loss bug:
+// the old JSONL log treated a mid-log bit flip exactly like a torn
+// tail, silently dropping every acknowledged batch after it. The framed
+// log must report a typed *wal.ErrCorruptRecord instead.
+func TestWALMidLogFlipDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Replay(nil)
+	w.AppendCreate("s1", "od", walSchema())
+	for seq := 1; seq <= 3; seq++ {
+		if err := w.AppendBatch("s1", seq, [][]relation.Value{{relation.Float(float64(seq)), relation.String("x")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(data) / 2
+	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f.Seek(int64(off), 0)
+	f.Write([]byte{data[off] ^ 0x20})
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	rerr := w2.Replay(nil)
+	var corrupt *wal.ErrCorruptRecord
+	if !errors.As(rerr, &corrupt) {
+		t.Fatalf("mid-log flip replay = %v, want *wal.ErrCorruptRecord", rerr)
+	}
+	if corrupt.Offset <= 0 || corrupt.Offset >= int64(len(data)) {
+		t.Fatalf("corrupt offset %d out of range", corrupt.Offset)
+	}
+}
+
+// TestWALOversizedRecordRoundTrips is the regression for the 64 MiB
+// bufio.Scanner cliff: the old Replay errored with ErrTooLong on any
+// record over 1<<26 bytes even though AppendBatch had acknowledged it.
+// The framed log must round-trip any batch admission accepts.
+func TestWALOversizedRecordRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates ~130 MiB")
+	}
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Replay(nil)
+	big := strings.Repeat("v", 1<<26) // one 64 MiB cell -> record well past the old cliff
+	rows := [][]relation.Value{{relation.Float(1), relation.String(big)}}
+	if err := w.AppendBatch("s1", 1, rows); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var got [][]relation.Value
+	if err := w2.Replay(func(rec WALRecord) error {
+		rows, rerr := rec.RowsOf()
+		got = rows
+		return rerr
+	}); err != nil {
+		t.Fatalf("oversized record replay: %v", err)
+	}
+	if len(got) != 1 || got[0][1].Key() != "s:"+big {
+		t.Fatal("oversized record did not round-trip byte-identical")
+	}
+}
+
+// TestWALLegacyJSONLMigrated: a pre-framing JSONL stream log converts in
+// place on first replay.
+func TestWALLegacyJSONLMigrated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	legacy := `{"op":"create","session":"s1","algo":"od","names":["n","s"],"kinds":[2,1]}` + "\n" +
+		`{"op":"batch","session":"s1","seq":1,"cells":[["n:1","s:x"]]}` + "\n"
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var ops []string
+	if err := w.Replay(func(rec WALRecord) error { ops = append(ops, rec.Op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops, []string{"create", "batch"}) {
+		t.Fatalf("migrated ops %v", ops)
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) < 4 || string(data[:4]) != wal.Magic {
+		t.Fatalf("log not migrated to framed format: %q", data[:8])
+	}
+}
+
+// TestWALReopenRecovers: Reopen re-verifies the log from disk and arms
+// appends — the bounded recovery step the server tries before
+// poisoning the stream subsystem.
+func TestWALReopenRecovers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Replay(nil)
+	if err := w.AppendCreate("s1", "od", walSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	// Armed immediately after Reopen: no fresh Replay needed.
+	if err := w.AppendBatch("s1", 1, [][]relation.Value{{relation.Float(1), relation.String("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if err := w2.Replay(func(rec WALRecord) error { ops = append(ops, rec.Op); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ops, []string{"create", "batch"}) {
+		t.Fatalf("ops after reopen %v", ops)
+	}
+}
+
+// TestWALReopenRefusesCorruption: Reopen must fail verification on a
+// damaged log, so the server's one-shot recovery cannot resurrect a
+// WAL whose history is untrustworthy.
+func TestWALReopenRefusesCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Replay(nil)
+	w.AppendCreate("s1", "od", walSchema())
+	w.AppendBatch("s1", 1, [][]relation.Value{{relation.Float(1), relation.String("x")}})
+
+	data, _ := os.ReadFile(path)
+	off := len(data) - 10
+	f, _ := os.OpenFile(path, os.O_WRONLY, 0o644)
+	f.Seek(int64(off), 0)
+	f.Write([]byte{data[off] ^ 0x01})
+	f.Close()
+
+	rerr := w.Reopen()
+	var corrupt *wal.ErrCorruptRecord
+	if !errors.As(rerr, &corrupt) {
+		t.Fatalf("reopen over corruption = %v, want *wal.ErrCorruptRecord", rerr)
+	}
+	if err := w.AppendBatch("s1", 2, [][]relation.Value{{relation.Float(2), relation.String("y")}}); err == nil {
+		t.Fatal("append accepted after failed reopen")
 	}
 }

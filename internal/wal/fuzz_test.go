@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"deptree/internal/fsx"
+)
+
+// FuzzWALFrameRoundTrip is the frame-codec invariant: for an arbitrary
+// pair of payloads, any truncation of the encoded log and any
+// single-byte flip must yield one of exactly three outcomes — a clean
+// round trip, a torn tail (prefix intact), or a typed corruption error
+// (prefix intact). A replay must never deliver a payload that differs
+// from what was appended.
+func FuzzWALFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("alpha"), []byte("beta"), 0, byte(0))
+	f.Add([]byte(""), []byte("x"), 5, byte(1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 300), []byte("tail"), 20, byte(0x80))
+	f.Add([]byte("only"), []byte(""), -3, byte(7))
+
+	f.Fuzz(func(t *testing.T, p1, p2 []byte, damageAt int, flip byte) {
+		full := append(append(EncodeHeader(), EncodeFrame(p1)...), EncodeFrame(p2)...)
+
+		damaged := append([]byte(nil), full...)
+		truncated := false
+		if damageAt < 0 {
+			// Negative damageAt = truncate to -damageAt bytes (capped).
+			cut := -damageAt
+			if cut > len(damaged) {
+				cut = len(damaged)
+			}
+			damaged = damaged[:cut]
+			truncated = true
+		} else if flip != 0 && damageAt < len(damaged) {
+			damaged[damageAt] ^= flip
+		}
+
+		m := fsx.NewMemFS()
+		m.MkdirAll("d", 0o755)
+		fh, _ := m.OpenFile("d/f.wal", os.O_RDWR|os.O_CREATE, 0o644)
+		fh.Write(damaged)
+		fh.Sync()
+		fh.Close()
+		m.SyncDir("d")
+
+		l, err := Open("d/f.wal", Options{FS: m})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		defer l.Close()
+		var got [][]byte
+		rerr := l.Replay(func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+
+		// Invariant: whatever was delivered is a strict prefix of what
+		// was appended, byte-identical.
+		want := [][]byte{p1, p2}
+		if len(got) > len(want) {
+			t.Fatalf("replay delivered %d records from a 2-record log", len(got))
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("record %d: got %q want %q (damageAt=%d flip=%#x trunc=%v rerr=%v)",
+					i, got[i], want[i], damageAt, flip, truncated, rerr)
+			}
+		}
+		// Undamaged (or a flip of zero / flip past EOF): must be a full
+		// clean round trip.
+		if bytes.Equal(damaged, full) {
+			if rerr != nil || len(got) != 2 {
+				t.Fatalf("undamaged log: rerr=%v records=%d", rerr, len(got))
+			}
+		}
+		// On a replay error the log must still refuse appends safely or
+		// have kept the verified prefix; either way no wrong payloads
+		// were delivered (checked above), which is the core guarantee.
+	})
+}

@@ -6,7 +6,10 @@
 # durable -jobs-dir, runs a job through `deptool job`, opens an
 # incremental stream session, restarts the server over the same WALs and
 # asserts the completed result survives as a cache hit and the stream
-# session replays to an identical fingerprint. Run via `make serve-smoke`.
+# session replays to an identical fingerprint. A final phase flips one
+# byte mid-log in the job WAL and asserts the server refuses to start
+# with a corruption diagnostic — and that `deptool fsck -repair`
+# quarantines the damage and brings it back up. Run via `make serve-smoke`.
 set -eu
 
 PORT=$((18000 + $$ % 1000))
@@ -123,4 +126,47 @@ curl -fsS "$BASE/metrics" | grep -q '^deptree_jobs_cache_hits_total [1-9]' || {
 
 kill -TERM "$PID"
 wait "$PID" || { echo "serve-smoke: final drain exited non-zero" >&2; exit 1; }
+
+# --- Corruption phase: flip one byte mid-log in the job WAL. The next
+# boot must refuse to start, naming the corrupt record — acknowledged
+# history is never silently dropped. `deptool fsck` must report the same
+# damage (exit 2), and fsck -repair must quarantine it so the server
+# comes back up over the verified prefix.
+JOBS_WAL="$JOBS_DIR/jobs.wal"
+SIZE=$(wc -c < "$JOBS_WAL")
+OFF=$((SIZE / 2))
+BYTE=$(dd if="$JOBS_WAL" bs=1 skip="$OFF" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+FLIP=$(( (BYTE + 128) % 256 ))
+printf "$(printf '\\%03o' "$FLIP")" | dd of="$JOBS_WAL" bs=1 seek="$OFF" count=1 conv=notrunc 2>/dev/null
+
+set +e
+"$BIN" serve -addr "127.0.0.1:$PORT" -jobs-dir "$JOBS_DIR" \
+    -drain-timeout 5s -drain-grace 100ms > "$WORK/corrupt.log" 2>&1
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || { echo "serve-smoke: server started over a corrupt WAL" >&2; exit 1; }
+grep -q "corrupt record" "$WORK/corrupt.log" || {
+    echo "serve-smoke: no corruption diagnostic on refused boot:" >&2
+    cat "$WORK/corrupt.log" >&2
+    exit 1
+}
+
+set +e
+"$BIN" fsck "$JOBS_WAL" > "$WORK/fsck-verify.log" 2>&1
+RC=$?
+set -e
+[ "$RC" = 2 ] || { echo "serve-smoke: fsck on corrupt WAL exited $RC, want 2" >&2; exit 1; }
+grep -q "CORRUPT" "$WORK/fsck-verify.log"
+
+"$BIN" fsck -repair -q "$JOBS_WAL" > "$WORK/fsck-repair.log"
+grep -q "quarantined corrupt suffix" "$WORK/fsck-repair.log"
+[ -s "$JOBS_WAL.quarantine" ] || { echo "serve-smoke: no quarantine sidecar" >&2; exit 1; }
+
+"$BIN" serve -addr "127.0.0.1:$PORT" -jobs-dir "$JOBS_DIR" \
+    -drain-timeout 5s -drain-grace 100ms &
+PID=$!
+wait_up
+curl -fsS "$BASE/readyz" | grep -q ready
+kill -TERM "$PID"
+wait "$PID" || { echo "serve-smoke: post-repair drain exited non-zero" >&2; exit 1; }
 echo "serve-smoke: ok"
